@@ -1,0 +1,189 @@
+package janus
+
+// Benchmarks regenerating the paper's evaluation artifacts as testing.B
+// targets. One bench family per table/figure:
+//
+//	BenchmarkTable3/<model>/<engine>  — single-device training throughput
+//	BenchmarkFig6/<model>/<engine>    — convergence-workload step cost
+//	BenchmarkFig7/<model>/<stage>     — optimization ablation
+//	BenchmarkFig8/<model>/<devices>   — simulated multi-device step
+//	BenchmarkAssertCost/<mode>        — §6.3.1 assertion overhead
+//
+// `go test -bench . -benchmem` prints ns/op per configuration; cmd/janusbench
+// renders the same data in the paper's table layout.
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/models"
+)
+
+// benchEngines mirrors the Table 3 engine columns.
+func benchEngines() []struct {
+	name string
+	cfg  core.Config
+} {
+	jan := core.DefaultJanusConfig()
+	jan.LR = 0.05
+	jan.Workers = runtime.NumCPU()
+	sym := jan
+	sym.DisableAsserts = true
+	sym.ProfileIters = 1
+	return []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"imperative", core.Config{Mode: core.Imperative, LR: 0.05}},
+		{"janus", jan},
+		{"symbolic", sym},
+	}
+}
+
+func benchModel(b *testing.B, modelName string, cfg core.Config) {
+	b.Helper()
+	m, err := models.Get(modelName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.NewEngine(cfg)
+	inst, err := m.Build(e, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // warmup: profiling + conversion
+		if _, err := inst.Step(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Step(6 + i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	if secs > 0 {
+		b.ReportMetric(float64(b.N*m.ItemsPerStep)/secs, "items/s")
+	}
+}
+
+// BenchmarkTable3 regenerates the single-machine throughput table.
+func BenchmarkTable3(b *testing.B) {
+	for _, m := range models.All() {
+		for _, eng := range benchEngines() {
+			b.Run(m.Name+"/"+eng.name, func(b *testing.B) {
+				benchModel(b, m.Name, eng.cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 times the five convergence workloads per engine (the wall
+// clock per step is the x-axis scale of each Figure 6 panel). The trace
+// engine is excluded where the paper reports it cannot run the model.
+func BenchmarkFig6(b *testing.B) {
+	for _, name := range []string{"ResNet", "LM", "TreeLSTM", "PPO", "AN"} {
+		for _, eng := range benchEngines() {
+			b.Run(name+"/"+eng.name, func(b *testing.B) {
+				benchModel(b, name, eng.cfg)
+			})
+		}
+		if name == "ResNet" || name == "LM" || name == "AN" {
+			b.Run(name+"/trace", func(b *testing.B) {
+				benchModel(b, name, core.Config{Mode: core.Trace, LR: 0.05})
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the ablation: IMP, BASE, +UNRL, +SPCN, +PARL on
+// three representative models (one per overhead regime).
+func BenchmarkFig7(b *testing.B) {
+	mk := func(unroll, spcn bool, workers int) core.Config {
+		return core.Config{Mode: core.Janus, LR: 0.05, ProfileIters: 3,
+			Unroll: unroll, Specialize: spcn, Workers: workers}
+	}
+	stages := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"IMP", core.Config{Mode: core.Imperative, LR: 0.05}},
+		{"BASE", mk(false, false, 1)},
+		{"UNRL", mk(true, false, 1)},
+		{"SPCN", mk(true, true, 1)},
+		{"PARL", mk(true, true, runtime.NumCPU())},
+	}
+	for _, model := range []string{"LeNet", "LSTM", "TreeRNN"} {
+		for _, s := range stages {
+			b.Run(model+"/"+s.name, func(b *testing.B) {
+				benchModel(b, model, s.cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 exercises the cluster simulator across device counts for the
+// four scalability panels.
+func BenchmarkFig8(b *testing.B) {
+	panels := []struct {
+		name    string
+		params  float64
+		compute float64
+	}{
+		{"ResNet", 25e6, 0.05},
+		{"Inception", 24e6, 0.06},
+		{"LM", 0.83e9, 0.02},
+		{"PPO", 1e4, 0.002},
+	}
+	for _, p := range panels {
+		for _, d := range []int{1, 6, 12, 36} {
+			for _, overlap := range []bool{true, false} {
+				mode := "overlap"
+				if !overlap {
+					mode = "serial"
+				}
+				b.Run(p.name+"/"+mode+"/"+itoa(d), func(b *testing.B) {
+					cfg := dist.ClusterConfig{
+						Devices: d, StepCompute: p.compute,
+						GradBytes: p.params * 8, Overlap: overlap,
+					}
+					var last float64
+					for i := 0; i < b.N; i++ {
+						last = dist.StepTime(cfg)
+					}
+					b.ReportMetric(last*1000, "step-ms")
+					b.ReportMetric(dist.ScaleFactor(cfg, 64), "scale")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAssertCost measures the §6.3.1 claim that assumption validation
+// is effectively free.
+func BenchmarkAssertCost(b *testing.B) {
+	on := core.DefaultJanusConfig()
+	on.LR = 0.05
+	off := on
+	off.DisableAsserts = true
+	b.Run("LSTM/asserts-on", func(b *testing.B) { benchModel(b, "LSTM", on) })
+	b.Run("LSTM/asserts-off", func(b *testing.B) { benchModel(b, "LSTM", off) })
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

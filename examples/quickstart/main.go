@@ -1,0 +1,46 @@
+// Command quickstart trains a linear regression model with the JANUS
+// runtime, printing engine statistics that show the speculative conversion
+// at work: three profiled imperative iterations, one graph generation, then
+// cached symbolic execution for the remaining steps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	janus "repro"
+)
+
+func main() {
+	rt := janus.New(janus.Options{Seed: 1, LearningRate: 0.1})
+	err := rt.Run(`
+def loss_fn(x, y):
+    w = variable("w", [2, 1])
+    b = variable("b", [1])
+    pred = matmul(x, w) + b
+    return mse(pred, y)
+
+# y = 3*x1 - 2*x2 + 0.5
+x = constant([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
+y = constant([[3.5], [-1.5], [1.5], [4.5]])
+
+for i in range(300):
+    loss = optimize(lambda: loss_fn(x, y))
+
+print("final loss:", loss_fn(x, y))
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rt.Output())
+
+	w, _ := rt.Parameter("w")
+	b, _ := rt.Parameter("b")
+	fmt.Printf("learned w = %v (true [3 -2])\n", w)
+	fmt.Printf("learned b = %v (true [0.5])\n", b)
+
+	st := rt.Stats()
+	fmt.Printf("engine: %d imperative (profiling) steps, %d graph steps, "+
+		"%d conversions, %d cache hits, %d assumption failures\n",
+		st.ImperativeSteps, st.GraphSteps, st.Conversions, st.CacheHits, st.AssertFailures)
+}

@@ -1,0 +1,120 @@
+package autodiff
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// Optimizer applies a gradient map to a parameter store. Both the imperative
+// executor and the symbolic engines use these implementations, so parameter
+// trajectories are comparable across engines.
+type Optimizer interface {
+	// Apply updates every variable named in grads.
+	Apply(store *vars.Store, grads map[string]*tensor.Tensor)
+	// Name identifies the optimizer for logging.
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional gradient clipping by
+// global norm (clip <= 0 disables).
+type SGD struct {
+	LR   float64
+	Clip float64
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Apply implements Optimizer.
+func (s *SGD) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
+	scale := 1.0
+	if s.Clip > 0 {
+		n := GlobalNorm(grads)
+		if n > s.Clip {
+			scale = s.Clip / n
+		}
+	}
+	for name, g := range grads {
+		store.AssignSub(name, tensor.MulScalar(g, s.LR*scale))
+	}
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	LR       float64
+	Mu       float64
+	velocity map[string]*tensor.Tensor
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Apply implements Optimizer.
+func (m *Momentum) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
+	if m.velocity == nil {
+		m.velocity = make(map[string]*tensor.Tensor)
+	}
+	for name, g := range grads {
+		v, ok := m.velocity[name]
+		if !ok {
+			v = tensor.Zeros(g.Shape()...)
+		}
+		v = tensor.Add(tensor.MulScalar(v, m.Mu), g)
+		m.velocity[name] = v
+		store.AssignSub(name, tensor.MulScalar(v, m.LR))
+	}
+}
+
+// Adam implements the Adam optimizer.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	step                  int
+	m, v                  map[string]*tensor.Tensor
+}
+
+// NewAdam returns Adam with conventional defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Apply implements Optimizer.
+func (a *Adam) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
+	if a.m == nil {
+		a.m = make(map[string]*tensor.Tensor)
+		a.v = make(map[string]*tensor.Tensor)
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for name, g := range grads {
+		m, ok := a.m[name]
+		if !ok {
+			m = tensor.Zeros(g.Shape()...)
+			a.v[name] = tensor.Zeros(g.Shape()...)
+		}
+		v := a.v[name]
+		m = tensor.Add(tensor.MulScalar(m, a.Beta1), tensor.MulScalar(g, 1-a.Beta1))
+		v = tensor.Add(tensor.MulScalar(v, a.Beta2), tensor.MulScalar(tensor.Mul(g, g), 1-a.Beta2))
+		a.m[name], a.v[name] = m, v
+		mh := tensor.MulScalar(m, 1/bc1)
+		vh := tensor.MulScalar(v, 1/bc2)
+		upd := tensor.Div(mh, tensor.AddScalar(tensor.Sqrt(vh), a.Eps))
+		store.AssignSub(name, tensor.MulScalar(upd, a.LR))
+	}
+}
+
+// GlobalNorm returns the L2 norm over all gradients.
+func GlobalNorm(grads map[string]*tensor.Tensor) float64 {
+	s := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,347 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// numGrad computes dLoss/dParam[i] by central differences, rebuilding the
+// whole forward pass each evaluation.
+func numGrad(param *tensor.Tensor, i int, loss func() float64) float64 {
+	const h = 1e-6
+	orig := param.Data()[i]
+	param.Data()[i] = orig + h
+	up := loss()
+	param.Data()[i] = orig - h
+	dn := loss()
+	param.Data()[i] = orig
+	return (up - dn) / (2 * h)
+}
+
+func checkAll(t *testing.T, name string, param *tensor.Tensor, analytic *tensor.Tensor, loss func() float64, tol float64) {
+	t.Helper()
+	for i := range param.Data() {
+		n := numGrad(param, i, loss)
+		if err := CheckGrad(analytic.Data()[i], n, tol); err != nil {
+			t.Fatalf("%s[%d]: %v", name, i, err)
+		}
+	}
+}
+
+func TestTapeAddMulChain(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	w := rng.Randn(3)
+	loss := func() float64 {
+		tp := NewTape()
+		wn := tp.Watch("w", w)
+		y := tp.Mul(tp.Add(wn, Const(tensor.Full(2, 3))), wn) // (w+2)*w
+		return tp.Sum(y).Value.Item()
+	}
+	tp := NewTape()
+	wn := tp.Watch("w", w)
+	l := tp.Sum(tp.Mul(tp.Add(wn, Const(tensor.Full(2, 3))), wn))
+	g := tp.Gradient(l)["w"]
+	// d/dw [(w+2)w] = 2w + 2
+	want := tensor.AddScalar(tensor.MulScalar(w, 2), 2)
+	if !tensor.AllClose(g, want, 1e-9) {
+		t.Fatalf("got %v want %v", g, want)
+	}
+	checkAll(t, "w", w, g, loss, 1e-5)
+}
+
+func TestTapeMatMulGrad(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	a := rng.Randn(2, 3)
+	b := rng.Randn(3, 4)
+	build := func(tp *Tape) *Node {
+		an := tp.Watch("a", a)
+		bn := tp.Watch("b", b)
+		return tp.Sum(tp.MatMul(an, bn))
+	}
+	tp := NewTape()
+	grads := tp.Gradient(build(tp))
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "a", a, grads["a"], loss, 1e-5)
+	checkAll(t, "b", b, grads["b"], loss, 1e-5)
+}
+
+func TestTapeBroadcastGrad(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := rng.Randn(4, 3)
+	bias := rng.Randn(3)
+	build := func(tp *Tape) *Node {
+		bn := tp.Watch("b", bias)
+		return tp.Sum(tp.Mul(tp.Add(Const(x), bn), tp.Add(Const(x), bn)))
+	}
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["b"]
+	if !tensor.ShapeEq(g.Shape(), []int{3}) {
+		t.Fatalf("broadcast grad shape %v", g.Shape())
+	}
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "bias", bias, g, loss, 1e-5)
+}
+
+func TestTapeActivationsGrad(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	x := rng.Randn(5)
+	for _, tc := range []struct {
+		name string
+		f    func(tp *Tape, n *Node) *Node
+	}{
+		{"relu", func(tp *Tape, n *Node) *Node { return tp.ReLU(n) }},
+		{"sigmoid", func(tp *Tape, n *Node) *Node { return tp.Sigmoid(n) }},
+		{"tanh", func(tp *Tape, n *Node) *Node { return tp.Tanh(n) }},
+		{"exp", func(tp *Tape, n *Node) *Node { return tp.Exp(n) }},
+		{"neg", func(tp *Tape, n *Node) *Node { return tp.Neg(n) }},
+		{"pow2", func(tp *Tape, n *Node) *Node { return tp.Pow(n, 2) }},
+	} {
+		build := func(tp *Tape) *Node { return tp.Sum(tc.f(tp, tp.Watch("x", x))) }
+		tp := NewTape()
+		g := tp.Gradient(build(tp))["x"]
+		loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+		checkAll(t, tc.name, x, g, loss, 1e-4)
+	}
+}
+
+func TestTapeLogGrad(t *testing.T) {
+	x := tensor.FromSlice([]float64{0.5, 1.5, 3})
+	build := func(tp *Tape) *Node { return tp.Sum(tp.Log(tp.Watch("x", x))) }
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["x"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "log", x, g, loss, 1e-5)
+}
+
+func TestTapeDivGrad(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, 2, 3})
+	b := tensor.FromSlice([]float64{2, 4, 5})
+	build := func(tp *Tape) *Node {
+		return tp.Sum(tp.Div(tp.Watch("a", a), tp.Watch("b", b)))
+	}
+	tp := NewTape()
+	gs := tp.Gradient(build(tp))
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "a", a, gs["a"], loss, 1e-5)
+	checkAll(t, "b", b, gs["b"], loss, 1e-5)
+}
+
+func TestTapeSoftmaxCrossEntropyGrad(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	logits := rng.Randn(3, 4)
+	labels := tensor.OneHot([]int{0, 2, 3}, 4)
+	build := func(tp *Tape) *Node {
+		return tp.CrossEntropy(tp.Watch("l", logits), labels)
+	}
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["l"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "logits", logits, g, loss, 1e-5)
+}
+
+func TestTapeSoftmaxGrad(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	x := rng.Randn(2, 3)
+	w := rng.Randn(2, 3)
+	build := func(tp *Tape) *Node {
+		return tp.Sum(tp.Mul(tp.Softmax(tp.Watch("x", x)), Const(w)))
+	}
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["x"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "softmax-in", x, g, loss, 1e-5)
+}
+
+func TestTapeMSEGrad(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	p := rng.Randn(4)
+	target := rng.Randn(4)
+	build := func(tp *Tape) *Node { return tp.MSE(tp.Watch("p", p), target) }
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["p"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "mse", p, g, loss, 1e-5)
+}
+
+func TestTapeConvPoolGrad(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := rng.Randn(1, 1, 6, 6)
+	w := rng.Randn(2, 1, 3, 3)
+	build := func(tp *Tape) *Node {
+		xn := tp.Watch("x", x)
+		wn := tp.Watch("w", w)
+		c := tp.Conv2D(xn, wn, 1, 1)
+		p := tp.MaxPool2D(c, 2, 2)
+		return tp.Sum(p)
+	}
+	tp := NewTape()
+	gs := tp.Gradient(build(tp))
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	// Max pooling makes the loss piecewise-linear; gradcheck at random points
+	// is fine with loose tolerance.
+	checkAll(t, "w", w, gs["w"], loss, 1e-4)
+}
+
+func TestTapeConcatSliceGrad(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	a := rng.Randn(2, 2)
+	b := rng.Randn(2, 3)
+	build := func(tp *Tape) *Node {
+		an := tp.Watch("a", a)
+		bn := tp.Watch("b", b)
+		c := tp.Concat(1, an, bn)     // [2,5]
+		s := tp.SliceAxis(c, 1, 1, 4) // depends on parts of both
+		return tp.Sum(tp.Mul(s, s))
+	}
+	tp := NewTape()
+	gs := tp.Gradient(build(tp))
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "a", a, gs["a"], loss, 1e-5)
+	checkAll(t, "b", b, gs["b"], loss, 1e-5)
+}
+
+func TestTapeGatherGrad(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	table := rng.Randn(5, 3)
+	idx := []int{4, 0, 4}
+	build := func(tp *Tape) *Node {
+		tn := tp.Watch("t", table)
+		g := tp.Gather(tn, idx)
+		return tp.Sum(tp.Mul(g, g))
+	}
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["t"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "table", table, g, loss, 1e-5)
+	// Row 1..3 were never gathered: zero gradient.
+	for r := 1; r <= 3; r++ {
+		for c := 0; c < 3; c++ {
+			if g.At(r, c) != 0 {
+				t.Fatalf("ungathered row %d has gradient", r)
+			}
+		}
+	}
+}
+
+func TestTapeReuseAccumulatesFanOut(t *testing.T) {
+	x := tensor.FromSlice([]float64{3})
+	tp := NewTape()
+	xn := tp.Watch("x", x)
+	y := tp.Add(tp.Mul(xn, xn), xn) // x^2 + x -> grad 2x+1 = 7
+	g := tp.Gradient(tp.Sum(y))["x"]
+	if math.Abs(g.At(0)-7) > 1e-9 {
+		t.Fatalf("fan-out grad %v want 7", g.At(0))
+	}
+}
+
+func TestGradientOfUntrackedLossIsZero(t *testing.T) {
+	tp := NewTape()
+	tp.Watch("w", tensor.FromSlice([]float64{1, 2}))
+	g := tp.Gradient(Const(tensor.Scalar(5)))["w"]
+	if !tensor.Equal(g, tensor.Zeros(2)) {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestTapeTransposeReshapeGrad(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	a := rng.Randn(2, 3)
+	build := func(tp *Tape) *Node {
+		an := tp.Watch("a", a)
+		tr := tp.Transpose(an)
+		r := tp.Reshape(tr, 6)
+		return tp.Sum(tp.Mul(r, r))
+	}
+	tp := NewTape()
+	g := tp.Gradient(build(tp))["a"]
+	loss := func() float64 { tp := NewTape(); return build(tp).Value.Item() }
+	checkAll(t, "a", a, g, loss, 1e-5)
+}
+
+// --- optimizers ------------------------------------------------------------
+
+func TestSGDStep(t *testing.T) {
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{1, 2}))
+	(&SGD{LR: 0.5}).Apply(store, map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{2, 4})})
+	want := tensor.FromSlice([]float64{0, 0})
+	if !tensor.Equal(store.MustGet("w"), want) {
+		t.Fatalf("got %v", store.MustGet("w"))
+	}
+}
+
+func TestSGDClipping(t *testing.T) {
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{0}))
+	g := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{100})}
+	(&SGD{LR: 1, Clip: 1}).Apply(store, g)
+	if math.Abs(store.MustGet("w").At(0)+1) > 1e-9 {
+		t.Fatalf("clip failed: %v", store.MustGet("w"))
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{0}))
+	m := &Momentum{LR: 1, Mu: 0.5}
+	g := map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{1})}
+	m.Apply(store, g) // v=1, w=-1
+	m.Apply(store, g) // v=1.5, w=-2.5
+	if math.Abs(store.MustGet("w").At(0)+2.5) > 1e-9 {
+		t.Fatalf("got %v", store.MustGet("w"))
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{5}))
+	opt := NewAdam(0.3)
+	for i := 0; i < 300; i++ {
+		w := store.MustGet("w")
+		g := map[string]*tensor.Tensor{"w": tensor.MulScalar(w, 2)} // d/dw w^2
+		opt.Apply(store, g)
+	}
+	if math.Abs(store.MustGet("w").At(0)) > 1e-2 {
+		t.Fatalf("adam failed to minimize: %v", store.MustGet("w"))
+	}
+}
+
+func TestGlobalNorm(t *testing.T) {
+	g := map[string]*tensor.Tensor{
+		"a": tensor.FromSlice([]float64{3}),
+		"b": tensor.FromSlice([]float64{4}),
+	}
+	if math.Abs(GlobalNorm(g)-5) > 1e-12 {
+		t.Fatalf("got %v", GlobalNorm(g))
+	}
+}
+
+// Train a tiny linear regression end to end through the tape: the canonical
+// integration test that the eager engine can actually learn.
+func TestTapeLinearRegressionLearns(t *testing.T) {
+	rng := tensor.NewRNG(77)
+	trueW := tensor.FromRows([][]float64{{2}, {-3}})
+	store := vars.NewStore()
+	store.Set("w", rng.Randn(2, 1))
+	opt := &SGD{LR: 0.1}
+	var last float64
+	for i := 0; i < 200; i++ {
+		x := rng.Randn(8, 2)
+		y := tensor.MatMul(x, trueW)
+		tp := NewTape()
+		wn := tp.Watch("w", store.MustGet("w"))
+		pred := tp.MatMul(Const(x), wn)
+		loss := tp.MSE(pred, y)
+		opt.Apply(store, tp.Gradient(loss))
+		last = loss.Value.Item()
+	}
+	if last > 1e-3 {
+		t.Fatalf("did not converge: loss %v", last)
+	}
+	if !tensor.AllClose(store.MustGet("w"), trueW, 1e-2) {
+		t.Fatalf("weights %v", store.MustGet("w"))
+	}
+}

@@ -1,0 +1,582 @@
+// Package core implements the JANUS runtime of the paper's Figure 2: it
+// orchestrates the Profiler, the Speculative Graph Generator, the Graph
+// Cache, and the Speculative Graph Executor around an imperative minipy
+// program, falling back to the imperative executor whenever an assumption
+// fails or a function has no graph representation.
+//
+// The same Engine type also hosts the two baselines the evaluation compares
+// against: pure imperative execution (TensorFlow Eager) and unsafe
+// trace-based conversion (TensorFlow defun).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autodiff"
+	"repro/internal/convert"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/minipy"
+	"repro/internal/profile"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// Mode selects the execution engine.
+type Mode int
+
+// Engine modes.
+const (
+	// Imperative runs everything on the minipy interpreter with tape
+	// autodiff (the TensorFlow Eager baseline).
+	Imperative Mode = iota
+	// Janus profiles, speculatively converts, validates and falls back — the
+	// paper's system.
+	Janus
+	// Trace converts from a single execution trace with no guards (the
+	// defun baseline); conversion failures are user-visible errors and
+	// incorrect assumptions are silently wrong, as in Table 1.
+	Trace
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Imperative:
+		return "imperative"
+	case Janus:
+		return "janus"
+	case Trace:
+		return "trace"
+	}
+	return "unknown"
+}
+
+// Config tunes an Engine. The zero value is not useful; use NewEngine.
+type Config struct {
+	Mode Mode
+	// LR is the SGD learning rate applied by optimize().
+	LR float64
+	// ProfileIters is how many imperative iterations the profiler observes
+	// before graph generation (the paper found 3 sufficient; footnote 3).
+	ProfileIters int
+	// Unroll enables control-flow unrolling/pruning (+UNRL).
+	Unroll bool
+	// Specialize enables shape/value specialization and the optimizer passes
+	// (+SPCN).
+	Specialize bool
+	// Workers is the graph executor's parallelism (+PARL). <1 means 1.
+	Workers int
+	// DisableAsserts skips runtime assumption validation (assertion-cost
+	// experiment only).
+	DisableAsserts bool
+	// Seed seeds the interpreter RNG.
+	Seed uint64
+	// PyOverheadNs calibrates the imperative executor's per-op dispatch cost
+	// to a CPython/TF-Eager-like regime (see DESIGN.md §5). 0 selects the
+	// default (5µs); negative disables entirely.
+	PyOverheadNs int
+}
+
+// DefaultJanusConfig returns the full-featured JANUS configuration.
+func DefaultJanusConfig() Config {
+	return Config{Mode: Janus, LR: 0.1, ProfileIters: 3, Unroll: true, Specialize: true, Workers: 4}
+}
+
+// Stats counts engine activity; the evaluation harness reads these.
+type Stats struct {
+	ImperativeSteps int
+	GraphSteps      int
+	Conversions     int
+	ConversionFails int
+	CacheHits       int
+	CacheMisses     int
+	AssertFailures  int
+	Fallbacks       int
+	OptimizeReport  map[string]int
+}
+
+// compiled is one graph-cache entry.
+type compiled struct {
+	pattern []string
+	res     *convert.Result
+	// static graphs carry their own gradient/update ops; dynamic graphs are
+	// differentiated through the executor's trace tape.
+	static bool
+}
+
+// funcState tracks one optimized function across iterations.
+type funcState struct {
+	prof    *profile.Profile
+	entries []*compiled
+	// distrust records AST nodes whose speculative assumptions failed.
+	distrust map[int]bool
+	// imperativeOnly marks functions with no graph representation (Fig. 2,
+	// path C).
+	imperativeOnly bool
+	impReason      string
+	// reprofileUntil delays regeneration after an assumption failure so the
+	// profiler can observe more behaviour first (§3.2).
+	reprofileUntil int
+}
+
+// Engine runs minipy programs under one of the three execution modes.
+type Engine struct {
+	cfg   Config
+	Store *vars.Store
+	Local *minipy.Interp
+	Opt   autodiff.Optimizer
+	Stats Stats
+	funcs map[int]*funcState
+	heap  *heapAdapter
+	mu    sync.Mutex
+}
+
+// NewEngine builds an engine with a fresh parameter store and interpreter.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.ProfileIters < 1 {
+		cfg.ProfileIters = 3
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.1
+	}
+	e := &Engine{
+		cfg:   cfg,
+		Store: vars.NewStore(),
+		Opt:   &autodiff.SGD{LR: cfg.LR},
+		funcs: make(map[int]*funcState),
+	}
+	reg := minipy.DefaultRegistry().Clone()
+	reg.Register(&minipy.Builtin{Name: "optimize", Stateful: true,
+		Fn: func(it *minipy.Interp, args []minipy.Value, kwargs map[string]minipy.Value) (minipy.Value, error) {
+			if len(args) != 1 {
+				return nil, errors.New("optimize(fn) wants one callable")
+			}
+			fn, ok := args[0].(*minipy.FuncVal)
+			if !ok {
+				return nil, fmt.Errorf("optimize() wants a function, got %s", args[0].TypeName())
+			}
+			return e.optimizeStep(fn)
+		}})
+	e.Local = minipy.NewInterp(reg)
+	e.Local.SetStore(e.Store)
+	switch {
+	case cfg.PyOverheadNs > 0:
+		e.Local.OpDelay = time.Duration(cfg.PyOverheadNs) * time.Nanosecond
+	case cfg.PyOverheadNs == 0:
+		e.Local.OpDelay = 5 * time.Microsecond
+	}
+	if cfg.Seed != 0 {
+		e.Local.SeedRNG(cfg.Seed)
+	}
+	e.heap = &heapAdapter{}
+	return e
+}
+
+// Run executes a full program (model definition + training loop).
+func (e *Engine) Run(src string) error {
+	prog, err := minipy.Parse(src)
+	if err != nil {
+		return err
+	}
+	return e.Local.Run(prog)
+}
+
+// RunProgram executes a pre-parsed program.
+func (e *Engine) RunProgram(prog *minipy.Program) error { return e.Local.Run(prog) }
+
+// Output returns accumulated print() output.
+func (e *Engine) Output() string { return e.Local.Out.String() }
+
+// Define binds a module-level global in the engine's interpreter. The model
+// harness uses it to inject per-step data (batches, episodes, noise) that the
+// optimized functions capture.
+func (e *Engine) Define(name string, v minipy.Value) {
+	if err := e.Local.Globals.Define(name, v); err != nil {
+		panic(err) // module-scope Define cannot fail
+	}
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// optimizeStep implements one training step of the loss function fn: the
+// core of Figure 2.
+func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
+	switch e.cfg.Mode {
+	case Imperative:
+		return e.imperativeStep(fn, nil)
+	case Janus:
+		return e.janusStep(fn)
+	case Trace:
+		return e.traceStep(fn)
+	}
+	return nil, fmt.Errorf("core: unknown mode %d", e.cfg.Mode)
+}
+
+// imperativeStep runs fn on the interpreter under a fresh gradient tape and
+// applies the optimizer. prof, when non-nil, observes the execution.
+func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (minipy.Value, error) {
+	e.Stats.ImperativeSteps++
+	prevTape, prevProf := e.Local.Tape, e.Local.Prof
+	e.Local.Tape = autodiff.NewTape()
+	if prof != nil {
+		e.Local.Prof = prof
+	}
+	defer func() {
+		e.Local.Tape, e.Local.Prof = prevTape, prevProf
+	}()
+	out, err := e.Local.CallFunction(fn, nil)
+	if err != nil {
+		return nil, err
+	}
+	loss, ok := out.(*minipy.TensorVal)
+	if !ok {
+		return nil, fmt.Errorf("core: optimize() function returned %s, want tensor loss", out.TypeName())
+	}
+	grads := e.Local.Tape.Gradient(loss.Node)
+	e.Opt.Apply(e.Store, grads)
+	if prof != nil {
+		prof.EndIteration()
+	}
+	return loss, nil
+}
+
+// state returns the per-function bookkeeping.
+func (e *Engine) state(fn *minipy.FuncVal) *funcState {
+	id := -1
+	if fn.Def != nil {
+		id = fn.Def.ID()
+	}
+	fs, ok := e.funcs[id]
+	if !ok {
+		fs = &funcState{prof: profile.New(), distrust: make(map[int]bool)}
+		e.funcs[id] = fs
+	}
+	return fs
+}
+
+// janusStep is the full speculative path: profile, generate, validate,
+// execute, fall back.
+func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
+	fs := e.state(fn)
+	if fs.imperativeOnly {
+		return e.imperativeStep(fn, fs.prof)
+	}
+	if fs.prof.Iterations() < e.cfg.ProfileIters || fs.prof.Iterations() < fs.reprofileUntil {
+		// (A) Profile: not enough information for realistic assumptions yet.
+		return e.imperativeStep(fn, fs.prof)
+	}
+	sig, leaves := convert.Flatten(fn, nil)
+	entry := e.lookup(fs, sig)
+	if entry == nil {
+		e.Stats.CacheMisses++
+		var err error
+		entry, err = e.generate(fs, fn, sig)
+		if err != nil {
+			if errors.Is(err, convert.ErrNotConvertible) {
+				// (C) Do not generate: imperative-only function.
+				fs.imperativeOnly = true
+				fs.impReason = err.Error()
+				e.Stats.ConversionFails++
+				return e.imperativeStep(fn, fs.prof)
+			}
+			return nil, err
+		}
+	} else {
+		e.Stats.CacheHits++
+	}
+	loss, err := e.execute(entry, leaves)
+	if err == nil {
+		e.Stats.GraphSteps++
+		return loss, nil
+	}
+	var ae *exec.AssertError
+	if errors.As(err, &ae) {
+		// (E) Fallback: the assumption was wrong; no state was mutated
+		// (all-or-nothing), so re-running imperatively is safe and correct.
+		e.Stats.AssertFailures++
+		e.Stats.Fallbacks++
+		e.noteFailure(fs, entry, ae)
+		return e.imperativeStep(fn, fs.prof)
+	}
+	return nil, err
+}
+
+// lookup finds a cached graph whose signature pattern matches.
+func (e *Engine) lookup(fs *funcState, sig []string) *compiled {
+	for _, c := range fs.entries {
+		if convert.SigMatch(c.pattern, sig) {
+			return c
+		}
+	}
+	return nil
+}
+
+// generate runs the Speculative Graph Generator (Figure 2, B) and caches the
+// result.
+func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*compiled, error) {
+	res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
+		Unroll:     e.cfg.Unroll,
+		Specialize: e.cfg.Specialize,
+		Distrust:   fs.distrust,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
+		// Static gradient generation failed (e.g. an op without a gradient):
+		// run the graph dynamically via the trace tape instead.
+		res.Dynamic = true
+	}
+	rep := res.OptimizePasses(e.cfg.Specialize)
+	if e.Stats.OptimizeReport == nil {
+		e.Stats.OptimizeReport = map[string]int{}
+	}
+	for k, v := range rep {
+		e.Stats.OptimizeReport[k] += v
+	}
+	e.Stats.Conversions++
+	c := &compiled{pattern: sig, res: res, static: !res.Dynamic}
+	fs.entries = append(fs.entries, c)
+	return c, nil
+}
+
+// execute runs a compiled graph with the given feed leaves (Figure 2, D).
+func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
+	feeds := make(map[string]graph.Val, len(leaves))
+	for i, v := range leaves {
+		feeds[fmt.Sprintf("f%d", i)] = minipyToGraph(v)
+	}
+	opts := exec.Options{
+		Workers:        e.cfg.Workers,
+		Store:          e.Store,
+		Heap:           e.heap,
+		DisableAsserts: e.cfg.DisableAsserts,
+	}
+	if c.static {
+		res, err := exec.Run(c.res.Graph, feeds, opts)
+		if err != nil {
+			return nil, err
+		}
+		t, err := graph.AsTensor(res.Outputs[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: graph loss: %v", err)
+		}
+		return minipy.NewTensor(t), nil
+	}
+	// Dynamic graph: executed-trace tape gradients, optimizer applied here.
+	tape := autodiff.NewTape()
+	opts.Tape = tape
+	res, err := exec.Run(c.res.Graph, feeds, opts)
+	if err != nil {
+		return nil, err
+	}
+	node, ok := res.Outputs[0].(*autodiff.Node)
+	if !ok {
+		t, err := graph.AsTensor(res.Outputs[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: dynamic graph loss: %v", err)
+		}
+		node = autodiff.Const(t)
+	}
+	grads := tape.Gradient(node)
+	e.Opt.Apply(e.Store, grads)
+	return minipy.NewTensor(node.Value), nil
+}
+
+// noteFailure reacts to a failed runtime assertion: the offending graph is
+// evicted, the assumption's AST node is distrusted, and the profiler gets a
+// fresh observation window before regeneration.
+func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
+	for i, entry := range fs.entries {
+		if entry == c {
+			fs.entries = append(fs.entries[:i], fs.entries[i+1:]...)
+			break
+		}
+	}
+	for _, a := range c.res.Asserts {
+		if a.ID == ae.NodeID {
+			if ast := a.IntAttr("ast", -1); ast >= 0 {
+				fs.distrust[ast] = true
+			}
+		}
+	}
+	fs.reprofileUntil = fs.prof.Iterations() + e.cfg.ProfileIters
+}
+
+// traceStep implements the defun baseline: one imperative run records a
+// trace, conversion happens once with no guards, and the graph replays
+// forever. Conversion failures are hard errors (matching defun's behaviour
+// for recursion and state updates).
+func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
+	fs := e.state(fn)
+	if fs.prof.Iterations() < 1 {
+		return e.imperativeStep(fn, fs.prof)
+	}
+	sig, leaves := convert.Flatten(fn, nil)
+	var entry *compiled
+	if len(fs.entries) > 0 {
+		// A single traced graph, reused unconditionally — even when the
+		// signature changed. That unchecked reuse is the unsafety.
+		entry = fs.entries[0]
+	} else {
+		res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
+			Unroll: true, Specialize: true, Trace: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: trace conversion failed (defun limitation): %w", err)
+		}
+		if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
+			res.Dynamic = true
+		}
+		res.OptimizePasses(true)
+		e.Stats.Conversions++
+		entry = &compiled{pattern: sig, res: res, static: !res.Dynamic}
+		fs.entries = append(fs.entries, entry)
+	}
+	loss, err := e.execute(entry, leaves)
+	if err != nil {
+		return nil, err
+	}
+	e.Stats.GraphSteps++
+	return loss, nil
+}
+
+// --- heap adapter ---------------------------------------------------------------
+
+// heapAdapter bridges the graph executor's Heap interface to minipy objects,
+// converting between minipy values and graph edge values at the boundary.
+type heapAdapter struct{}
+
+func (h *heapAdapter) GetAttr(obj any, name string) (any, error) {
+	o, ok := obj.(*minipy.ObjectVal)
+	if !ok {
+		return nil, fmt.Errorf("core: heap GetAttr on %T", obj)
+	}
+	v, ok := o.Attrs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: %s object has no attribute %q", o.Class.Name, name)
+	}
+	return minipyToGraph(v), nil
+}
+
+func (h *heapAdapter) SetAttr(obj any, name string, v any) error {
+	o, ok := obj.(*minipy.ObjectVal)
+	if !ok {
+		return fmt.Errorf("core: heap SetAttr on %T", obj)
+	}
+	o.Attrs[name] = graphToMinipy(v)
+	return nil
+}
+
+func (h *heapAdapter) GetSubscr(obj, key any) (any, error) {
+	switch o := obj.(type) {
+	case *minipy.ListVal:
+		i, err := graph.AsInt(key)
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			i += len(o.Items)
+		}
+		if i < 0 || i >= len(o.Items) {
+			return nil, fmt.Errorf("core: list index %d out of range", i)
+		}
+		return minipyToGraph(o.Items[i]), nil
+	case *minipy.DictVal:
+		k, err := minipy.DictKey(graphToMinipy(key))
+		if err != nil {
+			return nil, err
+		}
+		v, ok := o.Entries[k]
+		if !ok {
+			return nil, fmt.Errorf("core: dict key not found")
+		}
+		return minipyToGraph(v), nil
+	}
+	return nil, fmt.Errorf("core: heap GetSubscr on %T", obj)
+}
+
+func (h *heapAdapter) SetSubscr(obj, key, v any) error {
+	switch o := obj.(type) {
+	case *minipy.ListVal:
+		i, err := graph.AsInt(key)
+		if err != nil {
+			return err
+		}
+		if i < 0 {
+			i += len(o.Items)
+		}
+		if i < 0 || i >= len(o.Items) {
+			return fmt.Errorf("core: list index %d out of range", i)
+		}
+		o.Items[i] = graphToMinipy(v)
+		return nil
+	case *minipy.DictVal:
+		k, err := minipy.DictKey(graphToMinipy(key))
+		if err != nil {
+			return err
+		}
+		o.Entries[k] = graphToMinipy(v)
+		return nil
+	}
+	return fmt.Errorf("core: heap SetSubscr on %T", obj)
+}
+
+// minipyToGraph converts a minipy value to a graph edge value.
+func minipyToGraph(v minipy.Value) graph.Val {
+	switch x := v.(type) {
+	case *minipy.TensorVal:
+		return x.T()
+	case minipy.IntVal:
+		return int(x)
+	case minipy.FloatVal:
+		return float64(x)
+	case minipy.BoolVal:
+		return bool(x)
+	case minipy.StrVal:
+		return string(x)
+	case minipy.NoneVal:
+		return nil
+	default:
+		return v // objects, lists, dicts pass as references
+	}
+}
+
+// graphToMinipy converts a graph edge value back into a minipy value.
+func graphToMinipy(v graph.Val) minipy.Value {
+	switch x := v.(type) {
+	case *tensor.Tensor:
+		return minipy.NewTensor(x)
+	case *autodiff.Node:
+		return &minipy.TensorVal{Node: x}
+	case int:
+		return minipy.IntVal(x)
+	case int64:
+		return minipy.IntVal(x)
+	case float64:
+		return minipy.FloatVal(x)
+	case bool:
+		return minipy.BoolVal(x)
+	case string:
+		return minipy.StrVal(x)
+	case nil:
+		return minipy.None
+	case minipy.Value:
+		return x
+	case []graph.Val:
+		items := make([]minipy.Value, len(x))
+		for i, e := range x {
+			items[i] = graphToMinipy(e)
+		}
+		return &minipy.ListVal{Items: items}
+	}
+	return minipy.None
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// linearProgram trains y = 2x - 3 with a tiny linear model. The loss function
+// is a pure static program (the Figure 3 shape).
+const linearProgram = `
+def loss_fn(x, y):
+    w = variable("w", [1, 1])
+    b = variable("b", [1])
+    pred = matmul(x, w) + b
+    return mse(pred, y)
+
+x = constant([[0.0], [1.0], [2.0], [3.0]])
+y = constant([[-3.0], [-1.0], [1.0], [3.0]])
+for step in range(200):
+    optimize(lambda: loss_fn(x, y))
+`
+
+func finalLossOf(t *testing.T, e *Engine, src string) float64 {
+	t.Helper()
+	src = src + "\nprint(loss_fn(x, y))\n"
+	if err := e.Run(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := strings.TrimSpace(e.Output())
+	lines := strings.Split(out, "\n")
+	last := lines[len(lines)-1]
+	// TensorVal repr looks like "Tensor[][0.0123]".
+	start := strings.LastIndex(last, "[")
+	end := strings.LastIndex(last, "]")
+	if start < 0 || end <= start {
+		t.Fatalf("cannot parse loss from %q", last)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(last[start+1:end]), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", last, err)
+	}
+	return v
+}
+
+func TestImperativeEngineTrainsLinearModel(t *testing.T) {
+	e := NewEngine(Config{Mode: Imperative, LR: 0.05, Seed: 1})
+	loss := finalLossOf(t, e, linearProgram)
+	if loss > 0.05 {
+		t.Fatalf("imperative loss %v", loss)
+	}
+	if e.Stats.ImperativeSteps != 200 {
+		t.Fatalf("imperative steps %d", e.Stats.ImperativeSteps)
+	}
+	if e.Stats.GraphSteps != 0 {
+		t.Fatal("imperative engine ran graphs")
+	}
+}
+
+func TestJanusEngineConvertsAndTrains(t *testing.T) {
+	cfg := DefaultJanusConfig()
+	cfg.LR = 0.05
+	cfg.Seed = 1
+	e := NewEngine(cfg)
+	loss := finalLossOf(t, e, linearProgram)
+	if loss > 0.05 {
+		t.Fatalf("janus loss %v", loss)
+	}
+	if e.Stats.Conversions == 0 {
+		t.Fatal("no graph conversion happened")
+	}
+	if e.Stats.GraphSteps < 190 {
+		t.Fatalf("graph steps %d, expected most of 200", e.Stats.GraphSteps)
+	}
+	if e.Stats.ImperativeSteps != 3 {
+		t.Fatalf("profiling iterations %d, want 3", e.Stats.ImperativeSteps)
+	}
+	if e.Stats.CacheHits == 0 {
+		t.Fatal("graph cache never hit")
+	}
+}
+
+func TestJanusMatchesImperativeTrajectory(t *testing.T) {
+	// Same seed, same program: both engines must converge to comparable
+	// parameters (identical up to float noise because updates are identical).
+	imp := NewEngine(Config{Mode: Imperative, LR: 0.05, Seed: 7})
+	if err := imp.Run(linearProgram); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultJanusConfig()
+	cfg.LR = 0.05
+	cfg.Seed = 7
+	jan := NewEngine(cfg)
+	if err := jan.Run(linearProgram); err != nil {
+		t.Fatal(err)
+	}
+	wI := imp.Store.MustGet("w")
+	wJ := jan.Store.MustGet("w")
+	if !tensor.AllClose(wI, wJ, 1e-6) {
+		t.Fatalf("weight divergence: imperative %v janus %v", wI, wJ)
+	}
+	bI := imp.Store.MustGet("b")
+	bJ := jan.Store.MustGet("b")
+	if !tensor.AllClose(bI, bJ, 1e-6) {
+		t.Fatalf("bias divergence: %v vs %v", bI, bJ)
+	}
+}
+
+func TestJanusHandlesLoopsAndLists(t *testing.T) {
+	// RNN-style accumulation loop over a captured list (Figure 1 shape,
+	// without object state).
+	src := `
+def step(xs):
+    w = variable("w", [2, 2])
+    state = zeros([1, 2])
+    outputs = []
+    for x in xs:
+        state = tanh(matmul(x, w) + state)
+        outputs += [state]
+    return reduce_mean(stack(outputs) ** 2.0)
+
+xs = [constant([[1.0, 0.0]]), constant([[0.0, 1.0]]), constant([[1.0, 1.0]])]
+for i in range(12):
+    optimize(lambda: step(xs))
+`
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 3
+	e := NewEngine(cfg)
+	if err := e.Run(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e.Stats.Conversions == 0 || e.Stats.GraphSteps == 0 {
+		t.Fatalf("loop program not converted: %+v", e.Stats)
+	}
+	if e.Stats.AssertFailures != 0 {
+		t.Fatalf("unexpected assumption failures: %+v", e.Stats)
+	}
+}
+
+func TestJanusObjectStateCarriedAcrossIterations(t *testing.T) {
+	// The paper's Figure 1: object attribute read and written inside the
+	// optimized function; graph mode must keep the state passing correct via
+	// PyGetAttr/PySetAttr with deferred write-back.
+	src := `
+class Model:
+    def __init__(self):
+        self.state = zeros([1, 2])
+    def __call__(self, x):
+        w = variable("w", [2, 2])
+        s = tanh(matmul(x, w) + self.state)
+        self.state = s
+        return reduce_mean(s ** 2.0)
+
+m = Model()
+x = constant([[1.0, 2.0]])
+for i in range(10):
+    optimize(lambda: m(x))
+print(reduce_sum(m.state))
+`
+	run := func(mode Mode) (string, *Engine) {
+		cfg := DefaultJanusConfig()
+		cfg.Mode = mode
+		cfg.Seed = 5
+		e := NewEngine(cfg)
+		if err := e.Run(src); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		return strings.TrimSpace(e.Output()), e
+	}
+	impOut, _ := run(Imperative)
+	janOut, jan := run(Janus)
+	if impOut != janOut {
+		t.Fatalf("state divergence:\n imperative: %s\n janus:      %s", impOut, janOut)
+	}
+	if jan.Stats.GraphSteps == 0 {
+		t.Fatalf("janus never used the graph: %+v", jan.Stats)
+	}
+}
+
+func TestJanusBranchSpeculationAndFallback(t *testing.T) {
+	// The branch is stable for 20 iterations, then flips: JANUS must assert,
+	// fall back (correctly), distrust the branch, regenerate, and keep
+	// producing results identical to the imperative engine.
+	src := `
+class Net:
+    def __init__(self):
+        self.training = True
+    def loss(self, x):
+        w = variable("w", [2, 1])
+        h = matmul(x, w)
+        if self.training:
+            h = h * 2.0
+        else:
+            h = h * 0.5
+        return reduce_mean(h ** 2.0)
+
+net = Net()
+x = constant([[1.0, 2.0]])
+for i in range(30):
+    if i == 20:
+        net.training = False
+    optimize(lambda: net.loss(x))
+print(net.training)
+`
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 11
+	jan := NewEngine(cfg)
+	if err := jan.Run(src); err != nil {
+		t.Fatalf("janus: %v", err)
+	}
+	if jan.Stats.AssertFailures == 0 {
+		t.Fatal("expected an assumption failure when the branch flipped")
+	}
+	if jan.Stats.Fallbacks == 0 {
+		t.Fatal("expected imperative fallback")
+	}
+	// Compare final weights with imperative reference.
+	imp := NewEngine(Config{Mode: Imperative, LR: cfg.LR, Seed: 11})
+	if err := imp.Run(src); err != nil {
+		t.Fatalf("imperative: %v", err)
+	}
+	if !tensor.AllClose(imp.Store.MustGet("w"), jan.Store.MustGet("w"), 1e-6) {
+		t.Fatalf("weights diverged after fallback:\n imp %v\n jan %v",
+			imp.Store.MustGet("w"), jan.Store.MustGet("w"))
+	}
+}
+
+func TestTraceEngineBakesBranchIncorrectly(t *testing.T) {
+	// Same flipping-branch program: the tracing engine keeps using the
+	// stale branch (silently wrong), so its weights must DIVERGE from the
+	// imperative reference — reproducing the Figure 6(a) failure mode.
+	src := `
+class Net:
+    def __init__(self):
+        self.training = True
+    def loss(self, x):
+        w = variable("w", [2, 1])
+        h = matmul(x, w)
+        if self.training:
+            h = h * 2.0
+        else:
+            h = h * 0.5
+        return reduce_mean(h ** 2.0)
+
+net = Net()
+x = constant([[1.0, 2.0]])
+for i in range(16):
+    if i == 8:
+        net.training = False
+    optimize(lambda: net.loss(x))
+`
+	tr := NewEngine(Config{Mode: Trace, LR: 0.1, Seed: 13})
+	if err := tr.Run(src); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	imp := NewEngine(Config{Mode: Imperative, LR: 0.1, Seed: 13})
+	if err := imp.Run(src); err != nil {
+		t.Fatalf("imperative: %v", err)
+	}
+	if tensor.AllClose(imp.Store.MustGet("w"), tr.Store.MustGet("w"), 1e-9) {
+		t.Fatal("trace engine unexpectedly produced correct results despite baked branch")
+	}
+}
+
+func TestTraceEngineLosesStatePassing(t *testing.T) {
+	// Object state write inside the traced function is dropped: self.acc
+	// stays at its initial value (the Figure 6(b) LM failure).
+	src := `
+class M:
+    def __init__(self):
+        self.acc = zeros([1])
+    def step(self):
+        w = variable("w", [1, 1])
+        self.acc = self.acc + 1.0
+        return reduce_mean(w ** 2.0)
+
+m = M()
+for i in range(6):
+    optimize(lambda: m.step())
+print(reduce_sum(m.acc))
+`
+	tr := NewEngine(Config{Mode: Trace, LR: 0.1, Seed: 17})
+	if err := tr.Run(src); err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	imp := NewEngine(Config{Mode: Imperative, LR: 0.1, Seed: 17})
+	if err := imp.Run(src); err != nil {
+		t.Fatalf("imperative: %v", err)
+	}
+	impOut := strings.TrimSpace(imp.Output())
+	trOut := strings.TrimSpace(tr.Output())
+	if impOut == trOut {
+		t.Fatalf("trace engine unexpectedly preserved state: %s", trOut)
+	}
+	if !strings.Contains(impOut, "6") {
+		t.Fatalf("imperative accumulator wrong: %s", impOut)
+	}
+	// Janus, in contrast, preserves the state exactly.
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 17
+	jan := NewEngine(cfg)
+	if err := jan.Run(src); err != nil {
+		t.Fatalf("janus: %v", err)
+	}
+	if strings.TrimSpace(jan.Output()) != impOut {
+		t.Fatalf("janus state %s != imperative %s", jan.Output(), impOut)
+	}
+}
+
+func TestJanusRecursionViaInvoke(t *testing.T) {
+	// Tree-structured recursion (the TreeNN pattern): recursive user function
+	// over an object graph.
+	src := `
+class Node:
+    def __init__(self, leaf, val, left, right):
+        self.leaf = leaf
+        self.val = val
+        self.left = left
+        self.right = right
+
+def embed(node):
+    w = variable("w", [1, 1])
+    if node.leaf:
+        return matmul(constant([[1.0]]) * node.val, w)
+    return tanh(embed(node.left) + embed(node.right))
+
+def loss_fn(tree):
+    out = embed(tree)
+    return reduce_mean(out ** 2.0)
+
+l1 = Node(True, 1.0, None, None)
+l2 = Node(True, 2.0, None, None)
+l3 = Node(True, 3.0, None, None)
+inner = Node(False, 0.0, l1, l2)
+root = Node(False, 0.0, inner, l3)
+for i in range(8):
+    optimize(lambda: loss_fn(root))
+`
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 19
+	jan := NewEngine(cfg)
+	if err := jan.Run(src); err != nil {
+		t.Fatalf("janus: %v", err)
+	}
+	if jan.Stats.GraphSteps == 0 {
+		t.Fatalf("recursion not executed on graph: %+v (reason: %s)", jan.Stats, jan.impReason())
+	}
+	imp := NewEngine(Config{Mode: Imperative, LR: cfg.LR, Seed: 19})
+	if err := imp.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(imp.Store.MustGet("w"), jan.Store.MustGet("w"), 1e-6) {
+		t.Fatalf("recursive model diverged: %v vs %v", imp.Store.MustGet("w"), jan.Store.MustGet("w"))
+	}
+	// Tracing must refuse recursion outright.
+	tr := NewEngine(Config{Mode: Trace, LR: 0.1, Seed: 19})
+	err := tr.Run(src)
+	if err == nil || !strings.Contains(err.Error(), "recursive") {
+		t.Fatalf("trace engine should reject recursion, got %v", err)
+	}
+}
+
+func TestJanusImperativeOnlyFunctionFallsBack(t *testing.T) {
+	// randn() has no graph representation (whitelist): the function must stay
+	// on the imperative executor and still train.
+	src := `
+def loss_fn():
+    w = variable("w", [2, 1])
+    x = randn([1, 2])
+    return reduce_mean(matmul(x, w) ** 2.0)
+
+for i in range(6):
+    optimize(lambda: loss_fn())
+`
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 23
+	e := NewEngine(cfg)
+	if err := e.Run(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e.Stats.GraphSteps != 0 {
+		t.Fatal("non-convertible function ran on the graph")
+	}
+	if e.Stats.ConversionFails == 0 {
+		t.Fatal("conversion failure not recorded")
+	}
+	if e.Stats.ImperativeSteps != 6 {
+		t.Fatalf("imperative steps %d", e.Stats.ImperativeSteps)
+	}
+}
+
+func TestJanusShapeChangeIsCacheMissNotError(t *testing.T) {
+	// Batch size changes mid-training (last partial batch): each signature
+	// gets its own specialized graph; correctness is preserved.
+	src := `
+def loss_fn(x):
+    w = variable("w", [2, 1])
+    return reduce_mean(matmul(x, w) ** 2.0)
+
+big = constant([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+small = constant([[1.0, 2.0]])
+for i in range(8):
+    optimize(lambda: loss_fn(big))
+for i in range(4):
+    optimize(lambda: loss_fn(small))
+`
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 29
+	e := NewEngine(cfg)
+	if err := e.Run(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if e.Stats.Conversions < 2 {
+		t.Fatalf("expected one graph per shape, got %d conversions", e.Stats.Conversions)
+	}
+	if e.Stats.AssertFailures != 0 {
+		t.Fatalf("shape change caused assertion failure: %+v", e.Stats)
+	}
+}
+
+func TestJanusBaseModeLoopOp(t *testing.T) {
+	// With Unroll off (BASE), the RNN loop must convert to a Loop op and
+	// still train identically to the imperative engine.
+	src := `
+def step(xs):
+    w = variable("w", [2, 2])
+    state = zeros([1, 2])
+    outputs = []
+    for x in xs:
+        state = tanh(matmul(x, w) + state)
+        outputs += [state]
+    return reduce_mean(stack(outputs) ** 2.0)
+
+xs = [constant([[1.0, 0.0]]), constant([[0.0, 1.0]])]
+for i in range(10):
+    optimize(lambda: step(xs))
+`
+	cfg := Config{Mode: Janus, LR: 0.1, ProfileIters: 3, Unroll: false, Specialize: false, Workers: 1, Seed: 31}
+	base := NewEngine(cfg)
+	if err := base.Run(src); err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	if base.Stats.GraphSteps == 0 {
+		t.Fatalf("BASE mode did not run graphs: %+v", base.Stats)
+	}
+	imp := NewEngine(Config{Mode: Imperative, LR: 0.1, Seed: 31})
+	if err := imp.Run(src); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(imp.Store.MustGet("w"), base.Store.MustGet("w"), 1e-6) {
+		t.Fatalf("BASE diverged: %v vs %v", imp.Store.MustGet("w"), base.Store.MustGet("w"))
+	}
+}
+
+func TestOptimizationReportPopulated(t *testing.T) {
+	cfg := DefaultJanusConfig()
+	cfg.Seed = 37
+	e := NewEngine(cfg)
+	if err := e.Run(linearProgram); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Stats.OptimizeReport) == 0 {
+		t.Fatal("no optimizer pass activity recorded")
+	}
+}
+
+func TestDisableAssertsStillCorrectWhenAssumptionsHold(t *testing.T) {
+	cfg := DefaultJanusConfig()
+	cfg.DisableAsserts = true
+	cfg.Seed = 41
+	e := NewEngine(cfg)
+	loss := finalLossOf(t, e, linearProgram)
+	if loss > 0.05 {
+		t.Fatalf("loss %v", loss)
+	}
+}
+
+// impReason exposes the first imperative-only reason for test diagnostics.
+func (e *Engine) impReason() string {
+	for _, fs := range e.funcs {
+		if fs.imperativeOnly {
+			return fs.impReason
+		}
+	}
+	return ""
+}

@@ -1,0 +1,235 @@
+// Package data provides deterministic synthetic datasets standing in for the
+// paper's evaluation corpora (MNIST, ImageNet, PTB, 1B-words, SST, Facades).
+// Each generator produces data with the same *shape structure* as the
+// original — image batches, token sequences, labeled binary trees, paired
+// image translation sets — so every engine exercises identical code paths;
+// see DESIGN.md §2 for the substitution rationale.
+package data
+
+import (
+	"math"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// Images is a synthetic classification dataset of C-channel HxW images whose
+// class signal is a per-class frequency pattern plus noise (learnable by
+// small CNNs in a few epochs).
+type Images struct {
+	X       []*tensor.Tensor // each [C,H,W]
+	Y       []int
+	Classes int
+}
+
+// SynthImages generates n labeled images.
+func SynthImages(rng *tensor.RNG, n, channels, h, w, classes int) *Images {
+	d := &Images{Classes: classes}
+	for i := 0; i < n; i++ {
+		label := rng.Intn(classes)
+		img := tensor.Zeros(channels, h, w)
+		freq := float64(label+1) * math.Pi / float64(classes)
+		for c := 0; c < channels; c++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					v := math.Sin(freq*float64(y)) * math.Cos(freq*float64(x))
+					img.Set(v+0.3*rng.Norm(), c, y, x)
+				}
+			}
+		}
+		d.X = append(d.X, img)
+		d.Y = append(d.Y, label)
+	}
+	return d
+}
+
+// Batch assembles mini-batch i (of size bs) as an NCHW tensor and a one-hot
+// label tensor, wrapping around the dataset.
+func (d *Images) Batch(i, bs int) (*tensor.Tensor, *tensor.Tensor) {
+	xs := make([]*tensor.Tensor, bs)
+	ys := make([]int, bs)
+	for j := 0; j < bs; j++ {
+		k := (i*bs + j) % len(d.X)
+		xs[j] = d.X[k]
+		ys[j] = d.Y[k]
+	}
+	return tensor.Stack(xs...), tensor.OneHot(ys, d.Classes)
+}
+
+// Sequences is a synthetic language-modeling corpus: token streams generated
+// by a small order-1 Markov chain over the vocabulary, giving next-token
+// structure a model can learn.
+type Sequences struct {
+	Tokens [][]int
+	Vocab  int
+}
+
+// SynthSequences generates n sequences of the given length.
+func SynthSequences(rng *tensor.RNG, n, length, vocab int) *Sequences {
+	// Fixed random transition preference per token.
+	next := make([]int, vocab)
+	for i := range next {
+		next[i] = rng.Intn(vocab)
+	}
+	s := &Sequences{Vocab: vocab}
+	for i := 0; i < n; i++ {
+		seq := make([]int, length)
+		cur := rng.Intn(vocab)
+		for t := 0; t < length; t++ {
+			seq[t] = cur
+			if rng.Float64() < 0.8 {
+				cur = next[cur]
+			} else {
+				cur = rng.Intn(vocab)
+			}
+		}
+		s.Tokens = append(s.Tokens, seq)
+	}
+	return s
+}
+
+// Tree is a labeled binary sentiment-style tree (the SST structure): leaves
+// carry word ids, every node carries a binary label.
+type Tree struct {
+	Leaf        bool
+	Word        int
+	Label       int
+	Left, Right *Tree
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	if t.Leaf {
+		return 1
+	}
+	return 1 + t.Left.Size() + t.Right.Size()
+}
+
+// Depth returns the tree height.
+func (t *Tree) Depth() int {
+	if t == nil || t.Leaf {
+		return 1
+	}
+	l, r := t.Left.Depth(), t.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// SynthTrees generates n random binary trees with the given leaf-count range.
+// The label of a subtree is the majority "sentiment" of its leaf words
+// (word id >= vocab/2 counts as positive) — a composable signal TreeNNs can
+// learn.
+func SynthTrees(rng *tensor.RNG, n, minLeaves, maxLeaves, vocab int) []*Tree {
+	var build func(leaves int) *Tree
+	build = func(leaves int) *Tree {
+		if leaves == 1 {
+			w := rng.Intn(vocab)
+			label := 0
+			if w >= vocab/2 {
+				label = 1
+			}
+			return &Tree{Leaf: true, Word: w, Label: label}
+		}
+		l := 1 + rng.Intn(leaves-1)
+		left := build(l)
+		right := build(leaves - l)
+		label := 0
+		if positives(left)+positives(right) >= (left.leaves()+right.leaves()+1)/2 {
+			label = 1
+		}
+		return &Tree{Left: left, Right: right, Label: label}
+	}
+	out := make([]*Tree, n)
+	for i := range out {
+		leaves := minLeaves
+		if maxLeaves > minLeaves {
+			leaves += rng.Intn(maxLeaves - minLeaves + 1)
+		}
+		out[i] = build(leaves)
+	}
+	return out
+}
+
+func (t *Tree) leaves() int {
+	if t.Leaf {
+		return 1
+	}
+	return t.Left.leaves() + t.Right.leaves()
+}
+
+func positives(t *Tree) int {
+	if t.Leaf {
+		return t.Label
+	}
+	return positives(t.Left) + positives(t.Right)
+}
+
+// ToMinipy converts a tree into a minipy object graph (class `Node` with
+// leaf/word/label/left/right attributes) so the imperative programs traverse
+// it exactly like the paper's Python objects.
+func (t *Tree) ToMinipy(cls *minipy.ClassVal) *minipy.ObjectVal {
+	obj := &minipy.ObjectVal{Class: cls, Attrs: map[string]minipy.Value{
+		"leaf":  minipy.BoolVal(t.Leaf),
+		"word":  minipy.IntVal(t.Word),
+		"label": minipy.IntVal(t.Label),
+		"left":  minipy.None,
+		"right": minipy.None,
+	}}
+	if !t.Leaf {
+		obj.Attrs["left"] = t.Left.ToMinipy(cls)
+		obj.Attrs["right"] = t.Right.ToMinipy(cls)
+	}
+	return obj
+}
+
+// Paired is an image-translation dataset (the Facades structure): inputs and
+// targets are deterministic transforms of each other.
+type Paired struct {
+	A, B []*tensor.Tensor
+}
+
+// SynthPaired generates n pairs where B is a blurred+inverted A.
+func SynthPaired(rng *tensor.RNG, n, channels, h, w int) *Paired {
+	p := &Paired{}
+	for i := 0; i < n; i++ {
+		a := rng.Uniform(0, 1, channels, h, w)
+		b := tensor.Zeros(channels, h, w)
+		for c := 0; c < channels; c++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					s, cnt := 0.0, 0
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							yy, xx := y+dy, x+dx
+							if yy >= 0 && yy < h && xx >= 0 && xx < w {
+								s += a.At(c, yy, xx)
+								cnt++
+							}
+						}
+					}
+					b.Set(1-s/float64(cnt), c, y, x)
+				}
+			}
+		}
+		p.A = append(p.A, a)
+		p.B = append(p.B, b)
+	}
+	return p
+}
+
+// Batch returns paired batch i of size bs as NCHW tensors.
+func (p *Paired) Batch(i, bs int) (*tensor.Tensor, *tensor.Tensor) {
+	as := make([]*tensor.Tensor, bs)
+	bs2 := make([]*tensor.Tensor, bs)
+	for j := 0; j < bs; j++ {
+		k := (i*bs + j) % len(p.A)
+		as[j] = p.A[k]
+		bs2[j] = p.B[k]
+	}
+	return tensor.Stack(as...), tensor.Stack(bs2...)
+}

@@ -1,0 +1,200 @@
+// Package env implements the reinforcement-learning environments used by the
+// DRL workloads (A3C on CartPole, PPO on Pong). The paper treats environment
+// simulation as an external library (its footnote 7); these are full physics
+// simulators, not stubs: CartPole integrates the standard cart-pole dynamics
+// and PongLite simulates a ball/paddle rally.
+package env
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Env is a discrete-action episodic environment.
+type Env interface {
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float64
+	// Step applies an action, returning observation, reward and done.
+	Step(action int) (obs []float64, reward float64, done bool)
+	// ObsDim is the observation vector length.
+	ObsDim() int
+	// NumActions is the discrete action count.
+	NumActions() int
+}
+
+// CartPole is the classic inverted-pendulum control problem with the
+// standard dynamics constants (as in OpenAI Gym's CartPole-v1).
+type CartPole struct {
+	rng                      *tensor.RNG
+	x, xDot, theta, thetaDot float64
+	steps                    int
+	// MaxSteps caps episode length (500 in Gym's v1).
+	MaxSteps int
+}
+
+// NewCartPole builds a seeded CartPole instance.
+func NewCartPole(seed uint64) *CartPole {
+	return &CartPole{rng: tensor.NewRNG(seed), MaxSteps: 200}
+}
+
+// ObsDim implements Env.
+func (c *CartPole) ObsDim() int { return 4 }
+
+// NumActions implements Env.
+func (c *CartPole) NumActions() int { return 2 }
+
+// Reset implements Env.
+func (c *CartPole) Reset() []float64 {
+	c.x = c.rng.Uniform(-0.05, 0.05, 1).Item()
+	c.xDot = c.rng.Uniform(-0.05, 0.05, 1).Item()
+	c.theta = c.rng.Uniform(-0.05, 0.05, 1).Item()
+	c.thetaDot = c.rng.Uniform(-0.05, 0.05, 1).Item()
+	c.steps = 0
+	return c.obs()
+}
+
+func (c *CartPole) obs() []float64 {
+	return []float64{c.x, c.xDot, c.theta, c.thetaDot}
+}
+
+// Step implements Env using the standard Euler-integrated dynamics.
+func (c *CartPole) Step(action int) ([]float64, float64, bool) {
+	const (
+		gravity   = 9.8
+		massCart  = 1.0
+		massPole  = 0.1
+		totalMass = massCart + massPole
+		length    = 0.5 // half pole length
+		poleMass  = massPole * length
+		forceMag  = 10.0
+		tau       = 0.02
+	)
+	force := forceMag
+	if action == 0 {
+		force = -forceMag
+	}
+	cosT := math.Cos(c.theta)
+	sinT := math.Sin(c.theta)
+	temp := (force + poleMass*c.thetaDot*c.thetaDot*sinT) / totalMass
+	thetaAcc := (gravity*sinT - cosT*temp) / (length * (4.0/3.0 - massPole*cosT*cosT/totalMass))
+	xAcc := temp - poleMass*thetaAcc*cosT/totalMass
+
+	c.x += tau * c.xDot
+	c.xDot += tau * xAcc
+	c.theta += tau * c.thetaDot
+	c.thetaDot += tau * thetaAcc
+	c.steps++
+
+	done := c.x < -2.4 || c.x > 2.4 ||
+		c.theta < -12*math.Pi/180 || c.theta > 12*math.Pi/180 ||
+		c.steps >= c.MaxSteps
+	return c.obs(), 1.0, done
+}
+
+// PongLite is a one-player rally game: a ball bounces in a box and the agent
+// moves a paddle on the right wall. Returning the ball scores +1, missing it
+// scores -1 and ends the rally. It preserves the observation/reward shape of
+// Atari Pong without the emulator.
+type PongLite struct {
+	rng                 *tensor.RNG
+	bx, by, vx, vy      float64
+	paddle              float64
+	rallies, maxRallies int
+}
+
+// NewPongLite builds a seeded instance; an episode lasts maxRallies returns
+// or one miss.
+func NewPongLite(seed uint64, maxRallies int) *PongLite {
+	if maxRallies <= 0 {
+		maxRallies = 20
+	}
+	return &PongLite{rng: tensor.NewRNG(seed), maxRallies: maxRallies}
+}
+
+// ObsDim implements Env.
+func (p *PongLite) ObsDim() int { return 5 }
+
+// NumActions implements Env: up, stay, down.
+func (p *PongLite) NumActions() int { return 3 }
+
+// Reset implements Env.
+func (p *PongLite) Reset() []float64 {
+	p.bx, p.by = 0.5, p.rng.Float64()
+	p.vx = 0.03
+	p.vy = p.rng.Uniform(-0.02, 0.02, 1).Item()
+	p.paddle = 0.5
+	p.rallies = 0
+	return p.obs()
+}
+
+func (p *PongLite) obs() []float64 {
+	return []float64{p.bx, p.by, p.vx * 10, p.vy * 10, p.paddle}
+}
+
+// Step implements Env.
+func (p *PongLite) Step(action int) ([]float64, float64, bool) {
+	switch action {
+	case 0:
+		p.paddle -= 0.04
+	case 2:
+		p.paddle += 0.04
+	}
+	p.paddle = math.Max(0.1, math.Min(0.9, p.paddle))
+	p.bx += p.vx
+	p.by += p.vy
+	if p.by < 0 {
+		p.by = -p.by
+		p.vy = -p.vy
+	}
+	if p.by > 1 {
+		p.by = 2 - p.by
+		p.vy = -p.vy
+	}
+	if p.bx < 0 {
+		p.bx = -p.bx
+		p.vx = -p.vx
+	}
+	if p.bx >= 1 {
+		// Ball reaches the paddle wall.
+		if math.Abs(p.by-p.paddle) < 0.12 {
+			p.bx = 2 - p.bx
+			p.vx = -p.vx
+			p.vy += (p.by - p.paddle) * 0.05
+			p.rallies++
+			done := p.rallies >= p.maxRallies
+			return p.obs(), 1, done
+		}
+		return p.obs(), -1, true
+	}
+	return p.obs(), 0, false
+}
+
+// RunEpisode rolls out a full episode using a policy function from
+// observation to action, returning observations, actions, and rewards.
+func RunEpisode(e Env, policy func(obs []float64) int, maxSteps int) (obs [][]float64, acts []int, rewards []float64) {
+	o := e.Reset()
+	for i := 0; i < maxSteps; i++ {
+		a := policy(o)
+		obs = append(obs, o)
+		acts = append(acts, a)
+		next, r, done := e.Step(a)
+		rewards = append(rewards, r)
+		o = next
+		if done {
+			break
+		}
+	}
+	return obs, acts, rewards
+}
+
+// Discount computes discounted returns-to-go.
+func Discount(rewards []float64, gamma float64) []float64 {
+	out := make([]float64, len(rewards))
+	acc := 0.0
+	for i := len(rewards) - 1; i >= 0; i-- {
+		acc = rewards[i] + gamma*acc
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCartPoleEpisodeTerminates(t *testing.T) {
+	c := NewCartPole(1)
+	obs := c.Reset()
+	if len(obs) != c.ObsDim() {
+		t.Fatalf("obs dim %d", len(obs))
+	}
+	steps := 0
+	done := false
+	for !done && steps < 1000 {
+		_, r, d := c.Step(steps % 2)
+		if r != 1 {
+			t.Fatalf("reward %v", r)
+		}
+		done = d
+		steps++
+	}
+	if !done {
+		t.Fatal("episode never terminated")
+	}
+}
+
+func TestCartPoleFallsWithConstantAction(t *testing.T) {
+	// Pushing one way forever must destabilize quickly.
+	c := NewCartPole(2)
+	c.Reset()
+	steps := 0
+	for {
+		_, _, done := c.Step(1)
+		steps++
+		if done {
+			break
+		}
+		if steps > 500 {
+			t.Fatal("constant push never failed")
+		}
+	}
+	if steps > 200 {
+		t.Fatalf("constant action survived %d steps", steps)
+	}
+}
+
+func TestCartPoleDeterministicWithSeed(t *testing.T) {
+	a := NewCartPole(7)
+	b := NewCartPole(7)
+	oa := a.Reset()
+	ob := b.Reset()
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatal("seeded reset differs")
+		}
+	}
+}
+
+func TestPongLiteRallyAndMiss(t *testing.T) {
+	p := NewPongLite(3, 5)
+	obs := p.Reset()
+	if len(obs) != p.ObsDim() || p.NumActions() != 3 {
+		t.Fatal("metadata wrong")
+	}
+	// Perfect tracking policy returns the ball until maxRallies.
+	track := func(o []float64) int {
+		switch {
+		case o[4] < o[1]-0.02:
+			return 2
+		case o[4] > o[1]+0.02:
+			return 0
+		}
+		return 1
+	}
+	_, _, rewards := RunEpisode(p, track, 5000)
+	total := 0.0
+	for _, r := range rewards {
+		total += r
+	}
+	if total < 4 {
+		t.Fatalf("tracking policy scored %v", total)
+	}
+	// A frozen paddle eventually misses (negative terminal reward).
+	p2 := NewPongLite(4, 50)
+	_, _, rw := RunEpisode(p2, func([]float64) int { return 1 }, 10000)
+	if rw[len(rw)-1] != -1 {
+		t.Fatalf("frozen paddle terminal reward %v", rw[len(rw)-1])
+	}
+}
+
+func TestDiscount(t *testing.T) {
+	got := Discount([]float64{1, 1, 1}, 0.5)
+	want := []float64{1.75, 1.5, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}

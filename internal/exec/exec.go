@@ -1,0 +1,496 @@
+// Package exec implements the speculative graph executor of the paper's
+// Figure 2: a dataflow scheduler that fires operations as their dependencies
+// resolve, with
+//
+//   - a configurable worker pool (+PARL in Figure 7; 1 worker = serial),
+//   - Switch/Merge conditional primitives via dead-token propagation (the
+//     classic dataflow-architecture treatment the paper cites),
+//   - structured While and Invoke operations whose bodies are subgraphs
+//     (Invoke follows [20], enabling recursive models like TreeLSTM),
+//   - AssertOp, which validates a speculative assumption at run time and
+//     aborts the execution with a structured error on mismatch (§3.2),
+//   - PyGetAttr/PySetAttr/PyGetSubscr/PySetSubscr heap operations with a
+//     local-copy overlay and deferred write-back, giving the all-or-nothing
+//     state-update semantics of §4.2.3,
+//   - an optional trace tape: when a graph contains dynamic control flow,
+//     tensor edges carry autodiff nodes and gradients are computed from the
+//     executed trace (DESIGN.md §5).
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+	"repro/internal/vars"
+)
+
+// Heap abstracts the host-language heap (minipy objects) so the executor can
+// read and write attributes without depending on the interpreter package.
+type Heap interface {
+	GetAttr(obj any, name string) (any, error)
+	SetAttr(obj any, name string, v any) error
+	GetSubscr(obj, key any) (any, error)
+	SetSubscr(obj, key, v any) error
+}
+
+// AssertError reports a failed runtime assumption check. The runtime uses
+// NodeID/Desc to decide which assumption to relax before regenerating.
+type AssertError struct {
+	NodeID int
+	Kind   string
+	Desc   string
+	Actual any
+}
+
+func (e *AssertError) Error() string {
+	return fmt.Sprintf("exec: assumption failed at node %d (%s): %s (actual %v)", e.NodeID, e.Kind, e.Desc, e.Actual)
+}
+
+// Options configures one execution.
+type Options struct {
+	// Workers is the scheduler's parallelism; values < 1 mean 1.
+	Workers int
+	// Store resolves Variable and AssignSub nodes.
+	Store *vars.Store
+	// Heap resolves Py*Attr/Py*Subscr nodes; may be nil when the graph has
+	// no heap ops.
+	Heap Heap
+	// Tape, when non-nil, makes tensor edges carry autodiff nodes so the
+	// executed trace can be differentiated (dynamic-control-flow graphs).
+	Tape *autodiff.Tape
+	// DisableAsserts skips assumption validation (used by the assertion-cost
+	// experiment; never by the real runtime).
+	DisableAsserts bool
+	// Stats, when non-nil, accumulates executed-op counts.
+	Stats *Stats
+}
+
+// Stats counts scheduler activity for tests and the evaluation harness.
+type Stats struct {
+	OpsExecuted atomic.Int64
+	OpsSkipped  atomic.Int64 // dead-token skips
+	AssertsRun  atomic.Int64
+	MaxParallel atomic.Int64
+	curParallel atomic.Int64
+}
+
+// Result is the outcome of a successful execution.
+type Result struct {
+	Outputs []graph.Val
+	// Printed collects Print op output in node-ID order.
+	Printed []string
+}
+
+// dead is the poison token produced by the untaken side of a Switch.
+type deadToken struct{}
+
+var dead = deadToken{}
+
+// IsDead reports whether v is the dead token.
+func IsDead(v graph.Val) bool { _, ok := v.(deadToken); return ok }
+
+// overlay holds local copies of heap state (paper §4.2.3). Reads hit the
+// overlay first; writes never touch the heap until Commit.
+type overlay struct {
+	mu    sync.Mutex
+	attrs map[attrKey]any
+	subs  map[subKey]any
+	// order preserves write sequence for deterministic commit.
+	order []func(h Heap) error
+}
+
+type attrKey struct {
+	obj  any
+	name string
+}
+
+type subKey struct {
+	obj any
+	key string
+}
+
+func newOverlay() *overlay {
+	return &overlay{attrs: make(map[attrKey]any), subs: make(map[subKey]any)}
+}
+
+func subKeyOf(obj, key any) subKey { return subKey{obj: obj, key: fmt.Sprintf("%T:%v", key, key)} }
+
+func (o *overlay) getAttr(h Heap, obj any, name string) (any, error) {
+	o.mu.Lock()
+	v, ok := o.attrs[attrKey{obj, name}]
+	o.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	return h.GetAttr(obj, name)
+}
+
+func (o *overlay) setAttr(obj any, name string, v any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.attrs[attrKey{obj, name}] = v
+	o.order = append(o.order, func(h Heap) error { return h.SetAttr(obj, name, v) })
+}
+
+func (o *overlay) getSubscr(h Heap, obj, key any) (any, error) {
+	o.mu.Lock()
+	v, ok := o.subs[subKeyOf(obj, key)]
+	o.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	return h.GetSubscr(obj, key)
+}
+
+func (o *overlay) setSubscr(obj, key any, v any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.subs[subKeyOf(obj, key)] = v
+	o.order = append(o.order, func(h Heap) error { return h.SetSubscr(obj, key, v) })
+}
+
+// commit writes all deferred updates back to the heap, in program order.
+func (o *overlay) commit(h Heap) error {
+	for _, f := range o.order {
+		if err := f(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctx is the shared execution context threaded through subgraph invocations
+// (Invoke/While recurse with the same ctx so the overlay and tape span the
+// whole run).
+type ctx struct {
+	opts    Options
+	overlay *overlay
+	printMu sync.Mutex
+	printed []string
+	// pendingUpdates collects deferred variable updates (AssignSub); they are
+	// applied only after every assertion in the whole run has passed.
+	updMu   sync.Mutex
+	updates []func()
+}
+
+// Run executes g with the given placeholder feeds. On success all deferred
+// state updates (heap overlay and variable updates) are committed; on any
+// error — including assumption failures — no global state has been mutated.
+func Run(g *graph.Graph, feeds map[string]graph.Val, opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	c := &ctx{opts: opts, overlay: newOverlay()}
+	outs, err := runGraph(g, feeds, c)
+	if err != nil {
+		return nil, err
+	}
+	// All assertions passed: commit deferred state, in order.
+	if opts.Heap != nil {
+		if err := c.overlay.commit(opts.Heap); err != nil {
+			return nil, err
+		}
+	}
+	c.updMu.Lock()
+	for _, f := range c.updates {
+		f()
+	}
+	c.updMu.Unlock()
+	return &Result{Outputs: outs, Printed: c.printed}, nil
+}
+
+// plan is the cached per-graph schedule: per-node consumer lists, the
+// indegree template, resolved input (producer, port) indices, a node index
+// map and a topological order for the serial fast path. Building it once per
+// graph removes per-execution analysis cost — the scheduling advantage
+// symbolic execution has over the per-statement interpreter.
+type plan struct {
+	consumers [][]int32
+	indeg     []int32
+	prods     [][]int32 // input producer node index, per node
+	ports     [][]int32 // input producer output port, per node
+	topo      []int32
+	outIdx    []int32 // node index per graph output
+	index     map[*graph.Node]int32
+}
+
+// buildPlan analyzes a graph once; subsequent executions reuse the result.
+func buildPlan(g *graph.Graph) (*plan, error) {
+	n := len(g.Nodes)
+	index := make(map[*graph.Node]int32, n)
+	for i, nd := range g.Nodes {
+		index[nd] = int32(i)
+	}
+	p := &plan{
+		consumers: make([][]int32, n),
+		indeg:     make([]int32, n),
+		prods:     make([][]int32, n),
+		ports:     make([][]int32, n),
+		index:     index,
+	}
+	for i, nd := range g.Nodes {
+		prods := make([]int32, len(nd.Inputs))
+		ports := make([]int32, len(nd.Inputs))
+		for k, in := range nd.Inputs {
+			j, ok := index[in.Node]
+			if !ok {
+				return nil, fmt.Errorf("exec: node %d input refers outside graph (op %s)", nd.ID, nd.Op)
+			}
+			prods[k], ports[k] = j, int32(in.Out)
+			p.consumers[j] = append(p.consumers[j], int32(i))
+			p.indeg[i]++
+		}
+		p.prods[i], p.ports[i] = prods, ports
+		for _, d := range nd.ControlDeps {
+			j, ok := index[d]
+			if !ok {
+				return nil, fmt.Errorf("exec: node %d control dep outside graph", nd.ID)
+			}
+			p.consumers[j] = append(p.consumers[j], int32(i))
+			p.indeg[i]++
+		}
+	}
+	// Kahn's algorithm: the topological order doubles as the cycle check and
+	// the serial execution order.
+	deg := make([]int32, n)
+	copy(deg, p.indeg)
+	queue := make([]int32, 0, n)
+	for i := range deg {
+		if deg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	topo := make([]int32, 0, n)
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		topo = append(topo, i)
+		for _, ci := range p.consumers[i] {
+			if deg[ci]--; deg[ci] == 0 {
+				queue = append(queue, ci)
+			}
+		}
+	}
+	if len(topo) != n {
+		return nil, fmt.Errorf("exec: graph is not schedulable — %d of %d nodes are on a cycle", n-len(topo), n)
+	}
+	p.topo = topo
+	p.outIdx = make([]int32, len(g.Outputs))
+	for i, o := range g.Outputs {
+		j, ok := index[o.Node]
+		if !ok {
+			return nil, fmt.Errorf("exec: output %d refers outside graph", i)
+		}
+		p.outIdx[i] = j
+	}
+	return p, nil
+}
+
+var planMu sync.Mutex
+
+func planFor(g *graph.Graph) (*plan, error) {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := g.Plan.(*plan); ok {
+		return p, nil
+	}
+	p, err := buildPlan(g)
+	if err != nil {
+		return nil, err
+	}
+	g.Plan = p
+	return p, nil
+}
+
+// runGraph schedules one (sub)graph to completion and returns its outputs.
+func runGraph(g *graph.Graph, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+	if len(g.Nodes) == 0 {
+		return nil, nil
+	}
+	p, err := planFor(g)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Workers <= 1 {
+		return runSerial(g, p, feeds, c)
+	}
+	return runParallel(g, p, feeds, c)
+}
+
+// runSerial executes nodes in topological order on the calling goroutine —
+// the 1-worker ablation mode without scheduling machinery.
+func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+	n := len(g.Nodes)
+	vals := make([][]graph.Val, n)
+	for _, i := range p.topo {
+		nd := g.Nodes[i]
+		prods, ports := p.prods[i], p.ports[i]
+		in := make([]graph.Val, len(prods))
+		anyDead := false
+		for k := range prods {
+			v := vals[prods[k]][ports[k]]
+			in[k] = v
+			if IsDead(v) {
+				anyDead = true
+			}
+		}
+		var out []graph.Val
+		var err error
+		if anyDead && nd.Op != "Merge" {
+			out = make([]graph.Val, nd.NumOutputs)
+			for k := range out {
+				out[k] = dead
+			}
+			if c.opts.Stats != nil {
+				c.opts.Stats.OpsSkipped.Add(1)
+			}
+		} else {
+			out, err = execNode(g, nd, in, feeds, c)
+			if c.opts.Stats != nil {
+				c.opts.Stats.OpsExecuted.Add(1)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(out) < nd.NumOutputs {
+			padded := make([]graph.Val, nd.NumOutputs)
+			copy(padded, out)
+			out = padded
+		}
+		vals[i] = out
+	}
+	outs := make([]graph.Val, len(g.Outputs))
+	for i, o := range g.Outputs {
+		outs[i] = vals[p.outIdx[i]][o.Out]
+	}
+	return outs, nil
+}
+
+// runParallel runs the worker-pool dataflow scheduler (+PARL).
+func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+	n := len(g.Nodes)
+	consumers := p.consumers
+	indeg := make([]int32, n)
+	copy(indeg, p.indeg)
+
+	vals := make([][]graph.Val, n)
+	var valsMu sync.Mutex
+
+	ready := make(chan int32, n)
+	var remaining atomic.Int32
+	remaining.Store(int32(n))
+	var firstErr atomic.Value
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+
+	for i := range g.Nodes {
+		if indeg[i] == 0 {
+			ready <- int32(i)
+		}
+	}
+
+	workers := c.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case i := <-ready:
+					nd := g.Nodes[i]
+					prods, ports := p.prods[i], p.ports[i]
+					in := make([]graph.Val, len(prods))
+					anyDead := false
+					valsMu.Lock()
+					for k := range prods {
+						v := vals[prods[k]][ports[k]]
+						in[k] = v
+						if IsDead(v) {
+							anyDead = true
+						}
+					}
+					valsMu.Unlock()
+
+					var out []graph.Val
+					var err error
+					if anyDead && nd.Op != "Merge" {
+						// Dead-token propagation: skip execution entirely.
+						out = make([]graph.Val, nd.NumOutputs)
+						for k := range out {
+							out[k] = dead
+						}
+						if c.opts.Stats != nil {
+							c.opts.Stats.OpsSkipped.Add(1)
+						}
+					} else {
+						if c.opts.Stats != nil {
+							cur := c.opts.Stats.curParallel.Add(1)
+							for {
+								max := c.opts.Stats.MaxParallel.Load()
+								if cur <= max || c.opts.Stats.MaxParallel.CompareAndSwap(max, cur) {
+									break
+								}
+							}
+						}
+						out, err = execNode(g, nd, in, feeds, c)
+						if c.opts.Stats != nil {
+							c.opts.Stats.curParallel.Add(-1)
+							c.opts.Stats.OpsExecuted.Add(1)
+						}
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						finish()
+						return
+					}
+					if len(out) < nd.NumOutputs {
+						padded := make([]graph.Val, nd.NumOutputs)
+						copy(padded, out)
+						out = padded
+					}
+					valsMu.Lock()
+					vals[i] = out
+					valsMu.Unlock()
+					for _, ci := range consumers[i] {
+						if atomic.AddInt32(&indeg[ci], -1) == 0 {
+							select {
+							case ready <- ci:
+							case <-done:
+								return
+							}
+						}
+					}
+					if remaining.Add(-1) == 0 {
+						finish()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+	if remaining.Load() != 0 {
+		return nil, fmt.Errorf("exec: deadlock — %d nodes never became ready (cycle or missing input)", remaining.Load())
+	}
+	outs := make([]graph.Val, len(g.Outputs))
+	valsMu.Lock()
+	for i, o := range g.Outputs {
+		outs[i] = vals[p.outIdx[i]][o.Out]
+	}
+	valsMu.Unlock()
+	return outs, nil
+}

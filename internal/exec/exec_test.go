@@ -1,0 +1,460 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+func scalarOut(t *testing.T, res *Result, i int) float64 {
+	t.Helper()
+	tt, err := graph.AsTensor(unwrap(res.Outputs[i]))
+	if err != nil {
+		t.Fatalf("output %d: %v", i, err)
+	}
+	return tt.Item()
+}
+
+func TestRunLinearGraph(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	c := g.Const(tensor.Scalar(3))
+	out := g.Add("Mul", nil, x.P(), c.P())
+	g.Outputs = []graph.Port{out.P()}
+	for _, workers := range []int{1, 4} {
+		res, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(7)}, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scalarOut(t, res, 0); got != 21 {
+			t.Fatalf("workers=%d got %v", workers, got)
+		}
+	}
+}
+
+func TestParallelExecutionOfIndependentOps(t *testing.T) {
+	// A wide graph of independent ops must show parallelism > 1 with 4 workers.
+	g := graph.New()
+	x := g.Placeholder("x")
+	var ports []graph.Port
+	for i := 0; i < 64; i++ {
+		n := g.Add("Tanh", nil, x.P())
+		m := g.Add("MatMul", nil, n.P(), n.P())
+		ports = append(ports, m.P())
+	}
+	sum := g.Add("Add", nil, ports[0], ports[1])
+	for _, p := range ports[2:] {
+		sum = g.Add("Add", nil, sum.P(), p)
+	}
+	g.Outputs = []graph.Port{sum.P()}
+	stats := &Stats{}
+	rng := tensor.NewRNG(1)
+	_, err := Run(g, map[string]graph.Val{"x": rng.Randn(150, 150)}, Options{Workers: 8, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MaxParallel.Load() < 2 {
+		t.Fatalf("no parallelism observed: max %d", stats.MaxParallel.Load())
+	}
+}
+
+func TestVariableAndAssignSubDeferred(t *testing.T) {
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{10}))
+	g := graph.New()
+	w := g.Variable("w")
+	gradc := g.Const(tensor.FromSlice([]float64{2}))
+	upd := g.Add("AssignSub", map[string]graph.Val{"name": "w", "lr": 0.5}, gradc.P())
+	g.Updates = []*graph.Node{upd}
+	g.Outputs = []graph.Port{w.P()}
+	res, err := Run(g, nil, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output read the pre-update value; store now holds 10 - 0.5*2 = 9.
+	outT, _ := graph.AsTensor(res.Outputs[0])
+	if outT.At(0) != 10 {
+		t.Fatalf("read-after-write hazard: output %v", outT)
+	}
+	if store.MustGet("w").At(0) != 9 {
+		t.Fatalf("update not applied: %v", store.MustGet("w"))
+	}
+}
+
+func TestAssertPassAndFail(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	a := g.Add("Assert", map[string]graph.Val{"kind": "eq-int", "expected": 5, "desc": "loop trips"}, x.P())
+	g.Outputs = []graph.Port{a.P()}
+	if _, err := Run(g, map[string]graph.Val{"x": 5}, Options{}); err != nil {
+		t.Fatalf("assert should pass: %v", err)
+	}
+	_, err := Run(g, map[string]graph.Val{"x": 6}, Options{})
+	var ae *AssertError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want AssertError, got %v", err)
+	}
+	if ae.Kind != "eq-int" {
+		t.Fatalf("kind %q", ae.Kind)
+	}
+	// DisableAsserts skips the check.
+	if _, err := Run(g, map[string]graph.Val{"x": 6}, Options{DisableAsserts: true}); err != nil {
+		t.Fatalf("disabled assert still failed: %v", err)
+	}
+}
+
+func TestAssertShapeWildcards(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	a := g.Add("Assert", map[string]graph.Val{"kind": "shape", "shape": []int{-1, 8}, "desc": "batch"}, x.P())
+	g.Outputs = []graph.Port{a.P()}
+	if _, err := Run(g, map[string]graph.Val{"x": tensor.Zeros(4, 8)}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, map[string]graph.Val{"x": tensor.Zeros(3, 8)}, Options{}); err != nil {
+		t.Fatal("wildcard dim rejected different batch")
+	}
+	if _, err := Run(g, map[string]graph.Val{"x": tensor.Zeros(3, 9)}, Options{}); err == nil {
+		t.Fatal("fixed dim mismatch not caught")
+	}
+}
+
+func TestFailedAssertBlocksStateUpdates(t *testing.T) {
+	// This is the all-or-nothing guarantee of §3.2: an AssignSub control-
+	// dependent on a failing assert must not fire.
+	store := vars.NewStore()
+	store.Set("w", tensor.FromSlice([]float64{1}))
+	g := graph.New()
+	x := g.Placeholder("x")
+	a := g.Add("Assert", map[string]graph.Val{"kind": "true", "desc": "branch"}, x.P())
+	gradc := g.Const(tensor.FromSlice([]float64{1}))
+	upd := g.Add("AssignSub", map[string]graph.Val{"name": "w", "lr": 1.0}, gradc.P())
+	upd.ControlDeps = append(upd.ControlDeps, a)
+	g.Updates = []*graph.Node{upd}
+	g.Outputs = []graph.Port{a.P()}
+	_, err := Run(g, map[string]graph.Val{"x": false}, Options{Store: store})
+	if err == nil {
+		t.Fatal("assert should fail")
+	}
+	if store.MustGet("w").At(0) != 1 {
+		t.Fatalf("state mutated despite failed assertion: %v", store.MustGet("w"))
+	}
+}
+
+func TestSwitchMergeDeadTokens(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New()
+		x := g.Placeholder("x")
+		pred := g.Placeholder("p")
+		sw := g.Add("Switch", nil, x.P(), pred.P())
+		// true side: x*2 ; false side: x+100
+		two := g.Const(tensor.Scalar(2))
+		hundred := g.Const(tensor.Scalar(100))
+		tside := g.Add("Mul", nil, sw.Out(0), two.P())
+		fside := g.Add("Add", nil, sw.Out(1), hundred.P())
+		m := g.Add("Merge", nil, tside.P(), fside.P())
+		g.Outputs = []graph.Port{m.P()}
+		return g
+	}
+	g := build()
+	res, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(5), "p": true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarOut(t, res, 0); got != 10 {
+		t.Fatalf("true branch got %v", got)
+	}
+	res, err = Run(g, map[string]graph.Val{"x": tensor.Scalar(5), "p": false}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarOut(t, res, 0); got != 105 {
+		t.Fatalf("false branch got %v", got)
+	}
+}
+
+func TestDeadBranchSideEffectsSkipped(t *testing.T) {
+	// A Print op on the untaken branch must not execute.
+	g := graph.New()
+	x := g.Placeholder("x")
+	pred := g.Placeholder("p")
+	sw := g.Add("Switch", nil, x.P(), pred.P())
+	g.Add("Print", nil, sw.Out(1)) // only on false side
+	m := g.Add("Merge", nil, sw.Out(0), sw.Out(1))
+	g.Outputs = []graph.Port{m.P()}
+	res, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(1), "p": true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Printed) != 0 {
+		t.Fatalf("dead Print executed: %v", res.Printed)
+	}
+	res, err = Run(g, map[string]graph.Val{"x": tensor.Scalar(1), "p": false}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Printed) != 1 {
+		t.Fatalf("live Print skipped")
+	}
+}
+
+func TestWhileLoopComputesFactorial(t *testing.T) {
+	// while i <= n: acc *= i; i += 1
+	cond := graph.New()
+	ci := cond.Placeholder("arg0")
+	cn := cond.Placeholder("arg2")
+	le := cond.Add("Cmp", map[string]graph.Val{"op": "<="}, ci.P(), cn.P())
+	cond.Outputs = []graph.Port{le.P()}
+
+	body := graph.New()
+	bi := body.Placeholder("arg0")
+	bacc := body.Placeholder("arg1")
+	bn := body.Placeholder("arg2")
+	newAcc := body.Add("Mul", nil, bacc.P(), bi.P())
+	one := body.Const(tensor.Scalar(1))
+	newI := body.Add("Add", nil, bi.P(), one.P())
+	body.Outputs = []graph.Port{newI.P(), newAcc.P(), bn.P()}
+
+	g := graph.New()
+	i0 := g.Const(tensor.Scalar(1))
+	acc0 := g.Const(tensor.Scalar(1))
+	n0 := g.Placeholder("n")
+	w := g.Add("While", map[string]graph.Val{"cond": cond, "body": body}, i0.P(), acc0.P(), n0.P())
+	w.NumOutputs = 3
+	g.Outputs = []graph.Port{w.Out(1)}
+	res, err := Run(g, map[string]graph.Val{"n": tensor.Scalar(5)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarOut(t, res, 0); got != 120 {
+		t.Fatalf("5! = %v", got)
+	}
+}
+
+func TestInvokeRecursionFibonacci(t *testing.T) {
+	// fib(n) computed with a recursive Invoke + Switch/Merge base case.
+	fg := graph.New()
+	n := fg.Placeholder("arg0")
+	two := fg.Const(tensor.Scalar(2))
+	isBase := fg.Add("Cmp", map[string]graph.Val{"op": "<"}, n.P(), two.P())
+	sw := fg.Add("Switch", nil, n.P(), isBase.P())
+	// base: return n (port 0 = true side)
+	baseVal := fg.Add("Identity", nil, sw.Out(0))
+	// recursive side:
+	onec := fg.Const(tensor.Scalar(1))
+	nm1 := fg.Add("Sub", nil, sw.Out(1), onec.P())
+	nm2 := fg.Add("Sub", nil, nm1.P(), onec.P())
+	call1 := fg.Add("Invoke", map[string]graph.Val{"func": fg}, nm1.P())
+	call2 := fg.Add("Invoke", map[string]graph.Val{"func": fg}, nm2.P())
+	recSum := fg.Add("Add", nil, call1.P(), call2.P())
+	m := fg.Add("Merge", nil, baseVal.P(), recSum.P())
+	fg.Outputs = []graph.Port{m.P()}
+
+	g := graph.New()
+	x := g.Placeholder("x")
+	call := g.Add("Invoke", map[string]graph.Val{"func": fg}, x.P())
+	g.Outputs = []graph.Port{call.P()}
+
+	for _, workers := range []int{1, 4} {
+		res, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(10)}, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := scalarOut(t, res, 0); got != 55 {
+			t.Fatalf("fib(10)=%v", got)
+		}
+	}
+}
+
+// fakeHeap implements Heap over plain maps for tests.
+type fakeHeap struct {
+	attrs map[string]any
+}
+
+func (h *fakeHeap) GetAttr(obj any, name string) (any, error) {
+	v, ok := h.attrs[name]
+	if !ok {
+		return nil, errors.New("no attr " + name)
+	}
+	return v, nil
+}
+func (h *fakeHeap) SetAttr(obj any, name string, v any) error {
+	h.attrs[name] = v
+	return nil
+}
+func (h *fakeHeap) GetSubscr(obj, key any) (any, error) { return h.attrs["sub"], nil }
+func (h *fakeHeap) SetSubscr(obj, key, v any) error     { h.attrs["sub"] = v; return nil }
+
+func TestHeapOverlayDeferredWriteback(t *testing.T) {
+	h := &fakeHeap{attrs: map[string]any{"state": tensor.Scalar(1)}}
+	objRef := struct{}{}
+	g := graph.New()
+	obj := g.ConstVal(objRef)
+	read1 := g.Add("PyGetAttr", map[string]graph.Val{"attr": "state"}, obj.P())
+	two := g.Const(tensor.Scalar(2))
+	newState := g.Add("Mul", nil, read1.P(), two.P())
+	set := g.Add("PySetAttr", map[string]graph.Val{"attr": "state"}, obj.P(), newState.P())
+	// A later read must see the overlay's local copy (step 3 in Figure 5).
+	read2 := g.Add("PyGetAttr", map[string]graph.Val{"attr": "state"}, obj.P())
+	read2.ControlDeps = append(read2.ControlDeps, set)
+	g.Updates = []*graph.Node{set}
+	g.Outputs = []graph.Port{read2.P()}
+
+	res, err := Run(g, nil, Options{Heap: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := graph.AsTensor(res.Outputs[0])
+	if got.Item() != 2 {
+		t.Fatalf("overlay read got %v", got.Item())
+	}
+	// Write-back committed after success.
+	final := h.attrs["state"].(*tensor.Tensor)
+	if final.Item() != 2 {
+		t.Fatalf("writeback missing: %v", final.Item())
+	}
+}
+
+func TestHeapWritebackAbortedOnAssertFailure(t *testing.T) {
+	h := &fakeHeap{attrs: map[string]any{"state": tensor.Scalar(1)}}
+	objRef := struct{}{}
+	g := graph.New()
+	obj := g.ConstVal(objRef)
+	read := g.Add("PyGetAttr", map[string]graph.Val{"attr": "state"}, obj.P())
+	two := g.Const(tensor.Scalar(2))
+	newState := g.Add("Mul", nil, read.P(), two.P())
+	set := g.Add("PySetAttr", map[string]graph.Val{"attr": "state"}, obj.P(), newState.P())
+	pred := g.Placeholder("p")
+	a := g.Add("Assert", map[string]graph.Val{"kind": "true", "desc": "spec"}, pred.P())
+	// The assert runs after the write was overlaid but before commit.
+	_ = a
+	g.Updates = []*graph.Node{set}
+	g.Outputs = []graph.Port{a.P()}
+	_, err := Run(g, map[string]graph.Val{"p": false}, Options{Heap: h})
+	if err == nil {
+		t.Fatal("assert should fail")
+	}
+	if h.attrs["state"].(*tensor.Tensor).Item() != 1 {
+		t.Fatal("heap mutated despite assumption failure")
+	}
+}
+
+func TestTapeModeGradientsThroughDynamicGraph(t *testing.T) {
+	// loss = sum(relu(x @ w)) through a Switch/Merge (always-true branch),
+	// differentiated by the executed-trace tape.
+	store := vars.NewStore()
+	rng := tensor.NewRNG(3)
+	wv := rng.Randn(3, 2)
+	store.Set("w", wv)
+	xv := rng.Randn(2, 3)
+
+	run := func() (map[string]*tensor.Tensor, float64) {
+		g := graph.New()
+		x := g.Placeholder("x")
+		w := g.Variable("w")
+		mm := g.Add("MatMul", nil, x.P(), w.P())
+		pred := g.ConstVal(true)
+		sw := g.Add("Switch", nil, mm.P(), pred.P())
+		act := g.Add("ReLU", nil, sw.Out(0))
+		alt := g.Add("Tanh", nil, sw.Out(1))
+		m := g.Add("Merge", nil, act.P(), alt.P())
+		loss := g.Add("Sum", nil, m.P())
+		g.Outputs = []graph.Port{loss.P()}
+		tape := autodiff.NewTape()
+		res, err := Run(g, map[string]graph.Val{"x": xv}, Options{Store: store, Tape: tape})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossNode := res.Outputs[0].(*autodiff.Node)
+		return tape.Gradient(lossNode), lossNode.Value.Item()
+	}
+	grads, _ := run()
+	g := grads["w"]
+	// numeric check
+	const h = 1e-6
+	for _, i := range []int{0, 3, 5} {
+		orig := wv.Data()[i]
+		wv.Data()[i] = orig + h
+		_, up := run()
+		wv.Data()[i] = orig - h
+		_, dn := run()
+		wv.Data()[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-g.Data()[i]) > 1e-5 {
+			t.Fatalf("grad[%d] numeric %v analytic %v", i, num, g.Data()[i])
+		}
+	}
+}
+
+func TestTapeModeGradientThroughInvokeRecursion(t *testing.T) {
+	// f(x, n) = x * f(x, n-1), f(x, 0) = x  => f(x, 3) = x^4, df/dx = 4x^3.
+	store := vars.NewStore()
+	store.Set("x", tensor.Scalar(1.5))
+
+	fg := graph.New()
+	xa := fg.Placeholder("arg0")
+	na := fg.Placeholder("arg1")
+	zero := fg.Const(tensor.Scalar(0))
+	isBase := fg.Add("Cmp", map[string]graph.Val{"op": "<="}, na.P(), zero.P())
+	swX := fg.Add("Switch", nil, xa.P(), isBase.P())
+	swN := fg.Add("Switch", nil, na.P(), isBase.P())
+	baseOut := fg.Add("Identity", nil, swX.Out(0))
+	onec := fg.Const(tensor.Scalar(1))
+	nm1 := fg.Add("Sub", nil, swN.Out(1), onec.P())
+	rec := fg.Add("Invoke", map[string]graph.Val{"func": fg}, swX.Out(1), nm1.P())
+	prod := fg.Add("Mul", nil, swX.Out(1), rec.P())
+	m := fg.Add("Merge", nil, baseOut.P(), prod.P())
+	fg.Outputs = []graph.Port{m.P()}
+
+	g := graph.New()
+	x := g.Variable("x")
+	n := g.Const(tensor.Scalar(3))
+	call := g.Add("Invoke", map[string]graph.Val{"func": fg}, x.P(), n.P())
+	g.Outputs = []graph.Port{call.P()}
+
+	tape := autodiff.NewTape()
+	res, err := Run(g, nil, Options{Store: store, Tape: tape})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs[0].(*autodiff.Node)
+	want := math.Pow(1.5, 4)
+	if math.Abs(out.Value.Item()-want) > 1e-9 {
+		t.Fatalf("f=%v want %v", out.Value.Item(), want)
+	}
+	grad := tape.Gradient(out)["x"]
+	wantG := 4 * math.Pow(1.5, 3)
+	if math.Abs(grad.Item()-wantG) > 1e-9 {
+		t.Fatalf("df/dx=%v want %v", grad.Item(), wantG)
+	}
+}
+
+func TestRunDetectsCycle(t *testing.T) {
+	g := graph.New()
+	a := g.Add("Identity", nil)
+	b := g.Add("Identity", nil, a.P())
+	a.Inputs = []graph.Port{b.P()} // cycle
+	g.Outputs = []graph.Port{b.P()}
+	if _, err := Run(g, nil, Options{}); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	y := g.Add("Tanh", nil, x.P())
+	g.Outputs = []graph.Port{y.P()}
+	stats := &Stats{}
+	if _, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(1)}, Options{Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.OpsExecuted.Load() != 2 {
+		t.Fatalf("ops=%d", stats.OpsExecuted.Load())
+	}
+}

@@ -1,0 +1,432 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Unwrap converts tape-mode values (autodiff nodes) back to raw values;
+// exported for callers inspecting dynamic-graph outputs.
+func Unwrap(v graph.Val) graph.Val { return unwrap(v) }
+
+// unwrap converts tape-mode values (autodiff nodes) to raw values for
+// non-differentiable kernels.
+func unwrap(v graph.Val) graph.Val {
+	if n, ok := v.(*autodiff.Node); ok {
+		return n.Value
+	}
+	return v
+}
+
+func unwrapAll(in []graph.Val) []graph.Val {
+	out := make([]graph.Val, len(in))
+	for i, v := range in {
+		out[i] = unwrap(v)
+	}
+	return out
+}
+
+// execNode dispatches one node. It handles the impure, control-flow and
+// tape-aware operations directly; pure ops fall through to graph.Kernels.
+func execNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+	switch nd.Op {
+	case "Placeholder":
+		name := nd.StrAttr("name")
+		v, ok := feeds[name]
+		if !ok {
+			return nil, fmt.Errorf("exec: no feed for placeholder %q", name)
+		}
+		if c.opts.Tape != nil {
+			if t, ok := v.(*tensor.Tensor); ok {
+				return []graph.Val{autodiff.Const(t)}, nil
+			}
+		}
+		return []graph.Val{v}, nil
+
+	case "Variable":
+		name := nd.StrAttr("name")
+		if c.opts.Store == nil {
+			return nil, fmt.Errorf("exec: Variable %q with no store", name)
+		}
+		t, ok := c.opts.Store.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown variable %q", name)
+		}
+		if c.opts.Tape != nil {
+			return []graph.Val{c.opts.Tape.Watch(name, t)}, nil
+		}
+		// Snapshot the parameter: deferred AssignSub updates mutate the store
+		// tensor in place at commit time, and outputs must reflect the value
+		// read during execution, not the post-update value.
+		return []graph.Val{t.Clone()}, nil
+
+	case "AssignSub":
+		// Deferred parameter update: var -= lr * input. Queued until every
+		// assertion in the run has passed (all-or-nothing, §3.2).
+		name := nd.StrAttr("name")
+		lr := 1.0
+		if v, ok := nd.Attrs["lr"]; ok {
+			lr = v.(float64)
+		}
+		gvRaw := unwrap(in[0])
+		gt, err := graph.AsTensor(gvRaw)
+		if err != nil {
+			return nil, fmt.Errorf("exec: AssignSub %q: %v", name, err)
+		}
+		store := c.opts.Store
+		delta := tensor.MulScalar(gt, lr)
+		c.updMu.Lock()
+		c.updates = append(c.updates, func() { store.AssignSub(name, delta) })
+		c.updMu.Unlock()
+		return []graph.Val{nil}, nil
+
+	case "Assert":
+		if c.opts.Stats != nil {
+			c.opts.Stats.AssertsRun.Add(1)
+		}
+		if c.opts.DisableAsserts {
+			return []graph.Val{in[0]}, nil
+		}
+		if err := checkAssert(nd, unwrap(in[0])); err != nil {
+			return nil, err
+		}
+		return []graph.Val{in[0]}, nil
+
+	case "Switch":
+		// in[0]=data, in[1]=pred. Out 0 carries data when pred is true,
+		// out 1 when false; the other port gets the dead token.
+		pred, err := graph.AsBool(unwrap(in[1]))
+		if err != nil {
+			return nil, fmt.Errorf("exec: Switch predicate: %v", err)
+		}
+		if pred {
+			return []graph.Val{in[0], dead}, nil
+		}
+		return []graph.Val{dead, in[0]}, nil
+
+	case "Merge":
+		for _, v := range in {
+			if !IsDead(v) {
+				return []graph.Val{v}, nil
+			}
+		}
+		return []graph.Val{dead}, nil
+
+	case "PyGetAttr":
+		obj := unwrap(in[0])
+		name := nd.StrAttr("attr")
+		if c.opts.Heap == nil {
+			return nil, fmt.Errorf("exec: PyGetAttr with no heap")
+		}
+		v, err := c.overlay.getAttr(c.opts.Heap, obj, name)
+		if err != nil {
+			return nil, err
+		}
+		if c.opts.Tape != nil {
+			if t, ok := v.(*tensor.Tensor); ok {
+				return []graph.Val{autodiff.Const(t)}, nil
+			}
+		}
+		return []graph.Val{v}, nil
+
+	case "PySetAttr":
+		obj := unwrap(in[0])
+		name := nd.StrAttr("attr")
+		c.overlay.setAttr(obj, name, unwrap(in[1]))
+		return []graph.Val{nil}, nil
+
+	case "PyGetSubscr":
+		obj := unwrap(in[0])
+		key := unwrap(in[1])
+		if c.opts.Heap == nil {
+			return nil, fmt.Errorf("exec: PyGetSubscr with no heap")
+		}
+		v, err := c.overlay.getSubscr(c.opts.Heap, obj, key)
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{v}, nil
+
+	case "PySetSubscr":
+		c.overlay.setSubscr(unwrap(in[0]), unwrap(in[1]), unwrap(in[2]))
+		return []graph.Val{nil}, nil
+
+	case "Invoke":
+		fg, ok := nd.Attrs["func"].(*graph.Graph)
+		if !ok {
+			return nil, fmt.Errorf("exec: Invoke without func graph")
+		}
+		sub := make(map[string]graph.Val, len(in))
+		for i, v := range in {
+			sub[fmt.Sprintf("arg%d", i)] = v
+		}
+		outs, err := runGraph(fg, sub, c)
+		if err != nil {
+			return nil, err
+		}
+		return outs, nil
+
+	case "While":
+		// Structured loop: attrs cond/body are subgraphs over loop variables
+		// arg0..argN-1; body returns the next iteration's loop variables.
+		condG, _ := nd.Attrs["cond"].(*graph.Graph)
+		bodyG, _ := nd.Attrs["body"].(*graph.Graph)
+		if condG == nil || bodyG == nil {
+			return nil, fmt.Errorf("exec: While without cond/body")
+		}
+		maxIter := nd.IntAttr("maxIter", 1_000_000)
+		state := append([]graph.Val(nil), in...)
+		for iter := 0; ; iter++ {
+			if iter >= maxIter {
+				return nil, fmt.Errorf("exec: While exceeded %d iterations", maxIter)
+			}
+			feedsC := loopFeeds(state)
+			cond, err := runGraph(condG, feedsC, c)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := graph.AsBool(unwrap(cond[0]))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			next, err := runGraph(bodyG, loopFeeds(state), c)
+			if err != nil {
+				return nil, err
+			}
+			if len(next) != len(state) {
+				return nil, fmt.Errorf("exec: While body returned %d values, want %d", len(next), len(state))
+			}
+			state = next
+		}
+		return state, nil
+
+	case "Loop":
+		// Structured counted loop emitted by BASE-mode conversion (paper
+		// §4.2.1 without the +UNRL optimization): the body subgraph runs a
+		// fixed number of trips with loop-carried values, loop-invariant
+		// values, per-iteration sequence elements, and append-accumulators.
+		//
+		// Input layout: carried[0..C) ++ inv[0..I) ++ seq0[0..T) ++ seq1[0..T) ...
+		// Body placeholders: carried%d, inv%d, iter%d, idx.
+		// Body outputs: next carried values (C) then accumulator elements (A).
+		// Loop outputs: final carried values (C) then accumulated []Val lists (A).
+		body, _ := nd.Attrs["body"].(*graph.Graph)
+		if body == nil {
+			return nil, fmt.Errorf("exec: Loop without body")
+		}
+		trips := nd.IntAttr("trips", 0)
+		numC := nd.IntAttr("carried", 0)
+		numI := nd.IntAttr("inv", 0)
+		numS := nd.IntAttr("seqs", 0)
+		numA := nd.IntAttr("accum", 0)
+		if len(in) != numC+numI+numS*trips {
+			return nil, fmt.Errorf("exec: Loop input count %d != %d carried + %d inv + %d seqs * %d trips",
+				len(in), numC, numI, numS, trips)
+		}
+		state := append([]graph.Val(nil), in[:numC]...)
+		accums := make([][]graph.Val, numA)
+		for t := 0; t < trips; t++ {
+			feedsT := make(map[string]graph.Val, numC+numI+numS+1)
+			for i := 0; i < numC; i++ {
+				feedsT[fmt.Sprintf("carried%d", i)] = state[i]
+			}
+			for i := 0; i < numI; i++ {
+				feedsT[fmt.Sprintf("inv%d", i)] = in[numC+i]
+			}
+			for s := 0; s < numS; s++ {
+				feedsT[fmt.Sprintf("iter%d", s)] = in[numC+numI+s*trips+t]
+			}
+			feedsT["idx"] = t
+			outs, err := runGraph(body, feedsT, c)
+			if err != nil {
+				return nil, err
+			}
+			if len(outs) != numC+numA {
+				return nil, fmt.Errorf("exec: Loop body returned %d values, want %d", len(outs), numC+numA)
+			}
+			copy(state, outs[:numC])
+			for a := 0; a < numA; a++ {
+				accums[a] = append(accums[a], outs[numC+a])
+			}
+		}
+		out := make([]graph.Val, 0, numC+numA)
+		out = append(out, state...)
+		for _, acc := range accums {
+			out = append(out, acc)
+		}
+		return out, nil
+
+	case "Print":
+		var b strings.Builder
+		for i, v := range in {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%v", unwrap(v))
+		}
+		c.printMu.Lock()
+		c.printed = append(c.printed, b.String())
+		c.printMu.Unlock()
+		return []graph.Val{nil}, nil
+
+	case "NoOp":
+		return []graph.Val{nil}, nil
+
+	case "BatchNorm":
+		return execBatchNorm(nd, in, c)
+	}
+
+	// Tape-aware differentiable kernels.
+	if c.opts.Tape != nil {
+		if tk, ok := tapeKernels[nd.Op]; ok {
+			return tk(c.opts.Tape, nd, in)
+		}
+	}
+	k, ok := graph.Kernels[nd.Op]
+	if !ok {
+		return nil, fmt.Errorf("exec: no kernel for op %s", nd.Op)
+	}
+	return k(nd, unwrapAll(in))
+}
+
+func loopFeeds(state []graph.Val) map[string]graph.Val {
+	m := make(map[string]graph.Val, len(state))
+	for i, v := range state {
+		m[fmt.Sprintf("arg%d", i)] = v
+	}
+	return m
+}
+
+// checkAssert validates one assumption. Kinds:
+//
+//	"true"/"false" — the input's truthiness must match (branch direction)
+//	"eq-int"       — the input must equal attr "expected" (loop trip count,
+//	                 list length, callee identity token)
+//	"shape"        — the input tensor's shape must match attr "shape";
+//	                 -1 entries are wildcards (Figure 4 relaxation)
+//	"const"        — the input tensor must equal attr "value" exactly
+type assertMismatch = AssertError
+
+func checkAssert(nd *graph.Node, actual graph.Val) error {
+	fail := func(msg string) error {
+		return &AssertError{NodeID: nd.ID, Kind: nd.StrAttr("kind"), Desc: nd.StrAttr("desc") + ": " + msg, Actual: actual}
+	}
+	switch nd.StrAttr("kind") {
+	case "true", "false":
+		b, err := graph.AsBool(actual)
+		if err != nil {
+			return fail(err.Error())
+		}
+		want := nd.StrAttr("kind") == "true"
+		if b != want {
+			return fail(fmt.Sprintf("branch went %v, assumed %v", b, want))
+		}
+	case "eq-int":
+		got, err := graph.AsInt(actual)
+		if err != nil {
+			return fail(err.Error())
+		}
+		want := nd.IntAttr("expected", 0)
+		if got != want {
+			return fail(fmt.Sprintf("got %d, assumed %d", got, want))
+		}
+	case "eq":
+		// Generic scalar equality (specialized attribute values, §4.2.2).
+		want := nd.Attrs["expected"]
+		if ws, ok := want.(string); ok {
+			gs, ok := actual.(string)
+			if !ok || gs != ws {
+				return fail(fmt.Sprintf("got %v, assumed %q", actual, ws))
+			}
+			return nil
+		}
+		wt, err := graph.AsTensor(want)
+		if err != nil {
+			return fail("bad expected value")
+		}
+		gt, err := graph.AsTensor(actual)
+		if err != nil {
+			return fail(err.Error())
+		}
+		if wt.Size() != 1 || gt.Size() != 1 || wt.Item() != gt.Item() {
+			return fail(fmt.Sprintf("got %v, assumed %v", actual, want))
+		}
+	case "shape":
+		t, err := graph.AsTensor(actual)
+		if err != nil {
+			return fail(err.Error())
+		}
+		want, _ := nd.Attrs["shape"].([]int)
+		if len(t.Shape()) != len(want) {
+			return fail(fmt.Sprintf("rank %d, assumed %d", len(t.Shape()), len(want)))
+		}
+		for i, d := range want {
+			if d >= 0 && t.Shape()[i] != d {
+				return fail(fmt.Sprintf("shape %v, assumed %v", t.Shape(), want))
+			}
+		}
+	case "const":
+		t, err := graph.AsTensor(actual)
+		if err != nil {
+			return fail(err.Error())
+		}
+		want, err := graph.AsTensor(nd.Attrs["value"])
+		if err != nil {
+			return fail("bad expected value")
+		}
+		if !tensor.Equal(t, want) {
+			return fail("value changed, assumed constant")
+		}
+	default:
+		return fail("unknown assert kind")
+	}
+	return nil
+}
+
+// execBatchNorm runs batch normalization against store-managed statistics.
+// The running-statistic mutation is deferred like any other state update.
+func execBatchNorm(nd *graph.Node, in []graph.Val, c *ctx) ([]graph.Val, error) {
+	xv := unwrap(in[0])
+	x, err := graph.AsTensor(xv)
+	if err != nil {
+		return nil, err
+	}
+	name := nd.StrAttr("name")
+	training := nd.Attrs["training"] == true
+	store := c.opts.Store
+	if store == nil {
+		return nil, fmt.Errorf("exec: BatchNorm with no store")
+	}
+	ch := x.Shape()[1]
+	gamma := store.GetOrCreate(name+"/gamma", func() *tensor.Tensor { return tensor.Full(1, ch) })
+	beta := store.GetOrCreate(name+"/beta", func() *tensor.Tensor { return tensor.Zeros(ch) })
+	rm := store.GetOrCreate(name+"/mean", func() *tensor.Tensor { return tensor.Zeros(ch) })
+	rv := store.GetOrCreate(name+"/var", func() *tensor.Tensor { return tensor.Full(1, ch) })
+	// Compute against copies; commit running-stat changes only on success.
+	rmCopy, rvCopy := rm.Clone(), rv.Clone()
+	out := tensor.BatchNorm(x, gamma, beta, rmCopy, rvCopy, training, 0.9, 1e-5)
+	if training {
+		c.updMu.Lock()
+		c.updates = append(c.updates, func() {
+			copy(rm.Data(), rmCopy.Data())
+			copy(rv.Data(), rvCopy.Data())
+		})
+		c.updMu.Unlock()
+	}
+	if c.opts.Tape != nil {
+		if xn, ok := in[0].(*autodiff.Node); ok && xn.Tracked() {
+			node := c.opts.Tape.NewNode(out)
+			tape := c.opts.Tape
+			tape.Record(node, func(g *tensor.Tensor) { tape.Accum(xn, g) })
+			return []graph.Val{node}, nil
+		}
+	}
+	return []graph.Val{out}, nil
+}

@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// tapeKernels implement the differentiable ops in tape mode, where tensor
+// edges carry *autodiff.Node values. Only forward ops appear here; gradient
+// kernels never run under a tape (the tape IS the gradient mechanism for
+// dynamic graphs).
+type tapeKernel func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error)
+
+var tapeKernels = map[string]tapeKernel{}
+
+// asNode coerces an edge value to an autodiff node.
+func asNode(v graph.Val) (*autodiff.Node, error) {
+	switch x := v.(type) {
+	case *autodiff.Node:
+		return x, nil
+	case *tensor.Tensor:
+		return autodiff.Const(x), nil
+	case float64:
+		return autodiff.Const(tensor.Scalar(x)), nil
+	case int:
+		return autodiff.Const(tensor.Scalar(float64(x))), nil
+	case int64:
+		return autodiff.Const(tensor.Scalar(float64(x))), nil
+	}
+	return nil, fmt.Errorf("exec: value %T is not tensor-like", v)
+}
+
+func tk1(f func(tp *autodiff.Tape, a *autodiff.Node) *autodiff.Node) tapeKernel {
+	return func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{f(tp, a)}, nil
+	}
+}
+
+func tk2(f func(tp *autodiff.Tape, a, b *autodiff.Node) *autodiff.Node) tapeKernel {
+	return func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := asNode(in[1])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{f(tp, a, b)}, nil
+	}
+}
+
+func init() {
+	tapeKernels["Add"] = tk2((*autodiff.Tape).Add)
+	tapeKernels["Sub"] = tk2((*autodiff.Tape).Sub)
+	tapeKernels["Mul"] = tk2((*autodiff.Tape).Mul)
+	tapeKernels["Div"] = tk2((*autodiff.Tape).Div)
+	tapeKernels["MatMul"] = tk2((*autodiff.Tape).MatMul)
+	tapeKernels["Maximum"] = tk2((*autodiff.Tape).Maximum)
+	tapeKernels["Minimum"] = tk2((*autodiff.Tape).Minimum)
+	tapeKernels["Neg"] = tk1((*autodiff.Tape).Neg)
+	tapeKernels["ReLU"] = tk1((*autodiff.Tape).ReLU)
+	tapeKernels["Sigmoid"] = tk1((*autodiff.Tape).Sigmoid)
+	tapeKernels["Tanh"] = tk1((*autodiff.Tape).Tanh)
+	tapeKernels["Exp"] = tk1((*autodiff.Tape).Exp)
+	tapeKernels["Log"] = tk1((*autodiff.Tape).Log)
+	tapeKernels["Softmax"] = tk1((*autodiff.Tape).Softmax)
+	tapeKernels["Sum"] = tk1((*autodiff.Tape).Sum)
+	tapeKernels["Mean"] = tk1((*autodiff.Tape).Mean)
+	tapeKernels["Identity"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		return []graph.Val{in[0]}, nil
+	}
+	tapeKernels["Pow"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		e, err := asNode(in[1])
+		if err != nil {
+			return nil, err
+		}
+		if e.Tracked() || e.Value.Size() != 1 {
+			return nil, fmt.Errorf("exec: Pow under tape needs constant scalar exponent")
+		}
+		return []graph.Val{tp.Pow(a, e.Value.Item())}, nil
+	}
+	tapeKernels["Reshape"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		shape := nd.Attr("shape").([]int)
+		return []graph.Val{tp.Reshape(a, shape...)}, nil
+	}
+	tapeKernels["ReshapeLike"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		ref, err := asNode(in[1])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.Reshape(a, ref.Value.Shape()...)}, nil
+	}
+	tapeKernels["ExpandDims"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		sh := append([]int{1}, a.Value.Shape()...)
+		return []graph.Val{tp.Reshape(a, sh...)}, nil
+	}
+	tapeKernels["Transpose"] = tk1((*autodiff.Tape).Transpose)
+	tapeKernels["Concat"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		axis := nd.IntAttr("axis", 0)
+		nodes := make([]*autodiff.Node, len(in))
+		for i, v := range in {
+			a, err := asNode(v)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = a
+		}
+		return []graph.Val{tp.Concat(axis, nodes...)}, nil
+	}
+	tapeKernels["Stack"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		nodes := make([]*autodiff.Node, len(in))
+		for i, v := range in {
+			a, err := asNode(v)
+			if err != nil {
+				return nil, err
+			}
+			sh := append([]int{1}, a.Value.Shape()...)
+			nodes[i] = tp.Reshape(a, sh...)
+		}
+		return []graph.Val{tp.Concat(0, nodes...)}, nil
+	}
+	tapeKernels["Pack"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		// Box without unwrapping so autodiff nodes keep their tracking.
+		return []graph.Val{append([]graph.Val(nil), in...)}, nil
+	}
+	tapeKernels["IndexAny"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		i, err := graph.AsInt(unwrap(in[1]))
+		if err != nil {
+			return nil, err
+		}
+		if xs, ok := in[0].([]graph.Val); ok {
+			if i < 0 {
+				i += len(xs)
+			}
+			if i < 0 || i >= len(xs) {
+				return nil, fmt.Errorf("exec: IndexAny index %d out of range (%d)", i, len(xs))
+			}
+			return []graph.Val{xs[i]}, nil
+		}
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			i += a.Value.Dim(0)
+		}
+		sl := tp.SliceAxis(a, 0, i, i+1)
+		return []graph.Val{tp.Reshape(sl, a.Value.Shape()[1:]...)}, nil
+	}
+	tapeKernels["StackList"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		xs, ok := in[0].([]graph.Val)
+		if !ok {
+			return nil, fmt.Errorf("exec: StackList input is %T", in[0])
+		}
+		nodes := make([]*autodiff.Node, len(xs))
+		for i, v := range xs {
+			a, err := asNode(v)
+			if err != nil {
+				return nil, err
+			}
+			sh := append([]int{1}, a.Value.Shape()...)
+			nodes[i] = tp.Reshape(a, sh...)
+		}
+		return []graph.Val{tp.Concat(0, nodes...)}, nil
+	}
+	tapeKernels["Slice"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		a, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.SliceAxis(a, nd.IntAttr("axis", 0), nd.IntAttr("lo", 0), nd.IntAttr("hi", 0))}, nil
+	}
+	tapeKernels["Conv2D"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		x, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := asNode(in[1])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.Conv2D(x, w, nd.IntAttr("stride", 1), nd.IntAttr("pad", 0))}, nil
+	}
+	tapeKernels["MaxPool"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		x, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.MaxPool2D(x, nd.IntAttr("k", 2), nd.IntAttr("stride", 2))}, nil
+	}
+	tapeKernels["AvgPool"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		x, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.AvgPool2D(x, nd.IntAttr("k", 2), nd.IntAttr("stride", 2))}, nil
+	}
+	tapeKernels["Gather"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		table, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := toIntSlice(unwrap(in[1]))
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.Gather(table, idx)}, nil
+	}
+	tapeKernels["CrossEntropy"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		logits, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		labels, err := graph.AsTensor(unwrap(in[1]))
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.CrossEntropy(logits, labels)}, nil
+	}
+	tapeKernels["MSE"] = func(tp *autodiff.Tape, nd *graph.Node, in []graph.Val) ([]graph.Val, error) {
+		pred, err := asNode(in[0])
+		if err != nil {
+			return nil, err
+		}
+		target, err := graph.AsTensor(unwrap(in[1]))
+		if err != nil {
+			return nil, err
+		}
+		return []graph.Val{tp.MSE(pred, target)}, nil
+	}
+}
+
+func toIntSlice(v graph.Val) ([]int, error) {
+	switch x := v.(type) {
+	case []int:
+		return x, nil
+	case *tensor.Tensor:
+		out := make([]int, x.Size())
+		for i, f := range x.Data() {
+			out[i] = int(f)
+		}
+		return out, nil
+	case []graph.Val:
+		out := make([]int, len(x))
+		for i, e := range x {
+			n, err := graph.AsInt(unwrap(e))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = n
+		}
+		return out, nil
+	case int:
+		return []int{x}, nil
+	}
+	return nil, fmt.Errorf("exec: cannot use %T as index list", v)
+}

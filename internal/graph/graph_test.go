@@ -1,0 +1,384 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// evalStatic executes a pure static graph serially using the kernel registry
+// — a minimal reference evaluator used only by this package's tests (the real
+// scheduler lives in internal/exec).
+func evalStatic(t *testing.T, g *Graph, feeds map[string]Val) []Val {
+	t.Helper()
+	vals := make(map[Port]Val)
+	for _, n := range g.Nodes {
+		in := make([]Val, len(n.Inputs))
+		for i, p := range n.Inputs {
+			v, ok := vals[p]
+			if !ok {
+				t.Fatalf("node %d (%s): input %d not computed", n.ID, n.Op, i)
+			}
+			in[i] = v
+		}
+		var out []Val
+		var err error
+		switch n.Op {
+		case "Placeholder":
+			v, ok := feeds[n.StrAttr("name")]
+			if !ok {
+				t.Fatalf("missing feed %q", n.StrAttr("name"))
+			}
+			out = []Val{v}
+		default:
+			k, ok := Kernels[n.Op]
+			if !ok {
+				t.Fatalf("no kernel for %s", n.Op)
+			}
+			out, err = k(n, in)
+			if err != nil {
+				t.Fatalf("kernel %s: %v", n.Op, err)
+			}
+		}
+		for i, v := range out {
+			vals[Port{Node: n, Out: i}] = v
+		}
+	}
+	res := make([]Val, len(g.Outputs))
+	for i, o := range g.Outputs {
+		res[i] = vals[o]
+	}
+	return res
+}
+
+func TestGraphBuildAndEval(t *testing.T) {
+	// The paper's Figure 3: loss = (0.5*x + 1.5 - y)**2
+	g := New()
+	x := g.Placeholder("x")
+	y := g.Placeholder("y")
+	half := g.Const(tensor.Scalar(0.5))
+	oneHalf := g.Const(tensor.Scalar(1.5))
+	mul := g.Add("Mul", nil, half.P(), x.P())
+	add := g.Add("Add", nil, mul.P(), oneHalf.P())
+	sub := g.Add("Sub", nil, add.P(), y.P())
+	two := g.Const(tensor.Scalar(2))
+	loss := g.Add("Pow", nil, sub.P(), two.P())
+	g.Outputs = []Port{loss.P()}
+
+	res := evalStatic(t, g, map[string]Val{"x": tensor.Scalar(4), "y": tensor.Scalar(2)})
+	got := res[0].(*tensor.Tensor).Item()
+	if math.Abs(got-2.25) > 1e-12 {
+		t.Fatalf("got %v want 2.25", got)
+	}
+}
+
+func TestKernelsMatchTensorOps(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	a := rng.Randn(2, 3)
+	b := rng.Randn(2, 3)
+	cases := []struct {
+		op   string
+		want *tensor.Tensor
+	}{
+		{"Add", tensor.Add(a, b)},
+		{"Sub", tensor.Sub(a, b)},
+		{"Mul", tensor.Mul(a, b)},
+		{"Div", tensor.Div(a, b)},
+	}
+	for _, c := range cases {
+		n := &Node{Op: c.op}
+		out, err := Kernels[c.op](n, []Val{a, b})
+		if err != nil {
+			t.Fatalf("%s: %v", c.op, err)
+		}
+		if !tensor.Equal(out[0].(*tensor.Tensor), c.want) {
+			t.Fatalf("%s mismatch", c.op)
+		}
+	}
+}
+
+func TestGradientsLinear(t *testing.T) {
+	// loss = mean((x@w - y)^2) — gradient vs numeric check.
+	rng := tensor.NewRNG(3)
+	xv := rng.Randn(4, 3)
+	wv := rng.Randn(3, 1)
+	yv := rng.Randn(4, 1)
+
+	build := func() (*Graph, Port) {
+		g := New()
+		x := g.Const(xv)
+		w := g.Variable("w")
+		y := g.Const(yv)
+		pred := g.Add("MatMul", nil, x.P(), w.P())
+		loss := g.Add("MSE", nil, pred.P(), y.P())
+		return g, loss.P()
+	}
+	g, loss := build()
+	grads, err := Gradients(g, loss, []string{"w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Outputs = []Port{loss, grads["w"]}
+
+	// Feed Variable via a tiny shim: replace Variable kernel-free node by
+	// rewriting to Const for this evaluation.
+	for _, n := range g.Nodes {
+		if n.Op == "Variable" {
+			n.Op = "Const"
+			n.Attrs = map[string]Val{"value": wv}
+		}
+	}
+	res := evalStatic(t, g, nil)
+	analytic := res[1].(*tensor.Tensor)
+
+	// numeric
+	lossAt := func() float64 {
+		g2, l2 := build()
+		g2.Outputs = []Port{l2}
+		for _, n := range g2.Nodes {
+			if n.Op == "Variable" {
+				n.Op = "Const"
+				n.Attrs = map[string]Val{"value": wv}
+			}
+		}
+		return evalStatic(t, g2, nil)[0].(*tensor.Tensor).Item()
+	}
+	const h = 1e-6
+	for i := range wv.Data() {
+		orig := wv.Data()[i]
+		wv.Data()[i] = orig + h
+		up := lossAt()
+		wv.Data()[i] = orig - h
+		dn := lossAt()
+		wv.Data()[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-analytic.Data()[i]) > 1e-5 {
+			t.Fatalf("grad[%d]: numeric %v analytic %v", i, num, analytic.Data()[i])
+		}
+	}
+}
+
+func TestGradientsThroughActivationChain(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	wv := rng.Randn(3, 3)
+	xv := rng.Randn(2, 3)
+
+	build := func() (*Graph, Port) {
+		g := New()
+		x := g.Const(xv)
+		w := g.Variable("w")
+		h1 := g.Add("MatMul", nil, x.P(), w.P())
+		h2 := g.Add("Tanh", nil, h1.P())
+		h3 := g.Add("Sigmoid", nil, h2.P())
+		h4 := g.Add("ReLU", nil, h3.P())
+		loss := g.Add("Sum", nil, h4.P())
+		return g, loss.P()
+	}
+	g, loss := build()
+	grads, err := Gradients(g, loss, []string{"w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Outputs = []Port{loss, grads["w"]}
+	materialize := func(gr *Graph) {
+		for _, n := range gr.Nodes {
+			if n.Op == "Variable" {
+				n.Op = "Const"
+				n.Attrs = map[string]Val{"value": wv}
+			}
+		}
+	}
+	materialize(g)
+	analytic := evalStatic(t, g, nil)[1].(*tensor.Tensor)
+	lossAt := func() float64 {
+		g2, l2 := build()
+		g2.Outputs = []Port{l2}
+		materialize(g2)
+		return evalStatic(t, g2, nil)[0].(*tensor.Tensor).Item()
+	}
+	const h = 1e-6
+	for _, i := range []int{0, 4, 8} {
+		orig := wv.Data()[i]
+		wv.Data()[i] = orig + h
+		up := lossAt()
+		wv.Data()[i] = orig - h
+		dn := lossAt()
+		wv.Data()[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-analytic.Data()[i]) > 1e-5 {
+			t.Fatalf("grad[%d]: numeric %v analytic %v", i, num, analytic.Data()[i])
+		}
+	}
+}
+
+func TestGradientZeroForUnusedVariable(t *testing.T) {
+	g := New()
+	w := g.Variable("w")
+	u := g.Variable("unused")
+	_ = u
+	loss := g.Add("Sum", nil, w.P())
+	grads, err := Gradients(g, loss.P(), []string{"w", "unused"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grads["unused"].Node.Op != "FillLike" {
+		t.Fatalf("unused grad should be FillLike, got %s", grads["unused"].Node.Op)
+	}
+}
+
+// --- optimizer tests --------------------------------------------------------
+
+func TestConstantFolding(t *testing.T) {
+	g := New()
+	a := g.Const(tensor.Scalar(2))
+	b := g.Const(tensor.Scalar(3))
+	sum := g.Add("Add", nil, a.P(), b.P())
+	x := g.Placeholder("x")
+	out := g.Add("Mul", nil, sum.P(), x.P())
+	g.Outputs = []Port{out.P()}
+
+	report := Optimize(g, OptimizeOptions{ConstantFold: true, DCE: true})
+	if report["fold"] == 0 {
+		t.Fatalf("nothing folded: %v", report)
+	}
+	// The Add node must have become a Const of value 5.
+	folded := false
+	for _, n := range g.Nodes {
+		if n.Op == "Const" {
+			if tv, err := AsTensor(n.Attr("value")); err == nil && tv.Size() == 1 && tv.Item() == 5 {
+				folded = true
+			}
+		}
+		if n.Op == "Add" {
+			t.Fatal("Add survived folding")
+		}
+	}
+	if !folded {
+		t.Fatal("no folded const with value 5")
+	}
+	res := evalStatic(t, g, map[string]Val{"x": tensor.Scalar(4)})
+	if res[0].(*tensor.Tensor).Item() != 20 {
+		t.Fatalf("folded graph wrong: %v", res[0])
+	}
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x")
+	a := g.Add("Tanh", nil, x.P())
+	b := g.Add("Tanh", nil, x.P()) // identical
+	out := g.Add("Add", nil, a.P(), b.P())
+	g.Outputs = []Port{out.P()}
+	before := len(g.Nodes)
+	report := Optimize(g, OptimizeOptions{CSE: true, DCE: true})
+	if report["cse"] != 1 {
+		t.Fatalf("cse=%d", report["cse"])
+	}
+	if len(g.Nodes) != before-1 {
+		t.Fatalf("node count %d -> %d", before, len(g.Nodes))
+	}
+	res := evalStatic(t, g, map[string]Val{"x": tensor.Scalar(1)})
+	want := 2 * math.Tanh(1)
+	if math.Abs(res[0].(*tensor.Tensor).Item()-want) > 1e-12 {
+		t.Fatalf("got %v want %v", res[0], want)
+	}
+}
+
+func TestDCERemovesUnreachable(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x")
+	used := g.Add("Tanh", nil, x.P())
+	g.Add("Sigmoid", nil, x.P()) // dead
+	g.Outputs = []Port{used.P()}
+	report := Optimize(g, OptimizeOptions{DCE: true})
+	if report["dce"] != 1 {
+		t.Fatalf("dce=%d", report["dce"])
+	}
+	for _, n := range g.Nodes {
+		if n.Op == "Sigmoid" {
+			t.Fatal("dead node survived")
+		}
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x")
+	g.Add("AssignSub", map[string]Val{"name": "w"}, x.P()) // side effect, no consumer
+	out := g.Add("Tanh", nil, x.P())
+	g.Outputs = []Port{out.P()}
+	Optimize(g, AllOptimizations())
+	found := false
+	for _, n := range g.Nodes {
+		if n.Op == "AssignSub" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("side-effecting node removed by DCE")
+	}
+}
+
+func TestArithmeticIdentities(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x")
+	zero := g.Const(tensor.Scalar(0))
+	onec := g.Const(tensor.Scalar(1))
+	a := g.Add("Add", nil, x.P(), zero.P()) // x+0 -> x
+	b := g.Add("Mul", nil, a.P(), onec.P()) // x*1 -> x
+	out := g.Add("Tanh", nil, b.P())
+	g.Outputs = []Port{out.P()}
+	report := Optimize(g, AllOptimizations())
+	if report["arith"] < 2 {
+		t.Fatalf("arith=%d", report["arith"])
+	}
+	if out.Inputs[0].Node != x {
+		t.Fatalf("identities not collapsed; input is %s", out.Inputs[0].Node.Op)
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	// Random-ish expression graph: optimize must not change the result.
+	rng := tensor.NewRNG(9)
+	xv := rng.Randn(3, 3)
+	build := func() *Graph {
+		g := New()
+		x := g.Placeholder("x")
+		c1 := g.Const(tensor.Scalar(2))
+		c2 := g.Const(tensor.Scalar(3))
+		sum := g.Add("Add", nil, c1.P(), c2.P())
+		m := g.Add("Mul", nil, x.P(), sum.P())
+		t1 := g.Add("Tanh", nil, m.P())
+		t2 := g.Add("Tanh", nil, m.P())
+		one := g.Const(tensor.Scalar(1))
+		t3 := g.Add("Mul", nil, t1.P(), one.P())
+		out := g.Add("Add", nil, t3.P(), t2.P())
+		g.Outputs = []Port{out.P()}
+		return g
+	}
+	g1 := build()
+	g2 := build()
+	Optimize(g2, AllOptimizations())
+	r1 := evalStatic(t, g1, map[string]Val{"x": xv})[0].(*tensor.Tensor)
+	r2 := evalStatic(t, g2, map[string]Val{"x": xv})[0].(*tensor.Tensor)
+	if !tensor.AllClose(r1, r2, 1e-12) {
+		t.Fatal("optimization changed semantics")
+	}
+	if len(g2.Nodes) >= len(g1.Nodes) {
+		t.Fatalf("no reduction: %d -> %d", len(g1.Nodes), len(g2.Nodes))
+	}
+}
+
+func TestCountOpsAndString(t *testing.T) {
+	g := New()
+	x := g.Placeholder("x")
+	g.Add("Tanh", nil, x.P())
+	counts := g.CountOps()
+	if counts["Placeholder"] != 1 || counts["Tanh"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	if g.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

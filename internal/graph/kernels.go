@@ -1,0 +1,566 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Kernel computes a pure op's outputs from its inputs. Pure kernels are
+// registered here so both the executor (internal/exec) and the constant
+// folder (optimize.go) can run them. Ops with side effects or control-flow
+// behaviour (Variable, AssignSub, PyGetAttr, Switch, Invoke, Assert, ...) are
+// implemented in the executor instead and are never folded.
+type Kernel func(n *Node, in []Val) ([]Val, error)
+
+// Kernels is the pure-op registry.
+var Kernels = map[string]Kernel{}
+
+// Foldable reports whether op may be evaluated at graph-optimization time.
+func Foldable(op string) bool {
+	_, ok := Kernels[op]
+	return ok
+}
+
+func one(v Val) []Val { return []Val{v} }
+
+func t2(in []Val) (*tensor.Tensor, *tensor.Tensor, error) {
+	a, err := AsTensor(in[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := AsTensor(in[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+func regBinary(op string, f func(a, b *tensor.Tensor) *tensor.Tensor) {
+	Kernels[op] = func(n *Node, in []Val) ([]Val, error) {
+		if len(in) != 2 {
+			return nil, fmt.Errorf("%s: want 2 inputs, got %d", op, len(in))
+		}
+		a, b, err := t2(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		return one(f(a, b)), nil
+	}
+}
+
+func regUnary(op string, f func(*tensor.Tensor) *tensor.Tensor) {
+	Kernels[op] = func(n *Node, in []Val) ([]Val, error) {
+		if len(in) != 1 {
+			return nil, fmt.Errorf("%s: want 1 input, got %d", op, len(in))
+		}
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		return one(f(a)), nil
+	}
+}
+
+func init() {
+	regBinary("Add", tensor.Add)
+	regBinary("Sub", tensor.Sub)
+	regBinary("Mul", tensor.Mul)
+	regBinary("Div", tensor.Div)
+	regBinary("Pow", tensor.Pow)
+	regBinary("Maximum", tensor.Maximum)
+	regBinary("Minimum", tensor.Minimum)
+	regBinary("MatMul", tensor.MatMul)
+	regBinary("MSE", tensor.MSE)
+	regBinary("CrossEntropy", tensor.CrossEntropy)
+	regBinary("CrossEntropyGrad", func(a, b *tensor.Tensor) *tensor.Tensor {
+		return tensor.CrossEntropyGrad(a, b)
+	})
+	regUnary("Neg", tensor.Neg)
+	regUnary("ReLU", tensor.ReLU)
+	regUnary("Sigmoid", tensor.Sigmoid)
+	regUnary("Tanh", tensor.Tanh)
+	regUnary("Exp", tensor.Exp)
+	regUnary("Log", tensor.Log)
+	regUnary("Abs", tensor.Abs)
+	regUnary("Softmax", tensor.Softmax)
+	regUnary("LogSoftmax", tensor.LogSoftmax)
+	regUnary("Sum", tensor.Sum)
+	regUnary("Mean", tensor.Mean)
+	regUnary("Transpose", tensor.Transpose)
+
+	Kernels["Identity"] = func(n *Node, in []Val) ([]Val, error) {
+		if len(in) != 1 {
+			return nil, fmt.Errorf("Identity: want 1 input")
+		}
+		return one(in[0]), nil
+	}
+	Kernels["Const"] = func(n *Node, in []Val) ([]Val, error) {
+		return one(n.Attr("value")), nil
+	}
+	Kernels["Reshape"] = func(n *Node, in []Val) ([]Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		shape := n.Attr("shape").([]int)
+		return one(a.Reshape(shape...)), nil
+	}
+	Kernels["ExpandDims"] = func(n *Node, in []Val) ([]Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		sh := append([]int{1}, a.Shape()...)
+		return one(a.Reshape(sh...)), nil
+	}
+	Kernels["Concat"] = func(n *Node, in []Val) ([]Val, error) {
+		axis := n.IntAttr("axis", 0)
+		ts := make([]*tensor.Tensor, len(in))
+		for i, v := range in {
+			t, err := AsTensor(v)
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = t
+		}
+		return one(tensor.Concat(axis, ts...)), nil
+	}
+	Kernels["ConcatGradSlice"] = func(n *Node, in []Val) ([]Val, error) {
+		// Slice of the upstream gradient corresponding to one concat input.
+		g, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		axis := n.IntAttr("axis", 0)
+		lo := n.IntAttr("lo", 0)
+		hi := n.IntAttr("hi", 0)
+		return one(tensor.SliceAxis(g, axis, lo, hi)), nil
+	}
+	Kernels["Slice"] = func(n *Node, in []Val) ([]Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		axis := n.IntAttr("axis", 0)
+		lo := n.IntAttr("lo", 0)
+		hi := n.IntAttr("hi", 0)
+		return one(tensor.SliceAxis(a, axis, lo, hi)), nil
+	}
+	Kernels["SliceGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		g, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		axis := n.IntAttr("axis", 0)
+		lo := n.IntAttr("lo", 0)
+		shape := n.Attr("shape").([]int)
+		return one(tensor.PadSliceGrad(g, shape, axis, lo)), nil
+	}
+	Kernels["Conv2D"] = func(n *Node, in []Val) ([]Val, error) {
+		x, w, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Conv2D(x, w, n.IntAttr("stride", 1), n.IntAttr("pad", 0))), nil
+	}
+	Kernels["Conv2DGradInput"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: x, w, gout
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Conv2DGradInput(x, w, g, n.IntAttr("stride", 1), n.IntAttr("pad", 0))), nil
+	}
+	Kernels["Conv2DGradFilter"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		w, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Conv2DGradFilter(x, w, g, n.IntAttr("stride", 1), n.IntAttr("pad", 0))), nil
+	}
+	Kernels["MaxPool"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		out, _ := tensor.MaxPool2D(x, n.IntAttr("k", 2), n.IntAttr("stride", 2))
+		return one(out), nil
+	}
+	Kernels["MaxPoolGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: x, gout — recomputes argmax (cheap at our scales).
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		_, arg := tensor.MaxPool2D(x, n.IntAttr("k", 2), n.IntAttr("stride", 2))
+		return one(tensor.MaxPool2DGrad(x.Shape(), arg, g)), nil
+	}
+	Kernels["AvgPool"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.AvgPool2D(x, n.IntAttr("k", 2), n.IntAttr("stride", 2))), nil
+	}
+	Kernels["AvgPoolGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.AvgPool2DGrad(x.Shape(), n.IntAttr("k", 2), n.IntAttr("stride", 2), g)), nil
+	}
+	Kernels["Gather"] = func(n *Node, in []Val) ([]Val, error) {
+		table, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := asIntSlice(in[1], n)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Gather(table, idx)), nil
+	}
+	Kernels["GatherGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: table, ids, gout
+		table, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		idx, err := asIntSlice(in[1], n)
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.ScatterAddRows(table.Shape(), idx, g)), nil
+	}
+	Kernels["OneHot"] = func(n *Node, in []Val) ([]Val, error) {
+		idx, err := asIntSlice(in[0], n)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.OneHot(idx, n.IntAttr("depth", 0))), nil
+	}
+	Kernels["Argmax"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.ArgmaxAxis(x, n.IntAttr("axis", -1))), nil
+	}
+	Kernels["ReLUGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		x, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.ReLUGrad(x, g)), nil
+	}
+	Kernels["SigmoidGradFromOut"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: s (= sigmoid output), g
+		s, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		onev := tensor.Full(1, s.Shape()...)
+		return one(tensor.Mul(g, tensor.Mul(s, tensor.Sub(onev, s)))), nil
+	}
+	Kernels["TanhGradFromOut"] = func(n *Node, in []Val) ([]Val, error) {
+		v, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		onev := tensor.Full(1, v.Shape()...)
+		return one(tensor.Mul(g, tensor.Sub(onev, tensor.Mul(v, v)))), nil
+	}
+	Kernels["SoftmaxGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: s (= softmax output), g
+		s, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		gs := tensor.Mul(g, s)
+		sum := tensor.SumAxis(gs, -1)
+		nLast := s.Shape()[s.Rank()-1]
+		exp := tensor.Zeros(s.Shape()...)
+		ed, sd := exp.Data(), sum.Data()
+		for i := range sd {
+			for j := 0; j < nLast; j++ {
+				ed[i*nLast+j] = sd[i]
+			}
+		}
+		return one(tensor.Mul(s, tensor.Sub(g, exp))), nil
+	}
+	Kernels["FillLike"] = func(n *Node, in []Val) ([]Val, error) {
+		// Broadcast a scalar gradient to the shape of input 0, scaled.
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		scale := 1.0
+		if s, ok := n.Attrs["scale"]; ok {
+			scale = s.(float64)
+		}
+		if n.Attr("divByCount") == true {
+			scale /= float64(x.Size())
+		}
+		return one(tensor.MulScalar(tensor.Full(1, x.Shape()...), g.Item()*scale)), nil
+	}
+	Kernels["Unbroadcast"] = func(n *Node, in []Val) ([]Val, error) {
+		g, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		ref, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.UnbroadcastTo(g, ref.Shape())), nil
+	}
+	Kernels["MSEGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		// inputs: pred, target, gout(scalar)
+		p, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		tg, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.MulScalar(tensor.Sub(p, tg), 2/float64(p.Size())*g.Item())), nil
+	}
+	Kernels["PowGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		// d/dx x**p for constant p; inputs: x, g
+		x, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		p := n.Attr("p").(float64)
+		d := tensor.MulScalar(tensor.Pow(x, tensor.Scalar(p-1)), p)
+		return one(tensor.Mul(g, d)), nil
+	}
+	Kernels["LogGrad"] = func(n *Node, in []Val) ([]Val, error) {
+		x, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Div(g, x)), nil
+	}
+	Kernels["Scale"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.MulScalar(x, n.Attr("s").(float64))), nil
+	}
+	Kernels["Len"] = func(n *Node, in []Val) ([]Val, error) {
+		switch x := in[0].(type) {
+		case *tensor.Tensor:
+			if x.Rank() == 0 {
+				return nil, fmt.Errorf("Len of rank-0 tensor")
+			}
+			return one(x.Dim(0)), nil
+		case []Val:
+			return one(len(x)), nil
+		}
+		return nil, fmt.Errorf("Len: unsupported %T", in[0])
+	}
+	Kernels["Cmp"] = func(n *Node, in []Val) ([]Val, error) {
+		// Scalar comparison producing a bool; used for specialized branch
+		// predicates and loop conditions.
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		if a.Size() != 1 || b.Size() != 1 {
+			return nil, fmt.Errorf("Cmp wants scalars")
+		}
+		av, bv := a.Item(), b.Item()
+		var r bool
+		switch n.StrAttr("op") {
+		case "==":
+			r = av == bv
+		case "!=":
+			r = av != bv
+		case "<":
+			r = av < bv
+		case "<=":
+			r = av <= bv
+		case ">":
+			r = av > bv
+		case ">=":
+			r = av >= bv
+		default:
+			return nil, fmt.Errorf("Cmp: bad op %q", n.StrAttr("op"))
+		}
+		return one(r), nil
+	}
+	Kernels["Not"] = func(n *Node, in []Val) ([]Val, error) {
+		b, err := AsBool(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(!b), nil
+	}
+	Kernels["Floor"] = func(n *Node, in []Val) ([]Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.Map(x, math.Floor)), nil
+	}
+	Kernels["Pack"] = func(n *Node, in []Val) ([]Val, error) {
+		// Boxes inputs into a []Val tuple; used for multi-value results.
+		return one(append([]Val(nil), in...)), nil
+	}
+	Kernels["Unpack"] = func(n *Node, in []Val) ([]Val, error) {
+		xs, ok := in[0].([]Val)
+		if !ok {
+			return nil, fmt.Errorf("Unpack: input is %T", in[0])
+		}
+		i := n.IntAttr("index", 0)
+		if i < 0 || i >= len(xs) {
+			return nil, fmt.Errorf("Unpack: index %d out of range (%d elems)", i, len(xs))
+		}
+		return one(xs[i]), nil
+	}
+	Kernels["StackList"] = func(n *Node, in []Val) ([]Val, error) {
+		// Stacks a runtime []Val of tensors (produced by a Loop accumulator)
+		// into one tensor along a new leading axis.
+		xs, ok := in[0].([]Val)
+		if !ok {
+			return nil, fmt.Errorf("StackList: input is %T, want []Val", in[0])
+		}
+		ts := make([]*tensor.Tensor, len(xs))
+		for i, v := range xs {
+			t, err := AsTensor(v)
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = t
+		}
+		return one(tensor.Stack(ts...)), nil
+	}
+	Kernels["IndexAny"] = func(n *Node, in []Val) ([]Val, error) {
+		// Generic subscript: runtime []Val lists index by element; tensors
+		// slice their leading axis.
+		i, err := AsInt(in[1])
+		if err != nil {
+			return nil, err
+		}
+		switch x := in[0].(type) {
+		case []Val:
+			if i < 0 {
+				i += len(x)
+			}
+			if i < 0 || i >= len(x) {
+				return nil, fmt.Errorf("IndexAny: index %d out of range (%d)", i, len(x))
+			}
+			return one(x[i]), nil
+		case *tensor.Tensor:
+			if x.Rank() == 0 {
+				return nil, fmt.Errorf("IndexAny: rank-0 tensor")
+			}
+			if i < 0 {
+				i += x.Dim(0)
+			}
+			sl := tensor.SliceAxis(x, 0, i, i+1)
+			return one(sl.Reshape(x.Shape()[1:]...)), nil
+		}
+		return nil, fmt.Errorf("IndexAny: unsupported %T", in[0])
+	}
+	Kernels["IndexList"] = func(n *Node, in []Val) ([]Val, error) {
+		// Selects one element of a runtime []Val list.
+		xs, ok := in[0].([]Val)
+		if !ok {
+			return nil, fmt.Errorf("IndexList: input is %T", in[0])
+		}
+		i, err := AsInt(in[1])
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			i += len(xs)
+		}
+		if i < 0 || i >= len(xs) {
+			return nil, fmt.Errorf("IndexList: index %d out of range (%d elems)", i, len(xs))
+		}
+		return one(xs[i]), nil
+	}
+	Kernels["Stack"] = func(n *Node, in []Val) ([]Val, error) {
+		ts := make([]*tensor.Tensor, len(in))
+		for i, v := range in {
+			t, err := AsTensor(v)
+			if err != nil {
+				return nil, err
+			}
+			ts[i] = t
+		}
+		return one(tensor.Stack(ts...)), nil
+	}
+}
+
+func asIntSlice(v Val, n *Node) ([]int, error) {
+	switch x := v.(type) {
+	case []int:
+		return x, nil
+	case *tensor.Tensor:
+		out := make([]int, x.Size())
+		for i, f := range x.Data() {
+			out[i] = int(f)
+		}
+		return out, nil
+	case []Val:
+		out := make([]int, len(x))
+		for i, e := range x {
+			iv, err := AsInt(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = iv
+		}
+		return out, nil
+	case int:
+		return []int{x}, nil
+	}
+	return nil, fmt.Errorf("%s: cannot use %T as index list", n.Op, v)
+}

@@ -1,0 +1,267 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// OptimizeOptions selects which post-processing passes run on a generated
+// graph. These correspond to the "further optimized by the post-processor"
+// step in the paper's §3.1 and to the +SPCN ablation knob in Figure 7: when
+// speculation replaced dynamic values with constants, folding and CSE find
+// much more to do.
+type OptimizeOptions struct {
+	ConstantFold bool
+	CSE          bool
+	DCE          bool
+	Arithmetic   bool
+}
+
+// AllOptimizations enables every pass.
+func AllOptimizations() OptimizeOptions {
+	return OptimizeOptions{ConstantFold: true, CSE: true, DCE: true, Arithmetic: true}
+}
+
+// Optimize runs the selected passes to a fixed point (bounded) and returns a
+// report of what each pass removed.
+func Optimize(g *Graph, opts OptimizeOptions) map[string]int {
+	report := map[string]int{}
+	for round := 0; round < 4; round++ {
+		changed := 0
+		if opts.Arithmetic {
+			changed += simplifyArithmetic(g, report)
+		}
+		if opts.ConstantFold {
+			changed += constantFold(g, report)
+		}
+		if opts.CSE {
+			changed += commonSubexpr(g, report)
+		}
+		if opts.DCE {
+			changed += deadCodeElim(g, report)
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return report
+}
+
+// replaceUses rewires every consumer of `from` port to `to`.
+func replaceUses(g *Graph, from, to Port) {
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if in == from {
+				n.Inputs[i] = to
+			}
+		}
+	}
+	for i, o := range g.Outputs {
+		if o == from {
+			g.Outputs[i] = to
+		}
+	}
+}
+
+// hasSideEffects reports whether the op must be preserved regardless of
+// liveness.
+func hasSideEffects(op string) bool {
+	switch op {
+	case "AssignSub", "AssignAdd", "Assign", "PySetAttr", "PySetSubscr",
+		"Assert", "Print", "Commit", "NoOp", "BatchNorm":
+		return true
+	}
+	return false
+}
+
+// constantFold evaluates pure nodes whose inputs are all Consts.
+func constantFold(g *Graph, report map[string]int) int {
+	changed := 0
+	for _, n := range g.Nodes {
+		if n.Op == "Const" || !Foldable(n.Op) || hasSideEffects(n.Op) || len(n.ControlDeps) > 0 {
+			continue
+		}
+		if len(n.Inputs) == 0 && n.Op != "Const" {
+			continue
+		}
+		allConst := true
+		in := make([]Val, len(n.Inputs))
+		for i, p := range n.Inputs {
+			if p.Node.Op != "Const" || p.Out != 0 {
+				allConst = false
+				break
+			}
+			in[i] = p.Node.Attr("value")
+		}
+		if !allConst || len(n.Inputs) == 0 {
+			continue
+		}
+		out, err := Kernels[n.Op](n, in)
+		if err != nil || len(out) != 1 {
+			continue
+		}
+		// Rewrite the node in place into a Const (keeps IDs stable).
+		n.Op = "Const"
+		n.Inputs = nil
+		n.Attrs = map[string]Val{"value": out[0]}
+		report["fold"]++
+		changed++
+	}
+	return changed
+}
+
+// signature produces a structural hash key for CSE.
+func signature(n *Node) string {
+	var b strings.Builder
+	b.WriteString(n.Op)
+	for _, in := range n.Inputs {
+		fmt.Fprintf(&b, "|%d:%d", in.Node.ID, in.Out)
+	}
+	// Sort attr keys for a stable signature.
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := n.Attrs[k]
+		switch x := v.(type) {
+		case *tensor.Tensor:
+			if x.Size() <= 16 {
+				fmt.Fprintf(&b, "|%s=%v%v", k, x.Shape(), x.Data())
+			} else {
+				// Large constants: identity only (conservative, no merge).
+				fmt.Fprintf(&b, "|%s=@%p", k, x)
+			}
+		case []int:
+			fmt.Fprintf(&b, "|%s=%v", k, x)
+		default:
+			fmt.Fprintf(&b, "|%s=%v", k, v)
+		}
+	}
+	return b.String()
+}
+
+// commonSubexpr merges structurally identical pure nodes.
+func commonSubexpr(g *Graph, report map[string]int) int {
+	changed := 0
+	seen := make(map[string]*Node)
+	for _, n := range g.Nodes {
+		if hasSideEffects(n.Op) || !Foldable(n.Op) || len(n.ControlDeps) > 0 || n.NumOutputs != 1 {
+			continue
+		}
+		sig := signature(n)
+		if prev, ok := seen[sig]; ok && prev != n {
+			replaceUses(g, n.P(), prev.P())
+			report["cse"]++
+			changed++
+			continue
+		}
+		seen[sig] = n
+	}
+	return changed
+}
+
+// deadCodeElim removes nodes not reachable from outputs, updates, or
+// side-effecting nodes.
+func deadCodeElim(g *Graph, report map[string]int) int {
+	live := make(map[*Node]bool)
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, in := range n.Inputs {
+			mark(in.Node)
+		}
+		for _, d := range n.ControlDeps {
+			mark(d)
+		}
+	}
+	for _, o := range g.Outputs {
+		mark(o.Node)
+	}
+	for _, u := range g.Updates {
+		mark(u)
+	}
+	for _, n := range g.Nodes {
+		if hasSideEffects(n.Op) {
+			mark(n)
+		}
+	}
+	removed := 0
+	kept := g.Nodes[:0]
+	for _, n := range g.Nodes {
+		if live[n] {
+			kept = append(kept, n)
+		} else {
+			removed++
+		}
+	}
+	g.Nodes = kept
+	if removed > 0 {
+		report["dce"] += removed
+	}
+	return removed
+}
+
+// simplifyArithmetic applies algebraic identities: x+0, x*1, x*0, x-0, x/1.
+func simplifyArithmetic(g *Graph, report map[string]int) int {
+	changed := 0
+	isConstScalar := func(p Port, want float64) bool {
+		if p.Node.Op != "Const" {
+			return false
+		}
+		t, err := AsTensor(p.Node.Attr("value"))
+		if err != nil || t.Size() != 1 {
+			return false
+		}
+		return t.Item() == want
+	}
+	for _, n := range g.Nodes {
+		if len(n.Inputs) != 2 {
+			continue
+		}
+		a, b := n.Inputs[0], n.Inputs[1]
+		var repl *Port
+		switch n.Op {
+		case "Add":
+			if isConstScalar(a, 0) {
+				repl = &b
+			} else if isConstScalar(b, 0) {
+				repl = &a
+			}
+		case "Sub":
+			if isConstScalar(b, 0) {
+				repl = &a
+			}
+		case "Mul":
+			if isConstScalar(a, 1) {
+				repl = &b
+			} else if isConstScalar(b, 1) {
+				repl = &a
+			}
+		case "Div":
+			if isConstScalar(b, 1) {
+				repl = &a
+			}
+		case "Pow":
+			if isConstScalar(b, 1) {
+				repl = &a
+			}
+		}
+		if repl != nil {
+			// The identity may change shape via broadcasting only when the
+			// scalar side broadcasts; replacing with the non-scalar side is
+			// shape-preserving.
+			replaceUses(g, n.P(), *repl)
+			report["arith"]++
+			changed++
+		}
+	}
+	return changed
+}

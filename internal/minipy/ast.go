@@ -1,0 +1,311 @@
+package minipy
+
+// Every AST node carries a unique ID (assigned at parse time). The profiler
+// keys its observations by node ID, and the speculative graph generator in
+// internal/convert attaches assumptions to the same IDs — this is the glue
+// that lets profiles steer graph generation, matching the paper's design
+// where JANUS observes "control flow decisions on conditional branches, loop
+// iteration counts, ... variable type information" per program point.
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	ID() int
+	Pos() (line, col int)
+}
+
+type base struct {
+	id   int
+	line int
+	col  int
+}
+
+// ID returns the node's unique, parse-time-assigned identifier.
+func (b base) ID() int { return b.id }
+
+// Pos returns the source position of the node.
+func (b base) Pos() (int, int) { return b.line, b.col }
+
+// --- Expressions ------------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NameExpr is a variable reference.
+type NameExpr struct {
+	base
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	base
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	base
+	Value float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	base
+	Value string
+}
+
+// BoolLit is True or False.
+type BoolLit struct {
+	base
+	Value bool
+}
+
+// NoneLit is None.
+type NoneLit struct{ base }
+
+// ListLit is [a, b, ...].
+type ListLit struct {
+	base
+	Elems []Expr
+}
+
+// TupleLit is (a, b, ...) or a bare a, b list.
+type TupleLit struct {
+	base
+	Elems []Expr
+}
+
+// DictLit is {k: v, ...}.
+type DictLit struct {
+	base
+	Keys   []Expr
+	Values []Expr
+}
+
+// UnaryExpr is -x, +x or `not x`.
+type UnaryExpr struct {
+	base
+	Op string // "-", "+", "not"
+	X  Expr
+}
+
+// BinExpr is a binary arithmetic/comparison expression.
+type BinExpr struct {
+	base
+	Op   string // "+","-","*","/","//","%","**","==","!=","<","<=",">",">=","is"
+	L, R Expr
+}
+
+// BoolOpExpr is `and`/`or` with Python short-circuit semantics.
+type BoolOpExpr struct {
+	base
+	Op   string // "and" | "or"
+	L, R Expr
+}
+
+// CallExpr is f(args...).
+type CallExpr struct {
+	base
+	Fn       Expr
+	Args     []Expr
+	KwNames  []string
+	KwValues []Expr
+}
+
+// AttrExpr is obj.attr.
+type AttrExpr struct {
+	base
+	X    Expr
+	Name string
+}
+
+// IndexExpr is obj[key].
+type IndexExpr struct {
+	base
+	X   Expr
+	Key Expr
+}
+
+// LambdaExpr is lambda params: body.
+type LambdaExpr struct {
+	base
+	Params []string
+	Body   Expr
+}
+
+// CondExpr is `a if cond else b`.
+type CondExpr struct {
+	base
+	Cond Expr
+	A, B Expr
+}
+
+func (*NameExpr) exprNode()   {}
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*BoolLit) exprNode()    {}
+func (*NoneLit) exprNode()    {}
+func (*ListLit) exprNode()    {}
+func (*TupleLit) exprNode()   {}
+func (*DictLit) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinExpr) exprNode()    {}
+func (*BoolOpExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*AttrExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*LambdaExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+
+// --- Statements ---------------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// ExprStmt evaluates an expression for side effects.
+type ExprStmt struct {
+	base
+	X Expr
+}
+
+// AssignStmt is `target = value` (target: Name, Attr, Index, or Tuple).
+type AssignStmt struct {
+	base
+	Target Expr
+	Value  Expr
+}
+
+// AugAssignStmt is `target op= value`.
+type AugAssignStmt struct {
+	base
+	Target Expr
+	Op     string // "+","-","*","/"
+	Value  Expr
+}
+
+// IfStmt is if/elif/else; elif chains are desugared into nested IfStmts.
+type IfStmt struct {
+	base
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // may be nil
+}
+
+// WithElse returns a copy of the statement (same node ID and position) with
+// a different else block. The graph converter uses it to normalize
+// early-return patterns.
+func (s *IfStmt) WithElse(els []Stmt) *IfStmt {
+	c := *s
+	c.Else = els
+	return &c
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	base
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is `for target in iter:`.
+type ForStmt struct {
+	base
+	Target Expr // NameExpr or TupleLit of NameExprs
+	Iter   Expr
+	Body   []Stmt
+}
+
+// FuncDef is a function definition.
+type FuncDef struct {
+	base
+	Name     string
+	Params   []string
+	Defaults []Expr // aligned to the tail of Params; nil entries mean required
+	Body     []Stmt
+}
+
+// ClassDef is a class definition; methods only (no class-level fields).
+type ClassDef struct {
+	base
+	Name    string
+	Methods []*FuncDef
+}
+
+// ReturnStmt returns a value (nil Value means None).
+type ReturnStmt struct {
+	base
+	Value Expr
+}
+
+// BreakStmt breaks the nearest loop.
+type BreakStmt struct{ base }
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{ base }
+
+// PassStmt does nothing.
+type PassStmt struct{ base }
+
+// GlobalStmt declares names global in the current function.
+type GlobalStmt struct {
+	base
+	Names []string
+}
+
+// NonlocalStmt declares names nonlocal in the current function.
+type NonlocalStmt struct {
+	base
+	Names []string
+}
+
+// DelStmt removes a binding or container element.
+type DelStmt struct {
+	base
+	Target Expr
+}
+
+// AssertStmt raises if the condition is false.
+type AssertStmt struct {
+	base
+	Cond Expr
+	Msg  Expr // may be nil
+}
+
+// RaiseStmt raises a runtime error with a message expression.
+type RaiseStmt struct {
+	base
+	Value Expr // may be nil
+}
+
+func (*ExprStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()    {}
+func (*AugAssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*FuncDef) stmtNode()       {}
+func (*ClassDef) stmtNode()      {}
+func (*ReturnStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()     {}
+func (*ContinueStmt) stmtNode()  {}
+func (*PassStmt) stmtNode()      {}
+func (*GlobalStmt) stmtNode()    {}
+func (*NonlocalStmt) stmtNode()  {}
+func (*DelStmt) stmtNode()       {}
+func (*AssertStmt) stmtNode()    {}
+func (*RaiseStmt) stmtNode()     {}
+
+// Program is a parsed module: a list of top-level statements.
+type Program struct {
+	Body []Stmt
+	// NumNodes is one greater than the largest node ID; profilers size their
+	// tables from it.
+	NumNodes int
+}

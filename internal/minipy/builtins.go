@@ -1,0 +1,947 @@
+package minipy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// Builtin is one external function exposed to minipy programs. The registry
+// is the paper's whitelist (§4.3.1): GraphOp tells the speculative graph
+// generator which symbolic operation represents the call; builtins with an
+// empty GraphOp have no graph representation, so a call to one marks the
+// function imperative-only.
+type Builtin struct {
+	Name string
+	Fn   func(it *Interp, args []Value, kwargs map[string]Value) (Value, error)
+	// GraphOp is the symbolic op emitted for this call ("" = not convertible).
+	GraphOp string
+	// Stateful builtins mutate external state; in graph mode their execution
+	// is deferred until all assumptions validate (§4.3.1).
+	Stateful bool
+}
+
+// Registry maps builtin names to implementations.
+type Registry struct {
+	byName map[string]*Builtin
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byName: make(map[string]*Builtin)} }
+
+// Register adds (or replaces) a builtin.
+func (r *Registry) Register(b *Builtin) { r.byName[b.Name] = b }
+
+// Get returns the builtin or nil.
+func (r *Registry) Get(name string) *Builtin { return r.byName[name] }
+
+// Names returns registered names sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for k := range r.byName {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone copies the registry so engines can add private builtins.
+func (r *Registry) Clone() *Registry {
+	out := NewRegistry()
+	for k, v := range r.byName {
+		out.byName[k] = v
+	}
+	return out
+}
+
+// Store gives builtins access to the shared parameter store. Engines must
+// set it on the Interp before running programs that call variable().
+// It lives here (not on Registry) because each engine instance owns a store.
+func (it *Interp) SetStore(s *vars.Store) { it.store = s }
+
+// --- argument helpers -------------------------------------------------------
+
+func wantArgs(args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d arguments, got %d", n, len(args))
+	}
+	return nil
+}
+
+func argTensor(args []Value, i int) (*autodiff.Node, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("missing argument %d", i)
+	}
+	switch v := args[i].(type) {
+	case *TensorVal:
+		return v.Node, nil
+	case IntVal:
+		return autodiff.Const(tensor.Scalar(float64(v))), nil
+	case FloatVal:
+		return autodiff.Const(tensor.Scalar(float64(v))), nil
+	}
+	return nil, fmt.Errorf("argument %d: want tensor, got %s", i, args[i].TypeName())
+}
+
+func argInt(args []Value, i int) (int, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing argument %d", i)
+	}
+	n, ok := AsInt(args[i])
+	if !ok {
+		return 0, fmt.Errorf("argument %d: want int, got %s", i, args[i].TypeName())
+	}
+	return int(n), nil
+}
+
+func argShape(args []Value, i int) ([]int, error) {
+	if i >= len(args) {
+		return nil, fmt.Errorf("missing shape argument %d", i)
+	}
+	items, err := unpack(args[i])
+	if err != nil {
+		return nil, fmt.Errorf("argument %d: want shape list, got %s", i, args[i].TypeName())
+	}
+	out := make([]int, len(items))
+	for j, v := range items {
+		n, ok := AsInt(v)
+		if !ok {
+			return nil, fmt.Errorf("shape element %d is not an int", j)
+		}
+		out[j] = int(n)
+	}
+	return out, nil
+}
+
+func kwInt(kwargs map[string]Value, name string, def int) (int, error) {
+	v, ok := kwargs[name]
+	if !ok {
+		return def, nil
+	}
+	n, ok := AsInt(v)
+	if !ok {
+		return 0, fmt.Errorf("keyword %s: want int", name)
+	}
+	return int(n), nil
+}
+
+// unary registers a one-tensor-in, one-tensor-out math builtin with both
+// tape and tapeless paths.
+func unaryBuiltin(name, graphOp string, taped func(*autodiff.Tape, *autodiff.Node) *autodiff.Node, plain func(*tensor.Tensor) *tensor.Tensor) *Builtin {
+	return &Builtin{
+		Name:    name,
+		GraphOp: graphOp,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: taped(it.Tape, x)}, nil
+			}
+			return NewTensor(plain(x.Value)), nil
+		},
+	}
+}
+
+// DefaultRegistry builds the standard builtin set shared by all engines:
+// Python-style builtins (print, len, range, ...) plus the DL framework
+// functions (matmul, conv2d, ...) that the paper's whitelist covers.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+
+	// ---- Python builtins -------------------------------------------------
+	r.Register(&Builtin{Name: "print", GraphOp: "Print", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			for i, a := range args {
+				if i > 0 {
+					it.Out.WriteString(" ")
+				}
+				it.Out.WriteString(toDisplay(a))
+			}
+			it.Out.WriteString("\n")
+			return None, nil
+		}})
+	r.Register(&Builtin{Name: "len", GraphOp: "Len",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			switch v := args[0].(type) {
+			case *ListVal:
+				return IntVal(len(v.Items)), nil
+			case *TupleVal:
+				return IntVal(len(v.Items)), nil
+			case *DictVal:
+				return IntVal(len(v.Entries)), nil
+			case StrVal:
+				return IntVal(len(v)), nil
+			case RangeVal:
+				return IntVal(v.Len()), nil
+			case *TensorVal:
+				if v.T().Rank() == 0 {
+					return nil, errors.New("len() of rank-0 tensor")
+				}
+				return IntVal(v.T().Dim(0)), nil
+			}
+			return nil, fmt.Errorf("object of type %s has no len()", args[0].TypeName())
+		}})
+	r.Register(&Builtin{Name: "range", GraphOp: "Range",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			switch len(args) {
+			case 1:
+				n, ok := AsInt(args[0])
+				if !ok {
+					return nil, errors.New("range() wants int")
+				}
+				return RangeVal{Stop: n, Step: 1}, nil
+			case 2:
+				a, ok1 := AsInt(args[0])
+				b, ok2 := AsInt(args[1])
+				if !ok1 || !ok2 {
+					return nil, errors.New("range() wants ints")
+				}
+				return RangeVal{Start: a, Stop: b, Step: 1}, nil
+			case 3:
+				a, ok1 := AsInt(args[0])
+				b, ok2 := AsInt(args[1])
+				c, ok3 := AsInt(args[2])
+				if !ok1 || !ok2 || !ok3 || c == 0 {
+					return nil, errors.New("range() wants non-zero step ints")
+				}
+				return RangeVal{Start: a, Stop: b, Step: c}, nil
+			}
+			return nil, errors.New("range() wants 1-3 arguments")
+		}})
+	r.Register(&Builtin{Name: "int", GraphOp: "Cast",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			f, ok := AsFloat(args[0])
+			if !ok {
+				return nil, fmt.Errorf("int() cannot convert %s", args[0].TypeName())
+			}
+			if f < 0 {
+				return IntVal(-int64(-f)), nil
+			}
+			return IntVal(int64(f)), nil
+		}})
+	r.Register(&Builtin{Name: "float", GraphOp: "Cast",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			f, ok := AsFloat(args[0])
+			if !ok {
+				return nil, fmt.Errorf("float() cannot convert %s", args[0].TypeName())
+			}
+			return FloatVal(f), nil
+		}})
+	r.Register(&Builtin{Name: "abs", GraphOp: "Abs",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			switch v := args[0].(type) {
+			case IntVal:
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			case FloatVal:
+				if v < 0 {
+					return -v, nil
+				}
+				return v, nil
+			case *TensorVal:
+				return NewTensor(tensor.Abs(v.T())), nil
+			}
+			return nil, fmt.Errorf("abs() cannot handle %s", args[0].TypeName())
+		}})
+	r.Register(&Builtin{Name: "min", GraphOp: "Min",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if v, ok, err := tensorExtremum(it, args, false); ok {
+				return v, err
+			}
+			return minMax(args, true)
+		}})
+	r.Register(&Builtin{Name: "max", GraphOp: "Max",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if v, ok, err := tensorExtremum(it, args, true); ok {
+				return v, err
+			}
+			return minMax(args, false)
+		}})
+
+	// ---- container methods -----------------------------------------------
+	r.Register(&Builtin{Name: "list.append", GraphOp: "ListAppend", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			l := args[0].(*ListVal)
+			l.Items = append(l.Items, args[1])
+			return None, nil
+		}})
+	r.Register(&Builtin{Name: "list.pop", GraphOp: "", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			l := args[0].(*ListVal)
+			if len(l.Items) == 0 {
+				return nil, errors.New("pop from empty list")
+			}
+			idx := len(l.Items) - 1
+			if len(args) == 2 {
+				n, ok := AsInt(args[1])
+				if !ok {
+					return nil, errors.New("pop index must be int")
+				}
+				idx = int(n)
+				if idx < 0 {
+					idx += len(l.Items)
+				}
+				if idx < 0 || idx >= len(l.Items) {
+					return nil, errors.New("pop index out of range")
+				}
+			}
+			v := l.Items[idx]
+			l.Items = append(l.Items[:idx], l.Items[idx+1:]...)
+			return v, nil
+		}})
+	r.Register(&Builtin{Name: "list.extend", GraphOp: "", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			l := args[0].(*ListVal)
+			items, err := unpack(args[1])
+			if err != nil {
+				return nil, err
+			}
+			l.Items = append(l.Items, items...)
+			return None, nil
+		}})
+	r.Register(&Builtin{Name: "list.reverse", GraphOp: "", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			l := args[0].(*ListVal)
+			for i, j := 0, len(l.Items)-1; i < j; i, j = i+1, j-1 {
+				l.Items[i], l.Items[j] = l.Items[j], l.Items[i]
+			}
+			return None, nil
+		}})
+	r.Register(&Builtin{Name: "dict.get", GraphOp: "",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			d := args[0].(*DictVal)
+			if len(args) < 2 {
+				return nil, errors.New("get() wants a key")
+			}
+			k, err := DictKey(args[1])
+			if err != nil {
+				return nil, err
+			}
+			if v, ok := d.Entries[k]; ok {
+				return v, nil
+			}
+			if len(args) == 3 {
+				return args[2], nil
+			}
+			return None, nil
+		}})
+	r.Register(&Builtin{Name: "dict.keys", GraphOp: "",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			d := args[0].(*DictVal)
+			keys := make([]string, 0, len(d.Entries))
+			for k := range d.Entries {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			items := make([]Value, len(keys))
+			for i, k := range keys {
+				items[i] = dictKeyToValue(k)
+			}
+			return &ListVal{Items: items}, nil
+		}})
+	r.Register(&Builtin{Name: "dict.values", GraphOp: "",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			d := args[0].(*DictVal)
+			keys := make([]string, 0, len(d.Entries))
+			for k := range d.Entries {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			items := make([]Value, len(keys))
+			for i, k := range keys {
+				items[i] = d.Entries[k]
+			}
+			return &ListVal{Items: items}, nil
+		}})
+
+	// ---- tensor constructors ----------------------------------------------
+	r.Register(&Builtin{Name: "zeros", GraphOp: "Zeros",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			sh, err := argShape(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(tensor.Zeros(sh...)), nil
+		}})
+	r.Register(&Builtin{Name: "ones", GraphOp: "Ones",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			sh, err := argShape(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(tensor.Full(1, sh...)), nil
+		}})
+	r.Register(&Builtin{Name: "constant", GraphOp: "Const",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			t, err := ValueToTensor(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(t), nil
+		}})
+	r.Register(&Builtin{Name: "randn", GraphOp: "", Stateful: true, // consumes RNG state
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			sh, err := argShape(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(it.rng().Randn(sh...)), nil
+		}})
+	r.Register(&Builtin{Name: "variable", GraphOp: "Variable",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			// variable(name, shape) — Xavier-initialized trainable parameter
+			// fetched from (or created in) the shared store.
+			if len(args) != 2 {
+				return nil, errors.New("variable(name, shape) wants 2 arguments")
+			}
+			name, ok := args[0].(StrVal)
+			if !ok {
+				return nil, errors.New("variable name must be a string")
+			}
+			if it.store == nil {
+				return nil, errors.New("no parameter store attached to interpreter")
+			}
+			sh, err := argShape(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			t := it.store.GetOrCreate(string(name), func() *tensor.Tensor {
+				return it.rng().Xavier(sh...)
+			})
+			if !tensor.ShapeEq(t.Shape(), sh) {
+				return nil, fmt.Errorf("variable %q exists with shape %v, requested %v", name, t.Shape(), sh)
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Watch(string(name), t)}, nil
+			}
+			return NewTensor(t), nil
+		}})
+
+	// ---- tensor math (whitelisted framework functions) ---------------------
+	r.Register(&Builtin{Name: "matmul", GraphOp: "MatMul",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			a, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := argTensor(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.MatMul(a, b)}, nil
+			}
+			return NewTensor(tensor.MatMul(a.Value, b.Value)), nil
+		}})
+	r.Register(unaryBuiltin("relu", "ReLU", (*autodiff.Tape).ReLU, tensor.ReLU))
+	r.Register(unaryBuiltin("sigmoid", "Sigmoid", (*autodiff.Tape).Sigmoid, tensor.Sigmoid))
+	r.Register(unaryBuiltin("tanh", "Tanh", (*autodiff.Tape).Tanh, tensor.Tanh))
+	r.Register(unaryBuiltin("exp", "Exp", (*autodiff.Tape).Exp, tensor.Exp))
+	r.Register(unaryBuiltin("log", "Log", (*autodiff.Tape).Log, tensor.Log))
+	r.Register(unaryBuiltin("softmax", "Softmax", (*autodiff.Tape).Softmax, tensor.Softmax))
+	r.Register(unaryBuiltin("reduce_sum", "Sum", (*autodiff.Tape).Sum, tensor.Sum))
+	r.Register(unaryBuiltin("reduce_mean", "Mean", (*autodiff.Tape).Mean, tensor.Mean))
+	r.Register(&Builtin{Name: "reshape", GraphOp: "Reshape",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			sh, err := argShape(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Reshape(x, sh...)}, nil
+			}
+			return NewTensor(x.Value.Reshape(sh...)), nil
+		}})
+	r.Register(&Builtin{Name: "transpose", GraphOp: "Transpose",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Transpose(x)}, nil
+			}
+			return NewTensor(tensor.Transpose(x.Value)), nil
+		}})
+	r.Register(&Builtin{Name: "concat", GraphOp: "Concat",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			// concat(list_of_tensors, axis)
+			if len(args) != 2 {
+				return nil, errors.New("concat(tensors, axis) wants 2 arguments")
+			}
+			items, err := unpack(args[0])
+			if err != nil {
+				return nil, err
+			}
+			axis, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			nodes := make([]*autodiff.Node, len(items))
+			for i := range items {
+				tv, ok := items[i].(*TensorVal)
+				if !ok {
+					return nil, fmt.Errorf("concat element %d is %s, not tensor", i, items[i].TypeName())
+				}
+				nodes[i] = tv.Node
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Concat(axis, nodes...)}, nil
+			}
+			ts := make([]*tensor.Tensor, len(nodes))
+			for i, nd := range nodes {
+				ts[i] = nd.Value
+			}
+			return NewTensor(tensor.Concat(axis, ts...)), nil
+		}})
+	r.Register(&Builtin{Name: "stack", GraphOp: "Stack",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 1); err != nil {
+				return nil, err
+			}
+			items, err := unpack(args[0])
+			if err != nil {
+				return nil, err
+			}
+			if len(items) == 0 {
+				return nil, errors.New("stack of empty list")
+			}
+			if it.Tape != nil {
+				// stack == concat of reshaped elements with new leading axis.
+				nodes := make([]*autodiff.Node, len(items))
+				for i := range items {
+					tv, ok := items[i].(*TensorVal)
+					if !ok {
+						return nil, fmt.Errorf("stack element %d is not tensor", i)
+					}
+					sh := append([]int{1}, tv.T().Shape()...)
+					nodes[i] = it.Tape.Reshape(tv.Node, sh...)
+				}
+				return &TensorVal{Node: it.Tape.Concat(0, nodes...)}, nil
+			}
+			ts := make([]*tensor.Tensor, len(items))
+			for i := range items {
+				tv, ok := items[i].(*TensorVal)
+				if !ok {
+					return nil, fmt.Errorf("stack element %d is not tensor", i)
+				}
+				ts[i] = tv.T()
+			}
+			return NewTensor(tensor.Stack(ts...)), nil
+		}})
+	r.Register(&Builtin{Name: "conv2d", GraphOp: "Conv2D",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if len(args) != 2 {
+				return nil, errors.New("conv2d(x, w, stride=1, pad=0)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			w, err := argTensor(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			stride, err := kwInt(kwargs, "stride", 1)
+			if err != nil {
+				return nil, err
+			}
+			pad, err := kwInt(kwargs, "pad", 0)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Conv2D(x, w, stride, pad)}, nil
+			}
+			return NewTensor(tensor.Conv2D(x.Value, w.Value, stride, pad)), nil
+		}})
+	r.Register(&Builtin{Name: "max_pool", GraphOp: "MaxPool",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if len(args) != 3 {
+				return nil, errors.New("max_pool(x, k, stride)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			k, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			stride, err := argInt(args, 2)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.MaxPool2D(x, k, stride)}, nil
+			}
+			out, _ := tensor.MaxPool2D(x.Value, k, stride)
+			return NewTensor(out), nil
+		}})
+	r.Register(&Builtin{Name: "avg_pool", GraphOp: "AvgPool",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if len(args) != 3 {
+				return nil, errors.New("avg_pool(x, k, stride)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			k, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			stride, err := argInt(args, 2)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.AvgPool2D(x, k, stride)}, nil
+			}
+			return NewTensor(tensor.AvgPool2D(x.Value, k, stride)), nil
+		}})
+	r.Register(&Builtin{Name: "embedding", GraphOp: "Gather",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			// embedding(table, ids): ids is a list of ints or an int tensor.
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			table, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			ids, err := valueToIntSlice(args[1])
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.Gather(table, ids)}, nil
+			}
+			return NewTensor(tensor.Gather(table.Value, ids)), nil
+		}})
+	r.Register(&Builtin{Name: "cross_entropy", GraphOp: "CrossEntropy",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			logits, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			labels, err := argTensor(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.CrossEntropy(logits, labels.Value)}, nil
+			}
+			return NewTensor(tensor.CrossEntropy(logits.Value, labels.Value)), nil
+		}})
+	r.Register(&Builtin{Name: "mse", GraphOp: "MSE",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			pred, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			target, err := argTensor(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.MSE(pred, target.Value)}, nil
+			}
+			return NewTensor(tensor.MSE(pred.Value, target.Value)), nil
+		}})
+	r.Register(&Builtin{Name: "batch_norm", GraphOp: "BatchNorm", Stateful: true,
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			// batch_norm(x, name, training): gamma/beta/running stats are
+			// store-managed by name. The train/eval branch lives in the
+			// *calling program* (models check self.training), but the running
+			// statistics update here is the state mutation that must be
+			// deferred in graph mode.
+			if len(args) != 3 {
+				return nil, errors.New("batch_norm(x, name, training)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			name, ok := args[1].(StrVal)
+			if !ok {
+				return nil, errors.New("batch_norm name must be string")
+			}
+			training, err := Truthy(args[2])
+			if err != nil {
+				return nil, err
+			}
+			if it.store == nil {
+				return nil, errors.New("no parameter store attached")
+			}
+			ch := x.Value.Shape()[1]
+			gamma := it.store.GetOrCreate(string(name)+"/gamma", func() *tensor.Tensor { return tensor.Full(1, ch) })
+			beta := it.store.GetOrCreate(string(name)+"/beta", func() *tensor.Tensor { return tensor.Zeros(ch) })
+			rm := it.store.GetOrCreate(string(name)+"/mean", func() *tensor.Tensor { return tensor.Zeros(ch) })
+			rv := it.store.GetOrCreate(string(name)+"/var", func() *tensor.Tensor { return tensor.Full(1, ch) })
+			out := tensor.BatchNorm(x.Value, gamma, beta, rm, rv, training, 0.9, 1e-5)
+			// Gradient flow through gamma/beta is omitted for simplicity;
+			// normalization statistics dominate the train/eval divergence
+			// that the experiments exercise.
+			if it.Tape != nil && x.Tracked() {
+				// Approximate gradient: pass-through scaled by gamma/sqrt(var).
+				node := it.Tape.NewNode(out)
+				xin := x
+				it.Tape.Record(node, func(g *tensor.Tensor) {
+					it.Tape.Accum(xin, g)
+				})
+				return &TensorVal{Node: node}, nil
+			}
+			return NewTensor(out), nil
+		}})
+	r.Register(&Builtin{Name: "argmax", GraphOp: "Argmax",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			axis, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(tensor.ArgmaxAxis(x.Value, axis)), nil
+		}})
+	r.Register(&Builtin{Name: "slice_rows", GraphOp: "Slice",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if len(args) != 3 {
+				return nil, errors.New("slice_rows(x, lo, hi)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := argInt(args, 2)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.SliceAxis(x, 0, lo, hi)}, nil
+			}
+			return NewTensor(tensor.SliceAxis(x.Value, 0, lo, hi)), nil
+		}})
+	r.Register(&Builtin{Name: "slice_cols", GraphOp: "Slice",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if len(args) != 3 {
+				return nil, errors.New("slice_cols(x, lo, hi)")
+			}
+			x, err := argTensor(args, 0)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := argInt(args, 2)
+			if err != nil {
+				return nil, err
+			}
+			if it.Tape != nil {
+				return &TensorVal{Node: it.Tape.SliceAxis(x, 1, lo, hi)}, nil
+			}
+			return NewTensor(tensor.SliceAxis(x.Value, 1, lo, hi)), nil
+		}})
+	r.Register(&Builtin{Name: "one_hot", GraphOp: "OneHot",
+		Fn: func(it *Interp, args []Value, kwargs map[string]Value) (Value, error) {
+			if err := wantArgs(args, 2); err != nil {
+				return nil, err
+			}
+			ids, err := valueToIntSlice(args[0])
+			if err != nil {
+				return nil, err
+			}
+			depth, err := argInt(args, 1)
+			if err != nil {
+				return nil, err
+			}
+			return NewTensor(tensor.OneHot(ids, depth)), nil
+		}})
+	return r
+}
+
+// tensorExtremum handles two-argument element-wise min/max when either
+// operand is a (possibly multi-element) tensor.
+func tensorExtremum(it *Interp, args []Value, isMax bool) (Value, bool, error) {
+	if len(args) != 2 {
+		return nil, false, nil
+	}
+	_, t0 := args[0].(*TensorVal)
+	_, t1 := args[1].(*TensorVal)
+	if !t0 && !t1 {
+		return nil, false, nil
+	}
+	a, err := argTensor(args, 0)
+	if err != nil {
+		return nil, true, err
+	}
+	b, err := argTensor(args, 1)
+	if err != nil {
+		return nil, true, err
+	}
+	if it.Tape != nil {
+		if isMax {
+			return &TensorVal{Node: it.Tape.Maximum(a, b)}, true, nil
+		}
+		return &TensorVal{Node: it.Tape.Minimum(a, b)}, true, nil
+	}
+	if isMax {
+		return NewTensor(tensor.Maximum(a.Value, b.Value)), true, nil
+	}
+	return NewTensor(tensor.Minimum(a.Value, b.Value)), true, nil
+}
+
+func minMax(args []Value, isMin bool) (Value, error) {
+	vals := args
+	if len(args) == 1 {
+		items, err := unpack(args[0])
+		if err != nil {
+			return nil, err
+		}
+		vals = items
+	}
+	if len(vals) == 0 {
+		return nil, errors.New("min/max of empty sequence")
+	}
+	best := vals[0]
+	bf, ok := AsFloat(best)
+	if !ok {
+		return nil, fmt.Errorf("min/max cannot order %s", best.TypeName())
+	}
+	for _, v := range vals[1:] {
+		f, ok := AsFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("min/max cannot order %s", v.TypeName())
+		}
+		if (isMin && f < bf) || (!isMin && f > bf) {
+			best, bf = v, f
+		}
+	}
+	return best, nil
+}
+
+// ValueToTensor converts a literal minipy value (number or nested list of
+// numbers) into a tensor.
+func ValueToTensor(v Value) (*tensor.Tensor, error) {
+	if t, ok := v.(*TensorVal); ok {
+		return t.T(), nil
+	}
+	if f, ok := AsFloat(v); ok {
+		return tensor.Scalar(f), nil
+	}
+	items, err := unpack(v)
+	if err != nil {
+		return nil, fmt.Errorf("constant() cannot convert %s", v.TypeName())
+	}
+	if len(items) == 0 {
+		return tensor.Zeros(0), nil
+	}
+	// Nested list -> tensor via recursion.
+	if _, isNum := AsFloat(items[0]); isNum {
+		data := make([]float64, len(items))
+		for i, it := range items {
+			f, ok := AsFloat(it)
+			if !ok {
+				return nil, errors.New("ragged constant")
+			}
+			data[i] = f
+		}
+		return tensor.FromSlice(data), nil
+	}
+	subs := make([]*tensor.Tensor, len(items))
+	for i, it := range items {
+		s, err := ValueToTensor(it)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = s
+	}
+	return tensor.Stack(subs...), nil
+}
+
+// valueToIntSlice converts a minipy list/tuple of ints or a numeric tensor to
+// []int.
+func valueToIntSlice(v Value) ([]int, error) {
+	if t, ok := v.(*TensorVal); ok {
+		out := make([]int, t.T().Size())
+		for i, f := range t.T().Data() {
+			out[i] = int(f)
+		}
+		return out, nil
+	}
+	items, err := unpack(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(items))
+	for i, it := range items {
+		n, ok := AsInt(it)
+		if !ok {
+			return nil, fmt.Errorf("element %d is not an int", i)
+		}
+		out[i] = int(n)
+	}
+	return out, nil
+}

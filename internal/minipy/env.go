@@ -1,0 +1,95 @@
+package minipy
+
+import "fmt"
+
+// Env is a lexical scope: a name->value frame with a parent pointer.
+// Module scope has a nil parent. Functions get a fresh Env whose parent is
+// the defining (closure) environment, matching Python's lexical scoping.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+	// globals/nonlocals record names declared with `global`/`nonlocal` in the
+	// current function body; lookups and stores on these names are redirected.
+	globals   map[string]bool
+	nonlocals map[string]bool
+}
+
+// NewEnv creates a scope nested inside parent (nil for module scope).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]Value), parent: parent}
+}
+
+// Module walks to the outermost (module/global) scope.
+func (e *Env) Module() *Env {
+	m := e
+	for m.parent != nil {
+		m = m.parent
+	}
+	return m
+}
+
+// Lookup resolves a name: local frame first, then enclosing scopes.
+func (e *Env) Lookup(name string) (Value, bool) {
+	if e.globals != nil && e.globals[name] {
+		return e.Module().lookupLocal(name)
+	}
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *Env) lookupLocal(name string) (Value, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// Define binds a name in this scope, honoring global/nonlocal declarations.
+func (e *Env) Define(name string, v Value) error {
+	if e.globals != nil && e.globals[name] {
+		e.Module().vars[name] = v
+		return nil
+	}
+	if e.nonlocals != nil && e.nonlocals[name] {
+		for s := e.parent; s != nil && s.parent != nil; s = s.parent {
+			if _, ok := s.vars[name]; ok {
+				s.vars[name] = v
+				return nil
+			}
+		}
+		return fmt.Errorf("no binding for nonlocal %q", name)
+	}
+	e.vars[name] = v
+	return nil
+}
+
+// Delete removes a local binding.
+func (e *Env) Delete(name string) error {
+	if _, ok := e.vars[name]; !ok {
+		return fmt.Errorf("name %q is not defined", name)
+	}
+	delete(e.vars, name)
+	return nil
+}
+
+// DeclareGlobal marks names as module-scoped for this frame.
+func (e *Env) DeclareGlobal(names []string) {
+	if e.globals == nil {
+		e.globals = make(map[string]bool)
+	}
+	for _, n := range names {
+		e.globals[n] = true
+	}
+}
+
+// DeclareNonlocal marks names as enclosing-scoped for this frame.
+func (e *Env) DeclareNonlocal(names []string) {
+	if e.nonlocals == nil {
+		e.nonlocals = make(map[string]bool)
+	}
+	for _, n := range names {
+		e.nonlocals[n] = true
+	}
+}

@@ -1,0 +1,193 @@
+package minipy
+
+import "sort"
+
+// FreeVars returns the sorted free variable names of a function: names the
+// body reads that are not parameters, locals, or nested definitions. The
+// JANUS engine treats these closure captures as graph inputs — the paper's
+// profiler collects "non-local variables, object attributes, and so on"
+// precisely so captured values that change between iterations (such as the
+// per-iteration training batch in Figure 1's `lambda: model(sequence)`)
+// become runtime-fed placeholders rather than baked constants.
+func FreeVars(fn *FuncVal) []string {
+	bound := map[string]bool{}
+	for _, p := range fn.Params {
+		bound[p] = true
+	}
+	free := map[string]bool{}
+	if fn.LambdaBody != nil {
+		scanExprFree(fn.LambdaBody, bound, free)
+	} else {
+		// Two passes: assignments bind names for the whole body (Python
+		// function-scope semantics), then reads of unbound names are free.
+		collectBound(fn.Body, bound)
+		scanStmtsFree(fn.Body, bound, free)
+	}
+	out := make([]string, 0, len(free))
+	for n := range free {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectBound(stmts []Stmt, bound map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignStmt:
+			bindTargets(st.Target, bound)
+		case *AugAssignStmt:
+			// Aug-assign reads before writing; the name is bound locally only
+			// if assigned elsewhere, but Python treats any assignment as
+			// binding. Keep Python semantics: it binds.
+			bindTargets(st.Target, bound)
+		case *ForStmt:
+			bindTargets(st.Target, bound)
+			collectBound(st.Body, bound)
+		case *WhileStmt:
+			collectBound(st.Body, bound)
+		case *IfStmt:
+			collectBound(st.Then, bound)
+			collectBound(st.Else, bound)
+		case *FuncDef:
+			bound[st.Name] = true
+		case *ClassDef:
+			bound[st.Name] = true
+		case *GlobalStmt:
+			for _, n := range st.Names {
+				delete(bound, n) // globals resolve outside
+			}
+		case *NonlocalStmt:
+			for _, n := range st.Names {
+				delete(bound, n)
+			}
+		}
+	}
+}
+
+func bindTargets(e Expr, bound map[string]bool) {
+	switch t := e.(type) {
+	case *NameExpr:
+		bound[t.Name] = true
+	case *TupleLit:
+		for _, el := range t.Elems {
+			bindTargets(el, bound)
+		}
+	}
+}
+
+func scanStmtsFree(stmts []Stmt, bound, free map[string]bool) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ExprStmt:
+			scanExprFree(st.X, bound, free)
+		case *AssignStmt:
+			scanExprFree(st.Value, bound, free)
+			scanTargetFree(st.Target, bound, free)
+		case *AugAssignStmt:
+			scanExprFree(st.Value, bound, free)
+			scanExprFree(st.Target, bound, free)
+		case *IfStmt:
+			scanExprFree(st.Cond, bound, free)
+			scanStmtsFree(st.Then, bound, free)
+			scanStmtsFree(st.Else, bound, free)
+		case *WhileStmt:
+			scanExprFree(st.Cond, bound, free)
+			scanStmtsFree(st.Body, bound, free)
+		case *ForStmt:
+			scanExprFree(st.Iter, bound, free)
+			scanStmtsFree(st.Body, bound, free)
+		case *ReturnStmt:
+			if st.Value != nil {
+				scanExprFree(st.Value, bound, free)
+			}
+		case *AssertStmt:
+			scanExprFree(st.Cond, bound, free)
+			if st.Msg != nil {
+				scanExprFree(st.Msg, bound, free)
+			}
+		case *RaiseStmt:
+			if st.Value != nil {
+				scanExprFree(st.Value, bound, free)
+			}
+		case *DelStmt:
+			scanExprFree(st.Target, bound, free)
+		case *FuncDef:
+			// Nested function: its own frees minus what this frame binds.
+			inner := &FuncVal{Params: st.Params, Body: st.Body}
+			for _, n := range FreeVars(inner) {
+				if !bound[n] {
+					free[n] = true
+				}
+			}
+		}
+	}
+}
+
+func scanTargetFree(e Expr, bound, free map[string]bool) {
+	switch t := e.(type) {
+	case *AttrExpr:
+		scanExprFree(t.X, bound, free)
+	case *IndexExpr:
+		scanExprFree(t.X, bound, free)
+		scanExprFree(t.Key, bound, free)
+	case *TupleLit:
+		for _, el := range t.Elems {
+			scanTargetFree(el, bound, free)
+		}
+	}
+}
+
+func scanExprFree(e Expr, bound, free map[string]bool) {
+	switch ex := e.(type) {
+	case *NameExpr:
+		if !bound[ex.Name] {
+			free[ex.Name] = true
+		}
+	case *ListLit:
+		for _, el := range ex.Elems {
+			scanExprFree(el, bound, free)
+		}
+	case *TupleLit:
+		for _, el := range ex.Elems {
+			scanExprFree(el, bound, free)
+		}
+	case *DictLit:
+		for i := range ex.Keys {
+			scanExprFree(ex.Keys[i], bound, free)
+			scanExprFree(ex.Values[i], bound, free)
+		}
+	case *UnaryExpr:
+		scanExprFree(ex.X, bound, free)
+	case *BinExpr:
+		scanExprFree(ex.L, bound, free)
+		scanExprFree(ex.R, bound, free)
+	case *BoolOpExpr:
+		scanExprFree(ex.L, bound, free)
+		scanExprFree(ex.R, bound, free)
+	case *CondExpr:
+		scanExprFree(ex.Cond, bound, free)
+		scanExprFree(ex.A, bound, free)
+		scanExprFree(ex.B, bound, free)
+	case *CallExpr:
+		scanExprFree(ex.Fn, bound, free)
+		for _, a := range ex.Args {
+			scanExprFree(a, bound, free)
+		}
+		for _, a := range ex.KwValues {
+			scanExprFree(a, bound, free)
+		}
+	case *AttrExpr:
+		scanExprFree(ex.X, bound, free)
+	case *IndexExpr:
+		scanExprFree(ex.X, bound, free)
+		scanExprFree(ex.Key, bound, free)
+	case *LambdaExpr:
+		inner := &FuncVal{Params: ex.Params, LambdaBody: ex.Body}
+		for _, n := range FreeVars(inner) {
+			if !bound[n] {
+				free[n] = true
+			}
+		}
+	}
+}

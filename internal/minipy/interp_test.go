@@ -1,0 +1,607 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// run executes src and returns the interpreter for inspection.
+func run(t *testing.T, src string) *Interp {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	it := NewInterp(nil)
+	it.SetStore(vars.NewStore())
+	if err := it.Run(prog); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return it
+}
+
+// out runs src and returns print output.
+func out(t *testing.T, src string) string {
+	t.Helper()
+	return run(t, src).Out.String()
+}
+
+// runErr executes src and returns the error (must be non-nil).
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	it := NewInterp(nil)
+	it.SetStore(vars.NewStore())
+	err = it.Run(prog)
+	if err == nil {
+		t.Fatalf("expected runtime error for %q", src)
+	}
+	return err
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"print(1 + 2 * 3)", "7\n"},
+		{"print(2 ** 10)", "1024\n"},
+		{"print(7 // 2)", "3\n"},
+		{"print(-7 // 2)", "-4\n"}, // Python floor division
+		{"print(7 % 3)", "1\n"},
+		{"print(-7 % 3)", "2\n"},  // Python modulo sign
+		{"print(1 / 2)", "0.5\n"}, // true division yields float
+		{"print(2.5 + 1)", "3.5\n"},
+		{"print(2 ** -1)", "0.5\n"},
+		{"print(-(3))", "-3\n"},
+		{"print(1 < 2 and 3 > 2)", "True\n"},
+		{"print(not (1 == 1))", "False\n"},
+		{"print(1 == 1.0)", "True\n"},
+		{"print('a' + 'b')", "ab\n"},
+		{"print('abc' < 'abd')", "True\n"},
+		{"print(5 if 1 > 0 else 6)", "5\n"},
+		{"print(5 if 0 > 1 else 6)", "6\n"},
+	}
+	for _, c := range cases {
+		if got := out(t, c.src+"\n"); got != c.want {
+			t.Errorf("%s => %q want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+def boom():
+    raise "should not run"
+
+x = False and boom()
+y = True or boom()
+print(x, y)
+`
+	if got := out(t, src); got != "False True\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDivisionByZeroErrors(t *testing.T) {
+	runErr(t, "x = 1 / 0\n")
+	runErr(t, "x = 1 // 0\n")
+	runErr(t, "x = 1 % 0\n")
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+i = 0
+total = 0
+while i < 5:
+    total += i
+    i += 1
+print(total)
+`
+	if got := out(t, src); got != "10\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForRangeBreakContinue(t *testing.T) {
+	src := `
+total = 0
+for i in range(10):
+    if i == 3:
+        continue
+    if i == 6:
+        break
+    total += i
+print(total)
+`
+	// 0+1+2+4+5 = 12
+	if got := out(t, src); got != "12\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestForOverListAndTupleUnpack(t *testing.T) {
+	src := `
+pairs = [[1, 2], [3, 4]]
+total = 0
+for a, b in pairs:
+    total += a * b
+print(total)
+`
+	if got := out(t, src); got != "14\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNestedFunctionsAndClosures(t *testing.T) {
+	src := `
+def make_counter():
+    count = 0
+    def inc():
+        nonlocal count
+        count += 1
+        return count
+    return inc
+
+c = make_counter()
+c()
+c()
+print(c())
+`
+	if got := out(t, src); got != "3\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGlobalStatement(t *testing.T) {
+	src := `
+total = 0
+def bump(x):
+    global total
+    total = total + x
+
+bump(5)
+bump(7)
+print(total)
+`
+	if got := out(t, src); got != "12\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+print(fib(10))
+`
+	if got := out(t, src); got != "55\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDefaultAndKeywordArgs(t *testing.T) {
+	src := `
+def f(a, b=10, c=20):
+    return a + b + c
+print(f(1))
+print(f(1, 2))
+print(f(1, c=3))
+`
+	if got := out(t, src); got != "31\n23\n14\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLambda(t *testing.T) {
+	src := `
+f = lambda x, y: x * y + 1
+print(f(3, 4))
+g = lambda: 42
+print(g())
+`
+	if got := out(t, src); got != "13\n42\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestListOperations(t *testing.T) {
+	src := `
+xs = [1, 2]
+xs.append(3)
+xs += [4]
+ys = xs + [5]
+print(len(ys), ys[0], ys[-1])
+ys[0] = 99
+print(ys[0])
+print(xs)
+v = ys.pop()
+print(v, len(ys))
+`
+	want := "5 1 5\n99\n[1, 2, 3, 4]\n5 4\n"
+	if got := out(t, src); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestListAliasing(t *testing.T) {
+	// Lists are shared by reference, like Python.
+	src := `
+a = [1]
+b = a
+b.append(2)
+print(len(a))
+`
+	if got := out(t, src); got != "2\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDictOperations(t *testing.T) {
+	src := `
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(len(d), d["a"], d.get("zz", 99))
+print("b" in d, "zz" in d)
+del d["a"]
+print(len(d))
+`
+	want := "3 1 99\nTrue False\n2\n"
+	if got := out(t, src); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestClassesAndMethods(t *testing.T) {
+	src := `
+class Counter:
+    def __init__(self, start):
+        self.n = start
+    def bump(self, k):
+        self.n = self.n + k
+        return self.n
+
+c = Counter(10)
+c.bump(1)
+print(c.bump(2))
+print(c.n)
+`
+	if got := out(t, src); got != "13\n13\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCallableObject(t *testing.T) {
+	src := `
+class Model:
+    def __call__(self, x):
+        return x * 2
+
+m = Model()
+print(m(21))
+`
+	if got := out(t, src); got != "42\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestObjectAttributeMutationAcrossCalls(t *testing.T) {
+	// The impure-function pattern from the paper's Figure 1: state carried in
+	// an attribute across invocations.
+	src := `
+class RNN:
+    def __init__(self):
+        self.state = 0
+    def __call__(self, seq):
+        s = self.state
+        for item in seq:
+            s = s + item
+        self.state = s
+        return s
+
+m = RNN()
+print(m([1, 2, 3]))
+print(m([10]))
+print(m.state)
+`
+	if got := out(t, src); got != "6\n16\n16\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStringIndexAndIteration(t *testing.T) {
+	src := `
+s = "abc"
+print(s[0], s[-1])
+r = ""
+for ch in s:
+    r = ch + r
+print(r)
+`
+	if got := out(t, src); got != "a c\ncba\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	runErr(t, "print(undefined_name)\n")
+	runErr(t, "xs = [1]\nprint(xs[5])\n")
+	runErr(t, "d = {}\nprint(d['missing'])\n")
+	runErr(t, "x = 1\nx.attr = 2\n")
+	runErr(t, "def f(a): return a\nf(1, 2)\n")
+	runErr(t, "def f(a): return a\nf()\n")
+	runErr(t, "def f(a): return a\nf(b=1)\n")
+	runErr(t, "raise 'boom'\n")
+	runErr(t, "assert 1 == 2, 'nope'\n")
+	runErr(t, "x = 'a' - 'b'\n")
+}
+
+func TestAssertPasses(t *testing.T) {
+	out(t, "assert 1 == 1\nprint('ok')\n")
+}
+
+func TestStepLimitAborts(t *testing.T) {
+	prog := MustParse("while True:\n    x = 1\n")
+	it := NewInterp(nil)
+	it.MaxSteps = 1000
+	if err := it.Run(prog); err == nil {
+		t.Fatal("expected step-limit error")
+	}
+}
+
+func TestTupleAssignmentSwap(t *testing.T) {
+	src := `
+a = 1
+b = 2
+a, b = b, a
+print(a, b)
+`
+	if got := out(t, src); got != "2 1\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBuiltinsMinMaxAbsIntFloat(t *testing.T) {
+	src := `
+print(min(3, 1, 2), max([4, 9, 5]))
+print(abs(-3), abs(2.5))
+print(int(3.9), float(2))
+`
+	if got := out(t, src); got != "1 9\n3 2.5\n3 2\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// --- tensor integration -----------------------------------------------------
+
+func TestTensorArithmeticInPrograms(t *testing.T) {
+	src := `
+x = constant([1.0, 2.0, 3.0])
+y = x * 2.0 + 1.0
+print(reduce_sum(y))
+`
+	got := out(t, src)
+	if !strings.Contains(got, "15") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLinearModelMatchesPaperFigure3(t *testing.T) {
+	// loss_fn from Figure 3: y_ = 0.5*x + 1.5 ; return (y_ - y) ** 2
+	src := `
+def loss_fn(x, y):
+    y_ = 0.5 * x + 1.5
+    return (y_ - y) ** 2
+
+print(loss_fn(constant(4.0), constant(2.0)))
+`
+	got := out(t, src)
+	// y_ = 3.5, (3.5-2)^2 = 2.25
+	if !strings.Contains(got, "2.25") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestVariableSharedThroughStore(t *testing.T) {
+	prog := MustParse(`
+w = variable("w", [2, 2])
+print(w.shape)
+`)
+	it := NewInterp(nil)
+	store := vars.NewStore()
+	it.SetStore(store)
+	if err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("w"); !ok {
+		t.Fatal("variable not created in store")
+	}
+	if got := it.Out.String(); got != "(2, 2)\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTensorOpsRecordOnTape(t *testing.T) {
+	prog := MustParse(`
+def loss():
+    w = variable("w", [2, 1])
+    x = constant([[1.0, 2.0], [3.0, 4.0]])
+    return reduce_mean(matmul(x, w) ** 2)
+`)
+	it := NewInterp(nil)
+	store := vars.NewStore()
+	it.SetStore(store)
+	if err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := it.Globals.Lookup("loss")
+	it.Tape = autodiff.NewTape()
+	lv, err := it.CallFunction(fn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := lv.(*TensorVal)
+	grads := it.Tape.Gradient(loss.Node)
+	g, ok := grads["w"]
+	if !ok {
+		t.Fatal("no gradient for w")
+	}
+	if tensor.Equal(g, tensor.Zeros(2, 1)) {
+		t.Fatal("gradient is zero")
+	}
+	// Check numerically.
+	w := store.MustGet("w")
+	lossAt := func() float64 {
+		it2 := NewInterp(nil)
+		it2.SetStore(store)
+		if err := it2.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		fn2, _ := it2.Globals.Lookup("loss")
+		v, err := it2.CallFunction(fn2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(*TensorVal).T().Item()
+	}
+	const h = 1e-6
+	orig := w.Data()[0]
+	w.Data()[0] = orig + h
+	up := lossAt()
+	w.Data()[0] = orig - h
+	dn := lossAt()
+	w.Data()[0] = orig
+	num := (up - dn) / (2 * h)
+	if err := autodiff.CheckGrad(g.Data()[0], num, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorIndexingSlicesLeadingAxis(t *testing.T) {
+	src := `
+x = constant([[1.0, 2.0], [3.0, 4.0]])
+row = x[1]
+print(row.shape)
+print(reduce_sum(row))
+`
+	got := out(t, src)
+	if !strings.Contains(got, "(2)") || !strings.Contains(got, "7") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestConv2DBuiltin(t *testing.T) {
+	src := `
+x = ones([1, 1, 4, 4])
+w = ones([2, 1, 3, 3])
+y = conv2d(x, w, stride=1, pad=1)
+print(y.shape)
+`
+	if got := out(t, src); got != "(1, 2, 4, 4)\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmbeddingAndOneHot(t *testing.T) {
+	src := `
+table = constant([[1.0, 0.0], [0.0, 1.0], [2.0, 2.0]])
+e = embedding(table, [2, 0])
+print(e.shape)
+oh = one_hot([1, 0], 3)
+print(oh.shape)
+`
+	if got := out(t, src); got != "(2, 2)\n(2, 3)\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestProfilerReceivesBranchAndLoopEvents(t *testing.T) {
+	src := `
+def f(n):
+    total = 0
+    for i in range(n):
+        if i % 2 == 0:
+            total += i
+    return total
+f(4)
+`
+	prog := MustParse(src)
+	rec := &recordingProfiler{}
+	it := NewInterp(nil)
+	it.Prof = rec
+	if err := it.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if rec.loops != 1 {
+		t.Fatalf("loops=%d", rec.loops)
+	}
+	if rec.branchTrue != 2 || rec.branchFalse != 2 {
+		t.Fatalf("branches true=%d false=%d", rec.branchTrue, rec.branchFalse)
+	}
+	if rec.calls == 0 {
+		t.Fatal("no call events")
+	}
+}
+
+type recordingProfiler struct {
+	loops, branchTrue, branchFalse, calls, values int
+}
+
+func (r *recordingProfiler) Branch(id int, taken bool) {
+	if taken {
+		r.branchTrue++
+	} else {
+		r.branchFalse++
+	}
+}
+func (r *recordingProfiler) Loop(id, trips int)      { r.loops++ }
+func (r *recordingProfiler) Call(id int, c CalleeID) { r.calls++ }
+func (r *recordingProfiler) Value(id int, v Value)   { r.values++ }
+
+func TestIsAndIsNot(t *testing.T) {
+	src := `
+a = None
+print(a is None, a is not None)
+xs = [1]
+ys = xs
+zs = [1]
+print(xs is ys, xs is zs, xs == zs)
+`
+	if got := out(t, src); got != "True False\nTrue False True\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWhileElseNotSupportedButElifWorks(t *testing.T) {
+	src := `
+x = 5
+if x < 3:
+    print("small")
+elif x < 10:
+    print("medium")
+else:
+    print("large")
+`
+	if got := out(t, src); got != "medium\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeterministicDictIteration(t *testing.T) {
+	src := `
+d = {"b": 2, "a": 1, "c": 3}
+keys = ""
+for k in d:
+    keys = keys + k
+print(keys)
+`
+	if got := out(t, src); got != "abc\n" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -1,0 +1,351 @@
+package minipy
+
+import (
+	"strings"
+)
+
+// Lexer converts minipy source into a token stream. It implements Python's
+// indentation rules: leading whitespace depth produces INDENT/DEDENT tokens,
+// logical lines end with NEWLINE, and newlines inside (), [] or {} are
+// ignored (implicit line joining).
+type Lexer struct {
+	src         string
+	pos         int
+	line        int
+	col         int
+	indent      []int // indentation stack; always starts with 0
+	depth       int   // bracket nesting depth
+	toks        []Token
+	atLineStart bool
+}
+
+// Lex tokenizes src, returning the full token list terminated by EOF.
+func Lex(src string) ([]Token, error) {
+	l := &Lexer{src: src, line: 1, col: 1, indent: []int{0}, atLineStart: true}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *Lexer) errf(msg string) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: msg}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) emit(k Kind, text string) {
+	l.toks = append(l.toks, Token{Kind: k, Text: text, Line: l.line, Col: l.col})
+}
+
+func (l *Lexer) run() error {
+	for l.pos < len(l.src) {
+		if l.atLineStart && l.depth == 0 {
+			if err := l.handleIndent(); err != nil {
+				return err
+			}
+			if l.pos >= len(l.src) {
+				break
+			}
+		}
+		c := l.peek()
+		switch {
+		case c == '\n':
+			l.advance()
+			if l.depth == 0 {
+				if n := len(l.toks); n > 0 && l.toks[n-1].Kind != NEWLINE && l.toks[n-1].Kind != INDENT && l.toks[n-1].Kind != DEDENT {
+					l.emit(NEWLINE, "")
+				}
+				l.atLineStart = true
+			}
+		case c == '#':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		case c == '\\' && l.peek2() == '\n':
+			l.advance()
+			l.advance() // explicit line continuation
+		case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+			l.lexNumber()
+		case isNameStart(c):
+			l.lexName()
+		case c == '"' || c == '\'':
+			if err := l.lexString(); err != nil {
+				return err
+			}
+		default:
+			if err := l.lexOperator(); err != nil {
+				return err
+			}
+		}
+	}
+	// Terminate final logical line and close all indentation.
+	if n := len(l.toks); n > 0 && l.toks[n-1].Kind != NEWLINE {
+		l.emit(NEWLINE, "")
+	}
+	for len(l.indent) > 1 {
+		l.indent = l.indent[:len(l.indent)-1]
+		l.emit(DEDENT, "")
+	}
+	l.emit(EOF, "")
+	return nil
+}
+
+// handleIndent measures leading whitespace at the start of a logical line and
+// emits INDENT/DEDENT tokens. Blank and comment-only lines are skipped.
+func (l *Lexer) handleIndent() error {
+	for {
+		start := l.pos
+		width := 0
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if c == ' ' {
+				width++
+				l.advance()
+			} else if c == '\t' {
+				width += 8 - width%8
+				l.advance()
+			} else {
+				break
+			}
+		}
+		if l.pos >= len(l.src) {
+			l.atLineStart = false
+			return nil
+		}
+		c := l.peek()
+		if c == '\n' {
+			l.advance()
+			continue // blank line: try again
+		}
+		if c == '#' {
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		_ = start
+		cur := l.indent[len(l.indent)-1]
+		switch {
+		case width > cur:
+			l.indent = append(l.indent, width)
+			l.emit(INDENT, "")
+		case width < cur:
+			for len(l.indent) > 1 && l.indent[len(l.indent)-1] > width {
+				l.indent = l.indent[:len(l.indent)-1]
+				l.emit(DEDENT, "")
+			}
+			if l.indent[len(l.indent)-1] != width {
+				return l.errf("inconsistent dedent")
+			}
+		}
+		l.atLineStart = false
+		return nil
+	}
+}
+
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isNameStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isNameChar(c byte) bool  { return isNameStart(c) || isDigit(c) }
+
+func (l *Lexer) lexNumber() {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	} else if l.peek() == '.' && !isNameStart(l.peek2()) && l.peek2() != '.' {
+		// trailing dot float like "1."
+		isFloat = true
+		l.advance()
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save := l.pos
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.pos = save // not an exponent; back off
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		l.emit(FLOAT, text)
+	} else {
+		l.emit(INT, text)
+	}
+}
+
+func (l *Lexer) lexName() {
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.pos]
+	if k, ok := keywords[text]; ok {
+		l.emit(k, text)
+	} else {
+		l.emit(NAME, text)
+	}
+}
+
+func (l *Lexer) lexString() error {
+	quote := l.advance()
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return l.errf("unterminated string")
+		}
+		c := l.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return l.errf("newline in string")
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	l.emit(STRING, b.String())
+	return nil
+}
+
+func (l *Lexer) lexOperator() error {
+	c := l.advance()
+	two := func(next byte, k2, k1 Kind) {
+		if l.peek() == next {
+			l.advance()
+			l.emit(k2, "")
+		} else {
+			l.emit(k1, "")
+		}
+	}
+	switch c {
+	case '+':
+		two('=', PlusEq, Plus)
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			l.emit(Arrow, "")
+		} else {
+			two('=', MinusEq, Minus)
+		}
+	case '*':
+		if l.peek() == '*' {
+			l.advance()
+			l.emit(DoubleStar, "")
+		} else {
+			two('=', StarEq, Star)
+		}
+	case '/':
+		if l.peek() == '/' {
+			l.advance()
+			l.emit(DoubleSlash, "")
+		} else {
+			two('=', SlashEq, Slash)
+		}
+	case '%':
+		l.emit(Percent, "")
+	case '=':
+		two('=', Eq, Assign)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			l.emit(Ne, "")
+		} else {
+			return l.errf("unexpected '!'")
+		}
+	case '<':
+		two('=', Le, Lt)
+	case '>':
+		two('=', Ge, Gt)
+	case '(':
+		l.depth++
+		l.emit(LParen, "")
+	case ')':
+		l.depth--
+		l.emit(RParen, "")
+	case '[':
+		l.depth++
+		l.emit(LBracket, "")
+	case ']':
+		l.depth--
+		l.emit(RBracket, "")
+	case '{':
+		l.depth++
+		l.emit(LBrace, "")
+	case '}':
+		l.depth--
+		l.emit(RBrace, "")
+	case ',':
+		l.emit(Comma, "")
+	case ':':
+		l.emit(Colon, "")
+	case '.':
+		l.emit(Dot, "")
+	case ';':
+		l.emit(Semicolon, "")
+	default:
+		return l.errf("unexpected character " + string(c))
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package minipy
+
+import "testing"
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleAssignment(t *testing.T) {
+	toks, err := Lex("x = 1 + 2.5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{NAME, Assign, INT, Plus, FLOAT, NEWLINE, EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexIndentDedent(t *testing.T) {
+	src := "if x:\n    y = 1\n    z = 2\nw = 3\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var indents, dedents int
+	for _, tk := range toks {
+		switch tk.Kind {
+		case INDENT:
+			indents++
+		case DEDENT:
+			dedents++
+		}
+	}
+	if indents != 1 || dedents != 1 {
+		t.Fatalf("indents=%d dedents=%d", indents, dedents)
+	}
+}
+
+func TestLexNestedDedents(t *testing.T) {
+	src := "def f():\n  if x:\n    y = 1\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dedents int
+	for _, tk := range toks {
+		if tk.Kind == DEDENT {
+			dedents++
+		}
+	}
+	if dedents != 2 {
+		t.Fatalf("want 2 closing dedents, got %d", dedents)
+	}
+}
+
+func TestLexImplicitLineJoining(t *testing.T) {
+	src := "x = f(1,\n      2,\n      3)\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newlines := 0
+	for _, tk := range toks {
+		if tk.Kind == NEWLINE {
+			newlines++
+		}
+	}
+	if newlines != 1 {
+		t.Fatalf("newlines inside parens not suppressed: %d", newlines)
+	}
+}
+
+func TestLexCommentsAndBlankLines(t *testing.T) {
+	src := "# header\nx = 1  # trailing\n\n\ny = 2\n"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := 0
+	for _, tk := range toks {
+		if tk.Kind == NAME {
+			names++
+		}
+	}
+	if names != 2 {
+		t.Fatalf("want 2 names, got %d", names)
+	}
+	// Blank/comment lines must not emit INDENT.
+	for _, tk := range toks {
+		if tk.Kind == INDENT {
+			t.Fatal("spurious INDENT")
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`s = "a\nb\tc\"d"` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != STRING || toks[2].Text != "a\nb\tc\"d" {
+		t.Fatalf("got %q", toks[2].Text)
+	}
+}
+
+func TestLexSingleQuotes(t *testing.T) {
+	toks, err := Lex("s = 'hi'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Text != "hi" {
+		t.Fatalf("got %q", toks[2].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("a ** b // c != d <= e -> f += g\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Kind{DoubleStar, DoubleSlash, Ne, Le, Arrow, PlusEq}
+	var got []Kind
+	for _, tk := range toks {
+		for _, w := range wantOps {
+			if tk.Kind == w {
+				got = append(got, tk.Kind)
+			}
+		}
+	}
+	if len(got) != len(wantOps) {
+		t.Fatalf("got ops %v want %v", got, wantOps)
+	}
+}
+
+func TestLexKeywordsVsNames(t *testing.T) {
+	toks, err := Lex("iffy = None\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != NAME || toks[0].Text != "iffy" {
+		t.Fatalf("keyword prefix mis-lexed: %v", toks[0])
+	}
+	if toks[2].Kind != KwNone {
+		t.Fatalf("None mis-lexed: %v", toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"x = \"unterminated\n",
+		"x = $\n",
+		"if x:\n    y = 1\n   z = 2\n", // inconsistent dedent
+	} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLexScientificNotation(t *testing.T) {
+	toks, err := Lex("x = 1e-3 + 2.5E4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != FLOAT || toks[2].Text != "1e-3" {
+		t.Fatalf("got %v %q", toks[2].Kind, toks[2].Text)
+	}
+	if toks[4].Kind != FLOAT || toks[4].Text != "2.5E4" {
+		t.Fatalf("got %v %q", toks[4].Kind, toks[4].Text)
+	}
+}

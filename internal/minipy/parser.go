@@ -1,0 +1,883 @@
+package minipy
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// globalNodeID makes AST node IDs unique across every Parse call in the
+// process: engines run several independently-parsed programs (model setup,
+// per-step driver) through one interpreter, and the profiler/converter key
+// observations by node ID, so IDs must never collide between programs.
+var globalNodeID atomic.Int64
+
+// Parser builds an AST from a token stream via recursive descent. Node IDs
+// are assigned in creation order and are process-globally unique.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a full minipy module.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var body []Stmt
+	for !p.at(EOF) {
+		if p.at(NEWLINE) {
+			p.next()
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return &Program{Body: body, NumNodes: int(globalNodeID.Load())}, nil
+}
+
+// MustParse parses src, panicking on error. For embedded model sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) mk() base {
+	t := p.cur()
+	return base{id: int(globalNodeID.Add(1)), line: t.Line, col: t.Col}
+}
+
+func (p *Parser) cur() Token     { return p.toks[p.pos] }
+func (p *Parser) at(k Kind) bool { return p.toks[p.pos].Kind == k }
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf("expected %s, got %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+// block parses `: NEWLINE INDENT stmt+ DEDENT` or a same-line simple stmt.
+func (p *Parser) block() ([]Stmt, error) {
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	if !p.at(NEWLINE) {
+		// Single-line suite: `if x: y = 1`
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(NEWLINE) {
+			p.next()
+		}
+		return []Stmt{s}, nil
+	}
+	p.next() // NEWLINE
+	if _, err := p.expect(INDENT); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for !p.at(DEDENT) && !p.at(EOF) {
+		if p.at(NEWLINE) {
+			p.next()
+			continue
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	if _, err := p.expect(DEDENT); err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, p.errf("empty block")
+	}
+	return body, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwDef:
+		return p.funcDef()
+	case KwClass:
+		return p.classDef()
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwFor:
+		return p.forStmt()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		// Optional trailing semicolon-separated statements are not supported;
+		// consume the line terminator.
+		if p.at(Semicolon) {
+			return nil, p.errf("';' statement separators are not supported")
+		}
+		if p.at(NEWLINE) {
+			p.next()
+		}
+		return s, nil
+	}
+}
+
+func (p *Parser) funcDef() (Stmt, error) {
+	b := p.mk()
+	p.next() // def
+	name, err := p.expect(NAME)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var params []string
+	var defaults []Expr
+	sawDefault := false
+	for !p.at(RParen) {
+		pn, err := p.expect(NAME)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn.Text)
+		if p.at(Assign) {
+			p.next()
+			d, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			defaults = append(defaults, d)
+			sawDefault = true
+		} else {
+			if sawDefault {
+				return nil, p.errf("non-default parameter after default")
+			}
+			defaults = append(defaults, nil)
+		}
+		if p.at(Comma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{base: b, Name: name.Text, Params: params, Defaults: defaults, Body: body}, nil
+}
+
+func (p *Parser) classDef() (Stmt, error) {
+	b := p.mk()
+	p.next() // class
+	name, err := p.expect(NAME)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(LParen) { // optional empty or object base: class X(object):
+		p.next()
+		if p.at(NAME) {
+			p.next()
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var methods []*FuncDef
+	for _, s := range body {
+		switch m := s.(type) {
+		case *FuncDef:
+			methods = append(methods, m)
+		case *PassStmt:
+		default:
+			return nil, p.errf("class bodies may contain only method definitions")
+		}
+	}
+	return &ClassDef{base: b, Name: name.Text, Methods: methods}, nil
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	b := p.mk()
+	p.next() // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	switch p.cur().Kind {
+	case KwElif:
+		s, err := p.ifStmt() // reuse: elif parses like a nested if
+		if err != nil {
+			return nil, err
+		}
+		els = []Stmt{s}
+	case KwElse:
+		p.next()
+		els, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &IfStmt{base: b, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	b := p.mk()
+	p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{base: b, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	b := p.mk()
+	p.next()
+	target, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{base: b, Target: target, Iter: iter, Body: body}, nil
+}
+
+// targetList parses a comma-separated list of assignment targets used in
+// `for` headers (for a, b in ...).
+func (p *Parser) targetList() (Expr, error) {
+	first, err := p.primaryTarget()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(Comma) {
+		return first, nil
+	}
+	b := p.mk()
+	elems := []Expr{first}
+	for p.at(Comma) {
+		p.next()
+		e, err := p.primaryTarget()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &TupleLit{base: b, Elems: elems}, nil
+}
+
+func (p *Parser) primaryTarget() (Expr, error) {
+	t, err := p.expect(NAME)
+	if err != nil {
+		return nil, err
+	}
+	b := p.mk()
+	return &NameExpr{base: b, Name: t.Text}, nil
+}
+
+func (p *Parser) simpleStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case KwReturn:
+		b := p.mk()
+		p.next()
+		if p.at(NEWLINE) || p.at(EOF) || p.at(DEDENT) {
+			return &ReturnStmt{base: b}, nil
+		}
+		v, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{base: b, Value: v}, nil
+	case KwBreak:
+		b := p.mk()
+		p.next()
+		return &BreakStmt{base: b}, nil
+	case KwContinue:
+		b := p.mk()
+		p.next()
+		return &ContinueStmt{base: b}, nil
+	case KwPass:
+		b := p.mk()
+		p.next()
+		return &PassStmt{base: b}, nil
+	case KwGlobal, KwNonlocal:
+		isGlobal := p.at(KwGlobal)
+		b := p.mk()
+		p.next()
+		var names []string
+		for {
+			n, err := p.expect(NAME)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, n.Text)
+			if !p.at(Comma) {
+				break
+			}
+			p.next()
+		}
+		if isGlobal {
+			return &GlobalStmt{base: b, Names: names}, nil
+		}
+		return &NonlocalStmt{base: b, Names: names}, nil
+	case KwDel:
+		b := p.mk()
+		p.next()
+		target, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &DelStmt{base: b, Target: target}, nil
+	case KwAssert:
+		b := p.mk()
+		p.next()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		var msg Expr
+		if p.at(Comma) {
+			p.next()
+			msg, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &AssertStmt{base: b, Cond: cond, Msg: msg}, nil
+	case KwRaise:
+		b := p.mk()
+		p.next()
+		var v Expr
+		if !p.at(NEWLINE) && !p.at(EOF) {
+			var err error
+			v, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &RaiseStmt{base: b, Value: v}, nil
+	}
+	// Expression, assignment, or augmented assignment.
+	b := p.mk()
+	lhs, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign:
+		p.next()
+		rhs, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkTarget(lhs); err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &AssignStmt{base: b, Target: lhs, Value: rhs}, nil
+	case PlusEq, MinusEq, StarEq, SlashEq:
+		op := map[Kind]string{PlusEq: "+", MinusEq: "-", StarEq: "*", SlashEq: "/"}[p.cur().Kind]
+		p.next()
+		rhs, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkTarget(lhs); err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &AugAssignStmt{base: b, Target: lhs, Op: op, Value: rhs}, nil
+	}
+	return &ExprStmt{base: b, X: lhs}, nil
+}
+
+func checkTarget(e Expr) error {
+	switch t := e.(type) {
+	case *NameExpr, *AttrExpr, *IndexExpr:
+		return nil
+	case *TupleLit:
+		for _, el := range t.Elems {
+			if err := checkTarget(el); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("invalid assignment target %T", e)
+	}
+}
+
+// exprOrTuple parses `a, b, c` as a TupleLit and a single expression as-is.
+func (p *Parser) exprOrTuple() (Expr, error) {
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(Comma) {
+		return first, nil
+	}
+	b := p.mk()
+	elems := []Expr{first}
+	for p.at(Comma) {
+		p.next()
+		if p.at(NEWLINE) || p.at(Assign) || p.at(RParen) || p.at(EOF) {
+			break // trailing comma
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &TupleLit{base: b, Elems: elems}, nil
+}
+
+// --- expression grammar (precedence climbing) --------------------------------
+
+// expr: conditional expression (lowest precedence).
+func (p *Parser) expr() (Expr, error) {
+	if p.at(KwLambda) {
+		return p.lambda()
+	}
+	e, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(KwIf) {
+		b := p.mk()
+		p.next()
+		cond, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KwElse); err != nil {
+			return nil, err
+		}
+		alt, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &CondExpr{base: b, Cond: cond, A: e, B: alt}, nil
+	}
+	return e, nil
+}
+
+func (p *Parser) lambda() (Expr, error) {
+	b := p.mk()
+	p.next() // lambda
+	var params []string
+	for p.at(NAME) {
+		params = append(params, p.next().Text)
+		if p.at(Comma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	body, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &LambdaExpr{base: b, Params: params, Body: body}, nil
+}
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwOr) {
+		b := p.mk()
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOpExpr{base: b, Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwAnd) {
+		b := p.mk()
+		p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOpExpr{base: b, Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.at(KwNot) {
+		b := p.mk()
+		p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: b, Op: "not", X: x}, nil
+	}
+	return p.comparison()
+}
+
+func (p *Parser) comparison() (Expr, error) {
+	l, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case Eq:
+			op = "=="
+		case Ne:
+			op = "!="
+		case Lt:
+			op = "<"
+		case Le:
+			op = "<="
+		case Gt:
+			op = ">"
+		case Ge:
+			op = ">="
+		case KwIs:
+			op = "is"
+		case KwIn:
+			op = "in"
+		default:
+			return l, nil
+		}
+		b := p.mk()
+		p.next()
+		if op == "is" && p.at(KwNot) {
+			p.next()
+			op = "is not"
+		}
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{base: b, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) arith() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		op := "+"
+		if p.at(Minus) {
+			op = "-"
+		}
+		b := p.mk()
+		p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{base: b, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.cur().Kind {
+		case Star:
+			op = "*"
+		case Slash:
+			op = "/"
+		case DoubleSlash:
+			op = "//"
+		case Percent:
+			op = "%"
+		default:
+			return l, nil
+		}
+		b := p.mk()
+		p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{base: b, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) factor() (Expr, error) {
+	if p.at(Minus) || p.at(Plus) {
+		op := "-"
+		if p.at(Plus) {
+			op = "+"
+		}
+		b := p.mk()
+		p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{base: b, Op: op, X: x}, nil
+	}
+	return p.power()
+}
+
+func (p *Parser) power() (Expr, error) {
+	l, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(DoubleStar) {
+		b := p.mk()
+		p.next()
+		// ** is right-associative.
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{base: b, Op: "**", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case LParen:
+			b := p.mk()
+			p.next()
+			var args []Expr
+			var kwNames []string
+			var kwValues []Expr
+			for !p.at(RParen) {
+				// keyword argument: NAME '=' expr
+				if p.at(NAME) && p.toks[p.pos+1].Kind == Assign {
+					n := p.next().Text
+					p.next() // =
+					v, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					kwNames = append(kwNames, n)
+					kwValues = append(kwValues, v)
+				} else {
+					if len(kwNames) > 0 {
+						return nil, p.errf("positional argument after keyword argument")
+					}
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+				}
+				if p.at(Comma) {
+					p.next()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			e = &CallExpr{base: b, Fn: e, Args: args, KwNames: kwNames, KwValues: kwValues}
+		case Dot:
+			b := p.mk()
+			p.next()
+			n, err := p.expect(NAME)
+			if err != nil {
+				return nil, err
+			}
+			e = &AttrExpr{base: b, X: e, Name: n.Text}
+		case LBracket:
+			b := p.mk()
+			p.next()
+			k, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{base: b, X: e, Key: k}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) atom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NAME:
+		b := p.mk()
+		p.next()
+		return &NameExpr{base: b, Name: t.Text}, nil
+	case INT:
+		b := p.mk()
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return &IntLit{base: b, Value: v}, nil
+	case FLOAT:
+		b := p.mk()
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.Text)
+		}
+		return &FloatLit{base: b, Value: v}, nil
+	case STRING:
+		b := p.mk()
+		p.next()
+		return &StrLit{base: b, Value: t.Text}, nil
+	case KwTrue:
+		b := p.mk()
+		p.next()
+		return &BoolLit{base: b, Value: true}, nil
+	case KwFalse:
+		b := p.mk()
+		p.next()
+		return &BoolLit{base: b, Value: false}, nil
+	case KwNone:
+		b := p.mk()
+		p.next()
+		return &NoneLit{base: b}, nil
+	case LParen:
+		p.next()
+		if p.at(RParen) { // empty tuple
+			b := p.mk()
+			p.next()
+			return &TupleLit{base: b}, nil
+		}
+		e, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case LBracket:
+		b := p.mk()
+		p.next()
+		var elems []Expr
+		for !p.at(RBracket) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.at(Comma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		return &ListLit{base: b, Elems: elems}, nil
+	case LBrace:
+		b := p.mk()
+		p.next()
+		var keys, values []Expr
+		for !p.at(RBrace) {
+			k, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+			values = append(values, v)
+			if p.at(Comma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(RBrace); err != nil {
+			return nil, err
+		}
+		return &DictLit{base: b, Keys: keys, Values: values}, nil
+	case KwLambda:
+		return p.lambda()
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

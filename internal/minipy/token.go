@@ -1,0 +1,150 @@
+// Package minipy implements a small dynamically-typed, Python-like language:
+// lexer, parser, AST and a tree-walking interpreter.
+//
+// minipy stands in for CPython in this reproduction of JANUS. It provides
+// precisely the dynamic features the paper's Section 2 enumerates —
+// dynamic control flow (if/while/for/recursion), dynamic types (no
+// annotations, heterogeneous containers), and impure functions (object
+// attributes, global/nonlocal state) — so that the speculative graph
+// generator in internal/convert has the same problem to solve as JANUS did.
+//
+// The interpreter is the "imperative executor" of the paper's Figure 2: it
+// runs programs directly, with per-AST-node profiling hooks used by
+// internal/profile.
+package minipy
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds. Operators and delimiters are given individual kinds so the
+// parser can switch on them directly.
+const (
+	EOF Kind = iota
+	NEWLINE
+	INDENT
+	DEDENT
+	NAME
+	INT
+	FLOAT
+	STRING
+
+	// Keywords
+	KwDef
+	KwClass
+	KwIf
+	KwElif
+	KwElse
+	KwFor
+	KwWhile
+	KwIn
+	KwReturn
+	KwBreak
+	KwContinue
+	KwPass
+	KwLambda
+	KwGlobal
+	KwNonlocal
+	KwAnd
+	KwOr
+	KwNot
+	KwTrue
+	KwFalse
+	KwNone
+	KwDel
+	KwAssert
+	KwRaise
+	KwIs
+
+	// Operators / delimiters
+	Plus        // +
+	Minus       // -
+	Star        // *
+	DoubleStar  // **
+	Slash       // /
+	DoubleSlash // //
+	Percent     // %
+	Assign      // =
+	PlusEq      // +=
+	MinusEq     // -=
+	StarEq      // *=
+	SlashEq     // /=
+	Eq          // ==
+	Ne          // !=
+	Lt          // <
+	Le          // <=
+	Gt          // >
+	Ge          // >=
+	LParen      // (
+	RParen      // )
+	LBracket    // [
+	RBracket    // ]
+	LBrace      // {
+	RBrace      // }
+	Comma       // ,
+	Colon       // :
+	Dot         // .
+	Semicolon   // ;
+	Arrow       // ->
+)
+
+var keywords = map[string]Kind{
+	"def": KwDef, "class": KwClass, "if": KwIf, "elif": KwElif,
+	"else": KwElse, "for": KwFor, "while": KwWhile, "in": KwIn,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"pass": KwPass, "lambda": KwLambda, "global": KwGlobal,
+	"nonlocal": KwNonlocal, "and": KwAnd, "or": KwOr, "not": KwNot,
+	"True": KwTrue, "False": KwFalse, "None": KwNone, "del": KwDel,
+	"assert": KwAssert, "raise": KwRaise, "is": KwIs,
+}
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", NEWLINE: "NEWLINE", INDENT: "INDENT", DEDENT: "DEDENT",
+	NAME: "NAME", INT: "INT", FLOAT: "FLOAT", STRING: "STRING",
+	KwDef: "def", KwClass: "class", KwIf: "if", KwElif: "elif", KwElse: "else",
+	KwFor: "for", KwWhile: "while", KwIn: "in", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwPass: "pass",
+	KwLambda: "lambda", KwGlobal: "global", KwNonlocal: "nonlocal",
+	KwAnd: "and", KwOr: "or", KwNot: "not", KwTrue: "True", KwFalse: "False",
+	KwNone: "None", KwDel: "del", KwAssert: "assert", KwRaise: "raise", KwIs: "is",
+	Plus: "+", Minus: "-", Star: "*", DoubleStar: "**", Slash: "/",
+	DoubleSlash: "//", Percent: "%", Assign: "=", PlusEq: "+=", MinusEq: "-=",
+	StarEq: "*=", SlashEq: "/=", Eq: "==", Ne: "!=", Lt: "<", Le: "<=",
+	Gt: ">", Ge: ">=", LParen: "(", RParen: ")", LBracket: "[", RBracket: "]",
+	LBrace: "{", RBrace: "}", Comma: ",", Colon: ":", Dot: ".",
+	Semicolon: ";", Arrow: "->",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" && t.Kind >= NAME && t.Kind <= STRING {
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}
+
+// SyntaxError describes a lexing or parsing failure with position info.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minipy: syntax error at line %d col %d: %s", e.Line, e.Col, e.Msg)
+}

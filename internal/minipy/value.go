@@ -1,0 +1,415 @@
+package minipy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+// Value is any minipy runtime value.
+type Value interface {
+	// TypeName is the Python-facing name of the value's type; the profiler
+	// records it as the coarsest level of the specialization hierarchy.
+	TypeName() string
+	// Repr is the printable representation.
+	Repr() string
+}
+
+// --- scalar values -----------------------------------------------------------
+
+// IntVal is a minipy integer.
+type IntVal int64
+
+// TypeName implements Value.
+func (IntVal) TypeName() string { return "int" }
+
+// Repr implements Value.
+func (v IntVal) Repr() string { return fmt.Sprintf("%d", int64(v)) }
+
+// FloatVal is a minipy float.
+type FloatVal float64
+
+// TypeName implements Value.
+func (FloatVal) TypeName() string { return "float" }
+
+// Repr implements Value.
+func (v FloatVal) Repr() string { return fmt.Sprintf("%g", float64(v)) }
+
+// BoolVal is a minipy boolean.
+type BoolVal bool
+
+// TypeName implements Value.
+func (BoolVal) TypeName() string { return "bool" }
+
+// Repr implements Value.
+func (v BoolVal) Repr() string {
+	if v {
+		return "True"
+	}
+	return "False"
+}
+
+// StrVal is a minipy string.
+type StrVal string
+
+// TypeName implements Value.
+func (StrVal) TypeName() string { return "str" }
+
+// Repr implements Value.
+func (v StrVal) Repr() string { return fmt.Sprintf("%q", string(v)) }
+
+// NoneVal is minipy's None.
+type NoneVal struct{}
+
+// TypeName implements Value.
+func (NoneVal) TypeName() string { return "NoneType" }
+
+// Repr implements Value.
+func (NoneVal) Repr() string { return "None" }
+
+// None is the canonical None value.
+var None = NoneVal{}
+
+// --- containers ----------------------------------------------------------------
+
+// ListVal is a mutable list (shared by reference, as in Python).
+type ListVal struct {
+	Items []Value
+}
+
+// TypeName implements Value.
+func (*ListVal) TypeName() string { return "list" }
+
+// Repr implements Value.
+func (l *ListVal) Repr() string {
+	parts := make([]string, len(l.Items))
+	for i, v := range l.Items {
+		parts[i] = v.Repr()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// TupleVal is an immutable sequence.
+type TupleVal struct {
+	Items []Value
+}
+
+// TypeName implements Value.
+func (*TupleVal) TypeName() string { return "tuple" }
+
+// Repr implements Value.
+func (t *TupleVal) Repr() string {
+	parts := make([]string, len(t.Items))
+	for i, v := range t.Items {
+		parts[i] = v.Repr()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// DictVal is a mutable string/int-keyed dictionary.
+type DictVal struct {
+	Entries map[string]Value
+}
+
+// NewDict returns an empty dict.
+func NewDict() *DictVal { return &DictVal{Entries: make(map[string]Value)} }
+
+// TypeName implements Value.
+func (*DictVal) TypeName() string { return "dict" }
+
+// Repr implements Value.
+func (d *DictVal) Repr() string {
+	keys := make([]string, 0, len(d.Entries))
+	for k := range d.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%q: %s", k, d.Entries[k].Repr())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// DictKey converts a minipy value to a dict key string. Ints and strings are
+// supported, matching the needs of the evaluation programs.
+func DictKey(v Value) (string, error) {
+	switch k := v.(type) {
+	case StrVal:
+		return "s:" + string(k), nil
+	case IntVal:
+		return fmt.Sprintf("i:%d", int64(k)), nil
+	case BoolVal:
+		return fmt.Sprintf("b:%v", bool(k)), nil
+	default:
+		return "", fmt.Errorf("unhashable dict key type %s", v.TypeName())
+	}
+}
+
+// --- tensors --------------------------------------------------------------------
+
+// TensorVal wraps an autodiff node so tensors flowing through the imperative
+// interpreter participate in tape-based differentiation.
+type TensorVal struct {
+	Node *autodiff.Node
+}
+
+// NewTensor wraps a plain tensor as an untracked constant TensorVal.
+func NewTensor(t *tensor.Tensor) *TensorVal {
+	return &TensorVal{Node: autodiff.Const(t)}
+}
+
+// T returns the underlying tensor value.
+func (t *TensorVal) T() *tensor.Tensor { return t.Node.Value }
+
+// TypeName implements Value.
+func (*TensorVal) TypeName() string { return "tensor" }
+
+// Repr implements Value.
+func (t *TensorVal) Repr() string { return t.Node.Value.String() }
+
+// --- callables -------------------------------------------------------------------
+
+// ClassVal is a user-defined class.
+type ClassVal struct {
+	Name    string
+	Methods map[string]*FuncVal
+}
+
+// TypeName implements Value.
+func (*ClassVal) TypeName() string { return "type" }
+
+// Repr implements Value.
+func (c *ClassVal) Repr() string { return "<class " + c.Name + ">" }
+
+// ObjectVal is an instance of a user-defined class: a mutable attribute
+// dictionary, exactly like CPython instances without __slots__. Objects are
+// the "global state" of the paper's impure-function discussion; the graph
+// executor reaches them through PyGetAttr/PySetAttr operations.
+type ObjectVal struct {
+	Class *ClassVal
+	Attrs map[string]Value
+}
+
+// TypeName implements Value.
+func (o *ObjectVal) TypeName() string { return o.Class.Name }
+
+// Repr implements Value.
+func (o *ObjectVal) Repr() string { return fmt.Sprintf("<%s object at %p>", o.Class.Name, o) }
+
+// FuncVal is a user-defined function or bound method (closure over Env).
+type FuncVal struct {
+	Name     string
+	Params   []string
+	Defaults []Expr
+	Body     []Stmt
+	// LambdaBody is set instead of Body for lambda expressions.
+	LambdaBody Expr
+	Env        *Env
+	// Self is non-nil for bound methods; it is prepended to the arguments.
+	Self Value
+	// Def points at the defining AST node (FuncDef or LambdaExpr), used by
+	// the profiler and converter to identify callees.
+	Def Node
+}
+
+// TypeName implements Value.
+func (*FuncVal) TypeName() string { return "function" }
+
+// Repr implements Value.
+func (f *FuncVal) Repr() string { return "<function " + f.Name + ">" }
+
+// Bind returns a copy of f bound to self.
+func (f *FuncVal) Bind(self Value) *FuncVal {
+	g := *f
+	g.Self = self
+	return &g
+}
+
+// BuiltinVal is a native function exposed to minipy programs. Builtins are
+// the "external functions" of the paper's Section 4.3.1; the Graph field on
+// the registry entry (see builtins.go) is the whitelist that tells the
+// converter how to represent the call symbolically.
+type BuiltinVal struct {
+	Name string
+	Fn   func(it *Interp, args []Value, kwargs map[string]Value) (Value, error)
+	// Self is non-nil for bound container methods like list.append.
+	Self Value
+}
+
+// TypeName implements Value.
+func (*BuiltinVal) TypeName() string { return "builtin" }
+
+// Repr implements Value.
+func (b *BuiltinVal) Repr() string { return "<builtin " + b.Name + ">" }
+
+// RangeVal is the result of range(...); iterated by for loops.
+type RangeVal struct {
+	Start, Stop, Step int64
+}
+
+// TypeName implements Value.
+func (RangeVal) TypeName() string { return "range" }
+
+// Repr implements Value.
+func (r RangeVal) Repr() string {
+	return fmt.Sprintf("range(%d, %d, %d)", r.Start, r.Stop, r.Step)
+}
+
+// Len returns the number of elements produced by the range.
+func (r RangeVal) Len() int64 {
+	if r.Step == 0 {
+		return 0
+	}
+	if r.Step > 0 {
+		if r.Stop <= r.Start {
+			return 0
+		}
+		return (r.Stop - r.Start + r.Step - 1) / r.Step
+	}
+	if r.Start <= r.Stop {
+		return 0
+	}
+	return (r.Start - r.Stop - r.Step - 1) / (-r.Step)
+}
+
+// --- helpers ----------------------------------------------------------------------
+
+// Truthy implements Python truthiness.
+func Truthy(v Value) (bool, error) {
+	switch x := v.(type) {
+	case BoolVal:
+		return bool(x), nil
+	case IntVal:
+		return x != 0, nil
+	case FloatVal:
+		return x != 0, nil
+	case StrVal:
+		return x != "", nil
+	case NoneVal:
+		return false, nil
+	case *ListVal:
+		return len(x.Items) > 0, nil
+	case *TupleVal:
+		return len(x.Items) > 0, nil
+	case *DictVal:
+		return len(x.Entries) > 0, nil
+	case *TensorVal:
+		if x.T().Size() != 1 {
+			return false, fmt.Errorf("truth value of a multi-element tensor is ambiguous")
+		}
+		return x.T().Item() != 0, nil
+	case RangeVal:
+		return x.Len() > 0, nil
+	default:
+		return true, nil
+	}
+}
+
+// AsFloat extracts a numeric value as float64.
+func AsFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case IntVal:
+		return float64(x), true
+	case FloatVal:
+		return float64(x), true
+	case BoolVal:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case *TensorVal:
+		if x.T().Size() == 1 {
+			return x.T().Item(), true
+		}
+	}
+	return 0, false
+}
+
+// AsInt extracts an integer value.
+func AsInt(v Value) (int64, bool) {
+	switch x := v.(type) {
+	case IntVal:
+		return int64(x), true
+	case BoolVal:
+		if x {
+			return 1, true
+		}
+		return 0, true
+	case FloatVal:
+		if float64(int64(x)) == float64(x) {
+			return int64(x), true
+		}
+	case *TensorVal:
+		if x.T().Size() == 1 {
+			f := x.T().Item()
+			if float64(int64(f)) == f {
+				return int64(f), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Equal compares two values with Python == semantics (numeric cross-type
+// comparison, structural container comparison).
+func Equal(a, b Value) bool {
+	if fa, ok := AsFloat(a); ok {
+		if fb, ok := AsFloat(b); ok {
+			// but tensors compare elementwise below; restrict to scalars
+			_, ta := a.(*TensorVal)
+			_, tb := b.(*TensorVal)
+			if !ta && !tb {
+				return fa == fb
+			}
+		}
+	}
+	switch x := a.(type) {
+	case StrVal:
+		y, ok := b.(StrVal)
+		return ok && x == y
+	case NoneVal:
+		_, ok := b.(NoneVal)
+		return ok
+	case *ListVal:
+		y, ok := b.(*ListVal)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *TupleVal:
+		y, ok := b.(*TupleVal)
+		if !ok || len(x.Items) != len(y.Items) {
+			return false
+		}
+		for i := range x.Items {
+			if !Equal(x.Items[i], y.Items[i]) {
+				return false
+			}
+		}
+		return true
+	case *TensorVal:
+		y, ok := b.(*TensorVal)
+		if ok {
+			return tensor.Equal(x.T(), y.T())
+		}
+		if f, ok := AsFloat(b); ok && x.T().Size() == 1 {
+			return x.T().Item() == f
+		}
+		return false
+	}
+	if y, ok := b.(*TensorVal); ok {
+		if f, ok := AsFloat(a); ok && y.T().Size() == 1 {
+			return f == y.T().Item()
+		}
+	}
+	return a == b
+}

@@ -1,0 +1,138 @@
+package models
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// cnnSetup installs a synthetic image dataset and a batch feeder; per-step
+// batches are Defined as globals captured by the optimized lambda.
+func cnnSetup(e *core.Engine, seed uint64, channels, hw, classes, bs int, defsSrc, driverSrc string) (*Instance, error) {
+	if err := e.Run(defsSrc); err != nil {
+		return nil, err
+	}
+	ds := data.SynthImages(tensor.NewRNG(seed), 64, channels, hw, hw, classes)
+	driver := mustParse(driverSrc)
+	inst := &Instance{Engine: e}
+	inst.Step = func(i int) (float64, error) {
+		x, y := ds.Batch(i, bs)
+		e.Define("cur_x", minipy.NewTensor(x))
+		e.Define("cur_y", minipy.NewTensor(y))
+		return runStep(e, driver)
+	}
+	return inst, nil
+}
+
+func init() {
+	// LeNet: small convolutional classifier; no dynamic control flow (the
+	// Table 2 row marks DCF ✗), dynamic types only.
+	register(&Model{
+		Name: "LeNet", Category: "CNN", Units: "images/s",
+		BatchSize: 8, ItemsPerStep: 8, DCF: false, DT: true, IF: false,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+def lenet_step(x, y):
+    c1 = variable("lenet/c1", [4, 1, 3, 3])
+    c2 = variable("lenet/c2", [8, 4, 3, 3])
+    fc = variable("lenet/fc", [32, 4])
+    b = variable("lenet/b", [4])
+    h = relu(conv2d(x, c1, stride=1, pad=1))
+    h = max_pool(h, 2, 2)
+    h = relu(conv2d(h, c2, stride=1, pad=1))
+    h = max_pool(h, 2, 2)
+    flat = reshape(h, [8, 32])
+    logits = matmul(flat, fc) + b
+    return cross_entropy(logits, y)
+`
+			driver := `__loss = optimize(lambda: lenet_step(cur_x, cur_y))`
+			return cnnSetup(e, seed, 1, 8, 4, 8, defs, driver)
+		},
+	})
+
+	// ResNet (scaled stand-in for ResNet50): residual blocks with batch
+	// normalization whose train/eval behaviour is selected by an attribute-
+	// driven conditional — the exact pattern that breaks tracing (Fig. 6a).
+	register(&Model{
+		Name: "ResNet", Category: "CNN", Units: "images/s",
+		BatchSize: 4, ItemsPerStep: 4, DCF: true, DT: true, IF: false,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class ResNet:
+    def __init__(self):
+        self.training = True
+    def block(self, h, name):
+        w1 = variable(name + "/w1", [8, 8, 3, 3])
+        w2 = variable(name + "/w2", [8, 8, 3, 3])
+        r = conv2d(h, w1, stride=1, pad=1)
+        if self.training:
+            r = batch_norm(r, name + "/bn1", True)
+        else:
+            r = batch_norm(r, name + "/bn1", False)
+        r = relu(r)
+        r = conv2d(r, w2, stride=1, pad=1)
+        if self.training:
+            r = batch_norm(r, name + "/bn2", True)
+        else:
+            r = batch_norm(r, name + "/bn2", False)
+        return relu(r + h)
+    def loss(self, x, y):
+        stem = variable("resnet/stem", [8, 3, 3, 3])
+        h = relu(conv2d(x, stem, stride=1, pad=1))
+        h = self.block(h, "resnet/b1")
+        h = self.block(h, "resnet/b2")
+        h = avg_pool(h, 2, 2)
+        flat = reshape(h, [4, 128])
+        fc = variable("resnet/fc", [128, 4])
+        return cross_entropy(matmul(flat, fc), y)
+
+resnet_model = ResNet()
+`
+			driver := `__loss = optimize(lambda: resnet_model.loss(cur_x, cur_y))`
+			return cnnSetup(e, seed, 3, 8, 4, 4, defs, driver)
+		},
+	})
+
+	// Inception (scaled stand-in for Inception-v3): parallel convolution
+	// branches concatenated channel-wise, plus the batch-norm conditional.
+	register(&Model{
+		Name: "Inception", Category: "CNN", Units: "images/s",
+		BatchSize: 4, ItemsPerStep: 4, DCF: true, DT: true, IF: false,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class Inception:
+    def __init__(self):
+        self.training = True
+    def module(self, h, name):
+        w1 = variable(name + "/1x1", [4, 8, 1, 1])
+        w3 = variable(name + "/3x3", [4, 8, 3, 3])
+        w5 = variable(name + "/5x5", [4, 8, 5, 5])
+        b1 = relu(conv2d(h, w1, stride=1, pad=0))
+        b3 = relu(conv2d(h, w3, stride=1, pad=1))
+        b5 = relu(conv2d(h, w5, stride=1, pad=2))
+        pooled = avg_pool(h, 3, 1)
+        wp = variable(name + "/pool", [4, 8, 1, 1])
+        bp = relu(conv2d(pooled, wp, stride=1, pad=1))
+        out = concat([b1, b3, b5, bp], 1)
+        if self.training:
+            out = batch_norm(out, name + "/bn", True)
+        else:
+            out = batch_norm(out, name + "/bn", False)
+        return out
+    def loss(self, x, y):
+        stem = variable("incep/stem", [8, 3, 3, 3])
+        h = relu(conv2d(x, stem, stride=1, pad=1))
+        h = self.module(h, "incep/m1")
+        h = avg_pool(h, 2, 2)
+        flat = reshape(h, [4, 256])
+        fc = variable("incep/fc", [256, 4])
+        return cross_entropy(matmul(flat, fc), y)
+
+incep_model = Inception()
+`
+			driver := `__loss = optimize(lambda: incep_model.loss(cur_x, cur_y))`
+			return cnnSetup(e, seed, 3, 8, 4, 4, defs, driver)
+		},
+	})
+}

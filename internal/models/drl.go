@@ -1,0 +1,214 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/env"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// policyForward computes action probabilities in Go from the shared store,
+// used only for environment rollouts between training steps (the paper's
+// footnote 7: the framework handles training and policy evaluation; the
+// environment loop is external).
+func policyForward(e *core.Engine, prefix string, obs []float64, hidden, actions int) []float64 {
+	w1, ok1 := e.Store.Get(prefix + "/w1")
+	w2, ok2 := e.Store.Get(prefix + "/w2")
+	if !ok1 || !ok2 {
+		// Parameters not created yet (before the first training step):
+		// uniform policy.
+		out := make([]float64, actions)
+		for i := range out {
+			out[i] = 1 / float64(actions)
+		}
+		return out
+	}
+	x := tensor.New([]int{1, len(obs)}, append([]float64(nil), obs...))
+	h := tensor.Tanh(tensor.MatMul(x, w1))
+	logits := tensor.MatMul(h, w2)
+	return tensor.Softmax(logits).Data()
+}
+
+func sampleAction(rng *tensor.RNG, probs []float64) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+func init() {
+	// A3C on CartPole: actor-critic loss with a Python for-loop over the
+	// (variable-length, bucketed) episode and a running-reward attribute —
+	// DCF + DT + IF per Table 2.
+	register(&Model{
+		Name: "A3C", Category: "DRL", Units: "frames/s",
+		BatchSize: 16, ItemsPerStep: 16, DCF: true, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class A3C:
+    def __init__(self):
+        self.total_reward = 0.0
+    def loss(self, obs, acts, rets):
+        w1 = variable("a3c/w1", [4, 16])
+        w2 = variable("a3c/w2", [16, 2])
+        vw = variable("a3c/vw", [16, 1])
+        total = constant(0.0)
+        n = len(obs)
+        for t in range(n):
+            h = tanh(matmul(obs[t], w1))
+            logits = matmul(h, w2)
+            value = matmul(h, vw)
+            adv = rets[t] - value
+            pg = cross_entropy(logits, acts[t]) * adv
+            total = total + reduce_sum(pg) + reduce_sum(adv * adv)
+        self.total_reward = self.total_reward + reduce_sum(stack(rets))
+        return total / float(n)
+
+a3c_model = A3C()
+`
+			if err := e.Run(defs); err != nil {
+				return nil, err
+			}
+			cart := env.NewCartPole(seed)
+			rng := tensor.NewRNG(seed + 1)
+			driver := mustParse("__loss = optimize(lambda: a3c_model.loss(cur_obs, cur_acts, cur_rets))")
+			const bucket = 16 // fixed-size chunks keep the loop trip stable
+			inst := &Instance{Engine: e}
+			inst.Step = func(i int) (float64, error) {
+				obs, acts, rewards := env.RunEpisode(cart, func(o []float64) int {
+					return sampleAction(rng, policyForward(e, "a3c", o, 16, 2))
+				}, 400)
+				rets := env.Discount(rewards, 0.95)
+				// Pad/trim to the bucket length so JANUS caches one graph.
+				oL := make([]minipy.Value, bucket)
+				aL := make([]minipy.Value, bucket)
+				rL := make([]minipy.Value, bucket)
+				for t := 0; t < bucket; t++ {
+					k := t % len(obs)
+					oL[t] = minipy.NewTensor(tensor.New([]int{1, 4}, append([]float64(nil), obs[k]...)))
+					aL[t] = minipy.NewTensor(tensor.OneHot([]int{acts[k]}, 2))
+					rL[t] = minipy.NewTensor(tensor.Scalar(rets[k] / 20))
+				}
+				e.Define("cur_obs", &minipy.ListVal{Items: oL})
+				e.Define("cur_acts", &minipy.ListVal{Items: aL})
+				e.Define("cur_rets", &minipy.ListVal{Items: rL})
+				return runStep(e, driver)
+			}
+			inst.Eval = func() (float64, error) {
+				// Average undiscounted return over 5 greedy episodes.
+				total := 0.0
+				for ep := 0; ep < 5; ep++ {
+					_, _, rw := env.RunEpisode(cart, func(o []float64) int {
+						p := policyForward(e, "a3c", o, 16, 2)
+						best := 0
+						for i := range p {
+							if p[i] > p[best] {
+								best = i
+							}
+						}
+						return best
+					}, 400)
+					for _, r := range rw {
+						total += r
+					}
+				}
+				return total / 5, nil
+			}
+			return inst, nil
+		},
+	})
+
+	// PPO on Pong-lite: vectorized clipped-surrogate loss (no Python loop —
+	// Table 2 marks PPO's DCF ✗) with episode statistics stored on the model
+	// object (IF ✓).
+	register(&Model{
+		Name: "PPO", Category: "DRL", Units: "frames/s",
+		BatchSize: 32, ItemsPerStep: 32, DCF: false, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class PPO:
+    def __init__(self):
+        self.episodes = 0.0
+    def loss(self, obs, acts, advs, old_probs):
+        w1 = variable("ppo/w1", [5, 16])
+        w2 = variable("ppo/w2", [16, 3])
+        h = tanh(matmul(obs, w1))
+        probs = softmax(matmul(h, w2))
+        chosen = matmul(probs * acts, ones([3, 1]))
+        ratio = chosen / old_probs
+        clipped = min(max(ratio, constant(0.8)), constant(1.2))
+        surr = min(ratio * advs, clipped * advs)
+        self.episodes = self.episodes + 1.0
+        return 0.0 - reduce_mean(surr)
+
+ppo_model = PPO()
+`
+			if err := e.Run(defs); err != nil {
+				return nil, err
+			}
+			pong := env.NewPongLite(seed, 10)
+			rng := tensor.NewRNG(seed + 2)
+			driver := mustParse("__loss = optimize(lambda: ppo_model.loss(cur_obs, cur_acts, cur_advs, cur_oldp))")
+			const batch = 32
+			inst := &Instance{Engine: e}
+			inst.Step = func(i int) (float64, error) {
+				var obsRows [][]float64
+				var actIdx []int
+				var advs []float64
+				var oldP []float64
+				for len(obsRows) < batch {
+					obs, acts, rewards := env.RunEpisode(pong, func(o []float64) int {
+						return sampleAction(rng, policyForward(e, "ppo", o, 16, 3))
+					}, 600)
+					rets := env.Discount(rewards, 0.99)
+					for t := range obs {
+						if len(obsRows) >= batch {
+							break
+						}
+						obsRows = append(obsRows, obs[t])
+						actIdx = append(actIdx, acts[t])
+						advs = append(advs, math.Tanh(rets[t]))
+						p := policyForward(e, "ppo", obs[t], 16, 3)
+						oldP = append(oldP, math.Max(p[acts[t]], 1e-3))
+					}
+				}
+				flat := make([]float64, 0, batch*5)
+				for _, r := range obsRows {
+					flat = append(flat, r...)
+				}
+				e.Define("cur_obs", minipy.NewTensor(tensor.New([]int{batch, 5}, flat)))
+				e.Define("cur_acts", minipy.NewTensor(tensor.OneHot(actIdx, 3)))
+				e.Define("cur_advs", minipy.NewTensor(tensor.New([]int{batch, 1}, advs)))
+				e.Define("cur_oldp", minipy.NewTensor(tensor.New([]int{batch, 1}, oldP)))
+				return runStep(e, driver)
+			}
+			inst.Eval = func() (float64, error) {
+				total := 0.0
+				for ep := 0; ep < 5; ep++ {
+					_, _, rw := env.RunEpisode(pong, func(o []float64) int {
+						p := policyForward(e, "ppo", o, 16, 3)
+						best := 0
+						for i := range p {
+							if p[i] > p[best] {
+								best = i
+							}
+						}
+						return best
+					}, 600)
+					for _, r := range rw {
+						total += r
+					}
+				}
+				return total / 5, nil
+			}
+			return inst, nil
+		},
+	})
+}

@@ -1,0 +1,115 @@
+package models
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+func init() {
+	// AN (the adversarial-nets model of the paper's GAN category): fully
+	// connected generator and discriminator over synthetic MNIST-scale
+	// images. Per-iteration noise is sampled outside optimize() (randn has no
+	// graph representation, just like in TF) and captured; the discriminator
+	// loss history is stored on the model object (IF ✓).
+	register(&Model{
+		Name: "AN", Category: "GAN", Units: "images/s",
+		BatchSize: 8, ItemsPerStep: 8, DCF: false, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class AN:
+    def __init__(self):
+        self.d_loss = 0.0
+    def gen(self, z):
+        g1 = variable("an/g1", [8, 32])
+        g2 = variable("an/g2", [32, 64])
+        return tanh(matmul(tanh(matmul(z, g1)), g2))
+    def disc(self, img):
+        d1 = variable("an/d1", [64, 32])
+        d2 = variable("an/d2", [32, 1])
+        return sigmoid(matmul(tanh(matmul(img, d1)), d2))
+    def loss(self, real, z):
+        fake = self.gen(z)
+        p_real = self.disc(real)
+        p_fake = self.disc(fake)
+        eps = constant(0.0001)
+        d_loss = 0.0 - reduce_mean(log(p_real + eps)) - reduce_mean(log(1.0 - p_fake + eps))
+        g_loss = 0.0 - reduce_mean(log(p_fake + eps))
+        self.d_loss = d_loss
+        return d_loss + g_loss
+
+an_model = AN()
+`
+			if err := e.Run(defs); err != nil {
+				return nil, err
+			}
+			ds := data.SynthImages(tensor.NewRNG(seed), 32, 1, 8, 8, 2)
+			rng := tensor.NewRNG(seed + 9)
+			driver := mustParse("__loss = optimize(lambda: an_model.loss(cur_real, cur_z))")
+			const bs = 8
+			inst := &Instance{Engine: e}
+			inst.Step = func(i int) (float64, error) {
+				x, _ := ds.Batch(i, bs)
+				e.Define("cur_real", minipy.NewTensor(x.Reshape(bs, 64)))
+				e.Define("cur_z", minipy.NewTensor(rng.Randn(bs, 8)))
+				return runStep(e, driver)
+			}
+			return inst, nil
+		},
+	})
+
+	// pix2pix: conditional image translation with a convolutional generator,
+	// an L2 reconstruction term and an adversarial discriminator, batch size
+	// 1 as in the paper's Table 2.
+	register(&Model{
+		Name: "pix2pix", Category: "GAN", Units: "images/s",
+		BatchSize: 1, ItemsPerStep: 1, DCF: false, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+class Pix2Pix:
+    def __init__(self):
+        self.g_loss = 0.0
+    def gen(self, a):
+        e1 = variable("p2p/e1", [8, 1, 3, 3])
+        e2 = variable("p2p/e2", [8, 8, 3, 3])
+        d1 = variable("p2p/d1", [1, 8, 3, 3])
+        h = relu(conv2d(a, e1, stride=1, pad=1))
+        h = relu(conv2d(h, e2, stride=1, pad=1))
+        return tanh(conv2d(h, d1, stride=1, pad=1))
+    def disc(self, img):
+        c1 = variable("p2p/c1", [4, 1, 3, 3])
+        fcw = variable("p2p/fc", [64, 1])
+        h = relu(conv2d(img, c1, stride=1, pad=1))
+        h = avg_pool(h, 2, 2)
+        flat = reshape(h, [1, 64])
+        return sigmoid(matmul(flat, fcw))
+    def loss(self, a, b):
+        fake = self.gen(a)
+        l1 = reduce_mean((fake - b) ** 2.0)
+        p_fake = self.disc(fake)
+        p_real = self.disc(b)
+        eps = constant(0.0001)
+        adv = 0.0 - reduce_mean(log(p_real + eps)) - reduce_mean(log(1.0 - p_fake + eps))
+        g = 0.0 - reduce_mean(log(p_fake + eps))
+        self.g_loss = g
+        return 10.0 * l1 + adv + g
+
+p2p_model = Pix2Pix()
+`
+			if err := e.Run(defs); err != nil {
+				return nil, err
+			}
+			ds := data.SynthPaired(tensor.NewRNG(seed), 16, 1, 8, 8)
+			driver := mustParse("__loss = optimize(lambda: p2p_model.loss(cur_a, cur_b))")
+			inst := &Instance{Engine: e}
+			inst.Step = func(i int) (float64, error) {
+				a, b := ds.Batch(i, 1)
+				e.Define("cur_a", minipy.NewTensor(a))
+				e.Define("cur_b", minipy.NewTensor(b))
+				return runStep(e, driver)
+			}
+			return inst, nil
+		},
+	})
+}

@@ -1,0 +1,158 @@
+// Package models implements the paper's eleven evaluation workloads (Table
+// 2) as imperative minipy programs plus Go-side harnesses: three CNNs
+// (LeNet, ResNet-scaled, Inception-scaled), two RNNs (LSTM, LM), two TreeNNs
+// (TreeRNN, TreeLSTM), two DRL models (A3C on CartPole, PPO on Pong-lite) and
+// two GANs (AN, pix2pix). Every model uses exactly the dynamic features the
+// paper's Table 2 lists for it (dynamic control flow, dynamic types, impure
+// functions), scaled to laptop size per DESIGN.md §2.
+package models
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+)
+
+// Model describes one evaluation workload.
+type Model struct {
+	Name     string
+	Category string // CNN | RNN | TreeNN | DRL | GAN
+	// Units for Table 3 throughput (images/s, words/s, sentences/s, frames/s).
+	Units string
+	// BatchSize is the (scaled) mini-batch size.
+	BatchSize int
+	// ItemsPerStep converts optimize() calls to throughput units.
+	ItemsPerStep int
+	// DCF/DT/IF are the Table 2 dynamic-feature flags.
+	DCF, DT, IF bool
+	// Build wires the model into a fresh engine and returns a step driver.
+	Build func(e *core.Engine, seed uint64) (*Instance, error)
+}
+
+// Instance is a ready-to-train model bound to an engine.
+type Instance struct {
+	Engine *core.Engine
+	// Step performs one optimize() iteration (including per-step data
+	// preparation) and returns the training loss.
+	Step func(i int) (float64, error)
+	// Eval optionally computes a task metric (accuracy etc.); may be nil.
+	Eval func() (float64, error)
+}
+
+// registry holds all models, populated by the category files' init funcs.
+var registry = map[string]*Model{}
+
+func register(m *Model) { registry[m.Name] = m }
+
+// Get returns a model by name.
+func Get(name string) (*Model, error) {
+	m, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q", name)
+	}
+	return m, nil
+}
+
+// All returns every model sorted by category then name (Table 2 order).
+func All() []*Model {
+	out := make([]*Model, 0, len(registry))
+	for _, m := range registry {
+		out = append(out, m)
+	}
+	order := map[string]int{"CNN": 0, "RNN": 1, "TreeNN": 2, "DRL": 3, "GAN": 4}
+	sort.Slice(out, func(i, j int) bool {
+		if order[out[i].Category] != order[out[j].Category] {
+			return order[out[i].Category] < order[out[j].Category]
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names lists all model names in Table 2 order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, m := range all {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Throughput measures steady-state training throughput (units/s): warmup
+// steps cover profiling + conversion, then measure steps are timed.
+func Throughput(m *Model, cfg core.Config, seed uint64, warmup, measure int) (float64, error) {
+	e := core.NewEngine(cfg)
+	inst, err := m.Build(e, seed)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := inst.Step(i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < measure; i++ {
+		if _, err := inst.Step(warmup + i); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed == 0 {
+		elapsed = 1e-9
+	}
+	return float64(measure*m.ItemsPerStep) / elapsed, nil
+}
+
+// LossCurve trains for steps iterations recording (elapsed seconds, loss)
+// pairs — the Figure 6 measurement. Engines that cannot run a model (e.g.
+// the tracing baseline on TreeLSTM) return the error.
+type CurvePoint struct {
+	Seconds float64
+	Loss    float64
+}
+
+// Curve runs training and records the loss trajectory.
+func Curve(m *Model, cfg core.Config, seed uint64, steps int) ([]CurvePoint, *core.Engine, error) {
+	e := core.NewEngine(cfg)
+	inst, err := m.Build(e, seed)
+	if err != nil {
+		return nil, e, err
+	}
+	start := time.Now()
+	out := make([]CurvePoint, 0, steps)
+	for i := 0; i < steps; i++ {
+		loss, err := inst.Step(i)
+		if err != nil {
+			return out, e, err
+		}
+		out = append(out, CurvePoint{Seconds: time.Since(start).Seconds(), Loss: loss})
+	}
+	return out, e, nil
+}
+
+// runStep executes a pre-parsed per-step driver program and extracts the
+// loss printed by it. Models define their drivers as
+// `__loss = optimize(lambda: ...)`.
+func runStep(e *core.Engine, prog *minipy.Program) (float64, error) {
+	if err := e.RunProgram(prog); err != nil {
+		return 0, err
+	}
+	v, ok := e.Local.Globals.Lookup("__loss")
+	if !ok {
+		return 0, fmt.Errorf("models: step driver did not set __loss")
+	}
+	t, ok := v.(*minipy.TensorVal)
+	if !ok {
+		return 0, fmt.Errorf("models: __loss is %s", v.TypeName())
+	}
+	return t.T().Item(), nil
+}
+
+// mustParse parses a driver once; panicking here indicates a bug in an
+// embedded model source.
+func mustParse(src string) *minipy.Program { return minipy.MustParse(src) }

@@ -1,0 +1,118 @@
+package models
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// lstmDefs parameterizes the shared LSTM program: a manual cell, a Python
+// loop over timesteps, and hidden state carried across sequences through
+// object attributes (the Figure 1 pattern: DCF + DT + IF).
+const lstmDefs = `
+class LSTMNet:
+    def __init__(self, prefix, hidden, vocab, batch):
+        self.prefix = prefix
+        self.hidden = hidden
+        self.vocab = vocab
+        self.batch = batch
+        self.h = zeros([batch, hidden])
+        self.c = zeros([batch, hidden])
+    def cell(self, x, h, c):
+        wx = variable(self.prefix + "/wx", [self.hidden, 4 * self.hidden])
+        wh = variable(self.prefix + "/wh", [self.hidden, 4 * self.hidden])
+        gates = matmul(x, wx) + matmul(h, wh)
+        i = sigmoid(slice_cols(gates, 0, self.hidden))
+        f = sigmoid(slice_cols(gates, self.hidden, 2 * self.hidden))
+        g = tanh(slice_cols(gates, 2 * self.hidden, 3 * self.hidden))
+        o = sigmoid(slice_cols(gates, 3 * self.hidden, 4 * self.hidden))
+        nc = f * c + i * g
+        nh = o * tanh(nc)
+        return nh, nc
+    def loss(self, inputs, targets):
+        emb = variable(self.prefix + "/emb", [self.vocab, self.hidden])
+        proj = variable(self.prefix + "/proj", [self.hidden, self.vocab])
+        h = self.h
+        c = self.c
+        total = constant(0.0)
+        steps = len(inputs)
+        for t in range(steps):
+            x = embedding(emb, inputs[t])
+            h, c = self.cell(x, h, c)
+            logits = matmul(h, proj)
+            total = total + cross_entropy(logits, targets[t])
+        self.h = h
+        self.c = c
+        return total / float(steps)
+`
+
+// rnnModel builds either LSTM or LM with different scales.
+func rnnModel(name string, hidden, vocab, batch, seqLen int) *Model {
+	return &Model{
+		Name: name, Category: "RNN", Units: "words/s",
+		BatchSize: batch, ItemsPerStep: batch * seqLen, DCF: true, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			setup := lstmDefs + "\nnet_" + name + ` = LSTMNet("` + name + `", ` +
+				itoa(hidden) + ", " + itoa(vocab) + ", " + itoa(batch) + ")\n"
+			if err := e.Run(setup); err != nil {
+				return nil, err
+			}
+			corpus := data.SynthSequences(tensor.NewRNG(seed), 32, seqLen+1, vocab)
+			driver := mustParse("__loss = optimize(lambda: net_" + name + ".loss(cur_inputs, cur_targets))")
+			inst := &Instance{Engine: e}
+			inst.Step = func(i int) (float64, error) {
+				// Per-timestep token id lists and one-hot targets for a batch
+				// of sequences.
+				inputs := make([]minipy.Value, seqLen)
+				targets := make([]minipy.Value, seqLen)
+				for t := 0; t < seqLen; t++ {
+					// Token ids travel as tensors (as in TF), so the cache
+					// signature depends only on shapes, not token values.
+					ids := make([]float64, batch)
+					next := make([]int, batch)
+					for b := 0; b < batch; b++ {
+						seq := corpus.Tokens[(i*batch+b)%len(corpus.Tokens)]
+						ids[b] = float64(seq[t])
+						next[b] = seq[t+1]
+					}
+					inputs[t] = minipy.NewTensor(tensor.FromSlice(ids))
+					targets[t] = minipy.NewTensor(tensor.OneHot(next, vocab))
+				}
+				e.Define("cur_inputs", &minipy.ListVal{Items: inputs})
+				e.Define("cur_targets", &minipy.ListVal{Items: targets})
+				return runStep(e, driver)
+			}
+			return inst, nil
+		},
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func init() {
+	// LSTM: PTB-scale stand-in (small hidden size, fine-grained ops).
+	register(rnnModel("LSTM", 16, 32, 4, 8))
+	// LM: 1B-words-scale stand-in (larger hidden/vocab, coarser ops).
+	register(rnnModel("LM", 48, 128, 8, 10))
+}

@@ -1,0 +1,109 @@
+package models
+
+import (
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// treeSetup wires a recursive tree model: recursion + dynamic conditionals +
+// object attribute access (all three dynamic-feature columns of Table 2).
+// Each training sentence is a fresh minipy object tree; the recursive embed
+// function converts to an InvokeOp graph ([20]) whose leaf/internal branch is
+// Switch/Merge dataflow.
+func treeSetup(e *core.Engine, seed uint64, defs, driverSrc string, perStep int) (*Instance, error) {
+	if err := e.Run(defs); err != nil {
+		return nil, err
+	}
+	cls := &minipy.ClassVal{Name: "TreeNode", Methods: map[string]*minipy.FuncVal{}}
+	trees := data.SynthTrees(tensor.NewRNG(seed), 24, 4, 4, 16)
+	objs := make([]minipy.Value, len(trees))
+	for i, tr := range trees {
+		objs[i] = tr.ToMinipy(cls)
+	}
+	driver := mustParse(driverSrc)
+	inst := &Instance{Engine: e}
+	inst.Step = func(i int) (float64, error) {
+		batch := make([]minipy.Value, perStep)
+		for j := 0; j < perStep; j++ {
+			batch[j] = objs[(i*perStep+j)%len(objs)]
+		}
+		e.Define("cur_trees", &minipy.ListVal{Items: batch})
+		return runStep(e, driver)
+	}
+	return inst, nil
+}
+
+func init() {
+	// TreeRNN: recursive composition h(node) = tanh(W [h(l); h(r)]).
+	register(&Model{
+		Name: "TreeRNN", Category: "TreeNN", Units: "sentences/s",
+		BatchSize: 4, ItemsPerStep: 4, DCF: true, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+def tree_embed(node):
+    emb = variable("treernn/emb", [16, 8])
+    wl = variable("treernn/wl", [8, 8])
+    wr = variable("treernn/wr", [8, 8])
+    if node.leaf:
+        return embedding(emb, [node.word])
+    l = tree_embed(node.left)
+    r = tree_embed(node.right)
+    return tanh(matmul(l, wl) + matmul(r, wr))
+
+def tree_loss(trees):
+    proj = variable("treernn/proj", [8, 2])
+    total = constant(0.0)
+    for t in trees:
+        h = tree_embed(t)
+        logits = matmul(h, proj)
+        total = total + cross_entropy(logits, one_hot([t.label], 2))
+    return total / float(len(trees))
+`
+			return treeSetup(e, seed, defs,
+				"__loss = optimize(lambda: tree_loss(cur_trees))", 4)
+		},
+	})
+
+	// TreeLSTM: recursive binary tree-LSTM with gated child-state
+	// composition (Tai et al. structure, scaled down).
+	register(&Model{
+		Name: "TreeLSTM", Category: "TreeNN", Units: "sentences/s",
+		BatchSize: 4, ItemsPerStep: 4, DCF: true, DT: true, IF: true,
+		Build: func(e *core.Engine, seed uint64) (*Instance, error) {
+			defs := `
+def tlstm_node(node):
+    emb = variable("tlstm/emb", [16, 8])
+    wi = variable("tlstm/wi", [16, 8])
+    wf = variable("tlstm/wf", [16, 8])
+    wo = variable("tlstm/wo", [16, 8])
+    wu = variable("tlstm/wu", [16, 8])
+    if node.leaf:
+        h = embedding(emb, [node.word])
+        return [h, h]
+    left = tlstm_node(node.left)
+    right = tlstm_node(node.right)
+    hs = concat([left[0], right[0]], 1)
+    i = sigmoid(matmul(hs, wi))
+    f = sigmoid(matmul(hs, wf))
+    o = sigmoid(matmul(hs, wo))
+    u = tanh(matmul(hs, wu))
+    c = i * u + f * (left[1] + right[1])
+    h = o * tanh(c)
+    return [h, c]
+
+def tlstm_loss(trees):
+    proj = variable("tlstm/proj", [8, 2])
+    total = constant(0.0)
+    for t in trees:
+        hc = tlstm_node(t)
+        logits = matmul(hc[0], proj)
+        total = total + cross_entropy(logits, one_hot([t.label], 2))
+    return total / float(len(trees))
+`
+			return treeSetup(e, seed, defs,
+				"__loss = optimize(lambda: tlstm_loss(cur_trees))", 4)
+		},
+	})
+}

@@ -1,0 +1,261 @@
+// Package profile implements the runtime Profiler of the paper's Figure 2
+// (component A): it observes imperative executions of a program and
+// aggregates, per AST node,
+//
+//   - conditional branch directions,
+//   - loop trip counts,
+//   - call-site callee identities,
+//   - the dynamic type / tensor shape / value of profiled expressions
+//     (function arguments and attribute reads),
+//
+// exposing stability queries that the speculative graph generator
+// (internal/convert) uses to decide which assumptions to bake into a graph.
+// The value lattice follows the paper's Figure 4: exact value ⊂ exact shape ⊂
+// partial shape (wildcard dims) ⊂ type only.
+package profile
+
+import (
+	"sync"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// branchStat counts the two directions of one conditional.
+type branchStat struct {
+	trueCount  int
+	falseCount int
+}
+
+// loopStat tracks trip-count stability.
+type loopStat struct {
+	first    int
+	count    int
+	unstable bool
+}
+
+// calleeStat tracks callee stability at a call site.
+type calleeStat struct {
+	first    minipy.CalleeID
+	count    int
+	unstable bool
+}
+
+// ValueInfo summarizes observed values of one expression, following the
+// specialization hierarchy of the paper's Figure 4.
+type ValueInfo struct {
+	// TypeName is the observed type ("" until first observation); TypeStable
+	// is false if several types were seen.
+	TypeName   string
+	TypeStable bool
+	// Shape is the merged tensor shape: dims observed with several values
+	// become -1 (wildcards). Only meaningful for tensors.
+	Shape      []int
+	ShapeKnown bool
+	// Const holds the exact value when every observation was identical.
+	Const       minipy.Value
+	ConstStable bool
+	Count       int
+}
+
+// Profile aggregates observations. It implements minipy.Profiler and is safe
+// for use from a single interpreter at a time (the imperative executor is
+// single-threaded; a mutex still guards engine-side queries).
+type Profile struct {
+	mu       sync.Mutex
+	branches map[int]*branchStat
+	loops    map[int]*loopStat
+	calls    map[int]*calleeStat
+	values   map[int]*ValueInfo
+	// Iterations counts completed profiled runs of the target function; the
+	// runtime bumps it via EndIteration.
+	iterations int
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{
+		branches: make(map[int]*branchStat),
+		loops:    make(map[int]*loopStat),
+		calls:    make(map[int]*calleeStat),
+		values:   make(map[int]*ValueInfo),
+	}
+}
+
+// Branch implements minipy.Profiler.
+func (p *Profile) Branch(nodeID int, taken bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.branches[nodeID]
+	if !ok {
+		s = &branchStat{}
+		p.branches[nodeID] = s
+	}
+	if taken {
+		s.trueCount++
+	} else {
+		s.falseCount++
+	}
+}
+
+// Loop implements minipy.Profiler.
+func (p *Profile) Loop(nodeID int, trips int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.loops[nodeID]
+	if !ok {
+		p.loops[nodeID] = &loopStat{first: trips, count: 1}
+		return
+	}
+	s.count++
+	if s.first != trips {
+		s.unstable = true
+	}
+}
+
+// Call implements minipy.Profiler.
+func (p *Profile) Call(nodeID int, callee minipy.CalleeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.calls[nodeID]
+	if !ok {
+		p.calls[nodeID] = &calleeStat{first: callee, count: 1}
+		return
+	}
+	s.count++
+	if s.first != callee {
+		s.unstable = true
+	}
+}
+
+// Value implements minipy.Profiler.
+func (p *Profile) Value(nodeID int, v minipy.Value) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info, ok := p.values[nodeID]
+	if !ok {
+		info = &ValueInfo{TypeStable: true, ConstStable: true}
+		p.values[nodeID] = info
+	}
+	info.observe(v)
+}
+
+func (info *ValueInfo) observe(v minipy.Value) {
+	info.Count++
+	tn := v.TypeName()
+	if info.TypeName == "" {
+		info.TypeName = tn
+	} else if info.TypeName != tn {
+		info.TypeStable = false
+		info.ConstStable = false
+		info.ShapeKnown = false
+		return
+	}
+	if tv, ok := v.(*minipy.TensorVal); ok {
+		sh := tv.T().Shape()
+		if !info.ShapeKnown {
+			info.Shape = append([]int(nil), sh...)
+			info.ShapeKnown = true
+		} else {
+			info.Shape = MergeShapes(info.Shape, sh)
+		}
+		// Constant tracking for tensors is limited to small ones to bound
+		// memory; large tensors almost never stay constant anyway.
+		if info.ConstStable {
+			if prev, ok := info.Const.(*minipy.TensorVal); ok {
+				if tv.T().Size() > 64 || !tensor.Equal(prev.T(), tv.T()) {
+					info.ConstStable = false
+					info.Const = nil
+				}
+			} else if info.Const == nil && tv.T().Size() <= 64 {
+				info.Const = tv
+			} else if info.Const == nil {
+				info.ConstStable = false
+			}
+		}
+		return
+	}
+	// Scalar / container values: exact-equality constant tracking.
+	if info.Const == nil && info.Count == 1 {
+		info.Const = v
+		return
+	}
+	if info.ConstStable && (info.Const == nil || !minipy.Equal(info.Const, v)) {
+		info.ConstStable = false
+		info.Const = nil
+	}
+}
+
+// MergeShapes merges two observed shapes into a pattern with -1 wildcards,
+// implementing the Figure 4 relaxation step ((4,8) + (3,8) -> (?,8)).
+// Rank mismatches yield nil (shape unknown).
+func MergeShapes(a, b []int) []int {
+	if len(a) != len(b) {
+		return nil
+	}
+	out := make([]int, len(a))
+	for i := range a {
+		if a[i] == b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// EndIteration marks one complete profiled run.
+func (p *Profile) EndIteration() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.iterations++
+}
+
+// Iterations returns the number of completed profiled runs.
+func (p *Profile) Iterations() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.iterations
+}
+
+// BranchStable reports whether the conditional at nodeID always took one
+// direction, and which.
+func (p *Profile) BranchStable(nodeID int) (taken, stable bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.branches[nodeID]
+	if !ok || (s.trueCount > 0 && s.falseCount > 0) {
+		return false, false
+	}
+	return s.trueCount > 0, true
+}
+
+// LoopTrips reports the stable trip count of the loop at nodeID.
+func (p *Profile) LoopTrips(nodeID int) (trips int, stable bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.loops[nodeID]
+	if !ok || s.unstable {
+		return 0, false
+	}
+	return s.first, true
+}
+
+// Callee reports the stable callee of the call site at nodeID.
+func (p *Profile) Callee(nodeID int) (minipy.CalleeID, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.calls[nodeID]
+	if !ok || s.unstable {
+		return minipy.CalleeID{}, false
+	}
+	return s.first, true
+}
+
+// ValueAt returns the aggregated value info for an expression (nil if never
+// observed).
+func (p *Profile) ValueAt(nodeID int) *ValueInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.values[nodeID]
+}

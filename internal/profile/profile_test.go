@@ -1,0 +1,134 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+func TestBranchStability(t *testing.T) {
+	p := New()
+	p.Branch(1, true)
+	p.Branch(1, true)
+	p.Branch(1, true)
+	taken, stable := p.BranchStable(1)
+	if !stable || !taken {
+		t.Fatalf("taken=%v stable=%v", taken, stable)
+	}
+	p.Branch(1, false)
+	if _, stable := p.BranchStable(1); stable {
+		t.Fatal("mixed branch reported stable")
+	}
+	if _, stable := p.BranchStable(99); stable {
+		t.Fatal("unknown branch reported stable")
+	}
+}
+
+func TestLoopStability(t *testing.T) {
+	p := New()
+	p.Loop(2, 7)
+	p.Loop(2, 7)
+	trips, stable := p.LoopTrips(2)
+	if !stable || trips != 7 {
+		t.Fatalf("trips=%d stable=%v", trips, stable)
+	}
+	p.Loop(2, 8)
+	if _, stable := p.LoopTrips(2); stable {
+		t.Fatal("unstable loop reported stable")
+	}
+}
+
+func TestCalleeStability(t *testing.T) {
+	p := New()
+	a := minipy.CalleeID{UserNode: 10}
+	b := minipy.CalleeID{UserNode: 20}
+	p.Call(3, a)
+	p.Call(3, a)
+	got, stable := p.Callee(3)
+	if !stable || got != a {
+		t.Fatalf("callee %v stable %v", got, stable)
+	}
+	p.Call(3, b)
+	if _, stable := p.Callee(3); stable {
+		t.Fatal("unstable callee reported stable")
+	}
+}
+
+func TestValueConstTracking(t *testing.T) {
+	p := New()
+	p.Value(4, minipy.IntVal(5))
+	p.Value(4, minipy.IntVal(5))
+	info := p.ValueAt(4)
+	if !info.ConstStable || !minipy.Equal(info.Const, minipy.IntVal(5)) {
+		t.Fatalf("const not tracked: %+v", info)
+	}
+	p.Value(4, minipy.IntVal(6))
+	if p.ValueAt(4).ConstStable {
+		t.Fatal("changed value still const")
+	}
+	if !p.ValueAt(4).TypeStable || p.ValueAt(4).TypeName != "int" {
+		t.Fatal("type stability lost incorrectly")
+	}
+}
+
+func TestValueTypeInstability(t *testing.T) {
+	p := New()
+	p.Value(5, minipy.IntVal(1))
+	p.Value(5, minipy.FloatVal(1))
+	info := p.ValueAt(5)
+	if info.TypeStable {
+		t.Fatal("mixed types reported stable")
+	}
+}
+
+func TestShapeMergeToWildcard(t *testing.T) {
+	// The Figure 4 scenario: shapes (4,8) then (3,8) must merge to (-1,8).
+	p := New()
+	p.Value(6, minipy.NewTensor(tensor.Zeros(4, 8)))
+	info := p.ValueAt(6)
+	if !info.ShapeKnown || info.Shape[0] != 4 || info.Shape[1] != 8 {
+		t.Fatalf("initial shape %v", info.Shape)
+	}
+	p.Value(6, minipy.NewTensor(tensor.Zeros(3, 8)))
+	info = p.ValueAt(6)
+	if info.Shape[0] != -1 || info.Shape[1] != 8 {
+		t.Fatalf("merged shape %v, want [-1 8]", info.Shape)
+	}
+	// A third shape (2,8) must still match the merged pattern with no change.
+	p.Value(6, minipy.NewTensor(tensor.Zeros(2, 8)))
+	info = p.ValueAt(6)
+	if info.Shape[0] != -1 || info.Shape[1] != 8 {
+		t.Fatalf("shape after third obs %v", info.Shape)
+	}
+}
+
+func TestTensorConstStability(t *testing.T) {
+	p := New()
+	tv := minipy.NewTensor(tensor.FromSlice([]float64{1, 2}))
+	p.Value(7, tv)
+	p.Value(7, minipy.NewTensor(tensor.FromSlice([]float64{1, 2})))
+	info := p.ValueAt(7)
+	if !info.ConstStable {
+		t.Fatal("identical tensors not const-stable")
+	}
+	p.Value(7, minipy.NewTensor(tensor.FromSlice([]float64{9, 9})))
+	if p.ValueAt(7).ConstStable {
+		t.Fatal("changed tensor still const-stable")
+	}
+}
+
+func TestMergeShapesRankMismatch(t *testing.T) {
+	if MergeShapes([]int{2, 3}, []int{2, 3, 4}) != nil {
+		t.Fatal("rank mismatch should yield nil")
+	}
+}
+
+func TestIterationsCounter(t *testing.T) {
+	p := New()
+	p.EndIteration()
+	p.EndIteration()
+	if p.Iterations() != 2 {
+		t.Fatalf("got %d", p.Iterations())
+	}
+}

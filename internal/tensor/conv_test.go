@@ -1,0 +1,221 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPad2DRoundTrip(t *testing.T) {
+	rng := NewRNG(1)
+	x := rng.Randn(2, 3, 4, 5)
+	p := Pad2D(x, 2)
+	if !ShapeEq(p.Shape(), []int{2, 3, 8, 9}) {
+		t.Fatalf("pad shape %v", p.Shape())
+	}
+	if !Equal(Unpad2D(p, 2), x) {
+		t.Fatal("unpad(pad(x)) != x")
+	}
+	// Border must be zero.
+	if p.At(0, 0, 0, 0) != 0 || p.At(1, 2, 7, 8) != 0 {
+		t.Fatal("padding not zero")
+	}
+}
+
+// naiveConv2D is an independent direct implementation used as an oracle.
+func naiveConv2D(x, w *Tensor, stride, pad int) *Tensor {
+	x = Pad2D(x, pad)
+	n, c, h, wd := x.Shape()[0], x.Shape()[1], x.Shape()[2], x.Shape()[3]
+	oc, _, kh, kw := w.Shape()[0], w.Shape()[1], w.Shape()[2], w.Shape()[3]
+	oh := (h-kh)/stride + 1
+	ow := (wd-kw)/stride + 1
+	out := Zeros(n, oc, oh, ow)
+	for i := 0; i < n; i++ {
+		for o := 0; o < oc; o++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					s := 0.0
+					for ch := 0; ch < c; ch++ {
+						for dy := 0; dy < kh; dy++ {
+							for dx := 0; dx < kw; dx++ {
+								s += x.At(i, ch, y*stride+dy, xx*stride+dx) * w.At(o, ch, dy, dx)
+							}
+						}
+					}
+					out.Set(s, i, o, y, xx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := NewRNG(10)
+	cases := []struct{ stride, pad int }{{1, 0}, {1, 1}, {2, 1}, {2, 0}}
+	for _, cse := range cases {
+		x := rng.Randn(2, 3, 6, 6)
+		w := rng.Randn(4, 3, 3, 3)
+		got := Conv2D(x, w, cse.stride, cse.pad)
+		want := naiveConv2D(x, w, cse.stride, cse.pad)
+		if !AllClose(got, want, 1e-9) {
+			t.Fatalf("stride=%d pad=%d mismatch", cse.stride, cse.pad)
+		}
+	}
+}
+
+func TestConv2DIdentityFilter(t *testing.T) {
+	rng := NewRNG(3)
+	x := rng.Randn(1, 1, 5, 5)
+	w := Zeros(1, 1, 1, 1)
+	w.Set(1, 0, 0, 0, 0)
+	if !AllClose(Conv2D(x, w, 1, 0), x, 1e-12) {
+		t.Fatal("1x1 identity conv changed input")
+	}
+}
+
+func TestConv2DGradNumerically(t *testing.T) {
+	rng := NewRNG(8)
+	x := rng.Randn(1, 2, 5, 5)
+	w := rng.Randn(3, 2, 3, 3)
+	stride, pad := 1, 1
+	out := Conv2D(x, w, stride, pad)
+	gout := NewRNG(9).Randn(out.Shape()...)
+	gx, gw := Conv2DGrad(x, w, gout, stride, pad)
+
+	loss := func() float64 {
+		o := Conv2D(x, w, stride, pad)
+		return Sum(Mul(o, gout)).Item()
+	}
+	const h = 1e-6
+	// Spot check a sample of gradient entries against finite differences.
+	for _, i := range []int{0, 7, 13, len(x.Data()) - 1} {
+		orig := x.Data()[i]
+		x.Data()[i] = orig + h
+		up := loss()
+		x.Data()[i] = orig - h
+		dn := loss()
+		x.Data()[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-gx.Data()[i]) > 1e-5 {
+			t.Fatalf("gx[%d]: numeric %v analytic %v", i, num, gx.Data()[i])
+		}
+	}
+	for _, i := range []int{0, 5, 17, len(w.Data()) - 1} {
+		orig := w.Data()[i]
+		w.Data()[i] = orig + h
+		up := loss()
+		w.Data()[i] = orig - h
+		dn := loss()
+		w.Data()[i] = orig
+		num := (up - dn) / (2 * h)
+		if math.Abs(num-gw.Data()[i]) > 1e-5 {
+			t.Fatalf("gw[%d]: numeric %v analytic %v", i, num, gw.Data()[i])
+		}
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	x := New([]int{1, 1, 4, 4}, []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	})
+	out, arg := MaxPool2D(x, 2, 2)
+	want := New([]int{1, 1, 2, 2}, []float64{6, 8, 14, 16})
+	if !Equal(out, want) {
+		t.Fatalf("got %v", out)
+	}
+	g := MaxPool2DGrad(x.Shape(), arg, Full(1, 1, 1, 2, 2))
+	// Gradient lands exactly on max positions.
+	if g.At(0, 0, 1, 1) != 1 || g.At(0, 0, 3, 3) != 1 || Sum(g).Item() != 4 {
+		t.Fatalf("bad pool grad %v", g)
+	}
+}
+
+func TestAvgPool2DAndGrad(t *testing.T) {
+	x := Full(2, 1, 1, 4, 4)
+	out := AvgPool2D(x, 2, 2)
+	if !Equal(out, Full(2, 1, 1, 2, 2)) {
+		t.Fatalf("got %v", out)
+	}
+	g := AvgPool2DGrad(x.Shape(), 2, 2, Full(4, 1, 1, 2, 2))
+	if !Equal(g, Full(1, 1, 1, 4, 4)) {
+		t.Fatalf("grad got %v", g)
+	}
+}
+
+func TestBatchNormTrainingNormalizes(t *testing.T) {
+	rng := NewRNG(5)
+	x := rng.Randn(16, 4)
+	gamma := Full(1, 4)
+	beta := Zeros(4)
+	rm := Zeros(4)
+	rv := Full(1, 4)
+	out := BatchNorm(x, gamma, beta, rm, rv, true, 0.9, 1e-5)
+	// Per-channel mean ~0 and variance ~1.
+	mean := MeanAxis(out, 0)
+	for i := 0; i < 4; i++ {
+		if math.Abs(mean.At(i)) > 1e-9 {
+			t.Fatalf("channel %d mean %v", i, mean.At(i))
+		}
+	}
+	sq := MeanAxis(Mul(out, out), 0)
+	for i := 0; i < 4; i++ {
+		if math.Abs(sq.At(i)-1) > 1e-3 {
+			t.Fatalf("channel %d var %v", i, sq.At(i))
+		}
+	}
+	// Running stats moved away from init.
+	if rm.At(0) == 0 && rm.At(1) == 0 {
+		t.Fatal("running mean not updated")
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	x := Full(10, 4, 2)
+	gamma := Full(1, 2)
+	beta := Zeros(2)
+	rm := Full(10, 2)
+	rv := Full(1, 2)
+	out := BatchNorm(x, gamma, beta, rm, rv, false, 0.9, 0)
+	// (10-10)/1 = 0 everywhere.
+	if !AllClose(out, Zeros(4, 2), 1e-12) {
+		t.Fatalf("got %v", out)
+	}
+	// Running stats untouched in inference mode.
+	if rm.At(0) != 10 || rv.At(0) != 1 {
+		t.Fatal("inference mutated running stats")
+	}
+}
+
+func TestBatchNormTrainVsEvalDiffer(t *testing.T) {
+	// This is the exact semantic distinction that trips trace-based
+	// conversion in the paper's Figure 6(a).
+	rng := NewRNG(21)
+	x := rng.Randn(8, 3)
+	gamma := Full(1, 3)
+	beta := Zeros(3)
+	rm := Zeros(3)
+	rv := Full(1, 3)
+	train := BatchNorm(x, gamma, beta, rm.Clone(), rv.Clone(), true, 0.9, 1e-5)
+	eval := BatchNorm(x, gamma, beta, rm, rv, false, 0.9, 1e-5)
+	if AllClose(train, eval, 1e-6) {
+		t.Fatal("training and inference batch norm should differ on random input")
+	}
+}
+
+func TestConv2DGradSplitMatchesCombined(t *testing.T) {
+	rng := NewRNG(31)
+	x := rng.Randn(2, 3, 6, 6)
+	w := rng.Randn(4, 3, 3, 3)
+	out := Conv2D(x, w, 2, 1)
+	g := rng.Randn(out.Shape()...)
+	gx, gw := Conv2DGrad(x, w, g, 2, 1)
+	if !AllClose(Conv2DGradInput(x, w, g, 2, 1), gx, 1e-12) {
+		t.Fatal("input-only gradient differs from combined")
+	}
+	if !AllClose(Conv2DGradFilter(x, w, g, 2, 1), gw, 1e-12) {
+		t.Fatal("filter-only gradient differs from combined")
+	}
+}

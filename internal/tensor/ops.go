@@ -1,0 +1,616 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Broadcasting
+// ---------------------------------------------------------------------------
+
+// BroadcastShapes computes the NumPy-style broadcast of two shapes, or an
+// error when they are incompatible.
+func BroadcastShapes(a, b []int) ([]int, error) {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		da, db := 1, 1
+		if i >= n-len(a) {
+			da = a[i-(n-len(a))]
+		}
+		if i >= n-len(b) {
+			db = b[i-(n-len(b))]
+		}
+		switch {
+		case da == db:
+			out[i] = da
+		case da == 1:
+			out[i] = db
+		case db == 1:
+			out[i] = da
+		default:
+			return nil, fmt.Errorf("tensor: cannot broadcast %v with %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// broadcastIndex maps a flat index in the broadcast output shape back to a
+// flat index in a tensor of the given (possibly smaller) shape.
+func broadcastStrides(shape, out []int) []int {
+	strides := make([]int, len(out))
+	// Compute row-major strides of `shape` aligned to the right of `out`;
+	// broadcast dimensions (size 1 where out > 1, or missing) get stride 0.
+	s := 1
+	off := len(out) - len(shape)
+	for i := len(shape) - 1; i >= 0; i-- {
+		if shape[i] == out[off+i] {
+			strides[off+i] = s
+		} else {
+			strides[off+i] = 0 // broadcast dim
+		}
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Map applies f element-wise, returning a new tensor.
+func Map(a *Tensor, f func(float64) float64) *Tensor {
+	out := Zeros(a.shape...)
+	for i, v := range a.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// Zip applies f element-wise over broadcast inputs.
+func Zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	if SameShape(a, b) { // fast path
+		out := Zeros(a.shape...)
+		for i := range a.data {
+			out.data[i] = f(a.data[i], b.data[i])
+		}
+		return out
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	out := Zeros(shape...)
+	sa := broadcastStrides(a.shape, shape)
+	sb := broadcastStrides(b.shape, shape)
+	idx := make([]int, len(shape))
+	for i := range out.data {
+		oa, ob := 0, 0
+		for d := range idx {
+			oa += idx[d] * sa[d]
+			ob += idx[d] * sb[d]
+		}
+		out.data[i] = f(a.data[oa], b.data[ob])
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// UnbroadcastTo sums t over broadcast dimensions so that the result has the
+// given original shape. This is the gradient counterpart of broadcasting.
+func UnbroadcastTo(t *Tensor, shape []int) *Tensor {
+	if ShapeEq(t.shape, shape) {
+		return t
+	}
+	out := Zeros(shape...)
+	strides := broadcastStrides(shape, t.shape)
+	idx := make([]int, len(t.shape))
+	for i := range t.data {
+		off := 0
+		for d := range idx {
+			off += idx[d] * strides[d]
+		}
+		out.data[off] += t.data[i]
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < t.shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise arithmetic
+// ---------------------------------------------------------------------------
+
+// Add returns a + b with broadcasting.
+func Add(a, b *Tensor) *Tensor { return Zip(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b with broadcasting.
+func Sub(a, b *Tensor) *Tensor { return Zip(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns a * b (element-wise) with broadcasting.
+func Mul(a, b *Tensor) *Tensor { return Zip(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns a / b with broadcasting.
+func Div(a, b *Tensor) *Tensor { return Zip(a, b, func(x, y float64) float64 { return x / y }) }
+
+// Pow returns a ** b with broadcasting.
+func Pow(a, b *Tensor) *Tensor { return Zip(a, b, math.Pow) }
+
+// Maximum returns element-wise max with broadcasting.
+func Maximum(a, b *Tensor) *Tensor { return Zip(a, b, math.Max) }
+
+// Minimum returns element-wise min with broadcasting.
+func Minimum(a, b *Tensor) *Tensor { return Zip(a, b, math.Min) }
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Map(a, func(x float64) float64 { return -x }) }
+
+// Exp returns e**a element-wise.
+func Exp(a *Tensor) *Tensor { return Map(a, math.Exp) }
+
+// Log returns ln(a) element-wise.
+func Log(a *Tensor) *Tensor { return Map(a, math.Log) }
+
+// Sqrt returns sqrt(a) element-wise.
+func Sqrt(a *Tensor) *Tensor { return Map(a, math.Sqrt) }
+
+// Abs returns |a| element-wise.
+func Abs(a *Tensor) *Tensor { return Map(a, math.Abs) }
+
+// Sign returns the element-wise sign of a.
+func Sign(a *Tensor) *Tensor {
+	return Map(a, func(x float64) float64 {
+		switch {
+		case x > 0:
+			return 1
+		case x < 0:
+			return -1
+		default:
+			return 0
+		}
+	})
+}
+
+// AddScalar returns a + s.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	return Map(a, func(x float64) float64 { return x + s })
+}
+
+// MulScalar returns a * s.
+func MulScalar(a *Tensor, s float64) *Tensor {
+	return Map(a, func(x float64) float64 { return x * s })
+}
+
+// Clip bounds every element to [lo, hi].
+func Clip(a *Tensor, lo, hi float64) *Tensor {
+	return Map(a, func(x float64) float64 { return math.Min(hi, math.Max(lo, x)) })
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+// ReLU returns max(a, 0).
+func ReLU(a *Tensor) *Tensor { return Map(a, func(x float64) float64 { return math.Max(x, 0) }) }
+
+// ReLUGrad returns the gradient mask of ReLU at input x times upstream g.
+func ReLUGrad(x, g *Tensor) *Tensor {
+	return Zip(x, g, func(xv, gv float64) float64 {
+		if xv > 0 {
+			return gv
+		}
+		return 0
+	})
+}
+
+// Sigmoid returns 1/(1+e^-a).
+func Sigmoid(a *Tensor) *Tensor {
+	return Map(a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// Tanh returns tanh(a).
+func Tanh(a *Tensor) *Tensor { return Map(a, math.Tanh) }
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+// Sum reduces all elements to a scalar tensor.
+func Sum(a *Tensor) *Tensor {
+	s := 0.0
+	for _, v := range a.data {
+		s += v
+	}
+	return Scalar(s)
+}
+
+// Mean reduces all elements to their scalar mean.
+func Mean(a *Tensor) *Tensor {
+	if len(a.data) == 0 {
+		return Scalar(0)
+	}
+	return Scalar(Sum(a).Item() / float64(len(a.data)))
+}
+
+// SumAxis sums over one axis, removing it from the shape.
+func SumAxis(a *Tensor, axis int) *Tensor {
+	axis = normAxis(axis, a.Rank())
+	outShape := append([]int{}, a.shape[:axis]...)
+	outShape = append(outShape, a.shape[axis+1:]...)
+	out := Zeros(outShape...)
+	inner := 1
+	for _, d := range a.shape[axis+1:] {
+		inner *= d
+	}
+	outer := 1
+	for _, d := range a.shape[:axis] {
+		outer *= d
+	}
+	n := a.shape[axis]
+	for o := 0; o < outer; o++ {
+		for k := 0; k < n; k++ {
+			base := (o*n + k) * inner
+			obase := o * inner
+			for i := 0; i < inner; i++ {
+				out.data[obase+i] += a.data[base+i]
+			}
+		}
+	}
+	return out
+}
+
+// MeanAxis averages over one axis, removing it from the shape.
+func MeanAxis(a *Tensor, axis int) *Tensor {
+	axis = normAxis(axis, a.Rank())
+	return MulScalar(SumAxis(a, axis), 1/float64(a.shape[axis]))
+}
+
+// MaxAxis returns the max over one axis, removing it from the shape.
+func MaxAxis(a *Tensor, axis int) *Tensor {
+	axis = normAxis(axis, a.Rank())
+	outShape := append([]int{}, a.shape[:axis]...)
+	outShape = append(outShape, a.shape[axis+1:]...)
+	out := Full(math.Inf(-1), outShape...)
+	inner := 1
+	for _, d := range a.shape[axis+1:] {
+		inner *= d
+	}
+	outer := 1
+	for _, d := range a.shape[:axis] {
+		outer *= d
+	}
+	n := a.shape[axis]
+	for o := 0; o < outer; o++ {
+		for k := 0; k < n; k++ {
+			base := (o*n + k) * inner
+			obase := o * inner
+			for i := 0; i < inner; i++ {
+				if a.data[base+i] > out.data[obase+i] {
+					out.data[obase+i] = a.data[base+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ArgmaxAxis returns element indices of the max along axis (as float values).
+func ArgmaxAxis(a *Tensor, axis int) *Tensor {
+	axis = normAxis(axis, a.Rank())
+	outShape := append([]int{}, a.shape[:axis]...)
+	outShape = append(outShape, a.shape[axis+1:]...)
+	out := Zeros(outShape...)
+	best := Full(math.Inf(-1), outShape...)
+	inner := 1
+	for _, d := range a.shape[axis+1:] {
+		inner *= d
+	}
+	outer := 1
+	for _, d := range a.shape[:axis] {
+		outer *= d
+	}
+	n := a.shape[axis]
+	for o := 0; o < outer; o++ {
+		for k := 0; k < n; k++ {
+			base := (o*n + k) * inner
+			obase := o * inner
+			for i := 0; i < inner; i++ {
+				if a.data[base+i] > best.data[obase+i] {
+					best.data[obase+i] = a.data[base+i]
+					out.data[obase+i] = float64(k)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func normAxis(axis, rank int) int {
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		panic(fmt.Sprintf("tensor: axis %d out of range for rank %d", axis, rank))
+	}
+	return axis
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 tensors, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch: %v x %v", a.shape, b.shape))
+	}
+	out := Zeros(m, n)
+	// ikj loop order: streams through b and out rows for cache locality.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose swaps the two axes of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := Zeros(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Concat joins tensors along axis. All other dimensions must agree.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	rank := ts[0].Rank()
+	axis = normAxis(axis, rank)
+	outShape := append([]int(nil), ts[0].shape...)
+	outShape[axis] = 0
+	for _, t := range ts {
+		if t.Rank() != rank {
+			panic("tensor: Concat rank mismatch")
+		}
+		for d := 0; d < rank; d++ {
+			if d != axis && t.shape[d] != ts[0].shape[d] {
+				panic(fmt.Sprintf("tensor: Concat dim %d mismatch: %v vs %v", d, t.shape, ts[0].shape))
+			}
+		}
+		outShape[axis] += t.shape[axis]
+	}
+	out := Zeros(outShape...)
+	outer := 1
+	for _, d := range outShape[:axis] {
+		outer *= d
+	}
+	inner := 1
+	for _, d := range outShape[axis+1:] {
+		inner *= d
+	}
+	rowLen := outShape[axis] * inner
+	off := 0
+	for _, t := range ts {
+		tlen := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			copy(out.data[o*rowLen+off:o*rowLen+off+tlen], t.data[o*tlen:(o+1)*tlen])
+		}
+		off += tlen
+	}
+	return out
+}
+
+// SliceAxis extracts indices [lo, hi) along axis.
+func SliceAxis(a *Tensor, axis, lo, hi int) *Tensor {
+	axis = normAxis(axis, a.Rank())
+	if lo < 0 || hi > a.shape[axis] || lo > hi {
+		panic(fmt.Sprintf("tensor: slice [%d:%d) out of range for dim %d of %v", lo, hi, axis, a.shape))
+	}
+	outShape := append([]int(nil), a.shape...)
+	outShape[axis] = hi - lo
+	out := Zeros(outShape...)
+	inner := 1
+	for _, d := range a.shape[axis+1:] {
+		inner *= d
+	}
+	outer := 1
+	for _, d := range a.shape[:axis] {
+		outer *= d
+	}
+	srcRow := a.shape[axis] * inner
+	dstRow := (hi - lo) * inner
+	for o := 0; o < outer; o++ {
+		copy(out.data[o*dstRow:(o+1)*dstRow], a.data[o*srcRow+lo*inner:o*srcRow+hi*inner])
+	}
+	return out
+}
+
+// PadSliceGrad scatters upstream gradient g (shaped like the slice result)
+// back into a zero tensor shaped like the slice input.
+func PadSliceGrad(g *Tensor, inputShape []int, axis, lo int) *Tensor {
+	axis = normAxis(axis, len(inputShape))
+	out := Zeros(inputShape...)
+	inner := 1
+	for _, d := range inputShape[axis+1:] {
+		inner *= d
+	}
+	outer := 1
+	for _, d := range inputShape[:axis] {
+		outer *= d
+	}
+	dstRow := inputShape[axis] * inner
+	srcRow := g.shape[axis] * inner
+	for o := 0; o < outer; o++ {
+		copy(out.data[o*dstRow+lo*inner:o*dstRow+lo*inner+srcRow], g.data[o*srcRow:(o+1)*srcRow])
+	}
+	return out
+}
+
+// Stack joins rank-k tensors into a rank-(k+1) tensor along a new leading axis.
+func Stack(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Stack of nothing")
+	}
+	for _, t := range ts {
+		if !SameShape(t, ts[0]) {
+			panic("tensor: Stack shape mismatch")
+		}
+	}
+	outShape := append([]int{len(ts)}, ts[0].shape...)
+	out := Zeros(outShape...)
+	n := ts[0].Size()
+	for i, t := range ts {
+		copy(out.data[i*n:(i+1)*n], t.data)
+	}
+	return out
+}
+
+// Gather selects rows of a rank-2 table by integer indices: out[i] = table[idx[i]].
+func Gather(table *Tensor, idx []int) *Tensor {
+	if table.Rank() != 2 {
+		panic("tensor: Gather wants rank-2 table")
+	}
+	n := table.shape[1]
+	out := Zeros(len(idx), n)
+	for i, id := range idx {
+		if id < 0 || id >= table.shape[0] {
+			panic(fmt.Sprintf("tensor: Gather index %d out of range [0,%d)", id, table.shape[0]))
+		}
+		copy(out.data[i*n:(i+1)*n], table.data[id*n:(id+1)*n])
+	}
+	return out
+}
+
+// ScatterAddRows adds each row of g into out at row idx[i]; the gradient of Gather.
+func ScatterAddRows(tableShape []int, idx []int, g *Tensor) *Tensor {
+	out := Zeros(tableShape...)
+	n := tableShape[1]
+	for i, id := range idx {
+		for j := 0; j < n; j++ {
+			out.data[id*n+j] += g.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// OneHot encodes integer class ids into a [len(ids), depth] tensor.
+func OneHot(ids []int, depth int) *Tensor {
+	out := Zeros(len(ids), depth)
+	for i, id := range ids {
+		if id >= 0 && id < depth {
+			out.data[i*depth+id] = 1
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / losses
+// ---------------------------------------------------------------------------
+
+// Softmax applies a numerically-stable softmax along the last axis.
+func Softmax(a *Tensor) *Tensor {
+	if a.Rank() == 0 {
+		return Scalar(1)
+	}
+	n := a.shape[a.Rank()-1]
+	out := Zeros(a.shape...)
+	for base := 0; base < len(a.data); base += n {
+		maxv := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if a.data[base+i] > maxv {
+				maxv = a.data[base+i]
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			e := math.Exp(a.data[base+i] - maxv)
+			out.data[base+i] = e
+			sum += e
+		}
+		for i := 0; i < n; i++ {
+			out.data[base+i] /= sum
+		}
+	}
+	return out
+}
+
+// LogSoftmax applies log-softmax along the last axis.
+func LogSoftmax(a *Tensor) *Tensor {
+	n := a.shape[a.Rank()-1]
+	out := Zeros(a.shape...)
+	for base := 0; base < len(a.data); base += n {
+		maxv := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if a.data[base+i] > maxv {
+				maxv = a.data[base+i]
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Exp(a.data[base+i] - maxv)
+		}
+		lse := maxv + math.Log(sum)
+		for i := 0; i < n; i++ {
+			out.data[base+i] = a.data[base+i] - lse
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes mean softmax cross-entropy between logits [b,c] and
+// one-hot (or soft) labels [b,c].
+func CrossEntropy(logits, labels *Tensor) *Tensor {
+	ls := LogSoftmax(logits)
+	prod := Mul(labels, ls)
+	b := float64(logits.shape[0])
+	return Scalar(-Sum(prod).Item() / b)
+}
+
+// CrossEntropyGrad returns d(mean xent)/d(logits) = (softmax - labels)/batch.
+func CrossEntropyGrad(logits, labels *Tensor) *Tensor {
+	sm := Softmax(logits)
+	b := float64(logits.shape[0])
+	return MulScalar(Sub(sm, labels), 1/b)
+}
+
+// MSE computes mean squared error between two same-shape tensors.
+func MSE(pred, target *Tensor) *Tensor {
+	d := Sub(pred, target)
+	return Mean(Mul(d, d))
+}

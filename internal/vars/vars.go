@@ -1,0 +1,133 @@
+// Package vars implements the model-parameter store shared between the
+// imperative (eager) executor and the symbolic graph executor.
+//
+// The paper (§5) modifies TensorFlow Eager's parameter storing mechanism so
+// that the same variables back both execution modes; this package is that
+// mechanism. Every engine reads and writes parameters through a *Store, so a
+// model can be trained for some iterations imperatively, some symbolically,
+// and the updates compose.
+package vars
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Store maps variable names to mutable tensors. It is safe for concurrent
+// use; the symbolic executor updates variables from worker goroutines.
+type Store struct {
+	mu   sync.RWMutex
+	vals map[string]*tensor.Tensor
+}
+
+// NewStore returns an empty parameter store.
+func NewStore() *Store {
+	return &Store{vals: make(map[string]*tensor.Tensor)}
+}
+
+// GetOrCreate returns the variable named name, creating it with init() on
+// first use. This mirrors TF's get_variable semantics: model-building code is
+// re-run every iteration in eager mode but must reuse the same parameters.
+func (s *Store) GetOrCreate(name string, init func() *tensor.Tensor) *tensor.Tensor {
+	s.mu.RLock()
+	v, ok := s.vals[name]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.vals[name]; ok {
+		return v
+	}
+	v = init()
+	s.vals[name] = v
+	return v
+}
+
+// Get returns the variable and whether it exists.
+func (s *Store) Get(name string) (*tensor.Tensor, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.vals[name]
+	return v, ok
+}
+
+// MustGet returns the variable or panics.
+func (s *Store) MustGet(name string) *tensor.Tensor {
+	v, ok := s.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("vars: unknown variable %q", name))
+	}
+	return v
+}
+
+// Set stores (or replaces) a variable.
+func (s *Store) Set(name string, t *tensor.Tensor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vals[name] = t
+}
+
+// AssignSub subtracts delta from the named variable in place. This is the
+// parameter-update primitive used by both SGD paths.
+func (s *Store) AssignSub(name string, delta *tensor.Tensor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("vars: AssignSub to unknown variable %q", name))
+	}
+	if !tensor.SameShape(v, delta) {
+		panic(fmt.Sprintf("vars: AssignSub shape mismatch for %q: %v vs %v", name, v.Shape(), delta.Shape()))
+	}
+	vd, dd := v.Data(), delta.Data()
+	for i := range vd {
+		vd[i] -= dd[i]
+	}
+}
+
+// Names returns all variable names in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of variables.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.vals)
+}
+
+// NumParams returns the total element count across all variables.
+func (s *Store) NumParams() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.vals {
+		n += v.Size()
+	}
+	return n
+}
+
+// Snapshot deep-copies the store; used by tests and by the distributed
+// simulator to model per-replica parameter copies.
+func (s *Store) Snapshot() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := NewStore()
+	for k, v := range s.vals {
+		out.vals[k] = v.Clone()
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package vars
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestGetOrCreateReuses(t *testing.T) {
+	s := NewStore()
+	calls := 0
+	init := func() *tensor.Tensor { calls++; return tensor.Zeros(2) }
+	a := s.GetOrCreate("w", init)
+	b := s.GetOrCreate("w", init)
+	if a != b {
+		t.Fatal("GetOrCreate returned different tensors")
+	}
+	if calls != 1 {
+		t.Fatalf("init called %d times", calls)
+	}
+}
+
+func TestAssignSub(t *testing.T) {
+	s := NewStore()
+	s.Set("w", tensor.FromSlice([]float64{5, 5}))
+	s.AssignSub("w", tensor.FromSlice([]float64{1, 2}))
+	if !tensor.Equal(s.MustGet("w"), tensor.FromSlice([]float64{4, 3})) {
+		t.Fatalf("got %v", s.MustGet("w"))
+	}
+}
+
+func TestAssignSubShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewStore()
+	s.Set("w", tensor.Zeros(2))
+	s.AssignSub("w", tensor.Zeros(3))
+}
+
+func TestMustGetPanicsOnMissing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore().MustGet("nope")
+}
+
+func TestNamesSortedAndCounts(t *testing.T) {
+	s := NewStore()
+	s.Set("b", tensor.Zeros(3))
+	s.Set("a", tensor.Zeros(2, 2))
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("got %v", names)
+	}
+	if s.Len() != 2 || s.NumParams() != 7 {
+		t.Fatalf("len=%d params=%d", s.Len(), s.NumParams())
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	s := NewStore()
+	s.Set("w", tensor.FromSlice([]float64{1}))
+	snap := s.Snapshot()
+	s.MustGet("w").Data()[0] = 99
+	if snap.MustGet("w").At(0) != 1 {
+		t.Fatal("snapshot shares storage")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	s.Set("w", tensor.Zeros(1))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.AssignSub("w", tensor.FromSlice([]float64{-1}))
+				s.GetOrCreate("x", func() *tensor.Tensor { return tensor.Zeros(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if s.MustGet("w").At(0) != 1600 {
+		t.Fatalf("lost updates: %v", s.MustGet("w").At(0))
+	}
+}
