@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -31,7 +32,18 @@ func main() {
 	exp := flag.String("experiment", "all", "table2|table3|fig6|fig7|fig8|assertcost|all")
 	steps := flag.Int("steps", 20, "measured steps per configuration")
 	warmup := flag.Int("warmup", 6, "warmup steps (covers profiling + conversion)")
+	serveMode := flag.Bool("serve", false, "load-driver mode: requests/sec against an in-process janusd")
+	clients := flag.Int("clients", 8, "concurrent clients in -serve mode")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window in -serve mode")
+	serveWorkers := flag.Int("serve-workers", 0, "pool workers in -serve mode (0 = NumCPU)")
+	maxBatch := flag.Int("max-batch", 8, "batcher size limit in -serve mode")
+	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "batcher latency limit in -serve mode")
 	flag.Parse()
+
+	if *serveMode {
+		serveBench(*clients, *duration, *serveWorkers, *maxBatch, *batchLatency)
+		return
+	}
 
 	run := func(name string, f func(int, int)) {
 		fmt.Printf("\n========== %s ==========\n", name)

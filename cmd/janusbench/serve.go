@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// serveModel is the load-driver fixture: a batch-parallel two-layer MLP.
+const serveModel = `
+def predict(x):
+    w1 = variable("w1", [16, 32])
+    w2 = variable("w2", [32, 8])
+    return matmul(relu(matmul(x, w1)), w2)
+`
+
+// serveBench measures requests/sec against an in-process janusd: a real
+// HTTP server over the serving pool, hammered by N concurrent clients.
+func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatency time.Duration) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cfg := core.DefaultJanusConfig()
+	cfg.ProfileIters = 1
+	cfg.Seed = 42
+	cfg.PyOverheadNs = -1
+	srv := serve.NewServer(serve.Config{
+		Workers: workers, MaxBatch: maxBatch, MaxLatency: maxLatency, Engine: cfg,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(client *http.Client, path string, body map[string]any) error {
+		buf, _ := json.Marshal(body)
+		resp, err := client.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var e map[string]any
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("%s -> %d: %v", path, resp.StatusCode, e["error"])
+		}
+		return nil
+	}
+
+	if err := post(ts.Client(), "/v1/load", map[string]any{"program": serveModel}); err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench: load: %v\n", err)
+		os.Exit(1)
+	}
+	row := make([]float64, 16)
+	for i := range row {
+		row[i] = float64(i) * 0.1
+	}
+	inferBody := map[string]any{"fn": "predict", "x": [][]float64{row}}
+	// Warm: get past profiling and compile the common batch shapes.
+	for i := 0; i < 3; i++ {
+		if err := post(ts.Client(), "/v1/infer", inferBody); err != nil {
+			fmt.Fprintf(os.Stderr, "serve bench: warmup: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("in-process janusd: %d clients, %d workers, batch %d/%v, %v\n",
+		clients, workers, maxBatch, maxLatency, dur)
+	var done, failed atomic.Int64
+	latencies := make([][]time.Duration, clients)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				if err := post(client, "/v1/infer", inferBody); err != nil {
+					failed.Add(1)
+					continue
+				}
+				latencies[c] = append(latencies[c], time.Since(start))
+				done.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	st := srv.Pool().Stats()
+	fmt.Printf("%-22s %12.1f req/s\n", "throughput", float64(done.Load())/dur.Seconds())
+	fmt.Printf("%-22s %12d ok, %d failed\n", "requests", done.Load(), failed.Load())
+	fmt.Printf("%-22s %12v p50, %v p95, %v p99\n", "latency", pct(0.50), pct(0.95), pct(0.99))
+	avgBatch := 0.0
+	if st.Batches > 0 {
+		avgBatch = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	fmt.Printf("%-22s %12d batches (avg %.1f req/batch)\n", "batching", st.Batches, avgBatch)
+	fmt.Printf("%-22s %12d hits / %d conversions / %d cached graphs\n",
+		"graph cache", st.CacheHits, st.Conversions, st.CachedGraphs)
+	fmt.Printf("%-22s %12d graph / %d imperative\n", "steps", st.GraphSteps, st.ImperativeSteps)
+}

@@ -1,0 +1,90 @@
+// Command janusd serves minipy models over HTTP+JSON. It fronts the
+// internal/serve session pool: N JANUS engine workers share one parameter
+// store and one compiled-graph cache, and concurrent inference requests for
+// the same function signature are batched into single graph executions.
+//
+//	janusd -addr :8080 -workers 8 -max-batch 8 -batch-latency 2ms \
+//	       -program model.py
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/load     {"program": "..."}                 load/extend the model
+//	POST /v1/sessions {}                                 open a client session
+//	DELETE /v1/sessions/{id}                             free a session
+//	POST /v1/run      {"session"?, "program": "..."}     run an ad-hoc script
+//	POST /v1/call     {"session"?, "fn", "args": [...]}  call a loaded function
+//	POST /v1/infer    {"session"?, "fn", "x": [[...]]}   batched inference
+//	GET  /v1/stats                                       engine + serving stats
+//	GET  /healthz                                        liveness
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/infer \
+//	     -d '{"fn": "predict", "x": [[1.0, 2.0]]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	janus "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "engine workers (concurrent requests served)")
+	maxBatch := flag.Int("max-batch", 8, "max inference requests coalesced per batch")
+	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "max wait for batch-mates")
+	program := flag.String("program", "", "minipy program to load at startup")
+	engine := flag.String("engine", "janus", "engine: janus|imperative|trace")
+	lr := flag.Float64("lr", 0.1, "learning rate for optimize()")
+	profileIters := flag.Int("profile-iters", 3, "profiling iterations before conversion")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 = unseeded)")
+	flag.Parse()
+
+	opts := janus.ServerOptions{
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		MaxLatency: *batchLatency,
+	}
+	opts.LearningRate = *lr
+	opts.ProfileIterations = *profileIters
+	opts.Seed = *seed
+	switch *engine {
+	case "janus":
+		opts.Engine = janus.EngineJanus
+	case "imperative":
+		opts.Engine = janus.EngineImperative
+	case "trace":
+		opts.Engine = janus.EngineTrace
+	default:
+		fmt.Fprintf(os.Stderr, "janusd: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
+	srv := janus.NewServer(opts)
+	if *program != "" {
+		src, err := os.ReadFile(*program)
+		if err != nil {
+			log.Fatalf("janusd: read program: %v", err)
+		}
+		out, err := srv.Load(string(src))
+		if err != nil {
+			log.Fatalf("janusd: load program: %v", err)
+		}
+		if out != "" {
+			fmt.Print(out)
+		}
+		log.Printf("janusd: loaded %s", *program)
+	}
+
+	log.Printf("janusd: serving on %s (%d workers, batch %d / %v)",
+		*addr, *workers, *maxBatch, *batchLatency)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -39,7 +39,7 @@ func main() {
 		}
 	}
 	fmt.Printf("engine: %d graph steps, %d conversions, %d assumption failures\n",
-		eng.Stats.GraphSteps, eng.Stats.Conversions, eng.Stats.AssertFailures)
+		eng.Stats().GraphSteps, eng.Stats().Conversions, eng.Stats().AssertFailures)
 
 	// The tracing baseline refuses recursion — show its error.
 	tr := core.NewEngine(core.Config{Mode: core.Trace, LR: 0.1, Seed: 11})

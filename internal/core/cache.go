@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/profile"
+)
+
+// cacheKey identifies one optimized function in the graph cache: the AST id
+// of its definition plus whether the cached graphs are training graphs
+// (generated for optimize(), carrying gradient/update ops) or forward-only
+// inference graphs. The same function can have both.
+type cacheKey struct {
+	fn    int
+	infer bool
+}
+
+// GraphCache is the compiled-graph cache of the paper's Figure 2, extracted
+// so that several Engines can share one cache: a serving pool creates N
+// engines with NewEngineShared and a graph converted on behalf of one client
+// is a cache hit for every other.
+//
+// The cache itself is guarded by a mutex; each per-function state carries its
+// own lock (see funcState.mu) so profiling and generation for one function
+// never block graph execution of another.
+type GraphCache struct {
+	mu    sync.Mutex
+	funcs map[cacheKey]*funcState
+}
+
+// NewGraphCache returns an empty cache.
+func NewGraphCache() *GraphCache {
+	return &GraphCache{funcs: make(map[cacheKey]*funcState)}
+}
+
+// state returns (creating on first use) the per-function bookkeeping.
+func (c *GraphCache) state(k cacheKey) *funcState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs, ok := c.funcs[k]
+	if !ok {
+		fs = &funcState{prof: profile.New(), distrust: make(map[int]bool)}
+		c.funcs[k] = fs
+	}
+	return fs
+}
+
+// Funcs returns the number of functions with cache state.
+func (c *GraphCache) Funcs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.funcs)
+}
+
+// Entries returns the total number of compiled graphs currently cached
+// across all functions and signatures.
+func (c *GraphCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, fs := range c.funcs {
+		fs.mu.Lock()
+		n += len(fs.entries)
+		fs.mu.Unlock()
+	}
+	return n
+}
+
+// imperativeReasons returns the conversion-failure reason of every function
+// pinned to the imperative executor (test/diagnostic use).
+func (c *GraphCache) imperativeReasons() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, fs := range c.funcs {
+		fs.mu.Lock()
+		if fs.imperativeOnly {
+			out = append(out, fs.impReason)
+		}
+		fs.mu.Unlock()
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/autodiff"
@@ -86,7 +87,8 @@ func DefaultJanusConfig() Config {
 	return Config{Mode: Janus, LR: 0.1, ProfileIters: 3, Unroll: true, Specialize: true, Workers: 4}
 }
 
-// Stats counts engine activity; the evaluation harness reads these.
+// Stats is a point-in-time snapshot of engine activity; the evaluation
+// harness and the serving subsystem read these via Engine.Stats().
 type Stats struct {
 	ImperativeSteps int
 	GraphSteps      int
@@ -99,6 +101,74 @@ type Stats struct {
 	OptimizeReport  map[string]int
 }
 
+// Add accumulates another snapshot into s (the serving pool aggregates
+// per-worker stats this way).
+func (s *Stats) Add(o Stats) {
+	s.ImperativeSteps += o.ImperativeSteps
+	s.GraphSteps += o.GraphSteps
+	s.Conversions += o.Conversions
+	s.ConversionFails += o.ConversionFails
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.AssertFailures += o.AssertFailures
+	s.Fallbacks += o.Fallbacks
+	for k, v := range o.OptimizeReport {
+		if s.OptimizeReport == nil {
+			s.OptimizeReport = map[string]int{}
+		}
+		s.OptimizeReport[k] += v
+	}
+}
+
+// counters is the live, race-safe counter set behind Stats snapshots. Steps
+// may run concurrently when an engine belongs to a serving pool, so every
+// counter is atomic and the optimizer report map is mutex-guarded.
+type counters struct {
+	imperativeSteps atomic.Int64
+	graphSteps      atomic.Int64
+	conversions     atomic.Int64
+	conversionFails atomic.Int64
+	cacheHits       atomic.Int64
+	cacheMisses     atomic.Int64
+	assertFailures  atomic.Int64
+	fallbacks       atomic.Int64
+	mu              sync.Mutex
+	optimizeReport  map[string]int
+}
+
+func (c *counters) addReport(rep map[string]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.optimizeReport == nil {
+		c.optimizeReport = map[string]int{}
+	}
+	for k, v := range rep {
+		c.optimizeReport[k] += v
+	}
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		ImperativeSteps: int(c.imperativeSteps.Load()),
+		GraphSteps:      int(c.graphSteps.Load()),
+		Conversions:     int(c.conversions.Load()),
+		ConversionFails: int(c.conversionFails.Load()),
+		CacheHits:       int(c.cacheHits.Load()),
+		CacheMisses:     int(c.cacheMisses.Load()),
+		AssertFailures:  int(c.assertFailures.Load()),
+		Fallbacks:       int(c.fallbacks.Load()),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.optimizeReport != nil {
+		s.OptimizeReport = make(map[string]int, len(c.optimizeReport))
+		for k, v := range c.optimizeReport {
+			s.OptimizeReport[k] = v
+		}
+	}
+	return s
+}
+
 // compiled is one graph-cache entry.
 type compiled struct {
 	pattern []string
@@ -108,8 +178,13 @@ type compiled struct {
 	static bool
 }
 
-// funcState tracks one optimized function across iterations.
+// funcState tracks one optimized function across iterations. When the
+// engine's GraphCache is shared by a serving pool, a funcState is reached
+// from several engines at once: fs.mu serializes profiling, generation and
+// entry-list mutation per function, while graph execution (which only reads
+// an immutable *compiled) runs outside the lock.
 type funcState struct {
+	mu      sync.Mutex
 	prof    *profile.Profile
 	entries []*compiled
 	// distrust records AST nodes whose speculative assumptions failed.
@@ -124,19 +199,31 @@ type funcState struct {
 }
 
 // Engine runs minipy programs under one of the three execution modes.
+//
+// An Engine's interpreter is single-threaded: callers must not run two
+// programs on the same Engine concurrently. Concurrency is achieved by
+// creating several engines that share a Store and a GraphCache (see
+// NewEngineShared and internal/serve).
 type Engine struct {
 	cfg   Config
 	Store *vars.Store
 	Local *minipy.Interp
 	Opt   autodiff.Optimizer
-	Stats Stats
-	funcs map[int]*funcState
+	stats counters
+	cache *GraphCache
 	heap  *heapAdapter
-	mu    sync.Mutex
 }
 
-// NewEngine builds an engine with a fresh parameter store and interpreter.
+// NewEngine builds an engine with a fresh parameter store and graph cache.
 func NewEngine(cfg Config) *Engine {
+	return NewEngineShared(cfg, vars.NewStore(), NewGraphCache())
+}
+
+// NewEngineShared builds an engine around an existing parameter store and
+// compiled-graph cache. A serving pool passes the same store and cache to
+// every worker engine so parameters stay consistent and a graph converted
+// for one client is a cache hit for all others.
+func NewEngineShared(cfg Config, store *vars.Store, cache *GraphCache) *Engine {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
@@ -148,9 +235,9 @@ func NewEngine(cfg Config) *Engine {
 	}
 	e := &Engine{
 		cfg:   cfg,
-		Store: vars.NewStore(),
+		Store: store,
 		Opt:   &autodiff.SGD{LR: cfg.LR},
-		funcs: make(map[int]*funcState),
+		cache: cache,
 	}
 	reg := minipy.DefaultRegistry().Clone()
 	reg.Register(&minipy.Builtin{Name: "optimize", Stateful: true,
@@ -206,6 +293,12 @@ func (e *Engine) Define(name string, v minipy.Value) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// Stats returns a race-safe snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+
+// Cache returns the engine's compiled-graph cache (possibly shared).
+func (e *Engine) Cache() *GraphCache { return e.cache }
+
 // optimizeStep implements one training step of the loss function fn: the
 // core of Figure 2.
 func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
@@ -223,7 +316,7 @@ func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
 // imperativeStep runs fn on the interpreter under a fresh gradient tape and
 // applies the optimizer. prof, when non-nil, observes the execution.
 func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (minipy.Value, error) {
-	e.Stats.ImperativeSteps++
+	e.stats.imperativeSteps.Add(1)
 	prevTape, prevProf := e.Local.Tape, e.Local.Prof
 	e.Local.Tape = autodiff.NewTape()
 	if prof != nil {
@@ -248,61 +341,91 @@ func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (mini
 	return loss, nil
 }
 
-// state returns the per-function bookkeeping.
-func (e *Engine) state(fn *minipy.FuncVal) *funcState {
+// state returns the per-function bookkeeping from the (possibly shared)
+// graph cache.
+func (e *Engine) state(fn *minipy.FuncVal, infer bool) *funcState {
 	id := -1
 	if fn.Def != nil {
 		id = fn.Def.ID()
 	}
-	fs, ok := e.funcs[id]
-	if !ok {
-		fs = &funcState{prof: profile.New(), distrust: make(map[int]bool)}
-		e.funcs[id] = fs
-	}
-	return fs
+	return e.cache.state(cacheKey{fn: id, infer: infer})
 }
 
 // janusStep is the full speculative path: profile, generate, validate,
 // execute, fall back.
+//
+// fs.mu is held through profiling, lookup and generation — when engines
+// share the cache this serializes the per-function slow path (and prevents
+// duplicate conversions for the same signature) — and released around graph
+// execution, so cached-graph steps for the same function run concurrently.
 func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
-	fs := e.state(fn)
-	if fs.imperativeOnly {
-		return e.imperativeStep(fn, fs.prof)
+	fs := e.state(fn, false)
+	fs.mu.Lock()
+	impOnly := fs.imperativeOnly
+	fs.mu.Unlock()
+	if impOnly {
+		// Imperative-only functions never regenerate, so the shared profile
+		// is no longer consulted: run unlocked so pool engines interpret the
+		// function in parallel instead of serializing on fs.mu.
+		return e.imperativeStep(fn, nil)
 	}
-	if fs.prof.Iterations() < e.cfg.ProfileIters || fs.prof.Iterations() < fs.reprofileUntil {
-		// (A) Profile: not enough information for realistic assumptions yet.
-		return e.imperativeStep(fn, fs.prof)
-	}
-	sig, leaves := convert.Flatten(fn, nil)
-	entry := e.lookup(fs, sig)
-	if entry == nil {
-		e.Stats.CacheMisses++
-		var err error
-		entry, err = e.generate(fs, fn, sig)
-		if err != nil {
-			if errors.Is(err, convert.ErrNotConvertible) {
-				// (C) Do not generate: imperative-only function.
-				fs.imperativeOnly = true
-				fs.impReason = err.Error()
-				e.Stats.ConversionFails++
-				return e.imperativeStep(fn, fs.prof)
-			}
-			return nil, err
+	var entry *compiled
+	var leaves []minipy.Value
+	// Slow path under fs.mu; handled=true means the step completed (or
+	// failed) without needing graph execution. The closure keeps the unlock
+	// in a defer, so a panic in conversion (recovered by the serving layer)
+	// can never leave the function's lock held.
+	loss, handled, err := func() (minipy.Value, bool, error) {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		if fs.imperativeOnly {
+			v, err := e.imperativeStep(fn, fs.prof)
+			return v, true, err
 		}
-	} else {
-		e.Stats.CacheHits++
+		if fs.prof.Iterations() < e.cfg.ProfileIters || fs.prof.Iterations() < fs.reprofileUntil {
+			// (A) Profile: not enough information for realistic assumptions.
+			v, err := e.imperativeStep(fn, fs.prof)
+			return v, true, err
+		}
+		sig, lv := convert.Flatten(fn, nil)
+		entry = e.lookup(fs, sig)
+		if entry == nil {
+			e.stats.cacheMisses.Add(1)
+			var gerr error
+			entry, gerr = e.generate(fs, fn, sig)
+			if gerr != nil {
+				if errors.Is(gerr, convert.ErrNotConvertible) {
+					// (C) Do not generate: imperative-only function.
+					fs.imperativeOnly = true
+					fs.impReason = gerr.Error()
+					e.stats.conversionFails.Add(1)
+					v, err := e.imperativeStep(fn, fs.prof)
+					return v, true, err
+				}
+				return nil, true, gerr
+			}
+		} else {
+			e.stats.cacheHits.Add(1)
+		}
+		leaves = lv
+		return nil, false, nil
+	}()
+	if handled {
+		return loss, err
 	}
-	loss, err := e.execute(entry, leaves)
+	loss, err = e.execute(entry, leaves)
 	if err == nil {
-		e.Stats.GraphSteps++
+		e.stats.graphSteps.Add(1)
 		return loss, nil
 	}
 	var ae *exec.AssertError
 	if errors.As(err, &ae) {
 		// (E) Fallback: the assumption was wrong; no state was mutated
 		// (all-or-nothing), so re-running imperatively is safe and correct.
-		e.Stats.AssertFailures++
-		e.Stats.Fallbacks++
+		e.stats.assertFailures.Add(1)
+		e.stats.fallbacks.Add(1)
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
 		e.noteFailure(fs, entry, ae)
 		return e.imperativeStep(fn, fs.prof)
 	}
@@ -336,13 +459,8 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*com
 		res.Dynamic = true
 	}
 	rep := res.OptimizePasses(e.cfg.Specialize)
-	if e.Stats.OptimizeReport == nil {
-		e.Stats.OptimizeReport = map[string]int{}
-	}
-	for k, v := range rep {
-		e.Stats.OptimizeReport[k] += v
-	}
-	e.Stats.Conversions++
+	e.stats.addReport(rep)
+	e.stats.conversions.Add(1)
 	c := &compiled{pattern: sig, res: res, static: !res.Dynamic}
 	fs.entries = append(fs.entries, c)
 	return c, nil
@@ -416,36 +534,47 @@ func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
 // forever. Conversion failures are hard errors (matching defun's behaviour
 // for recursion and state updates).
 func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
-	fs := e.state(fn)
-	if fs.prof.Iterations() < 1 {
-		return e.imperativeStep(fn, fs.prof)
-	}
-	sig, leaves := convert.Flatten(fn, nil)
+	fs := e.state(fn, false)
 	var entry *compiled
-	if len(fs.entries) > 0 {
-		// A single traced graph, reused unconditionally — even when the
-		// signature changed. That unchecked reuse is the unsafety.
-		entry = fs.entries[0]
-	} else {
-		res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
-			Unroll: true, Specialize: true, Trace: true,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: trace conversion failed (defun limitation): %w", err)
+	var leaves []minipy.Value
+	loss, handled, err := func() (minipy.Value, bool, error) {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		if fs.prof.Iterations() < 1 {
+			v, err := e.imperativeStep(fn, fs.prof)
+			return v, true, err
 		}
-		if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
-			res.Dynamic = true
+		sig, lv := convert.Flatten(fn, nil)
+		if len(fs.entries) > 0 {
+			// A single traced graph, reused unconditionally — even when the
+			// signature changed. That unchecked reuse is the unsafety.
+			entry = fs.entries[0]
+		} else {
+			res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
+				Unroll: true, Specialize: true, Trace: true,
+			})
+			if err != nil {
+				return nil, true, fmt.Errorf("core: trace conversion failed (defun limitation): %w", err)
+			}
+			if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
+				res.Dynamic = true
+			}
+			res.OptimizePasses(true)
+			e.stats.conversions.Add(1)
+			entry = &compiled{pattern: sig, res: res, static: !res.Dynamic}
+			fs.entries = append(fs.entries, entry)
 		}
-		res.OptimizePasses(true)
-		e.Stats.Conversions++
-		entry = &compiled{pattern: sig, res: res, static: !res.Dynamic}
-		fs.entries = append(fs.entries, entry)
+		leaves = lv
+		return nil, false, nil
+	}()
+	if handled {
+		return loss, err
 	}
-	loss, err := e.execute(entry, leaves)
+	loss, err = e.execute(entry, leaves)
 	if err != nil {
 		return nil, err
 	}
-	e.Stats.GraphSteps++
+	e.stats.graphSteps.Add(1)
 	return loss, nil
 }
 

@@ -3,9 +3,12 @@ package core
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
+	"repro/internal/minipy"
 	"repro/internal/tensor"
+	"repro/internal/vars"
 )
 
 // linearProgram trains y = 2x - 3 with a tiny linear model. The loss function
@@ -51,10 +54,10 @@ func TestImperativeEngineTrainsLinearModel(t *testing.T) {
 	if loss > 0.05 {
 		t.Fatalf("imperative loss %v", loss)
 	}
-	if e.Stats.ImperativeSteps != 200 {
-		t.Fatalf("imperative steps %d", e.Stats.ImperativeSteps)
+	if e.Stats().ImperativeSteps != 200 {
+		t.Fatalf("imperative steps %d", e.Stats().ImperativeSteps)
 	}
-	if e.Stats.GraphSteps != 0 {
+	if e.Stats().GraphSteps != 0 {
 		t.Fatal("imperative engine ran graphs")
 	}
 }
@@ -68,16 +71,16 @@ func TestJanusEngineConvertsAndTrains(t *testing.T) {
 	if loss > 0.05 {
 		t.Fatalf("janus loss %v", loss)
 	}
-	if e.Stats.Conversions == 0 {
+	if e.Stats().Conversions == 0 {
 		t.Fatal("no graph conversion happened")
 	}
-	if e.Stats.GraphSteps < 190 {
-		t.Fatalf("graph steps %d, expected most of 200", e.Stats.GraphSteps)
+	if e.Stats().GraphSteps < 190 {
+		t.Fatalf("graph steps %d, expected most of 200", e.Stats().GraphSteps)
 	}
-	if e.Stats.ImperativeSteps != 3 {
-		t.Fatalf("profiling iterations %d, want 3", e.Stats.ImperativeSteps)
+	if e.Stats().ImperativeSteps != 3 {
+		t.Fatalf("profiling iterations %d, want 3", e.Stats().ImperativeSteps)
 	}
-	if e.Stats.CacheHits == 0 {
+	if e.Stats().CacheHits == 0 {
 		t.Fatal("graph cache never hit")
 	}
 }
@@ -131,11 +134,11 @@ for i in range(12):
 	if err := e.Run(src); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if e.Stats.Conversions == 0 || e.Stats.GraphSteps == 0 {
-		t.Fatalf("loop program not converted: %+v", e.Stats)
+	if e.Stats().Conversions == 0 || e.Stats().GraphSteps == 0 {
+		t.Fatalf("loop program not converted: %+v", e.Stats())
 	}
-	if e.Stats.AssertFailures != 0 {
-		t.Fatalf("unexpected assumption failures: %+v", e.Stats)
+	if e.Stats().AssertFailures != 0 {
+		t.Fatalf("unexpected assumption failures: %+v", e.Stats())
 	}
 }
 
@@ -174,8 +177,8 @@ print(reduce_sum(m.state))
 	if impOut != janOut {
 		t.Fatalf("state divergence:\n imperative: %s\n janus:      %s", impOut, janOut)
 	}
-	if jan.Stats.GraphSteps == 0 {
-		t.Fatalf("janus never used the graph: %+v", jan.Stats)
+	if jan.Stats().GraphSteps == 0 {
+		t.Fatalf("janus never used the graph: %+v", jan.Stats())
 	}
 }
 
@@ -210,10 +213,10 @@ print(net.training)
 	if err := jan.Run(src); err != nil {
 		t.Fatalf("janus: %v", err)
 	}
-	if jan.Stats.AssertFailures == 0 {
+	if jan.Stats().AssertFailures == 0 {
 		t.Fatal("expected an assumption failure when the branch flipped")
 	}
-	if jan.Stats.Fallbacks == 0 {
+	if jan.Stats().Fallbacks == 0 {
 		t.Fatal("expected imperative fallback")
 	}
 	// Compare final weights with imperative reference.
@@ -344,8 +347,8 @@ for i in range(8):
 	if err := jan.Run(src); err != nil {
 		t.Fatalf("janus: %v", err)
 	}
-	if jan.Stats.GraphSteps == 0 {
-		t.Fatalf("recursion not executed on graph: %+v (reason: %s)", jan.Stats, jan.impReason())
+	if jan.Stats().GraphSteps == 0 {
+		t.Fatalf("recursion not executed on graph: %+v (reason: %s)", jan.Stats(), jan.impReason())
 	}
 	imp := NewEngine(Config{Mode: Imperative, LR: cfg.LR, Seed: 19})
 	if err := imp.Run(src); err != nil {
@@ -380,14 +383,14 @@ for i in range(6):
 	if err := e.Run(src); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if e.Stats.GraphSteps != 0 {
+	if e.Stats().GraphSteps != 0 {
 		t.Fatal("non-convertible function ran on the graph")
 	}
-	if e.Stats.ConversionFails == 0 {
+	if e.Stats().ConversionFails == 0 {
 		t.Fatal("conversion failure not recorded")
 	}
-	if e.Stats.ImperativeSteps != 6 {
-		t.Fatalf("imperative steps %d", e.Stats.ImperativeSteps)
+	if e.Stats().ImperativeSteps != 6 {
+		t.Fatalf("imperative steps %d", e.Stats().ImperativeSteps)
 	}
 }
 
@@ -412,11 +415,11 @@ for i in range(4):
 	if err := e.Run(src); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if e.Stats.Conversions < 2 {
-		t.Fatalf("expected one graph per shape, got %d conversions", e.Stats.Conversions)
+	if e.Stats().Conversions < 2 {
+		t.Fatalf("expected one graph per shape, got %d conversions", e.Stats().Conversions)
 	}
-	if e.Stats.AssertFailures != 0 {
-		t.Fatalf("shape change caused assertion failure: %+v", e.Stats)
+	if e.Stats().AssertFailures != 0 {
+		t.Fatalf("shape change caused assertion failure: %+v", e.Stats())
 	}
 }
 
@@ -442,8 +445,8 @@ for i in range(10):
 	if err := base.Run(src); err != nil {
 		t.Fatalf("base: %v", err)
 	}
-	if base.Stats.GraphSteps == 0 {
-		t.Fatalf("BASE mode did not run graphs: %+v", base.Stats)
+	if base.Stats().GraphSteps == 0 {
+		t.Fatalf("BASE mode did not run graphs: %+v", base.Stats())
 	}
 	imp := NewEngine(Config{Mode: Imperative, LR: 0.1, Seed: 31})
 	if err := imp.Run(src); err != nil {
@@ -461,7 +464,7 @@ func TestOptimizationReportPopulated(t *testing.T) {
 	if err := e.Run(linearProgram); err != nil {
 		t.Fatal(err)
 	}
-	if len(e.Stats.OptimizeReport) == 0 {
+	if len(e.Stats().OptimizeReport) == 0 {
 		t.Fatal("no optimizer pass activity recorded")
 	}
 }
@@ -479,10 +482,101 @@ func TestDisableAssertsStillCorrectWhenAssumptionsHold(t *testing.T) {
 
 // impReason exposes the first imperative-only reason for test diagnostics.
 func (e *Engine) impReason() string {
-	for _, fs := range e.funcs {
-		if fs.imperativeOnly {
-			return fs.impReason
-		}
+	if rs := e.cache.imperativeReasons(); len(rs) > 0 {
+		return rs[0]
 	}
 	return ""
+}
+
+func TestSharedCacheHitsAcrossEngines(t *testing.T) {
+	// Two engines sharing one store and one graph cache, running the SAME
+	// parsed program (shared AST, so function identities match): graphs
+	// converted by the first engine must be cache hits for the second —
+	// the property the serving pool is built on.
+	prog, err := minipy.Parse(linearProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := vars.NewStore()
+	cache := NewGraphCache()
+	cfg := DefaultJanusConfig()
+	cfg.LR = 0.05
+	cfg.Seed = 1
+	e1 := NewEngineShared(cfg, store, cache)
+	if err := e1.RunProgram(prog); err != nil {
+		t.Fatalf("engine 1: %v", err)
+	}
+	if e1.Stats().Conversions == 0 {
+		t.Fatalf("engine 1 never converted: %+v", e1.Stats())
+	}
+	e2 := NewEngineShared(cfg, store, cache)
+	if err := e2.RunProgram(prog); err != nil {
+		t.Fatalf("engine 2: %v", err)
+	}
+	s2 := e2.Stats()
+	if s2.Conversions != 0 {
+		t.Fatalf("engine 2 reconverted despite the shared cache: %+v", s2)
+	}
+	if s2.ImperativeSteps != 0 {
+		t.Fatalf("engine 2 re-profiled despite the shared profile: %+v", s2)
+	}
+	if s2.CacheHits == 0 || s2.GraphSteps == 0 {
+		t.Fatalf("engine 2 did not hit the shared cache: %+v", s2)
+	}
+	if cache.Funcs() == 0 || cache.Entries() == 0 {
+		t.Fatalf("cache empty: funcs=%d entries=%d", cache.Funcs(), cache.Entries())
+	}
+}
+
+func TestSharedEnginesConcurrentSteps(t *testing.T) {
+	// Engines sharing store+cache training concurrently must stay race-free
+	// and keep counters consistent (run under -race to check the former).
+	prog, err := minipy.Parse(`
+def loss_fn(x, y):
+    w = variable("w", [1, 1])
+    return mse(matmul(x, w), y)
+
+x = constant([[0.0], [1.0], [2.0], [3.0]])
+y = constant([[-3.0], [-1.0], [1.0], [3.0]])
+for step in range(40):
+    optimize(lambda: loss_fn(x, y))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := vars.NewStore()
+	cache := NewGraphCache()
+	cfg := DefaultJanusConfig()
+	cfg.LR = 0.01
+	cfg.Seed = 9
+	const n = 4
+	engines := make([]*Engine, n)
+	for i := range engines {
+		engines[i] = NewEngineShared(cfg, store, cache)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, e := range engines {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			errs[i] = e.RunProgram(prog)
+		}(i, e)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+	}
+	var total Stats
+	for _, e := range engines {
+		total.Add(e.Stats())
+	}
+	if got := total.ImperativeSteps + total.GraphSteps; got != n*40 {
+		t.Fatalf("steps accounted %d, want %d", got, n*40)
+	}
+	if total.Conversions == 0 || total.CacheHits == 0 {
+		t.Fatalf("no shared-cache activity: %+v", total)
+	}
 }

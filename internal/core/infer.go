@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/convert"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/minipy"
+	"repro/internal/profile"
+)
+
+// This file is the forward-only (inference) counterpart of the optimize()
+// training path in engine.go. The serving subsystem calls module-level
+// functions by name on behalf of remote clients; under the Janus mode those
+// calls go through the same profile → speculate → validate → fall back
+// pipeline, but the generated graphs carry no gradient or update ops and
+// their cache entries are kept separate from the training entries.
+
+// LookupFunc resolves a module-level function by name.
+func (e *Engine) LookupFunc(name string) (*minipy.FuncVal, error) {
+	v, ok := e.Local.Globals.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown function %q", name)
+	}
+	fn, ok := v.(*minipy.FuncVal)
+	if !ok {
+		return nil, fmt.Errorf("core: %q is %s, not a function", name, v.TypeName())
+	}
+	return fn, nil
+}
+
+// Call invokes the module-level function name with args under the engine's
+// execution strategy. Functions that themselves call optimize() stay on the
+// interpreter (stateful builtins are not convertible), and the inner
+// optimize() still reaches the speculative training path — so the same
+// entry point serves both inference and train-step requests.
+func (e *Engine) Call(name string, args []minipy.Value) (minipy.Value, error) {
+	fn, err := e.LookupFunc(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.CallFunc(fn, args)
+}
+
+// CallFunc is Call for an already-resolved function value.
+func (e *Engine) CallFunc(fn *minipy.FuncVal, args []minipy.Value) (minipy.Value, error) {
+	switch e.cfg.Mode {
+	case Janus, Trace:
+		return e.inferStep(fn, args)
+	default:
+		return e.imperativeCall(fn, args, nil)
+	}
+}
+
+// imperativeCall runs fn(args...) on the interpreter. prof, when non-nil,
+// observes the execution for the speculative converter; callers must hold
+// the funcState lock in that case.
+func (e *Engine) imperativeCall(fn *minipy.FuncVal, args []minipy.Value, prof *profile.Profile) (minipy.Value, error) {
+	e.stats.imperativeSteps.Add(1)
+	prevTape, prevProf := e.Local.Tape, e.Local.Prof
+	e.Local.Tape = autodiff.NewTape()
+	if prof != nil {
+		e.Local.Prof = prof
+	}
+	defer func() {
+		e.Local.Tape, e.Local.Prof = prevTape, prevProf
+	}()
+	out, err := e.Local.CallFunction(fn, args)
+	if err != nil {
+		return nil, err
+	}
+	if prof != nil {
+		prof.EndIteration()
+	}
+	return out, nil
+}
+
+// inferStep mirrors janusStep for a plain function call: same cache and
+// fallback discipline, but the graph is forward-only. The locking contract
+// matches janusStep — fs.mu covers profiling/lookup/generation, execution
+// runs outside it.
+func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Value, error) {
+	fs := e.state(fn, true)
+	fs.mu.Lock()
+	impOnly := fs.imperativeOnly
+	fs.mu.Unlock()
+	if impOnly {
+		// Never regenerated, profile never consulted again: run unlocked so
+		// pool engines interpret in parallel (train_step-style functions that
+		// call optimize() land here, and the inner optimize still reaches the
+		// speculative training path with its own funcState).
+		return e.imperativeCall(fn, args, nil)
+	}
+	var entry *compiled
+	var leaves []minipy.Value
+	// As in janusStep, the deferred unlock inside the closure keeps fs.mu
+	// panic-safe (the serving layer recovers panics into request errors).
+	out, handled, err := func() (minipy.Value, bool, error) {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		if fs.imperativeOnly {
+			v, err := e.imperativeCall(fn, args, fs.prof)
+			return v, true, err
+		}
+		if fs.prof.Iterations() < e.cfg.ProfileIters || fs.prof.Iterations() < fs.reprofileUntil {
+			v, err := e.imperativeCall(fn, args, fs.prof)
+			return v, true, err
+		}
+		sig, lv := convert.Flatten(fn, args)
+		entry = e.lookup(fs, sig)
+		if entry == nil {
+			e.stats.cacheMisses.Add(1)
+			var gerr error
+			entry, gerr = e.generateInfer(fs, fn, args, sig)
+			if gerr != nil {
+				if errors.Is(gerr, convert.ErrNotConvertible) {
+					fs.imperativeOnly = true
+					fs.impReason = gerr.Error()
+					e.stats.conversionFails.Add(1)
+					v, err := e.imperativeCall(fn, args, fs.prof)
+					return v, true, err
+				}
+				return nil, true, gerr
+			}
+		} else {
+			e.stats.cacheHits.Add(1)
+		}
+		leaves = lv
+		return nil, false, nil
+	}()
+	if handled {
+		return out, err
+	}
+	out, err = e.executeInfer(entry, leaves)
+	if err == nil {
+		e.stats.graphSteps.Add(1)
+		return out, nil
+	}
+	var ae *exec.AssertError
+	if errors.As(err, &ae) {
+		e.stats.assertFailures.Add(1)
+		e.stats.fallbacks.Add(1)
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		e.noteFailure(fs, entry, ae)
+		return e.imperativeCall(fn, args, fs.prof)
+	}
+	return nil, err
+}
+
+// generateInfer converts fn(args...) to a forward-only graph and caches it.
+func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.Value, sig []string) (*compiled, error) {
+	res, err := convert.ConvertCall(fn, args, fs.prof, e.Local.Builtins, convert.Options{
+		Unroll:     e.cfg.Unroll,
+		Specialize: e.cfg.Specialize,
+		Distrust:   fs.distrust,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := res.OptimizePasses(e.cfg.Specialize)
+	e.stats.addReport(rep)
+	e.stats.conversions.Add(1)
+	c := &compiled{pattern: sig, res: res, static: true}
+	fs.entries = append(fs.entries, c)
+	return c, nil
+}
+
+// executeInfer runs a forward graph and converts its outputs back to minipy
+// values (a single output unwraps; multiple become a tuple).
+func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
+	feeds := make(map[string]graph.Val, len(leaves))
+	for i, v := range leaves {
+		feeds[fmt.Sprintf("f%d", i)] = minipyToGraph(v)
+	}
+	res, err := exec.Run(c.res.Graph, feeds, exec.Options{
+		Workers:        e.cfg.Workers,
+		Store:          e.Store,
+		Heap:           e.heap,
+		DisableAsserts: e.cfg.DisableAsserts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Outputs) == 0 {
+		return minipy.None, nil
+	}
+	if len(res.Outputs) == 1 {
+		return graphToMinipy(res.Outputs[0]), nil
+	}
+	items := make([]minipy.Value, len(res.Outputs))
+	for i, o := range res.Outputs {
+		items[i] = graphToMinipy(o)
+	}
+	return &minipy.TupleVal{Items: items}, nil
+}

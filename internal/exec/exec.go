@@ -320,6 +320,19 @@ func runGraph(g *graph.Graph, feeds map[string]graph.Val, c *ctx) ([]graph.Val, 
 	return runParallel(g, p, feeds, c)
 }
 
+// safeExecNode runs execNode, converting kernel panics (e.g. a shape
+// mismatch on malformed client feeds) into errors: a serving process must
+// survive a bad request, and panics in scheduler worker goroutines would
+// otherwise kill it.
+func safeExecNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]graph.Val, c *ctx) (out []graph.Val, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: node %d (%s): %v", nd.ID, nd.Op, r)
+		}
+	}()
+	return execNode(g, nd, in, feeds, c)
+}
+
 // runSerial executes nodes in topological order on the calling goroutine —
 // the 1-worker ablation mode without scheduling machinery.
 func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
@@ -348,7 +361,7 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]g
 				c.opts.Stats.OpsSkipped.Add(1)
 			}
 		} else {
-			out, err = execNode(g, nd, in, feeds, c)
+			out, err = safeExecNode(g, nd, in, feeds, c)
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
@@ -443,7 +456,7 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 								}
 							}
 						}
-						out, err = execNode(g, nd, in, feeds, c)
+						out, err = safeExecNode(g, nd, in, feeds, c)
 						if c.opts.Stats != nil {
 							c.opts.Stats.curParallel.Add(-1)
 							c.opts.Stats.OpsExecuted.Add(1)

@@ -97,8 +97,8 @@ func TestAllModelsRunOnJanusEngine(t *testing.T) {
 			cfg.LR = 0.05
 			cfg.Seed = 1
 			_, e := trainSteps(t, m.Name, cfg, 7)
-			if e.Stats.GraphSteps == 0 {
-				t.Fatalf("%s never ran on the graph executor: %+v", m.Name, e.Stats)
+			if e.Stats().GraphSteps == 0 {
+				t.Fatalf("%s never ran on the graph executor: %+v", m.Name, e.Stats())
 			}
 		})
 	}

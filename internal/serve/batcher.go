@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// batcher coalesces concurrent inference requests for the same function
+// signature into one batched execution. A group flushes when it reaches
+// maxBatch requests or when the oldest request has waited maxWait —
+// whichever comes first. Results are split back row-for-row, so batched
+// execution returns exactly what per-request execution would (the model
+// function must be batch-dim parallel, as DL inference functions are).
+type batcher struct {
+	pool     *Pool
+	maxBatch int
+	maxWait  time.Duration
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+
+	batches atomic.Int64
+	batched atomic.Int64
+}
+
+type inferResult struct {
+	t   *tensor.Tensor
+	err error
+}
+
+type inferReq struct {
+	item *tensor.Tensor
+	out  chan inferResult
+}
+
+type batchGroup struct {
+	fn    string
+	reqs  []*inferReq
+	timer *time.Timer
+}
+
+func newBatcher(p *Pool, maxBatch int, maxWait time.Duration) *batcher {
+	return &batcher{pool: p, maxBatch: maxBatch, maxWait: maxWait,
+		groups: make(map[string]*batchGroup)}
+}
+
+// groupKey buckets requests that can share one execution: same function and
+// same per-item shape (everything after the batch axis).
+func groupKey(fn string, shape []int) string {
+	var sb strings.Builder
+	sb.WriteString(fn)
+	sb.WriteByte('|')
+	for _, d := range shape[1:] {
+		fmt.Fprintf(&sb, "%d,", d)
+	}
+	return sb.String()
+}
+
+func (b *batcher) submit(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() < 1 {
+		return nil, fmt.Errorf("serve: infer input must have a leading batch dimension, got a scalar")
+	}
+	req := &inferReq{item: x, out: make(chan inferResult, 1)}
+	key := groupKey(fn, x.Shape())
+	b.mu.Lock()
+	g := b.groups[key]
+	if g == nil {
+		g = &batchGroup{fn: fn}
+		b.groups[key] = g
+		// Flush-on-timeout: the timer owns the group unless flush-on-full
+		// claims it first (the map entry is the claim token).
+		g.timer = time.AfterFunc(b.maxWait, func() { b.flushKey(key, g) })
+	}
+	g.reqs = append(g.reqs, req)
+	if len(g.reqs) >= b.maxBatch {
+		delete(b.groups, key)
+		g.timer.Stop()
+		b.mu.Unlock()
+		b.flush(g)
+	} else {
+		b.mu.Unlock()
+	}
+	res := <-req.out
+	return res.t, res.err
+}
+
+// flushKey is the timer path: it claims the group if flush-on-full hasn't.
+func (b *batcher) flushKey(key string, g *batchGroup) {
+	b.mu.Lock()
+	if b.groups[key] != g {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, key)
+	b.mu.Unlock()
+	b.flush(g)
+}
+
+// flush stacks the group's inputs along the batch axis, executes once, and
+// scatters per-request rows back.
+func (b *batcher) flush(g *batchGroup) {
+	fail := func(err error) {
+		for _, r := range g.reqs {
+			r.out <- inferResult{err: err}
+		}
+	}
+	items := make([]*tensor.Tensor, len(g.reqs))
+	rows := 0
+	for i, r := range g.reqs {
+		items[i] = r.item
+		rows += r.item.Dim(0)
+	}
+	batchedIn := items[0]
+	if len(items) > 1 {
+		batchedIn = tensor.Concat(0, items...)
+	}
+	e := b.pool.acquire()
+	out, err := guard(func() (minipy.Value, error) {
+		return e.Call(g.fn, []minipy.Value{minipy.NewTensor(batchedIn)})
+	})
+	b.pool.release(e)
+	b.batches.Add(1)
+	b.batched.Add(int64(len(g.reqs)))
+	if err != nil {
+		fail(err)
+		return
+	}
+	tv, ok := out.(*minipy.TensorVal)
+	if !ok {
+		fail(fmt.Errorf("serve: %s returned %s, want tensor", g.fn, out.TypeName()))
+		return
+	}
+	t := tv.T()
+	if len(g.reqs) == 1 {
+		g.reqs[0].out <- inferResult{t: t}
+		return
+	}
+	if t.Rank() < 1 || t.Dim(0) != rows {
+		fail(fmt.Errorf("serve: %s output shape %v does not preserve the batch dimension (%d rows in)",
+			g.fn, t.Shape(), rows))
+		return
+	}
+	off := 0
+	for _, r := range g.reqs {
+		n := r.item.Dim(0)
+		r.out <- inferResult{t: tensor.SliceAxis(t, 0, off, off+n)}
+		off += n
+	}
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// Server is the HTTP+JSON front end over a Pool — the transport cmd/janusd
+// listens on. Endpoints:
+//
+//	POST /v1/load     {"program": "..."}                → {"output": "..."}
+//	POST /v1/sessions {}                                → {"session": "s1"}
+//	POST /v1/run      {"session"?, "program": "..."}    → {"output": "..."}
+//	POST /v1/call     {"session"?, "fn", "args": [...]} → {"result": ...}
+//	POST /v1/infer    {"session"?, "fn", "x": [[...]]}  → {"y": [[...]]}
+//	GET  /v1/stats                                      → Stats JSON
+//	GET  /healthz                                       → {"ok": true}
+//
+// Tensors are nested JSON arrays; scalars, strings and booleans map to the
+// corresponding minipy values (integral numbers become ints).
+type Server struct {
+	pool *Pool
+	mux  *http.ServeMux
+
+	sessMu   sync.Mutex
+	sessions map[string]*Session
+	anon     *Session
+}
+
+// NewServer builds a Pool from cfg and wires the HTTP handlers.
+func NewServer(cfg Config) *Server {
+	return NewServerWith(NewPool(cfg))
+}
+
+// NewServerWith wraps an existing pool.
+func NewServerWith(p *Pool) *Server {
+	s := &Server{pool: p, sessions: make(map[string]*Session)}
+	s.anon = p.NewSession()
+	s.sessions[s.anon.ID] = s.anon
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessions)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/call", s.handleCall)
+	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return s
+}
+
+// Pool returns the underlying session pool.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+func decode(r *http.Request, into any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	return dec.Decode(into)
+}
+
+// session resolves the optional "session" request field; empty selects the
+// shared anonymous session.
+func (s *Server) session(id string) (*Session, error) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if id == "" {
+		return s.anon, nil
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown session %q", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Program string `json:"program"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.pool.Load(req.Program)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"output": out})
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	s.sessMu.Lock()
+	if len(s.sessions) >= s.pool.Config().MaxSessions {
+		s.sessMu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("serve: session limit reached (%d); free sessions with DELETE /v1/sessions/{id}", s.pool.Config().MaxSessions))
+		return
+	}
+	sess := s.pool.NewSession()
+	s.sessions[sess.ID] = sess
+	s.sessMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"session": sess.ID})
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	if id == s.anon.ID {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: cannot delete the shared anonymous session"))
+		return
+	}
+	if _, ok := s.sessions[id]; !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("serve: unknown session %q", id))
+		return
+	}
+	delete(s.sessions, id)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Program string `json:"program"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	out, err := sess.Exec(req.Program)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"output": out})
+}
+
+func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Fn      string `json:"fn"`
+		Args    []any  `json:"args"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	args := make([]minipy.Value, len(req.Args))
+	for i, a := range req.Args {
+		if args[i], err = jsonToValue(a); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("arg %d: %w", i, err))
+			return
+		}
+	}
+	out, err := sess.Call(req.Fn, args)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": valueToJSON(out)})
+}
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Session string `json:"session"`
+		Fn      string `json:"fn"`
+		X       any    `json:"x"`
+	}
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.session(req.Session)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	x, err := jsonToTensor(req.X)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	y, err := sess.Infer(req.Fn, x)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"y": tensorToJSON(y), "shape": y.Shape()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+// --- JSON ⇄ value conversion ---------------------------------------------------
+
+// jsonToValue maps a decoded JSON value to a minipy value. Arrays become
+// tensors; integral numbers become ints.
+func jsonToValue(v any) (minipy.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return minipy.None, nil
+	case bool:
+		return minipy.BoolVal(x), nil
+	case string:
+		return minipy.StrVal(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return minipy.IntVal(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return nil, err
+		}
+		return minipy.FloatVal(f), nil
+	case []any:
+		t, err := jsonToTensor(x)
+		if err != nil {
+			return nil, err
+		}
+		return minipy.NewTensor(t), nil
+	}
+	return nil, fmt.Errorf("serve: unsupported JSON value %T", v)
+}
+
+// jsonToTensor converts (possibly nested) JSON arrays to a tensor; a bare
+// number becomes a scalar tensor.
+func jsonToTensor(v any) (*tensor.Tensor, error) {
+	var shape []int
+	var data []float64
+	var walk func(v any, depth int) error
+	walk = func(v any, depth int) error {
+		switch x := v.(type) {
+		case []any:
+			if depth == len(shape) {
+				shape = append(shape, len(x))
+			} else if shape[depth] != len(x) {
+				return fmt.Errorf("serve: ragged tensor literal at depth %d", depth)
+			}
+			for _, e := range x {
+				if err := walk(e, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		case json.Number:
+			if depth < len(shape) {
+				return fmt.Errorf("serve: ragged tensor literal at depth %d", depth)
+			}
+			f, err := x.Float64()
+			if err != nil {
+				return err
+			}
+			data = append(data, f)
+			return nil
+		case float64: // non-UseNumber decoders
+			data = append(data, x)
+			return nil
+		}
+		return fmt.Errorf("serve: tensor literal holds %T", v)
+	}
+	if err := walk(v, 0); err != nil {
+		return nil, err
+	}
+	if len(shape) == 0 && len(data) == 1 {
+		return tensor.Scalar(data[0]), nil
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("serve: ragged tensor literal (%d values for shape %v)", len(data), shape)
+	}
+	return tensor.New(shape, data), nil
+}
+
+// tensorToJSON renders a tensor as nested arrays (a scalar as a number).
+func tensorToJSON(t *tensor.Tensor) any {
+	shape, data := t.Shape(), t.Data()
+	if len(shape) == 0 {
+		return t.Item()
+	}
+	var build func(shape []int, data []float64) any
+	build = func(shape []int, data []float64) any {
+		if len(shape) == 1 {
+			out := make([]any, shape[0])
+			for i := range out {
+				out[i] = data[i]
+			}
+			return out
+		}
+		stride := len(data) / shape[0]
+		out := make([]any, shape[0])
+		for i := range out {
+			out[i] = build(shape[1:], data[i*stride:(i+1)*stride])
+		}
+		return out
+	}
+	return build(shape, data)
+}
+
+// valueToJSON maps a minipy value to its JSON form.
+func valueToJSON(v minipy.Value) any {
+	switch x := v.(type) {
+	case minipy.NoneVal:
+		return nil
+	case minipy.BoolVal:
+		return bool(x)
+	case minipy.IntVal:
+		return int64(x)
+	case minipy.FloatVal:
+		return float64(x)
+	case minipy.StrVal:
+		return string(x)
+	case *minipy.TensorVal:
+		return tensorToJSON(x.T())
+	case *minipy.ListVal:
+		out := make([]any, len(x.Items))
+		for i, e := range x.Items {
+			out[i] = valueToJSON(e)
+		}
+		return out
+	case *minipy.TupleVal:
+		out := make([]any, len(x.Items))
+		for i, e := range x.Items {
+			out[i] = valueToJSON(e)
+		}
+		return out
+	}
+	return v.Repr()
+}

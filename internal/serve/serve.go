@@ -1,0 +1,279 @@
+// Package serve is the concurrent model-serving subsystem: it amortizes the
+// JANUS compiled-graph cache across many clients, which is where the paper's
+// imperative→symbolic conversion pays off in production.
+//
+// A Pool owns N core.Engine workers that share one parameter store
+// (vars.Store) and one compiled-graph cache (core.GraphCache). Each worker's
+// interpreter is single-threaded, so a worker serves one request at a time;
+// concurrency comes from the pool, and because the cache is shared, a graph
+// speculatively converted while serving one client is a cache hit for every
+// other client — including clients on different workers and in different
+// sessions.
+//
+// Inference requests go through a batcher that coalesces concurrent
+// same-signature calls into one batched tensor execution (configurable max
+// batch size and max latency) and scatters per-request rows back to the
+// callers.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// Config tunes a Pool. The zero value serves with 4 workers and a batcher
+// window of 8 requests / 2 ms.
+type Config struct {
+	// Workers is the number of engine workers (concurrent requests served).
+	Workers int
+	// MaxBatch caps how many inference requests coalesce into one execution.
+	MaxBatch int
+	// MaxLatency is the longest a request waits for batch-mates before the
+	// partial batch is flushed.
+	MaxLatency time.Duration
+	// MaxSessions caps concurrently registered HTTP sessions (default
+	// 10000); sessions are freed with DELETE /v1/sessions/{id}.
+	MaxSessions int
+	// Engine configures every worker (mode, learning rate, profiling, ...).
+	Engine core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 2 * time.Millisecond
+	}
+	if c.Engine.PyOverheadNs == 0 {
+		// The engine's zero value simulates CPython's ~5µs/op dispatch cost
+		// for the paper's benchmark comparisons. A serving pool is a Go
+		// server, not a CPython simulation: default to no simulated overhead
+		// (set PyOverheadNs explicitly to opt back in).
+		c.Engine.PyOverheadNs = -1
+	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 10000
+	}
+	return c
+}
+
+// Stats aggregates engine counters across the pool plus serving-side
+// counters.
+type Stats struct {
+	core.Stats
+	Workers         int
+	Sessions        int
+	Requests        int64
+	Batches         int64
+	BatchedRequests int64
+	CachedFuncs     int
+	CachedGraphs    int
+}
+
+// Pool is the session pool: N worker engines around one shared parameter
+// store and one shared graph cache.
+type Pool struct {
+	cfg     Config
+	store   *vars.Store
+	cache   *core.GraphCache
+	engines []*core.Engine
+	idle    chan *core.Engine
+	batcher *batcher
+
+	sessions atomic.Int64
+	requests atomic.Int64
+
+	loadMu sync.Mutex
+}
+
+// NewPool builds the worker engines. Load a program before serving.
+func NewPool(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:   cfg,
+		store: vars.NewStore(),
+		cache: core.NewGraphCache(),
+		idle:  make(chan *core.Engine, cfg.Workers),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		ecfg := cfg.Engine
+		if ecfg.Seed != 0 {
+			// Distinct per-worker RNG streams; the parameter store is shared,
+			// so whichever worker initializes a variable fixes it for all.
+			ecfg.Seed += uint64(i) * 7919
+		}
+		e := core.NewEngineShared(ecfg, p.store, p.cache)
+		p.engines = append(p.engines, e)
+		p.idle <- e
+	}
+	p.batcher = newBatcher(p, cfg.MaxBatch, cfg.MaxLatency)
+	return p
+}
+
+// Config returns the pool's effective (defaulted) configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Store exposes the shared parameter store.
+func (p *Pool) Store() *vars.Store { return p.store }
+
+// Cache exposes the shared compiled-graph cache.
+func (p *Pool) Cache() *core.GraphCache { return p.cache }
+
+func (p *Pool) acquire() *core.Engine  { return <-p.idle }
+func (p *Pool) release(e *core.Engine) { p.idle <- e }
+
+// guard converts engine panics into request errors. Deep tensor kernels
+// panic on malformed inputs (shape mismatches etc.); a serving process must
+// return an error to the one offending client, not crash — and the batcher
+// flushes from a timer goroutine, where an unrecovered panic would kill the
+// whole process.
+func guard[T any](f func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: request failed: %v", r)
+		}
+	}()
+	return f()
+}
+
+// Load parses src once and runs it on every worker, so module-level
+// definitions (and the functions clients will Call/Infer) exist everywhere.
+// Because the program AST is shared, a function has the same identity on all
+// workers and its compiled graphs are shared through the cache.
+//
+// Top-level statements execute once per worker. variable() creation is
+// idempotent (first worker initializes the shared store, the rest reuse it),
+// but other top-level side effects — optimize() training loops, prints —
+// repeat per worker. Keep served programs to definitions plus cheap init;
+// drive training through Call("train_step") or Exec instead. Returns worker
+// 0's print output.
+func (p *Pool) Load(src string) (string, error) {
+	prog, err := minipy.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	p.loadMu.Lock()
+	defer p.loadMu.Unlock()
+	// Take exclusive ownership of every worker so a load never interleaves
+	// with in-flight requests.
+	engines := make([]*core.Engine, 0, len(p.engines))
+	for range p.engines {
+		engines = append(engines, p.acquire())
+	}
+	defer func() {
+		for _, e := range engines {
+			p.release(e)
+		}
+	}()
+	var out string
+	for i, e := range engines {
+		before := len(e.Output())
+		if _, err := guard(func() (struct{}, error) {
+			return struct{}{}, e.RunProgram(prog)
+		}); err != nil {
+			return "", fmt.Errorf("serve: load on worker %d: %w", i, err)
+		}
+		if i == 0 {
+			out = e.Output()[before:]
+		}
+	}
+	return out, nil
+}
+
+// Call invokes a loaded module-level function on one worker. Training-step
+// functions (which call optimize() internally) and inference functions both
+// work; inference-heavy callers should prefer Infer for batching.
+func (p *Pool) Call(fn string, args []minipy.Value) (minipy.Value, error) {
+	p.requests.Add(1)
+	e := p.acquire()
+	defer p.release(e)
+	return guard(func() (minipy.Value, error) { return e.Call(fn, args) })
+}
+
+// Infer runs fn on one input tensor through the request batcher: concurrent
+// calls with the same function and item signature are stacked along the
+// leading (batch) axis, executed once, and split back. x must have a leading
+// batch dimension (use shape [1, ...] for a single example).
+func (p *Pool) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	p.requests.Add(1)
+	return p.batcher.submit(fn, x)
+}
+
+// Exec runs an ad-hoc script on one worker and returns its print output.
+// Module globals the script defines live on that worker only; use Load for
+// definitions every worker must see.
+func (p *Pool) Exec(src string) (string, error) {
+	p.requests.Add(1)
+	e := p.acquire()
+	defer p.release(e)
+	return guard(func() (string, error) {
+		before := len(e.Output())
+		if err := e.Run(src); err != nil {
+			return "", err
+		}
+		return e.Output()[before:], nil
+	})
+}
+
+// Stats aggregates engine and serving counters.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for _, e := range p.engines {
+		s.Stats.Add(e.Stats())
+	}
+	s.Workers = len(p.engines)
+	s.Sessions = int(p.sessions.Load())
+	s.Requests = p.requests.Load()
+	s.Batches = p.batcher.batches.Load()
+	s.BatchedRequests = p.batcher.batched.Load()
+	s.CachedFuncs = p.cache.Funcs()
+	s.CachedGraphs = p.cache.Entries()
+	return s
+}
+
+// Session is a client handle onto the pool. Sessions are cheap: they carry
+// identity and per-session accounting, while graphs, parameters and workers
+// are pool-wide — that sharing is the point.
+type Session struct {
+	ID       string
+	pool     *Pool
+	requests atomic.Int64
+}
+
+// NewSession registers a new client session.
+func (p *Pool) NewSession() *Session {
+	id := p.sessions.Add(1)
+	return &Session{ID: fmt.Sprintf("s%d", id), pool: p}
+}
+
+// Call invokes a loaded function for this session.
+func (s *Session) Call(fn string, args []minipy.Value) (minipy.Value, error) {
+	s.requests.Add(1)
+	return s.pool.Call(fn, args)
+}
+
+// Infer runs batched inference for this session.
+func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	s.requests.Add(1)
+	return s.pool.Infer(fn, x)
+}
+
+// Exec runs an ad-hoc script for this session.
+func (s *Session) Exec(src string) (string, error) {
+	s.requests.Add(1)
+	return s.pool.Exec(src)
+}
+
+// Requests returns how many requests this session has issued.
+func (s *Session) Requests() int64 { return s.requests.Load() }

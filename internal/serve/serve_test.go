@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// modelProgram is the serving fixture: a batch-parallel inference function
+// over a shared trainable parameter, plus a training-step entry point.
+const modelProgram = `
+def predict(x):
+    w = variable("w", [2, 3])
+    return matmul(x, w)
+
+def loss_fn(x, y):
+    w = variable("w", [2, 3])
+    return mse(matmul(x, w), y)
+
+def train_step(x, y):
+    return optimize(lambda: loss_fn(x, y))
+`
+
+func janusConfig(profileIters int) core.Config {
+	cfg := core.DefaultJanusConfig()
+	cfg.ProfileIters = profileIters
+	cfg.Seed = 42
+	cfg.PyOverheadNs = -1 // don't simulate Python dispatch cost in tests
+	return cfg
+}
+
+func newTestPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p := NewPool(cfg)
+	if _, err := p.Load(modelProgram); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return p
+}
+
+// warm drives enough requests through fn to get past profiling and leave a
+// compiled graph in the cache.
+func warm(t *testing.T, p *Pool, fn string, x *tensor.Tensor, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := p.Infer(fn, x); err != nil {
+			t.Fatalf("warm %s: %v", fn, err)
+		}
+	}
+}
+
+func input(i int) *tensor.Tensor {
+	return tensor.New([]int{1, 2}, []float64{float64(i % 7), float64(i%5) - 2})
+}
+
+func TestConcurrentInferMatchesSequential(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 4, MaxBatch: 8, MaxLatency: time.Millisecond,
+		Engine: janusConfig(1)})
+	warm(t, p, "predict", input(0), 3)
+
+	w, ok := p.Store().Get("w")
+	if !ok {
+		t.Fatal("variable w never created")
+	}
+	expected := func(i int) *tensor.Tensor { return tensor.MatMul(input(i), w) }
+
+	const clients, perClient = 16, 25
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sess := p.NewSession()
+			for r := 0; r < perClient; r++ {
+				i := c*perClient + r
+				got, err := sess.Infer("predict", input(i))
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, r, err)
+					return
+				}
+				if !tensor.AllClose(got, expected(i), 1e-9) {
+					errs <- fmt.Errorf("client %d req %d: got %v want %v", c, r, got, expected(i))
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := p.Stats()
+	if st.Requests < clients*perClient {
+		t.Fatalf("requests %d, want >= %d", st.Requests, clients*perClient)
+	}
+	if st.GraphSteps == 0 {
+		t.Fatalf("no graph execution happened: %+v", st)
+	}
+}
+
+func TestBatchedEqualsUnbatched(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 8, MaxLatency: 2 * time.Millisecond,
+		Engine: janusConfig(1)})
+	warm(t, p, "predict", input(0), 3)
+
+	// Unbatched reference: direct Call bypasses the batcher entirely.
+	const n = 24
+	want := make([]*tensor.Tensor, n)
+	for i := range want {
+		out, err := p.Call("predict", []minipy.Value{minipy.NewTensor(input(i))})
+		if err != nil {
+			t.Fatalf("unbatched call %d: %v", i, err)
+		}
+		want[i] = out.(*minipy.TensorVal).T()
+	}
+
+	// Batched: all n at once through the batcher.
+	got := make([]*tensor.Tensor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = p.Infer("predict", input(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("batched infer %d: %v", i, errs[i])
+		}
+		if !tensor.AllClose(got[i], want[i], 1e-9) {
+			t.Fatalf("batched result %d diverges: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if st := p.Stats(); st.Batches == 0 || st.BatchedRequests < n {
+		t.Fatalf("batcher never coalesced: %+v", st)
+	}
+}
+
+func TestBatcherFlushOnFull(t *testing.T) {
+	// MaxLatency is far beyond the test deadline: completion proves the
+	// size trigger fired.
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 4, MaxLatency: 5 * time.Minute,
+		Engine: janusConfig(1)})
+	before := p.Stats()
+
+	const n = 4
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := p.Infer("predict", input(i))
+			results <- err
+		}(i)
+	}
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-results:
+			if err != nil {
+				t.Fatalf("infer: %v", err)
+			}
+		case <-deadline:
+			t.Fatal("batch never flushed on reaching MaxBatch")
+		}
+	}
+	after := p.Stats()
+	if got := after.Batches - before.Batches; got != 1 {
+		t.Fatalf("flush-on-full ran %d batches, want 1", got)
+	}
+	if got := after.BatchedRequests - before.BatchedRequests; got != n {
+		t.Fatalf("batched %d requests, want %d", got, n)
+	}
+}
+
+func TestBatcherFlushOnTimeout(t *testing.T) {
+	// MaxBatch is unreachable: completion proves the latency trigger fired.
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 1000, MaxLatency: 20 * time.Millisecond,
+		Engine: janusConfig(1)})
+	before := p.Stats()
+	start := time.Now()
+	if _, err := p.Infer("predict", input(1)); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("lone request returned after %v, before the %v batch window closed", elapsed, 20*time.Millisecond)
+	}
+	after := p.Stats()
+	if got := after.Batches - before.Batches; got != 1 {
+		t.Fatalf("flush-on-timeout ran %d batches, want 1", got)
+	}
+}
+
+func TestCrossSessionGraphCacheHit(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 1, MaxLatency: time.Millisecond,
+		Engine: janusConfig(1)})
+	a, b := p.NewSession(), p.NewSession()
+
+	// Session A: one profiling run, then the conversion.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Infer("predict", input(i)); err != nil {
+			t.Fatalf("session a: %v", err)
+		}
+	}
+	st := p.Stats()
+	if st.Conversions != 1 {
+		t.Fatalf("session a conversions = %d, want 1", st.Conversions)
+	}
+	hitsAfterA := st.CacheHits
+
+	// Session B, same signature: must hit A's graph, never reconvert.
+	if _, err := b.Infer("predict", input(9)); err != nil {
+		t.Fatalf("session b: %v", err)
+	}
+	st = p.Stats()
+	if st.Conversions != 1 {
+		t.Fatalf("session b triggered a reconversion: %d conversions", st.Conversions)
+	}
+	if st.CacheHits <= hitsAfterA {
+		t.Fatalf("session b did not hit the shared cache: hits %d -> %d", hitsAfterA, st.CacheHits)
+	}
+	if st.CachedGraphs == 0 || st.CachedFuncs == 0 {
+		t.Fatalf("cache reports no entries: %+v", st)
+	}
+}
+
+func TestTrainingThroughPoolConverges(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 4, MaxLatency: time.Millisecond,
+		Engine: janusConfig(2)})
+	x := minipy.NewTensor(tensor.New([]int{4, 2}, []float64{0, 0, 1, 0, 0, 1, 1, 1}))
+	// Target: y = x @ [[1,2,3],[4,5,6]].
+	wTrue := tensor.New([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	y := minipy.NewTensor(tensor.MatMul(x.T(), wTrue))
+
+	var lastLoss float64
+	sess := p.NewSession()
+	for i := 0; i < 300; i++ {
+		out, err := sess.Call("train_step", []minipy.Value{x, y})
+		if err != nil {
+			t.Fatalf("train_step %d: %v", i, err)
+		}
+		lastLoss = out.(*minipy.TensorVal).T().Item()
+	}
+	if lastLoss > 0.01 {
+		t.Fatalf("training through the pool did not converge: loss %v", lastLoss)
+	}
+	st := p.Stats()
+	if st.GraphSteps == 0 {
+		t.Fatalf("training never ran on the graph executor: %+v", st)
+	}
+}
+
+// --- HTTP front end -------------------------------------------------------------
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) map[string]any {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("post %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s -> %d: %v", url, resp.StatusCode, out["error"])
+	}
+	return out
+}
+
+func TestHTTPServesConcurrentClients(t *testing.T) {
+	srv := NewServer(Config{Workers: 4, MaxBatch: 8, MaxLatency: time.Millisecond,
+		Engine: janusConfig(1)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/load", map[string]any{"program": modelProgram})
+
+	// Warm sequentially so w exists and the graph is compiled.
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.Client(), ts.URL+"/v1/infer",
+			map[string]any{"fn": "predict", "x": [][]float64{{1, 2}}})
+	}
+	w, ok := srv.Pool().Store().Get("w")
+	if !ok {
+		t.Fatal("w missing after warmup")
+	}
+
+	// The acceptance bar: >= 8 concurrent clients against one loaded model,
+	// each with its own session, all receiving correct per-request rows.
+	const clients, perClient = 10, 12
+	const maxConcurrentRows = 8 // the pool's MaxBatch: bound on distinct batched shapes
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			resp := postJSON(t, ts.Client(), ts.URL+"/v1/sessions", map[string]any{})
+			sid, _ := resp["session"].(string)
+			if sid == "" {
+				errs <- fmt.Errorf("client %d: no session id", c)
+				return
+			}
+			for r := 0; r < perClient; r++ {
+				i := c*perClient + r
+				in := input(i)
+				resp := postJSON(t, ts.Client(), ts.URL+"/v1/infer",
+					map[string]any{"session": sid, "fn": "predict",
+						"x": [][]float64{{in.At(0, 0), in.At(0, 1)}}})
+				got, err := jsonRows(resp["y"])
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, r, err)
+					return
+				}
+				want := tensor.MatMul(in, w)
+				if !tensor.AllClose(got, want, 1e-9) {
+					errs <- fmt.Errorf("client %d req %d: got %v want %v", c, r, got, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Stats endpoint must reflect the shared cache amortizing conversions.
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.CacheHits == 0 {
+		t.Fatalf("no cross-client cache hits: %+v", st)
+	}
+	// Shape specialization compiles one graph per distinct batch size, so a
+	// handful of conversions serve the whole fleet of requests.
+	if st.Conversions > 1+maxConcurrentRows {
+		t.Fatalf("conversions not amortized across clients: %d for %d requests", st.Conversions, st.Requests)
+	}
+	if st.Sessions < clients {
+		t.Fatalf("sessions %d, want >= %d", st.Sessions, clients)
+	}
+}
+
+// jsonRows decodes a nested-array tensor response back into a tensor.
+func jsonRows(v any) (*tensor.Tensor, error) {
+	rows, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("y is %T", v)
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		cols, ok := r.([]any)
+		if !ok {
+			return nil, fmt.Errorf("row %d is %T", i, r)
+		}
+		out[i] = make([]float64, len(cols))
+		for j, c := range cols {
+			f, ok := c.(float64)
+			if !ok {
+				return nil, fmt.Errorf("cell %d,%d is %T", i, j, c)
+			}
+			out[i][j] = f
+		}
+	}
+	return tensor.FromRows(out), nil
+}
+
+func TestHTTPRunAndCall(t *testing.T) {
+	srv := NewServer(Config{Workers: 2, Engine: janusConfig(1)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.Client(), ts.URL+"/v1/load", map[string]any{"program": modelProgram})
+	out := postJSON(t, ts.Client(), ts.URL+"/v1/run",
+		map[string]any{"program": "print(1 + 2)"})
+	if got := out["output"]; got != "3\n" {
+		t.Fatalf("run output %q, want %q", got, "3\n")
+	}
+	res := postJSON(t, ts.Client(), ts.URL+"/v1/call",
+		map[string]any{"fn": "predict", "x": nil, "args": []any{[][]float64{{0, 0}}}})
+	if _, ok := res["result"].([]any); !ok {
+		t.Fatalf("call result %T, want tensor rows", res["result"])
+	}
+}

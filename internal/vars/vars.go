@@ -72,8 +72,14 @@ func (s *Store) Set(name string, t *tensor.Tensor) {
 	s.vals[name] = t
 }
 
-// AssignSub subtracts delta from the named variable in place. This is the
+// AssignSub subtracts delta from the named variable. This is the
 // parameter-update primitive used by both SGD paths.
+//
+// The update is copy-on-write: a fresh tensor replaces the map entry rather
+// than mutating the old buffer. Published tensors are therefore immutable,
+// so concurrent engines (the serving pool) can keep reading a variable
+// lock-free while another engine applies an update — readers see a
+// consistent pre-update snapshot, never a torn write.
 func (s *Store) AssignSub(name string, delta *tensor.Tensor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -85,9 +91,11 @@ func (s *Store) AssignSub(name string, delta *tensor.Tensor) {
 		panic(fmt.Sprintf("vars: AssignSub shape mismatch for %q: %v vs %v", name, v.Shape(), delta.Shape()))
 	}
 	vd, dd := v.Data(), delta.Data()
+	out := make([]float64, len(vd))
 	for i := range vd {
-		vd[i] -= dd[i]
+		out[i] = vd[i] - dd[i]
 	}
+	s.vals[name] = tensor.New(v.Shape(), out)
 }
 
 // Names returns all variable names in sorted order.

@@ -34,9 +34,12 @@ package janus
 
 import (
 	"fmt"
+	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/minipy"
+	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -84,21 +87,21 @@ type Runtime struct {
 	engine *core.Engine
 }
 
-// New constructs a Runtime.
-func New(opts Options) *Runtime {
+// coreConfig maps the public Options onto the engine configuration.
+func (o Options) coreConfig() core.Config {
 	cfg := core.Config{
-		LR:             opts.LearningRate,
-		ProfileIters:   opts.ProfileIterations,
-		Unroll:         !opts.DisableUnrolling,
-		Specialize:     !opts.DisableSpecialization,
-		Workers:        opts.Workers,
-		DisableAsserts: opts.DisableAssertions,
-		Seed:           opts.Seed,
+		LR:             o.LearningRate,
+		ProfileIters:   o.ProfileIterations,
+		Unroll:         !o.DisableUnrolling,
+		Specialize:     !o.DisableSpecialization,
+		Workers:        o.Workers,
+		DisableAsserts: o.DisableAssertions,
+		Seed:           o.Seed,
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
-	switch opts.Engine {
+	switch o.Engine {
 	case EngineImperative:
 		cfg.Mode = core.Imperative
 	case EngineTrace:
@@ -106,7 +109,12 @@ func New(opts Options) *Runtime {
 	default:
 		cfg.Mode = core.Janus
 	}
-	return &Runtime{engine: core.NewEngine(cfg)}
+	return cfg
+}
+
+// New constructs a Runtime.
+func New(opts Options) *Runtime {
+	return &Runtime{engine: core.NewEngine(opts.coreConfig())}
 }
 
 // Run parses and executes a complete program (definitions + training loop)
@@ -130,9 +138,11 @@ type Stats struct {
 	Fallbacks       int
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters. The snapshot is taken with
+// the engine's race-safe counters, so it may be called while steps run on
+// other goroutines (the serving pool does).
 func (r *Runtime) Stats() Stats {
-	s := r.engine.Stats
+	s := r.engine.Stats()
 	return Stats{
 		ImperativeSteps: s.ImperativeSteps,
 		GraphSteps:      s.GraphSteps,
@@ -170,3 +180,119 @@ func (r *Runtime) DefineScalar(name string, v float64) {
 
 // CoreEngine exposes the underlying engine for the benchmark harness.
 func (r *Runtime) CoreEngine() *core.Engine { return r.engine }
+
+// --- serving ---------------------------------------------------------------------
+
+// ServerOptions configures a serving pool (see internal/serve). The zero
+// value serves with the full JANUS engine, 4 workers, and a batching window
+// of 8 requests / 2 ms.
+type ServerOptions struct {
+	// Options configures every worker engine.
+	Options
+	// Workers is the number of engine workers, i.e. concurrently served
+	// requests (default 4). Distinct from Options.Workers, which bounds
+	// per-graph executor parallelism.
+	Workers int
+	// MaxBatch caps how many inference requests coalesce into one batched
+	// execution (default 8).
+	MaxBatch int
+	// MaxLatency bounds how long a request waits for batch-mates before a
+	// partial batch flushes (default 2ms).
+	MaxLatency time.Duration
+}
+
+// Server is a concurrent model server: N runtime workers share one
+// parameter store and one compiled-graph cache, so a graph speculatively
+// converted for one client is a cache hit for every other, and concurrent
+// inference requests batch into single graph executions.
+type Server struct {
+	srv *serve.Server
+}
+
+// NewServer builds a serving pool.
+func NewServer(opts ServerOptions) *Server {
+	return &Server{srv: serve.NewServer(serve.Config{
+		Workers:    opts.Workers,
+		MaxBatch:   opts.MaxBatch,
+		MaxLatency: opts.MaxLatency,
+		Engine:     opts.Options.coreConfig(),
+	})}
+}
+
+// Load parses a minipy program once and defines it on every worker; returns
+// the program's print output.
+func (s *Server) Load(src string) (string, error) { return s.srv.Pool().Load(src) }
+
+// NewSession opens a client session.
+func (s *Server) NewSession() *Session { return &Session{sess: s.srv.Pool().NewSession()} }
+
+// Handler returns the HTTP+JSON front end (the transport cmd/janusd
+// listens on).
+func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// Stats aggregates engine counters across workers plus serving counters.
+func (s *Server) Stats() ServerStats {
+	st := s.srv.Pool().Stats()
+	return ServerStats{
+		Stats: Stats{
+			ImperativeSteps: st.ImperativeSteps,
+			GraphSteps:      st.GraphSteps,
+			Conversions:     st.Conversions,
+			ConversionFails: st.ConversionFails,
+			CacheHits:       st.CacheHits,
+			CacheMisses:     st.CacheMisses,
+			AssertFailures:  st.AssertFailures,
+			Fallbacks:       st.Fallbacks,
+		},
+		Workers:         st.Workers,
+		Sessions:        st.Sessions,
+		Requests:        st.Requests,
+		Batches:         st.Batches,
+		BatchedRequests: st.BatchedRequests,
+		CachedGraphs:    st.CachedGraphs,
+	}
+}
+
+// Parameters exposes the pool-wide shared parameter store.
+func (s *Server) Parameters() *vars.Store { return s.srv.Pool().Store() }
+
+// ServerStats extends engine Stats with serving-side counters.
+type ServerStats struct {
+	Stats
+	Workers         int
+	Sessions        int
+	Requests        int64
+	Batches         int64
+	BatchedRequests int64
+	CachedGraphs    int
+}
+
+// Session is a client handle onto a Server. Sessions are cheap: graphs,
+// parameters and workers are server-wide; the session carries identity and
+// per-client accounting.
+type Session struct {
+	sess *serve.Session
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.sess.ID }
+
+// Infer runs fn on one input through the request batcher. x must keep a
+// leading batch dimension (shape [1, ...] for a single example).
+func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.sess.Infer(fn, x)
+}
+
+// Call invokes a loaded module-level function (an inference function or a
+// train-step function that calls optimize() internally) with tensor
+// arguments.
+func (s *Session) Call(fn string, args ...*tensor.Tensor) (minipy.Value, error) {
+	vals := make([]minipy.Value, len(args))
+	for i, a := range args {
+		vals[i] = minipy.NewTensor(a)
+	}
+	return s.sess.Call(fn, vals)
+}
+
+// Run executes an ad-hoc script on one worker and returns its print output.
+func (s *Session) Run(src string) (string, error) { return s.sess.Exec(src) }
