@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/models"
+	"repro/internal/ps"
+)
+
+// memBandwidth is the assumed in-process parameter-transfer rate used to
+// configure the analytical model for comparison with the measured run. The
+// real transport is memory copies plus JSON-free in-process calls, far from
+// the paper's 100 Gbps NICs; 2 GB/s is a deliberately conservative stand-in
+// (payloads here are kilobytes, so the prediction is compute-dominated
+// either way).
+const memBandwidth = 2e9
+
+// distBench measures REAL data-parallel scaling on the parameter-server
+// runtime (internal/ps) and prints it beside the internal/dist analytical
+// prediction configured from the same measured profile — turning the
+// Figure 8 simulator into a checkable claim.
+//
+// deviceTime simulates per-step accelerator execution (the same DESIGN.md §5
+// calibration idea behind OpDelay): the paper's Figure 8 testbed is
+// GPU-bound, with the host only coordinating, so each local step sleeps
+// deviceTime after its real forward/backward math. Gradient pushes issued
+// during backprop complete during that window — the compute/communication
+// overlap the figure measures. Pass 0 for a fully host-bound measurement
+// (which cannot scale beyond the machine's core count).
+func distBench(modelName string, maxWorkers, shards, warmup, steps int, deviceTime time.Duration) {
+	m, err := models.Get(modelName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
+		os.Exit(1)
+	}
+	ecfg := core.DefaultJanusConfig()
+	ecfg.Workers = 1 // scale across replicas, not inside one graph executor
+	ecfg.ProfileIters = 2
+	ecfg.Seed = 42
+	ecfg.PyOverheadNs = -1
+	ecfg.LR = 0.05
+
+	type point struct {
+		workers    int
+		stepsPerS  float64 // aggregate local steps/second
+		throughput float64 // aggregate items/second
+		stale      int64
+	}
+	var pts []point
+	var gradBytes float64
+	var tensors int
+	counts := []int{1}
+	for w := 2; w <= maxWorkers; w *= 2 {
+		counts = append(counts, w)
+	}
+	for _, w := range counts {
+		cluster, err := ps.NewCluster(ps.ClusterConfig{
+			Workers: w,
+			Shards:  shards,
+			// Linear LR scaling keeps the optimization trajectory comparable
+			// across cluster sizes (gradients are averaged server-side).
+			LR:     ecfg.LR * float64(w),
+			Engine: ecfg,
+			Build: func(_ int, e *core.Engine) (ps.StepFunc, error) {
+				inst, err := m.Build(e, ecfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return func(i int) (float64, error) {
+					loss, err := inst.Step(i)
+					if deviceTime > 0 {
+						time.Sleep(deviceTime)
+					}
+					return loss, err
+				}, nil
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: %d workers: %v\n", w, err)
+			os.Exit(1)
+		}
+		if _, err := cluster.Run(warmup); err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: warmup: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := cluster.Run(steps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: measure: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := res.Elapsed.Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		localSteps := float64(w * steps)
+		pts = append(pts, point{
+			workers:    w,
+			stepsPerS:  localSteps / elapsed,
+			throughput: localSteps * float64(m.ItemsPerStep) / elapsed,
+			stale:      res.Stale,
+		})
+		if w == 1 {
+			// Profile for the analytical model: actual per-step gradient
+			// payload and tensor count from the worker's own accounting.
+			ws := cluster.Workers()[0].Stats()
+			if ws.Steps > 0 {
+				gradBytes = float64(ws.BytesPushed) / float64(ws.Steps)
+			}
+			tensors = cluster.Workers()[0].Engine().Store.Len()
+		}
+	}
+
+	base := pts[0]
+	singleStep := 1 / base.stepsPerS
+	fmt.Printf("model %s: parameter server with %d shards, per-worker batch %d, device time %v\n",
+		m.Name, shards, m.BatchSize, deviceTime)
+	fmt.Printf("single-worker profile: %.2f ms/step, %.1f KB gradients/step across %d tensors\n\n",
+		singleStep*1e3, gradBytes/1e3, tensors)
+	fmt.Printf("%8s %14s %14s %12s %12s %8s\n",
+		"workers", "items/s", "measured eff", "predicted", "Δ(meas-pred)", "stale")
+	for _, p := range pts {
+		eff := p.throughput / (float64(p.workers) * base.throughput)
+		pred := dist.ScaleFactor(
+			dist.Measured(p.workers, singleStep, gradBytes, memBandwidth, tensors), m.BatchSize)
+		fmt.Printf("%8d %14.1f %13.2fx %11.2fx %+11.2f %8d\n",
+			p.workers, p.throughput, eff, pred, eff-pred, p.stale)
+	}
+	if len(pts) >= 3 {
+		speedup := pts[2].throughput / pts[1].throughput
+		fmt.Printf("\n%d→%d workers speedup: %.2fx (acceptance bar: > 1.0x)\n",
+			pts[1].workers, pts[2].workers, speedup)
+	}
+	fmt.Println("\nMeasured: in-process ps.Cluster (real gradient exchange, per-tensor")
+	fmt.Println("streaming overlapping backprop; host math real, device execution")
+	fmt.Println("simulated by -device-time as in DESIGN notes). Predicted: internal/dist")
+	fmt.Println("configured from the measured single-worker profile (overlap=true). The")
+	fmt.Println("analytical model ignores host-side coordination cost (serialized on")
+	fmt.Printf("this machine's %d core(s)) and shard-lock contention, so the gap Δ is\n", runtime.NumCPU())
+	fmt.Println("the model's unexplained residual.")
+}

@@ -38,10 +38,21 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 0, "pool workers in -serve mode (0 = NumCPU)")
 	maxBatch := flag.Int("max-batch", 8, "batcher size limit in -serve mode")
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "batcher latency limit in -serve mode")
+	distMode := flag.Bool("dist", false, "distributed mode: real data-parallel scaling on the internal/ps runtime")
+	workers := flag.Int("workers", 4, "max worker replicas in -dist mode (measured at 1, 2, 4, ... up to this)")
+	shards := flag.Int("shards", 4, "parameter-server shards in -dist mode")
+	distModel := flag.String("dist-model", "LeNet", "model trained in -dist mode")
+	deviceTime := flag.Duration("device-time", 2*time.Millisecond,
+		"simulated accelerator time per local step in -dist mode (0 = host-bound)")
 	flag.Parse()
 
 	if *serveMode {
 		serveBench(*clients, *duration, *serveWorkers, *maxBatch, *batchLatency)
+		return
+	}
+	if *distMode {
+		fmt.Printf("========== Distributed data-parallel scaling (real, vs Figure 8 model) ==========\n")
+		distBench(*distModel, *workers, *shards, *warmup, *steps, *deviceTime)
 		return
 	}
 

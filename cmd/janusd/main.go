@@ -15,7 +15,13 @@
 //	POST /v1/call     {"session"?, "fn", "args": [...]}  call a loaded function
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}   batched inference
 //	GET  /v1/stats                                       engine + serving stats
+//	GET  /v1/cache                                       graph-cache inspection
 //	GET  /healthz                                        liveness
+//
+// Session state is session-affine: globals bound by a session's /v1/run
+// scripts follow the session across workers (sessionless /v1/run and
+// /v1/call are stateless and fully parallel). Under overload requests fail
+// fast with 429 (queue full) or 503 (worker wait timeout).
 //
 // Example:
 //
@@ -39,6 +45,9 @@ func main() {
 	workers := flag.Int("workers", 4, "engine workers (concurrent requests served)")
 	maxBatch := flag.Int("max-batch", 8, "max inference requests coalesced per batch")
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "max wait for batch-mates")
+	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker before 429 (0 = 16x workers)")
+	acquireTimeout := flag.Duration("acquire-timeout", 10*time.Second, "max wait for a worker before 503")
+	cacheCapacity := flag.Int("cache-capacity", 0, "max cached compiled graphs, LRU-evicted (0 = unlimited)")
 	program := flag.String("program", "", "minipy program to load at startup")
 	engine := flag.String("engine", "janus", "engine: janus|imperative|trace")
 	lr := flag.Float64("lr", 0.1, "learning rate for optimize()")
@@ -47,9 +56,12 @@ func main() {
 	flag.Parse()
 
 	opts := janus.ServerOptions{
-		Workers:    *workers,
-		MaxBatch:   *maxBatch,
-		MaxLatency: *batchLatency,
+		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		MaxLatency:     *batchLatency,
+		MaxQueue:       *maxQueue,
+		AcquireTimeout: *acquireTimeout,
+		CacheCapacity:  *cacheCapacity,
 	}
 	opts.LearningRate = *lr
 	opts.ProfileIterations = *profileIters

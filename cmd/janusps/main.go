@@ -1,0 +1,46 @@
+// Command janusps runs the sharded parameter server for distributed
+// data-parallel training (internal/ps): K logical parameter shards behind an
+// HTTP+JSON protocol with versioned pulls and staleness-bounded gradient
+// pushes, applying SGD server-side with gradient averaging across workers.
+//
+//	janusps -addr :8081 -shards 4 -lr 0.2 -workers 4 -staleness 2
+//
+// Endpoints (all JSON; tensors are {"shape": [...], "data": [...]}):
+//
+//	GET  /ps/v1/shards                                         shard count
+//	POST /ps/v1/pull  {"shard", "have"}                        versioned parameter fetch
+//	POST /ps/v1/push  {"shard", "step", "grads"}               gradient push (409 = stale)
+//	POST /ps/v1/init  {"params"}                               set-if-absent registration
+//	GET  /ps/v1/stats                                          server counters
+//	GET  /healthz                                              liveness
+//
+// Workers connect with ps.NewClient and drive training via ps.Worker; see
+// `janusbench -dist` for the in-process equivalent and README.md for the
+// quickstart.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/ps"
+)
+
+func main() {
+	addr := flag.String("addr", ":8081", "listen address")
+	shards := flag.Int("shards", 4, "logical parameter shards")
+	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
+	workers := flag.Int("workers", 1, "data-parallel replicas (gradients are averaged across them)")
+	staleness := flag.Int("staleness", 2, "max worker-step lag before a push is rejected (-1 = unbounded)")
+	flag.Parse()
+
+	server := ps.NewServer(ps.Config{
+		Shards: *shards, LR: *lr, Workers: *workers, Staleness: *staleness,
+	})
+	log.Printf("janusps: serving on %s (%d shards, lr %g, %d workers, staleness %d)",
+		*addr, *shards, *lr, *workers, *staleness)
+	if err := http.ListenAndServe(*addr, ps.NewHandler(server)); err != nil {
+		log.Fatal(err)
+	}
+}

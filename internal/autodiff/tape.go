@@ -10,6 +10,7 @@ package autodiff
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -61,12 +62,18 @@ type Tape struct {
 	// watched maps variable names to their tape nodes so Gradient can report
 	// per-variable gradients.
 	watched map[string]*Node
-	grads   map[int64]*tensor.Tensor
+	// bornAt records len(ops) at the moment a variable was watched. Ops
+	// recorded before that moment cannot reference the node, so during
+	// reverse replay a watched gradient is final as soon as the replay index
+	// drops to the node's birth index — the basis for GradientStream's
+	// per-tensor emission.
+	bornAt map[int64]int
+	grads  map[int64]*tensor.Tensor
 }
 
 // NewTape returns an empty tape.
 func NewTape() *Tape {
-	return &Tape{watched: make(map[string]*Node)}
+	return &Tape{watched: make(map[string]*Node), bornAt: make(map[int64]int)}
 }
 
 // NewNode allocates a tracked node holding v.
@@ -85,6 +92,7 @@ func (t *Tape) Watch(name string, v *tensor.Tensor) *Node {
 	}
 	n := t.NewNode(v)
 	t.watched[name] = n
+	t.bornAt[n.id] = len(t.ops)
 	return n
 }
 
@@ -119,12 +127,58 @@ func (t *Tape) accum(n *Node, g *tensor.Tensor) {
 // of every watched variable (by name). Variables that did not influence the
 // loss get zero gradients.
 func (t *Tape) Gradient(loss *Node) map[string]*tensor.Tensor {
+	return t.GradientStream(loss, nil)
+}
+
+// GradientStream runs backprop from the scalar loss node and invokes emit
+// (when non-nil) for each watched variable the moment its gradient is final
+// — i.e. as soon as no remaining backward op can contribute to it. Because
+// replay runs in reverse recording order, variables recorded late in the
+// forward pass (the top layers) finalize first, so a distributed worker can
+// ship per-layer gradients to a parameter server while backprop is still
+// descending through earlier layers. The full gradient map is also returned.
+//
+// Backprop is single-threaded; emit is called synchronously on the calling
+// goroutine and should hand expensive work (network pushes) off to another
+// goroutine to actually overlap communication with compute.
+func (t *Tape) GradientStream(loss *Node, emit func(name string, g *tensor.Tensor)) map[string]*tensor.Tensor {
+	// Watched variables ordered by descending birth index: the next one to
+	// finalize is always at the front of the remainder.
+	type watchedVar struct {
+		name string
+		n    *Node
+		born int
+	}
+	order := make([]watchedVar, 0, len(t.watched))
+	for name, n := range t.watched {
+		order = append(order, watchedVar{name: name, n: n, born: t.bornAt[n.id]})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].born > order[j].born })
+
+	out := make(map[string]*tensor.Tensor, len(t.watched))
+	next := 0
+	// finalize emits every not-yet-emitted variable whose birth index is >=
+	// remaining: ops below that index existed before the variable and cannot
+	// reference it.
+	finalize := func(remaining int) {
+		for next < len(order) && order[next].born >= remaining {
+			v := order[next]
+			g, ok := t.grads[v.n.id]
+			if !ok {
+				g = tensor.Zeros(v.n.Value.Shape()...)
+			}
+			out[v.name] = g
+			if emit != nil {
+				emit(v.name, g)
+			}
+			next++
+		}
+	}
+
 	if !loss.Tracked() {
 		// Loss does not depend on any tracked value; all grads are zero.
-		out := make(map[string]*tensor.Tensor, len(t.watched))
-		for name, n := range t.watched {
-			out[name] = tensor.Zeros(n.Value.Shape()...)
-		}
+		t.grads = make(map[int64]*tensor.Tensor)
+		finalize(0)
 		return out
 	}
 	t.grads = make(map[int64]*tensor.Tensor)
@@ -137,15 +191,9 @@ func (t *Tape) Gradient(loss *Node) map[string]*tensor.Tensor {
 		if g, ok := t.grads[o.outID]; ok {
 			o.backward(g)
 		}
+		finalize(i)
 	}
-	out := make(map[string]*tensor.Tensor, len(t.watched))
-	for name, n := range t.watched {
-		if g, ok := t.grads[n.id]; ok {
-			out[name] = g
-		} else {
-			out[name] = tensor.Zeros(n.Value.Shape()...)
-		}
-	}
+	finalize(0)
 	return out
 }
 

@@ -345,3 +345,59 @@ func TestTapeLinearRegressionLearns(t *testing.T) {
 		t.Fatalf("weights %v", store.MustGet("w"))
 	}
 }
+
+// TestGradientStreamEmitsPerTensorInBackpropOrder checks the streaming
+// contract: every watched variable is emitted exactly once, with gradients
+// identical to Gradient(), and variables used later in the forward pass
+// (the top layers) finalize before earlier ones — the property that lets a
+// distributed worker overlap gradient pushes with backprop.
+func TestGradientStreamEmitsPerTensorInBackpropOrder(t *testing.T) {
+	build := func(tape *Tape) *Node {
+		w1 := tape.Watch("w1", tensor.New([]int{2, 2}, []float64{1, 2, 3, 4}))
+		x := Const(tensor.New([]int{1, 2}, []float64{1, -1}))
+		h := tape.ReLU(tape.MatMul(x, w1))
+		w2 := tape.Watch("w2", tensor.New([]int{2, 1}, []float64{0.5, -0.5}))
+		return tape.Sum(tape.MatMul(h, w2))
+	}
+
+	ref := NewTape()
+	want := ref.Gradient(build(ref))
+
+	tape := NewTape()
+	loss := build(tape)
+	var order []string
+	got := tape.GradientStream(loss, func(name string, g *tensor.Tensor) {
+		order = append(order, name)
+		if w, ok := want[name]; !ok || !tensor.AllClose(g, w, 1e-12) {
+			t.Fatalf("streamed gradient for %q = %v, want %v", name, g, want[name])
+		}
+	})
+	if len(order) != 2 {
+		t.Fatalf("emitted %v, want both variables exactly once", order)
+	}
+	// w2 is used after w1 in the forward pass, so backprop finalizes it first.
+	if order[0] != "w2" || order[1] != "w1" {
+		t.Fatalf("emission order %v, want [w2 w1] (reverse forward order)", order)
+	}
+	for name, g := range want {
+		if !tensor.AllClose(got[name], g, 1e-12) {
+			t.Fatalf("returned map disagrees with Gradient() for %q", name)
+		}
+	}
+}
+
+// TestGradientStreamUntrackedLossEmitsZeros covers the zero-gradient path.
+func TestGradientStreamUntrackedLossEmitsZeros(t *testing.T) {
+	tape := NewTape()
+	tape.Watch("w", tensor.New([]int{3}, []float64{1, 2, 3}))
+	emitted := 0
+	out := tape.GradientStream(Const(tensor.Scalar(1)), func(name string, g *tensor.Tensor) {
+		emitted++
+		if tensor.Sum(g).Item() != 0 {
+			t.Fatalf("untracked loss produced nonzero gradient for %q: %v", name, g)
+		}
+	})
+	if emitted != 1 || len(out) != 1 {
+		t.Fatalf("emitted %d grads, returned %d, want 1 and 1", emitted, len(out))
+	}
+}

@@ -176,6 +176,11 @@ type compiled struct {
 	// static graphs carry their own gradient/update ops; dynamic graphs are
 	// differentiated through the executor's trace tape.
 	static bool
+	// hits and lastUse feed the cache's LRU-by-hit eviction policy and the
+	// /v1/cache inspection endpoint; lastUse holds the cache's logical clock
+	// at the most recent lookup hit (or at insertion).
+	hits    atomic.Int64
+	lastUse atomic.Int64
 }
 
 // funcState tracks one optimized function across iterations. When the
@@ -185,6 +190,7 @@ type compiled struct {
 // an immutable *compiled) runs outside the lock.
 type funcState struct {
 	mu      sync.Mutex
+	key     cacheKey
 	prof    *profile.Profile
 	entries []*compiled
 	// distrust records AST nodes whose speculative assumptions failed.
@@ -212,6 +218,10 @@ type Engine struct {
 	stats counters
 	cache *GraphCache
 	heap  *heapAdapter
+	// gradSink, when set, diverts parameter updates: instead of applying the
+	// optimizer locally, each watched variable's gradient is handed to the
+	// sink as backprop finalizes it (see SetGradSink).
+	gradSink func(name string, g *tensor.Tensor)
 }
 
 // NewEngine builds an engine with a fresh parameter store and graph cache.
@@ -293,6 +303,21 @@ func (e *Engine) Define(name string, v minipy.Value) {
 // Config returns the engine's configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// SetGradSink diverts this engine's parameter updates to sink: during every
+// subsequent training step, each watched variable's gradient is passed to
+// sink the moment backprop finalizes it (top layers first), and the local
+// optimizer is NOT applied. A distributed worker uses this to stream
+// per-tensor gradients to a parameter server while backprop is still
+// running, overlapping communication with compute — the effect the paper's
+// §6.3.2 attributes the graph engine's multi-device scalability to.
+//
+// Set the sink before the first training step: under the Janus mode a sink
+// forces newly generated graphs onto the trace-tape (dynamic) path so
+// gradients stream per tensor, and graphs compiled earlier with baked-in
+// update ops would bypass the sink. Passing nil restores local updates. The
+// trace mode ignores the sink for already-traced static graphs.
+func (e *Engine) SetGradSink(sink func(name string, g *tensor.Tensor)) { e.gradSink = sink }
+
 // Stats returns a race-safe snapshot of the engine's counters.
 func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 
@@ -333,8 +358,12 @@ func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (mini
 	if !ok {
 		return nil, fmt.Errorf("core: optimize() function returned %s, want tensor loss", out.TypeName())
 	}
-	grads := e.Local.Tape.Gradient(loss.Node)
-	e.Opt.Apply(e.Store, grads)
+	if e.gradSink != nil {
+		e.Local.Tape.GradientStream(loss.Node, e.gradSink)
+	} else {
+		grads := e.Local.Tape.Gradient(loss.Node)
+		e.Opt.Apply(e.Store, grads)
+	}
 	if prof != nil {
 		prof.EndIteration()
 	}
@@ -432,10 +461,12 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 	return nil, err
 }
 
-// lookup finds a cached graph whose signature pattern matches.
+// lookup finds a cached graph whose signature pattern matches, stamping it
+// for the LRU eviction policy.
 func (e *Engine) lookup(fs *funcState, sig []string) *compiled {
 	for _, c := range fs.entries {
 		if convert.SigMatch(c.pattern, sig) {
+			e.cache.touch(c)
 			return c
 		}
 	}
@@ -453,7 +484,12 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*com
 	if err != nil {
 		return nil, err
 	}
-	if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
+	if e.gradSink != nil {
+		// Gradient streaming needs the trace tape: skip the static
+		// gradient/update ops so backprop runs on the tape and per-tensor
+		// gradients reach the sink as they finalize.
+		res.Dynamic = true
+	} else if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
 		// Static gradient generation failed (e.g. an op without a gradient):
 		// run the graph dynamically via the trace tape instead.
 		res.Dynamic = true
@@ -463,6 +499,7 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*com
 	e.stats.conversions.Add(1)
 	c := &compiled{pattern: sig, res: res, static: !res.Dynamic}
 	fs.entries = append(fs.entries, c)
+	e.cache.noteInsert(c)
 	return c, nil
 }
 
@@ -504,8 +541,12 @@ func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, erro
 		}
 		node = autodiff.Const(t)
 	}
-	grads := tape.Gradient(node)
-	e.Opt.Apply(e.Store, grads)
+	if e.gradSink != nil {
+		tape.GradientStream(node, e.gradSink)
+	} else {
+		grads := tape.Gradient(node)
+		e.Opt.Apply(e.Store, grads)
+	}
 	return minipy.NewTensor(node.Value), nil
 }
 
@@ -516,6 +557,7 @@ func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
 	for i, entry := range fs.entries {
 		if entry == c {
 			fs.entries = append(fs.entries[:i], fs.entries[i+1:]...)
+			e.cache.noteRemove()
 			break
 		}
 	}
@@ -549,6 +591,7 @@ func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			// A single traced graph, reused unconditionally — even when the
 			// signature changed. That unchecked reuse is the unsafety.
 			entry = fs.entries[0]
+			e.cache.touch(entry)
 		} else {
 			res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
 				Unroll: true, Specialize: true, Trace: true,
@@ -563,6 +606,7 @@ func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			e.stats.conversions.Add(1)
 			entry = &compiled{pattern: sig, res: res, static: !res.Dynamic}
 			fs.entries = append(fs.entries, entry)
+			e.cache.noteInsert(entry)
 		}
 		leaves = lv
 		return nil, false, nil

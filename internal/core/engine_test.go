@@ -580,3 +580,146 @@ for step in range(40):
 		t.Fatalf("no shared-cache activity: %+v", total)
 	}
 }
+
+// TestGradSinkDivertsUpdatesAndStreamsPerTensor checks the parameter-server
+// hook: with a sink installed, local parameters never move, every watched
+// variable's gradient is emitted once per step, and the Janus engine still
+// runs steady-state steps on the graph executor.
+func TestGradSinkDivertsUpdatesAndStreamsPerTensor(t *testing.T) {
+	prog := `
+def loss_fn(x, y):
+    w = variable("w", [1, 1])
+    b = variable("b", [1])
+    return mse(matmul(x, w) + b, y)
+
+x = constant([[0.0], [1.0], [2.0], [3.0]])
+y = constant([[-3.0], [-1.0], [1.0], [3.0]])
+__loss = optimize(lambda: loss_fn(x, y))
+`
+	cfg := DefaultJanusConfig()
+	cfg.ProfileIters = 2
+	cfg.Seed = 7
+	e := NewEngine(cfg)
+	perStep := map[string]int{}
+	e.SetGradSink(func(name string, g *tensor.Tensor) {
+		perStep[name]++
+		if tensor.Sum(g) == nil {
+			t.Fatalf("nil gradient for %q", name)
+		}
+	})
+	// Parse once so the step function keeps one AST identity across steps
+	// (as the model harnesses do); re-parsing would defeat the graph cache.
+	driver := minipy.MustParse(prog)
+	const steps = 8
+	var w0 *tensor.Tensor
+	for i := 0; i < steps; i++ {
+		if err := e.RunProgram(driver); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i == 0 {
+			w0 = e.Store.MustGet("w")
+		}
+	}
+	if perStep["w"] != steps || perStep["b"] != steps {
+		t.Fatalf("sink emissions %v, want %d per variable", perStep, steps)
+	}
+	// Local parameters never moved: updates were diverted to the sink.
+	if got := e.Store.MustGet("w"); !tensor.AllClose(got, w0, 0) {
+		t.Fatalf("local parameter updated despite grad sink: %v -> %v", w0, got)
+	}
+	// The graph path still carries steady-state steps (forced dynamic).
+	if st := e.Stats(); st.GraphSteps == 0 {
+		t.Fatalf("no graph steps under grad sink: %+v", st)
+	}
+}
+
+// TestGraphCacheLRUEviction fills a capacity-bounded cache with distinct
+// shape-specialized graphs and checks that the least-recently-hit entries
+// are evicted, hot entries survive, and evicted signatures reconvert as
+// ordinary misses.
+func TestGraphCacheLRUEviction(t *testing.T) {
+	const capacity = 2
+	cache := NewGraphCacheCap(capacity)
+	cfg := DefaultJanusConfig()
+	cfg.ProfileIters = 1
+	cfg.Seed = 3
+	e := NewEngineShared(cfg, vars.NewStore(), cache)
+	if err := e.Run(`
+def predict(x):
+    w = variable("w", [2, 2])
+    return matmul(x, w)
+`); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	call := func(rows int) {
+		t.Helper()
+		x := tensor.Zeros(rows, 2)
+		if _, err := e.Call("predict", []minipy.Value{minipy.NewTensor(x)}); err != nil {
+			t.Fatalf("predict rows=%d: %v", rows, err)
+		}
+	}
+	// Warm past profiling, then compile one graph per distinct batch size.
+	for i := 0; i < 2; i++ {
+		call(1)
+	}
+	for rows := 1; rows <= capacity+2; rows++ {
+		call(rows)
+		call(rows) // a hit, so recency reflects this order
+	}
+	// Capacity enforcement is asynchronous; run it to completion here.
+	cache.enforceCapacity()
+	if got := cache.Entries(); got > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", got, capacity)
+	}
+	if cache.Evictions() == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	// The most recent signature must have survived: hitting it again is a
+	// cache hit, not a reconversion.
+	before := e.Stats().Conversions
+	call(capacity + 2)
+	if got := e.Stats().Conversions; got != before {
+		t.Fatalf("most-recent entry was evicted: conversions %d -> %d", before, got)
+	}
+	// An evicted signature reconverts as an ordinary miss.
+	call(1)
+	if got := e.Stats().Conversions; got != before+1 {
+		t.Fatalf("evicted signature did not reconvert: conversions %d -> %d", before, got)
+	}
+}
+
+// TestEngineCallMalformedArgsError drives feeds with broken shapes through
+// Engine.Call after a graph is compiled: the kernel panic recovery in the
+// executor must surface an error to the caller (the serving layer adds its
+// own panic guard for the imperative paths).
+func TestEngineCallMalformedArgsError(t *testing.T) {
+	cfg := DefaultJanusConfig()
+	cfg.ProfileIters = 1
+	cfg.Specialize = false // shape-generic graph: bad shapes reach the kernels
+	cfg.Seed = 3
+	e := NewEngine(cfg)
+	if err := e.Run(`
+def predict(x):
+    w = variable("w", [2, 2])
+    return matmul(x, w)
+`); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	good := tensor.Zeros(1, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Call("predict", []minipy.Value{minipy.NewTensor(good)}); err != nil {
+			t.Fatalf("warm %d: %v", i, err)
+		}
+	}
+	if st := e.Stats(); st.GraphSteps == 0 {
+		t.Fatalf("graph never compiled: %+v", st)
+	}
+	bad := tensor.Zeros(1, 5)
+	if _, err := e.Call("predict", []minipy.Value{minipy.NewTensor(bad)}); err == nil {
+		t.Fatal("malformed call succeeded")
+	}
+	// The engine still serves good requests afterwards.
+	if _, err := e.Call("predict", []minipy.Value{minipy.NewTensor(good)}); err != nil {
+		t.Fatalf("engine poisoned after malformed call: %v", err)
+	}
+}

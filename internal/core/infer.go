@@ -166,6 +166,7 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 	e.stats.conversions.Add(1)
 	c := &compiled{pattern: sig, res: res, static: true}
 	fs.entries = append(fs.entries, c)
+	e.cache.noteInsert(c)
 	return c, nil
 }
 

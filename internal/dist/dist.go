@@ -19,6 +19,11 @@ type ClusterConfig struct {
 	StepCompute float64
 	// GradBytes is the total gradient payload exchanged per step.
 	GradBytes float64
+	// Bandwidth is the interconnect in bytes/second; 0 selects LinkBandwidth
+	// (the paper-scale 100 Gbps testbed). janusbench -dist overrides it with
+	// an in-process memory-transfer estimate so the prediction is comparable
+	// to the measured run.
+	Bandwidth float64
 	// Overlap reports whether gradient exchange overlaps backprop (graph
 	// engines schedule collectives as soon as each layer's gradient is
 	// ready; eager engines serialize them after the step).
@@ -40,8 +45,12 @@ func commTime(c ClusterConfig) float64 {
 	if c.Devices <= 1 {
 		return 0
 	}
+	bw := c.Bandwidth
+	if bw <= 0 {
+		bw = LinkBandwidth
+	}
 	d := float64(c.Devices)
-	return 2 * (d - 1) / d * c.GradBytes / LinkBandwidth
+	return 2 * (d - 1) / d * c.GradBytes / bw
 }
 
 // StepTime returns seconds per global step.
@@ -82,4 +91,22 @@ func ScaleFactor(c ClusterConfig, batch int) float64 {
 		return 0
 	}
 	return Throughput(c, batch) / (float64(c.Devices) * base)
+}
+
+// Measured builds the model's configuration from a real single-worker
+// profile — measured step-compute seconds, actual gradient payload and
+// tensor count — so janusbench -dist can print the analytical prediction
+// next to the measured scaling of the parameter-server runtime and make the
+// model a checkable claim. Overlap is true because the runtime streams
+// per-tensor gradients during backprop, which is precisely the overlap this
+// model assumes for graph engines.
+func Measured(devices int, stepSeconds, gradBytes, bandwidth float64, tensors int) ClusterConfig {
+	return ClusterConfig{
+		Devices:     devices,
+		StepCompute: stepSeconds,
+		GradBytes:   gradBytes,
+		Bandwidth:   bandwidth,
+		Overlap:     true,
+		Tensors:     tensors,
+	}
 }

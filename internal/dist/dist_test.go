@@ -1,0 +1,57 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverlapHidesCommunication(t *testing.T) {
+	// Communication smaller than half the step must vanish entirely under
+	// overlap and extend the step without it.
+	c := ClusterConfig{Devices: 4, StepCompute: 0.4, GradBytes: 100e6, Overlap: true, Tensors: 50}
+	if got := StepTime(c); got != c.StepCompute {
+		t.Fatalf("overlapped step %v, want pure compute %v", got, c.StepCompute)
+	}
+	c.Overlap = false
+	if got := StepTime(c); got <= c.StepCompute {
+		t.Fatalf("serialized step %v did not pay for communication", got)
+	}
+}
+
+func TestScaleFactorNearLinearForGraphEngine(t *testing.T) {
+	graph := ClusterConfig{Devices: 8, StepCompute: 0.3, GradBytes: 100e6, Overlap: true, Tensors: 160}
+	eager := graph
+	eager.Overlap = false
+	eager.EagerDispatch = 3e-3
+	gs, es := ScaleFactor(graph, 64), ScaleFactor(eager, 64)
+	if gs < 0.95 {
+		t.Fatalf("graph-engine scaling %v, want near-linear (>= 0.95)", gs)
+	}
+	if es >= gs {
+		t.Fatalf("eager scaling %v not below graph scaling %v", es, gs)
+	}
+}
+
+func TestBandwidthOverrideChangesCommTime(t *testing.T) {
+	base := ClusterConfig{Devices: 4, StepCompute: 0.01, GradBytes: 50e6, Overlap: false}
+	slow := base
+	slow.Bandwidth = 1e9 // 12.5x slower than the 100 Gbps default
+	if StepTime(slow) <= StepTime(base) {
+		t.Fatalf("lower bandwidth did not slow the step: %v vs %v", StepTime(slow), StepTime(base))
+	}
+	// Zero keeps the paper default.
+	if StepTime(base) != StepTime(ClusterConfig{Devices: 4, StepCompute: 0.01, GradBytes: 50e6}) {
+		t.Fatal("zero bandwidth no longer selects the default link")
+	}
+}
+
+func TestMeasuredMapsProfileToConfig(t *testing.T) {
+	c := Measured(4, 0.02, 8e6, 2e9, 12)
+	if !c.Overlap || c.Devices != 4 || c.Tensors != 12 {
+		t.Fatalf("Measured produced %+v", c)
+	}
+	sf := ScaleFactor(c, 8)
+	if math.IsNaN(sf) || sf <= 0 || sf > 1.0001 {
+		t.Fatalf("measured-profile scale factor %v out of range", sf)
+	}
+}

@@ -458,3 +458,39 @@ func TestStatsCounts(t *testing.T) {
 		t.Fatalf("ops=%d", stats.OpsExecuted.Load())
 	}
 }
+
+// TestKernelPanicRecovered covers the safeExecNode recovery path: malformed
+// feeds that panic a tensor kernel deep inside the scheduler must surface as
+// errors — on both the serial and the parallel scheduler — never kill the
+// process. This is the property the serving layer relies on to survive bad
+// client requests routed through Engine.Call.
+func TestKernelPanicRecovered(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	y := g.Placeholder("y")
+	out := g.Add("MatMul", nil, x.P(), y.P())
+	g.Outputs = []graph.Port{out.P()}
+	feeds := map[string]graph.Val{
+		// [1,5] x [2,3]: inner dimensions disagree, the MatMul kernel panics.
+		"x": tensor.New([]int{1, 5}, []float64{1, 2, 3, 4, 5}),
+		"y": tensor.New([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6}),
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := Run(g, feeds, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: malformed feed executed: %v", workers, res.Outputs)
+		}
+		var ae *AssertError
+		if errors.As(err, &ae) {
+			t.Fatalf("workers=%d: kernel panic misreported as assertion failure: %v", workers, err)
+		}
+	}
+	// The graph (and its cached plan) must still run good feeds afterwards.
+	good := map[string]graph.Val{
+		"x": tensor.New([]int{1, 2}, []float64{1, 2}),
+		"y": tensor.New([]int{2, 3}, []float64{1, 2, 3, 4, 5, 6}),
+	}
+	if _, err := Run(g, good, Options{Workers: 4}); err != nil {
+		t.Fatalf("graph poisoned after recovered panic: %v", err)
+	}
+}

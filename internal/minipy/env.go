@@ -12,6 +12,11 @@ type Env struct {
 	// current function body; lookups and stores on these names are redirected.
 	globals   map[string]bool
 	nonlocals map[string]bool
+	// isModule marks a module boundary: Module() stops here instead of
+	// walking to the outermost scope. Serving sessions mark their state env
+	// so `global` inside session-defined functions binds session state, not
+	// the worker's globals.
+	isModule bool
 }
 
 // NewEnv creates a scope nested inside parent (nil for module scope).
@@ -19,14 +24,26 @@ func NewEnv(parent *Env) *Env {
 	return &Env{vars: make(map[string]Value), parent: parent}
 }
 
-// Module walks to the outermost (module/global) scope.
+// Reparent rewires the scope's enclosing environment. The serving layer uses
+// it to pin a session's module scope onto whichever worker engine executes
+// the session's next request: the session env travels with the session while
+// its parent pointer is attached to the current worker's globals for the
+// duration of one call. Callers must serialize Reparent with any evaluation
+// that reads through this scope.
+func (e *Env) Reparent(parent *Env) { e.parent = parent }
+
+// Module walks to the nearest module boundary: the first enclosing scope
+// marked with MarkModule, or the outermost scope.
 func (e *Env) Module() *Env {
 	m := e
-	for m.parent != nil {
+	for !m.isModule && m.parent != nil {
 		m = m.parent
 	}
 	return m
 }
+
+// MarkModule makes this scope a module boundary for `global` resolution.
+func (e *Env) MarkModule() { e.isModule = true }
 
 // Lookup resolves a name: local frame first, then enclosing scopes.
 func (e *Env) Lookup(name string) (Value, bool) {
@@ -45,6 +62,11 @@ func (e *Env) lookupLocal(name string) (Value, bool) {
 	v, ok := e.vars[name]
 	return v, ok
 }
+
+// LookupOwn resolves a name against this scope's own frame only, without
+// walking the parent chain. The serving layer uses it to tell session-
+// defined names apart from the loaded module globals behind them.
+func (e *Env) LookupOwn(name string) (Value, bool) { return e.lookupLocal(name) }
 
 // Define binds a name in this scope, honoring global/nonlocal declarations.
 func (e *Env) Define(name string, v Value) error {

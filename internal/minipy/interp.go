@@ -125,6 +125,15 @@ func (it *Interp) Run(prog *Program) error {
 	return err
 }
 
+// RunIn executes a whole program with env as its innermost module scope.
+// Name lookups fall through env's parent chain (typically the interpreter's
+// globals), while top-level assignments and definitions land in env — the
+// mechanism behind session-affine serving state.
+func (it *Interp) RunIn(prog *Program, env *Env) error {
+	_, err := it.execBlock(prog.Body, env)
+	return err
+}
+
 // CallFunction invokes a minipy callable with the given arguments; the public
 // entry used by engines to run a model's step function.
 func (it *Interp) CallFunction(fn Value, args []Value) (Value, error) {

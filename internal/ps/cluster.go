@@ -1,0 +1,155 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ClusterConfig describes an in-process data-parallel training cluster: N
+// worker replicas around one sharded parameter server, all in one binary —
+// the harness behind `janusbench -dist` and the distributed tests.
+type ClusterConfig struct {
+	// Workers is the number of data-parallel replicas (default 1).
+	Workers int
+	// Shards is the server's shard count (default = Workers).
+	Shards int
+	// LR is the server-side learning rate (default 0.1).
+	LR float64
+	// Staleness is the server's step-staleness bound (see Config.Staleness).
+	// The harness barriers workers per round, so 0 (synchronous) never
+	// rejects; raise it only when driving workers free-running.
+	Staleness int
+	// Engine configures every worker replica. Use one Seed for all replicas
+	// so parameter initialization (and the synthetic datasets the models
+	// derive from the same seed) agree across the cluster.
+	Engine core.Config
+	// Build wires a model into a worker's engine and returns its step
+	// driver. Workers partition data by global batch index: worker w of N
+	// executes indices r*N+w for round r, so N workers cover exactly the
+	// batches a single engine would in N sequential steps.
+	Build func(workerID int, e *core.Engine) (StepFunc, error)
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	cfg     ClusterConfig
+	server  *Server
+	workers []*Worker
+}
+
+// RunResult summarizes one training run.
+type RunResult struct {
+	// Rounds is how many global rounds ran; every worker took one step per
+	// round, so Workers*Rounds local steps happened in total.
+	Rounds int
+	// Losses is the per-round mean training loss across workers.
+	Losses []float64
+	// Stale counts gradients rejected by the staleness bound.
+	Stale int64
+	// Elapsed is wall-clock time for the run.
+	Elapsed time.Duration
+}
+
+// FinalLoss returns the last round's mean loss (NaN-free runs only).
+func (r RunResult) FinalLoss() float64 {
+	if len(r.Losses) == 0 {
+		return 0
+	}
+	return r.Losses[len(r.Losses)-1]
+}
+
+// NewCluster builds the server and workers and bootstraps parameters.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = cfg.Workers
+	}
+	server := NewServer(Config{
+		Shards: cfg.Shards, LR: cfg.LR, Workers: cfg.Workers, Staleness: cfg.Staleness,
+	})
+	c := &Cluster{cfg: cfg, server: server}
+	return c, c.connect(server)
+}
+
+// NewClusterOver builds workers against an external server through the
+// given transport (e.g. a Client against a cmd/janusps process). The
+// transport's server must be configured for cfg.Workers replicas.
+func NewClusterOver(t Transport, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	c := &Cluster{cfg: cfg}
+	return c, c.connect(t)
+}
+
+func (c *Cluster) connect(t Transport) error {
+	if c.cfg.Build == nil {
+		return fmt.Errorf("ps: ClusterConfig.Build is required")
+	}
+	for i := 0; i < c.cfg.Workers; i++ {
+		e := core.NewEngine(c.cfg.Engine)
+		step, err := c.cfg.Build(i, e)
+		if err != nil {
+			return fmt.Errorf("ps: build worker %d: %w", i, err)
+		}
+		w, err := NewWorker(i, e, step, t)
+		if err != nil {
+			return err
+		}
+		// Sequential bootstrap: the first worker's init lands, the rest
+		// verify against it and pull. All replicas share one seed, so every
+		// proposal is identical and order doesn't matter.
+		if err := w.Bootstrap(i); err != nil {
+			return err
+		}
+		c.workers = append(c.workers, w)
+	}
+	return nil
+}
+
+// Server returns the in-process server (nil when built with NewClusterOver).
+func (c *Cluster) Server() *Server { return c.server }
+
+// Workers returns the cluster's workers.
+func (c *Cluster) Workers() []*Worker { return c.workers }
+
+// Run trains for `rounds` global rounds. Each round, every worker runs one
+// local step concurrently on its slice of the data (worker w takes global
+// batch index round*N+w); the harness barriers between rounds. Within a
+// round, each worker's gradient pushes overlap its backprop — the real,
+// measurable form of the overlap the analytical model assumes.
+func (c *Cluster) Run(rounds int) (RunResult, error) {
+	n := len(c.workers)
+	res := RunResult{Rounds: rounds}
+	start := time.Now()
+	losses := make([]float64, n)
+	stale := make([]int64, n)
+	errs := make([]error, n)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for wi, w := range c.workers {
+			wg.Add(1)
+			go func(wi int, w *Worker) {
+				defer wg.Done()
+				losses[wi], stale[wi], errs[wi] = w.Step(r*n + wi)
+			}(wi, w)
+		}
+		wg.Wait()
+		mean := 0.0
+		for wi := 0; wi < n; wi++ {
+			if errs[wi] != nil {
+				return res, fmt.Errorf("ps: round %d worker %d: %w", r, wi, errs[wi])
+			}
+			mean += losses[wi]
+			res.Stale += stale[wi]
+		}
+		res.Losses = append(res.Losses, mean/float64(n))
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

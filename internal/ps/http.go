@@ -1,0 +1,237 @@
+package ps
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/tensor"
+)
+
+// HTTP+JSON protocol for the parameter server (what cmd/janusps listens on):
+//
+//	GET  /ps/v1/shards                                        → {"shards": K}
+//	POST /ps/v1/pull  {"shard": 0, "have": -1}                → {"version": 7, "params": {"w": {"shape": [2,3], "data": [...]}}}
+//	POST /ps/v1/push  {"shard": 0, "step": 12, "grads": {...}} → {"version": 8}  |  409 on staleness
+//	POST /ps/v1/init  {"params": {...}}                       → {"ok": true}
+//	GET  /ps/v1/stats                                         → Stats JSON
+//	GET  /healthz                                             → {"ok": true}
+//
+// Tensors travel as {"shape": [...], "data": [...]} with row-major flat
+// data. An unchanged pull (matching "have") returns the version with no
+// "params" key.
+
+// wireTensor is the JSON form of one tensor.
+type wireTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+func toWire(m map[string]*tensor.Tensor) map[string]wireTensor {
+	out := make(map[string]wireTensor, len(m))
+	for name, t := range m {
+		out[name] = wireTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	return out
+}
+
+func fromWire(m map[string]wireTensor) (map[string]*tensor.Tensor, error) {
+	out := make(map[string]*tensor.Tensor, len(m))
+	for name, w := range m {
+		n := 1
+		for _, d := range w.Shape {
+			n *= d
+		}
+		if n != len(w.Data) {
+			return nil, fmt.Errorf("ps: tensor %q: %d values for shape %v", name, len(w.Data), w.Shape)
+		}
+		out[name] = tensor.New(w.Shape, w.Data)
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+// NewHandler exposes a Server over the HTTP+JSON protocol.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ps/v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": s.cfg.Shards})
+	})
+	mux.HandleFunc("POST /ps/v1/pull", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Shard int   `json:"shard"`
+			Have  int64 `json:"have"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		params, version, err := s.Pull(req.Shard, req.Have)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		resp := map[string]any{"version": version}
+		if params != nil {
+			resp["params"] = toWire(params)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /ps/v1/push", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Shard int                   `json:"shard"`
+			Step  int64                 `json:"step"`
+			Grads map[string]wireTensor `json:"grads"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		grads, err := fromWire(req.Grads)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		version, err := s.PushGrad(req.Shard, req.Step, grads)
+		if err != nil {
+			if isStale(err) {
+				writeErr(w, http.StatusConflict, err)
+				return
+			}
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"version": version})
+	})
+	mux.HandleFunc("POST /ps/v1/init", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Params map[string]wireTensor `json:"params"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		vals, err := fromWire(req.Params)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.InitVars(vals); err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /ps/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	return mux
+}
+
+// Client is the HTTP Transport: a Worker in one process, a janusps server in
+// another.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a janusps server at base (e.g. "http://localhost:8081").
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// post sends a JSON request and decodes a JSON response; non-2xx responses
+// become errors carrying the server's message (409 maps to ErrStale).
+func (c *Client) post(path string, req, resp any) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(httpResp.Body).Decode(&e)
+		if httpResp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w: %s", ErrStale, e.Error)
+		}
+		return fmt.Errorf("ps: %s -> %d: %s", path, httpResp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(httpResp.Body).Decode(resp)
+}
+
+// NumShards implements Transport.
+func (c *Client) NumShards() (int, error) {
+	resp, err := c.hc.Get(c.base + "/ps/v1/shards")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Shards int    `json:"shards"`
+		Error  string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("ps: /ps/v1/shards -> %d: %s", resp.StatusCode, out.Error)
+	}
+	return out.Shards, nil
+}
+
+// Pull implements Transport.
+func (c *Client) Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, error) {
+	var resp struct {
+		Version int64                 `json:"version"`
+		Params  map[string]wireTensor `json:"params"`
+	}
+	err := c.post("/ps/v1/pull", map[string]any{"shard": shard, "have": have}, &resp)
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Params == nil {
+		return nil, resp.Version, nil
+	}
+	params, err := fromWire(resp.Params)
+	return params, resp.Version, err
+}
+
+// PushGrad implements Transport.
+func (c *Client) PushGrad(shard int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+	var resp struct {
+		Version int64 `json:"version"`
+	}
+	err := c.post("/ps/v1/push",
+		map[string]any{"shard": shard, "step": step, "grads": toWire(grads)}, &resp)
+	return resp.Version, err
+}
+
+// InitVars implements Transport.
+func (c *Client) InitVars(vals map[string]*tensor.Tensor) error {
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	return c.post("/ps/v1/init", map[string]any{"params": toWire(vals)}, &resp)
+}

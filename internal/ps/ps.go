@@ -1,0 +1,249 @@
+// Package ps is a real sharded parameter-server runtime for distributed
+// data-parallel training — the subsystem that turns internal/dist's
+// analytical Figure-8 model into a measurable claim.
+//
+// A Server partitions model parameters across K logical shards (by variable
+// name hash, vars.ShardOf) and applies gradient updates with the same
+// autodiff optimizers the single-engine paths use. Workers (see Worker) wrap
+// a core.Engine replica each: every step they pull fresh parameters per
+// shard, run one training step on their slice of the data, and push each
+// parameter's gradient the moment backprop finalizes it — per tensor, while
+// backprop is still descending through earlier layers — so gradient exchange
+// overlaps compute exactly as the paper's §6.3.2 describes for graph
+// engines.
+//
+// Consistency follows the stale-synchronous model: every push carries the
+// worker's step clock, and the server rejects pushes whose clock lags the
+// freshest observed step by more than the configured staleness bound
+// (ErrStale); the worker drops that gradient and re-synchronizes on its next
+// pull. Staleness 0 with a round-barrier harness (Cluster) is effectively
+// synchronous data-parallel SGD with gradient averaging.
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// ErrStale reports a gradient push rejected by the staleness bound; the
+// worker should drop the gradient and re-pull before its next step.
+var ErrStale = errors.New("ps: push rejected: worker step exceeds the staleness bound")
+
+// Config tunes a parameter server.
+type Config struct {
+	// Shards is the number of logical parameter shards (default 1).
+	Shards int
+	// LR is the server-side SGD learning rate (default 0.1).
+	LR float64
+	// Workers is the number of data-parallel replicas pushing gradients.
+	// Incoming gradients are scaled by 1/Workers, so one round of pushes
+	// from every worker equals one SGD step over the aggregated global batch
+	// — the gradient-averaging semantics of synchronous data-parallel
+	// training (default 1).
+	Workers int
+	// Staleness bounds asynchrony, measured in worker steps: a push whose
+	// step clock lags the freshest observed step on that shard by more than
+	// Staleness is rejected with ErrStale. Negative disables the bound
+	// (fully asynchronous); 0 forces lockstep (default 0, which the
+	// round-barrier Cluster harness satisfies trivially).
+	Staleness int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Transport is the wire abstraction between a Worker and the parameter
+// server. The Server itself implements it (in-process transport for the
+// Cluster harness and tests); Client implements it over HTTP+JSON against a
+// cmd/janusps process.
+type Transport interface {
+	// NumShards reports the server's shard count, so client-side placement
+	// (vars.ShardOf) agrees with the server.
+	NumShards() (int, error)
+	// Pull fetches shard's parameters. have is the version from the caller's
+	// previous pull: when the shard hasn't changed since, the server returns
+	// (nil, have, nil) and the caller keeps its copy. Pass -1 to force a
+	// full fetch.
+	Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, error)
+	// PushGrad applies one or more named gradients to shard. step is the
+	// worker's step clock for the staleness check. Returns the shard version
+	// after the update, or ErrStale.
+	PushGrad(shard int, step int64, grads map[string]*tensor.Tensor) (int64, error)
+	// InitVars registers initial parameter values, set-if-absent. Every
+	// worker calls it after building its replica; with a shared seed all
+	// replicas propose identical values, so whichever lands first wins
+	// without coordination.
+	InitVars(vals map[string]*tensor.Tensor) error
+}
+
+// shard is one parameter partition: a vars.Store (copy-on-write updates, so
+// pulled tensors are immutable and safe to hand out or serialize) plus its
+// version and step clocks, all behind one mutex.
+type shard struct {
+	mu    sync.Mutex
+	store *vars.Store
+	opt   autodiff.Optimizer
+	// version counts applied updates; pulls use it to skip unchanged fetches.
+	version int64
+	// maxStep is the freshest worker step clock observed on this shard.
+	maxStep int64
+}
+
+// Stats is a point-in-time snapshot of server activity.
+type Stats struct {
+	Shards     int   `json:"shards"`
+	Vars       int   `json:"vars"`
+	Params     int   `json:"params"`
+	Pulls      int64 `json:"pulls"`
+	PullsFresh int64 `json:"pulls_fresh"`
+	Pushes     int64 `json:"pushes"`
+	StaleDrops int64 `json:"stale_drops"`
+	Version    int64 `json:"version"`
+	MaxStep    int64 `json:"max_step"`
+}
+
+// Server is the sharded parameter server. It is safe for concurrent use;
+// workers on different shards never contend.
+type Server struct {
+	cfg    Config
+	shards []*shard
+
+	pulls      atomic.Int64
+	pullsFresh atomic.Int64
+	pushes     atomic.Int64
+	staleDrops atomic.Int64
+}
+
+// NewServer builds an empty parameter server.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			store: vars.NewStore(),
+			opt:   &autodiff.SGD{LR: cfg.LR},
+		})
+	}
+	return s
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// NumShards implements Transport.
+func (s *Server) NumShards() (int, error) { return s.cfg.Shards, nil }
+
+func (s *Server) shardAt(i int) (*shard, error) {
+	if i < 0 || i >= len(s.shards) {
+		return nil, fmt.Errorf("ps: shard %d out of range (have %d)", i, len(s.shards))
+	}
+	return s.shards[i], nil
+}
+
+// Pull implements Transport.
+func (s *Server) Pull(shardIdx int, have int64) (map[string]*tensor.Tensor, int64, error) {
+	sh, err := s.shardAt(shardIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.pulls.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if have >= 0 && sh.version == have {
+		return nil, sh.version, nil
+	}
+	s.pullsFresh.Add(1)
+	// ShardSnapshot with k=1 returns every variable in this shard's store;
+	// tensors are copy-on-write so the map is safe to release unlocked.
+	return sh.store.ShardSnapshot(0, 1), sh.version, nil
+}
+
+// PushGrad implements Transport. Unknown variables are an error: gradients
+// can only follow a successful InitVars.
+func (s *Server) PushGrad(shardIdx int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+	sh, err := s.shardAt(shardIdx)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.cfg.Staleness >= 0 && sh.maxStep-step > int64(s.cfg.Staleness) {
+		s.staleDrops.Add(1)
+		return sh.version, fmt.Errorf("%w (step %d, freshest %d, bound %d)",
+			ErrStale, step, sh.maxStep, s.cfg.Staleness)
+	}
+	scaled := make(map[string]*tensor.Tensor, len(grads))
+	for name, g := range grads {
+		cur, ok := sh.store.Get(name)
+		if !ok {
+			return sh.version, fmt.Errorf("ps: push for unregistered variable %q (InitVars first)", name)
+		}
+		if !tensor.SameShape(cur, g) {
+			return sh.version, fmt.Errorf("ps: gradient shape %v for variable %q of shape %v",
+				g.Shape(), name, cur.Shape())
+		}
+		scaled[name] = tensor.MulScalar(g, 1/float64(s.cfg.Workers))
+	}
+	sh.opt.Apply(sh.store, scaled)
+	sh.version++
+	if step > sh.maxStep {
+		sh.maxStep = step
+	}
+	s.pushes.Add(1)
+	return sh.version, nil
+}
+
+// InitVars implements Transport: set-if-absent registration of initial
+// values, each routed to its shard by name hash.
+func (s *Server) InitVars(vals map[string]*tensor.Tensor) error {
+	for name, t := range vals {
+		sh := s.shards[vars.ShardOf(name, s.cfg.Shards)]
+		t := t
+		sh.mu.Lock()
+		created := false
+		sh.store.GetOrCreate(name, func() *tensor.Tensor { created = true; return t.Clone() })
+		if created {
+			sh.version++
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats snapshots server activity.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Shards:     len(s.shards),
+		Pulls:      s.pulls.Load(),
+		PullsFresh: s.pullsFresh.Load(),
+		Pushes:     s.pushes.Load(),
+		StaleDrops: s.staleDrops.Load(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Vars += sh.store.Len()
+		st.Params += sh.store.NumParams()
+		st.Version += sh.version
+		if sh.maxStep > st.MaxStep {
+			st.MaxStep = sh.maxStep
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

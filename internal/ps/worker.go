@@ -1,0 +1,209 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// isStale matches staleness rejections from both the in-process server
+// (wrapped ErrStale) and the HTTP client (mapped from 409).
+func isStale(err error) bool { return errors.Is(err, ErrStale) }
+
+// StepFunc drives one training iteration for a global batch index and
+// returns the training loss (a models.Instance.Step, typically).
+type StepFunc func(i int) (float64, error)
+
+// WorkerStats counts one worker's parameter-server traffic.
+type WorkerStats struct {
+	Steps       int64 `json:"steps"`
+	Pulls       int64 `json:"pulls"`
+	PullsFresh  int64 `json:"pulls_fresh"`
+	Pushes      int64 `json:"pushes"`
+	StaleDrops  int64 `json:"stale_drops"`
+	BytesPulled int64 `json:"bytes_pulled"`
+	BytesPushed int64 `json:"bytes_pushed"`
+}
+
+// Worker is one data-parallel replica: a core.Engine with its own parameter
+// store and data slice, wired to a parameter server through a Transport.
+//
+// Per step the worker pulls fresh parameters for every shard (version-
+// checked, so unchanged shards cost one round trip and no payload), runs its
+// training step, and — through the engine's gradient sink — pushes each
+// parameter's gradient on a background goroutine the moment backprop
+// finalizes it, so communication for the top layers overlaps backprop of the
+// bottom ones. A worker is single-threaded with respect to Step; concurrency
+// across workers is the cluster's job.
+type Worker struct {
+	ID int
+
+	engine *core.Engine
+	step   StepFunc
+	t      Transport
+	shards int
+
+	// versions holds the per-shard version of the worker's parameter copy.
+	versions []int64
+	// clock is the worker's local step counter, carried on every push for
+	// the server's staleness check.
+	clock int64
+
+	// Per-step push tracking: the sink adds to wg and pushes on background
+	// goroutines; Step waits for all of them before returning.
+	wg      sync.WaitGroup
+	pushMu  sync.Mutex
+	pushErr error
+
+	stats struct {
+		steps, pulls, pullsFresh, pushes, staleDrops atomic.Int64
+		bytesPulled, bytesPushed                     atomic.Int64
+	}
+}
+
+// NewWorker wires a worker around an engine replica. The engine must already
+// have its model program loaded (so its parameter store fills in lazily on
+// the first step), and must not be shared with other workers: NewWorker
+// installs a gradient sink on it, diverting all parameter updates to the
+// server.
+func NewWorker(id int, e *core.Engine, step StepFunc, t Transport) (*Worker, error) {
+	shards, err := t.NumShards()
+	if err != nil {
+		return nil, fmt.Errorf("ps: worker %d: %w", id, err)
+	}
+	w := &Worker{ID: id, engine: e, step: step, t: t, shards: shards,
+		versions: make([]int64, shards)}
+	for i := range w.versions {
+		w.versions[i] = -1
+	}
+	e.SetGradSink(w.push)
+	return w, nil
+}
+
+// Engine returns the wrapped engine replica.
+func (w *Worker) Engine() *core.Engine { return w.engine }
+
+// Bootstrap creates the replica's parameters and registers them with the
+// server: it runs one throwaway step with gradients discarded (variables are
+// created lazily inside the step), proposes the resulting initial values via
+// InitVars (set-if-absent — with a shared seed every replica proposes the
+// same values), then pulls the authoritative copy.
+func (w *Worker) Bootstrap(batchIndex int) error {
+	w.engine.SetGradSink(func(string, *tensor.Tensor) {})
+	_, err := w.step(batchIndex)
+	w.engine.SetGradSink(w.push)
+	if err != nil {
+		return fmt.Errorf("ps: worker %d bootstrap step: %w", w.ID, err)
+	}
+	if err := w.t.InitVars(w.engine.Store.ShardSnapshot(0, 1)); err != nil {
+		return fmt.Errorf("ps: worker %d init: %w", w.ID, err)
+	}
+	return w.pullAll()
+}
+
+// pullAll refreshes every shard of the local parameter copy, in parallel.
+func (w *Worker) pullAll() error {
+	var wg sync.WaitGroup
+	errs := make([]error, w.shards)
+	for s := 0; s < w.shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			params, version, err := w.t.Pull(s, w.versions[s])
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			w.stats.pulls.Add(1)
+			if params != nil {
+				w.stats.pullsFresh.Add(1)
+				for _, t := range params {
+					w.stats.bytesPulled.Add(int64(8 * t.Size()))
+				}
+				w.engine.Store.SetAll(params)
+			}
+			w.versions[s] = version
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// push is the engine's gradient sink: called synchronously by backprop as
+// each parameter's gradient finalizes, it ships the tensor on a background
+// goroutine so the next layer's backprop proceeds immediately.
+func (w *Worker) push(name string, g *tensor.Tensor) {
+	shard := vars.ShardOf(name, w.shards)
+	step := w.clock
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		_, err := w.t.PushGrad(shard, step, map[string]*tensor.Tensor{name: g})
+		if err != nil {
+			if isStale(err) {
+				// Staleness is expected under async operation: drop the
+				// gradient and let the next pull re-synchronize.
+				w.stats.staleDrops.Add(1)
+				return
+			}
+			w.pushMu.Lock()
+			if w.pushErr == nil {
+				w.pushErr = fmt.Errorf("ps: worker %d push %q: %w", w.ID, name, err)
+			}
+			w.pushMu.Unlock()
+			return
+		}
+		w.stats.pushes.Add(1)
+		w.stats.bytesPushed.Add(int64(8 * g.Size()))
+	}()
+}
+
+// Step runs one training iteration on global batch index i: pull, compute
+// (gradients stream to the server as backprop emits them), then wait for the
+// last push. It returns the training loss and the number of gradients the
+// server rejected as stale.
+func (w *Worker) Step(i int) (loss float64, stale int64, err error) {
+	if err := w.pullAll(); err != nil {
+		return 0, 0, fmt.Errorf("ps: worker %d pull: %w", w.ID, err)
+	}
+	w.clock++
+	staleBefore := w.stats.staleDrops.Load()
+	loss, err = w.step(i)
+	w.wg.Wait()
+	stale = w.stats.staleDrops.Load() - staleBefore
+	w.pushMu.Lock()
+	perr := w.pushErr
+	w.pushErr = nil
+	w.pushMu.Unlock()
+	if err != nil {
+		return 0, stale, err
+	}
+	if perr != nil {
+		return 0, stale, perr
+	}
+	w.stats.steps.Add(1)
+	return loss, stale, nil
+}
+
+// Stats snapshots the worker's traffic counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Steps:       w.stats.steps.Load(),
+		Pulls:       w.stats.pulls.Load(),
+		PullsFresh:  w.stats.pullsFresh.Load(),
+		Pushes:      w.stats.pushes.Load(),
+		StaleDrops:  w.stats.staleDrops.Load(),
+		BytesPulled: w.stats.bytesPulled.Load(),
+		BytesPushed: w.stats.bytesPushed.Load(),
+	}
+}

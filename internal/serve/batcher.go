@@ -66,6 +66,15 @@ func (b *batcher) submit(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() < 1 {
 		return nil, fmt.Errorf("serve: infer input must have a leading batch dimension, got a scalar")
 	}
+	// Admission control: every pending inference holds one wait-queue slot
+	// from submission until its result arrives, so infer traffic is covered
+	// by the same MaxQueue bound as everything else — no unbounded pile-up
+	// of goroutines parked in batch groups.
+	release, err := b.pool.admitQueued()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	req := &inferReq{item: x, out: make(chan inferResult, 1)}
 	key := groupKey(fn, x.Shape())
 	b.mu.Lock()
@@ -120,7 +129,14 @@ func (b *batcher) flush(g *batchGroup) {
 	if len(items) > 1 {
 		batchedIn = tensor.Concat(0, items...)
 	}
-	e := b.pool.acquire()
+	// acquireWait, not acquire: every request in this batch already holds
+	// its own admission slot, so the flush must not be rejected by the
+	// queue bound — only the worker-wait timeout applies.
+	e, err := b.pool.acquireWait()
+	if err != nil {
+		fail(err)
+		return
+	}
 	out, err := guard(func() (minipy.Value, error) {
 		return e.Call(g.fn, []minipy.Value{minipy.NewTensor(batchedIn)})
 	})

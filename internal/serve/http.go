@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -19,10 +20,20 @@ import (
 //	POST /v1/call     {"session"?, "fn", "args": [...]} → {"result": ...}
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}  → {"y": [[...]]}
 //	GET  /v1/stats                                      → Stats JSON
+//	GET  /v1/cache                                      → graph-cache inspection
 //	GET  /healthz                                       → {"ok": true}
 //
 // Tensors are nested JSON arrays; scalars, strings and booleans map to the
 // corresponding minipy values (integral numbers become ints).
+//
+// Module state defined by /v1/run is session-affine: names bound by a
+// session's scripts live with the session and are visible to its later /run
+// and /call requests on any worker. Sessionless requests (empty session id)
+// are stateless and fully parallel: /v1/run executes in a throwaway module
+// scope and /v1/call resolves against the loaded module globals — open a
+// session to keep state across requests. Under overload, requests fail with
+// 429 (wait queue full) or 503 (timed out waiting for a worker) instead of
+// queueing without bound.
 type Server struct {
 	pool *Pool
 	mux  *http.ServeMux
@@ -50,6 +61,7 @@ func NewServerWith(p *Pool) *Server {
 	s.mux.HandleFunc("POST /v1/call", s.handleCall)
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -70,6 +82,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+// failStatus maps a request error onto its HTTP status: backpressure
+// rejections become 429 (queue full) and 503 (acquire timeout) so clients
+// can distinguish "back off" from "bad request".
+func failStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrAcquireTimeout):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 func decode(r *http.Request, into any) error {
@@ -148,14 +174,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.session(req.Session)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
+	var out string
+	var err error
+	if req.Session == "" {
+		// Sessionless: throwaway module scope, any worker, no serialization.
+		out, err = s.pool.ExecEphemeral(req.Program)
+	} else {
+		var sess *Session
+		if sess, err = s.session(req.Session); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		out, err = sess.Exec(req.Program)
 	}
-	out, err := sess.Exec(req.Program)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, failStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"output": out})
@@ -171,10 +204,13 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	sess, err := s.session(req.Session)
-	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
-		return
+	var sess *Session
+	var err error
+	if req.Session != "" {
+		if sess, err = s.session(req.Session); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
 	}
 	args := make([]minipy.Value, len(req.Args))
 	for i, a := range req.Args {
@@ -183,9 +219,15 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	out, err := sess.Call(req.Fn, args)
+	var out minipy.Value
+	if sess == nil {
+		// Sessionless: stateless call on any worker, no serialization.
+		out, err = s.pool.Call(req.Fn, args)
+	} else {
+		out, err = sess.Call(req.Fn, args)
+	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, failStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"result": valueToJSON(out)})
@@ -213,7 +255,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	y, err := sess.Infer(req.Fn, x)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, failStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"y": tensorToJSON(y), "shape": y.Shape()})
@@ -221,6 +263,24 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+// handleCache serves the graph-cache inspection endpoint: capacity, entry
+// and eviction counts, pool-wide hit/miss counters, and the per-entry list
+// (most recently used first).
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	info := s.pool.Cache().Inspect()
+	st := s.pool.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity":        info.Capacity,
+		"funcs":           info.Funcs,
+		"entries":         info.Entries,
+		"evictions":       info.Evictions,
+		"imperative_only": info.ImperativeOnly,
+		"hits":            st.CacheHits,
+		"misses":          st.CacheMisses,
+		"entry_list":      info.EntryList,
+	})
 }
 
 // --- JSON ⇄ value conversion ---------------------------------------------------

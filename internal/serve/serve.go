@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +28,15 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
+
+// ErrOverloaded reports a request rejected because the bounded wait queue is
+// full — the HTTP layer maps it to 429 so clients back off instead of piling
+// goroutines onto the pool.
+var ErrOverloaded = errors.New("serve: overloaded: request queue is full")
+
+// ErrAcquireTimeout reports a queued request that waited longer than
+// Config.AcquireTimeout for a worker — mapped to 503.
+var ErrAcquireTimeout = errors.New("serve: timed out waiting for an engine worker")
 
 // Config tunes a Pool. The zero value serves with 4 workers and a batcher
 // window of 8 requests / 2 ms.
@@ -41,6 +51,16 @@ type Config struct {
 	// MaxSessions caps concurrently registered HTTP sessions (default
 	// 10000); sessions are freed with DELETE /v1/sessions/{id}.
 	MaxSessions int
+	// MaxQueue bounds how many requests may wait for a worker at once;
+	// arrivals beyond the bound fail immediately with ErrOverloaded (HTTP
+	// 429). Default 16 x Workers.
+	MaxQueue int
+	// AcquireTimeout bounds how long a queued request waits for a worker
+	// before failing with ErrAcquireTimeout (HTTP 503). Default 10s.
+	AcquireTimeout time.Duration
+	// CacheCapacity bounds compiled graphs in the shared cache; the
+	// least-recently-hit entry is evicted when exceeded (0 = unlimited).
+	CacheCapacity int
 	// Engine configures every worker (mode, learning rate, profiling, ...).
 	Engine core.Config
 }
@@ -65,6 +85,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions < 1 {
 		c.MaxSessions = 10000
 	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = 16 * c.Workers
+	}
+	if c.AcquireTimeout <= 0 {
+		c.AcquireTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -79,6 +105,13 @@ type Stats struct {
 	BatchedRequests int64
 	CachedFuncs     int
 	CachedGraphs    int
+	CacheEvictions  int64
+	// Rejected counts requests refused because the wait queue was full
+	// (429); TimedOut counts requests that gave up waiting for a worker
+	// (503); Queued is the current number of waiters.
+	Rejected int64
+	TimedOut int64
+	Queued   int64
 }
 
 // Pool is the session pool: N worker engines around one shared parameter
@@ -94,6 +127,12 @@ type Pool struct {
 	sessions atomic.Int64
 	requests atomic.Int64
 
+	// Backpressure accounting: queued is the live number of requests
+	// waiting for a worker; rejected/timedOut count admission failures.
+	queued   atomic.Int64
+	rejected atomic.Int64
+	timedOut atomic.Int64
+
 	loadMu sync.Mutex
 }
 
@@ -103,7 +142,7 @@ func NewPool(cfg Config) *Pool {
 	p := &Pool{
 		cfg:   cfg,
 		store: vars.NewStore(),
-		cache: core.NewGraphCache(),
+		cache: core.NewGraphCacheCap(cfg.CacheCapacity),
 		idle:  make(chan *core.Engine, cfg.Workers),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -130,7 +169,76 @@ func (p *Pool) Store() *vars.Store { return p.store }
 // Cache exposes the shared compiled-graph cache.
 func (p *Pool) Cache() *core.GraphCache { return p.cache }
 
-func (p *Pool) acquire() *core.Engine  { return <-p.idle }
+// admitQueued reserves one wait-queue slot, failing fast with ErrOverloaded
+// when MaxQueue slots are taken. The caller holds the slot until it calls
+// release. Every waiting request — a worker-acquire, a session-lock wait, a
+// batcher submission — occupies a slot, so the bound covers all the ways
+// goroutines can pile up under overload.
+func (p *Pool) admitQueued() (release func(), err error) {
+	if p.queued.Add(1) > int64(p.cfg.MaxQueue) {
+		p.queued.Add(-1)
+		p.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	return func() { p.queued.Add(-1) }, nil
+}
+
+// admitWait is the pool's admission discipline over a claim channel:
+// immediate claim when a token is available, otherwise a queue-slot-bounded,
+// AcquireTimeout-bounded wait. Both worker acquisition (tokens are idle
+// engines) and session serialization (a one-token semaphore) share it, so
+// 429/503 semantics can never diverge between the two paths.
+func admitWait[T any](p *Pool, ch <-chan T) (T, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	default:
+	}
+	var zero T
+	release, err := p.admitQueued()
+	if err != nil {
+		return zero, err
+	}
+	defer release()
+	timer := time.NewTimer(p.cfg.AcquireTimeout)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-timer.C:
+		p.timedOut.Add(1)
+		return zero, ErrAcquireTimeout
+	}
+}
+
+// acquire hands out an idle worker engine with backpressure: when every
+// worker is busy, at most MaxQueue requests wait (beyond that arrivals fail
+// fast with ErrOverloaded), and no waiter outlasts AcquireTimeout
+// (ErrAcquireTimeout). This bounds goroutine pile-up under overload — the
+// failure mode of the previous unbounded blocking acquire.
+func (p *Pool) acquire() (*core.Engine, error) { return admitWait(p, p.idle) }
+
+// acquireWait blocks for a worker up to AcquireTimeout without consuming a
+// queue slot. The batcher uses it at flush time: each request in the batch
+// already held (and still holds) its own slot from submission, so the flush
+// must not be spuriously rejected by a queue it never occupied.
+func (p *Pool) acquireWait() (*core.Engine, error) {
+	select {
+	case e := <-p.idle:
+		return e, nil
+	default:
+	}
+	timer := time.NewTimer(p.cfg.AcquireTimeout)
+	defer timer.Stop()
+	select {
+	case e := <-p.idle:
+		return e, nil
+	case <-timer.C:
+		p.timedOut.Add(1)
+		return nil, ErrAcquireTimeout
+	}
+}
+
 func (p *Pool) release(e *core.Engine) { p.idle <- e }
 
 // guard converts engine panics into request errors. Deep tensor kernels
@@ -166,10 +274,12 @@ func (p *Pool) Load(src string) (string, error) {
 	p.loadMu.Lock()
 	defer p.loadMu.Unlock()
 	// Take exclusive ownership of every worker so a load never interleaves
-	// with in-flight requests.
+	// with in-flight requests. Load is an administrative path: it waits out
+	// in-flight work unboundedly instead of going through the backpressured
+	// acquire.
 	engines := make([]*core.Engine, 0, len(p.engines))
 	for range p.engines {
-		engines = append(engines, p.acquire())
+		engines = append(engines, <-p.idle)
 	}
 	defer func() {
 		for _, e := range engines {
@@ -196,7 +306,10 @@ func (p *Pool) Load(src string) (string, error) {
 // work; inference-heavy callers should prefer Infer for batching.
 func (p *Pool) Call(fn string, args []minipy.Value) (minipy.Value, error) {
 	p.requests.Add(1)
-	e := p.acquire()
+	e, err := p.acquire()
+	if err != nil {
+		return nil, err
+	}
 	defer p.release(e)
 	return guard(func() (minipy.Value, error) { return e.Call(fn, args) })
 }
@@ -210,20 +323,54 @@ func (p *Pool) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	return p.batcher.submit(fn, x)
 }
 
-// Exec runs an ad-hoc script on one worker and returns its print output.
-// Module globals the script defines live on that worker only; use Load for
-// definitions every worker must see.
-func (p *Pool) Exec(src string) (string, error) {
-	p.requests.Add(1)
-	e := p.acquire()
-	defer p.release(e)
+// execOn runs src on one engine — in env when non-nil, in the worker's own
+// module globals otherwise — and returns the new print output, with engine
+// panics recovered into request errors.
+func execOn(e *core.Engine, src string, env *minipy.Env) (string, error) {
 	return guard(func() (string, error) {
 		before := len(e.Output())
-		if err := e.Run(src); err != nil {
+		var err error
+		if env != nil {
+			err = e.ExecIn(src, env)
+		} else {
+			err = e.Run(src)
+		}
+		if err != nil {
 			return "", err
 		}
 		return e.Output()[before:], nil
 	})
+}
+
+// Exec runs an ad-hoc script on one worker and returns its print output.
+// Module globals the script defines live on that worker only; use Load for
+// definitions every worker must see, or Session.Exec for state that follows
+// a session across workers.
+func (p *Pool) Exec(src string) (string, error) {
+	p.requests.Add(1)
+	e, err := p.acquire()
+	if err != nil {
+		return "", err
+	}
+	defer p.release(e)
+	return execOn(e, src, nil)
+}
+
+// ExecEphemeral runs src in a throwaway module scope layered over one
+// worker's globals: reads see the loaded definitions, writes vanish with
+// the request. The HTTP layer uses it for sessionless /v1/run — requests
+// run on any worker in parallel, leak nothing onto the worker, and clients
+// that want state across requests open a session.
+func (p *Pool) ExecEphemeral(src string) (string, error) {
+	p.requests.Add(1)
+	e, err := p.acquire()
+	if err != nil {
+		return "", err
+	}
+	defer p.release(e)
+	env := minipy.NewEnv(nil)
+	env.MarkModule()
+	return execOn(e, src, env)
 }
 
 // Stats aggregates engine and serving counters.
@@ -239,40 +386,105 @@ func (p *Pool) Stats() Stats {
 	s.BatchedRequests = p.batcher.batched.Load()
 	s.CachedFuncs = p.cache.Funcs()
 	s.CachedGraphs = p.cache.Entries()
+	s.CacheEvictions = p.cache.Evictions()
+	s.Rejected = p.rejected.Load()
+	s.TimedOut = p.timedOut.Load()
+	s.Queued = p.queued.Load()
 	return s
 }
 
-// Session is a client handle onto the pool. Sessions are cheap: they carry
-// identity and per-session accounting, while graphs, parameters and workers
-// are pool-wide — that sharing is the point.
+// Session is a client handle onto the pool. Graphs, parameters and workers
+// stay pool-wide — that sharing is the point — but module-level state a
+// session creates (Exec scripts defining counters, tensors, helper
+// functions) is session-affine: it lives in the session's own environment
+// and follows the session to whichever worker serves its next request.
+// Previously such globals landed on whichever worker happened to run the
+// script, so a follow-up request on another worker silently saw none of
+// them.
 type Session struct {
 	ID       string
 	pool     *Pool
 	requests atomic.Int64
+
+	// sem is a one-token semaphore serializing the session's stateful
+	// requests: env can be attached to only one worker engine at a time
+	// (Infer is stateless and bypasses it). Waiters go through the pool's
+	// admission rules (admitWait) — bounded queue, acquire timeout — so a
+	// pile-up on one session fails fast with 429/503 instead of parking
+	// goroutines on a mutex forever.
+	sem chan struct{}
+	env *minipy.Env
 }
 
 // NewSession registers a new client session.
 func (p *Pool) NewSession() *Session {
 	id := p.sessions.Add(1)
-	return &Session{ID: fmt.Sprintf("s%d", id), pool: p}
+	env := minipy.NewEnv(nil)
+	// The session env is the module scope for session code: `global` inside
+	// session-defined functions binds session state, not worker globals.
+	env.MarkModule()
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{}
+	return &Session{ID: fmt.Sprintf("s%d", id), pool: p, env: env, sem: sem}
 }
 
-// Call invokes a loaded function for this session.
+// lock claims the session's serialization token under the pool's
+// backpressure rules; the caller must unlock() on success.
+func (s *Session) lock() error {
+	_, err := admitWait(s.pool, s.sem)
+	return err
+}
+
+func (s *Session) unlock() { s.sem <- struct{}{} }
+
+// Call invokes a function for this session, resolving the name through the
+// session environment first — functions defined by this session's Exec
+// scripts shadow the loaded module globals.
 func (s *Session) Call(fn string, args []minipy.Value) (minipy.Value, error) {
 	s.requests.Add(1)
-	return s.pool.Call(fn, args)
+	s.pool.requests.Add(1)
+	if err := s.lock(); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
+	e, err := s.pool.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.release(e)
+	return guard(func() (minipy.Value, error) { return e.CallIn(s.env, fn, args) })
 }
 
-// Infer runs batched inference for this session.
+// Infer runs batched inference for this session. Inference is stateless
+// (the model function is a pool-wide definition), so it goes straight to
+// the batcher and never serializes on the session.
 func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	s.requests.Add(1)
 	return s.pool.Infer(fn, x)
 }
 
-// Exec runs an ad-hoc script for this session.
+// Exec runs an ad-hoc script for this session. Top-level names the script
+// binds land in the session environment and are visible to the session's
+// later Exec and Call requests regardless of which worker serves them.
 func (s *Session) Exec(src string) (string, error) {
 	s.requests.Add(1)
-	return s.pool.Exec(src)
+	s.pool.requests.Add(1)
+	if err := s.lock(); err != nil {
+		return "", err
+	}
+	defer s.unlock()
+	e, err := s.pool.acquire()
+	if err != nil {
+		return "", err
+	}
+	defer s.pool.release(e)
+	return guard(func() (string, error) {
+		before := len(e.Output())
+		if err := e.ExecIn(src, s.env); err != nil {
+			return "", err
+		}
+		return e.Output()[before:], nil
+	})
 }
 
 // Requests returns how many requests this session has issued.

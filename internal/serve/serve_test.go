@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -259,6 +260,292 @@ func TestTrainingThroughPoolConverges(t *testing.T) {
 	st := p.Stats()
 	if st.GraphSteps == 0 {
 		t.Fatalf("training never ran on the graph executor: %+v", st)
+	}
+}
+
+// TestBatcherTimeoutFlushStress hammers the timer-path flush: many
+// concurrent waves of requests against an unreachable MaxBatch, so every
+// batch flushes on max-latency from the timer goroutine. Run under -race in
+// CI; correctness of every scattered row is checked.
+func TestBatcherTimeoutFlushStress(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 4, MaxBatch: 1 << 20, MaxLatency: time.Millisecond,
+		Engine: janusConfig(1)})
+	warm(t, p, "predict", input(0), 3)
+	w, _ := p.Store().Get("w")
+
+	const goroutines, waves = 12, 6
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < waves; r++ {
+				i := g*waves + r
+				got, err := p.Infer("predict", input(i))
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d wave %d: %v", g, r, err)
+					return
+				}
+				if want := tensor.MatMul(input(i), w); !tensor.AllClose(got, want, 1e-9) {
+					errs <- fmt.Errorf("goroutine %d wave %d: got %v want %v", g, r, got, want)
+					return
+				}
+				// Jitter so waves straddle the flush window boundary.
+				time.Sleep(time.Duration(i%3) * 300 * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := p.Stats(); st.Batches == 0 {
+		t.Fatalf("timer path never flushed: %+v", st)
+	}
+}
+
+// TestMalformedCallReturnsError drives a malformed feed through the pool: a
+// kernel panic deep in the executor must come back as a request error, and
+// the pool must keep serving afterwards.
+func TestMalformedCallReturnsError(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 2, MaxBatch: 1, MaxLatency: time.Millisecond,
+		Engine: janusConfig(1)})
+	warm(t, p, "predict", input(0), 3)
+
+	// predict expects [n, 2] against w [2, 3]; a [1, 5] input breaks matmul.
+	bad := tensor.New([]int{1, 5}, []float64{1, 2, 3, 4, 5})
+	if _, err := p.Call("predict", []minipy.Value{minipy.NewTensor(bad)}); err == nil {
+		t.Fatal("malformed call succeeded")
+	}
+	// The offending request must not have poisoned the pool.
+	if _, err := p.Infer("predict", input(1)); err != nil {
+		t.Fatalf("pool broken after malformed call: %v", err)
+	}
+}
+
+// TestBackpressureRejectsWhenQueueFull saturates a 1-worker pool through a
+// long-running call and checks that excess arrivals fail fast with
+// ErrOverloaded instead of queueing without bound.
+func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, MaxQueue: 1, AcquireTimeout: 5 * time.Second,
+		Engine: janusConfig(1)})
+
+	block := make(chan struct{})
+	// Occupy the lone worker directly so the pool has zero idle engines.
+	e, err := p.acquire()
+	if err != nil {
+		t.Fatalf("prime acquire: %v", err)
+	}
+	go func() {
+		<-block
+		p.release(e)
+	}()
+
+	// One waiter is admitted (MaxQueue=1)...
+	admitted := make(chan error, 1)
+	go func() {
+		_, err := p.Call("predict", []minipy.Value{minipy.NewTensor(input(0))})
+		admitted <- err
+	}()
+	// Give the admitted waiter time to enter the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// ...and the next arrival is rejected immediately.
+	start := time.Now()
+	_, err = p.Call("predict", []minipy.Value{minipy.NewTensor(input(1))})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow arrival: got %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("rejection took %v, want fail-fast", time.Since(start))
+	}
+	close(block)
+	if err := <-admitted; err != nil {
+		t.Fatalf("admitted waiter failed: %v", err)
+	}
+	if st := p.Stats(); st.Rejected == 0 {
+		t.Fatalf("rejection not counted: %+v", st)
+	}
+}
+
+// TestBackpressureTimesOutWaiters checks the 503 path: a queued request
+// gives up after AcquireTimeout.
+func TestBackpressureTimesOutWaiters(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, MaxQueue: 4, AcquireTimeout: 30 * time.Millisecond,
+		Engine: janusConfig(1)})
+	e, err := p.acquire()
+	if err != nil {
+		t.Fatalf("prime acquire: %v", err)
+	}
+	defer p.release(e)
+
+	start := time.Now()
+	_, err = p.Call("predict", []minipy.Value{minipy.NewTensor(input(0))})
+	if !errors.Is(err, ErrAcquireTimeout) {
+		t.Fatalf("queued call: got %v, want ErrAcquireTimeout", err)
+	}
+	if el := time.Since(start); el < 30*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("timeout fired after %v, want ~30ms", el)
+	}
+	if st := p.Stats(); st.TimedOut == 0 {
+		t.Fatalf("timeout not counted: %+v", st)
+	}
+}
+
+// TestSessionStateIsSessionAffine is the /v1/run fix: globals bound by a
+// session's scripts must follow the session across workers, and must be
+// invisible to other sessions.
+func TestSessionStateIsSessionAffine(t *testing.T) {
+	// Two workers, so consecutive requests routinely land on different
+	// engines; the counter must survive regardless.
+	p := newTestPool(t, Config{Workers: 2, Engine: janusConfig(1)})
+	a, b := p.NewSession(), p.NewSession()
+
+	if _, err := a.Exec("counter = 0"); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	for i := 1; i <= 6; i++ {
+		out, err := a.Exec("counter = counter + 1\nprint(counter)")
+		if err != nil {
+			t.Fatalf("increment %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("%d\n", i); out != want {
+			t.Fatalf("increment %d printed %q, want %q", i, out, want)
+		}
+	}
+	// Session B must not see A's counter.
+	if _, err := b.Exec("print(counter)"); err == nil {
+		t.Fatal("session B sees session A's globals")
+	}
+	// Session-defined functions are callable via Call and close over
+	// session state.
+	if _, err := a.Exec("def bump(d):\n    global counter\n    counter = counter + d\n    return counter"); err != nil {
+		t.Fatalf("def: %v", err)
+	}
+	funcsBefore := p.Cache().Funcs()
+	for i := 0; i < 4; i++ {
+		out, err := a.Call("bump", []minipy.Value{minipy.IntVal(10)})
+		if err != nil {
+			t.Fatalf("bump %d: %v", i, err)
+		}
+		if got := int(out.(minipy.IntVal)); got != 6+10*(i+1) {
+			t.Fatalf("bump %d returned %d, want %d", i, got, 6+10*(i+1))
+		}
+	}
+	// Session-defined functions run on the interpreter and must not grow
+	// the shared graph cache's per-function bookkeeping.
+	if got := p.Cache().Funcs(); got != funcsBefore {
+		t.Fatalf("session function leaked into the shared cache: funcs %d -> %d", funcsBefore, got)
+	}
+	// Loaded module functions still resolve through the session.
+	if _, err := a.Call("predict", []minipy.Value{minipy.NewTensor(input(0))}); err != nil {
+		t.Fatalf("module function through session: %v", err)
+	}
+}
+
+// TestSessionlessRunIsEphemeralAndParallel pins the sessionless /v1/run
+// semantics: scripts run in a throwaway module scope (no state leaks onto
+// workers or across requests) and requests do not serialize on any shared
+// session.
+func TestSessionlessRunIsEphemeralAndParallel(t *testing.T) {
+	srv := NewServer(Config{Workers: 4, Engine: janusConfig(1)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postJSON(t, ts.Client(), ts.URL+"/v1/load", map[string]any{"program": modelProgram})
+
+	// A sessionless script's bindings vanish with the request...
+	postJSON(t, ts.Client(), ts.URL+"/v1/run", map[string]any{"program": "leak = 41"})
+	resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json",
+		bytes.NewReader([]byte(`{"program": "print(leak)"}`)))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("sessionless state leaked across requests")
+	}
+	// ...while reads still see the loaded module definitions, concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := postJSON(t, ts.Client(), ts.URL+"/v1/run",
+				map[string]any{"program": "print(predict(constant([[1.0, 2.0]])))"})
+			if out["output"] == "" {
+				errs <- fmt.Errorf("no output")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCacheEndpointAndEviction drives distinct graph signatures through a
+// capacity-bounded pool and checks both the LRU eviction and the /v1/cache
+// inspection endpoint.
+func TestCacheEndpointAndEviction(t *testing.T) {
+	const capacity = 3
+	srv := NewServer(Config{Workers: 2, MaxBatch: 1, MaxLatency: time.Millisecond,
+		CacheCapacity: capacity, Engine: janusConfig(1)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	postJSON(t, ts.Client(), ts.URL+"/v1/load", map[string]any{"program": modelProgram})
+
+	// Each distinct batch size specializes to its own compiled graph.
+	for rows := 1; rows <= capacity+3; rows++ {
+		x := make([][]float64, rows)
+		for r := range x {
+			x[r] = []float64{float64(r), 1}
+		}
+		for i := 0; i < 3; i++ { // past profiling, then compile
+			postJSON(t, ts.Client(), ts.URL+"/v1/infer", map[string]any{"fn": "predict", "x": x})
+		}
+	}
+
+	// Capacity enforcement runs on a background goroutine; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Pool().Cache().Entries() > capacity && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Pool().Cache().Entries(); got > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", got, capacity)
+	}
+	if srv.Pool().Cache().Evictions() == 0 {
+		t.Fatal("no evictions recorded despite overflow")
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/cache")
+	if err != nil {
+		t.Fatalf("GET /v1/cache: %v", err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Capacity  int   `json:"capacity"`
+		Entries   int   `json:"entries"`
+		Evictions int64 `json:"evictions"`
+		Hits      int64 `json:"hits"`
+		EntryList []struct {
+			Signature []string `json:"signature"`
+			Hits      int64    `json:"hits"`
+		} `json:"entry_list"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode /v1/cache: %v", err)
+	}
+	if info.Capacity != capacity || info.Evictions == 0 || len(info.EntryList) == 0 {
+		t.Fatalf("cache endpoint reports %+v", info)
+	}
+	if info.Entries != len(info.EntryList) {
+		t.Fatalf("entries %d != listed %d", info.Entries, len(info.EntryList))
 	}
 }
 

@@ -10,6 +10,7 @@ package vars
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -138,4 +139,43 @@ func (s *Store) Snapshot() *Store {
 		out.vals[k] = v.Clone()
 	}
 	return out
+}
+
+// ShardOf maps a variable name onto one of k logical shards (FNV-1a hash).
+// The parameter-server runtime partitions a model's variables this way, so
+// client and server always agree on placement without coordination.
+func ShardOf(name string, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return int(h.Sum32() % uint32(k))
+}
+
+// ShardSnapshot returns the variables that live on shard `shard` of `k`.
+// The returned map holds the live tensors, not copies: every update path
+// (AssignSub, Set) is copy-on-write, so published tensors are immutable and
+// safe to hand to another goroutine or serialize onto the wire.
+func (s *Store) ShardSnapshot(shard, k int) map[string]*tensor.Tensor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]*tensor.Tensor)
+	for name, v := range s.vals {
+		if ShardOf(name, k) == shard {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// SetAll stores every entry of m under a single lock acquisition — the bulk
+// counterpart of Set, used by parameter-server workers to install a freshly
+// pulled shard of parameters between training steps.
+func (s *Store) SetAll(m map[string]*tensor.Tensor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, t := range m {
+		s.vals[name] = t
+	}
 }

@@ -1,6 +1,7 @@
 package vars
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -90,5 +91,61 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.MustGet("w").At(0) != 1600 {
 		t.Fatalf("lost updates: %v", s.MustGet("w").At(0))
+	}
+}
+
+func TestShardOfIsStableAndInRange(t *testing.T) {
+	names := []string{"w", "layer1/w", "layer1/b", "resnet/b2/bn1/gamma", "mlp/w2"}
+	for _, k := range []int{1, 2, 4, 7} {
+		for _, n := range names {
+			s := ShardOf(n, k)
+			if s < 0 || s >= k {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", n, k, s)
+			}
+			if s != ShardOf(n, k) {
+				t.Fatalf("ShardOf(%q, %d) unstable", n, k)
+			}
+		}
+	}
+	if ShardOf("anything", 1) != 0 {
+		t.Fatal("single shard must map everything to 0")
+	}
+}
+
+func TestShardSnapshotPartitions(t *testing.T) {
+	s := NewStore()
+	const k = 3
+	for i := 0; i < 20; i++ {
+		s.Set(fmt.Sprintf("v%d", i), tensor.Scalar(float64(i)))
+	}
+	seen := map[string]bool{}
+	for shard := 0; shard < k; shard++ {
+		for name := range s.ShardSnapshot(shard, k) {
+			if seen[name] {
+				t.Fatalf("variable %q appears in two shards", name)
+			}
+			seen[name] = true
+			if ShardOf(name, k) != shard {
+				t.Fatalf("variable %q in wrong shard", name)
+			}
+		}
+	}
+	if len(seen) != 20 {
+		t.Fatalf("shards cover %d of 20 variables", len(seen))
+	}
+}
+
+func TestSetAllInstallsBulk(t *testing.T) {
+	s := NewStore()
+	s.Set("a", tensor.Scalar(1))
+	s.SetAll(map[string]*tensor.Tensor{
+		"a": tensor.Scalar(10),
+		"b": tensor.Scalar(20),
+	})
+	if got := s.MustGet("a").Item(); got != 10 {
+		t.Fatalf("a = %v after SetAll, want 10", got)
+	}
+	if got := s.MustGet("b").Item(); got != 20 {
+		t.Fatalf("b = %v after SetAll, want 20", got)
 	}
 }

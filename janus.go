@@ -199,6 +199,15 @@ type ServerOptions struct {
 	// MaxLatency bounds how long a request waits for batch-mates before a
 	// partial batch flushes (default 2ms).
 	MaxLatency time.Duration
+	// MaxQueue bounds how many requests may wait for a worker before new
+	// arrivals are rejected (HTTP 429); default 16 x Workers.
+	MaxQueue int
+	// AcquireTimeout bounds how long a queued request waits for a worker
+	// before failing (HTTP 503); default 10s.
+	AcquireTimeout time.Duration
+	// CacheCapacity bounds compiled graphs in the shared cache, evicting
+	// the least-recently-hit entry when exceeded (0 = unlimited).
+	CacheCapacity int
 }
 
 // Server is a concurrent model server: N runtime workers share one
@@ -212,10 +221,13 @@ type Server struct {
 // NewServer builds a serving pool.
 func NewServer(opts ServerOptions) *Server {
 	return &Server{srv: serve.NewServer(serve.Config{
-		Workers:    opts.Workers,
-		MaxBatch:   opts.MaxBatch,
-		MaxLatency: opts.MaxLatency,
-		Engine:     opts.Options.coreConfig(),
+		Workers:        opts.Workers,
+		MaxBatch:       opts.MaxBatch,
+		MaxLatency:     opts.MaxLatency,
+		MaxQueue:       opts.MaxQueue,
+		AcquireTimeout: opts.AcquireTimeout,
+		CacheCapacity:  opts.CacheCapacity,
+		Engine:         opts.Options.coreConfig(),
 	})}
 }
 
