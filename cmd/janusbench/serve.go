@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -13,8 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/serve"
+	janus "repro"
 )
 
 // serveModel is the load-driver fixture: a batch-parallel two-layer MLP.
@@ -26,17 +26,21 @@ def predict(x):
 `
 
 // serveBench measures requests/sec against an in-process janusd: a real
-// HTTP server over the serving pool, hammered by N concurrent clients.
+// HTTP server over the serving pool (built through the public handle API),
+// hammered by N concurrent clients.
 func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatency time.Duration) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	cfg := core.DefaultJanusConfig()
-	cfg.ProfileIters = 1
-	cfg.Seed = 42
-	cfg.PyOverheadNs = -1
-	srv := serve.NewServer(serve.Config{
-		Workers: workers, MaxBatch: maxBatch, MaxLatency: maxLatency, Engine: cfg,
+	// Serving pools disable the simulated CPython dispatch delay by default
+	// (serve.Config.withDefaults maps PyOverheadNs 0 → -1), matching the
+	// explicit PyOverheadNs=-1 this bench set before the handle-API
+	// migration — the numbers stay comparable across the change.
+	srv := janus.NewServer(janus.ServerOptions{
+		PoolSize:   workers,
+		MaxBatch:   maxBatch,
+		MaxLatency: maxLatency,
+		Options:    janus.Options{Seed: 42, ProfileIterations: 1},
 	})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
@@ -56,8 +60,14 @@ func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatenc
 		return nil
 	}
 
-	if err := post(ts.Client(), "/v1/load", map[string]any{"program": serveModel}); err != nil {
-		fmt.Fprintf(os.Stderr, "serve bench: load: %v\n", err)
+	prog, err := srv.Compile(serveModel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench: compile: %v\n", err)
+		os.Exit(1)
+	}
+	predict, err := prog.Func("predict")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench: resolve: %v\n", err)
 		os.Exit(1)
 	}
 	row := make([]float64, 16)
@@ -65,9 +75,12 @@ func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatenc
 		row[i] = float64(i) * 0.1
 	}
 	inferBody := map[string]any{"fn": "predict", "x": [][]float64{row}}
-	// Warm: get past profiling and compile the common batch shapes.
+	// Warm through the handle API: get past profiling and compile the
+	// common batch shapes (the HTTP path below hits the same batcher).
 	for i := 0; i < 3; i++ {
-		if err := post(ts.Client(), "/v1/infer", inferBody); err != nil {
+		if _, err := predict.Call(context.Background(), janus.Feeds{
+			"x": janus.FromRows([][]float64{row}),
+		}); err != nil {
 			fmt.Fprintf(os.Stderr, "serve bench: warmup: %v\n", err)
 			os.Exit(1)
 		}
@@ -109,7 +122,7 @@ func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatenc
 		i := int(p * float64(len(all)-1))
 		return all[i]
 	}
-	st := srv.Pool().Stats()
+	st := srv.Stats()
 	fmt.Printf("%-22s %12.1f req/s\n", "throughput", float64(done.Load())/dur.Seconds())
 	fmt.Printf("%-22s %12d ok, %d failed\n", "requests", done.Load(), failed.Load())
 	fmt.Printf("%-22s %12v p50, %v p95, %v p99\n", "latency", pct(0.50), pct(0.95), pct(0.99))

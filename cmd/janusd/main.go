@@ -3,7 +3,7 @@
 // store and one compiled-graph cache, and concurrent inference requests for
 // the same function signature are batched into single graph executions.
 //
-//	janusd -addr :8080 -workers 8 -max-batch 8 -batch-latency 2ms \
+//	janusd -addr :8080 -pool 8 -max-batch 8 -batch-latency 2ms \
 //	       -program model.py
 //
 // Endpoints (all JSON):
@@ -13,6 +13,7 @@
 //	DELETE /v1/sessions/{id}                             free a session
 //	POST /v1/run      {"session"?, "program": "..."}     run an ad-hoc script
 //	POST /v1/call     {"session"?, "fn", "args": [...]}  call a loaded function
+//	POST /v1/call     {"fn", "feeds": {"x": [[...]]}}    batched named-feed call
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}   batched inference
 //	GET  /v1/stats                                       engine + serving stats
 //	GET  /v1/cache                                       graph-cache inspection
@@ -21,7 +22,8 @@
 // Session state is session-affine: globals bound by a session's /v1/run
 // scripts follow the session across workers (sessionless /v1/run and
 // /v1/call are stateless and fully parallel). Under overload requests fail
-// fast with 429 (queue full) or 503 (worker wait timeout).
+// fast with 429 (queue full) or 503 (worker wait timeout); unknown
+// functions are 404 and client-abandoned executions are 499.
 //
 // Example:
 //
@@ -42,7 +44,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 4, "engine workers (concurrent requests served)")
+	pool := flag.Int("pool", 0, "pool size: engine workers serving concurrent requests (default 4)")
+	workers := flag.Int("workers", 0, "deprecated alias for -pool")
+	engineWorkers := flag.Int("engine-workers", 0, "per-graph executor parallelism inside one request (default 4)")
 	maxBatch := flag.Int("max-batch", 8, "max inference requests coalesced per batch")
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "max wait for batch-mates")
 	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker before 429 (0 = 16x workers)")
@@ -55,14 +59,22 @@ func main() {
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = unseeded)")
 	flag.Parse()
 
+	poolSize := *pool
+	if poolSize == 0 {
+		poolSize = *workers
+	}
+	if poolSize == 0 {
+		poolSize = 4
+	}
 	opts := janus.ServerOptions{
-		Workers:        *workers,
+		PoolSize:       poolSize,
 		MaxBatch:       *maxBatch,
 		MaxLatency:     *batchLatency,
 		MaxQueue:       *maxQueue,
 		AcquireTimeout: *acquireTimeout,
 		CacheCapacity:  *cacheCapacity,
 	}
+	opts.Options.Workers = *engineWorkers
 	opts.LearningRate = *lr
 	opts.ProfileIterations = *profileIters
 	opts.Seed = *seed
@@ -94,8 +106,8 @@ func main() {
 		log.Printf("janusd: loaded %s", *program)
 	}
 
-	log.Printf("janusd: serving on %s (%d workers, batch %d / %v)",
-		*addr, *workers, *maxBatch, *batchLatency)
+	log.Printf("janusd: serving on %s (pool %d, batch %d / %v)",
+		*addr, poolSize, *maxBatch, *batchLatency)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)
 	}

@@ -14,9 +14,10 @@
 //	GET  /ps/v1/stats                                          server counters
 //	GET  /healthz                                              liveness
 //
-// Workers connect with ps.NewClient and drive training via ps.Worker; see
-// `janusbench -dist` for the in-process equivalent and README.md for the
-// quickstart.
+// Workers connect through the public handle API — janus.NewCluster with
+// TrainOptions.ServerAddr pointed here — or directly with ps.NewClient /
+// ps.Worker; see `janusbench -dist` for the in-process equivalent and
+// README.md for the quickstart.
 package main
 
 import (

@@ -1,0 +1,48 @@
+package janus
+
+import (
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/ps"
+	"repro/internal/serve"
+)
+
+// Sentinel errors shared by every execution backend. They are the same
+// identities the internal layers return, so errors.Is works on values from
+// a local Call, a serving pool, or a parameter-server cluster — and they
+// round-trip through the HTTP transports (see ErrorFromStatus).
+var (
+	// ErrOverloaded reports a serving request rejected because the bounded
+	// wait queue was full (HTTP 429): back off and retry.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrStale reports a distributed gradient push rejected by the parameter
+	// server's staleness bound (HTTP 409): the worker should re-pull before
+	// its next step.
+	ErrStale = ps.ErrStale
+	// ErrAcquireTimeout reports a serving request that waited longer than
+	// the configured AcquireTimeout for a worker (HTTP 503): the pool is
+	// saturated — back off harder than for ErrOverloaded.
+	ErrAcquireTimeout = serve.ErrAcquireTimeout
+	// ErrUnknownFunction reports a call to a function the program does not
+	// define (HTTP 404).
+	ErrUnknownFunction = core.ErrUnknownFunction
+	// ErrCanceled reports an execution stopped by context cancellation or
+	// deadline expiry (HTTP 499), checked between training steps and
+	// interpreted statements so parameters stay in an all-or-nothing state.
+	// Errors carrying it also wrap the originating context error.
+	ErrCanceled = core.ErrCanceled
+)
+
+// ErrorFromStatus reconstructs the sentinel error an HTTP status from a
+// janusd or janusps server encodes, wrapping the server-reported message:
+// 429 is ErrOverloaded, 503 ErrAcquireTimeout, 404 ErrUnknownFunction, 499
+// ErrCanceled, 409 ErrStale. Other statuses produce a plain error carrying
+// the code and message. The mapping inverts the servers' status selection,
+// so errors.Is(err, janus.ErrX) holds on both sides of the wire.
+func ErrorFromStatus(status int, msg string) error {
+	if status == http.StatusConflict {
+		return ps.StaleErr(msg)
+	}
+	return serve.ErrorForStatus(status, msg)
+}

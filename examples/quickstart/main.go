@@ -1,10 +1,13 @@
-// Command quickstart trains a linear regression model with the JANUS
-// runtime, printing engine statistics that show the speculative conversion
-// at work: three profiled imperative iterations, one graph generation, then
-// cached symbolic execution for the remaining steps.
+// Command quickstart trains a linear regression model through the
+// function-handle API: Compile parses and defines the program once, Func
+// resolves a handle, and Call runs it with named tensor feeds built on the
+// Go side. Engine statistics show the speculative conversion at work: three
+// profiled imperative iterations, one graph generation, then cached
+// symbolic execution for the remaining steps.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,26 +16,41 @@ import (
 
 func main() {
 	rt := janus.New(janus.Options{Seed: 1, LearningRate: 0.1})
-	err := rt.Run(`
+	prog, err := rt.Compile(`
 def loss_fn(x, y):
     w = variable("w", [2, 1])
     b = variable("b", [1])
     pred = matmul(x, w) + b
     return mse(pred, y)
 
-# y = 3*x1 - 2*x2 + 0.5
-x = constant([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [2.0, 1.0]])
-y = constant([[3.5], [-1.5], [1.5], [4.5]])
-
-for i in range(300):
-    loss = optimize(lambda: loss_fn(x, y))
-
-print("final loss:", loss_fn(x, y))
+def train(x, y):
+    loss = constant(0.0)
+    for i in range(300):
+        loss = optimize(lambda: loss_fn(x, y))
+    return loss
 `)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(rt.Output())
+	train, err := prog.Func("train")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// y = 3*x1 - 2*x2 + 0.5, fed from Go instead of program constants.
+	feeds := janus.Feeds{
+		"x": janus.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}),
+		"y": janus.FromRows([][]float64{{3.5}, {-1.5}, {1.5}, {4.5}}),
+	}
+	out, err := train.Call(context.Background(), feeds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss, err := out.Scalar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final loss: %.6f\n", loss)
 
 	w, _ := rt.Parameter("w")
 	b, _ := rt.Parameter("b")

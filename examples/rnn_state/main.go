@@ -1,7 +1,7 @@
 // Command rnn_state reproduces the paper's Figure 1 scenario: a recurrent
 // model that carries hidden state across sequences through an object
-// attribute (an impure function). It runs the identical program on all three
-// engines and shows that:
+// attribute (an impure function). It compiles the identical program into a
+// function handle on all three engines and shows that:
 //
 //   - JANUS converts the loop + state program to a symbolic graph and keeps
 //     the state passing exact (deferred write-back, §4.2.3);
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,18 +34,33 @@ class RNNModel:
 
 model = RNNModel()
 seq = [constant([[1.0, 0.0]]), constant([[0.0, 1.0]]), constant([[1.0, 1.0]])]
-for i in range(12):
-    optimize(lambda: model(seq))
-print("final state sum:", reduce_sum(model.state))
+
+def train():
+    for i in range(12):
+        optimize(lambda: model(seq))
+    return reduce_sum(model.state)
 `
 
 func run(name string, engine janus.Engine) {
 	rt := janus.New(janus.Options{Engine: engine, Seed: 7, LearningRate: 0.05})
-	if err := rt.Run(program); err != nil {
+	prog, err := rt.Compile(program)
+	if err != nil {
+		log.Fatalf("%s: compile: %v", name, err)
+	}
+	train, err := prog.Func("train")
+	if err != nil {
+		log.Fatalf("%s: resolve: %v", name, err)
+	}
+	out, err := train.Call(context.Background(), nil)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	stateSum, err := out.Scalar()
+	if err != nil {
 		log.Fatalf("%s: %v", name, err)
 	}
 	st := rt.Stats()
-	fmt.Printf("%-11s %s", name, rt.Output())
+	fmt.Printf("%-11s final state sum: %.6f\n", name, stateSum)
 	fmt.Printf("            (imperative steps %d, graph steps %d, fallbacks %d)\n",
 		st.ImperativeSteps, st.GraphSteps, st.Fallbacks)
 }

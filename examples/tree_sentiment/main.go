@@ -1,36 +1,102 @@
 // Command tree_sentiment trains a recursive TreeRNN sentiment classifier
-// (the paper's TreeNN workload) under JANUS. Recursion over per-sample tree
-// objects is the hardest dynamic-feature combination in Table 2: JANUS
-// converts the recursive function to an InvokeOp subgraph whose leaf/internal
-// decision is Switch/Merge dataflow, while the tracing baseline cannot
-// convert it at all.
+// (the paper's TreeNN workload) entirely through the public function-handle
+// API — no internal imports. Recursion over per-sample tree objects is the
+// hardest dynamic-feature combination in Table 2: JANUS converts the
+// recursive function to an InvokeOp subgraph whose leaf/internal decision
+// is Switch/Merge dataflow, while the tracing baseline cannot convert it at
+// all.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	janus "repro"
-	"repro/internal/core"
-	"repro/internal/models"
 )
 
+// program builds a small synthetic tree bank in minipy itself (trees are
+// per-sample heap objects, exactly the pattern the converter must handle)
+// and exposes train_step as the handle entry point; batch selection lives
+// in module state advanced by a global counter.
+const program = `
+class TreeNode:
+    def __init__(self, leaf, word, label, left, right):
+        self.leaf = leaf
+        self.word = word
+        self.label = label
+        self.left = left
+        self.right = right
+
+def leaf(word):
+    return TreeNode(True, word, 0, 0, 0)
+
+def node(left, right):
+    return TreeNode(False, 0, 0, left, right)
+
+def labeled(t, label):
+    t.label = label
+    return t
+
+def tree_embed(node):
+    emb = variable("treernn/emb", [16, 8])
+    wl = variable("treernn/wl", [8, 8])
+    wr = variable("treernn/wr", [8, 8])
+    if node.leaf:
+        return embedding(emb, [node.word])
+    l = tree_embed(node.left)
+    r = tree_embed(node.right)
+    return tanh(matmul(l, wl) + matmul(r, wr))
+
+def tree_loss(trees):
+    proj = variable("treernn/proj", [8, 2])
+    total = constant(0.0)
+    for t in trees:
+        h = tree_embed(t)
+        logits = matmul(h, proj)
+        total = total + cross_entropy(logits, one_hot([t.label], 2))
+    return total / float(len(trees))
+
+trees = [
+    labeled(node(leaf(1), leaf(2)), 0),
+    labeled(node(node(leaf(3), leaf(4)), leaf(5)), 1),
+    labeled(node(leaf(6), node(leaf(7), leaf(8))), 0),
+    labeled(node(node(leaf(9), leaf(10)), node(leaf(11), leaf(12))), 1),
+    labeled(node(leaf(13), leaf(14)), 0),
+    labeled(node(node(leaf(2), leaf(15)), leaf(1)), 1),
+    labeled(node(leaf(4), node(leaf(6), leaf(9))), 0),
+    labeled(node(node(leaf(5), leaf(3)), node(leaf(8), leaf(7))), 1),
+]
+
+step_i = 0
+
+def train_step():
+    global step_i
+    batch = []
+    for j in range(4):
+        batch = batch + [trees[(step_i * 4 + j) % len(trees)]]
+    step_i = step_i + 1
+    return optimize(lambda: tree_loss(batch))
+`
+
 func main() {
-	m, err := models.Get("TreeRNN")
+	rt := janus.New(janus.Options{Seed: 11, LearningRate: 0.1})
+	prog, err := rt.Compile(program)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultJanusConfig()
-	cfg.Seed = 11
-	cfg.LR = 0.1
-	eng := core.NewEngine(cfg)
-	inst, err := m.Build(eng, 42)
+	step, err := prog.Func("train_step")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("training TreeRNN on synthetic sentiment trees (JANUS engine)")
+	ctx := context.Background()
 	for i := 0; i < 40; i++ {
-		loss, err := inst.Step(i)
+		out, err := step.Call(ctx, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loss, err := out.Scalar()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,19 +104,24 @@ func main() {
 			fmt.Printf("  step %3d  loss %.4f\n", i, loss)
 		}
 	}
+	st := rt.Stats()
 	fmt.Printf("engine: %d graph steps, %d conversions, %d assumption failures\n",
-		eng.Stats().GraphSteps, eng.Stats().Conversions, eng.Stats().AssertFailures)
+		st.GraphSteps, st.Conversions, st.AssertFailures)
 
-	// The tracing baseline refuses recursion — show its error.
-	tr := core.NewEngine(core.Config{Mode: core.Trace, LR: 0.1, Seed: 11})
-	trInst, err := m.Build(tr, 42)
+	// The tracing baseline refuses recursion — show its error through the
+	// very same handle surface.
+	tr := janus.New(janus.Options{Engine: janus.EngineTrace, Seed: 11, LearningRate: 0.1})
+	trProg, err := tr.Compile(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trStep, err := trProg.Func("train_step")
 	if err != nil {
 		log.Fatal(err)
 	}
 	var traceErr error
 	for i := 0; i < 3 && traceErr == nil; i++ {
-		_, traceErr = trInst.Step(i)
+		_, traceErr = trStep.Call(ctx, nil)
 	}
 	fmt.Printf("tracing baseline on the same model: %v\n", traceErr)
-	_ = janus.Options{} // keep the public package linked for documentation
 }

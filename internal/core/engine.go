@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -222,6 +223,13 @@ type Engine struct {
 	// optimizer locally, each watched variable's gradient is handed to the
 	// sink as backprop finalizes it (see SetGradSink).
 	gradSink func(name string, g *tensor.Tensor)
+	// runCtx is the context of the in-flight ctx-aware entry point (RunCtx,
+	// CallCtx, ...). The engine is single-threaded per run — callers already
+	// must not execute two programs on one engine concurrently — so a plain
+	// field scoped by withCtx is race-free. It is checked between training
+	// steps, at fallback boundaries, and (throttled) between interpreted
+	// statements via the interpreter's Interrupt hook.
+	runCtx context.Context
 }
 
 // NewEngine builds an engine with a fresh parameter store and graph cache.
@@ -263,6 +271,7 @@ func NewEngineShared(cfg Config, store *vars.Store, cache *GraphCache) *Engine {
 		}})
 	e.Local = minipy.NewInterp(reg)
 	e.Local.SetStore(e.Store)
+	e.Local.Interrupt = e.interrupted
 	switch {
 	case cfg.PyOverheadNs > 0:
 		e.Local.OpDelay = time.Duration(cfg.PyOverheadNs) * time.Nanosecond
@@ -277,12 +286,40 @@ func NewEngineShared(cfg Config, store *vars.Store, cache *GraphCache) *Engine {
 }
 
 // Run executes a full program (model definition + training loop).
-func (e *Engine) Run(src string) error {
+func (e *Engine) Run(src string) error { return e.RunCtx(context.Background(), src) }
+
+// RunCtx executes a full program under ctx: cancellation or deadline expiry
+// stops execution between statements and between training steps with
+// ErrCanceled, leaving parameters in an all-or-nothing state (either a step
+// fully applied or not at all).
+func (e *Engine) RunCtx(ctx context.Context, src string) error {
 	prog, err := minipy.Parse(src)
 	if err != nil {
 		return err
 	}
+	restore := e.withCtx(ctx)
+	defer restore()
+	if err := e.interrupted(); err != nil {
+		return err
+	}
 	return e.Local.Run(prog)
+}
+
+// withCtx installs ctx as the engine's run context and returns the restore
+// function. Nested ctx-aware calls (a Call inside a served session script)
+// stack correctly because the previous context is restored on exit.
+func (e *Engine) withCtx(ctx context.Context) func() {
+	prev := e.runCtx
+	e.runCtx = ctx
+	return func() { e.runCtx = prev }
+}
+
+// interrupted reports whether the current run context has been canceled.
+func (e *Engine) interrupted() error {
+	if ctx := e.runCtx; ctx != nil && ctx.Err() != nil {
+		return CanceledErr(ctx)
+	}
+	return nil
 }
 
 // RunProgram executes a pre-parsed program.
@@ -325,8 +362,13 @@ func (e *Engine) Stats() Stats { return e.stats.snapshot() }
 func (e *Engine) Cache() *GraphCache { return e.cache }
 
 // optimizeStep implements one training step of the loss function fn: the
-// core of Figure 2.
+// core of Figure 2. The step boundary doubles as a cancellation point: a
+// canceled context stops a training loop here, before the next step touches
+// any state.
 func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
+	if err := e.interrupted(); err != nil {
+		return nil, err
+	}
 	switch e.cfg.Mode {
 	case Imperative:
 		return e.imperativeStep(fn, nil)
@@ -451,11 +493,17 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 	if errors.As(err, &ae) {
 		// (E) Fallback: the assumption was wrong; no state was mutated
 		// (all-or-nothing), so re-running imperatively is safe and correct.
+		// The fallback boundary is also a cancellation point: a canceled
+		// caller gets ErrCanceled here instead of paying for the imperative
+		// re-run.
 		e.stats.assertFailures.Add(1)
 		e.stats.fallbacks.Add(1)
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		e.noteFailure(fs, entry, ae)
+		if cerr := e.interrupted(); cerr != nil {
+			return nil, cerr
+		}
 		return e.imperativeStep(fn, fs.prof)
 	}
 	return nil, err

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports an execution stopped by context cancellation or
+// deadline expiry. The engine checks the context between training steps and
+// at fallback boundaries, so a canceled run never leaves a step half
+// applied: parameters always correspond to an integral number of completed
+// steps (all-or-nothing, matching the graph executor's deferred-commit
+// semantics of §4.2.3).
+//
+// Errors carrying ErrCanceled also wrap the originating context error, so
+// errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
+// report the precise cause.
+var ErrCanceled = errors.New("core: execution canceled")
+
+// ErrUnknownFunction reports a call to a function name that is not defined
+// at module scope. The serving layer maps it to HTTP 404.
+var ErrUnknownFunction = errors.New("core: unknown function")
+
+// CanceledErr wraps a context's cancellation cause as an ErrCanceled error.
+func CanceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

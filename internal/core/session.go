@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/minipy"
@@ -23,8 +24,19 @@ import (
 // globals. Top-level assignments and definitions land in env and travel with
 // the session, not with this worker.
 func (e *Engine) ExecIn(src string, env *minipy.Env) error {
+	return e.ExecInCtx(context.Background(), src, env)
+}
+
+// ExecInCtx is ExecIn under a context: cancellation stops the script between
+// statements and training steps with ErrCanceled.
+func (e *Engine) ExecInCtx(ctx context.Context, src string, env *minipy.Env) error {
 	prog, err := minipy.Parse(src)
 	if err != nil {
+		return err
+	}
+	restore := e.withCtx(ctx)
+	defer restore()
+	if err := e.interrupted(); err != nil {
 		return err
 	}
 	env.Reparent(e.Local.Globals)
@@ -44,13 +56,18 @@ func (e *Engine) ExecIn(src string, env *minipy.Env) error {
 // and optimize() inside a session-defined function still reaches the
 // speculative training path through its own builtin.
 func (e *Engine) CallIn(env *minipy.Env, name string, args []minipy.Value) (minipy.Value, error) {
+	return e.CallInCtx(context.Background(), env, name, args)
+}
+
+// CallInCtx is CallIn under a context.
+func (e *Engine) CallInCtx(ctx context.Context, env *minipy.Env, name string, args []minipy.Value) (minipy.Value, error) {
 	env.Reparent(e.Local.Globals)
 	defer env.Reparent(nil)
 	v, sessionOwned := env.LookupOwn(name)
 	if !sessionOwned {
 		var ok bool
 		if v, ok = env.Lookup(name); !ok {
-			return nil, fmt.Errorf("core: unknown function %q", name)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, name)
 		}
 	}
 	fn, ok := v.(*minipy.FuncVal)
@@ -58,7 +75,12 @@ func (e *Engine) CallIn(env *minipy.Env, name string, args []minipy.Value) (mini
 		return nil, fmt.Errorf("core: %q is %s, not a function", name, v.TypeName())
 	}
 	if sessionOwned {
+		restore := e.withCtx(ctx)
+		defer restore()
+		if err := e.interrupted(); err != nil {
+			return nil, err
+		}
 		return e.imperativeCall(fn, args, nil)
 	}
-	return e.CallFunc(fn, args)
+	return e.CallFuncCtx(ctx, fn, args)
 }

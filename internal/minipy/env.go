@@ -68,6 +68,14 @@ func (e *Env) lookupLocal(name string) (Value, bool) {
 // defined names apart from the loaded module globals behind them.
 func (e *Env) LookupOwn(name string) (Value, bool) { return e.lookupLocal(name) }
 
+// Each visits every binding in this scope's own frame (no parent walk), in
+// unspecified order. The visited map must not be mutated during the walk.
+func (e *Env) Each(f func(name string, v Value)) {
+	for name, v := range e.vars {
+		f(name, v)
+	}
+}
+
 // Define binds a name in this scope, honoring global/nonlocal declarations.
 func (e *Env) Define(name string, v Value) error {
 	if e.globals != nil && e.globals[name] {

@@ -15,6 +15,11 @@ import (
 type RuntimeError struct {
 	Msg  string
 	Line int
+	// Cause, when non-nil, is the underlying error (a builtin's failure).
+	// It is exposed through Unwrap so sentinel identities — a canceled
+	// context inside optimize(), a staleness rejection inside a gradient
+	// push — survive interpreter wrapping and errors.Is keeps working.
+	Cause error
 }
 
 func (e *RuntimeError) Error() string {
@@ -23,6 +28,9 @@ func (e *RuntimeError) Error() string {
 	}
 	return "minipy: runtime error: " + e.Msg
 }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RuntimeError) Unwrap() error { return e.Cause }
 
 // Profiler receives per-AST-node observations during imperative execution.
 // internal/profile implements it; the zero-overhead default is nil.
@@ -76,6 +84,12 @@ type Interp struct {
 	Steps int64
 	// MaxSteps aborts execution when exceeded (0 = unlimited).
 	MaxSteps int64
+	// Interrupt, when non-nil, is polled between statements (throttled to
+	// every few dispatches): a non-nil return aborts execution with that
+	// error. Engines wire context cancellation through it, so a deadline or
+	// cancel stops a running training loop between steps without leaving a
+	// step half-applied.
+	Interrupt func() error
 
 	retVal Value // value carried by ctrlReturn
 
@@ -152,6 +166,11 @@ func (it *Interp) step(n Node) error {
 	it.Steps++
 	if it.MaxSteps > 0 && it.Steps > it.MaxSteps {
 		return it.rte(n, "step limit exceeded (%d)", it.MaxSteps)
+	}
+	if it.Interrupt != nil && it.Steps&15 == 0 {
+		if err := it.Interrupt(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -840,7 +859,7 @@ func (it *Interp) call(callSiteID int, fn Value, args []Value, kwargs map[string
 		}
 		v, err := f.Fn(it, args, kwargs)
 		if err != nil {
-			return nil, &RuntimeError{Msg: f.Name + ": " + err.Error()}
+			return nil, &RuntimeError{Msg: f.Name + ": " + err.Error(), Cause: err}
 		}
 		return v, nil
 	case *FuncVal:

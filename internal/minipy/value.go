@@ -413,3 +413,105 @@ func Equal(a, b Value) bool {
 	}
 	return a == b
 }
+
+// ParamNames returns the function's bindable parameter names: the declared
+// parameter list, minus the receiver slot of a bound method. The returned
+// slice aliases the definition; use ParamList for a caller-owned copy.
+func (f *FuncVal) ParamNames() []string {
+	if f.Self != nil && len(f.Params) > 0 {
+		return f.Params[1:]
+	}
+	return f.Params
+}
+
+// ParamList returns a caller-owned copy of ParamNames — what function
+// handles hand out as the valid feed-name set.
+func (f *FuncVal) ParamList() []string {
+	params := f.ParamNames()
+	out := make([]string, len(params))
+	copy(out, params)
+	return out
+}
+
+// BindNamed resolves named arguments onto the function's positional
+// parameter list, so callers that address arguments by name (the public
+// Feeds API, the serving batcher) reuse the ordinary positional call path.
+// Every fed name must be a declared parameter, fed parameters must form a
+// prefix of the parameter list, and any unfed trailing parameter must carry
+// a default — violations return errors that name the offending feed and the
+// function's real signature, instead of failing deep inside a kernel.
+func (f *FuncVal) BindNamed(feeds map[string]Value) ([]Value, error) {
+	params := f.ParamNames()
+	offset := len(f.Params) - len(params)
+	for name := range feeds {
+		known := false
+		for _, p := range params {
+			if p == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("%s() has no parameter %q (parameters: %s)",
+				f.Name, name, strings.Join(params, ", "))
+		}
+	}
+	args := make([]Value, 0, len(feeds))
+	for i, p := range params {
+		v, ok := feeds[p]
+		if !ok {
+			// The prefix ends here: everything after must be unfed and
+			// defaulted, or the binding is ambiguous/incomplete.
+			for j := i; j < len(params); j++ {
+				if _, fed := feeds[params[j]]; fed {
+					return nil, fmt.Errorf("%s(): cannot bind %q without %q (parameters: %s)",
+						f.Name, params[j], p, strings.Join(params, ", "))
+				}
+				if j+offset >= len(f.Defaults) || f.Defaults[j+offset] == nil {
+					return nil, fmt.Errorf("%s(): missing feed for parameter %q (parameters: %s)",
+						f.Name, params[j], strings.Join(params, ", "))
+				}
+			}
+			break
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// Tensors flattens a call result into its tensor outputs: a tensor value is
+// one output, a tuple or list of tensors is several, a numeric scalar
+// becomes a scalar tensor, and None is zero outputs. Anything else — nested
+// containers, strings, objects — is an error naming the offending type.
+func Tensors(v Value) ([]*tensor.Tensor, error) {
+	switch x := v.(type) {
+	case nil, NoneVal:
+		return nil, nil
+	case *TensorVal:
+		return []*tensor.Tensor{x.T()}, nil
+	case IntVal:
+		return []*tensor.Tensor{tensor.Scalar(float64(x))}, nil
+	case FloatVal:
+		return []*tensor.Tensor{tensor.Scalar(float64(x))}, nil
+	case *TupleVal:
+		return elementTensors(x.Items)
+	case *ListVal:
+		return elementTensors(x.Items)
+	}
+	return nil, fmt.Errorf("result is %s, not a tensor", v.TypeName())
+}
+
+func elementTensors(items []Value) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, 0, len(items))
+	for i, e := range items {
+		ts, err := Tensors(e)
+		if err != nil {
+			return nil, fmt.Errorf("output %d: %w", i, err)
+		}
+		if len(ts) != 1 {
+			return nil, fmt.Errorf("output %d: nested multi-value result", i)
+		}
+		out = append(out, ts[0])
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -124,6 +125,14 @@ func (c *Cluster) Workers() []*Worker { return c.workers }
 // round, each worker's gradient pushes overlap its backprop — the real,
 // measurable form of the overlap the analytical model assumes.
 func (c *Cluster) Run(rounds int) (RunResult, error) {
+	return c.RunCtx(context.Background(), rounds)
+}
+
+// RunCtx is Run under a context: the round barrier doubles as a cancellation
+// point, so a canceled training run stops after a whole round — every
+// worker's gradients for that round fully pushed, none of the next round
+// started — leaving server parameters in a consistent state.
+func (c *Cluster) RunCtx(ctx context.Context, rounds int) (RunResult, error) {
 	n := len(c.workers)
 	res := RunResult{Rounds: rounds}
 	start := time.Now()
@@ -131,6 +140,11 @@ func (c *Cluster) Run(rounds int) (RunResult, error) {
 	stale := make([]int64, n)
 	errs := make([]error, n)
 	for r := 0; r < rounds; r++ {
+		if ctx.Err() != nil {
+			res.Rounds = r
+			res.Elapsed = time.Since(start)
+			return res, core.CanceledErr(ctx)
+		}
 		var wg sync.WaitGroup
 		for wi, w := range c.workers {
 			wg.Add(1)

@@ -174,7 +174,7 @@ func (c *Client) post(path string, req, resp any) error {
 		}
 		_ = json.NewDecoder(httpResp.Body).Decode(&e)
 		if httpResp.StatusCode == http.StatusConflict {
-			return fmt.Errorf("%w: %s", ErrStale, e.Error)
+			return StaleErr(e.Error)
 		}
 		return fmt.Errorf("ps: %s -> %d: %s", path, httpResp.StatusCode, e.Error)
 	}

@@ -35,6 +35,11 @@ import (
 // worker should drop the gradient and re-pull before its next step.
 var ErrStale = errors.New("ps: push rejected: worker step exceeds the staleness bound")
 
+// StaleErr wraps a server-reported message with the ErrStale sentinel; the
+// HTTP client maps 409 responses through it so errors.Is(err, ErrStale)
+// round-trips the wire.
+func StaleErr(msg string) error { return fmt.Errorf("%w: %s", ErrStale, msg) }
+
 // Config tunes a parameter server.
 type Config struct {
 	// Shards is the number of logical parameter shards (default 1).

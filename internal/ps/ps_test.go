@@ -333,3 +333,23 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestStaleRoundTripHTTP: the staleness sentinel survives the 409 mapping
+// through a real HTTP server and back through the client.
+func TestStaleRoundTripHTTP(t *testing.T) {
+	s := NewServer(Config{Shards: 1, Staleness: 0, Workers: 1})
+	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Scalar(1)}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	g := map[string]*tensor.Tensor{"w": tensor.Scalar(0.1)}
+	if _, err := c.PushGrad(0, 5, g); err != nil {
+		t.Fatalf("fresh push: %v", err)
+	}
+	_, err := c.PushGrad(0, 2, g)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("stale push over HTTP: got %v, want ErrStale", err)
+	}
+}

@@ -53,6 +53,12 @@ type Worker struct {
 	// clock is the worker's local step counter, carried on every push for
 	// the server's staleness check.
 	clock int64
+	// pushScale multiplies every pushed gradient (0 means 1). The server
+	// averages pushes uniformly across workers; a caller that splits a
+	// global batch into uneven slices sets scale = sliceRows*workers/rows
+	// per worker so the applied update equals the gradient of the global
+	// batch mean (see the public Cluster).
+	pushScale float64
 
 	// Per-step push tracking: the sink adds to wg and pushes on background
 	// goroutines; Step waits for all of them before returning.
@@ -70,7 +76,8 @@ type Worker struct {
 // have its model program loaded (so its parameter store fills in lazily on
 // the first step), and must not be shared with other workers: NewWorker
 // installs a gradient sink on it, diverting all parameter updates to the
-// server.
+// server. step may be nil for workers driven exclusively through Do (the
+// public function-handle cluster does this); Step then fails.
 func NewWorker(id int, e *core.Engine, step StepFunc, t Transport) (*Worker, error) {
 	shards, err := t.NumShards()
 	if err != nil {
@@ -88,14 +95,29 @@ func NewWorker(id int, e *core.Engine, step StepFunc, t Transport) (*Worker, err
 // Engine returns the wrapped engine replica.
 func (w *Worker) Engine() *core.Engine { return w.engine }
 
+// SetPushScale sets the factor applied to every subsequent gradient push
+// (1 restores unscaled pushes). Call between steps, never during one.
+func (w *Worker) SetPushScale(s float64) { w.pushScale = s }
+
 // Bootstrap creates the replica's parameters and registers them with the
 // server: it runs one throwaway step with gradients discarded (variables are
 // created lazily inside the step), proposes the resulting initial values via
 // InitVars (set-if-absent — with a shared seed every replica proposes the
 // same values), then pulls the authoritative copy.
 func (w *Worker) Bootstrap(batchIndex int) error {
+	if w.step == nil {
+		return fmt.Errorf("ps: worker %d has no step driver (use BootstrapWith)", w.ID)
+	}
+	return w.BootstrapWith(func() error { _, err := w.step(batchIndex); return err })
+}
+
+// BootstrapWith is Bootstrap for an arbitrary throwaway execution body —
+// the generalized form behind the public function-handle cluster, whose
+// "step" is a named function call with caller-supplied feeds rather than a
+// batch index.
+func (w *Worker) BootstrapWith(body func() error) error {
 	w.engine.SetGradSink(func(string, *tensor.Tensor) {})
-	_, err := w.step(batchIndex)
+	err := body()
 	w.engine.SetGradSink(w.push)
 	if err != nil {
 		return fmt.Errorf("ps: worker %d bootstrap step: %w", w.ID, err)
@@ -143,6 +165,9 @@ func (w *Worker) pullAll() error {
 // each parameter's gradient finalizes, it ships the tensor on a background
 // goroutine so the next layer's backprop proceeds immediately.
 func (w *Worker) push(name string, g *tensor.Tensor) {
+	if w.pushScale != 0 && w.pushScale != 1 {
+		g = tensor.MulScalar(g, w.pushScale)
+	}
 	shard := vars.ShardOf(name, w.shards)
 	step := w.clock
 	w.wg.Add(1)
@@ -173,12 +198,25 @@ func (w *Worker) push(name string, g *tensor.Tensor) {
 // last push. It returns the training loss and the number of gradients the
 // server rejected as stale.
 func (w *Worker) Step(i int) (loss float64, stale int64, err error) {
+	if w.step == nil {
+		return 0, 0, fmt.Errorf("ps: worker %d has no step driver (use Do)", w.ID)
+	}
+	return w.Do(func() (float64, error) { return w.step(i) })
+}
+
+// Do runs one training iteration whose body is an arbitrary loss-producing
+// execution on the worker's engine: pull fresh parameters, run body (the
+// engine's gradient sink streams each parameter's gradient to the server as
+// backprop finalizes it), then wait for the last push. The body must drive
+// exactly the worker's own engine — typically a function-handle Call that
+// reaches optimize() — and must not be invoked concurrently.
+func (w *Worker) Do(body func() (float64, error)) (loss float64, stale int64, err error) {
 	if err := w.pullAll(); err != nil {
 		return 0, 0, fmt.Errorf("ps: worker %d pull: %w", w.ID, err)
 	}
 	w.clock++
 	staleBefore := w.stats.staleDrops.Load()
-	loss, err = w.step(i)
+	loss, err = body()
 	w.wg.Wait()
 	stale = w.stats.staleDrops.Load() - staleBefore
 	w.pushMu.Lock()

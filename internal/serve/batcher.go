@@ -1,22 +1,28 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/minipy"
 	"repro/internal/tensor"
 )
 
-// batcher coalesces concurrent inference requests for the same function
-// signature into one batched execution. A group flushes when it reaches
+// batcher coalesces concurrent calls with the same signature into one
+// batched execution. The signature is the full named-feed set — function
+// name plus every feed's name and per-item shape (everything after the
+// leading batch axis) — so multi-argument functions batch exactly like the
+// original single-tensor Infer path. A group flushes when it reaches
 // maxBatch requests or when the oldest request has waited maxWait —
-// whichever comes first. Results are split back row-for-row, so batched
-// execution returns exactly what per-request execution would (the model
-// function must be batch-dim parallel, as DL inference functions are).
+// whichever comes first. Results are split back row-for-row per output, so
+// batched execution returns exactly what per-request execution would (the
+// model function must be batch-dim parallel, as DL inference functions are).
 type batcher struct {
 	pool     *Pool
 	maxBatch int
@@ -29,14 +35,29 @@ type batcher struct {
 	batched atomic.Int64
 }
 
+// positionalFeed is the reserved feed name for the legacy Infer path, which
+// passes one tensor to the function's first parameter without knowing its
+// name. Positional and named requests never share a batch group (their keys
+// differ), so mixing the two styles stays correct — just unbatched across
+// styles.
+const positionalFeed = "#0"
+
+// feed is one named input tensor.
+type feed struct {
+	name string
+	t    *tensor.Tensor
+}
+
 type inferResult struct {
-	t   *tensor.Tensor
-	err error
+	outs []*tensor.Tensor
+	err  error
 }
 
 type inferReq struct {
-	item *tensor.Tensor
-	out  chan inferResult
+	ctx   context.Context
+	feeds []feed
+	rows  int
+	out   chan inferResult
 }
 
 type batchGroup struct {
@@ -50,33 +71,79 @@ func newBatcher(p *Pool, maxBatch int, maxWait time.Duration) *batcher {
 		groups: make(map[string]*batchGroup)}
 }
 
-// groupKey buckets requests that can share one execution: same function and
-// same per-item shape (everything after the batch axis).
-func groupKey(fn string, shape []int) string {
+// groupKey buckets requests that can share one execution: same function,
+// same feed names, same per-item shapes (everything after the batch axis).
+// Function and feed names are length-prefixed so client-chosen names
+// containing the separator characters cannot forge a collision between
+// different signatures (flush assumes every request in a group has the
+// same feed list).
+func groupKey(fn string, feeds []feed) string {
 	var sb strings.Builder
-	sb.WriteString(fn)
-	sb.WriteByte('|')
-	for _, d := range shape[1:] {
-		fmt.Fprintf(&sb, "%d,", d)
+	fmt.Fprintf(&sb, "%d:%s", len(fn), fn)
+	for _, f := range feeds {
+		fmt.Fprintf(&sb, "|%d:%s=", len(f.name), f.name)
+		for _, d := range f.t.Shape()[1:] {
+			fmt.Fprintf(&sb, "%d,", d)
+		}
 	}
 	return sb.String()
 }
 
-func (b *batcher) submit(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
-	if x.Rank() < 1 {
-		return nil, fmt.Errorf("serve: infer input must have a leading batch dimension, got a scalar")
+// validateFeeds checks the batching contract up front, so shape mistakes
+// fail with a clear client error instead of a recovered kernel panic deep in
+// a batched execution: every feed must carry a leading batch dimension
+// (rank >= 1), and all feeds of one request must agree on the batch size.
+func validateFeeds(fn string, feeds []feed) (rows int, err error) {
+	if len(feeds) == 0 {
+		return 0, fmt.Errorf("serve: %s: at least one feed is required", fn)
 	}
-	// Admission control: every pending inference holds one wait-queue slot
-	// from submission until its result arrives, so infer traffic is covered
-	// by the same MaxQueue bound as everything else — no unbounded pile-up
-	// of goroutines parked in batch groups.
+	for _, f := range feeds {
+		if f.t == nil {
+			return 0, fmt.Errorf("serve: %s: feed %q is nil", fn, feedName(f.name))
+		}
+		if f.t.Rank() < 1 {
+			return 0, fmt.Errorf("serve: %s: feed %q is a scalar — every feed needs a leading batch dimension (shape [1, ...] for a single example)", fn, feedName(f.name))
+		}
+	}
+	rows = feeds[0].t.Dim(0)
+	for _, f := range feeds[1:] {
+		if f.t.Dim(0) != rows {
+			return 0, fmt.Errorf("serve: %s: feeds disagree on the batch dimension (%q has %d rows, %q has %d)",
+				fn, feedName(feeds[0].name), rows, feedName(f.name), f.t.Dim(0))
+		}
+	}
+	return rows, nil
+}
+
+// feedName maps the internal positional marker to a user-facing name.
+func feedName(name string) string {
+	if name == positionalFeed {
+		return "input"
+	}
+	return name
+}
+
+// submit enqueues one request and blocks until its batch executes or ctx is
+// done. Feeds must already be in a deterministic order (sorted by name; the
+// pool's entry points do this). If ctx expires while the request is queued
+// or executing, submit returns ErrCanceled immediately; the batch may still
+// execute and the abandoned result is discarded.
+func (b *batcher) submit(ctx context.Context, fn string, feeds []feed) ([]*tensor.Tensor, error) {
+	rows, err := validateFeeds(fn, feeds)
+	if err != nil {
+		return nil, err
+	}
+	// Admission control: every pending request holds one wait-queue slot
+	// from submission until its result arrives, so batched traffic is
+	// covered by the same MaxQueue bound as everything else — no unbounded
+	// pile-up of goroutines parked in batch groups.
 	release, err := b.pool.admitQueued()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	req := &inferReq{item: x, out: make(chan inferResult, 1)}
-	key := groupKey(fn, x.Shape())
+	req := &inferReq{ctx: ctx, feeds: feeds, rows: rows, out: make(chan inferResult, 1)}
+	key := groupKey(fn, feeds)
 	b.mu.Lock()
 	g := b.groups[key]
 	if g == nil {
@@ -95,8 +162,12 @@ func (b *batcher) submit(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	} else {
 		b.mu.Unlock()
 	}
-	res := <-req.out
-	return res.t, res.err
+	select {
+	case res := <-req.out:
+		return res.outs, res.err
+	case <-ctx.Done():
+		return nil, core.CanceledErr(ctx)
+	}
 }
 
 // flushKey is the timer path: it claims the group if flush-on-full hasn't.
@@ -111,23 +182,43 @@ func (b *batcher) flushKey(key string, g *batchGroup) {
 	b.flush(g)
 }
 
-// flush stacks the group's inputs along the batch axis, executes once, and
-// scatters per-request rows back.
+// flush stacks the group's feeds along the batch axis, executes once, and
+// scatters per-request rows of every output back.
 func (b *batcher) flush(g *batchGroup) {
 	fail := func(err error) {
 		for _, r := range g.reqs {
 			r.out <- inferResult{err: err}
 		}
 	}
-	items := make([]*tensor.Tensor, len(g.reqs))
 	rows := 0
-	for i, r := range g.reqs {
-		items[i] = r.item
-		rows += r.item.Dim(0)
+	for _, r := range g.reqs {
+		rows += r.rows
+		// The group key guarantees a shared feed-name list; verify anyway so
+		// a future keying bug degrades to failed requests, not a panic in
+		// the timer goroutine (which would kill the process).
+		if len(r.feeds) != len(g.reqs[0].feeds) {
+			fail(fmt.Errorf("serve: internal error: mixed feed signatures in one batch group for %s", g.fn))
+			return
+		}
 	}
-	batchedIn := items[0]
-	if len(items) > 1 {
-		batchedIn = tensor.Concat(0, items...)
+	// Concat each feed across requests.
+	batched := make([]feed, len(g.reqs[0].feeds))
+	for j := range batched {
+		parts := make([]*tensor.Tensor, len(g.reqs))
+		for i, r := range g.reqs {
+			parts[i] = r.feeds[j].t
+		}
+		t := parts[0]
+		if len(parts) > 1 {
+			t = tensor.Concat(0, parts...)
+		}
+		batched[j] = feed{name: g.reqs[0].feeds[j].name, t: t}
+	}
+	// A single-request batch can honor its caller's context end to end;
+	// a shared batch must not be killed by one member's cancellation.
+	callCtx := context.Background()
+	if len(g.reqs) == 1 {
+		callCtx = g.reqs[0].ctx
 	}
 	// acquireWait, not acquire: every request in this batch already holds
 	// its own admission slot, so the flush must not be rejected by the
@@ -138,34 +229,73 @@ func (b *batcher) flush(g *batchGroup) {
 		return
 	}
 	out, err := guard(func() (minipy.Value, error) {
-		return e.Call(g.fn, []minipy.Value{minipy.NewTensor(batchedIn)})
+		if len(batched) == 1 && batched[0].name == positionalFeed {
+			return e.CallCtx(callCtx, g.fn, []minipy.Value{minipy.NewTensor(batched[0].t)})
+		}
+		feeds := make(map[string]minipy.Value, len(batched))
+		for _, f := range batched {
+			feeds[f.name] = minipy.NewTensor(f.t)
+		}
+		return e.CallNamed(callCtx, g.fn, feeds)
 	})
 	b.pool.release(e)
 	b.batches.Add(1)
 	b.batched.Add(int64(len(g.reqs)))
 	if err != nil {
-		fail(err)
+		fail(fmt.Errorf("%w (calling %s with batched feeds %s)", err, g.fn, describeFeeds(batched)))
 		return
 	}
-	tv, ok := out.(*minipy.TensorVal)
-	if !ok {
-		fail(fmt.Errorf("serve: %s returned %s, want tensor", g.fn, out.TypeName()))
+	outs, err := minipy.Tensors(out)
+	if err != nil {
+		fail(fmt.Errorf("serve: %s: %v", g.fn, err))
 		return
 	}
-	t := tv.T()
 	if len(g.reqs) == 1 {
-		g.reqs[0].out <- inferResult{t: t}
+		g.reqs[0].out <- inferResult{outs: outs}
 		return
 	}
-	if t.Rank() < 1 || t.Dim(0) != rows {
-		fail(fmt.Errorf("serve: %s output shape %v does not preserve the batch dimension (%d rows in)",
-			g.fn, t.Shape(), rows))
-		return
+	// Per-output scatter rule: outputs that preserve the batch dimension
+	// are sliced back row-for-row; rank-0 scalars (a merged train step's
+	// loss over the concatenated batch) are shared — every request gets the
+	// same value. Anything else is ambiguous and fails the whole group.
+	for i, t := range outs {
+		if t.Rank() >= 1 && t.Dim(0) != rows {
+			fail(fmt.Errorf("serve: %s output %d has shape %v, which neither preserves the batch dimension (%d rows in) nor is a shared scalar",
+				g.fn, i, t.Shape(), rows))
+			return
+		}
 	}
 	off := 0
 	for _, r := range g.reqs {
-		n := r.item.Dim(0)
-		r.out <- inferResult{t: tensor.SliceAxis(t, 0, off, off+n)}
-		off += n
+		slice := make([]*tensor.Tensor, len(outs))
+		for i, t := range outs {
+			if t.Rank() < 1 {
+				slice[i] = t
+				continue
+			}
+			slice[i] = tensor.SliceAxis(t, 0, off, off+r.rows)
+		}
+		r.out <- inferResult{outs: slice}
+		off += r.rows
 	}
+}
+
+// describeFeeds renders a feed list as name:shape pairs for error messages.
+func describeFeeds(feeds []feed) string {
+	parts := make([]string, len(feeds))
+	for i, f := range feeds {
+		parts[i] = fmt.Sprintf("%s:%v", feedName(f.name), f.t.Shape())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// sortedFeeds converts a name->tensor map into the batcher's canonical
+// (name-sorted) feed list.
+func sortedFeeds(m map[string]*tensor.Tensor) []feed {
+	feeds := make([]feed, 0, len(m))
+	for name, t := range m {
+		feeds = append(feeds, feed{name: name, t: t})
+	}
+	sort.Slice(feeds, func(i, j int) bool { return feeds[i].name < feeds[j].name })
+	return feeds
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/minipy"
 	"repro/internal/tensor"
 )
@@ -18,6 +19,7 @@ import (
 //	POST /v1/sessions {}                                → {"session": "s1"}
 //	POST /v1/run      {"session"?, "program": "..."}    → {"output": "..."}
 //	POST /v1/call     {"session"?, "fn", "args": [...]} → {"result": ...}
+//	POST /v1/call     {"fn", "feeds": {"x": [[...]]}}   → {"outputs": [...]}  (batched, named feeds)
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}  → {"y": [[...]]}
 //	GET  /v1/stats                                      → Stats JSON
 //	GET  /v1/cache                                      → graph-cache inspection
@@ -33,7 +35,9 @@ import (
 // scope and /v1/call resolves against the loaded module globals — open a
 // session to keep state across requests. Under overload, requests fail with
 // 429 (wait queue full) or 503 (timed out waiting for a worker) instead of
-// queueing without bound.
+// queueing without bound; unknown functions are 404 and executions stopped
+// by client disconnect are 499 (see StatusForError/ErrorForStatus for the
+// sentinel round trip).
 type Server struct {
 	pool *Pool
 	mux  *http.ServeMux
@@ -84,19 +88,51 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]any{"error": err.Error()})
 }
 
-// failStatus maps a request error onto its HTTP status: backpressure
+// StatusClientClosedRequest is the non-standard HTTP status (nginx's 499)
+// reporting a request abandoned by its client: the serving layer uses it
+// for executions stopped by context cancellation.
+const StatusClientClosedRequest = 499
+
+// StatusForError maps a request error onto its HTTP status: backpressure
 // rejections become 429 (queue full) and 503 (acquire timeout) so clients
-// can distinguish "back off" from "bad request".
-func failStatus(err error) int {
+// can distinguish "back off" from "bad request"; unknown functions are 404;
+// canceled executions are 499. ErrorForStatus is its inverse, so sentinel
+// identities round-trip through the wire.
+func StatusForError(err error) int {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrAcquireTimeout):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrUnknownFunction):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrCanceled):
+		return StatusClientClosedRequest
 	default:
 		return http.StatusUnprocessableEntity
 	}
 }
+
+// ErrorForStatus reconstructs the sentinel error a non-2xx serving response
+// encodes, wrapping the server-reported message so errors.Is works on the
+// client side exactly as it does in-process.
+func ErrorForStatus(status int, msg string) error {
+	switch status {
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", ErrAcquireTimeout, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", core.ErrUnknownFunction, msg)
+	case StatusClientClosedRequest:
+		return fmt.Errorf("%w: %s", core.ErrCanceled, msg)
+	default:
+		return fmt.Errorf("serve: status %d: %s", status, msg)
+	}
+}
+
+// failStatus is the internal shorthand the handlers use.
+func failStatus(err error) int { return StatusForError(err) }
 
 func decode(r *http.Request, into any) error {
 	dec := json.NewDecoder(r.Body)
@@ -178,14 +214,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if req.Session == "" {
 		// Sessionless: throwaway module scope, any worker, no serialization.
-		out, err = s.pool.ExecEphemeral(req.Program)
+		out, err = s.pool.ExecEphemeral(r.Context(), req.Program)
 	} else {
 		var sess *Session
 		if sess, err = s.session(req.Session); err != nil {
 			writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		out, err = sess.Exec(req.Program)
+		out, err = sess.ExecCtx(r.Context(), req.Program)
 	}
 	if err != nil {
 		writeErr(w, failStatus(err), err)
@@ -196,12 +232,44 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Session string `json:"session"`
-		Fn      string `json:"fn"`
-		Args    []any  `json:"args"`
+		Session string         `json:"session"`
+		Fn      string         `json:"fn"`
+		Args    []any          `json:"args"`
+		Feeds   map[string]any `json:"feeds"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Feeds != nil {
+		// Named-feed form: tensors addressed by parameter name, executed
+		// through the request batcher (same-signature calls coalesce). The
+		// batched path resolves against the loaded module globals, so it is
+		// sessionless by construction.
+		if len(req.Args) > 0 || req.Session != "" {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf(`serve: "feeds" cannot be combined with "args" or "session"`))
+			return
+		}
+		feeds := make(map[string]*tensor.Tensor, len(req.Feeds))
+		for name, v := range req.Feeds {
+			t, err := jsonToTensor(v)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("feed %q: %w", name, err))
+				return
+			}
+			feeds[name] = t
+		}
+		outs, err := s.pool.CallNamed(r.Context(), req.Fn, feeds)
+		if err != nil {
+			writeErr(w, failStatus(err), err)
+			return
+		}
+		results := make([]any, len(outs))
+		for i, t := range outs {
+			results[i] = tensorToJSON(t)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"outputs": results})
 		return
 	}
 	var sess *Session
@@ -222,9 +290,9 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 	var out minipy.Value
 	if sess == nil {
 		// Sessionless: stateless call on any worker, no serialization.
-		out, err = s.pool.Call(req.Fn, args)
+		out, err = s.pool.CallCtx(r.Context(), req.Fn, args)
 	} else {
-		out, err = sess.Call(req.Fn, args)
+		out, err = sess.CallCtx(r.Context(), req.Fn, args)
 	}
 	if err != nil {
 		writeErr(w, failStatus(err), err)
@@ -253,7 +321,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	y, err := sess.Infer(req.Fn, x)
+	y, err := sess.InferCtx(r.Context(), req.Fn, x)
 	if err != nil {
 		writeErr(w, failStatus(err), err)
 		return

@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -134,6 +135,11 @@ type Pool struct {
 	timedOut atomic.Int64
 
 	loadMu sync.Mutex
+	// sigs caches the loaded module functions' parameter lists (snapshotted
+	// under loadMu after every Load), so handle resolution reads a map
+	// instead of competing with requests for an exclusive worker.
+	sigMu sync.RWMutex
+	sigs  map[string][]string
 }
 
 // NewPool builds the worker engines. Load a program before serving.
@@ -185,16 +191,21 @@ func (p *Pool) admitQueued() (release func(), err error) {
 
 // admitWait is the pool's admission discipline over a claim channel:
 // immediate claim when a token is available, otherwise a queue-slot-bounded,
-// AcquireTimeout-bounded wait. Both worker acquisition (tokens are idle
-// engines) and session serialization (a one-token semaphore) share it, so
-// 429/503 semantics can never diverge between the two paths.
-func admitWait[T any](p *Pool, ch <-chan T) (T, error) {
+// AcquireTimeout-bounded, context-bounded wait. Both worker acquisition
+// (tokens are idle engines) and session serialization (a one-token
+// semaphore) share it, so 429/503 semantics can never diverge between the
+// two paths. A canceled ctx fails the wait with core.ErrCanceled — clients
+// that give up stop occupying queue slots immediately.
+func admitWait[T any](p *Pool, ctx context.Context, ch <-chan T) (T, error) {
 	select {
 	case v := <-ch:
 		return v, nil
 	default:
 	}
 	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, core.CanceledErr(ctx)
+	}
 	release, err := p.admitQueued()
 	if err != nil {
 		return zero, err
@@ -208,15 +219,20 @@ func admitWait[T any](p *Pool, ch <-chan T) (T, error) {
 	case <-timer.C:
 		p.timedOut.Add(1)
 		return zero, ErrAcquireTimeout
+	case <-ctx.Done():
+		return zero, core.CanceledErr(ctx)
 	}
 }
 
 // acquire hands out an idle worker engine with backpressure: when every
 // worker is busy, at most MaxQueue requests wait (beyond that arrivals fail
 // fast with ErrOverloaded), and no waiter outlasts AcquireTimeout
-// (ErrAcquireTimeout). This bounds goroutine pile-up under overload — the
-// failure mode of the previous unbounded blocking acquire.
-func (p *Pool) acquire() (*core.Engine, error) { return admitWait(p, p.idle) }
+// (ErrAcquireTimeout) or its own context. This bounds goroutine pile-up
+// under overload — the failure mode of the previous unbounded blocking
+// acquire.
+func (p *Pool) acquire(ctx context.Context) (*core.Engine, error) {
+	return admitWait(p, ctx, p.idle)
+}
 
 // acquireWait blocks for a worker up to AcquireTimeout without consuming a
 // queue slot. The batcher uses it at flush time: each request in the batch
@@ -298,20 +314,82 @@ func (p *Pool) Load(src string) (string, error) {
 			out = e.Output()[before:]
 		}
 	}
+	// Snapshot the loaded signatures while the workers are still exclusively
+	// held, so FuncParams never needs a worker of its own.
+	sigs := engines[0].Functions()
+	p.sigMu.Lock()
+	p.sigs = sigs
+	p.sigMu.Unlock()
 	return out, nil
 }
 
 // Call invokes a loaded module-level function on one worker. Training-step
 // functions (which call optimize() internally) and inference functions both
-// work; inference-heavy callers should prefer Infer for batching.
+// work; inference-heavy callers should prefer Infer/CallNamed for batching.
 func (p *Pool) Call(fn string, args []minipy.Value) (minipy.Value, error) {
+	return p.CallCtx(context.Background(), fn, args)
+}
+
+// CallCtx is Call under a context: cancellation interrupts both the wait for
+// a worker and the execution itself (checked between steps and statements).
+func (p *Pool) CallCtx(ctx context.Context, fn string, args []minipy.Value) (minipy.Value, error) {
 	p.requests.Add(1)
-	e, err := p.acquire()
+	e, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer p.release(e)
-	return guard(func() (minipy.Value, error) { return e.Call(fn, args) })
+	return guard(func() (minipy.Value, error) { return e.CallCtx(ctx, fn, args) })
+}
+
+// CallNamed invokes a loaded module-level function with feeds addressed by
+// parameter name, through the request batcher: concurrent calls with the
+// same function, feed names and per-item shapes are stacked along the
+// leading (batch) axis, executed once, and every output is split back
+// row-for-row. EVERY feed is stacked — the function must be batch-dim
+// parallel in all of its parameters (shared, non-batch inputs like weight
+// matrices belong in variable()s or module globals, not feeds). Every feed
+// must keep a leading batch dimension; unknown or missing parameter names
+// fail up front with a clear error.
+func (p *Pool) CallNamed(ctx context.Context, fn string, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(feeds) == 0 {
+		// Nothing to batch: a zero-feed call executes directly, so no-arg
+		// handles behave identically on every backend.
+		out, err := p.CallCtx(ctx, fn, nil)
+		if err != nil {
+			return nil, err
+		}
+		outs, err := minipy.Tensors(out)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %s: %v", fn, err)
+		}
+		return outs, nil
+	}
+	// The positional-Infer group key is internal: a client-chosen "#0" must
+	// not reach the positional call branch and bypass named binding.
+	if _, ok := feeds[positionalFeed]; ok {
+		return nil, fmt.Errorf("serve: %s: feed name %q is reserved", fn, positionalFeed)
+	}
+	p.requests.Add(1)
+	return p.batcher.submit(ctx, fn, sortedFeeds(feeds))
+}
+
+// FuncParams resolves a loaded module-level function and returns its
+// parameter names (handle metadata). It reads the signature snapshot taken
+// at Load time — a map lookup, never a worker acquisition, so resolving
+// handles on a saturated pool cannot block or be rejected. Functions
+// defined outside Load (per-worker Exec scripts) are not visible here;
+// unknown names carry core.ErrUnknownFunction.
+func (p *Pool) FuncParams(_ context.Context, fn string) ([]string, error) {
+	p.sigMu.RLock()
+	params, ok := p.sigs[fn]
+	p.sigMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", core.ErrUnknownFunction, fn)
+	}
+	out := make([]string, len(params))
+	copy(out, params)
+	return out, nil
 }
 
 // Infer runs fn on one input tensor through the request batcher: concurrent
@@ -319,21 +397,33 @@ func (p *Pool) Call(fn string, args []minipy.Value) (minipy.Value, error) {
 // leading (batch) axis, executed once, and split back. x must have a leading
 // batch dimension (use shape [1, ...] for a single example).
 func (p *Pool) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return p.InferCtx(context.Background(), fn, x)
+}
+
+// InferCtx is Infer under a context.
+func (p *Pool) InferCtx(ctx context.Context, fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	p.requests.Add(1)
-	return p.batcher.submit(fn, x)
+	outs, err := p.batcher.submit(ctx, fn, []feed{{name: positionalFeed, t: x}})
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("serve: %s returned %d outputs, want one tensor (use CallNamed for multi-output functions)", fn, len(outs))
+	}
+	return outs[0], nil
 }
 
 // execOn runs src on one engine — in env when non-nil, in the worker's own
 // module globals otherwise — and returns the new print output, with engine
 // panics recovered into request errors.
-func execOn(e *core.Engine, src string, env *minipy.Env) (string, error) {
+func execOn(ctx context.Context, e *core.Engine, src string, env *minipy.Env) (string, error) {
 	return guard(func() (string, error) {
 		before := len(e.Output())
 		var err error
 		if env != nil {
-			err = e.ExecIn(src, env)
+			err = e.ExecInCtx(ctx, src, env)
 		} else {
-			err = e.Run(src)
+			err = e.RunCtx(ctx, src)
 		}
 		if err != nil {
 			return "", err
@@ -347,13 +437,18 @@ func execOn(e *core.Engine, src string, env *minipy.Env) (string, error) {
 // definitions every worker must see, or Session.Exec for state that follows
 // a session across workers.
 func (p *Pool) Exec(src string) (string, error) {
+	return p.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec under a context.
+func (p *Pool) ExecCtx(ctx context.Context, src string) (string, error) {
 	p.requests.Add(1)
-	e, err := p.acquire()
+	e, err := p.acquire(ctx)
 	if err != nil {
 		return "", err
 	}
 	defer p.release(e)
-	return execOn(e, src, nil)
+	return execOn(ctx, e, src, nil)
 }
 
 // ExecEphemeral runs src in a throwaway module scope layered over one
@@ -361,16 +456,16 @@ func (p *Pool) Exec(src string) (string, error) {
 // the request. The HTTP layer uses it for sessionless /v1/run — requests
 // run on any worker in parallel, leak nothing onto the worker, and clients
 // that want state across requests open a session.
-func (p *Pool) ExecEphemeral(src string) (string, error) {
+func (p *Pool) ExecEphemeral(ctx context.Context, src string) (string, error) {
 	p.requests.Add(1)
-	e, err := p.acquire()
+	e, err := p.acquire(ctx)
 	if err != nil {
 		return "", err
 	}
 	defer p.release(e)
 	env := minipy.NewEnv(nil)
 	env.MarkModule()
-	return execOn(e, src, env)
+	return execOn(ctx, e, src, env)
 }
 
 // Stats aggregates engine and serving counters.
@@ -430,8 +525,8 @@ func (p *Pool) NewSession() *Session {
 
 // lock claims the session's serialization token under the pool's
 // backpressure rules; the caller must unlock() on success.
-func (s *Session) lock() error {
-	_, err := admitWait(s.pool, s.sem)
+func (s *Session) lock(ctx context.Context) error {
+	_, err := admitWait(s.pool, ctx, s.sem)
 	return err
 }
 
@@ -441,51 +536,72 @@ func (s *Session) unlock() { s.sem <- struct{}{} }
 // session environment first — functions defined by this session's Exec
 // scripts shadow the loaded module globals.
 func (s *Session) Call(fn string, args []minipy.Value) (minipy.Value, error) {
+	return s.CallCtx(context.Background(), fn, args)
+}
+
+// CallCtx is Call under a context.
+func (s *Session) CallCtx(ctx context.Context, fn string, args []minipy.Value) (minipy.Value, error) {
 	s.requests.Add(1)
 	s.pool.requests.Add(1)
-	if err := s.lock(); err != nil {
+	if err := s.lock(ctx); err != nil {
 		return nil, err
 	}
 	defer s.unlock()
-	e, err := s.pool.acquire()
+	e, err := s.pool.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer s.pool.release(e)
-	return guard(func() (minipy.Value, error) { return e.CallIn(s.env, fn, args) })
+	return guard(func() (minipy.Value, error) { return e.CallInCtx(ctx, s.env, fn, args) })
+}
+
+// CallNamed runs a batched named-feed call for this session. Like Infer it
+// is stateless with respect to the session environment (the function is a
+// pool-wide definition), so it goes straight to the batcher and never
+// serializes on the session.
+func (s *Session) CallNamed(ctx context.Context, fn string, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	s.requests.Add(1)
+	return s.pool.CallNamed(ctx, fn, feeds)
 }
 
 // Infer runs batched inference for this session. Inference is stateless
 // (the model function is a pool-wide definition), so it goes straight to
 // the batcher and never serializes on the session.
 func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.InferCtx(context.Background(), fn, x)
+}
+
+// InferCtx is Infer under a context.
+func (s *Session) InferCtx(ctx context.Context, fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 	s.requests.Add(1)
-	return s.pool.Infer(fn, x)
+	return s.pool.InferCtx(ctx, fn, x)
 }
 
 // Exec runs an ad-hoc script for this session. Top-level names the script
 // binds land in the session environment and are visible to the session's
 // later Exec and Call requests regardless of which worker serves them.
 func (s *Session) Exec(src string) (string, error) {
+	return s.ExecCtx(context.Background(), src)
+}
+
+// ExecCtx is Exec under a context.
+func (s *Session) ExecCtx(ctx context.Context, src string) (string, error) {
 	s.requests.Add(1)
 	s.pool.requests.Add(1)
-	if err := s.lock(); err != nil {
+	if err := s.lock(ctx); err != nil {
 		return "", err
 	}
 	defer s.unlock()
-	e, err := s.pool.acquire()
+	e, err := s.pool.acquire(ctx)
 	if err != nil {
 		return "", err
 	}
 	defer s.pool.release(e)
-	return guard(func() (string, error) {
-		before := len(e.Output())
-		if err := e.ExecIn(src, s.env); err != nil {
-			return "", err
-		}
-		return e.Output()[before:], nil
-	})
+	return execOn(ctx, e, src, s.env)
 }
 
 // Requests returns how many requests this session has issued.
 func (s *Session) Requests() int64 { return s.requests.Load() }
+
+// Pool returns the pool this session is a client of.
+func (s *Session) Pool() *Pool { return s.pool }

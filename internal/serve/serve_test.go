@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -334,7 +336,7 @@ func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
 
 	block := make(chan struct{})
 	// Occupy the lone worker directly so the pool has zero idle engines.
-	e, err := p.acquire()
+	e, err := p.acquire(context.Background())
 	if err != nil {
 		t.Fatalf("prime acquire: %v", err)
 	}
@@ -377,7 +379,7 @@ func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
 func TestBackpressureTimesOutWaiters(t *testing.T) {
 	p := newTestPool(t, Config{Workers: 1, MaxQueue: 4, AcquireTimeout: 30 * time.Millisecond,
 		Engine: janusConfig(1)})
-	e, err := p.acquire()
+	e, err := p.acquire(context.Background())
 	if err != nil {
 		t.Fatalf("prime acquire: %v", err)
 	}
@@ -693,5 +695,65 @@ func TestHTTPRunAndCall(t *testing.T) {
 		map[string]any{"fn": "predict", "x": nil, "args": []any{[][]float64{{0, 0}}}})
 	if _, ok := res["result"].([]any); !ok {
 		t.Fatalf("call result %T, want tensor rows", res["result"])
+	}
+}
+
+// TestAcquireHonorsContext: a canceled context fails the worker wait with
+// core.ErrCanceled instead of parking until AcquireTimeout.
+func TestAcquireHonorsContext(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, MaxQueue: 4, AcquireTimeout: 10 * time.Second,
+		Engine: janusConfig(1)})
+	e, err := p.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("prime acquire: %v", err)
+	}
+	defer p.release(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = p.CallCtx(ctx, "predict", []minipy.Value{minipy.NewTensor(input(0))})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("canceled acquire: got %v, want core.ErrCanceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("canceled acquire took %v, want immediate", time.Since(start))
+	}
+}
+
+// TestInferScalarRejectedUpFront: a feed without a leading batch dimension
+// is a clear client error, not a recovered kernel panic.
+func TestInferScalarRejectedUpFront(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, Engine: janusConfig(1)})
+	_, err := p.Infer("predict", tensor.Scalar(3))
+	if err == nil || !strings.Contains(err.Error(), "leading batch dimension") {
+		t.Fatalf("scalar infer: got %v, want a clear batch-dimension error", err)
+	}
+	_, err = p.CallNamed(context.Background(), "predict", map[string]*tensor.Tensor{"x": tensor.Scalar(3)})
+	if err == nil || !strings.Contains(err.Error(), "leading batch dimension") {
+		t.Fatalf("scalar named feed: got %v, want a clear batch-dimension error", err)
+	}
+}
+
+// TestCallNamedUnknownFeedName: binding failures name the real signature.
+func TestCallNamedUnknownFeedName(t *testing.T) {
+	p := newTestPool(t, Config{Workers: 1, Engine: janusConfig(1)})
+	_, err := p.CallNamed(context.Background(), "predict",
+		map[string]*tensor.Tensor{"bogus": input(0)})
+	if err == nil || !strings.Contains(err.Error(), `no parameter "bogus"`) {
+		t.Fatalf("unknown feed name: got %v, want a clear binding error", err)
+	}
+}
+
+// TestStatusRoundTripServe: sentinel identities survive the HTTP status
+// mapping in both directions.
+func TestStatusRoundTripServe(t *testing.T) {
+	for _, e := range []error{ErrOverloaded, ErrAcquireTimeout, core.ErrUnknownFunction, core.ErrCanceled} {
+		status := StatusForError(fmt.Errorf("wrapped: %w", e))
+		if back := ErrorForStatus(status, "msg"); !errors.Is(back, e) {
+			t.Fatalf("round trip lost %v via status %d (got %v)", e, status, back)
+		}
+	}
+	if StatusForError(errors.New("other")) != http.StatusUnprocessableEntity {
+		t.Fatal("default status changed")
 	}
 }

@@ -17,29 +17,47 @@
 //
 // Programs look like ordinary Python training scripts; the only framework
 // entry point is optimize(fn), which performs one SGD step on the scalar
-// loss returned by fn:
+// loss returned by fn.
+//
+// # API v1: function handles
+//
+// The primary surface is the function-handle API: Compile a program once,
+// resolve module-level functions into handles, and Call them with named
+// tensor feeds under a context:
 //
 //	rt := janus.New(janus.Options{Engine: janus.EngineJanus})
-//	err := rt.Run(`
+//	prog, err := rt.Compile(`
 //	def loss_fn(x, y):
 //	    w = variable("w", [1, 1])
 //	    return mse(matmul(x, w), y)
 //
-//	x = constant([[1.0], [2.0]])
-//	y = constant([[2.0], [4.0]])
-//	for i in range(100):
-//	    optimize(lambda: loss_fn(x, y))
+//	def train(x, y):
+//	    loss = constant(0.0)
+//	    for i in range(100):
+//	        loss = optimize(lambda: loss_fn(x, y))
+//	    return loss
 //	`)
+//	fn, err := prog.Func("train")
+//	out, err := fn.Call(ctx, janus.Feeds{"x": x, "y": y})
+//
+// A Function is a Callable, and the same handle shape is implemented by all
+// three execution backends: the local Runtime above, a Server pool (where
+// concurrent same-signature calls batch into one graph execution — see
+// Server.Compile and Session.Func), and a distributed training Cluster
+// (where the batch is split across data-parallel replicas around a sharded
+// parameter server — see NewCluster). Context cancellation stops a running
+// call between training steps with ErrCanceled, leaving parameters in an
+// all-or-nothing state.
+//
+// Runtime.Run (whole-script execution) and Session.Infer (single-tensor
+// inference) remain as thin shims over the same machinery.
 package janus
 
 import (
 	"fmt"
-	"net/http"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/minipy"
-	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -180,131 +198,3 @@ func (r *Runtime) DefineScalar(name string, v float64) {
 
 // CoreEngine exposes the underlying engine for the benchmark harness.
 func (r *Runtime) CoreEngine() *core.Engine { return r.engine }
-
-// --- serving ---------------------------------------------------------------------
-
-// ServerOptions configures a serving pool (see internal/serve). The zero
-// value serves with the full JANUS engine, 4 workers, and a batching window
-// of 8 requests / 2 ms.
-type ServerOptions struct {
-	// Options configures every worker engine.
-	Options
-	// Workers is the number of engine workers, i.e. concurrently served
-	// requests (default 4). Distinct from Options.Workers, which bounds
-	// per-graph executor parallelism.
-	Workers int
-	// MaxBatch caps how many inference requests coalesce into one batched
-	// execution (default 8).
-	MaxBatch int
-	// MaxLatency bounds how long a request waits for batch-mates before a
-	// partial batch flushes (default 2ms).
-	MaxLatency time.Duration
-	// MaxQueue bounds how many requests may wait for a worker before new
-	// arrivals are rejected (HTTP 429); default 16 x Workers.
-	MaxQueue int
-	// AcquireTimeout bounds how long a queued request waits for a worker
-	// before failing (HTTP 503); default 10s.
-	AcquireTimeout time.Duration
-	// CacheCapacity bounds compiled graphs in the shared cache, evicting
-	// the least-recently-hit entry when exceeded (0 = unlimited).
-	CacheCapacity int
-}
-
-// Server is a concurrent model server: N runtime workers share one
-// parameter store and one compiled-graph cache, so a graph speculatively
-// converted for one client is a cache hit for every other, and concurrent
-// inference requests batch into single graph executions.
-type Server struct {
-	srv *serve.Server
-}
-
-// NewServer builds a serving pool.
-func NewServer(opts ServerOptions) *Server {
-	return &Server{srv: serve.NewServer(serve.Config{
-		Workers:        opts.Workers,
-		MaxBatch:       opts.MaxBatch,
-		MaxLatency:     opts.MaxLatency,
-		MaxQueue:       opts.MaxQueue,
-		AcquireTimeout: opts.AcquireTimeout,
-		CacheCapacity:  opts.CacheCapacity,
-		Engine:         opts.Options.coreConfig(),
-	})}
-}
-
-// Load parses a minipy program once and defines it on every worker; returns
-// the program's print output.
-func (s *Server) Load(src string) (string, error) { return s.srv.Pool().Load(src) }
-
-// NewSession opens a client session.
-func (s *Server) NewSession() *Session { return &Session{sess: s.srv.Pool().NewSession()} }
-
-// Handler returns the HTTP+JSON front end (the transport cmd/janusd
-// listens on).
-func (s *Server) Handler() http.Handler { return s.srv.Handler() }
-
-// Stats aggregates engine counters across workers plus serving counters.
-func (s *Server) Stats() ServerStats {
-	st := s.srv.Pool().Stats()
-	return ServerStats{
-		Stats: Stats{
-			ImperativeSteps: st.ImperativeSteps,
-			GraphSteps:      st.GraphSteps,
-			Conversions:     st.Conversions,
-			ConversionFails: st.ConversionFails,
-			CacheHits:       st.CacheHits,
-			CacheMisses:     st.CacheMisses,
-			AssertFailures:  st.AssertFailures,
-			Fallbacks:       st.Fallbacks,
-		},
-		Workers:         st.Workers,
-		Sessions:        st.Sessions,
-		Requests:        st.Requests,
-		Batches:         st.Batches,
-		BatchedRequests: st.BatchedRequests,
-		CachedGraphs:    st.CachedGraphs,
-	}
-}
-
-// Parameters exposes the pool-wide shared parameter store.
-func (s *Server) Parameters() *vars.Store { return s.srv.Pool().Store() }
-
-// ServerStats extends engine Stats with serving-side counters.
-type ServerStats struct {
-	Stats
-	Workers         int
-	Sessions        int
-	Requests        int64
-	Batches         int64
-	BatchedRequests int64
-	CachedGraphs    int
-}
-
-// Session is a client handle onto a Server. Sessions are cheap: graphs,
-// parameters and workers are server-wide; the session carries identity and
-// per-client accounting.
-type Session struct {
-	sess *serve.Session
-}
-
-// ID returns the session identifier.
-func (s *Session) ID() string { return s.sess.ID }
-
-// Infer runs fn on one input through the request batcher. x must keep a
-// leading batch dimension (shape [1, ...] for a single example).
-func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
-	return s.sess.Infer(fn, x)
-}
-
-// Call invokes a loaded module-level function (an inference function or a
-// train-step function that calls optimize() internally) with tensor
-// arguments.
-func (s *Session) Call(fn string, args ...*tensor.Tensor) (minipy.Value, error) {
-	vals := make([]minipy.Value, len(args))
-	for i, a := range args {
-		vals[i] = minipy.NewTensor(a)
-	}
-	return s.sess.Call(fn, vals)
-}
-
-// Run executes an ad-hoc script on one worker and returns its print output.
-func (s *Session) Run(src string) (string, error) { return s.sess.Exec(src) }

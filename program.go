@@ -1,0 +1,187 @@
+package janus
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// This file is the function-handle surface of API v1: a compiled Program
+// resolves module-level functions into Function handles, and a Function is
+// a Callable — one uniform, context-aware calling convention implemented
+// identically by the local Runtime, a serving Session (where same-signature
+// calls batch), and a distributed Cluster (where the batch is split across
+// data-parallel replicas). Users write imperative minipy functions once and
+// move them between execution backends without changing call sites, which
+// is the paper's premise applied to the public API.
+
+// Feeds addresses input tensors by parameter name. Names must match the
+// called function's declared parameters; unknown names, missing required
+// parameters, and (on batched backends) feeds without a leading batch
+// dimension fail up front with a clear error instead of a recovered kernel
+// panic.
+type Feeds map[string]*tensor.Tensor
+
+// Outputs is the tensor result list of a Call: one entry per returned
+// tensor (a function returning a tuple or list of tensors yields several; a
+// numeric scalar return becomes a scalar tensor).
+type Outputs []*tensor.Tensor
+
+// Tensor returns the sole output, or nil when the call produced none.
+func (o Outputs) Tensor() *tensor.Tensor {
+	if len(o) == 0 {
+		return nil
+	}
+	return o[0]
+}
+
+// Scalar returns the single scalar value of a one-output, one-element
+// result (a loss, typically).
+func (o Outputs) Scalar() (float64, error) {
+	if len(o) != 1 {
+		return 0, fmt.Errorf("janus: result has %d outputs, want one scalar", len(o))
+	}
+	if o[0].Size() != 1 {
+		return 0, fmt.Errorf("janus: output has shape %v, want one element", o[0].Shape())
+	}
+	return o[0].Item(), nil
+}
+
+// Callable is the uniform function-handle interface: anything that can run
+// a named minipy function against named tensor feeds under a context.
+// *Function implements it for every backend; code written against Callable
+// moves between local execution, a serving pool, and a training cluster
+// unchanged.
+type Callable interface {
+	// Name returns the module-level function name the handle is bound to.
+	Name() string
+	// Call executes the function with the given feeds. Cancellation or
+	// deadline expiry on ctx stops execution between training steps and
+	// interpreted statements with ErrCanceled, leaving parameters in an
+	// all-or-nothing state (each step either fully applied or not at all).
+	Call(ctx context.Context, feeds Feeds) (Outputs, error)
+}
+
+// backend is what a Program/Function needs from its execution engine: name
+// resolution (for early validation and error messages) and the actual call.
+type backend interface {
+	funcParams(ctx context.Context, name string) ([]string, error)
+	call(ctx context.Context, name string, feeds Feeds) (Outputs, error)
+}
+
+// Program is a handle onto a compiled (parsed + defined) minipy program on
+// one execution backend. Obtain one from Runtime.Compile, Server.Compile,
+// or Cluster.Program; resolve functions with Func.
+type Program struct {
+	b backend
+}
+
+// Func resolves a module-level function into a callable handle, failing
+// with ErrUnknownFunction when the program defines no such function.
+// Resolution is cheap on every backend (a Server reads its Load-time
+// signature snapshot; no pool worker is involved), but handles are meant
+// to be resolved once and reused across calls.
+func (p *Program) Func(name string) (*Function, error) {
+	params, err := p.b.funcParams(context.Background(), name)
+	if err != nil {
+		return nil, err
+	}
+	return &Function{b: p.b, name: name, params: params}, nil
+}
+
+// MustFunc is Func for statically known names; it panics on resolution
+// failure (examples and tests).
+func (p *Program) MustFunc(name string) *Function {
+	fn, err := p.Func(name)
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+// Function is a handle onto one module-level function of a compiled
+// Program. It is the Callable implementation for every backend.
+type Function struct {
+	b      backend
+	name   string
+	params []string
+}
+
+var _ Callable = (*Function)(nil)
+
+// Name implements Callable.
+func (f *Function) Name() string { return f.name }
+
+// Params returns the function's declared parameter names, in order — the
+// valid feed names for Call.
+func (f *Function) Params() []string {
+	out := make([]string, len(f.params))
+	copy(out, f.params)
+	return out
+}
+
+// Call implements Callable. Feed-name validation is the backend's job
+// (FuncVal.BindNamed resolves against the function's current signature, so
+// handles stay correct across recompiles that change parameter lists);
+// only nil tensors are rejected here, before any backend work.
+func (f *Function) Call(ctx context.Context, feeds Feeds) (Outputs, error) {
+	for name, t := range feeds {
+		if t == nil {
+			return nil, fmt.Errorf("janus: %s: feed %q is nil", f.name, name)
+		}
+	}
+	return f.b.call(ctx, f.name, feeds)
+}
+
+// --- local backend -----------------------------------------------------------------
+
+// Compile parses src and defines it (classes, functions, module-level
+// statements) in the runtime's module scope, returning a Program handle.
+// Programs compiled on one Runtime share its module scope and parameter
+// store; Compile may be called repeatedly to extend a program. The Runtime
+// executes one call at a time — concurrency comes from a Server pool.
+func (r *Runtime) Compile(src string) (*Program, error) {
+	if err := r.engine.Run(src); err != nil {
+		return nil, err
+	}
+	return &Program{b: localBackend{r}}, nil
+}
+
+// localBackend executes handles directly on the runtime's engine.
+type localBackend struct{ rt *Runtime }
+
+func (b localBackend) funcParams(_ context.Context, name string) ([]string, error) {
+	fn, err := b.rt.engine.LookupFunc(name)
+	if err != nil {
+		return nil, err
+	}
+	return fn.ParamList(), nil
+}
+
+func (b localBackend) call(ctx context.Context, name string, feeds Feeds) (Outputs, error) {
+	out, err := b.rt.engine.CallNamed(ctx, name, feedValues(feeds))
+	if err != nil {
+		return nil, err
+	}
+	return toOutputs(name, out)
+}
+
+// feedValues lifts tensor feeds into the interpreter's value domain.
+func feedValues(feeds Feeds) map[string]minipy.Value {
+	m := make(map[string]minipy.Value, len(feeds))
+	for name, t := range feeds {
+		m[name] = minipy.NewTensor(t)
+	}
+	return m
+}
+
+// toOutputs flattens a call result into Outputs.
+func toOutputs(fn string, v minipy.Value) (Outputs, error) {
+	ts, err := minipy.Tensors(v)
+	if err != nil {
+		return nil, fmt.Errorf("janus: %s: %v", fn, err)
+	}
+	return Outputs(ts), nil
+}

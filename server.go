@@ -1,0 +1,222 @@
+package janus
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/minipy"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// ServerOptions configures a serving pool (see internal/serve). The zero
+// value serves with the full JANUS engine, 4 pool workers, and a batching
+// window of 8 requests / 2 ms.
+type ServerOptions struct {
+	// Options configures every worker engine. Note that per-graph executor
+	// parallelism must be addressed explicitly as Options.Workers (e.g.
+	// ServerOptions{Options: Options{Workers: 2}}): the promoted selector
+	// o.Workers still resolves to the deprecated pool-size alias below.
+	Options
+	// PoolSize is the number of engine workers, i.e. concurrently served
+	// requests (default 4). Distinct from Options.Workers, which bounds
+	// per-graph executor parallelism inside one request.
+	PoolSize int
+	// Workers is a deprecated alias for PoolSize, kept so existing callers
+	// compile (it has always meant pool size, while shadowing the embedded
+	// Options.Workers and silently defaulting engine parallelism).
+	//
+	// Deprecated: set PoolSize (pool concurrency) and Options.Workers
+	// (executor parallelism) explicitly.
+	Workers int
+	// MaxBatch caps how many inference requests coalesce into one batched
+	// execution (default 8).
+	MaxBatch int
+	// MaxLatency bounds how long a request waits for batch-mates before a
+	// partial batch flushes (default 2ms).
+	MaxLatency time.Duration
+	// MaxQueue bounds how many requests may wait for a worker before new
+	// arrivals are rejected (HTTP 429); default 16 x PoolSize.
+	MaxQueue int
+	// AcquireTimeout bounds how long a queued request waits for a worker
+	// before failing (HTTP 503); default 10s.
+	AcquireTimeout time.Duration
+	// CacheCapacity bounds compiled graphs in the shared cache, evicting
+	// the least-recently-hit entry when exceeded (0 = unlimited).
+	CacheCapacity int
+}
+
+// poolSize resolves the PoolSize/deprecated-Workers pair.
+func (o ServerOptions) poolSize() int {
+	if o.PoolSize > 0 {
+		return o.PoolSize
+	}
+	return o.Workers
+}
+
+// Server is a concurrent model server: N runtime workers share one
+// parameter store and one compiled-graph cache, so a graph speculatively
+// converted for one client is a cache hit for every other, and concurrent
+// calls with the same named-feed signature batch into single graph
+// executions.
+type Server struct {
+	srv *serve.Server
+}
+
+// NewServer builds a serving pool.
+func NewServer(opts ServerOptions) *Server {
+	return &Server{srv: serve.NewServer(serve.Config{
+		Workers:        opts.poolSize(),
+		MaxBatch:       opts.MaxBatch,
+		MaxLatency:     opts.MaxLatency,
+		MaxQueue:       opts.MaxQueue,
+		AcquireTimeout: opts.AcquireTimeout,
+		CacheCapacity:  opts.CacheCapacity,
+		Engine:         opts.Options.coreConfig(),
+	})}
+}
+
+// Compile parses src once and defines it on every worker, returning a
+// Program whose Function handles execute on the pool: calls with the same
+// function and feed signature coalesce into batched executions, and the
+// compiled-graph cache is shared pool-wide. Compile may be called
+// repeatedly to extend the served program.
+func (s *Server) Compile(src string) (*Program, error) {
+	if _, err := s.srv.Pool().Load(src); err != nil {
+		return nil, err
+	}
+	return &Program{b: serverBackend{pool: s.srv.Pool()}}, nil
+}
+
+// Func resolves an already-loaded module-level function into a pool-backed
+// handle (shorthand for compiling definitions first, then resolving).
+func (s *Server) Func(name string) (*Function, error) {
+	return (&Program{b: serverBackend{pool: s.srv.Pool()}}).Func(name)
+}
+
+// Load parses a minipy program once and defines it on every worker; returns
+// the program's print output. Prefer Compile, which returns a Program
+// handle.
+func (s *Server) Load(src string) (string, error) { return s.srv.Pool().Load(src) }
+
+// NewSession opens a client session.
+func (s *Server) NewSession() *Session { return &Session{sess: s.srv.Pool().NewSession()} }
+
+// Handler returns the HTTP+JSON front end (the transport cmd/janusd
+// listens on).
+func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// Stats aggregates engine counters across workers plus serving counters.
+func (s *Server) Stats() ServerStats {
+	st := s.srv.Pool().Stats()
+	return ServerStats{
+		Stats: Stats{
+			ImperativeSteps: st.ImperativeSteps,
+			GraphSteps:      st.GraphSteps,
+			Conversions:     st.Conversions,
+			ConversionFails: st.ConversionFails,
+			CacheHits:       st.CacheHits,
+			CacheMisses:     st.CacheMisses,
+			AssertFailures:  st.AssertFailures,
+			Fallbacks:       st.Fallbacks,
+		},
+		PoolSize:        st.Workers,
+		Workers:         st.Workers,
+		Sessions:        st.Sessions,
+		Requests:        st.Requests,
+		Batches:         st.Batches,
+		BatchedRequests: st.BatchedRequests,
+		CachedGraphs:    st.CachedGraphs,
+	}
+}
+
+// Parameters exposes the pool-wide shared parameter store.
+func (s *Server) Parameters() *vars.Store { return s.srv.Pool().Store() }
+
+// ServerStats extends engine Stats with serving-side counters.
+type ServerStats struct {
+	Stats
+	// PoolSize is the number of engine workers in the pool.
+	PoolSize int
+	// Workers mirrors PoolSize under the stats field's pre-v1 name, so
+	// existing consumers keep compiling.
+	//
+	// Deprecated: read PoolSize.
+	Workers         int
+	Sessions        int
+	Requests        int64
+	Batches         int64
+	BatchedRequests int64
+	CachedGraphs    int
+}
+
+// serverBackend executes handles on the serving pool's request batcher.
+type serverBackend struct {
+	pool *serve.Pool
+	sess *serve.Session // non-nil for session-scoped handles (accounting)
+}
+
+func (b serverBackend) funcParams(ctx context.Context, name string) ([]string, error) {
+	return b.pool.FuncParams(ctx, name)
+}
+
+func (b serverBackend) call(ctx context.Context, name string, feeds Feeds) (Outputs, error) {
+	var outs []*tensor.Tensor
+	var err error
+	if b.sess != nil {
+		outs, err = b.sess.CallNamed(ctx, name, feeds)
+	} else {
+		outs, err = b.pool.CallNamed(ctx, name, feeds)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Outputs(outs), nil
+}
+
+// Session is a client handle onto a Server. Sessions are cheap: graphs,
+// parameters and workers are server-wide; the session carries identity and
+// per-client accounting.
+type Session struct {
+	sess *serve.Session
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.sess.ID }
+
+// Func resolves a loaded module-level function into a session-scoped
+// handle. Calls go through the request batcher — concurrent calls with the
+// same function and feed signature (across all sessions) execute as one
+// batched graph run — so handle functions must be batch-dim parallel, as
+// inference functions are. Stateful functions (train steps calling
+// optimize()) batch too: concurrent same-shape train calls merge into one
+// step over the concatenated batch, and every merged caller receives the
+// same scalar loss (outputs without a batch dimension are shared, not
+// sliced); use Call for strict one-step-per-call semantics.
+func (s *Session) Func(name string) (*Function, error) {
+	return (&Program{b: serverBackend{pool: s.sess.Pool(), sess: s.sess}}).Func(name)
+}
+
+// Infer runs fn on one input through the request batcher. x must keep a
+// leading batch dimension (shape [1, ...] for a single example). Prefer
+// Func, which supports multi-input/multi-output signatures.
+func (s *Session) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return s.sess.Infer(fn, x)
+}
+
+// Call invokes a loaded module-level function (an inference function or a
+// train-step function that calls optimize() internally) with positional
+// tensor arguments, one call per execution (no batching). Prefer Func for
+// the named-feed handle surface.
+func (s *Session) Call(fn string, args ...*tensor.Tensor) (minipy.Value, error) {
+	vals := make([]minipy.Value, len(args))
+	for i, a := range args {
+		vals[i] = minipy.NewTensor(a)
+	}
+	return s.sess.Call(fn, vals)
+}
+
+// Run executes an ad-hoc script on one worker and returns its print output.
+func (s *Session) Run(src string) (string, error) { return s.sess.Exec(src) }

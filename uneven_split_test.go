@@ -1,0 +1,33 @@
+package janus
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestUnevenChunkGradientWeighting(t *testing.T) {
+	cl, err := NewCluster(regressionSrc, TrainOptions{Replicas: 2, Options: Options{Seed: 5, LearningRate: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := cl.Func("train_step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromRows([][]float64{{1}, {2}, {3}, {4}, {5}})
+	y := tensor.FromRows([][]float64{{2}, {4}, {6}, {8}, {10}})
+	for i := 0; i < 120; i++ {
+		if _, err := fn.Call(context.Background(), Feeds{"x": x, "y": y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := cl.Parameter("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(w, tensor.FromRows([][]float64{{2}}), 0.05) {
+		t.Fatalf("uneven 3/2 split: w = %v, want ~2", w)
+	}
+}
