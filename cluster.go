@@ -35,13 +35,33 @@ type TrainOptions struct {
 	// (synchronous) never rejects. Ignored when ServerAddr is set — the
 	// external server's -staleness applies.
 	Staleness int
+	// Optimizer names the server-side update rule applied to pushed
+	// gradients: "sgd" (default), "momentum", or "adam". Optimizer state
+	// (velocity, Adam moments and per-tensor step counts) lives on the
+	// server's shards keyed by variable name, so replicas stay stateless.
+	// Ignored when ServerAddr is set — the external server's -optimizer
+	// applies.
+	Optimizer string
+	// Async makes each Call a free-running epoch instead of one barriered
+	// round: every replica loops AsyncSteps local steps on its slice of the
+	// batch — pull fresh shards, run the function, stream gradients — with
+	// no per-step barrier across replicas. The only cross-replica
+	// synchronization is the server's shard step clock enforcing Staleness:
+	// a replica whose pushes are rejected as stale backs off (bounded) and
+	// re-pulls rather than failing. The Call returns when every replica has
+	// finished its steps.
+	Async bool
+	// AsyncSteps is how many free-running local steps each replica runs per
+	// Call when Async is set (default 1). Each step re-runs the function on
+	// the replica's same feed slice against freshly pulled parameters.
+	AsyncSteps int
 	// ServerAddr, when non-empty, connects the replicas to an external
 	// janusps parameter server (e.g. "http://localhost:8081") instead of
 	// hosting an in-process one. The external server must be configured for
 	// the same number of workers (gradients are averaged 1/Replicas
-	// server-side), and ITS -lr governs the SGD updates — with ServerAddr
-	// set, Options.LearningRate only affects the replicas' local optimize()
-	// bookkeeping, not the applied updates.
+	// server-side), and ITS -lr and -optimizer govern the updates — with
+	// ServerAddr set, Options.LearningRate only affects the replicas' local
+	// optimize() bookkeeping, not the applied updates.
 	ServerAddr string
 }
 
@@ -55,10 +75,17 @@ type TrainOptions struct {
 // graph engine's multi-device scalability to). The call returns the
 // row-weighted mean of the replicas' scalar losses.
 //
-// Calls are serialized (a round is a global barrier); concurrency lives
-// inside the round. Context cancellation stops every replica between
-// training steps with ErrCanceled; gradients of interrupted steps are never
-// half-applied, so server parameters always correspond to completed pushes.
+// With TrainOptions.Async set, a Call is instead a free-running epoch: each
+// replica loops AsyncSteps pull→step→push iterations on its slice with no
+// per-step barrier, the staleness bound arbitrating between fast and slow
+// replicas (see TrainOptions.Async); the call returns each replica's final
+// loss row-weighted.
+//
+// Calls are serialized (a round — or async epoch — is a global barrier);
+// concurrency lives inside the round. Context cancellation stops every
+// replica between training steps with ErrCanceled; gradients of interrupted
+// steps are never half-applied, so server parameters always correspond to
+// completed pushes.
 // Atomicity is per replica step, not per round: a replica already past the
 // cancellation check finishes its step and its pushes land, so a canceled
 // round may be partially applied across replicas (training remains correct
@@ -110,12 +137,17 @@ func NewCluster(src string, opts TrainOptions) (*Cluster, error) {
 	if opts.ServerAddr != "" {
 		c.trans = ps.NewClient(opts.ServerAddr, nil)
 	} else {
-		c.server = ps.NewServer(ps.Config{
+		server, err := ps.NewServer(ps.Config{
 			Shards:    opts.Shards,
 			LR:        ecfg.LR,
 			Workers:   opts.Replicas,
 			Staleness: opts.Staleness,
+			Optimizer: opts.Optimizer,
 		})
+		if err != nil {
+			return nil, fmt.Errorf("janus: cluster: %w", err)
+		}
+		c.server = server
 		c.trans = c.server
 	}
 	shards, err := c.trans.NumShards()
@@ -149,7 +181,7 @@ func (c *Cluster) Func(name string) (*Function, error) { return c.Program().Func
 func (c *Cluster) Parameters() (map[string]*tensor.Tensor, error) {
 	out := make(map[string]*tensor.Tensor)
 	for s := 0; s < c.shards; s++ {
-		params, _, err := c.trans.Pull(s, -1)
+		params, _, _, err := c.trans.Pull(s, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +194,7 @@ func (c *Cluster) Parameters() (map[string]*tensor.Tensor, error) {
 
 // Parameter returns one named server-side trained parameter.
 func (c *Cluster) Parameter(name string) (*tensor.Tensor, error) {
-	params, _, err := c.trans.Pull(vars.ShardOf(name, c.shards), -1)
+	params, _, _, err := c.trans.Pull(vars.ShardOf(name, c.shards), -1)
 	if err != nil {
 		return nil, err
 	}
@@ -265,9 +297,7 @@ func (b clusterBackend) call(ctx context.Context, name string, feeds Feeds) (Out
 		wg.Add(1)
 		go func(i int, w *ps.Worker) {
 			defer wg.Done()
-			// Per-round stale-drop counts are discarded here; cumulative
-			// drops stay observable via Cluster.Stats().
-			loss, _, err := w.Do(func() (float64, error) {
+			body := func() (float64, error) {
 				out, err := c.engines[i].CallNamed(ctx, name, feedValues(chunks[i]))
 				if err != nil {
 					return 0, err
@@ -277,7 +307,26 @@ func (b clusterBackend) call(ctx context.Context, name string, feeds Feeds) (Out
 					return 0, err
 				}
 				return outs.Scalar()
-			})
+			}
+			// Per-round stale-drop counts are discarded here; cumulative
+			// drops stay observable via Cluster.Stats().
+			if c.opts.Async {
+				// Free-running epoch: this replica loops AsyncSteps local
+				// steps against its same slice with no cross-replica barrier;
+				// stale pushes back off and re-pull inside RunFree.
+				steps := c.opts.AsyncSteps
+				if steps < 1 {
+					steps = 1
+				}
+				losses, _, err := w.RunFree(ctx, steps, func(int) (float64, error) { return body() })
+				var last float64
+				if len(losses) > 0 {
+					last = losses[len(losses)-1]
+				}
+				results[i] = result{loss: last, err: err}
+				return
+			}
+			loss, _, err := w.Do(body)
 			results[i] = result{loss: loss, err: err}
 		}(i, w)
 	}

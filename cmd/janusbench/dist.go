@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -20,6 +21,65 @@ import (
 // either way).
 const memBandwidth = 2e9
 
+// distOptions configures the distributed benchmark modes.
+type distOptions struct {
+	model              string
+	maxWorkers, shards int
+	warmup, steps      int
+	deviceTime         time.Duration
+	optimizer          string
+	async              bool
+	staleness          int // in async mode: -1 sweeps {0, 2, 8}
+	jsonPath           string
+}
+
+// distReport is the machine-readable result (-json) the CI regression gate
+// consumes (BENCH_dist.json).
+type distReport struct {
+	Mode      string           `json:"mode"`
+	Model     string           `json:"model"`
+	Workers   int              `json:"workers"`
+	Optimizer string           `json:"optimizer"`
+	Barriered *distPoint       `json:"barriered,omitempty"`
+	Async     []asyncDistPoint `json:"async,omitempty"`
+	Scaling   []distPoint      `json:"scaling,omitempty"`
+}
+
+type distPoint struct {
+	Workers   int     `json:"workers"`
+	ItemsPerS float64 `json:"items_per_s"`
+	FinalLoss float64 `json:"final_loss"`
+}
+
+type asyncDistPoint struct {
+	Staleness  int     `json:"staleness"`
+	ItemsPerS  float64 `json:"items_per_s"`
+	FinalLoss  float64 `json:"final_loss"`
+	StaleDrops int64   `json:"stale_drops"`
+	Backoffs   int64   `json:"backoffs"`
+}
+
+// distEngineConfig is the shared per-replica engine configuration.
+func distEngineConfig() core.Config {
+	ecfg := core.DefaultJanusConfig()
+	ecfg.Workers = 1 // scale across replicas, not inside one graph executor
+	ecfg.ProfileIters = 2
+	ecfg.Seed = 42
+	ecfg.PyOverheadNs = -1
+	ecfg.LR = 0.05
+	return ecfg
+}
+
+// serverLR applies the linear LR-scaling rule for averaging optimizers so
+// the optimization trajectory stays comparable across cluster sizes; Adam's
+// per-tensor adaptive scale replaces it.
+func serverLR(base float64, workers int, optimizer string) float64 {
+	if optimizer == "adam" {
+		return base / 5 // conventional Adam scale; SGD-size steps diverge
+	}
+	return base * float64(workers)
+}
+
 // distBench measures REAL data-parallel scaling on the parameter-server
 // runtime (internal/ps) and prints it beside the internal/dist analytical
 // prediction configured from the same measured profile — turning the
@@ -32,23 +92,39 @@ const memBandwidth = 2e9
 // during backprop complete during that window — the compute/communication
 // overlap the figure measures. Pass 0 for a fully host-bound measurement
 // (which cannot scale beyond the machine's core count).
-func distBench(modelName string, maxWorkers, shards, warmup, steps int, deviceTime time.Duration) {
-	m, err := models.Get(modelName)
+func distBench(o distOptions) {
+	m, err := models.Get(o.model)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dist bench: %v\n", err)
 		os.Exit(1)
 	}
-	ecfg := core.DefaultJanusConfig()
-	ecfg.Workers = 1 // scale across replicas, not inside one graph executor
-	ecfg.ProfileIters = 2
-	ecfg.Seed = 42
-	ecfg.PyOverheadNs = -1
-	ecfg.LR = 0.05
+	ecfg := distEngineConfig()
+	maxWorkers, shards, warmup, steps, deviceTime :=
+		o.maxWorkers, o.shards, o.warmup, o.steps, o.deviceTime
+
+	build := func(_ int, e *core.Engine) (ps.StepFunc, error) {
+		inst, err := m.Build(e, ecfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) (float64, error) {
+			loss, err := inst.Step(i)
+			if deviceTime > 0 {
+				time.Sleep(deviceTime)
+			}
+			return loss, err
+		}, nil
+	}
+	if o.async {
+		asyncDistBench(o, m, ecfg, build)
+		return
+	}
 
 	type point struct {
 		workers    int
 		stepsPerS  float64 // aggregate local steps/second
 		throughput float64 // aggregate items/second
+		finalLoss  float64
 		stale      int64
 	}
 	var pts []point
@@ -64,21 +140,10 @@ func distBench(modelName string, maxWorkers, shards, warmup, steps int, deviceTi
 			Shards:  shards,
 			// Linear LR scaling keeps the optimization trajectory comparable
 			// across cluster sizes (gradients are averaged server-side).
-			LR:     ecfg.LR * float64(w),
-			Engine: ecfg,
-			Build: func(_ int, e *core.Engine) (ps.StepFunc, error) {
-				inst, err := m.Build(e, ecfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-				return func(i int) (float64, error) {
-					loss, err := inst.Step(i)
-					if deviceTime > 0 {
-						time.Sleep(deviceTime)
-					}
-					return loss, err
-				}, nil
-			},
+			LR:        serverLR(ecfg.LR, w, o.optimizer),
+			Optimizer: o.optimizer,
+			Engine:    ecfg,
+			Build:     build,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dist bench: %d workers: %v\n", w, err)
@@ -102,6 +167,7 @@ func distBench(modelName string, maxWorkers, shards, warmup, steps int, deviceTi
 			workers:    w,
 			stepsPerS:  localSteps / elapsed,
 			throughput: localSteps * float64(m.ItemsPerStep) / elapsed,
+			finalLoss:  ps.TailMean(res.Losses),
 			stale:      res.Stale,
 		})
 		if w == 1 {
@@ -142,4 +208,140 @@ func distBench(modelName string, maxWorkers, shards, warmup, steps int, deviceTi
 	fmt.Println("analytical model ignores host-side coordination cost (serialized on")
 	fmt.Printf("this machine's %d core(s)) and shard-lock contention, so the gap Δ is\n", runtime.NumCPU())
 	fmt.Println("the model's unexplained residual.")
+
+	rep := distReport{Mode: "dist", Model: m.Name, Workers: maxWorkers, Optimizer: optName(o.optimizer)}
+	for _, p := range pts {
+		rep.Scaling = append(rep.Scaling, distPoint{
+			Workers: p.workers, ItemsPerS: p.throughput, FinalLoss: p.finalLoss,
+		})
+	}
+	last := pts[len(pts)-1]
+	rep.Barriered = &distPoint{Workers: last.workers, ItemsPerS: last.throughput, FinalLoss: last.finalLoss}
+	writeReport(o.jsonPath, rep)
+}
+
+func optName(name string) string {
+	if name == "" {
+		return "sgd"
+	}
+	return name
+}
+
+// asyncDistBench measures free-running (non-barriered) training across
+// staleness bounds: each worker loops pull→step→stream-push on its own
+// goroutine, the shard step clocks enforcing the bound (stale pushes are
+// dropped and the worker backs off and re-pulls). A barriered run on the
+// same data anchors the comparison; the internal/dist prediction is printed
+// beside the measured efficiency exactly as in the synchronous mode.
+func asyncDistBench(o distOptions, m *models.Model, ecfg core.Config, build func(int, *core.Engine) (ps.StepFunc, error)) {
+	workers, steps, warmup := o.maxWorkers, o.steps, o.warmup
+	bounds := []int{0, 2, 8}
+	if o.staleness >= 0 {
+		bounds = []int{o.staleness}
+	}
+	lr := serverLR(ecfg.LR, workers, o.optimizer)
+	mk := func(staleness int) *ps.Cluster {
+		cluster, err := ps.NewCluster(ps.ClusterConfig{
+			Workers: workers, Shards: o.shards, LR: lr,
+			Staleness: staleness, Optimizer: o.optimizer,
+			Engine: ecfg, Build: build,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: async cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if _, err := cluster.Run(warmup); err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: async warmup: %v\n", err)
+			os.Exit(1)
+		}
+		return cluster
+	}
+
+	// Single-worker profile for the analytical prediction — a dedicated
+	// 1-worker run, exactly as the synchronous mode profiles it: the
+	// N-worker anchor's per-round wall time includes barrier waits and
+	// host serialization, which would inflate StepCompute.
+	profSteps := steps / 2
+	if profSteps < 4 {
+		profSteps = 4
+	}
+	single, err := ps.NewCluster(ps.ClusterConfig{
+		Workers: 1, Shards: o.shards, LR: ecfg.LR, Optimizer: o.optimizer,
+		Engine: ecfg, Build: build,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: profile cluster: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := single.Run(warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: profile warmup: %v\n", err)
+		os.Exit(1)
+	}
+	profRes, err := single.Run(profSteps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: profile run: %v\n", err)
+		os.Exit(1)
+	}
+	stepSeconds := profRes.Elapsed.Seconds() / float64(profSteps)
+	ws := single.Workers()[0].Stats()
+	gradBytes := 0.0
+	if ws.Steps > 0 {
+		gradBytes = float64(ws.BytesPushed) / float64(ws.Steps)
+	}
+	tensors := single.Workers()[0].Engine().Store.Len()
+	pred := dist.ScaleFactor(
+		dist.Measured(workers, stepSeconds, gradBytes, memBandwidth, tensors), m.BatchSize)
+
+	// Barriered anchor: same data, same worker count, per-round barrier.
+	sync := mk(0)
+	syncRes, err := sync.Run(steps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: barriered anchor: %v\n", err)
+		os.Exit(1)
+	}
+	localSteps := float64(workers * steps)
+	syncItems := localSteps * float64(m.ItemsPerStep) / syncRes.Elapsed.Seconds()
+	syncLoss := ps.TailMean(syncRes.Losses)
+
+	fmt.Printf("model %s: FREE-RUNNING %d workers, %d shards, %s, per-worker batch %d, device time %v\n",
+		m.Name, workers, o.shards, optName(o.optimizer), m.BatchSize, o.deviceTime)
+	fmt.Printf("barriered anchor: %.1f items/s, final loss %.4f (staleness bound trivially satisfied)\n\n",
+		syncItems, syncLoss)
+	fmt.Printf("%10s %14s %12s %12s %8s %9s\n",
+		"staleness", "items/s", "vs anchor", "final loss", "stale", "backoffs")
+
+	rep := distReport{
+		Mode: "dist", Model: m.Name, Workers: workers, Optimizer: optName(o.optimizer),
+		Barriered: &distPoint{Workers: workers, ItemsPerS: syncItems, FinalLoss: syncLoss},
+	}
+	for _, bound := range bounds {
+		cluster := mk(bound)
+		res, err := cluster.RunAsync(context.Background(), steps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist bench: async staleness %d: %v\n", bound, err)
+			os.Exit(1)
+		}
+		items := localSteps * float64(m.ItemsPerStep) / res.Elapsed.Seconds()
+		loss := res.FinalLoss()
+		fmt.Printf("%10d %14.1f %11.2fx %12.4f %8d %9d\n",
+			bound, items, items/syncItems, loss, res.Stale, res.Backoffs)
+		rep.Async = append(rep.Async, asyncDistPoint{
+			Staleness: bound, ItemsPerS: items, FinalLoss: loss,
+			StaleDrops: res.Stale, Backoffs: res.Backoffs,
+		})
+	}
+	best := 0.0
+	for _, a := range rep.Async {
+		if s := a.ItemsPerS / syncItems; s > best {
+			best = s
+		}
+	}
+	fmt.Printf("\npredicted scaling efficiency at %d workers (internal/dist, overlap=true): %.2fx\n",
+		workers, pred)
+	fmt.Printf("best barrier-removal speedup %.2fx → implied per-step variation cv ≈ %.2f\n",
+		best, dist.ImpliedStepCV(workers, best))
+	fmt.Println("(dist.BarrierFactor: a barriered round waits for the slowest replica,")
+	fmt.Println("~1 + cv*sqrt(2 ln N) of the mean step; free-running is bounded by the")
+	fmt.Println("mean, with the staleness bound capping how far replicas may drift.)")
+	writeReport(o.jsonPath, rep)
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,15 +45,31 @@ func main() {
 	distModel := flag.String("dist-model", "LeNet", "model trained in -dist mode")
 	deviceTime := flag.Duration("device-time", 2*time.Millisecond,
 		"simulated accelerator time per local step in -dist mode (0 = host-bound)")
+	asyncMode := flag.Bool("async", false,
+		"free-running workers in -dist mode: no round barrier, the staleness bound arbitrates")
+	staleness := flag.Int("staleness", -1,
+		"staleness bound in -dist -async mode (-1 = sweep bounds 0, 2, 8)")
+	optimizer := flag.String("optimizer", "sgd", "server-side optimizer in -dist mode: sgd, momentum, or adam")
+	jsonOut := flag.String("json", "",
+		"write machine-readable results to this file (-dist and -serve modes; the CI regression gate reads it)")
 	flag.Parse()
 
 	if *serveMode {
-		serveBench(*clients, *duration, *serveWorkers, *maxBatch, *batchLatency)
+		serveBench(*clients, *duration, *serveWorkers, *maxBatch, *batchLatency, *jsonOut)
 		return
 	}
 	if *distMode {
-		fmt.Printf("========== Distributed data-parallel scaling (real, vs Figure 8 model) ==========\n")
-		distBench(*distModel, *workers, *shards, *warmup, *steps, *deviceTime)
+		if *asyncMode {
+			fmt.Printf("========== Distributed free-running training (async, staleness-bounded) ==========\n")
+		} else {
+			fmt.Printf("========== Distributed data-parallel scaling (real, vs Figure 8 model) ==========\n")
+		}
+		distBench(distOptions{
+			model: *distModel, maxWorkers: *workers, shards: *shards,
+			warmup: *warmup, steps: *steps, deviceTime: *deviceTime,
+			optimizer: *optimizer, async: *asyncMode, staleness: *staleness,
+			jsonPath: *jsonOut,
+		})
 		return
 	}
 
@@ -84,6 +101,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// writeReport writes a machine-readable benchmark result for the CI
+// regression gate (internal/tools/benchcheck). No-op when path is empty.
+func writeReport(path string, v any) {
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", path)
 }
 
 func mark(b bool) string {

@@ -25,10 +25,23 @@ def predict(x):
     return matmul(relu(matmul(x, w1)), w2)
 `
 
+// serveReport is the machine-readable result (-json) the CI regression gate
+// consumes (BENCH_serve.json).
+type serveReport struct {
+	Mode         string  `json:"mode"`
+	ReqPerS      float64 `json:"req_per_s"`
+	Requests     int64   `json:"requests"`
+	Failed       int64   `json:"failed"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	AvgBatch     float64 `json:"avg_batch"`
+}
+
 // serveBench measures requests/sec against an in-process janusd: a real
 // HTTP server over the serving pool (built through the public handle API),
 // hammered by N concurrent clients.
-func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatency time.Duration) {
+func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatency time.Duration, jsonPath string) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -134,4 +147,19 @@ func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatenc
 	fmt.Printf("%-22s %12d hits / %d conversions / %d cached graphs\n",
 		"graph cache", st.CacheHits, st.Conversions, st.CachedGraphs)
 	fmt.Printf("%-22s %12d graph / %d imperative\n", "steps", st.GraphSteps, st.ImperativeSteps)
+
+	hitRate := 0.0
+	if st.CacheHits+st.CacheMisses > 0 {
+		hitRate = float64(st.CacheHits) / float64(st.CacheHits+st.CacheMisses)
+	}
+	writeReport(jsonPath, serveReport{
+		Mode:         "serve",
+		ReqPerS:      float64(done.Load()) / dur.Seconds(),
+		Requests:     done.Load(),
+		Failed:       failed.Load(),
+		P50Ms:        float64(pct(0.50)) / 1e6,
+		P99Ms:        float64(pct(0.99)) / 1e6,
+		CacheHitRate: hitRate,
+		AvgBatch:     avgBatch,
+	})
 }

@@ -1,9 +1,11 @@
 // Command janusps runs the sharded parameter server for distributed
 // data-parallel training (internal/ps): K logical parameter shards behind an
 // HTTP+JSON protocol with versioned pulls and staleness-bounded gradient
-// pushes, applying SGD server-side with gradient averaging across workers.
+// pushes, applying a configurable optimizer (SGD, momentum, or Adam)
+// server-side with gradient averaging across workers. Optimizer state lives
+// here, keyed by variable name, so workers stay stateless.
 //
-//	janusps -addr :8081 -shards 4 -lr 0.2 -workers 4 -staleness 2
+//	janusps -addr :8081 -shards 4 -lr 0.2 -optimizer adam -workers 4 -staleness 2
 //
 // Endpoints (all JSON; tensors are {"shape": [...], "data": [...]}):
 //
@@ -31,16 +33,21 @@ import (
 func main() {
 	addr := flag.String("addr", ":8081", "listen address")
 	shards := flag.Int("shards", 4, "logical parameter shards")
-	lr := flag.Float64("lr", 0.1, "server-side SGD learning rate")
+	lr := flag.Float64("lr", 0.1, "server-side learning rate")
+	optimizer := flag.String("optimizer", "sgd", "server-side optimizer: sgd, momentum, or adam")
 	workers := flag.Int("workers", 1, "data-parallel replicas (gradients are averaged across them)")
 	staleness := flag.Int("staleness", 2, "max worker-step lag before a push is rejected (-1 = unbounded)")
 	flag.Parse()
 
-	server := ps.NewServer(ps.Config{
+	server, err := ps.NewServer(ps.Config{
 		Shards: *shards, LR: *lr, Workers: *workers, Staleness: *staleness,
+		Optimizer: *optimizer,
 	})
-	log.Printf("janusps: serving on %s (%d shards, lr %g, %d workers, staleness %d)",
-		*addr, *shards, *lr, *workers, *staleness)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("janusps: serving on %s (%d shards, lr %g, %s, %d workers, staleness %d)",
+		*addr, *shards, *lr, *optimizer, *workers, *staleness)
 	if err := http.ListenAndServe(*addr, ps.NewHandler(server)); err != nil {
 		log.Fatal(err)
 	}

@@ -407,7 +407,10 @@ def train_step(x, y):
 // public-API cluster whose replicas talk HTTP to a janusps-style parameter
 // server in another "process" (an httptest server over ps.NewHandler).
 func TestClusterOverExternalServer(t *testing.T) {
-	psrv := ps.NewServer(ps.Config{Shards: 2, LR: 0.05, Workers: 2})
+	psrv, err := ps.NewServer(ps.Config{Shards: 2, LR: 0.05, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(ps.NewHandler(psrv))
 	defer ts.Close()
 	cl, err := NewCluster(regressionSrc, TrainOptions{
@@ -588,5 +591,66 @@ def train_b(x, y):
 		if _, err := cl.Parameter(p); err != nil {
 			t.Fatalf("parameter %q not registered server-side: %v", p, err)
 		}
+	}
+}
+
+// TestClusterAsyncHandleTrains drives the free-running mode through the
+// public handle API: each Call is an async epoch (AsyncSteps local steps per
+// replica with no per-step barrier, staleness bound arbitrating), with a
+// server-side momentum optimizer holding its state keyed by variable name.
+func TestClusterAsyncHandleTrains(t *testing.T) {
+	cl, err := NewCluster(regressionSrc, TrainOptions{
+		Replicas:   2,
+		Staleness:  2,
+		Async:      true,
+		AsyncSteps: 10,
+		// Momentum's asymptotic step gain is 1/(1-mu) = 10x the base rate;
+		// 0.005 keeps the effective rate (~0.05) safely inside the stable
+		// region for this quadratic regardless of async push ordering.
+		Optimizer: "momentum",
+		Options:   Options{Seed: 5, LearningRate: 0.005},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := cl.Func("train_step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.FromRows([][]float64{{1}, {2}, {3}, {4}})
+	y := tensor.FromRows([][]float64{{2}, {4}, {6}, {8}})
+	var loss float64
+	for i := 0; i < 12; i++ {
+		out, err := fn.Call(context.Background(), Feeds{"x": x, "y": y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss, err = out.Scalar(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loss > 0.05 {
+		t.Fatalf("async distributed training did not converge: final loss %v", loss)
+	}
+	w, err := cl.Parameter("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(w, tensor.FromRows([][]float64{{2}}), 0.1) {
+		t.Fatalf("server-side w = %v, want ~2", w)
+	}
+	// 12 calls x 2 replicas x 10 free-running steps each, plus 2 bootstrap
+	// runs that don't count as worker steps.
+	st := cl.Stats()
+	if st.Steps != 12*2*10 {
+		t.Fatalf("free-running steps %d, want %d", st.Steps, 12*2*10)
+	}
+}
+
+// TestClusterAsyncRejectsBadOptimizer: an unknown TrainOptions.Optimizer
+// fails NewCluster up front.
+func TestClusterAsyncRejectsBadOptimizer(t *testing.T) {
+	if _, err := NewCluster(regressionSrc, TrainOptions{Optimizer: "adagrad"}); err == nil {
+		t.Fatal("unknown optimizer accepted")
 	}
 }

@@ -1,7 +1,9 @@
 package autodiff
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/tensor"
 	"repro/internal/vars"
@@ -9,12 +11,30 @@ import (
 
 // Optimizer applies a gradient map to a parameter store. Both the imperative
 // executor and the symbolic engines use these implementations, so parameter
-// trajectories are comparable across engines.
+// trajectories are comparable across engines. The stateful optimizers
+// (Momentum, Adam) key their state by variable name, so an Apply carrying a
+// single streamed gradient advances exactly that variable's state — the
+// parameter server applies per-tensor pushes this way.
 type Optimizer interface {
 	// Apply updates every variable named in grads.
 	Apply(store *vars.Store, grads map[string]*tensor.Tensor)
 	// Name identifies the optimizer for logging.
 	Name() string
+}
+
+// NewOptimizer builds an optimizer by name: "sgd" (or ""), "momentum"
+// (mu 0.9), or "adam" (conventional betas). The parameter server uses it to
+// construct per-shard server-side optimizer state from a config string.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch strings.ToLower(name) {
+	case "", "sgd":
+		return &SGD{LR: lr}, nil
+	case "momentum":
+		return &Momentum{LR: lr, Mu: 0.9}, nil
+	case "adam":
+		return NewAdam(lr), nil
+	}
+	return nil, fmt.Errorf("autodiff: unknown optimizer %q (want sgd, momentum, or adam)", name)
 }
 
 // SGD is stochastic gradient descent with optional gradient clipping by
@@ -67,10 +87,13 @@ func (m *Momentum) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
 	}
 }
 
-// Adam implements the Adam optimizer.
+// Adam implements the Adam optimizer. The step counter behind bias
+// correction is per variable, not per Apply call: a parameter server that
+// receives one streamed gradient per Apply still bias-corrects each tensor
+// by how many updates THAT tensor has seen.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
-	step                  int
+	steps                 map[string]int
 	m, v                  map[string]*tensor.Tensor
 }
 
@@ -87,10 +110,8 @@ func (a *Adam) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
 	if a.m == nil {
 		a.m = make(map[string]*tensor.Tensor)
 		a.v = make(map[string]*tensor.Tensor)
+		a.steps = make(map[string]int)
 	}
-	a.step++
-	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
-	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
 	for name, g := range grads {
 		m, ok := a.m[name]
 		if !ok {
@@ -98,6 +119,9 @@ func (a *Adam) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
 			a.v[name] = tensor.Zeros(g.Shape()...)
 		}
 		v := a.v[name]
+		a.steps[name]++
+		bc1 := 1 - math.Pow(a.Beta1, float64(a.steps[name]))
+		bc2 := 1 - math.Pow(a.Beta2, float64(a.steps[name]))
 		m = tensor.Add(tensor.MulScalar(m, a.Beta1), tensor.MulScalar(g, 1-a.Beta1))
 		v = tensor.Add(tensor.MulScalar(v, a.Beta2), tensor.MulScalar(tensor.Mul(g, g), 1-a.Beta2))
 		a.m[name], a.v[name] = m, v

@@ -322,6 +322,26 @@ func (e *Engine) interrupted() error {
 	return nil
 }
 
+// asCanceled maps a graph-executor error caused by run-context cancellation
+// onto the ErrCanceled sentinel; other errors pass through unchanged. The
+// executor wraps context.Cause of the run context, so cancellations with a
+// custom cause (context.WithCancelCause) map too — without masking genuine
+// execution failures that merely race a cancellation.
+func (e *Engine) asCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	ctx := e.runCtx
+	if ctx == nil || ctx.Err() == nil {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Cause(ctx)) {
+		return CanceledErr(ctx)
+	}
+	return err
+}
+
 // RunProgram executes a pre-parsed program.
 func (e *Engine) RunProgram(prog *minipy.Program) error { return e.Local.Run(prog) }
 
@@ -562,11 +582,15 @@ func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, erro
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		// The scheduler checks the run context between nodes (and inside
+		// While/Invoke subgraphs), so cancellation lands mid-execution on
+		// long graphs, not just at the next step boundary.
+		Ctx: e.runCtx,
 	}
 	if c.static {
 		res, err := exec.Run(c.res.Graph, feeds, opts)
 		if err != nil {
-			return nil, err
+			return nil, e.asCanceled(err)
 		}
 		t, err := graph.AsTensor(res.Outputs[0])
 		if err != nil {
@@ -579,7 +603,7 @@ func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, erro
 	opts.Tape = tape
 	res, err := exec.Run(c.res.Graph, feeds, opts)
 	if err != nil {
-		return nil, err
+		return nil, e.asCanceled(err)
 	}
 	node, ok := res.Outputs[0].(*autodiff.Node)
 	if !ok {

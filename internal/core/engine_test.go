@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/minipy"
 	"repro/internal/tensor"
@@ -721,5 +724,56 @@ def predict(x):
 	// The engine still serves good requests afterwards.
 	if _, err := e.Call("predict", []minipy.Value{minipy.NewTensor(good)}); err != nil {
 		t.Fatalf("engine poisoned after malformed call: %v", err)
+	}
+}
+
+// TestCancellationLandsInsideGraphExecution: with the run context threaded
+// into the graph executor, a deadline that expires while a long Loop graph
+// is executing surfaces ErrCanceled promptly — inside the execution, not at
+// the next step boundary.
+func TestCancellationLandsInsideGraphExecution(t *testing.T) {
+	cfg := Config{Mode: Janus, LR: 0.1, ProfileIters: 1, Workers: 1,
+		Seed: 7, PyOverheadNs: -1, Unroll: false, Specialize: true}
+	e := NewEngine(cfg)
+	if err := e.Run(`
+def spin():
+    acc = constant(0.0)
+    for i in range(80000):
+        acc = acc + 1.0
+    return acc
+`); err != nil {
+		t.Fatal(err)
+	}
+	// First call profiles imperatively; the second converts and executes the
+	// structured Loop graph.
+	if _, err := e.CallNamed(context.Background(), "spin", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := e.CallNamed(ctx, "spin", nil)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cause not preserved: %v", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v — did not land inside the execution", elapsed)
+	}
+
+	// A custom cancellation cause (context.WithCancelCause) must map to
+	// ErrCanceled too, with the cause preserved in the chain.
+	cause := errors.New("shutting down")
+	cctx, ccancel := context.WithCancelCause(context.Background())
+	time.AfterFunc(30*time.Millisecond, func() { ccancel(cause) })
+	_, err = e.CallNamed(cctx, "spin", nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("custom-cause cancellation: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("custom cause lost from the chain: %v", err)
 	}
 }

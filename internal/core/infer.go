@@ -235,9 +235,10 @@ func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value,
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		Ctx:            e.runCtx,
 	})
 	if err != nil {
-		return nil, err
+		return nil, e.asCanceled(err)
 	}
 	if len(res.Outputs) == 0 {
 		return minipy.None, nil

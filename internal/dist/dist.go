@@ -7,6 +7,8 @@
 // attributes the symbolic engine's scalability advantage to.
 package dist
 
+import "math"
+
 // LinkBandwidth is the simulated interconnect, bytes/second (100 Gbps).
 const LinkBandwidth = 100e9 / 8
 
@@ -91,6 +93,33 @@ func ScaleFactor(c ClusterConfig, batch int) float64 {
 		return 0
 	}
 	return Throughput(c, batch) / (float64(c.Devices) * base)
+}
+
+// BarrierFactor models the cost of a per-round barrier: a barriered round
+// lasts as long as the slowest of d replicas' steps, so with per-step times
+// varying with coefficient of variation cv (std/mean) the expected round
+// time exceeds the mean step by roughly cv*sqrt(2*ln d) — the Gaussian
+// order-statistics approximation for the expected maximum of d draws. The
+// returned factor (>= 1) is how much slower a barriered engine runs than a
+// free-running one whose throughput is bounded by the MEAN step time
+// (asynchrony absorbs stragglers up to the staleness bound). janusbench
+// -dist -async inverts this to report the per-step variation implied by the
+// measured barrier-removal speedup.
+func BarrierFactor(devices int, cv float64) float64 {
+	if devices <= 1 || cv <= 0 {
+		return 1
+	}
+	return 1 + cv*math.Sqrt(2*math.Log(float64(devices)))
+}
+
+// ImpliedStepCV inverts BarrierFactor: given the measured speedup of a
+// free-running run over a barriered run on the same cluster, it returns the
+// per-step coefficient of variation that would explain it.
+func ImpliedStepCV(devices int, speedup float64) float64 {
+	if devices <= 1 || speedup <= 1 {
+		return 0
+	}
+	return (speedup - 1) / math.Sqrt(2*math.Log(float64(devices)))
 }
 
 // Measured builds the model's configuration from a real single-worker

@@ -55,3 +55,24 @@ func TestMeasuredMapsProfileToConfig(t *testing.T) {
 		t.Fatalf("measured-profile scale factor %v out of range", sf)
 	}
 }
+
+func TestBarrierFactor(t *testing.T) {
+	if got := BarrierFactor(1, 0.5); got != 1 {
+		t.Fatalf("single device has no barrier cost: %v", got)
+	}
+	if got := BarrierFactor(4, 0); got != 1 {
+		t.Fatalf("deterministic steps have no barrier cost: %v", got)
+	}
+	f4, f16 := BarrierFactor(4, 0.2), BarrierFactor(16, 0.2)
+	if f4 <= 1 || f16 <= f4 {
+		t.Fatalf("barrier cost must grow with devices: 4 -> %v, 16 -> %v", f4, f16)
+	}
+	// Round trip through the inversion.
+	cv := ImpliedStepCV(4, f4)
+	if diff := cv - 0.2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("ImpliedStepCV(BarrierFactor(cv)) = %v, want 0.2", cv)
+	}
+	if got := ImpliedStepCV(4, 0.9); got != 0 {
+		t.Fatalf("slowdown implies no positive cv: %v", got)
+	}
+}

@@ -18,6 +18,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,13 @@ type Options struct {
 	DisableAsserts bool
 	// Stats, when non-nil, accumulates executed-op counts.
 	Stats *Stats
+	// Ctx, when non-nil, is checked between scheduled nodes — including
+	// inside While/Invoke subgraph iterations — so cancellation lands in the
+	// middle of a long graph execution, not just between steps. A canceled
+	// run returns an error wrapping the context's cause before any deferred
+	// state (heap overlay, variable updates) is committed, preserving the
+	// all-or-nothing semantics.
+	Ctx context.Context
 }
 
 // Stats counts scheduler activity for tests and the evaluation harness.
@@ -174,6 +182,18 @@ type ctx struct {
 	// applied only after every assertion in the whole run has passed.
 	updMu   sync.Mutex
 	updates []func()
+}
+
+// canceled reports whether the run's context (if any) has been canceled,
+// as an error wrapping the cancellation cause.
+func (c *ctx) canceled() error {
+	if c.opts.Ctx == nil {
+		return nil
+	}
+	if c.opts.Ctx.Err() != nil {
+		return fmt.Errorf("exec: run canceled: %w", context.Cause(c.opts.Ctx))
+	}
+	return nil
 }
 
 // Run executes g with the given placeholder feeds. On success all deferred
@@ -339,6 +359,9 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]g
 	n := len(g.Nodes)
 	vals := make([][]graph.Val, n)
 	for _, i := range p.topo {
+		if err := c.canceled(); err != nil {
+			return nil, err
+		}
 		nd := g.Nodes[i]
 		prods, ports := p.prods[i], p.ports[i]
 		in := make([]graph.Val, len(prods))
@@ -421,6 +444,11 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 				case <-done:
 					return
 				case i := <-ready:
+					if err := c.canceled(); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						finish()
+						return
+					}
 					nd := g.Nodes[i]
 					prods, ports := p.prods[i], p.ports[i]
 					in := make([]graph.Val, len(prods))

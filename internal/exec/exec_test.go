@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/autodiff"
 	"repro/internal/graph"
@@ -492,5 +494,83 @@ func TestKernelPanicRecovered(t *testing.T) {
 	}
 	if _, err := Run(g, good, Options{Workers: 4}); err != nil {
 		t.Fatalf("graph poisoned after recovered panic: %v", err)
+	}
+}
+
+// TestCtxCancellationLandsInsideWhile cancels a context while a long While
+// loop is executing and checks that Run stops mid-execution — inside the
+// graph, not at a step boundary — and that no deferred variable update was
+// committed (the all-or-nothing guarantee holds for canceled runs too).
+func TestCtxCancellationLandsInsideWhile(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		// while i < n: i += 1, with n far beyond what could run before the
+		// cancel fires; an AssignSub downstream must never commit.
+		cond := graph.New()
+		ci := cond.Placeholder("arg0")
+		cn := cond.Placeholder("arg1")
+		lt := cond.Add("Cmp", map[string]graph.Val{"op": "<"}, ci.P(), cn.P())
+		cond.Outputs = []graph.Port{lt.P()}
+
+		body := graph.New()
+		bi := body.Placeholder("arg0")
+		bn := body.Placeholder("arg1")
+		one := body.Const(tensor.Scalar(1))
+		ni := body.Add("Add", nil, bi.P(), one.P())
+		body.Outputs = []graph.Port{ni.P(), bn.P()}
+
+		g := graph.New()
+		i0 := g.Const(tensor.Scalar(0))
+		n0 := g.Const(tensor.Scalar(1e18))
+		w := g.Add("While", map[string]graph.Val{
+			"cond": cond, "body": body, "maxIter": 1 << 40,
+		}, i0.P(), n0.P())
+		w.NumOutputs = 2
+		gradc := g.Const(tensor.FromSlice([]float64{2}))
+		upd := g.Add("AssignSub", map[string]graph.Val{"name": "w", "lr": 0.5}, gradc.P())
+		upd.ControlDeps = append(upd.ControlDeps, w)
+		g.Updates = []*graph.Node{upd}
+		g.Outputs = []graph.Port{w.Out(0)}
+
+		store := vars.NewStore()
+		store.Set("w", tensor.FromSlice([]float64{10}))
+		ctx, cancel := context.WithCancel(context.Background())
+		time.AfterFunc(20*time.Millisecond, cancel)
+		start := time.Now()
+		_, err := Run(g, nil, Options{Workers: workers, Store: store, Ctx: ctx})
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("workers=%d: canceled run succeeded", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled in the chain", workers, err)
+		}
+		// Far below the time the full loop would need: cancellation landed
+		// inside the execution.
+		if elapsed > 30*time.Second {
+			t.Fatalf("workers=%d: cancellation took %v", workers, elapsed)
+		}
+		if store.MustGet("w").At(0) != 10 {
+			t.Fatalf("workers=%d: canceled run committed an update: %v", workers, store.MustGet("w"))
+		}
+	}
+}
+
+// TestCtxPreCanceledRunsNothing: a context canceled before Run starts stops
+// the schedule before any node executes.
+func TestCtxPreCanceledRunsNothing(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	c := g.Const(tensor.Scalar(3))
+	out := g.Add("Mul", nil, x.P(), c.P())
+	g.Outputs = []graph.Port{out.P()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var st Stats
+	_, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(7)}, Options{Ctx: ctx, Stats: &st})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if st.OpsExecuted.Load() != 0 {
+		t.Fatalf("pre-canceled run executed %d ops", st.OpsExecuted.Load())
 	}
 }

@@ -184,6 +184,9 @@ func execNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]g
 			if iter >= maxIter {
 				return nil, fmt.Errorf("exec: While exceeded %d iterations", maxIter)
 			}
+			if err := c.canceled(); err != nil {
+				return nil, err
+			}
 			feedsC := loopFeeds(state)
 			cond, err := runGraph(condG, feedsC, c)
 			if err != nil {

@@ -20,9 +20,12 @@ type ClusterConfig struct {
 	// LR is the server-side learning rate (default 0.1).
 	LR float64
 	// Staleness is the server's step-staleness bound (see Config.Staleness).
-	// The harness barriers workers per round, so 0 (synchronous) never
-	// rejects; raise it only when driving workers free-running.
+	// Run barriers workers per round, so 0 (synchronous) never rejects;
+	// RunAsync drives workers free-running, where the bound is load-bearing.
 	Staleness int
+	// Optimizer is the server-side update rule ("sgd" default, "momentum",
+	// "adam"); see Config.Optimizer.
+	Optimizer string
 	// Engine configures every worker replica. Use one Seed for all replicas
 	// so parameter initialization (and the synthetic datasets the models
 	// derive from the same seed) agree across the cluster.
@@ -70,9 +73,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Shards < 1 {
 		cfg.Shards = cfg.Workers
 	}
-	server := NewServer(Config{
-		Shards: cfg.Shards, LR: cfg.LR, Workers: cfg.Workers, Staleness: cfg.Staleness,
+	server, err := NewServer(Config{
+		Shards: cfg.Shards, LR: cfg.LR, Workers: cfg.Workers,
+		Staleness: cfg.Staleness, Optimizer: cfg.Optimizer,
 	})
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{cfg: cfg, server: server}
 	return c, c.connect(server)
 }
@@ -165,5 +172,100 @@ func (c *Cluster) RunCtx(ctx context.Context, rounds int) (RunResult, error) {
 		res.Losses = append(res.Losses, mean/float64(n))
 	}
 	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// AsyncResult summarizes one free-running training run.
+type AsyncResult struct {
+	// StepsPerWorker is how many local steps each worker ran.
+	StepsPerWorker int
+	// WorkerLosses is each worker's per-step training-loss trajectory.
+	WorkerLosses [][]float64
+	// Stale counts gradients the server rejected as stale (dropped, then
+	// recovered by backoff + re-pull).
+	Stale int64
+	// Backoffs counts the backoff sleeps workers took after stale steps.
+	Backoffs int64
+	// Elapsed is wall-clock time for the run.
+	Elapsed time.Duration
+}
+
+// TailMean smooths single-batch loss noise: the mean of the last few (four)
+// values of a loss trajectory. Both the harness's FinalLoss and janusbench
+// use it, so "final loss" means the same thing everywhere it is compared.
+func TailMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tail := len(xs) - 4
+	if tail < 0 {
+		tail = 0
+	}
+	s := 0.0
+	for _, x := range xs[tail:] {
+		s += x
+	}
+	return s / float64(len(xs)-tail)
+}
+
+// FinalLoss returns the mean over workers of each worker's final-stretch
+// loss (TailMean of its trajectory).
+func (r AsyncResult) FinalLoss() float64 {
+	sum, n := 0.0, 0
+	for _, ls := range r.WorkerLosses {
+		if len(ls) == 0 {
+			continue
+		}
+		sum += TailMean(ls)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// RunAsync trains free-running: every worker loops on its own goroutine —
+// pull fresh shards, run one local step, stream gradients — with NO round
+// barrier; the only synchronization is the shard-side step clock enforcing
+// the staleness bound (a laggard's pushes get ErrStale, and the worker backs
+// off and re-pulls rather than failing). Worker w covers global batch
+// indices s*N+w, the same data a barriered run covers, just in free-running
+// order. Cancellation stops each worker between its local steps.
+func (c *Cluster) RunAsync(ctx context.Context, stepsPerWorker int) (AsyncResult, error) {
+	n := len(c.workers)
+	res := AsyncResult{StepsPerWorker: stepsPerWorker, WorkerLosses: make([][]float64, n)}
+	start := time.Now()
+	before := int64(0)
+	for _, w := range c.workers {
+		before += w.Stats().Backoffs
+	}
+	stales := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for wi, w := range c.workers {
+		wg.Add(1)
+		go func(wi int, w *Worker) {
+			defer wg.Done()
+			res.WorkerLosses[wi], stales[wi], errs[wi] = w.RunFree(ctx, stepsPerWorker,
+				func(s int) (float64, error) { return w.step(s*n + wi) })
+		}(wi, w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	// Finish the accounting before error checks, so a failed run still
+	// reports the stale/backoff counts it accumulated.
+	for wi := 0; wi < n; wi++ {
+		res.Stale += stales[wi]
+	}
+	for _, w := range c.workers {
+		res.Backoffs += w.Stats().Backoffs
+	}
+	res.Backoffs -= before
+	for wi := 0; wi < n; wi++ {
+		if errs[wi] != nil {
+			return res, fmt.Errorf("ps: async worker %d: %w", wi, errs[wi])
+		}
+	}
 	return res, nil
 }

@@ -12,7 +12,7 @@ import (
 // HTTP+JSON protocol for the parameter server (what cmd/janusps listens on):
 //
 //	GET  /ps/v1/shards                                        → {"shards": K}
-//	POST /ps/v1/pull  {"shard": 0, "have": -1}                → {"version": 7, "params": {"w": {"shape": [2,3], "data": [...]}}}
+//	POST /ps/v1/pull  {"shard": 0, "have": -1}                → {"version": 7, "step": 12, "params": {"w": {"shape": [2,3], "data": [...]}}}
 //	POST /ps/v1/push  {"shard": 0, "step": 12, "grads": {...}} → {"version": 8}  |  409 on staleness
 //	POST /ps/v1/init  {"params": {...}}                       → {"ok": true}
 //	GET  /ps/v1/stats                                         → Stats JSON
@@ -76,12 +76,12 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		params, version, err := s.Pull(req.Shard, req.Have)
+		params, version, step, err := s.Pull(req.Shard, req.Have)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		resp := map[string]any{"version": version}
+		resp := map[string]any{"version": version, "step": step}
 		if params != nil {
 			resp["params"] = toWire(params)
 		}
@@ -202,20 +202,21 @@ func (c *Client) NumShards() (int, error) {
 }
 
 // Pull implements Transport.
-func (c *Client) Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, error) {
+func (c *Client) Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
 	var resp struct {
 		Version int64                 `json:"version"`
+		Step    int64                 `json:"step"`
 		Params  map[string]wireTensor `json:"params"`
 	}
 	err := c.post("/ps/v1/pull", map[string]any{"shard": shard, "have": have}, &resp)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if resp.Params == nil {
-		return nil, resp.Version, nil
+		return nil, resp.Version, resp.Step, nil
 	}
 	params, err := fromWire(resp.Params)
-	return params, resp.Version, err
+	return params, resp.Version, resp.Step, err
 }
 
 // PushGrad implements Transport.

@@ -58,6 +58,12 @@ type Config struct {
 	// (fully asynchronous); 0 forces lockstep (default 0, which the
 	// round-barrier Cluster harness satisfies trivially).
 	Staleness int
+	// Optimizer names the server-side update rule: "sgd" (default),
+	// "momentum", or "adam". Optimizer state (velocity, moments, per-tensor
+	// step counts) lives on the shard, keyed by variable name, so workers
+	// stay stateless and a streamed single-tensor push advances exactly that
+	// tensor's state.
+	Optimizer string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,9 +89,12 @@ type Transport interface {
 	NumShards() (int, error)
 	// Pull fetches shard's parameters. have is the version from the caller's
 	// previous pull: when the shard hasn't changed since, the server returns
-	// (nil, have, nil) and the caller keeps its copy. Pass -1 to force a
-	// full fetch.
-	Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, error)
+	// (nil, have, step, nil) and the caller keeps its copy. Pass -1 to force
+	// a full fetch. step is the freshest worker step clock the shard has
+	// observed — free-running workers fast-forward their own clock to it on
+	// every pull, so a laggard that re-pulls after ErrStale re-enters the
+	// staleness window instead of being locked out forever.
+	Pull(shard int, have int64) (params map[string]*tensor.Tensor, version, step int64, err error)
 	// PushGrad applies one or more named gradients to shard. step is the
 	// worker's step clock for the staleness check. Returns the shard version
 	// after the update, or ErrStale.
@@ -112,15 +121,16 @@ type shard struct {
 
 // Stats is a point-in-time snapshot of server activity.
 type Stats struct {
-	Shards     int   `json:"shards"`
-	Vars       int   `json:"vars"`
-	Params     int   `json:"params"`
-	Pulls      int64 `json:"pulls"`
-	PullsFresh int64 `json:"pulls_fresh"`
-	Pushes     int64 `json:"pushes"`
-	StaleDrops int64 `json:"stale_drops"`
-	Version    int64 `json:"version"`
-	MaxStep    int64 `json:"max_step"`
+	Shards     int    `json:"shards"`
+	Optimizer  string `json:"optimizer"`
+	Vars       int    `json:"vars"`
+	Params     int    `json:"params"`
+	Pulls      int64  `json:"pulls"`
+	PullsFresh int64  `json:"pulls_fresh"`
+	Pushes     int64  `json:"pushes"`
+	StaleDrops int64  `json:"stale_drops"`
+	Version    int64  `json:"version"`
+	MaxStep    int64  `json:"max_step"`
 }
 
 // Server is the sharded parameter server. It is safe for concurrent use;
@@ -135,17 +145,23 @@ type Server struct {
 	staleDrops atomic.Int64
 }
 
-// NewServer builds an empty parameter server.
-func NewServer(cfg Config) *Server {
+// NewServer builds an empty parameter server. Each shard gets its own
+// optimizer instance from Config.Optimizer — variable names partition across
+// shards, so per-name optimizer state never collides.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg}
 	for i := 0; i < cfg.Shards; i++ {
+		opt, err := autodiff.NewOptimizer(cfg.Optimizer, cfg.LR)
+		if err != nil {
+			return nil, fmt.Errorf("ps: %w", err)
+		}
 		s.shards = append(s.shards, &shard{
 			store: vars.NewStore(),
-			opt:   &autodiff.SGD{LR: cfg.LR},
+			opt:   opt,
 		})
 	}
-	return s
+	return s, nil
 }
 
 // Config returns the server's effective (defaulted) configuration.
@@ -162,21 +178,21 @@ func (s *Server) shardAt(i int) (*shard, error) {
 }
 
 // Pull implements Transport.
-func (s *Server) Pull(shardIdx int, have int64) (map[string]*tensor.Tensor, int64, error) {
+func (s *Server) Pull(shardIdx int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
 	sh, err := s.shardAt(shardIdx)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	s.pulls.Add(1)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if have >= 0 && sh.version == have {
-		return nil, sh.version, nil
+		return nil, sh.version, sh.maxStep, nil
 	}
 	s.pullsFresh.Add(1)
 	// ShardSnapshot with k=1 returns every variable in this shard's store;
 	// tensors are copy-on-write so the map is safe to release unlocked.
-	return sh.store.ShardSnapshot(0, 1), sh.version, nil
+	return sh.store.ShardSnapshot(0, 1), sh.version, sh.maxStep, nil
 }
 
 // PushGrad implements Transport. Unknown variables are an error: gradients
@@ -235,6 +251,7 @@ func (s *Server) InitVars(vals map[string]*tensor.Tensor) error {
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Shards:     len(s.shards),
+		Optimizer:  s.shards[0].opt.Name(),
 		Pulls:      s.pulls.Load(),
 		PullsFresh: s.pullsFresh.Load(),
 		Pushes:     s.pushes.Load(),

@@ -184,7 +184,7 @@ func TestClusterSmoke(t *testing.T) {
 // TestClusterOverHTTP runs a 2-worker cluster against the server through
 // the real HTTP transport.
 func TestClusterOverHTTP(t *testing.T) {
-	server := NewServer(Config{Shards: 3, LR: 0.05, Workers: 2})
+	server := mustServer(t, Config{Shards: 3, LR: 0.05, Workers: 2})
 	ts := httptest.NewServer(NewHandler(server))
 	defer ts.Close()
 
@@ -210,7 +210,7 @@ func TestClusterOverHTTP(t *testing.T) {
 }
 
 func TestShardPlacementPartitionsVariables(t *testing.T) {
-	s := NewServer(Config{Shards: 4, LR: 0.1})
+	s := mustServer(t, Config{Shards: 4, LR: 0.1})
 	vals := map[string]*tensor.Tensor{}
 	for i := 0; i < 32; i++ {
 		vals[fmt.Sprintf("layer%d/w", i)] = tensor.Zeros(2, 2)
@@ -220,7 +220,7 @@ func TestShardPlacementPartitionsVariables(t *testing.T) {
 	}
 	total := 0
 	for i := 0; i < 4; i++ {
-		params, _, err := s.Pull(i, -1)
+		params, _, _, err := s.Pull(i, -1)
 		if err != nil {
 			t.Fatalf("pull shard %d: %v", i, err)
 		}
@@ -237,17 +237,17 @@ func TestShardPlacementPartitionsVariables(t *testing.T) {
 }
 
 func TestVersionedPullSkipsUnchanged(t *testing.T) {
-	s := NewServer(Config{Shards: 1, LR: 0.1})
+	s := mustServer(t, Config{Shards: 1, LR: 0.1})
 	w := tensor.New([]int{2}, []float64{1, 2})
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": w}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
-	params, v1, err := s.Pull(0, -1)
+	params, v1, _, err := s.Pull(0, -1)
 	if err != nil || params == nil {
 		t.Fatalf("first pull: params=%v err=%v", params, err)
 	}
 	// Unchanged: the server returns no payload.
-	params, v2, err := s.Pull(0, v1)
+	params, v2, _, err := s.Pull(0, v1)
 	if err != nil {
 		t.Fatalf("second pull: %v", err)
 	}
@@ -258,14 +258,14 @@ func TestVersionedPullSkipsUnchanged(t *testing.T) {
 	if _, err := s.PushGrad(0, 1, map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
-	params, v3, err := s.Pull(0, v1)
+	params, v3, _, err := s.Pull(0, v1)
 	if err != nil || params == nil || v3 == v1 {
 		t.Fatalf("post-push pull: params=%v version=%d err=%v", params, v3, err)
 	}
 }
 
 func TestStalenessBoundRejectsLaggards(t *testing.T) {
-	s := NewServer(Config{Shards: 1, LR: 0.1, Staleness: 2})
+	s := mustServer(t, Config{Shards: 1, LR: 0.1, Staleness: 2})
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(2)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
@@ -287,7 +287,7 @@ func TestStalenessBoundRejectsLaggards(t *testing.T) {
 }
 
 func TestPushUnknownVariableFails(t *testing.T) {
-	s := NewServer(Config{Shards: 1, LR: 0.1})
+	s := mustServer(t, Config{Shards: 1, LR: 0.1})
 	_, err := s.PushGrad(0, 0, map[string]*tensor.Tensor{"ghost": tensor.Zeros(1)})
 	if err == nil {
 		t.Fatal("push of unregistered variable succeeded")
@@ -295,7 +295,7 @@ func TestPushUnknownVariableFails(t *testing.T) {
 }
 
 func TestPushShapeMismatchFails(t *testing.T) {
-	s := NewServer(Config{Shards: 1, LR: 0.1})
+	s := mustServer(t, Config{Shards: 1, LR: 0.1})
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(2, 3)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
@@ -309,14 +309,14 @@ func TestPushShapeMismatchFails(t *testing.T) {
 // TestGradientAveraging checks the 1/Workers scaling: with K workers
 // configured, one push moves a parameter by lr*g/K.
 func TestGradientAveraging(t *testing.T) {
-	s := NewServer(Config{Shards: 1, LR: 0.5, Workers: 4})
+	s := mustServer(t, Config{Shards: 1, LR: 0.5, Workers: 4})
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 	if _, err := s.PushGrad(0, 0, map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{8})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
-	params, _, err := s.Pull(0, -1)
+	params, _, _, err := s.Pull(0, -1)
 	if err != nil {
 		t.Fatalf("pull: %v", err)
 	}
@@ -324,6 +324,15 @@ func TestGradientAveraging(t *testing.T) {
 	if got := params["w"].Item(); got != -1 {
 		t.Fatalf("w after averaged push = %v, want -1", got)
 	}
+}
+
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
 }
 
 func mean(xs []float64) float64 {
@@ -337,7 +346,7 @@ func mean(xs []float64) float64 {
 // TestStaleRoundTripHTTP: the staleness sentinel survives the 409 mapping
 // through a real HTTP server and back through the client.
 func TestStaleRoundTripHTTP(t *testing.T) {
-	s := NewServer(Config{Shards: 1, Staleness: 0, Workers: 1})
+	s := mustServer(t, Config{Shards: 1, Staleness: 0, Workers: 1})
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Scalar(1)}); err != nil {
 		t.Fatal(err)
 	}

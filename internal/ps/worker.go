@@ -1,10 +1,12 @@
 package ps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/tensor"
@@ -26,6 +28,7 @@ type WorkerStats struct {
 	PullsFresh  int64 `json:"pulls_fresh"`
 	Pushes      int64 `json:"pushes"`
 	StaleDrops  int64 `json:"stale_drops"`
+	Backoffs    int64 `json:"backoffs"`
 	BytesPulled int64 `json:"bytes_pulled"`
 	BytesPushed int64 `json:"bytes_pushed"`
 }
@@ -50,9 +53,20 @@ type Worker struct {
 
 	// versions holds the per-shard version of the worker's parameter copy.
 	versions []int64
-	// clock is the worker's local step counter, carried on every push for
-	// the server's staleness check.
+	// clock is the worker's step clock, carried on every push for the
+	// server's staleness check. Under free-running execution (RunFree) every
+	// pull fast-forwards it to the freshest step the server has observed, so
+	// the clock measures the AGE of the worker's parameter copy in global
+	// steps — a laggard whose pushes went stale re-enters the staleness
+	// window on its next pull instead of lagging forever. Barriered steps
+	// (Do/Step outside RunFree) never fast-forward: every worker counts
+	// rounds locally and identically, preserving the invariant that a
+	// round-barriered harness at staleness 0 rejects nothing — a worker
+	// pulling late in a round must not overtake its peers' push clocks.
 	clock int64
+	// freeRunning is set for the duration of RunFree and enables the pull
+	// clock fast-forward above.
+	freeRunning bool
 	// pushScale multiplies every pushed gradient (0 means 1). The server
 	// averages pushes uniformly across workers; a caller that splits a
 	// global batch into uneven slices sets scale = sliceRows*workers/rows
@@ -68,7 +82,7 @@ type Worker struct {
 
 	stats struct {
 		steps, pulls, pullsFresh, pushes, staleDrops atomic.Int64
-		bytesPulled, bytesPushed                     atomic.Int64
+		backoffs, bytesPulled, bytesPushed           atomic.Int64
 	}
 }
 
@@ -129,18 +143,24 @@ func (w *Worker) BootstrapWith(body func() error) error {
 }
 
 // pullAll refreshes every shard of the local parameter copy, in parallel.
+// Under free-running execution it also fast-forwards the worker's step
+// clock to the freshest step the server has observed on any shard, so
+// subsequent pushes carry the age of this parameter copy rather than the
+// worker's lifetime step count.
 func (w *Worker) pullAll() error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.shards)
+	steps := make([]int64, w.shards)
 	for s := 0; s < w.shards; s++ {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			params, version, err := w.t.Pull(s, w.versions[s])
+			params, version, step, err := w.t.Pull(s, w.versions[s])
 			if err != nil {
 				errs[s] = err
 				return
 			}
+			steps[s] = step
 			w.stats.pulls.Add(1)
 			if params != nil {
 				w.stats.pullsFresh.Add(1)
@@ -156,6 +176,13 @@ func (w *Worker) pullAll() error {
 	for _, err := range errs {
 		if err != nil {
 			return err
+		}
+	}
+	if w.freeRunning {
+		for _, step := range steps {
+			if step > w.clock {
+				w.clock = step
+			}
 		}
 	}
 	return nil
@@ -233,6 +260,58 @@ func (w *Worker) Do(body func() (float64, error)) (loss float64, stale int64, er
 	return loss, stale, nil
 }
 
+// Free-running backoff bounds: after a step whose pushes went stale, the
+// worker sleeps before re-pulling — doubling per consecutive stale step from
+// baseBackoff up to maxBackoff, reset by the first clean step. The sleep
+// yields the host to the fresher workers the laggard is contending with.
+const (
+	baseBackoff = 500 * time.Microsecond
+	maxBackoff  = 8 * time.Millisecond
+)
+
+// RunFree runs n free-running local steps: pull → body → streamed pushes,
+// with no coordination with other workers. The staleness bound is enforced
+// by the server — a step whose gradients are rejected as stale is not an
+// error: the worker backs off (bounded exponential) and re-pulls, which
+// fast-forwards its clock back into the staleness window. body(i) receives
+// the local step index and returns the training loss. Returns the per-step
+// loss trajectory and how many gradients went stale.
+func (w *Worker) RunFree(ctx context.Context, n int, body func(i int) (float64, error)) ([]float64, int64, error) {
+	w.freeRunning = true
+	defer func() { w.freeRunning = false }()
+	losses := make([]float64, 0, n)
+	var staleTotal int64
+	backoff := time.Duration(0)
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return losses, staleTotal, core.CanceledErr(ctx)
+		}
+		i := i
+		loss, stale, err := w.Do(func() (float64, error) { return body(i) })
+		if err != nil {
+			return losses, staleTotal, err
+		}
+		losses = append(losses, loss)
+		staleTotal += stale
+		if stale == 0 {
+			backoff = 0
+			continue
+		}
+		if backoff = backoff * 2; backoff < baseBackoff {
+			backoff = baseBackoff
+		} else if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		w.stats.backoffs.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return losses, staleTotal, core.CanceledErr(ctx)
+		}
+	}
+	return losses, staleTotal, nil
+}
+
 // Stats snapshots the worker's traffic counters.
 func (w *Worker) Stats() WorkerStats {
 	return WorkerStats{
@@ -241,6 +320,7 @@ func (w *Worker) Stats() WorkerStats {
 		PullsFresh:  w.stats.pullsFresh.Load(),
 		Pushes:      w.stats.pushes.Load(),
 		StaleDrops:  w.stats.staleDrops.Load(),
+		Backoffs:    w.stats.backoffs.Load(),
 		BytesPulled: w.stats.bytesPulled.Load(),
 		BytesPushed: w.stats.bytesPushed.Load(),
 	}

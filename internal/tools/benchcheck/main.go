@@ -1,0 +1,159 @@
+// Command benchcheck is the CI benchmark-regression gate: it reads the
+// machine-readable reports `janusbench -json` emits (BENCH_dist.json,
+// BENCH_serve.json) and exits non-zero when a gated metric regresses past
+// the committed thresholds file.
+//
+//	benchcheck -thresholds bench-thresholds.json BENCH_dist.json BENCH_serve.json
+//
+// Only properties of the computation gate the build: final training loss
+// (dist — barriered anchor and every async staleness bound) and graph-cache
+// hit rate / failure fraction (serve). Throughput and latency are recorded
+// in the uploaded artifacts but never gated — shared CI runners make them
+// too noisy to fail a build on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// thresholds mirrors bench-thresholds.json.
+type thresholds struct {
+	Dist struct {
+		// MaxFinalLoss bounds the final training loss of the barriered
+		// anchor and of every async staleness bound.
+		MaxFinalLoss float64 `json:"max_final_loss"`
+	} `json:"dist"`
+	Serve struct {
+		// MinCacheHitRate bounds the shared graph-cache hit rate from below.
+		MinCacheHitRate float64 `json:"min_cache_hit_rate"`
+		// MaxFailedFrac bounds failed/total requests from above.
+		MaxFailedFrac float64 `json:"max_failed_frac"`
+	} `json:"serve"`
+}
+
+// report is the union of the dist and serve shapes janusbench writes; Mode
+// discriminates.
+type report struct {
+	Mode      string `json:"mode"`
+	Model     string `json:"model"`
+	Barriered *struct {
+		FinalLoss float64 `json:"final_loss"`
+	} `json:"barriered"`
+	Async []struct {
+		Staleness int     `json:"staleness"`
+		FinalLoss float64 `json:"final_loss"`
+	} `json:"async"`
+	Scaling []struct {
+		Workers   int     `json:"workers"`
+		FinalLoss float64 `json:"final_loss"`
+	} `json:"scaling"`
+	Requests     int64   `json:"requests"`
+	Failed       int64   `json:"failed"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func main() {
+	thresholdsPath := flag.String("thresholds", "bench-thresholds.json", "committed thresholds file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark reports given")
+		os.Exit(2)
+	}
+	var th thresholds
+	if err := readJSON(*thresholdsPath, &th); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	failures := 0
+	for _, path := range flag.Args() {
+		var r report
+		if err := readJSON(path, &r); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		switch r.Mode {
+		case "dist":
+			failures += checkDist(path, r, th)
+		case "serve":
+			failures += checkServe(path, r, th)
+		default:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: unknown mode %q\n", path, r.Mode)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d threshold violation(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all thresholds passed")
+}
+
+func checkDist(path string, r report, th thresholds) int {
+	max := th.Dist.MaxFinalLoss
+	if max <= 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: no dist.max_final_loss threshold committed\n", path)
+		return 1
+	}
+	bad := 0
+	check := func(what string, loss float64) {
+		if loss > max {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %s final loss %.4f exceeds threshold %.4f\n",
+				path, what, loss, max)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: %s final loss %.4f <= %.4f ok\n", path, what, loss, max)
+		}
+	}
+	if r.Barriered != nil {
+		check("barriered", r.Barriered.FinalLoss)
+	}
+	for _, a := range r.Async {
+		check(fmt.Sprintf("async staleness %d", a.Staleness), a.FinalLoss)
+	}
+	for _, p := range r.Scaling {
+		check(fmt.Sprintf("%d-worker", p.Workers), p.FinalLoss)
+	}
+	if r.Barriered == nil && len(r.Async) == 0 && len(r.Scaling) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: dist report holds no losses to gate\n", path)
+		return 1
+	}
+	return bad
+}
+
+func checkServe(path string, r report, th thresholds) int {
+	bad := 0
+	if min := th.Serve.MinCacheHitRate; min > 0 {
+		if r.CacheHitRate < min {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: cache hit rate %.3f below threshold %.3f\n",
+				path, r.CacheHitRate, min)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: cache hit rate %.3f >= %.3f ok\n", path, r.CacheHitRate, min)
+		}
+	}
+	if maxf := th.Serve.MaxFailedFrac; maxf > 0 && r.Requests+r.Failed > 0 {
+		frac := float64(r.Failed) / float64(r.Requests+r.Failed)
+		if frac > maxf {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: failed fraction %.3f exceeds threshold %.3f\n",
+				path, frac, maxf)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: failed fraction %.3f <= %.3f ok\n", path, frac, maxf)
+		}
+	}
+	return bad
+}
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}

@@ -45,9 +45,11 @@
 // concurrent same-signature calls batch into one graph execution — see
 // Server.Compile and Session.Func), and a distributed training Cluster
 // (where the batch is split across data-parallel replicas around a sharded
-// parameter server — see NewCluster). Context cancellation stops a running
-// call between training steps with ErrCanceled, leaving parameters in an
-// all-or-nothing state.
+// parameter server — see NewCluster; with TrainOptions.Async each Call is a
+// free-running, staleness-bounded epoch with server-side SGD/momentum/Adam
+// state). Context cancellation stops a running call between training steps
+// — and, on graph backends, between scheduled graph nodes mid-execution —
+// with ErrCanceled, leaving parameters in an all-or-nothing state.
 //
 // Runtime.Run (whole-script execution) and Session.Infer (single-tensor
 // inference) remain as thin shims over the same machinery.

@@ -13,9 +13,11 @@ import (
 // a Callable — one uniform, context-aware calling convention implemented
 // identically by the local Runtime, a serving Session (where same-signature
 // calls batch), and a distributed Cluster (where the batch is split across
-// data-parallel replicas). Users write imperative minipy functions once and
-// move them between execution backends without changing call sites, which
-// is the paper's premise applied to the public API.
+// data-parallel replicas — one barriered round per Call, or a free-running
+// epoch of staleness-bounded local steps under TrainOptions.Async). Users
+// write imperative minipy functions once and move them between execution
+// backends without changing call sites, which is the paper's premise
+// applied to the public API.
 
 // Feeds addresses input tensors by parameter name. Names must match the
 // called function's declared parameters; unknown names, missing required
