@@ -1,0 +1,304 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/minipy"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// kernelsReport is the machine-readable result of `janusbench -kernels`,
+// gated in CI by internal/tools/benchcheck (allocs/op ceiling and final
+// loss; throughput is recorded, never gated).
+type kernelsReport struct {
+	Mode   string         `json:"mode"` // "kernels"
+	CPUs   int            `json:"cpus"`
+	MatMul []matmulResult `json:"matmul"`
+	// LeNetForward is forward-only inference replay (calls/s).
+	LeNetForward planAB `json:"lenet_forward"`
+	// TrainStep is full LeNet train-step replay (items/s) at zero simulated
+	// device time — the host-bound regime.
+	TrainStep trainAB `json:"train_step"`
+	// Elementwise is the steady-state allocation profile of a 64-op
+	// elementwise chain replay.
+	Elementwise elementwiseResult `json:"elementwise_chain"`
+}
+
+type matmulResult struct {
+	Size            int     `json:"size"`
+	NaiveNs         float64 `json:"naive_ns"`
+	BlockedNs       float64 `json:"blocked_ns"`
+	ParallelNs      float64 `json:"parallel_ns"`
+	BlockedSpeedup  float64 `json:"blocked_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+}
+
+type planAB struct {
+	// NaivePerSec is the pre-optimization baseline: scalar-loop kernels AND
+	// no memory plan (the state this PR replaced, reproduced via
+	// tensor.SetNaiveKernels for A/B on the current tree).
+	NaivePerSec   float64 `json:"naive_per_sec"`
+	PlanOffPerSec float64 `json:"plan_off_per_sec"`
+	PlanOnPerSec  float64 `json:"plan_on_per_sec"`
+	// Speedup is plan-on vs plan-off (isolates the memory plan);
+	// SpeedupVsNaive is the full fast path vs the pre-optimization baseline.
+	Speedup        float64 `json:"speedup"`
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+type trainAB struct {
+	planAB
+	FinalLossOn  float64 `json:"final_loss_on"`
+	FinalLossOff float64 `json:"final_loss_off"`
+}
+
+type elementwiseResult struct {
+	Ops                 int     `json:"ops"`
+	AllocsPerGraphopOff float64 `json:"allocs_per_graphop_off"`
+	AllocsPerGraphopOn  float64 `json:"allocs_per_graphop_on"`
+	ReplayAllocsOn      float64 `json:"replay_allocs_on"`
+	NsPerReplayOff      float64 `json:"ns_per_replay_off"`
+	NsPerReplayOn       float64 `json:"ns_per_replay_on"`
+}
+
+// kernelsBench regenerates the DESIGN.md kernel/memory-plan table: blocked
+// vs naive matmul, plan-on vs plan-off LeNet forward and train-step replay,
+// and the steady-state allocation profile of elementwise replay.
+func kernelsBench(warmup, steps int, jsonPath string) {
+	rep := kernelsReport{Mode: "kernels", CPUs: runtime.NumCPU()}
+
+	fmt.Printf("--- matmul: naive vs blocked vs blocked+parallel (%d CPUs) ---\n", rep.CPUs)
+	fmt.Printf("%6s %12s %12s %12s %9s %9s\n", "size", "naive", "blocked", "parallel", "blk/nv", "par/nv")
+	for _, n := range []int{64, 128, 256} {
+		r := matmulBench(n)
+		rep.MatMul = append(rep.MatMul, r)
+		fmt.Printf("%6d %10.0fns %10.0fns %10.0fns %8.2fx %8.2fx\n",
+			n, r.NaiveNs, r.BlockedNs, r.ParallelNs, r.BlockedSpeedup, r.ParallelSpeedup)
+	}
+
+	fmt.Printf("\n--- LeNet forward replay (inference Call: naive / plan-off / plan-on) ---\n")
+	rep.LeNetForward = lenetForwardBench()
+	fmt.Printf("naive %8.0f   plan-off %8.0f   plan-on %8.0f calls/s   plan %.2fx, total %.2fx\n",
+		rep.LeNetForward.NaivePerSec, rep.LeNetForward.PlanOffPerSec, rep.LeNetForward.PlanOnPerSec,
+		rep.LeNetForward.Speedup, rep.LeNetForward.SpeedupVsNaive)
+
+	fmt.Printf("\n--- LeNet train-step replay (zero device time: naive / plan-off / plan-on) ---\n")
+	rep.TrainStep = trainStepBench(warmup, steps)
+	fmt.Printf("naive %8.1f   plan-off %8.1f (loss %.3f)   plan-on %8.1f items/s (loss %.3f)   plan %.2fx, total %.2fx\n",
+		rep.TrainStep.NaivePerSec, rep.TrainStep.PlanOffPerSec, rep.TrainStep.FinalLossOff,
+		rep.TrainStep.PlanOnPerSec, rep.TrainStep.FinalLossOn,
+		rep.TrainStep.Speedup, rep.TrainStep.SpeedupVsNaive)
+
+	fmt.Printf("\n--- elementwise chain replay: allocations ---\n")
+	rep.Elementwise = elementwiseBench()
+	fmt.Printf("%d ops: plan-off %.2f allocs/op, plan-on %.3f allocs/op (%.0f allocs/replay); %0.fns -> %.0fns per replay\n",
+		rep.Elementwise.Ops, rep.Elementwise.AllocsPerGraphopOff, rep.Elementwise.AllocsPerGraphopOn,
+		rep.Elementwise.ReplayAllocsOn, rep.Elementwise.NsPerReplayOff, rep.Elementwise.NsPerReplayOn)
+
+	writeReport(jsonPath, rep)
+}
+
+// timeIt runs f repeatedly for at least minDur and returns ns per call.
+func timeIt(minDur time.Duration, f func()) float64 {
+	f() // warm
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		el := time.Since(start)
+		if el >= minDur {
+			return float64(el.Nanoseconds()) / float64(n)
+		}
+		n *= 4
+	}
+}
+
+func matmulBench(n int) matmulResult {
+	rng := tensor.NewRNG(uint64(n))
+	a := rng.Randn(n, n)
+	b := rng.Randn(n, n)
+	dst := tensor.Zeros(n, n)
+	r := matmulResult{Size: n}
+	r.NaiveNs = timeIt(60*time.Millisecond, func() { tensor.MatMulNaive(a, b) })
+	prev := tensor.SetKernelParallelism(1)
+	r.BlockedNs = timeIt(60*time.Millisecond, func() { tensor.MatMulInto(dst, a, b) })
+	tensor.SetKernelParallelism(runtime.NumCPU())
+	r.ParallelNs = timeIt(60*time.Millisecond, func() { tensor.MatMulInto(dst, a, b) })
+	tensor.SetKernelParallelism(prev)
+	r.BlockedSpeedup = r.NaiveNs / r.BlockedNs
+	r.ParallelSpeedup = r.NaiveNs / r.ParallelNs
+	return r
+}
+
+const lenetFwdSrc = `
+def lenet_fwd(x):
+    c1 = variable("lenet/c1", [4, 1, 3, 3])
+    c2 = variable("lenet/c2", [8, 4, 3, 3])
+    fc = variable("lenet/fc", [32, 4])
+    b = variable("lenet/b", [4])
+    h = relu(conv2d(x, c1, stride=1, pad=1))
+    h = max_pool(h, 2, 2)
+    h = relu(conv2d(h, c2, stride=1, pad=1))
+    h = max_pool(h, 2, 2)
+    flat = reshape(h, [8, 32])
+    return matmul(flat, fc) + b
+`
+
+// lenetForwardBench times steady-state inference replay; the measurement is
+// duration-bounded (timeIt), not step-count-bounded.
+func lenetForwardBench() planAB {
+	run := func(noPlan, naive bool) float64 {
+		prev := tensor.SetNaiveKernels(naive)
+		defer tensor.SetNaiveKernels(prev)
+		cfg := core.DefaultJanusConfig()
+		cfg.ProfileIters = 1
+		cfg.PyOverheadNs = -1
+		cfg.NoMemoryPlan = noPlan
+		e := core.NewEngine(cfg)
+		if err := e.Run(lenetFwdSrc); err != nil {
+			fmt.Printf("lenet forward setup failed: %v\n", err)
+			return 0
+		}
+		rng := tensor.NewRNG(11)
+		x := minipy.NewTensor(rng.Randn(8, 1, 8, 8))
+		args := []minipy.Value{x}
+		for i := 0; i < 3; i++ {
+			if _, err := e.Call("lenet_fwd", args); err != nil {
+				fmt.Printf("lenet forward failed: %v\n", err)
+				return 0
+			}
+		}
+		ns := timeIt(200*time.Millisecond, func() {
+			if _, err := e.Call("lenet_fwd", args); err != nil {
+				panic(err)
+			}
+		})
+		return 1e9 / ns
+	}
+	out := planAB{
+		NaivePerSec:   run(true, true),
+		PlanOffPerSec: run(true, false),
+		PlanOnPerSec:  run(false, false),
+	}
+	if out.PlanOffPerSec > 0 {
+		out.Speedup = out.PlanOnPerSec / out.PlanOffPerSec
+	}
+	if out.NaivePerSec > 0 {
+		out.SpeedupVsNaive = out.PlanOnPerSec / out.NaivePerSec
+	}
+	return out
+}
+
+func trainStepBench(warmup, steps int) trainAB {
+	m, err := models.Get("LeNet")
+	if err != nil {
+		fmt.Println(err)
+		return trainAB{}
+	}
+	measure := func(noPlan, naive bool) (float64, float64) {
+		prev := tensor.SetNaiveKernels(naive)
+		defer tensor.SetNaiveKernels(prev)
+		cfg := core.DefaultJanusConfig()
+		cfg.LR = 0.05
+		cfg.PyOverheadNs = -1 // zero simulated device/dispatch time: host-bound
+		cfg.NoMemoryPlan = noPlan
+		// One training run yields both numbers: steady-state throughput from
+		// the post-warmup curve window, final loss from the last point.
+		pts, _, err := models.Curve(m, cfg, 42, warmup+steps)
+		if err != nil || len(pts) <= warmup {
+			fmt.Printf("train-step measurement failed: %v\n", err)
+			return 0, 0
+		}
+		window := pts[len(pts)-1].Seconds
+		if warmup > 0 {
+			window -= pts[warmup-1].Seconds
+		}
+		if window <= 0 {
+			window = 1e-9
+		}
+		th := float64((len(pts)-warmup)*m.ItemsPerStep) / window
+		return th, pts[len(pts)-1].Loss
+	}
+	var out trainAB
+	out.NaivePerSec, _ = measure(true, true)
+	out.PlanOffPerSec, out.FinalLossOff = measure(true, false)
+	out.PlanOnPerSec, out.FinalLossOn = measure(false, false)
+	if out.PlanOffPerSec > 0 {
+		out.Speedup = out.PlanOnPerSec / out.PlanOffPerSec
+	}
+	if out.NaivePerSec > 0 {
+		out.SpeedupVsNaive = out.PlanOnPerSec / out.NaivePerSec
+	}
+	return out
+}
+
+// elementwiseChain mirrors the exec benchmark graph: alternating unary and
+// binary elementwise ops.
+func elementwiseChain(ops int) *graph.Graph {
+	g := graph.New()
+	x := g.Placeholder("x")
+	y := g.Placeholder("y")
+	cur := x.P()
+	for i := 0; i < ops; i++ {
+		switch i % 4 {
+		case 0:
+			cur = g.Add("ReLU", nil, cur).P()
+		case 1:
+			cur = g.Add("Add", nil, cur, y.P()).P()
+		case 2:
+			cur = g.Add("Tanh", nil, cur).P()
+		case 3:
+			cur = g.Add("Mul", nil, cur, y.P()).P()
+		}
+	}
+	g.Outputs = []graph.Port{cur}
+	return g
+}
+
+func elementwiseBench() elementwiseResult {
+	const ops = 64
+	rng := tensor.NewRNG(3)
+	feeds := map[string]graph.Val{"x": rng.Randn(8, 32), "y": rng.Randn(8, 32)}
+	res := elementwiseResult{Ops: ops}
+	for _, planOn := range []bool{false, true} {
+		g := elementwiseChain(ops)
+		opts := exec.Options{}
+		if planOn {
+			opts.Pool = tensor.NewPool()
+			opts.Arena = exec.NewArena()
+		}
+		if _, err := exec.Run(g, feeds, opts); err != nil {
+			fmt.Printf("elementwise replay failed: %v\n", err)
+			return res
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := exec.Run(g, feeds, opts); err != nil {
+				panic(err)
+			}
+		})
+		ns := timeIt(100*time.Millisecond, func() {
+			if _, err := exec.Run(g, feeds, opts); err != nil {
+				panic(err)
+			}
+		})
+		nodes := float64(g.NumNodes())
+		if planOn {
+			res.AllocsPerGraphopOn = allocs / nodes
+			res.ReplayAllocsOn = allocs
+			res.NsPerReplayOn = ns
+		} else {
+			res.AllocsPerGraphopOff = allocs / nodes
+			res.NsPerReplayOff = ns
+		}
+	}
+	return res
+}

@@ -39,6 +39,8 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 0, "pool workers in -serve mode (0 = NumCPU)")
 	maxBatch := flag.Int("max-batch", 8, "batcher size limit in -serve mode")
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "batcher latency limit in -serve mode")
+	kernelsMode := flag.Bool("kernels", false,
+		"kernel/memory-plan microbenchmarks: blocked matmul, plan-on/off LeNet replay, allocs/op")
 	distMode := flag.Bool("dist", false, "distributed mode: real data-parallel scaling on the internal/ps runtime")
 	workers := flag.Int("workers", 4, "max worker replicas in -dist mode (measured at 1, 2, 4, ... up to this)")
 	shards := flag.Int("shards", 4, "parameter-server shards in -dist mode")
@@ -51,9 +53,14 @@ func main() {
 		"staleness bound in -dist -async mode (-1 = sweep bounds 0, 2, 8)")
 	optimizer := flag.String("optimizer", "sgd", "server-side optimizer in -dist mode: sgd, momentum, or adam")
 	jsonOut := flag.String("json", "",
-		"write machine-readable results to this file (-dist and -serve modes; the CI regression gate reads it)")
+		"write machine-readable results to this file (-dist, -serve and -kernels modes; the CI regression gate reads it)")
 	flag.Parse()
 
+	if *kernelsMode {
+		fmt.Printf("========== Kernel + memory-plan microbenchmarks ==========\n")
+		kernelsBench(*warmup, *steps, *jsonOut)
+		return
+	}
 	if *serveMode {
 		serveBench(*clients, *duration, *serveWorkers, *maxBatch, *batchLatency, *jsonOut)
 		return

@@ -32,6 +32,7 @@ package convert
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/graph"
@@ -263,56 +264,160 @@ func CaptureNames(fn *minipy.FuncVal) []string {
 	return out
 }
 
-// Flatten walks a call's argument values (including a bound self) and the
-// function's free-variable captures, producing the cache-key signature
-// tokens and the ordered list of runtime-fed leaf values. The converter and
-// the engine use the same walk so placeholder indices always line up.
-func Flatten(fn *minipy.FuncVal, args []minipy.Value) (sig []string, leaves []minipy.Value) {
+// sigSink receives the signature tokens of walkSignature. Two sinks exist:
+// tokenSink materializes the []string cache-key signature (Flatten) and
+// hashSink folds the same token stream into an FNV-1a hash without
+// allocating (FlattenHash). Sharing one walk guarantees the hash can never
+// disagree structurally with the token form.
+type sigSink interface {
+	token(tag byte, s string)
+	tokenInt(tag byte, v int64)
+	tensorTok(shape []int)
+}
+
+// tokenSink builds the human-readable signature used by SigMatch.
+type tokenSink struct{ sig []string }
+
+func (t *tokenSink) token(tag byte, s string) {
+	switch tag {
+	case 's':
+		t.sig = append(t.sig, "s:"+s)
+	case 'O':
+		t.sig = append(t.sig, "O:"+s)
+	case 'c':
+		t.sig = append(t.sig, "cls:"+s)
+	case 'B':
+		t.sig = append(t.sig, "bi:"+s)
+	case '?':
+		t.sig = append(t.sig, "?:"+s)
+	case 'C':
+		t.sig = append(t.sig, "cap:"+s)
+	case 'n':
+		t.sig = append(t.sig, "none")
+	case ']':
+		t.sig = append(t.sig, "]")
+	case ')':
+		t.sig = append(t.sig, ")")
+	}
+}
+
+func (t *tokenSink) tokenInt(tag byte, v int64) {
+	switch tag {
+	case 'i':
+		t.sig = append(t.sig, fmt.Sprintf("i:%d", v))
+	case 'f':
+		t.sig = append(t.sig, fmt.Sprintf("f:%g", math.Float64frombits(uint64(v))))
+	case 'b':
+		t.sig = append(t.sig, fmt.Sprintf("b:%v", v != 0))
+	case '[':
+		t.sig = append(t.sig, fmt.Sprintf("[%d", v))
+	case '(':
+		t.sig = append(t.sig, fmt.Sprintf("(%d", v))
+	case '{':
+		t.sig = append(t.sig, fmt.Sprintf("{%d}", v))
+	case 'F':
+		t.sig = append(t.sig, fmt.Sprintf("fn:%d", v))
+	}
+}
+
+func (t *tokenSink) tensorTok(shape []int) {
+	t.sig = append(t.sig, "T:"+shapeToken(shape))
+}
+
+// hashSink folds the token stream into 64-bit FNV-1a.
+type hashSink struct{ h uint64 }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newHashSink() *hashSink { return &hashSink{h: fnvOffset} }
+
+func (hs *hashSink) byte(b byte) { hs.h = (hs.h ^ uint64(b)) * fnvPrime }
+
+func (hs *hashSink) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		hs.byte(byte(v))
+		v >>= 8
+	}
+}
+
+func (hs *hashSink) token(tag byte, s string) {
+	hs.byte(tag)
+	for i := 0; i < len(s); i++ {
+		hs.byte(s[i])
+	}
+	hs.byte(0)
+}
+
+func (hs *hashSink) tokenInt(tag byte, v int64) {
+	hs.byte(tag)
+	hs.u64(uint64(v))
+}
+
+func (hs *hashSink) tensorTok(shape []int) {
+	hs.byte('T')
+	hs.u64(uint64(len(shape)))
+	for _, d := range shape {
+		hs.u64(uint64(d))
+	}
+}
+
+// walkSignature visits a call's argument values (including a bound self)
+// and the function's free-variable captures in the converter's canonical
+// order, emitting signature tokens to sink and appending runtime-fed leaf
+// values (tensors, objects) to leaves.
+func walkSignature(fn *minipy.FuncVal, args []minipy.Value, sink sigSink, leaves []minipy.Value) []minipy.Value {
 	var walk func(v minipy.Value)
 	walk = func(v minipy.Value) {
 		switch x := v.(type) {
 		case *minipy.TensorVal:
-			sig = append(sig, "T:"+shapeToken(x.T().Shape()))
+			sink.tensorTok(x.T().Shape())
 			leaves = append(leaves, v)
 		case minipy.IntVal:
-			sig = append(sig, fmt.Sprintf("i:%d", int64(x)))
+			sink.tokenInt('i', int64(x))
 		case minipy.FloatVal:
-			sig = append(sig, fmt.Sprintf("f:%g", float64(x)))
+			sink.tokenInt('f', int64(math.Float64bits(float64(x))))
 		case minipy.BoolVal:
-			sig = append(sig, fmt.Sprintf("b:%v", bool(x)))
+			b := int64(0)
+			if x {
+				b = 1
+			}
+			sink.tokenInt('b', b)
 		case minipy.StrVal:
-			sig = append(sig, "s:"+string(x))
+			sink.token('s', string(x))
 		case minipy.NoneVal:
-			sig = append(sig, "none")
+			sink.token('n', "")
 		case *minipy.ListVal:
-			sig = append(sig, fmt.Sprintf("[%d", len(x.Items)))
+			sink.tokenInt('[', int64(len(x.Items)))
 			for _, e := range x.Items {
 				walk(e)
 			}
-			sig = append(sig, "]")
+			sink.token(']', "")
 		case *minipy.TupleVal:
-			sig = append(sig, fmt.Sprintf("(%d", len(x.Items)))
+			sink.tokenInt('(', int64(len(x.Items)))
 			for _, e := range x.Items {
 				walk(e)
 			}
-			sig = append(sig, ")")
+			sink.token(')', "")
 		case *minipy.ObjectVal:
-			sig = append(sig, "O:"+x.Class.Name)
+			sink.token('O', x.Class.Name)
 			leaves = append(leaves, v)
 		case *minipy.DictVal:
-			sig = append(sig, fmt.Sprintf("{%d}", len(x.Entries)))
+			sink.tokenInt('{', int64(len(x.Entries)))
 		case *minipy.FuncVal:
 			id := -1
 			if x.Def != nil {
 				id = x.Def.ID()
 			}
-			sig = append(sig, fmt.Sprintf("fn:%d", id))
+			sink.tokenInt('F', int64(id))
 		case *minipy.ClassVal:
-			sig = append(sig, "cls:"+x.Name)
+			sink.token('c', x.Name)
 		case *minipy.BuiltinVal:
-			sig = append(sig, "bi:"+x.Name)
+			sink.token('B', x.Name)
 		default:
-			sig = append(sig, "?:"+v.TypeName())
+			sink.token('?', v.TypeName())
 		}
 	}
 	if fn.Self != nil {
@@ -323,11 +428,38 @@ func Flatten(fn *minipy.FuncVal, args []minipy.Value) (sig []string, leaves []mi
 	}
 	for _, name := range CaptureNames(fn) {
 		if v, ok := fn.Env.Lookup(name); ok {
-			sig = append(sig, "cap:"+name)
+			sink.token('C', name)
 			walk(v)
 		}
 	}
-	return sig, leaves
+	return leaves
+}
+
+// Flatten walks a call's argument values (including a bound self) and the
+// function's free-variable captures, producing the cache-key signature
+// tokens and the ordered list of runtime-fed leaf values. The converter and
+// the engine use the same walk so placeholder indices always line up.
+func Flatten(fn *minipy.FuncVal, args []minipy.Value) (sig []string, leaves []minipy.Value) {
+	ts := &tokenSink{}
+	leaves = walkSignature(fn, args, ts, nil)
+	return ts.sig, leaves
+}
+
+// FlattenHash is the allocation-light counterpart of Flatten: it runs the
+// same signature walk but folds the token stream into a 64-bit FNV-1a hash
+// instead of materializing strings. Engines memoize hash → compiled-graph
+// per function so a repeated Call with an already-seen concrete signature
+// skips token building and the SigMatch scan entirely. Equal signatures
+// always produce equal hashes (same walk). The converse does not hold: two
+// DIFFERENT signatures colliding on 64 bits would alias in the memo, so
+// consumers must cross-check cheap structural facts on a hash hit (the
+// engine verifies the leaf count, which pins the feed arity) and accept the
+// residual same-arity collision risk (~n²/2⁶⁴ for n live signatures per
+// function — negligible, and bounded by the memo's size cap).
+func FlattenHash(fn *minipy.FuncVal, args []minipy.Value) (hash uint64, leaves []minipy.Value) {
+	hs := newHashSink()
+	leaves = walkSignature(fn, args, hs, nil)
+	return hs.h, leaves
 }
 
 func shapeToken(sh []int) string {

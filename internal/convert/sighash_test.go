@@ -1,0 +1,98 @@
+package convert
+
+import (
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/tensor"
+)
+
+// sigCases builds a spread of argument lists exercising every token kind of
+// the signature walk.
+func sigCases() [][]minipy.Value {
+	return [][]minipy.Value{
+		{minipy.NewTensor(tensor.Zeros(4, 8))},
+		{minipy.NewTensor(tensor.Zeros(4, 9))},
+		{minipy.NewTensor(tensor.Zeros(8, 4))}, // same elems, different shape
+		{minipy.IntVal(7)},
+		{minipy.IntVal(8)},
+		{minipy.FloatVal(1.5)},
+		{minipy.FloatVal(-1.5)},
+		{minipy.BoolVal(true)},
+		{minipy.BoolVal(false)},
+		{minipy.StrVal("x")},
+		{minipy.StrVal("y")},
+		{minipy.None},
+		{&minipy.ListVal{Items: []minipy.Value{minipy.IntVal(1), minipy.IntVal(2)}}},
+		{&minipy.ListVal{Items: []minipy.Value{minipy.IntVal(1)}}, minipy.IntVal(2)},
+		{&minipy.TupleVal{Items: []minipy.Value{minipy.IntVal(1), minipy.IntVal(2)}}},
+		{minipy.NewTensor(tensor.Zeros(3)), minipy.IntVal(1), minipy.StrVal("k")},
+		{minipy.NewTensor(tensor.Zeros(3)), minipy.IntVal(1), minipy.StrVal("k2")},
+	}
+}
+
+// TestFlattenHashAgreesWithFlatten: the hash is a pure function of the token
+// signature — equal signatures hash equal, and the sample of distinct
+// signatures all hash distinct (collision smoke check). Leaves must be
+// identical between the two walks.
+func TestFlattenHashAgreesWithFlatten(t *testing.T) {
+	fn := &minipy.FuncVal{Name: "f", Params: []string{"a", "b", "c"}}
+	type entry struct {
+		sig  string
+		hash uint64
+	}
+	seenBySig := map[string]uint64{}
+	seenByHash := map[uint64]string{}
+	for i, args := range sigCases() {
+		sig, leaves := Flatten(fn, args)
+		hash, hleaves := FlattenHash(fn, args)
+		// Determinism: re-walking gives the same hash.
+		if h2, _ := FlattenHash(fn, args); h2 != hash {
+			t.Fatalf("case %d: hash not deterministic", i)
+		}
+		if len(leaves) != len(hleaves) {
+			t.Fatalf("case %d: leaf count differs: %d vs %d", i, len(leaves), len(hleaves))
+		}
+		for j := range leaves {
+			if leaves[j] != hleaves[j] {
+				t.Fatalf("case %d leaf %d differs", i, j)
+			}
+		}
+		key := ""
+		for _, s := range sig {
+			key += s + "\x00"
+		}
+		if prev, ok := seenBySig[key]; ok && prev != hash {
+			t.Fatalf("case %d: same signature, different hash", i)
+		}
+		seenBySig[key] = hash
+		if prevSig, ok := seenByHash[hash]; ok && prevSig != key {
+			t.Fatalf("case %d: hash collision between %q and %q", i, prevSig, key)
+		}
+		seenByHash[hash] = key
+	}
+}
+
+// TestFlattenHashSeesCaptures: captures contribute to the hash exactly as
+// they do to the token signature.
+func TestFlattenHashSeesCaptures(t *testing.T) {
+	src := `
+k = 3
+def f(x):
+    return x + k
+`
+	fn, _, it, _ := setup(t, src, "f", nil)
+	args := []minipy.Value{minipy.NewTensor(tensor.Zeros(2))}
+	h1, _ := FlattenHash(fn, args)
+	// Rebind the captured global and re-hash: must differ, as the token
+	// signature does.
+	if err := it.Globals.Define("k", minipy.IntVal(4)); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := FlattenHash(fn, args)
+	if h1 == h2 {
+		t.Fatal("capture change did not change the signature hash")
+	}
+	sig1, _ := Flatten(fn, args)
+	_ = sig1
+}

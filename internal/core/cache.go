@@ -72,7 +72,8 @@ func (c *GraphCache) state(k cacheKey) *funcState {
 	defer c.mu.Unlock()
 	fs, ok := c.funcs[k]
 	if !ok {
-		fs = &funcState{key: k, prof: profile.New(), distrust: make(map[int]bool)}
+		fs = &funcState{key: k, prof: profile.New(), distrust: make(map[int]bool),
+			sigIndex: make(map[uint64]*compiled)}
 		c.funcs[k] = fs
 	}
 	return fs
@@ -155,6 +156,9 @@ func (c *GraphCache) enforceCapacity() {
 				removed = true
 				break
 			}
+		}
+		if removed {
+			dropFromSigIndex(victimFS, victim)
 		}
 		victimFS.mu.Unlock()
 		if !removed {

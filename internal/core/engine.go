@@ -81,7 +81,17 @@ type Config struct {
 	// to a CPython/TF-Eager-like regime (see DESIGN.md §5). 0 selects the
 	// default (5µs); negative disables entirely.
 	PyOverheadNs int
+	// NoMemoryPlan disables plan-driven buffer reuse in the graph executor
+	// (the memory plan is ON by default): with the plan, replayed graphs
+	// rent every intermediate tensor from a per-engine pool per the cached
+	// liveness analysis and run destination-passing kernels, so steady-state
+	// replay allocates ~nothing. The flag exists for A/B benchmarking
+	// (janusbench -kernels) and as an escape hatch.
+	NoMemoryPlan bool
 }
+
+// memoryPlanOn reports whether plan-driven buffer reuse is enabled.
+func (c Config) memoryPlanOn() bool { return !c.NoMemoryPlan }
 
 // DefaultJanusConfig returns the full-featured JANUS configuration.
 func DefaultJanusConfig() Config {
@@ -99,7 +109,15 @@ type Stats struct {
 	CacheMisses     int
 	AssertFailures  int
 	Fallbacks       int
-	OptimizeReport  map[string]int
+	// SigHashHits counts graph-cache lookups served by the per-function
+	// signature-hash index (no token re-materialization, no SigMatch scan).
+	SigHashHits int
+	// PoolGets/PoolHits/PoolPuts snapshot the engine's tensor pool: rentals,
+	// rentals served by reuse, and returns (see tensor.PoolStats).
+	PoolGets       int64
+	PoolHits       int64
+	PoolPuts       int64
+	OptimizeReport map[string]int
 }
 
 // Add accumulates another snapshot into s (the serving pool aggregates
@@ -113,6 +131,10 @@ func (s *Stats) Add(o Stats) {
 	s.CacheMisses += o.CacheMisses
 	s.AssertFailures += o.AssertFailures
 	s.Fallbacks += o.Fallbacks
+	s.SigHashHits += o.SigHashHits
+	s.PoolGets += o.PoolGets
+	s.PoolHits += o.PoolHits
+	s.PoolPuts += o.PoolPuts
 	for k, v := range o.OptimizeReport {
 		if s.OptimizeReport == nil {
 			s.OptimizeReport = map[string]int{}
@@ -133,6 +155,7 @@ type counters struct {
 	cacheMisses     atomic.Int64
 	assertFailures  atomic.Int64
 	fallbacks       atomic.Int64
+	sigHashHits     atomic.Int64
 	mu              sync.Mutex
 	optimizeReport  map[string]int
 }
@@ -158,6 +181,7 @@ func (c *counters) snapshot() Stats {
 		CacheMisses:     int(c.cacheMisses.Load()),
 		AssertFailures:  int(c.assertFailures.Load()),
 		Fallbacks:       int(c.fallbacks.Load()),
+		SigHashHits:     int(c.sigHashHits.Load()),
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -173,7 +197,12 @@ func (c *counters) snapshot() Stats {
 // compiled is one graph-cache entry.
 type compiled struct {
 	pattern []string
-	res     *convert.Result
+	// leafCount is the number of runtime-fed leaves (tensors, objects) in
+	// pattern; hash-index hits are cross-checked against it so a 64-bit
+	// signature-hash collision with a different arity can never execute
+	// this graph with misaligned feeds.
+	leafCount int
+	res       *convert.Result
 	// static graphs carry their own gradient/update ops; dynamic graphs are
 	// differentiated through the executor's trace tape.
 	static bool
@@ -194,6 +223,12 @@ type funcState struct {
 	key     cacheKey
 	prof    *profile.Profile
 	entries []*compiled
+	// sigIndex memoizes signature hash → matched entry, so a repeated call
+	// with an already-seen concrete feed signature skips re-materializing
+	// the token signature and the SigMatch scan (convert.FlattenHash). Every
+	// entry here was verified once through the full token path; eviction
+	// (capacity or assumption failure) removes its hashes.
+	sigIndex map[uint64]*compiled
 	// distrust records AST nodes whose speculative assumptions failed.
 	distrust map[int]bool
 	// imperativeOnly marks functions with no graph representation (Fig. 2,
@@ -219,6 +254,12 @@ type Engine struct {
 	stats counters
 	cache *GraphCache
 	heap  *heapAdapter
+	// pool and arena back plan-driven graph replay (Config.NoMemoryPlan
+	// off): the pool recycles intermediate tensors across executions, the
+	// arena recycles scheduler state. Both are per-engine — a serving pool's
+	// engines share parameters and compiled graphs but never buffers.
+	pool  *tensor.Pool
+	arena *exec.Arena
 	// gradSink, when set, diverts parameter updates: instead of applying the
 	// optimizer locally, each watched variable's gradient is handed to the
 	// sink as backprop finalizes it (see SetGradSink).
@@ -256,6 +297,10 @@ func NewEngineShared(cfg Config, store *vars.Store, cache *GraphCache) *Engine {
 		Store: store,
 		Opt:   &autodiff.SGD{LR: cfg.LR},
 		cache: cache,
+	}
+	if cfg.memoryPlanOn() {
+		e.pool = tensor.NewPool()
+		e.arena = exec.NewArena()
 	}
 	reg := minipy.DefaultRegistry().Clone()
 	reg.Register(&minipy.Builtin{Name: "optimize", Stateful: true,
@@ -375,8 +420,16 @@ func (e *Engine) Config() Config { return e.cfg }
 // trace mode ignores the sink for already-traced static graphs.
 func (e *Engine) SetGradSink(sink func(name string, g *tensor.Tensor)) { e.gradSink = sink }
 
-// Stats returns a race-safe snapshot of the engine's counters.
-func (e *Engine) Stats() Stats { return e.stats.snapshot() }
+// Stats returns a race-safe snapshot of the engine's counters, including
+// the tensor pool's rental statistics when the memory plan is enabled.
+func (e *Engine) Stats() Stats {
+	s := e.stats.snapshot()
+	if e.pool != nil {
+		ps := e.pool.Stats()
+		s.PoolGets, s.PoolHits, s.PoolPuts = ps.Gets, ps.Hits, ps.Puts
+	}
+	return s
+}
 
 // Cache returns the engine's compiled-graph cache (possibly shared).
 func (e *Engine) Cache() *GraphCache { return e.cache }
@@ -478,25 +531,29 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			v, err := e.imperativeStep(fn, fs.prof)
 			return v, true, err
 		}
-		sig, lv := convert.Flatten(fn, nil)
-		entry = e.lookup(fs, sig)
-		if entry == nil {
-			e.stats.cacheMisses.Add(1)
-			var gerr error
-			entry, gerr = e.generate(fs, fn, sig)
-			if gerr != nil {
-				if errors.Is(gerr, convert.ErrNotConvertible) {
-					// (C) Do not generate: imperative-only function.
-					fs.imperativeOnly = true
-					fs.impReason = gerr.Error()
-					e.stats.conversionFails.Add(1)
-					v, err := e.imperativeStep(fn, fs.prof)
-					return v, true, err
+		hash, lv := convert.FlattenHash(fn, nil)
+		if entry = e.hashLookup(fs, hash, len(lv)); entry == nil {
+			sig, _ := convert.Flatten(fn, nil)
+			entry = e.lookup(fs, sig)
+			if entry == nil {
+				e.stats.cacheMisses.Add(1)
+				var gerr error
+				entry, gerr = e.generate(fs, fn, sig, len(lv))
+				if gerr != nil {
+					if errors.Is(gerr, convert.ErrNotConvertible) {
+						// (C) Do not generate: imperative-only function.
+						fs.imperativeOnly = true
+						fs.impReason = gerr.Error()
+						e.stats.conversionFails.Add(1)
+						v, err := e.imperativeStep(fn, fs.prof)
+						return v, true, err
+					}
+					return nil, true, gerr
 				}
-				return nil, true, gerr
+			} else {
+				e.stats.cacheHits.Add(1)
 			}
-		} else {
-			e.stats.cacheHits.Add(1)
+			memoizeSig(fs, hash, entry)
 		}
 		leaves = lv
 		return nil, false, nil
@@ -541,9 +598,48 @@ func (e *Engine) lookup(fs *funcState, sig []string) *compiled {
 	return nil
 }
 
+// hashLookup serves a cache lookup from the function's memoized
+// signature-hash index (fs.mu held). A hit skips both signature-token
+// materialization and the SigMatch scan; the leaf-count cross-check rejects
+// any hash collision that would misalign the feed placeholders.
+func (e *Engine) hashLookup(fs *funcState, hash uint64, wantLeaves int) *compiled {
+	c, ok := fs.sigIndex[hash]
+	if !ok || c.leafCount != wantLeaves {
+		return nil
+	}
+	e.cache.touch(c)
+	e.stats.cacheHits.Add(1)
+	e.stats.sigHashHits.Add(1)
+	return c
+}
+
+// sigIndexCap bounds the per-function hash index: a shape-generalized
+// (wildcard) pattern can match unboundedly many concrete signatures, each
+// adding a key, so the index is reset — it is only a cache — rather than
+// allowed to grow with signature churn in a long-lived server.
+const sigIndexCap = 512
+
+// memoizeSig records hash → entry in the bounded index (fs.mu held).
+func memoizeSig(fs *funcState, hash uint64, c *compiled) {
+	if len(fs.sigIndex) >= sigIndexCap {
+		fs.sigIndex = make(map[uint64]*compiled, 16)
+	}
+	fs.sigIndex[hash] = c
+}
+
+// dropFromSigIndex removes every memoized hash pointing at an evicted entry
+// (the owning funcState's lock must be held).
+func dropFromSigIndex(fs *funcState, c *compiled) {
+	for h, en := range fs.sigIndex {
+		if en == c {
+			delete(fs.sigIndex, h)
+		}
+	}
+}
+
 // generate runs the Speculative Graph Generator (Figure 2, B) and caches the
 // result.
-func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*compiled, error) {
+func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLeaves int) (*compiled, error) {
 	res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
 		Specialize: e.cfg.Specialize,
@@ -565,7 +661,7 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*com
 	rep := res.OptimizePasses(e.cfg.Specialize)
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
-	c := &compiled{pattern: sig, res: res, static: !res.Dynamic}
+	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: !res.Dynamic}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)
 	return c, nil
@@ -575,13 +671,17 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string) (*com
 func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
 	feeds := make(map[string]graph.Val, len(leaves))
 	for i, v := range leaves {
-		feeds[fmt.Sprintf("f%d", i)] = minipyToGraph(v)
+		feeds[feedName(i)] = minipyToGraph(v)
 	}
 	opts := exec.Options{
 		Workers:        e.cfg.Workers,
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		// Plan-driven buffer reuse (nil when disabled; the executor itself
+		// ignores the pool for tape-mode dynamic graphs).
+		Pool:  e.pool,
+		Arena: e.arena,
 		// The scheduler checks the run context between nodes (and inside
 		// While/Invoke subgraphs), so cancellation lands mid-execution on
 		// long graphs, not just at the next step boundary.
@@ -633,6 +733,7 @@ func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
 			break
 		}
 	}
+	dropFromSigIndex(fs, c)
 	for _, a := range c.res.Asserts {
 		if a.ID == ae.NodeID {
 			if ast := a.IntAttr("ast", -1); ast >= 0 {
@@ -676,7 +777,7 @@ func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			}
 			res.OptimizePasses(true)
 			e.stats.conversions.Add(1)
-			entry = &compiled{pattern: sig, res: res, static: !res.Dynamic}
+			entry = &compiled{pattern: sig, leafCount: len(lv), res: res, static: !res.Dynamic}
 			fs.entries = append(fs.entries, entry)
 			e.cache.noteInsert(entry)
 		}
@@ -692,6 +793,24 @@ func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
 	}
 	e.stats.graphSteps.Add(1)
 	return loss, nil
+}
+
+// feedNameCache interns the placeholder names ("f0", "f1", ...) the
+// converter assigns to flattened leaves, so per-step feed-map construction
+// does not re-format them.
+var feedNameCache = func() [64]string {
+	var a [64]string
+	for i := range a {
+		a[i] = fmt.Sprintf("f%d", i)
+	}
+	return a
+}()
+
+func feedName(i int) string {
+	if i >= 0 && i < len(feedNameCache) {
+		return feedNameCache[i]
+	}
+	return fmt.Sprintf("f%d", i)
 }
 
 // --- heap adapter ---------------------------------------------------------------

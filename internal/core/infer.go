@@ -158,24 +158,28 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 			v, err := e.imperativeCall(fn, args, fs.prof)
 			return v, true, err
 		}
-		sig, lv := convert.Flatten(fn, args)
-		entry = e.lookup(fs, sig)
-		if entry == nil {
-			e.stats.cacheMisses.Add(1)
-			var gerr error
-			entry, gerr = e.generateInfer(fs, fn, args, sig)
-			if gerr != nil {
-				if errors.Is(gerr, convert.ErrNotConvertible) {
-					fs.imperativeOnly = true
-					fs.impReason = gerr.Error()
-					e.stats.conversionFails.Add(1)
-					v, err := e.imperativeCall(fn, args, fs.prof)
-					return v, true, err
+		hash, lv := convert.FlattenHash(fn, args)
+		if entry = e.hashLookup(fs, hash, len(lv)); entry == nil {
+			sig, _ := convert.Flatten(fn, args)
+			entry = e.lookup(fs, sig)
+			if entry == nil {
+				e.stats.cacheMisses.Add(1)
+				var gerr error
+				entry, gerr = e.generateInfer(fs, fn, args, sig, len(lv))
+				if gerr != nil {
+					if errors.Is(gerr, convert.ErrNotConvertible) {
+						fs.imperativeOnly = true
+						fs.impReason = gerr.Error()
+						e.stats.conversionFails.Add(1)
+						v, err := e.imperativeCall(fn, args, fs.prof)
+						return v, true, err
+					}
+					return nil, true, gerr
 				}
-				return nil, true, gerr
+			} else {
+				e.stats.cacheHits.Add(1)
 			}
-		} else {
-			e.stats.cacheHits.Add(1)
+			memoizeSig(fs, hash, entry)
 		}
 		leaves = lv
 		return nil, false, nil
@@ -205,7 +209,7 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 }
 
 // generateInfer converts fn(args...) to a forward-only graph and caches it.
-func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.Value, sig []string) (*compiled, error) {
+func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.Value, sig []string, numLeaves int) (*compiled, error) {
 	res, err := convert.ConvertCall(fn, args, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
 		Specialize: e.cfg.Specialize,
@@ -217,7 +221,7 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 	rep := res.OptimizePasses(e.cfg.Specialize)
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
-	c := &compiled{pattern: sig, res: res, static: true}
+	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: true}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)
 	return c, nil
@@ -228,13 +232,15 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
 	feeds := make(map[string]graph.Val, len(leaves))
 	for i, v := range leaves {
-		feeds[fmt.Sprintf("f%d", i)] = minipyToGraph(v)
+		feeds[feedName(i)] = minipyToGraph(v)
 	}
 	res, err := exec.Run(c.res.Graph, feeds, exec.Options{
 		Workers:        e.cfg.Workers,
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		Pool:           e.pool,
+		Arena:          e.arena,
 		Ctx:            e.runCtx,
 	})
 	if err != nil {

@@ -14,7 +14,12 @@
 //     state-update semantics of §4.2.3,
 //   - an optional trace tape: when a graph contains dynamic control flow,
 //     tensor edges carry autodiff nodes and gradients are computed from the
-//     executed trace (DESIGN.md §5).
+//     executed trace (DESIGN.md §5),
+//   - plan-driven buffer reuse: with Options.Pool set (and no tape), every
+//     intermediate tensor is rented from the pool according to the graph's
+//     cached graph.MemoryPlan, elementwise ops write in place when their
+//     input dies at that node, and buffers return to the pool the moment
+//     their last consumer fires — steady-state replay allocates ~nothing.
 package exec
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"repro/internal/autodiff"
 	"repro/internal/graph"
+	"repro/internal/tensor"
 	"repro/internal/vars"
 )
 
@@ -62,6 +68,18 @@ type Options struct {
 	// Tape, when non-nil, makes tensor edges carry autodiff nodes so the
 	// executed trace can be differentiated (dynamic-control-flow graphs).
 	Tape *autodiff.Tape
+	// Pool, when non-nil and Tape is nil, enables plan-driven buffer reuse:
+	// intermediate tensors are rented from the pool per the graph's memory
+	// plan and returned when their last consumer fires. Feeds, constants,
+	// variables reaching outputs, and anything crossing a subgraph or heap
+	// boundary are pinned and never pooled.
+	Pool *tensor.Pool
+	// Arena, when non-nil, recycles per-run scheduler state (value arrays,
+	// refcounts) across executions of the same graphs. Callers that run one
+	// execution at a time (an Engine) share one Arena across runs; the
+	// Arena itself is safe for concurrent use and falls back to fresh
+	// allocations when a graph's slot is busy.
+	Arena *Arena
 	// DisableAsserts skips assumption validation (used by the assertion-cost
 	// experiment; never by the real runtime).
 	DisableAsserts bool
@@ -174,7 +192,10 @@ func (o *overlay) commit(h Heap) error {
 // (Invoke/While recurse with the same ctx so the overlay and tape span the
 // whole run).
 type ctx struct {
-	opts    Options
+	opts Options
+	// overlay is created lazily on the first heap op — replayed compute
+	// graphs usually have none, and the hot path should not pay for maps.
+	ovOnce  sync.Once
 	overlay *overlay
 	printMu sync.Mutex
 	printed []string
@@ -182,6 +203,11 @@ type ctx struct {
 	// applied only after every assertion in the whole run has passed.
 	updMu   sync.Mutex
 	updates []func()
+}
+
+func (c *ctx) ov() *overlay {
+	c.ovOnce.Do(func() { c.overlay = newOverlay() })
+	return c.overlay
 }
 
 // canceled reports whether the run's context (if any) has been canceled,
@@ -203,13 +229,13 @@ func Run(g *graph.Graph, feeds map[string]graph.Val, opts Options) (*Result, err
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
-	c := &ctx{opts: opts, overlay: newOverlay()}
+	c := &ctx{opts: opts}
 	outs, err := runGraph(g, feeds, c)
 	if err != nil {
 		return nil, err
 	}
 	// All assertions passed: commit deferred state, in order.
-	if opts.Heap != nil {
+	if opts.Heap != nil && c.overlay != nil {
 		if err := c.overlay.commit(opts.Heap); err != nil {
 			return nil, err
 		}
@@ -222,19 +248,32 @@ func Run(g *graph.Graph, feeds map[string]graph.Val, opts Options) (*Result, err
 	return &Result{Outputs: outs, Printed: c.printed}, nil
 }
 
+// node fast-path kinds, precomputed per plan so the schedulers can bypass
+// execNode (and its []Val returns) for the allocation-sensitive ops.
+const (
+	kindGeneric = iota
+	kindConst
+	kindPlaceholder
+	kindVariable
+	kindInto
+)
+
 // plan is the cached per-graph schedule: per-node consumer lists, the
-// indegree template, resolved input (producer, port) indices, a node index
-// map and a topological order for the serial fast path. Building it once per
-// graph removes per-execution analysis cost — the scheduling advantage
-// symbolic execution has over the per-statement interpreter.
+// indegree template, resolved flat input port indices, a topological order
+// for the serial fast path, and the buffer-reuse memory plan. Building it
+// once per graph removes per-execution analysis cost — the scheduling
+// advantage symbolic execution has over the per-statement interpreter.
 type plan struct {
 	consumers [][]int32
 	indeg     []int32
-	prods     [][]int32 // input producer node index, per node
-	ports     [][]int32 // input producer output port, per node
+	inPort    [][]int32 // flat port id per node input
 	topo      []int32
-	outIdx    []int32 // node index per graph output
-	index     map[*graph.Node]int32
+	outPort   []int32 // flat port id per graph output
+	portBase  []int32 // flat port offset per node (len n+1)
+	kind      []int8  // fast-path kind per node
+	phName    []string
+	varName   []string
+	mem       *graph.MemoryPlan
 }
 
 // buildPlan analyzes a graph once; subsequent executions reuse the result.
@@ -244,26 +283,31 @@ func buildPlan(g *graph.Graph) (*plan, error) {
 	for i, nd := range g.Nodes {
 		index[nd] = int32(i)
 	}
+	counts := graph.PortCounts(g)
 	p := &plan{
 		consumers: make([][]int32, n),
 		indeg:     make([]int32, n),
-		prods:     make([][]int32, n),
-		ports:     make([][]int32, n),
-		index:     index,
+		inPort:    make([][]int32, n),
+		portBase:  make([]int32, n+1),
+		kind:      make([]int8, n),
+		phName:    make([]string, n),
+		varName:   make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		p.portBase[i+1] = p.portBase[i] + counts[i]
 	}
 	for i, nd := range g.Nodes {
-		prods := make([]int32, len(nd.Inputs))
 		ports := make([]int32, len(nd.Inputs))
 		for k, in := range nd.Inputs {
 			j, ok := index[in.Node]
 			if !ok {
 				return nil, fmt.Errorf("exec: node %d input refers outside graph (op %s)", nd.ID, nd.Op)
 			}
-			prods[k], ports[k] = j, int32(in.Out)
+			ports[k] = p.portBase[j] + int32(in.Out)
 			p.consumers[j] = append(p.consumers[j], int32(i))
 			p.indeg[i]++
 		}
-		p.prods[i], p.ports[i] = prods, ports
+		p.inPort[i] = ports
 		for _, d := range nd.ControlDeps {
 			j, ok := index[d]
 			if !ok {
@@ -271,6 +315,20 @@ func buildPlan(g *graph.Graph) (*plan, error) {
 			}
 			p.consumers[j] = append(p.consumers[j], int32(i))
 			p.indeg[i]++
+		}
+		switch nd.Op {
+		case "Const":
+			p.kind[i] = kindConst
+		case "Placeholder":
+			p.kind[i] = kindPlaceholder
+			p.phName[i] = nd.StrAttr("name")
+		case "Variable":
+			p.kind[i] = kindVariable
+			p.varName[i] = nd.StrAttr("name")
+		default:
+			if graph.HasIntoKernel(nd.Op) {
+				p.kind[i] = kindInto
+			}
 		}
 	}
 	// Kahn's algorithm: the topological order doubles as the cycle check and
@@ -298,14 +356,15 @@ func buildPlan(g *graph.Graph) (*plan, error) {
 		return nil, fmt.Errorf("exec: graph is not schedulable — %d of %d nodes are on a cycle", n-len(topo), n)
 	}
 	p.topo = topo
-	p.outIdx = make([]int32, len(g.Outputs))
+	p.outPort = make([]int32, len(g.Outputs))
 	for i, o := range g.Outputs {
 		j, ok := index[o.Node]
 		if !ok {
 			return nil, fmt.Errorf("exec: output %d refers outside graph", i)
 		}
-		p.outIdx[i] = j
+		p.outPort[i] = p.portBase[j] + int32(o.Out)
 	}
+	p.mem = graph.BuildMemoryPlan(g)
 	return p, nil
 }
 
@@ -325,6 +384,219 @@ func planFor(g *graph.Graph) (*plan, error) {
 	return p, nil
 }
 
+// Arena recycles per-run scheduler state (value arrays, refcounts, buffer
+// tables) across executions. One Arena is typically owned by one Engine;
+// concurrent or reentrant executions of the same graph simply fall back to
+// fresh allocations.
+//
+// The per-graph map is bounded: compiled graphs are evicted from the
+// GraphCache over time (capacity LRU, assumption failures), and an
+// unbounded map would pin each dead graph's last-run value and buffer
+// tables forever. Beyond arenaCap graphs, acquiring a new graph's slot
+// evicts an idle one — arena state is pure scratch, so eviction only costs
+// a re-allocation on that graph's next run.
+type Arena struct {
+	mu  sync.Mutex
+	per map[*graph.Graph]*graphArena
+}
+
+// arenaCap bounds how many graphs' scratch state one Arena retains.
+const arenaCap = 64
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{per: make(map[*graph.Graph]*graphArena)} }
+
+type graphArena struct {
+	busy  bool
+	vals  []graph.Val
+	in    []graph.Val
+	refs  []int32
+	moved []bool
+	bufs  []*tensor.Tensor
+}
+
+func (a *Arena) acquire(g *graph.Graph) *graphArena {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ga := a.per[g]
+	if ga == nil {
+		if len(a.per) >= arenaCap {
+			for og, oga := range a.per {
+				if !oga.busy {
+					delete(a.per, og)
+					break
+				}
+			}
+		}
+		ga = &graphArena{}
+		a.per[g] = ga
+	}
+	if ga.busy {
+		return nil // reentrant (recursive Invoke) or concurrent use
+	}
+	ga.busy = true
+	return ga
+}
+
+func (a *Arena) release(ga *graphArena) {
+	if a == nil || ga == nil {
+		return
+	}
+	// Drop the run's values before parking the slot: without this, the
+	// arena would pin the last run's tensors (or, under a tape, the whole
+	// autodiff tape) until the graph's next execution.
+	clear(ga.vals)
+	clear(ga.bufs)
+	a.mu.Lock()
+	ga.busy = false
+	a.mu.Unlock()
+}
+
+// memState is the per-execution view of a graph's memory plan: a live
+// refcount per alias class, the pooled buffer owned by each class, and
+// transfer flags for in-place rebinding.
+type memState struct {
+	mem   *graph.MemoryPlan
+	pool  *tensor.Pool
+	refs  []int32
+	moved []bool
+	bufs  []*tensor.Tensor
+}
+
+// initMemState prepares (or recycles) per-run plan state; returns nil when
+// buffer reuse is disabled for this execution.
+func initMemState(p *plan, c *ctx, ga *graphArena) *memState {
+	if c.opts.Pool == nil || c.opts.Tape != nil || p.mem == nil {
+		return nil
+	}
+	nc := p.mem.NumClasses
+	ms := &memState{mem: p.mem, pool: c.opts.Pool}
+	if ga != nil {
+		if cap(ga.refs) < nc {
+			ga.refs = make([]int32, nc)
+			ga.moved = make([]bool, nc)
+			ga.bufs = make([]*tensor.Tensor, nc)
+		}
+		ms.refs, ms.moved, ms.bufs = ga.refs[:nc], ga.moved[:nc], ga.bufs[:nc]
+		for i := range ms.moved {
+			ms.moved[i] = false
+			ms.bufs[i] = nil
+		}
+	} else {
+		ms.refs = make([]int32, nc)
+		ms.moved = make([]bool, nc)
+		ms.bufs = make([]*tensor.Tensor, nc)
+	}
+	copy(ms.refs, p.mem.Refs)
+	return ms
+}
+
+// adopt records a freshly produced, execution-private tensor as its alias
+// class's pooled buffer (so the scheduler can return it on last use).
+func (ms *memState) adopt(i int32, out0 graph.Val) {
+	pr := ms.mem.PoolRecord[i]
+	if len(pr) == 0 || !pr[0] {
+		return
+	}
+	cls := ms.mem.OutClass[i][0]
+	if !ms.mem.Releasable[cls] {
+		return
+	}
+	if t, ok := out0.(*tensor.Tensor); ok {
+		ms.bufs[cls] = t
+	}
+}
+
+// releaseInputs counts down the classes consumed by node i, returning each
+// class's buffer to the pool at zero. atomicRefs selects the parallel
+// scheduler's atomic decrements.
+func (ms *memState) releaseInputs(i int32, atomicRefs bool) {
+	for _, cls := range ms.mem.InClass[i] {
+		if !ms.mem.Releasable[cls] {
+			continue
+		}
+		var left int32
+		if atomicRefs {
+			left = atomic.AddInt32(&ms.refs[cls], -1)
+		} else {
+			ms.refs[cls]--
+			left = ms.refs[cls]
+		}
+		if left == 0 && !ms.moved[cls] {
+			if b := ms.bufs[cls]; b != nil {
+				ms.pool.Put(b)
+			}
+		}
+	}
+}
+
+// nodeAlloc is the tensor.Allocator handed to Into kernels: the first Get is
+// the kernel's output (pool-backed, in-place-rebound, or heap for pinned
+// outputs); subsequent Gets are scratch (always pooled). One nodeAlloc is
+// reused across a scheduler's nodes, so the hot path performs no per-node
+// allocator allocations.
+type nodeAlloc struct {
+	pool       *tensor.Pool
+	ms         *memState
+	first      bool
+	record     bool // pool-allocate & track the output
+	inPlace    *tensor.Tensor
+	inPlaceCls int32
+}
+
+func (a *nodeAlloc) Get(shape ...int) *tensor.Tensor {
+	if a.first {
+		a.first = false
+		if a.inPlace != nil && tensor.ShapeEq(a.inPlace.Shape(), shape) {
+			t := a.inPlace
+			a.ms.moved[a.inPlaceCls] = true
+			a.inPlace = nil
+			return t
+		}
+		if !a.record {
+			// Pinned output: it escapes the execution, so it must not come
+			// from (or ever return to) the pool.
+			return tensor.Zeros(shape...)
+		}
+	}
+	return a.pool.Get(shape...)
+}
+
+func (a *nodeAlloc) GetZeroed(shape ...int) *tensor.Tensor {
+	t := a.Get(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = 0
+	}
+	return t
+}
+
+func (a *nodeAlloc) Put(t *tensor.Tensor) { a.pool.Put(t) }
+
+// prep readies the allocator for node i, wiring the in-place candidate when
+// the plan and the runtime state both allow it.
+func (a *nodeAlloc) prep(ms *memState, i int32, in []graph.Val) {
+	a.ms = ms
+	a.pool = ms.pool
+	a.first = true
+	a.inPlace = nil
+	mem := ms.mem
+	outCls := mem.OutClass[i][0]
+	a.record = mem.PoolRecord[i][0] && mem.Releasable[outCls]
+	if k := mem.InPlace[i]; k >= 0 && int(k) < len(in) {
+		if t, ok := in[k].(*tensor.Tensor); ok {
+			cls := mem.InClass[i][k]
+			if ms.bufs[cls] == t && !ms.moved[cls] {
+				a.inPlace = t
+				a.inPlaceCls = cls
+			}
+		}
+	}
+}
+
 // runGraph schedules one (sub)graph to completion and returns its outputs.
 func runGraph(g *graph.Graph, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
 	if len(g.Nodes) == 0 {
@@ -334,10 +606,12 @@ func runGraph(g *graph.Graph, feeds map[string]graph.Val, c *ctx) ([]graph.Val, 
 	if err != nil {
 		return nil, err
 	}
+	ga := c.opts.Arena.acquire(g)
+	defer c.opts.Arena.release(ga)
 	if c.opts.Workers <= 1 {
-		return runSerial(g, p, feeds, c)
+		return runSerial(g, p, feeds, c, ga)
 	}
-	return runParallel(g, p, feeds, c)
+	return runParallel(g, p, feeds, c, ga)
 }
 
 // safeExecNode runs execNode, converting kernel panics (e.g. a shape
@@ -353,67 +627,160 @@ func safeExecNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[stri
 	return execNode(g, nd, in, feeds, c)
 }
 
+// execFast runs the allocation-free fast paths (Const, Placeholder,
+// Variable, Into kernels) for node i, writing the single output value
+// directly. It is only entered when ms != nil (plan-driven execution, no
+// tape). Kernel panics are converted to errors like safeExecNode.
+func execFast(p *plan, g *graph.Graph, i int32, nd *graph.Node, in []graph.Val, feeds map[string]graph.Val, c *ctx, ms *memState, na *nodeAlloc) (out graph.Val, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: node %d (%s): %v", nd.ID, nd.Op, r)
+		}
+	}()
+	switch p.kind[i] {
+	case kindConst:
+		return nd.Attr("value"), nil
+	case kindPlaceholder:
+		v, ok := feeds[p.phName[i]]
+		if !ok {
+			return nil, fmt.Errorf("exec: no feed for placeholder %q", p.phName[i])
+		}
+		return v, nil
+	case kindVariable:
+		name := p.varName[i]
+		if c.opts.Store == nil {
+			return nil, fmt.Errorf("exec: Variable %q with no store", name)
+		}
+		t, ok := c.opts.Store.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown variable %q", name)
+		}
+		// Snapshot the parameter (outputs must reflect the value read during
+		// execution even after deferred updates land); the snapshot is
+		// execution-private, so it can live in the pool.
+		if ms.mem.PoolRecord[i][0] && ms.mem.Releasable[ms.mem.OutClass[i][0]] {
+			buf := ms.pool.Get(t.Shape()...)
+			copy(buf.Data(), t.Data())
+			return buf, nil
+		}
+		return t.Clone(), nil
+	case kindInto:
+		na.prep(ms, i, in)
+		return graph.IntoKernels[nd.Op](nd, in, na)
+	}
+	panic("exec: execFast on generic node")
+}
+
 // runSerial executes nodes in topological order on the calling goroutine —
 // the 1-worker ablation mode without scheduling machinery.
-func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *graphArena) ([]graph.Val, error) {
 	n := len(g.Nodes)
-	vals := make([][]graph.Val, n)
+	numPorts := int(p.portBase[n])
+	var vals []graph.Val
+	var inScratch []graph.Val
+	if ga != nil {
+		if cap(ga.vals) < numPorts {
+			ga.vals = make([]graph.Val, numPorts)
+		}
+		vals = ga.vals[:numPorts]
+		inScratch = ga.in
+	} else {
+		vals = make([]graph.Val, numPorts)
+	}
+	ms := initMemState(p, c, ga)
+	var na nodeAlloc
 	for _, i := range p.topo {
 		if err := c.canceled(); err != nil {
 			return nil, err
 		}
 		nd := g.Nodes[i]
-		prods, ports := p.prods[i], p.ports[i]
-		in := make([]graph.Val, len(prods))
+		inPorts := p.inPort[i]
+		if cap(inScratch) < len(inPorts) {
+			inScratch = make([]graph.Val, len(inPorts)+8)
+		}
+		in := inScratch[:len(inPorts)]
 		anyDead := false
-		for k := range prods {
-			v := vals[prods[k]][ports[k]]
+		for k, pt := range inPorts {
+			v := vals[pt]
 			in[k] = v
 			if IsDead(v) {
 				anyDead = true
 			}
 		}
-		var out []graph.Val
-		var err error
-		if anyDead && nd.Op != "Merge" {
-			out = make([]graph.Val, nd.NumOutputs)
-			for k := range out {
-				out[k] = dead
+		base := p.portBase[i]
+		ports := int(p.portBase[i+1] - base)
+		switch {
+		case anyDead && nd.Op != "Merge":
+			for o := 0; o < ports; o++ {
+				vals[base+int32(o)] = dead
 			}
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsSkipped.Add(1)
 			}
-		} else {
-			out, err = safeExecNode(g, nd, in, feeds, c)
+		case ms != nil && p.kind[i] != kindGeneric:
+			v, err := execFast(p, g, i, nd, in, feeds, c, ms, &na)
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
 			if err != nil {
 				return nil, err
 			}
+			vals[base] = v
+			for o := 1; o < ports; o++ {
+				vals[base+int32(o)] = nil
+			}
+			ms.adopt(i, v)
+		default:
+			out, err := safeExecNode(g, nd, in, feeds, c)
+			if c.opts.Stats != nil {
+				c.opts.Stats.OpsExecuted.Add(1)
+			}
+			if err != nil {
+				return nil, err
+			}
+			for o := 0; o < ports; o++ {
+				if o < len(out) {
+					vals[base+int32(o)] = out[o]
+				} else {
+					vals[base+int32(o)] = nil
+				}
+			}
+			if ms != nil && len(out) > 0 {
+				ms.adopt(i, out[0])
+			}
 		}
-		if len(out) < nd.NumOutputs {
-			padded := make([]graph.Val, nd.NumOutputs)
-			copy(padded, out)
-			out = padded
+		if ms != nil {
+			ms.releaseInputs(i, false)
 		}
-		vals[i] = out
+	}
+	if ga != nil {
+		ga.in = inScratch
 	}
 	outs := make([]graph.Val, len(g.Outputs))
-	for i, o := range g.Outputs {
-		outs[i] = vals[p.outIdx[i]][o.Out]
+	for i := range g.Outputs {
+		outs[i] = vals[p.outPort[i]]
 	}
 	return outs, nil
 }
 
 // runParallel runs the worker-pool dataflow scheduler (+PARL).
-func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([]graph.Val, error) {
+func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *graphArena) ([]graph.Val, error) {
 	n := len(g.Nodes)
 	consumers := p.consumers
 	indeg := make([]int32, n)
 	copy(indeg, p.indeg)
 
-	vals := make([][]graph.Val, n)
+	numPorts := int(p.portBase[n])
+	var vals []graph.Val
+	if ga != nil {
+		if cap(ga.vals) < numPorts {
+			ga.vals = make([]graph.Val, numPorts)
+		}
+		vals = ga.vals[:numPorts]
+	} else {
+		vals = make([]graph.Val, numPorts)
+	}
+	ms := initMemState(p, c, ga)
 	var valsMu sync.Mutex
 
 	ready := make(chan int32, n)
@@ -439,6 +806,8 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var na nodeAlloc
+			var inScratch []graph.Val
 			for {
 				select {
 				case <-done:
@@ -450,12 +819,15 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 						return
 					}
 					nd := g.Nodes[i]
-					prods, ports := p.prods[i], p.ports[i]
-					in := make([]graph.Val, len(prods))
+					inPorts := p.inPort[i]
+					if cap(inScratch) < len(inPorts) {
+						inScratch = make([]graph.Val, len(inPorts)+8)
+					}
+					in := inScratch[:len(inPorts)]
 					anyDead := false
 					valsMu.Lock()
-					for k := range prods {
-						v := vals[prods[k]][ports[k]]
+					for k, pt := range inPorts {
+						v := vals[pt]
 						in[k] = v
 						if IsDead(v) {
 							anyDead = true
@@ -463,30 +835,37 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 					}
 					valsMu.Unlock()
 
+					base := p.portBase[i]
+					ports := int(p.portBase[i+1] - base)
+					var out0 graph.Val
 					var out []graph.Val
 					var err error
-					if anyDead && nd.Op != "Merge" {
+					single := false
+					switch {
+					case anyDead && nd.Op != "Merge":
 						// Dead-token propagation: skip execution entirely.
-						out = make([]graph.Val, nd.NumOutputs)
-						for k := range out {
-							out[k] = dead
-						}
+						single = true
+						out0 = dead
 						if c.opts.Stats != nil {
 							c.opts.Stats.OpsSkipped.Add(1)
 						}
-					} else {
+					case ms != nil && p.kind[i] != kindGeneric:
 						if c.opts.Stats != nil {
-							cur := c.opts.Stats.curParallel.Add(1)
-							for {
-								max := c.opts.Stats.MaxParallel.Load()
-								if cur <= max || c.opts.Stats.MaxParallel.CompareAndSwap(max, cur) {
-									break
-								}
-							}
+							trackParallel(c.opts.Stats, 1)
+						}
+						out0, err = execFast(p, g, i, nd, in, feeds, c, ms, &na)
+						single = true
+						if c.opts.Stats != nil {
+							trackParallel(c.opts.Stats, -1)
+							c.opts.Stats.OpsExecuted.Add(1)
+						}
+					default:
+						if c.opts.Stats != nil {
+							trackParallel(c.opts.Stats, 1)
 						}
 						out, err = safeExecNode(g, nd, in, feeds, c)
 						if c.opts.Stats != nil {
-							c.opts.Stats.curParallel.Add(-1)
+							trackParallel(c.opts.Stats, -1)
 							c.opts.Stats.OpsExecuted.Add(1)
 						}
 					}
@@ -495,14 +874,35 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 						finish()
 						return
 					}
-					if len(out) < nd.NumOutputs {
-						padded := make([]graph.Val, nd.NumOutputs)
-						copy(padded, out)
-						out = padded
-					}
 					valsMu.Lock()
-					vals[i] = out
+					if single {
+						vals[base] = out0
+						for o := 1; o < ports; o++ {
+							if IsDead(out0) {
+								vals[base+int32(o)] = dead
+							} else {
+								vals[base+int32(o)] = nil
+							}
+						}
+						if ms != nil && !IsDead(out0) {
+							ms.adopt(i, out0)
+						}
+					} else {
+						for o := 0; o < ports; o++ {
+							if o < len(out) {
+								vals[base+int32(o)] = out[o]
+							} else {
+								vals[base+int32(o)] = nil
+							}
+						}
+						if ms != nil && len(out) > 0 {
+							ms.adopt(i, out[0])
+						}
+					}
 					valsMu.Unlock()
+					if ms != nil {
+						ms.releaseInputs(i, true)
+					}
 					for _, ci := range consumers[i] {
 						if atomic.AddInt32(&indeg[ci], -1) == 0 {
 							select {
@@ -529,9 +929,23 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx) ([
 	}
 	outs := make([]graph.Val, len(g.Outputs))
 	valsMu.Lock()
-	for i, o := range g.Outputs {
-		outs[i] = vals[p.outIdx[i]][o.Out]
+	for i := range g.Outputs {
+		outs[i] = vals[p.outPort[i]]
 	}
 	valsMu.Unlock()
 	return outs, nil
+}
+
+// trackParallel maintains the high-water parallelism mark.
+func trackParallel(s *Stats, delta int64) {
+	cur := s.curParallel.Add(delta)
+	if delta < 0 {
+		return
+	}
+	for {
+		max := s.MaxParallel.Load()
+		if cur <= max || s.MaxParallel.CompareAndSwap(max, cur) {
+			break
+		}
+	}
 }

@@ -122,7 +122,7 @@ func execNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]g
 		if c.opts.Heap == nil {
 			return nil, fmt.Errorf("exec: PyGetAttr with no heap")
 		}
-		v, err := c.overlay.getAttr(c.opts.Heap, obj, name)
+		v, err := c.ov().getAttr(c.opts.Heap, obj, name)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +136,7 @@ func execNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]g
 	case "PySetAttr":
 		obj := unwrap(in[0])
 		name := nd.StrAttr("attr")
-		c.overlay.setAttr(obj, name, unwrap(in[1]))
+		c.ov().setAttr(obj, name, unwrap(in[1]))
 		return []graph.Val{nil}, nil
 
 	case "PyGetSubscr":
@@ -145,14 +145,14 @@ func execNode(g *graph.Graph, nd *graph.Node, in []graph.Val, feeds map[string]g
 		if c.opts.Heap == nil {
 			return nil, fmt.Errorf("exec: PyGetSubscr with no heap")
 		}
-		v, err := c.overlay.getSubscr(c.opts.Heap, obj, key)
+		v, err := c.ov().getSubscr(c.opts.Heap, obj, key)
 		if err != nil {
 			return nil, err
 		}
 		return []graph.Val{v}, nil
 
 	case "PySetSubscr":
-		c.overlay.setSubscr(unwrap(in[0]), unwrap(in[1]), unwrap(in[2]))
+		c.ov().setSubscr(unwrap(in[0]), unwrap(in[1]), unwrap(in[2]))
 		return []graph.Val{nil}, nil
 
 	case "Invoke":

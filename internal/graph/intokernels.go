@@ -1,0 +1,382 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// IntoKernel is the destination-passing form of a pure single-output kernel:
+// instead of allocating its result it rents the output tensor (and any
+// scratch) from alloc. The plan-driven executor (internal/exec) installs a
+// pool-backed — and, for planned in-place nodes, input-rebinding — allocator;
+// everything else keeps using the allocating Kernels registry.
+//
+// Contract: the returned tensor must have been obtained from alloc (or be a
+// freshly heap-allocated tensor on a fallback path); scratch rentals must be
+// returned with alloc.Put before the kernel returns; inputs are only read
+// during the call and never aliased into the output.
+type IntoKernel func(n *Node, in []Val, alloc tensor.Allocator) (Val, error)
+
+// IntoKernels is the destination-passing registry, covering the hot ops.
+var IntoKernels = map[string]IntoKernel{}
+
+// HasIntoKernel reports whether op has a destination-passing kernel.
+func HasIntoKernel(op string) bool {
+	_, ok := IntoKernels[op]
+	return ok
+}
+
+func regUnaryInto(op string, f func(dst, a *tensor.Tensor) *tensor.Tensor) {
+	IntoKernels[op] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		if len(in) != 1 {
+			return nil, fmt.Errorf("%s: want 1 input, got %d", op, len(in))
+		}
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		return f(alloc.Get(a.Shape()...), a), nil
+	}
+}
+
+func regBinaryInto(op string, f func(dst, a, b *tensor.Tensor) *tensor.Tensor) {
+	IntoKernels[op] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		if len(in) != 2 {
+			return nil, fmt.Errorf("%s: want 2 inputs, got %d", op, len(in))
+		}
+		a, b, err := t2(in)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		if tensor.SameShape(a, b) {
+			return f(alloc.Get(a.Shape()...), a, b), nil
+		}
+		shape, err := tensor.BroadcastShapes(a.Shape(), b.Shape())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		return f(alloc.Get(shape...), a, b), nil
+	}
+}
+
+// scalarInto allocates a rank-0 destination.
+func scalarInto(op string, f func(dst, a *tensor.Tensor) *tensor.Tensor) {
+	IntoKernels[op] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", op, err)
+		}
+		return f(alloc.Get(), a), nil
+	}
+}
+
+// resolveReshape resolves a reshape target (a single -1 dim is inferred)
+// against an element count.
+func resolveReshape(size int, shape []int) ([]int, error) {
+	out := append([]int(nil), shape...)
+	infer := -1
+	known := 1
+	for i, d := range out {
+		if d == -1 {
+			if infer >= 0 {
+				return nil, fmt.Errorf("multiple -1 dims in reshape %v", shape)
+			}
+			infer = i
+		} else {
+			known *= d
+		}
+	}
+	if infer >= 0 {
+		if known == 0 || size%known != 0 {
+			return nil, fmt.Errorf("cannot infer dim reshaping %d elements to %v", size, shape)
+		}
+		out[infer] = size / known
+	}
+	if tensor.NumElements(out) != size {
+		return nil, fmt.Errorf("cannot reshape %d elements to %v", size, shape)
+	}
+	return out, nil
+}
+
+func init() {
+	regBinaryInto("Add", tensor.AddInto)
+	regBinaryInto("Sub", tensor.SubInto)
+	regBinaryInto("Mul", tensor.MulInto)
+	regBinaryInto("Div", tensor.DivInto)
+	regBinaryInto("Pow", tensor.PowInto)
+	regBinaryInto("Maximum", tensor.MaximumInto)
+	regBinaryInto("Minimum", tensor.MinimumInto)
+	regBinaryInto("ReLUGrad", tensor.ReLUGradInto)
+	regUnaryInto("Neg", tensor.NegInto)
+	regUnaryInto("ReLU", tensor.ReLUInto)
+	regUnaryInto("Sigmoid", tensor.SigmoidInto)
+	regUnaryInto("Tanh", tensor.TanhInto)
+	regUnaryInto("Exp", tensor.ExpInto)
+	regUnaryInto("Log", tensor.LogInto)
+	regUnaryInto("Abs", tensor.AbsInto)
+	regUnaryInto("Softmax", tensor.SoftmaxInto)
+	regUnaryInto("LogSoftmax", tensor.LogSoftmaxInto)
+	scalarInto("Sum", tensor.SumInto)
+	scalarInto("Mean", tensor.MeanInto)
+
+	regBinaryInto("SigmoidGradFromOut", func(dst, s, g *tensor.Tensor) *tensor.Tensor {
+		// gv * (sv * (1 - sv)): same association as the allocating kernel.
+		return tensor.ZipInto(dst, s, g, func(sv, gv float64) float64 {
+			return gv * (sv * (1 - sv))
+		})
+	})
+	regBinaryInto("TanhGradFromOut", func(dst, v, g *tensor.Tensor) *tensor.Tensor {
+		return tensor.ZipInto(dst, v, g, func(vv, gv float64) float64 {
+			return gv * (1 - vv*vv)
+		})
+	})
+
+	IntoKernels["Scale"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		return tensor.MulScalarInto(alloc.Get(a.Shape()...), a, n.Attr("s").(float64)), nil
+	}
+	IntoKernels["ScaleByScalar"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, b, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.MulScalarInto(alloc.Get(a.Shape()...), a, b.Item()), nil
+	}
+
+	IntoKernels["MatMul"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, b, err := t2(in)
+		if err != nil {
+			return nil, fmt.Errorf("MatMul: %v", err)
+		}
+		if a.Rank() != 2 || b.Rank() != 2 || a.Shape()[1] != b.Shape()[0] {
+			// Let the allocating kernel produce the canonical panic/recover.
+			return fallbackAlloc(n, in)
+		}
+		return tensor.MatMulInto(alloc.Get(a.Shape()[0], b.Shape()[1]), a, b), nil
+	}
+	IntoKernels["Transpose"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		if a.Rank() != 2 {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.TransposeInto(alloc.Get(a.Shape()[1], a.Shape()[0]), a), nil
+	}
+
+	IntoKernels["Reshape"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		shape, ok := n.Attr("shape").([]int)
+		if !ok {
+			return nil, fmt.Errorf("Reshape: missing shape attr")
+		}
+		resolved, err := resolveReshape(a.Size(), shape)
+		if err != nil {
+			return nil, fmt.Errorf("Reshape: %v", err)
+		}
+		return tensor.CopyInto(alloc.Get(resolved...), a), nil
+	}
+	IntoKernels["ReshapeLike"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, ref, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		if a.Size() != ref.Size() {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.CopyInto(alloc.Get(ref.Shape()...), a), nil
+	}
+	IntoKernels["ExpandDims"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		a, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		sh := append([]int{1}, a.Shape()...)
+		return tensor.CopyInto(alloc.Get(sh...), a), nil
+	}
+
+	IntoKernels["CrossEntropy"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		logits, labels, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		if !tensor.SameShape(logits, labels) {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.CrossEntropyInto(alloc.Get(), logits, labels, alloc), nil
+	}
+	IntoKernels["CrossEntropyGrad"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		logits, labels, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		if !tensor.SameShape(logits, labels) {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.CrossEntropyGradInto(alloc.Get(logits.Shape()...), logits, labels), nil
+	}
+	IntoKernels["MSE"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		pred, target, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		if !tensor.SameShape(pred, target) {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.MSEInto(alloc.Get(), pred, target), nil
+	}
+	IntoKernels["MSEGrad"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		p, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		tg, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[2])
+		if err != nil {
+			return nil, err
+		}
+		if !tensor.SameShape(p, tg) {
+			return fallbackAlloc(n, in)
+		}
+		return tensor.MSEGradInto(alloc.Get(p.Shape()...), p, tg, g.Item()), nil
+	}
+
+	IntoKernels["FillLike"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		g, err := AsTensor(in[1])
+		if err != nil {
+			return nil, err
+		}
+		scale := 1.0
+		if s, ok := n.Attrs["scale"]; ok {
+			scale = s.(float64)
+		}
+		if n.Attr("divByCount") == true {
+			scale /= float64(x.Size())
+		}
+		return tensor.FillInto(alloc.Get(x.Shape()...), g.Item()*scale), nil
+	}
+	IntoKernels["Unbroadcast"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		g, ref, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		// Unlike the allocating UnbroadcastTo (which returns its input when
+		// shapes already match), this always copies: the executor relies on
+		// Into kernels never aliasing inputs into outputs.
+		return tensor.UnbroadcastToInto(alloc.Get(ref.Shape()...), g), nil
+	}
+
+	IntoKernels["Conv2D"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, w, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		stride, pad := n.IntAttr("stride", 1), n.IntAttr("pad", 0)
+		if x.Rank() != 4 || w.Rank() != 4 {
+			return fallbackAlloc(n, in)
+		}
+		nb, oc, oh, ow := tensor.Conv2DShape(x.Shape(), w.Shape(), stride, pad)
+		return tensor.Conv2DInto(alloc.Get(nb, oc, oh, ow), x, w, stride, pad, alloc), nil
+	}
+	IntoKernels["Conv2DGradInput"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, w, g, err := t3(in)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.Conv2DGradInputInto(alloc.Get(x.Shape()...), x, w, g,
+			n.IntAttr("stride", 1), n.IntAttr("pad", 0), alloc), nil
+	}
+	IntoKernels["Conv2DGradFilter"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, w, g, err := t3(in)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.Conv2DGradFilterInto(alloc.Get(w.Shape()...), x, w, g,
+			n.IntAttr("stride", 1), n.IntAttr("pad", 0), alloc), nil
+	}
+
+	IntoKernels["MaxPool"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		k, stride := n.IntAttr("k", 2), n.IntAttr("stride", 2)
+		sh := x.Shape()
+		oh := (sh[2]-k)/stride + 1
+		ow := (sh[3]-k)/stride + 1
+		return tensor.MaxPool2DInto(alloc.Get(sh[0], sh[1], oh, ow), x, k, stride), nil
+	}
+	IntoKernels["MaxPoolGrad"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.MaxPool2DGradInto(alloc.Get(x.Shape()...), x,
+			n.IntAttr("k", 2), n.IntAttr("stride", 2), g), nil
+	}
+	IntoKernels["AvgPool"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, err := AsTensor(in[0])
+		if err != nil {
+			return nil, err
+		}
+		k, stride := n.IntAttr("k", 2), n.IntAttr("stride", 2)
+		sh := x.Shape()
+		oh := (sh[2]-k)/stride + 1
+		ow := (sh[3]-k)/stride + 1
+		return tensor.AvgPool2DInto(alloc.Get(sh[0], sh[1], oh, ow), x, k, stride), nil
+	}
+	IntoKernels["AvgPoolGrad"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, g, err := t2(in)
+		if err != nil {
+			return nil, err
+		}
+		return tensor.AvgPool2DGradInto(alloc.Get(x.Shape()...),
+			n.IntAttr("k", 2), n.IntAttr("stride", 2), g), nil
+	}
+}
+
+// t3 coerces three tensor inputs.
+func t3(in []Val) (a, b, c *tensor.Tensor, err error) {
+	if len(in) != 3 {
+		return nil, nil, nil, fmt.Errorf("want 3 inputs, got %d", len(in))
+	}
+	if a, err = AsTensor(in[0]); err != nil {
+		return
+	}
+	if b, err = AsTensor(in[1]); err != nil {
+		return
+	}
+	c, err = AsTensor(in[2])
+	return
+}
+
+// fallbackAlloc runs the op's allocating kernel — used by Into kernels on
+// shape corner cases the destination-passing fast path does not cover. The
+// result is a fresh heap tensor, which is still safe for the executor to
+// recycle later (it is private to the execution).
+func fallbackAlloc(n *Node, in []Val) (Val, error) {
+	k, ok := Kernels[n.Op]
+	if !ok {
+		return nil, fmt.Errorf("%s: no allocating kernel", n.Op)
+	}
+	out, err := k(n, in)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}

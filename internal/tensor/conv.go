@@ -50,8 +50,19 @@ func Unpad2D(a *Tensor, p int) *Tensor {
 }
 
 // Conv2D performs a 2-D convolution. x is NCHW, w is [outC,inC,kH,kW].
-// Padding pad is applied symmetrically; stride applies to both dims.
+// Padding pad is applied symmetrically; stride applies to both dims. Thin
+// wrapper over the destination-passing Conv2DInto (conv_into.go).
 func Conv2D(x, w *Tensor, stride, pad int) *Tensor {
+	if naiveKernels.Load() {
+		return conv2DNaive(x, w, stride, pad)
+	}
+	n, oc, oh, ow := Conv2DShape(x.Shape(), w.Shape(), stride, pad)
+	return Conv2DInto(Zeros(n, oc, oh, ow), x, w, stride, pad, nil)
+}
+
+// conv2DNaive is the pre-optimization implementation (im2col + naive matmul
+// + allocating rearrange), kept for the kernels benchmark baseline.
+func conv2DNaive(x, w *Tensor, stride, pad int) *Tensor {
 	if x.Rank() != 4 || w.Rank() != 4 {
 		panic(fmt.Sprintf("tensor: Conv2D wants rank-4 tensors, got %v, %v", x.shape, w.shape))
 	}
@@ -66,11 +77,9 @@ func Conv2D(x, w *Tensor, stride, pad int) *Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("tensor: Conv2D output would be empty: in %v filter %v", x.shape, w.shape))
 	}
-	// im2col: [n*oh*ow, c*kh*kw] x [c*kh*kw, oc]
 	col := im2col(x, kh, kw, stride, oh, ow)
 	wr := w.Reshape(oc, ic*kh*kw)
-	out := MatMul(col, Transpose(wr)) // [n*oh*ow, oc]
-	// Rearrange [n,oh,ow,oc] -> [n,oc,oh,ow]
+	out := MatMulNaive(col, Transpose(wr))
 	res := Zeros(n, oc, oh, ow)
 	for i := 0; i < n; i++ {
 		for y := 0; y < oh; y++ {
@@ -128,24 +137,30 @@ func goutFlat(gout *Tensor) *Tensor {
 // Conv2DGradInput computes only the input gradient of Conv2D (cheaper than
 // Conv2DGrad when the filter gradient is computed by a separate graph op).
 func Conv2DGradInput(x, w, gout *Tensor, stride, pad int) *Tensor {
-	oc, c, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	oh, ow := gout.shape[2], gout.shape[3]
-	xShape := []int{x.shape[0], x.shape[1], x.shape[2] + 2*pad, x.shape[3] + 2*pad}
-	gflat := goutFlat(gout)
-	gcol := MatMul(gflat, w.Reshape(oc, c*kh*kw))
-	gxp := col2im(gcol, xShape, kh, kw, stride, oh, ow)
-	return Unpad2D(gxp, pad)
+	if naiveKernels.Load() {
+		oc, c, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+		oh, ow := gout.shape[2], gout.shape[3]
+		xShape := []int{x.shape[0], x.shape[1], x.shape[2] + 2*pad, x.shape[3] + 2*pad}
+		gflat := goutFlat(gout)
+		gcol := MatMulNaive(gflat, w.Reshape(oc, c*kh*kw))
+		gxp := col2im(gcol, xShape, kh, kw, stride, oh, ow)
+		return Unpad2D(gxp, pad)
+	}
+	return Conv2DGradInputInto(Zeros(x.shape...), x, w, gout, stride, pad, nil)
 }
 
 // Conv2DGradFilter computes only the filter gradient of Conv2D.
 func Conv2DGradFilter(x, w, gout *Tensor, stride, pad int) *Tensor {
-	xp := Pad2D(x, pad)
-	c := xp.shape[1]
-	oc, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
-	oh, ow := gout.shape[2], gout.shape[3]
-	gflat := goutFlat(gout)
-	col := im2col(xp, kh, kw, stride, oh, ow)
-	return MatMul(Transpose(gflat), col).Reshape(oc, c, kh, kw)
+	if naiveKernels.Load() {
+		xp := Pad2D(x, pad)
+		c := xp.shape[1]
+		oc, _, kh, kw := w.shape[0], w.shape[1], w.shape[2], w.shape[3]
+		oh, ow := gout.shape[2], gout.shape[3]
+		gflat := goutFlat(gout)
+		col := im2col(xp, kh, kw, stride, oh, ow)
+		return MatMulNaive(Transpose(gflat), col).Reshape(oc, c, kh, kw)
+	}
+	return Conv2DGradFilterInto(Zeros(w.shape...), x, w, gout, stride, pad, nil)
 }
 
 // Conv2DGrad computes input and filter gradients of Conv2D.

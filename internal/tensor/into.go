@@ -1,0 +1,580 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the destination-passing variants of the hot kernels: every
+// *Into function writes its result into a caller-provided tensor instead of
+// allocating one, so the plan-driven graph executor can rent all
+// intermediates from a Pool and replay graphs with ~zero allocations. The
+// original allocating signatures (Add, MatMul, Conv2D, ...) remain as thin
+// wrappers in ops.go/conv.go, so the tape and eager paths are unchanged.
+//
+// Aliasing contract: dst may alias an input only when the shapes are equal
+// element-for-element (the executor's in-place rule); every kernel here reads
+// index i of a same-shape input before writing index i of dst, which makes
+// that aliasing safe. Broadcast operands are never aliased.
+
+// kernelParallelism is the worker count for parallel blocked kernels;
+// settable for the ablation benchmark (naive / blocked / blocked+parallel).
+var kernelParallelism atomic.Int32
+
+func init() { kernelParallelism.Store(int32(runtime.NumCPU())) }
+
+// SetKernelParallelism sets how many goroutines the blocked kernels may use
+// (values < 1 mean 1, i.e. serial blocked execution) and returns the previous
+// setting. The default is runtime.NumCPU().
+func SetKernelParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(kernelParallelism.Swap(int32(n)))
+}
+
+// naiveKernels, when set, routes the MatMul/Conv2D wrappers through the
+// original scalar-loop kernels. It exists solely so `janusbench -kernels`
+// can measure the pre-optimization baseline (naive kernels + allocating
+// executor) on the current tree; nothing in the runtime sets it.
+var naiveKernels atomic.Bool
+
+// SetNaiveKernels toggles the benchmark-only naive kernel mode and returns
+// the previous setting.
+func SetNaiveKernels(on bool) bool { return naiveKernels.Swap(on) }
+
+// parallelRanges splits [0, n) across the kernel worker pool and runs f on
+// each chunk, provided the per-element work justifies the goroutine overhead;
+// otherwise it runs f(0, n) on the calling goroutine. flops is the estimated
+// total floating-point work.
+func parallelRanges(n int, flops int, f func(lo, hi int)) {
+	workers := int(kernelParallelism.Load())
+	// Below ~256k flops the fork/join overhead (~µs per goroutine) eats the
+	// win; a 64x64x64 matmul is ~524k flops and already benefits.
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || flops < 1<<18 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// checkDst validates a destination shape.
+func checkDst(dst *Tensor, shape []int, op string) {
+	if !ShapeEq(dst.shape, shape) {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want %v", op, dst.shape, shape))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise
+// ---------------------------------------------------------------------------
+
+// MapInto applies f element-wise into dst (which may alias a).
+func MapInto(dst, a *Tensor, f func(float64) float64) *Tensor {
+	checkDst(dst, a.shape, "MapInto")
+	dd, ad := dst.data, a.data
+	for i, v := range ad {
+		dd[i] = f(v)
+	}
+	return dst
+}
+
+// ZipInto applies f element-wise over broadcast inputs into dst, whose shape
+// must be the broadcast shape. dst may alias an input of exactly that shape.
+func ZipInto(dst, a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	if SameShape(a, b) { // fast path: index-aligned, aliasing-safe
+		checkDst(dst, a.shape, "ZipInto")
+		dd, ad, bd := dst.data, a.data, b.data
+		for i := range ad {
+			dd[i] = f(ad[i], bd[i])
+		}
+		return dst
+	}
+	shape, err := BroadcastShapes(a.shape, b.shape)
+	if err != nil {
+		panic(err)
+	}
+	checkDst(dst, shape, "ZipInto")
+	sa := broadcastStrides(a.shape, shape)
+	sb := broadcastStrides(b.shape, shape)
+	idx := make([]int, len(shape))
+	for i := range dst.data {
+		oa, ob := 0, 0
+		for d := range idx {
+			oa += idx[d] * sa[d]
+			ob += idx[d] * sb[d]
+		}
+		dst.data[i] = f(a.data[oa], b.data[ob])
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return dst
+}
+
+// AddInto computes a + b into dst. The same-shape case runs a direct loop:
+// a per-element closure call costs more than the add itself.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	if SameShape(a, b) {
+		checkDst(dst, a.shape, "AddInto")
+		dd, ad, bd := dst.data, a.data, b.data
+		for i := range ad {
+			dd[i] = ad[i] + bd[i]
+		}
+		return dst
+	}
+	return ZipInto(dst, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// SubInto computes a - b into dst.
+func SubInto(dst, a, b *Tensor) *Tensor {
+	if SameShape(a, b) {
+		checkDst(dst, a.shape, "SubInto")
+		dd, ad, bd := dst.data, a.data, b.data
+		for i := range ad {
+			dd[i] = ad[i] - bd[i]
+		}
+		return dst
+	}
+	return ZipInto(dst, a, b, func(x, y float64) float64 { return x - y })
+}
+
+// MulInto computes a * b into dst.
+func MulInto(dst, a, b *Tensor) *Tensor {
+	if SameShape(a, b) {
+		checkDst(dst, a.shape, "MulInto")
+		dd, ad, bd := dst.data, a.data, b.data
+		for i := range ad {
+			dd[i] = ad[i] * bd[i]
+		}
+		return dst
+	}
+	return ZipInto(dst, a, b, func(x, y float64) float64 { return x * y })
+}
+
+// DivInto computes a / b into dst.
+func DivInto(dst, a, b *Tensor) *Tensor {
+	if SameShape(a, b) {
+		checkDst(dst, a.shape, "DivInto")
+		dd, ad, bd := dst.data, a.data, b.data
+		for i := range ad {
+			dd[i] = ad[i] / bd[i]
+		}
+		return dst
+	}
+	return ZipInto(dst, a, b, func(x, y float64) float64 { return x / y })
+}
+
+// PowInto computes a ** b into dst.
+func PowInto(dst, a, b *Tensor) *Tensor { return ZipInto(dst, a, b, math.Pow) }
+
+// MaximumInto computes element-wise max into dst.
+func MaximumInto(dst, a, b *Tensor) *Tensor { return ZipInto(dst, a, b, math.Max) }
+
+// MinimumInto computes element-wise min into dst.
+func MinimumInto(dst, a, b *Tensor) *Tensor { return ZipInto(dst, a, b, math.Min) }
+
+// NegInto computes -a into dst.
+func NegInto(dst, a *Tensor) *Tensor {
+	return MapInto(dst, a, func(x float64) float64 { return -x })
+}
+
+// ExpInto computes e**a into dst.
+func ExpInto(dst, a *Tensor) *Tensor { return MapInto(dst, a, math.Exp) }
+
+// LogInto computes ln(a) into dst.
+func LogInto(dst, a *Tensor) *Tensor { return MapInto(dst, a, math.Log) }
+
+// AbsInto computes |a| into dst.
+func AbsInto(dst, a *Tensor) *Tensor { return MapInto(dst, a, math.Abs) }
+
+// ReLUInto computes max(a, 0) into dst. The builtin max compiles branch-
+// free and keeps math.Max's NaN/-0 semantics, matching the allocating ReLU.
+func ReLUInto(dst, a *Tensor) *Tensor {
+	checkDst(dst, a.shape, "ReLUInto")
+	dd, ad := dst.data, a.data
+	for i, v := range ad {
+		dd[i] = max(v, 0)
+	}
+	return dst
+}
+
+// SigmoidInto computes 1/(1+e^-a) into dst.
+func SigmoidInto(dst, a *Tensor) *Tensor {
+	return MapInto(dst, a, func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+}
+
+// TanhInto computes tanh(a) into dst.
+func TanhInto(dst, a *Tensor) *Tensor { return MapInto(dst, a, math.Tanh) }
+
+// MulScalarInto computes a * s into dst.
+func MulScalarInto(dst, a *Tensor, s float64) *Tensor {
+	return MapInto(dst, a, func(x float64) float64 { return x * s })
+}
+
+// ReLUGradInto computes the ReLU gradient mask of x applied to g into dst.
+func ReLUGradInto(dst, x, g *Tensor) *Tensor {
+	if SameShape(x, g) {
+		checkDst(dst, x.shape, "ReLUGradInto")
+		dd, xd, gd := dst.data, x.data, g.data
+		for i := range xd {
+			if xd[i] > 0 {
+				dd[i] = gd[i]
+			} else {
+				dd[i] = 0
+			}
+		}
+		return dst
+	}
+	return ZipInto(dst, x, g, func(xv, gv float64) float64 {
+		if xv > 0 {
+			return gv
+		}
+		return 0
+	})
+}
+
+// CopyInto copies a into dst (shapes must have equal element counts; dst
+// keeps its own shape). Used by Reshape-style ops.
+func CopyInto(dst, a *Tensor) *Tensor {
+	if len(dst.data) != len(a.data) {
+		panic(fmt.Sprintf("tensor: CopyInto size mismatch: %v vs %v", dst.shape, a.shape))
+	}
+	copy(dst.data, a.data)
+	return dst
+}
+
+// FillInto sets every element of dst to v.
+func FillInto(dst *Tensor, v float64) *Tensor {
+	for i := range dst.data {
+		dst.data[i] = v
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Reductions / softmax / losses
+// ---------------------------------------------------------------------------
+
+// SumInto reduces a to a scalar into dst (shape []).
+func SumInto(dst, a *Tensor) *Tensor {
+	checkDst(dst, nil, "SumInto")
+	s := 0.0
+	for _, v := range a.data {
+		s += v
+	}
+	dst.data[0] = s
+	return dst
+}
+
+// MeanInto reduces a to its scalar mean into dst.
+func MeanInto(dst, a *Tensor) *Tensor {
+	SumInto(dst, a)
+	if len(a.data) > 0 {
+		dst.data[0] /= float64(len(a.data))
+	}
+	return dst
+}
+
+// SoftmaxInto applies a numerically-stable softmax along the last axis into
+// dst (may alias a).
+func SoftmaxInto(dst, a *Tensor) *Tensor {
+	checkDst(dst, a.shape, "SoftmaxInto")
+	if a.Rank() == 0 {
+		dst.data[0] = 1
+		return dst
+	}
+	n := a.shape[a.Rank()-1]
+	for base := 0; base < len(a.data); base += n {
+		maxv := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if a.data[base+i] > maxv {
+				maxv = a.data[base+i]
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			e := math.Exp(a.data[base+i] - maxv)
+			dst.data[base+i] = e
+			sum += e
+		}
+		for i := 0; i < n; i++ {
+			dst.data[base+i] /= sum
+		}
+	}
+	return dst
+}
+
+// LogSoftmaxInto applies log-softmax along the last axis into dst (may alias
+// a).
+func LogSoftmaxInto(dst, a *Tensor) *Tensor {
+	checkDst(dst, a.shape, "LogSoftmaxInto")
+	n := a.shape[a.Rank()-1]
+	for base := 0; base < len(a.data); base += n {
+		maxv := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if a.data[base+i] > maxv {
+				maxv = a.data[base+i]
+			}
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Exp(a.data[base+i] - maxv)
+		}
+		lse := maxv + math.Log(sum)
+		for i := 0; i < n; i++ {
+			dst.data[base+i] = a.data[base+i] - lse
+		}
+	}
+	return dst
+}
+
+// CrossEntropyInto computes mean softmax cross-entropy into scalar dst,
+// renting scratch from alloc. Logits and labels must have the same shape.
+func CrossEntropyInto(dst, logits, labels *Tensor, alloc Allocator) *Tensor {
+	checkDst(dst, nil, "CrossEntropyInto")
+	if !SameShape(logits, labels) {
+		panic(fmt.Sprintf("tensor: CrossEntropyInto shape mismatch: %v vs %v", logits.shape, labels.shape))
+	}
+	alloc = orHeap(alloc)
+	ls := alloc.Get(logits.shape...)
+	LogSoftmaxInto(ls, logits)
+	s := 0.0
+	for i := range ls.data {
+		s += labels.data[i] * ls.data[i]
+	}
+	alloc.Put(ls)
+	dst.data[0] = -s / float64(logits.shape[0])
+	return dst
+}
+
+// CrossEntropyGradInto computes (softmax(logits) - labels)/batch into dst
+// (may alias logits) with no scratch. Logits and labels must have the same
+// shape.
+func CrossEntropyGradInto(dst, logits, labels *Tensor) *Tensor {
+	if !SameShape(logits, labels) {
+		panic(fmt.Sprintf("tensor: CrossEntropyGradInto shape mismatch: %v vs %v", logits.shape, labels.shape))
+	}
+	SoftmaxInto(dst, logits)
+	inv := 1 / float64(logits.shape[0])
+	for i := range dst.data {
+		dst.data[i] = (dst.data[i] - labels.data[i]) * inv
+	}
+	return dst
+}
+
+// MSEInto computes mean squared error into scalar dst with no scratch.
+func MSEInto(dst, pred, target *Tensor) *Tensor {
+	checkDst(dst, nil, "MSEInto")
+	if !SameShape(pred, target) {
+		panic(fmt.Sprintf("tensor: MSEInto shape mismatch: %v vs %v", pred.shape, target.shape))
+	}
+	s := 0.0
+	for i := range pred.data {
+		d := pred.data[i] - target.data[i]
+		s += d * d
+	}
+	if len(pred.data) > 0 {
+		s /= float64(len(pred.data))
+	}
+	dst.data[0] = s
+	return dst
+}
+
+// MSEGradInto computes d(mean squared error)/d(pred) * g into dst (may alias
+// pred).
+func MSEGradInto(dst, pred, target *Tensor, g float64) *Tensor {
+	checkDst(dst, pred.shape, "MSEGradInto")
+	scale := 2 / float64(pred.Size()) * g
+	for i := range pred.data {
+		dst.data[i] = (pred.data[i] - target.data[i]) * scale
+	}
+	return dst
+}
+
+// UnbroadcastToInto sums t over broadcast dimensions into dst (shaped like
+// the pre-broadcast operand). dst must not alias t.
+func UnbroadcastToInto(dst, t *Tensor) *Tensor {
+	if ShapeEq(t.shape, dst.shape) {
+		return CopyInto(dst, t)
+	}
+	clear(dst.data)
+	strides := broadcastStrides(dst.shape, t.shape)
+	idx := make([]int, len(t.shape))
+	for i := range t.data {
+		off := 0
+		for d := range idx {
+			off += idx[d] * strides[d]
+		}
+		dst.data[off] += t.data[i]
+		for d := len(idx) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < t.shape[d] {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Blocked matmul
+// ---------------------------------------------------------------------------
+
+// Matmul block sizes: mmKC rows of b (mmKC*mmNC*8 = 256 KiB) stay resident
+// in L2 while every output row streams over them; the 4-way unrolled inner
+// loop amortizes the pass over the output row.
+const (
+	mmKC = 128
+	mmNC = 256
+)
+
+// MatMulNaive is the pre-blocking reference kernel ([m,k] x [k,n] -> [m,n],
+// ikj loop order): kept for the kernels microbenchmark and the property
+// tests that pin the blocked kernel to it bit-for-bit on finite data. Note
+// its zero-skip makes it non-IEEE for non-finite operands: it yields a
+// finite result where 0*±Inf would correctly contribute NaN; the blocked
+// kernel follows IEEE.
+func MatMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := matmulDims(a, b)
+	out := Zeros(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+func matmulDims(a, b *Tensor) (m, k, n int) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 tensors, got %v x %v", a.shape, b.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch: %v x %v", a.shape, b.shape))
+	}
+	return m, k, b.shape[1]
+}
+
+// MatMulInto computes a x b into dst using cache-blocked loops, parallelized
+// across the kernel worker pool for large problems. dst must not alias a or
+// b; its prior contents are discarded.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := matmulDims(a, b)
+	checkDst(dst, []int{m, n}, "MatMulInto")
+	clear(dst.data)
+	parallelRanges(m, 2*m*k*n, func(i0, i1 int) {
+		matmulRange(dst.data, a.data, b.data, i0, i1, k, n)
+	})
+	return dst
+}
+
+// matmulRange accumulates rows [i0, i1) of the product into o.
+func matmulRange(o, a, b []float64, i0, i1, k, n int) {
+	for kk0 := 0; kk0 < k; kk0 += mmKC {
+		kk1 := kk0 + mmKC
+		if kk1 > k {
+			kk1 = k
+		}
+		for j0 := 0; j0 < n; j0 += mmNC {
+			j1 := j0 + mmNC
+			if j1 > n {
+				j1 = n
+			}
+			w := j1 - j0
+			for i := i0; i < i1; i++ {
+				arow := a[i*k : (i+1)*k]
+				orow := o[i*n+j0 : i*n+j1 : i*n+j1]
+				kk := kk0
+				for ; kk+4 <= kk1; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := b[kk*n+j0:][:w]
+					b1 := b[(kk+1)*n+j0:][:w]
+					b2 := b[(kk+2)*n+j0:][:w]
+					b3 := b[(kk+3)*n+j0:][:w]
+					for j := range orow {
+						// Sequential adds, not one grouped expression: this
+						// keeps the accumulation order identical to the naive
+						// kernel, so blocked results are bit-exact for finite
+						// data (with Inf/NaN operands the naive kernel's
+						// zero-skip deviates from IEEE; this kernel doesn't).
+						s := orow[j] + a0*b0[j]
+						s += a1 * b1[j]
+						s += a2 * b2[j]
+						orow[j] = s + a3*b3[j]
+					}
+				}
+				for ; kk < kk1; kk++ {
+					av := arow[kk]
+					brow := b[kk*n+j0:][:w]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// TransposeInto writes the transpose of rank-2 a into dst ([n,m] for a
+// [m,n]). dst must not alias a. Tiled for cache locality on large matrices.
+func TransposeInto(dst, a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	checkDst(dst, []int{n, m}, "TransposeInto")
+	const tile = 32
+	for i0 := 0; i0 < m; i0 += tile {
+		i1 := i0 + tile
+		if i1 > m {
+			i1 = m
+		}
+		for j0 := 0; j0 < n; j0 += tile {
+			j1 := j0 + tile
+			if j1 > n {
+				j1 = n
+			}
+			for i := i0; i < i1; i++ {
+				for j := j0; j < j1; j++ {
+					dst.data[j*m+i] = a.data[i*n+j]
+				}
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,232 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randT fills a tensor with non-zero values in [-1, 1); avoiding exact zeros
+// keeps the naive kernels' zero-skip fast path from introducing ±0
+// accumulator differences, so blocked-vs-naive comparisons can be bit-exact.
+func randT(rng *rand.Rand, shape ...int) *Tensor {
+	t := Zeros(shape...)
+	for i := range t.data {
+		v := rng.Float64()*2 - 1
+		if v == 0 {
+			v = 0.5
+		}
+		t.data[i] = v
+	}
+	return t
+}
+
+// TestMatMulBlockedMatchesNaive pins the blocked (and blocked+parallel)
+// kernel to the original scalar-loop kernel bit-for-bit across odd,
+// non-square shapes spanning the block boundaries.
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 3}, {5, 1, 9}, {3, 129, 2}, {17, 31, 13},
+		{8, 4, 32}, {33, 130, 7}, {2, 300, 5}, {64, 64, 64}, {65, 257, 19},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randT(rng, m, k)
+		b := randT(rng, k, n)
+		want := MatMulNaive(a, b)
+		for _, workers := range []int{1, 4} {
+			prev := SetKernelParallelism(workers)
+			got := MatMulInto(Zeros(m, n), a, b)
+			SetKernelParallelism(prev)
+			if !Equal(got, want) {
+				t.Fatalf("MatMulInto(%dx%dx%d, workers=%d) differs from naive", m, k, n, workers)
+			}
+		}
+		if !Equal(MatMul(a, b), want) {
+			t.Fatalf("MatMul wrapper (%dx%dx%d) differs from naive", m, k, n)
+		}
+	}
+}
+
+// TestConv2DIntoMatchesNaive covers stride/padding corner cases, including
+// kernels larger than the stride and pad that creates all-zero windows.
+func TestConv2DIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ n, c, h, w, oc, kh, kw, stride, pad int }{
+		{1, 1, 3, 3, 1, 1, 1, 1, 0},
+		{2, 1, 8, 8, 4, 3, 3, 1, 1},
+		{1, 3, 7, 5, 2, 3, 3, 2, 1},
+		{2, 2, 9, 9, 3, 5, 5, 2, 2},
+		{1, 4, 6, 11, 5, 3, 1, 1, 0},
+		{3, 1, 5, 5, 2, 2, 2, 3, 0},
+		{1, 2, 4, 4, 2, 3, 3, 1, 2},
+	}
+	for _, cse := range cases {
+		name := fmt.Sprintf("%+v", cse)
+		x := randT(rng, cse.n, cse.c, cse.h, cse.w)
+		w := randT(rng, cse.oc, cse.c, cse.kh, cse.kw)
+		want := naiveConv2D(x, w, cse.stride, cse.pad)
+		pool := NewPool()
+		got := Conv2DInto(pool.Get(want.Shape()...), x, w, cse.stride, cse.pad, pool)
+		if !Equal(got, want) {
+			t.Fatalf("Conv2DInto %s differs from naive conv", name)
+		}
+		// Gradient kernels: pooled vs heap must agree exactly with each
+		// other and with themselves across scratch reuse (second run hits
+		// the pool's free lists).
+		gout := randT(rng, want.Shape()...)
+		gin1 := Conv2DGradInput(x, w, gout, cse.stride, cse.pad)
+		gin2 := Conv2DGradInputInto(pool.Get(x.Shape()...), x, w, gout, cse.stride, cse.pad, pool)
+		if !Equal(gin1, gin2) {
+			t.Fatalf("Conv2DGradInputInto %s: pooled differs from heap", name)
+		}
+		gw1 := Conv2DGradFilter(x, w, gout, cse.stride, cse.pad)
+		gw2 := Conv2DGradFilterInto(pool.Get(w.Shape()...), x, w, gout, cse.stride, cse.pad, pool)
+		if !Equal(gw1, gw2) {
+			t.Fatalf("Conv2DGradFilterInto %s: pooled differs from heap", name)
+		}
+	}
+}
+
+// TestElementwiseIntoMatchesAndAliases checks the Into elementwise kernels
+// against the allocating ones, including the in-place (dst aliases input)
+// mode the executor's memory plan uses.
+func TestElementwiseIntoMatchesAndAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	shapes := [][]int{{}, {1}, {7}, {3, 5}, {2, 3, 4}, {1, 65}}
+	for _, sh := range shapes {
+		a := randT(rng, sh...)
+		b := randT(rng, sh...)
+		checks := []struct {
+			name  string
+			alloc func() *Tensor
+			into  func(dst *Tensor) *Tensor
+		}{
+			{"Add", func() *Tensor { return Add(a, b) }, func(d *Tensor) *Tensor { return AddInto(d, a, b) }},
+			{"Sub", func() *Tensor { return Sub(a, b) }, func(d *Tensor) *Tensor { return SubInto(d, a, b) }},
+			{"Mul", func() *Tensor { return Mul(a, b) }, func(d *Tensor) *Tensor { return MulInto(d, a, b) }},
+			{"Div", func() *Tensor { return Div(a, b) }, func(d *Tensor) *Tensor { return DivInto(d, a, b) }},
+			{"Maximum", func() *Tensor { return Maximum(a, b) }, func(d *Tensor) *Tensor { return MaximumInto(d, a, b) }},
+			{"ReLU", func() *Tensor { return ReLU(a) }, func(d *Tensor) *Tensor { return ReLUInto(d, a) }},
+			{"Neg", func() *Tensor { return Neg(a) }, func(d *Tensor) *Tensor { return NegInto(d, a) }},
+			{"Exp", func() *Tensor { return Exp(a) }, func(d *Tensor) *Tensor { return ExpInto(d, a) }},
+			{"Tanh", func() *Tensor { return Tanh(a) }, func(d *Tensor) *Tensor { return TanhInto(d, a) }},
+			{"Sigmoid", func() *Tensor { return Sigmoid(a) }, func(d *Tensor) *Tensor { return SigmoidInto(d, a) }},
+			{"ReLUGrad", func() *Tensor { return ReLUGrad(a, b) }, func(d *Tensor) *Tensor { return ReLUGradInto(d, a, b) }},
+		}
+		for _, c := range checks {
+			want := c.alloc()
+			if got := c.into(Zeros(sh...)); !Equal(got, want) {
+				t.Fatalf("%sInto%v differs from %s", c.name, sh, c.name)
+			}
+			// In-place: dst aliases the first input.
+			ac := a.Clone()
+			aSave := a
+			a = ac
+			got := c.into(ac)
+			a = aSave
+			if got != ac || !Equal(got, want) {
+				t.Fatalf("%sInto%v in-place differs from %s", c.name, sh, c.name)
+			}
+		}
+	}
+}
+
+// TestBroadcastZipInto checks the broadcast path of ZipInto against Zip.
+func TestBroadcastZipInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pairs := [][2][]int{
+		{{3, 4}, {4}}, {{2, 1, 5}, {3, 5}}, {{4, 1}, {1, 6}}, {{5}, {}},
+	}
+	for _, p := range pairs {
+		a, b := randT(rng, p[0]...), randT(rng, p[1]...)
+		want := Add(a, b)
+		got := AddInto(Zeros(want.Shape()...), a, b)
+		if !Equal(got, want) {
+			t.Fatalf("broadcast AddInto %v+%v differs", p[0], p[1])
+		}
+	}
+}
+
+// TestSoftmaxLossInto checks the softmax/loss Into kernels, including
+// aliased destinations.
+func TestSoftmaxLossInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	logits := randT(rng, 6, 5)
+	labels := OneHot([]int{0, 2, 4, 1, 3, 2}, 5)
+	if got := SoftmaxInto(Zeros(6, 5), logits); !Equal(got, Softmax(logits)) {
+		t.Fatal("SoftmaxInto differs")
+	}
+	if got := SoftmaxInto(logits.Clone(), logits.Clone()); !Equal(got, Softmax(logits)) {
+		t.Fatal("SoftmaxInto differs") // fresh dst, fresh src
+	}
+	lc := logits.Clone()
+	if got := SoftmaxInto(lc, lc); !Equal(got, Softmax(logits)) {
+		t.Fatal("SoftmaxInto in-place differs")
+	}
+	lc = logits.Clone()
+	if got := LogSoftmaxInto(lc, lc); !Equal(got, LogSoftmax(logits)) {
+		t.Fatal("LogSoftmaxInto in-place differs")
+	}
+	pool := NewPool()
+	if got := CrossEntropyInto(Scalar(0), logits, labels, pool); !Equal(got, CrossEntropy(logits, labels)) {
+		t.Fatal("CrossEntropyInto differs")
+	}
+	if got := CrossEntropyGradInto(Zeros(6, 5), logits, labels); !Equal(got, CrossEntropyGrad(logits, labels)) {
+		t.Fatal("CrossEntropyGradInto differs")
+	}
+	pred, tgt := randT(rng, 4, 3), randT(rng, 4, 3)
+	if got := MSEInto(Scalar(0), pred, tgt); !Equal(got, MSE(pred, tgt)) {
+		t.Fatal("MSEInto differs")
+	}
+}
+
+// TestPoolReuse checks the size-class free lists: a returned buffer serves
+// the next compatible rental without allocating, shapes are rewritten, and
+// stats add up.
+func TestPoolReuse(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 5)
+	if got := p.Stats(); got.Gets != 1 || got.Hits != 0 {
+		t.Fatalf("stats after first Get: %+v", got)
+	}
+	FillInto(a, 3)
+	p.Put(a)
+	b := p.Get(20) // same size class (<= 64)
+	if got := p.Stats(); got.Hits != 1 {
+		t.Fatalf("expected pool hit, stats %+v", got)
+	}
+	if !ShapeEq(b.Shape(), []int{20}) || b.Size() != 20 {
+		t.Fatalf("reused tensor has shape %v size %d", b.Shape(), b.Size())
+	}
+	// Different class: no false sharing.
+	big := p.Get(100, 100)
+	if big.Size() != 10000 {
+		t.Fatal("big rental wrong size")
+	}
+	p.Put(big)
+	if c := p.Get(70); c == big {
+		t.Fatal("small rental must not reuse a same-bin... different class buffer")
+	}
+	z := p.GetZeroed(4, 5)
+	for _, v := range z.Data() {
+		if v != 0 {
+			t.Fatal("GetZeroed returned dirty buffer")
+		}
+	}
+}
+
+// TestPoolForeignBuffer: a non-pool tensor too small for any bin is dropped,
+// never handed back out over-sliced.
+func TestPoolForeignBuffer(t *testing.T) {
+	p := NewPool()
+	p.Put(FromSlice([]float64{1, 2, 3})) // cap 3 < minPoolClass: dropped
+	got := p.Get(50)
+	if got.Size() != 50 {
+		t.Fatalf("Get(50) returned size %d", got.Size())
+	}
+	if s := p.Stats(); s.Hits != 0 {
+		t.Fatalf("tiny foreign buffer must not join a bin: %+v", s)
+	}
+}

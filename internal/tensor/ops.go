@@ -60,46 +60,19 @@ func broadcastStrides(shape, out []int) []int {
 
 // Map applies f element-wise, returning a new tensor.
 func Map(a *Tensor, f func(float64) float64) *Tensor {
-	out := Zeros(a.shape...)
-	for i, v := range a.data {
-		out.data[i] = f(v)
-	}
-	return out
+	return MapInto(Zeros(a.shape...), a, f)
 }
 
 // Zip applies f element-wise over broadcast inputs.
 func Zip(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 	if SameShape(a, b) { // fast path
-		out := Zeros(a.shape...)
-		for i := range a.data {
-			out.data[i] = f(a.data[i], b.data[i])
-		}
-		return out
+		return ZipInto(Zeros(a.shape...), a, b, f)
 	}
 	shape, err := BroadcastShapes(a.shape, b.shape)
 	if err != nil {
 		panic(err)
 	}
-	out := Zeros(shape...)
-	sa := broadcastStrides(a.shape, shape)
-	sb := broadcastStrides(b.shape, shape)
-	idx := make([]int, len(shape))
-	for i := range out.data {
-		oa, ob := 0, 0
-		for d := range idx {
-			oa += idx[d] * sa[d]
-			ob += idx[d] * sb[d]
-		}
-		out.data[i] = f(a.data[oa], b.data[ob])
-		for d := len(idx) - 1; d >= 0; d-- {
-			idx[d]++
-			if idx[d] < shape[d] {
-				break
-			}
-			idx[d] = 0
-		}
-	}
-	return out
+	return ZipInto(Zeros(shape...), a, b, f)
 }
 
 // UnbroadcastTo sums t over broadcast dimensions so that the result has the
@@ -108,24 +81,7 @@ func UnbroadcastTo(t *Tensor, shape []int) *Tensor {
 	if ShapeEq(t.shape, shape) {
 		return t
 	}
-	out := Zeros(shape...)
-	strides := broadcastStrides(shape, t.shape)
-	idx := make([]int, len(t.shape))
-	for i := range t.data {
-		off := 0
-		for d := range idx {
-			off += idx[d] * strides[d]
-		}
-		out.data[off] += t.data[i]
-		for d := len(idx) - 1; d >= 0; d-- {
-			idx[d]++
-			if idx[d] < t.shape[d] {
-				break
-			}
-			idx[d] = 0
-		}
-	}
-	return out
+	return UnbroadcastToInto(Zeros(shape...), t)
 }
 
 // ---------------------------------------------------------------------------
@@ -350,33 +306,15 @@ func normAxis(axis, rank int) int {
 // Linear algebra
 // ---------------------------------------------------------------------------
 
-// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n].
+// MatMul multiplies two rank-2 tensors: [m,k] x [k,n] -> [m,n]. It is a thin
+// wrapper over the cache-blocked, parallel MatMulInto (see into.go);
+// MatMulNaive preserves the original scalar-loop kernel for comparison.
 func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul wants rank-2 tensors, got %v x %v", a.shape, b.shape))
+	if naiveKernels.Load() {
+		return MatMulNaive(a, b)
 	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch: %v x %v", a.shape, b.shape))
-	}
-	out := Zeros(m, n)
-	// ikj loop order: streams through b and out rows for cache locality.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out
+	m, _, n := matmulDims(a, b)
+	return MatMulInto(Zeros(m, n), a, b)
 }
 
 // Transpose swaps the two axes of a rank-2 tensor.
@@ -384,14 +322,7 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
 	}
-	m, n := a.shape[0], a.shape[1]
-	out := Zeros(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
-		}
-	}
-	return out
+	return TransposeInto(Zeros(a.shape[1], a.shape[0]), a)
 }
 
 // Concat joins tensors along axis. All other dimensions must agree.
@@ -548,54 +479,20 @@ func Softmax(a *Tensor) *Tensor {
 	if a.Rank() == 0 {
 		return Scalar(1)
 	}
-	n := a.shape[a.Rank()-1]
-	out := Zeros(a.shape...)
-	for base := 0; base < len(a.data); base += n {
-		maxv := math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if a.data[base+i] > maxv {
-				maxv = a.data[base+i]
-			}
-		}
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			e := math.Exp(a.data[base+i] - maxv)
-			out.data[base+i] = e
-			sum += e
-		}
-		for i := 0; i < n; i++ {
-			out.data[base+i] /= sum
-		}
-	}
-	return out
+	return SoftmaxInto(Zeros(a.shape...), a)
 }
 
 // LogSoftmax applies log-softmax along the last axis.
 func LogSoftmax(a *Tensor) *Tensor {
-	n := a.shape[a.Rank()-1]
-	out := Zeros(a.shape...)
-	for base := 0; base < len(a.data); base += n {
-		maxv := math.Inf(-1)
-		for i := 0; i < n; i++ {
-			if a.data[base+i] > maxv {
-				maxv = a.data[base+i]
-			}
-		}
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			sum += math.Exp(a.data[base+i] - maxv)
-		}
-		lse := maxv + math.Log(sum)
-		for i := 0; i < n; i++ {
-			out.data[base+i] = a.data[base+i] - lse
-		}
-	}
-	return out
+	return LogSoftmaxInto(Zeros(a.shape...), a)
 }
 
 // CrossEntropy computes mean softmax cross-entropy between logits [b,c] and
 // one-hot (or soft) labels [b,c].
 func CrossEntropy(logits, labels *Tensor) *Tensor {
+	if SameShape(logits, labels) {
+		return CrossEntropyInto(Scalar(0), logits, labels, nil)
+	}
 	ls := LogSoftmax(logits)
 	prod := Mul(labels, ls)
 	b := float64(logits.shape[0])
@@ -604,13 +501,19 @@ func CrossEntropy(logits, labels *Tensor) *Tensor {
 
 // CrossEntropyGrad returns d(mean xent)/d(logits) = (softmax - labels)/batch.
 func CrossEntropyGrad(logits, labels *Tensor) *Tensor {
+	if SameShape(logits, labels) {
+		return CrossEntropyGradInto(Zeros(logits.shape...), logits, labels)
+	}
 	sm := Softmax(logits)
 	b := float64(logits.shape[0])
 	return MulScalar(Sub(sm, labels), 1/b)
 }
 
-// MSE computes mean squared error between two same-shape tensors.
+// MSE computes mean squared error between two tensors (broadcast).
 func MSE(pred, target *Tensor) *Tensor {
+	if SameShape(pred, target) {
+		return MSEInto(Scalar(0), pred, target)
+	}
 	d := Sub(pred, target)
 	return Mean(Mul(d, d))
 }

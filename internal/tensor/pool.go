@@ -1,0 +1,165 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool recycles tensors between graph executions. The plan-driven executor
+// (internal/exec) rents every intermediate buffer of a replayed graph from a
+// per-engine Pool and returns it the moment its last consumer has fired, so
+// steady-state replay allocates (almost) nothing and the garbage collector
+// stays out of the hot path.
+//
+// Buffers are binned by size class (power-of-two element counts, with one
+// shared bin for very small tensors). Whole *Tensor headers are recycled, not
+// just backing arrays: Get rewrites the shape of a cached tensor in place, so
+// a pool hit performs zero heap allocations.
+//
+// A Pool is safe for concurrent use by the scheduler's worker goroutines.
+// Tensors handed out by Get have arbitrary (stale) contents; kernels writing
+// through the destination-passing API are responsible for fully overwriting
+// or zeroing them. Never Put a tensor that is still referenced elsewhere —
+// the executor's liveness plan is what guarantees this.
+type Pool struct {
+	mu   sync.Mutex
+	bins map[int][]*Tensor
+
+	gets    atomic.Int64 // total rentals
+	hits    atomic.Int64 // rentals served by reuse
+	puts    atomic.Int64 // returns
+	inUse   atomic.Int64 // elements currently rented
+	maxBins int
+}
+
+// PoolStats is a point-in-time snapshot of pool activity.
+type PoolStats struct {
+	// Gets counts buffer rentals; Hits of them were served by reuse rather
+	// than a fresh allocation.
+	Gets int64
+	// Hits counts rentals satisfied from the free lists.
+	Hits int64
+	// Puts counts buffers returned to the free lists.
+	Puts int64
+	// InUseElems is the total element count of currently rented buffers.
+	InUseElems int64
+}
+
+// poolBinCap bounds how many free tensors one size class retains; beyond it,
+// returned buffers are dropped for the garbage collector. Replayed graphs
+// have a small working set, so a shallow bin is enough and bounds worst-case
+// retention.
+const poolBinCap = 64
+
+// minPoolClass is the smallest size class; anything at or below it shares a
+// bin (scalars and tiny reductions are common and interchangeable).
+const minPoolClass = 64
+
+// NewPool returns an empty tensor pool.
+func NewPool() *Pool {
+	return &Pool{bins: make(map[int][]*Tensor)}
+}
+
+// sizeClass rounds n up to its bin: minPoolClass or the next power of two.
+func sizeClass(n int) int {
+	c := minPoolClass
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get rents a tensor of the given shape with UNSPECIFIED contents. The
+// caller must overwrite every element (or call GetZeroed).
+func (p *Pool) Get(shape ...int) *Tensor {
+	n := NumElements(shape)
+	class := sizeClass(n)
+	p.gets.Add(1)
+	p.inUse.Add(int64(n))
+	p.mu.Lock()
+	bin := p.bins[class]
+	if len(bin) > 0 {
+		t := bin[len(bin)-1]
+		p.bins[class] = bin[:len(bin)-1]
+		p.mu.Unlock()
+		p.hits.Add(1)
+		t.shape = append(t.shape[:0], shape...)
+		t.data = t.data[:n]
+		return t
+	}
+	p.mu.Unlock()
+	// Miss: allocate at the class size so the buffer is reusable by every
+	// shape in the bin.
+	data := make([]float64, n, class)
+	return &Tensor{shape: append(make([]int, 0, 4), shape...), data: data}
+}
+
+// GetZeroed rents a tensor of the given shape with all elements zero.
+func (p *Pool) GetZeroed(shape ...int) *Tensor {
+	t := p.Get(shape...)
+	clear(t.data)
+	return t
+}
+
+// Put returns a tensor rented with Get to the pool. The tensor must not be
+// used after Put. Tensors not created by a Pool are accepted too: their
+// backing joins the largest bin it can fully serve (too-small backings are
+// simply dropped for the garbage collector).
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || cap(t.data) < minPoolClass {
+		return
+	}
+	class := minPoolClass
+	for class<<1 <= cap(t.data) {
+		class <<= 1
+	}
+	p.puts.Add(1)
+	p.inUse.Add(int64(-len(t.data)))
+	t.data = t.data[:0]
+	p.mu.Lock()
+	if len(p.bins[class]) < poolBinCap {
+		p.bins[class] = append(p.bins[class], t)
+	}
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Gets:       p.gets.Load(),
+		Hits:       p.hits.Load(),
+		Puts:       p.puts.Load(),
+		InUseElems: p.inUse.Load(),
+	}
+}
+
+// Allocator hands out output tensors for destination-passing kernels. A nil
+// Allocator means the Go heap. Pool implements it, as does the executor's
+// in-place rebinding allocator.
+type Allocator interface {
+	// Get returns a tensor of the given shape with unspecified contents.
+	Get(shape ...int) *Tensor
+	// GetZeroed returns a tensor of the given shape, zero-filled.
+	GetZeroed(shape ...int) *Tensor
+	// Put returns a scratch tensor obtained from Get/GetZeroed. Kernels call
+	// it only for internal scratch, never for the returned output.
+	Put(t *Tensor)
+}
+
+// heapAllocator is the default Allocator: plain garbage-collected tensors.
+type heapAllocator struct{}
+
+func (heapAllocator) Get(shape ...int) *Tensor       { return Zeros(shape...) }
+func (heapAllocator) GetZeroed(shape ...int) *Tensor { return Zeros(shape...) }
+func (heapAllocator) Put(*Tensor)                    {}
+
+// HeapAlloc is the heap-backed Allocator used when no pool is configured.
+var HeapAlloc Allocator = heapAllocator{}
+
+// orHeap returns a usable allocator for possibly-nil a.
+func orHeap(a Allocator) Allocator {
+	if a == nil {
+		return HeapAlloc
+	}
+	return a
+}

@@ -32,6 +32,15 @@ type thresholds struct {
 		// MaxFailedFrac bounds failed/total requests from above.
 		MaxFailedFrac float64 `json:"max_failed_frac"`
 	} `json:"serve"`
+	Kernels struct {
+		// MaxAllocsPerOp bounds steady-state allocations per graph op in the
+		// plan-driven elementwise replay (~0 when buffer reuse works; a
+		// regression here means the executor went back to heap-allocating).
+		MaxAllocsPerOp float64 `json:"max_allocs_per_op"`
+		// MaxFinalLoss bounds the LeNet train-step replay's final loss with
+		// the memory plan ON — pooled execution must still train correctly.
+		MaxFinalLoss float64 `json:"max_final_loss"`
+	} `json:"kernels"`
 }
 
 // report is the union of the dist and serve shapes janusbench writes; Mode
@@ -53,6 +62,12 @@ type report struct {
 	Requests     int64   `json:"requests"`
 	Failed       int64   `json:"failed"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	TrainStep    *struct {
+		FinalLossOn float64 `json:"final_loss_on"`
+	} `json:"train_step"`
+	Elementwise *struct {
+		AllocsPerGraphopOn float64 `json:"allocs_per_graphop_on"`
+	} `json:"elementwise_chain"`
 }
 
 func main() {
@@ -79,6 +94,8 @@ func main() {
 			failures += checkDist(path, r, th)
 		case "serve":
 			failures += checkServe(path, r, th)
+		case "kernels":
+			failures += checkKernels(path, r, th)
 		default:
 			fmt.Fprintf(os.Stderr, "benchcheck: %s: unknown mode %q\n", path, r.Mode)
 			os.Exit(2)
@@ -142,6 +159,35 @@ func checkServe(path string, r report, th thresholds) int {
 			bad++
 		} else {
 			fmt.Printf("benchcheck: %s: failed fraction %.3f <= %.3f ok\n", path, frac, maxf)
+		}
+	}
+	return bad
+}
+
+func checkKernels(path string, r report, th thresholds) int {
+	bad := 0
+	if maxA := th.Kernels.MaxAllocsPerOp; maxA > 0 {
+		if r.Elementwise == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: kernels report lacks elementwise_chain\n", path)
+			bad++
+		} else if got := r.Elementwise.AllocsPerGraphopOn; got > maxA {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: plan-on allocs/op %.3f exceeds threshold %.3f\n",
+				path, got, maxA)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: plan-on allocs/op %.3f <= %.3f ok\n", path, got, maxA)
+		}
+	}
+	if maxL := th.Kernels.MaxFinalLoss; maxL > 0 {
+		if r.TrainStep == nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: kernels report lacks train_step\n", path)
+			bad++
+		} else if got := r.TrainStep.FinalLossOn; got > maxL || got <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: plan-on final loss %.4f outside (0, %.4f]\n",
+				path, got, maxL)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: plan-on final loss %.4f <= %.4f ok\n", path, got, maxL)
 		}
 	}
 	return bad
