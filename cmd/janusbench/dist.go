@@ -46,17 +46,43 @@ type distReport struct {
 }
 
 type distPoint struct {
-	Workers   int     `json:"workers"`
-	ItemsPerS float64 `json:"items_per_s"`
-	FinalLoss float64 `json:"final_loss"`
+	Workers   int        `json:"workers"`
+	ItemsPerS float64    `json:"items_per_s"`
+	FinalLoss float64    `json:"final_loss"`
+	Push      *latencyMs `json:"push_latency,omitempty"`
+	Pull      *latencyMs `json:"pull_latency,omitempty"`
 }
 
 type asyncDistPoint struct {
-	Staleness  int     `json:"staleness"`
-	ItemsPerS  float64 `json:"items_per_s"`
-	FinalLoss  float64 `json:"final_loss"`
-	StaleDrops int64   `json:"stale_drops"`
-	Backoffs   int64   `json:"backoffs"`
+	Staleness  int        `json:"staleness"`
+	ItemsPerS  float64    `json:"items_per_s"`
+	FinalLoss  float64    `json:"final_loss"`
+	StaleDrops int64      `json:"stale_drops"`
+	Backoffs   int64      `json:"backoffs"`
+	Push       *latencyMs `json:"push_latency,omitempty"`
+	Pull       *latencyMs `json:"pull_latency,omitempty"`
+}
+
+// latencyMs carries server-side handling-latency percentiles (ms), read
+// back from the parameter server's registry histograms after a run.
+type latencyMs struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
+// psLatency snapshots one op's percentiles from the cluster's in-process
+// parameter server; nil when the cluster fronts a remote server.
+func psLatency(c *ps.Cluster, op string) *latencyMs {
+	s := c.Server()
+	if s == nil {
+		return nil
+	}
+	return &latencyMs{
+		P50: s.LatencyQuantile(op, 0.50) * 1e3,
+		P95: s.LatencyQuantile(op, 0.95) * 1e3,
+		P99: s.LatencyQuantile(op, 0.99) * 1e3,
+	}
 }
 
 // distEngineConfig is the shared per-replica engine configuration.
@@ -126,6 +152,7 @@ func distBench(o distOptions) {
 		throughput float64 // aggregate items/second
 		finalLoss  float64
 		stale      int64
+		push, pull *latencyMs
 	}
 	var pts []point
 	var gradBytes float64
@@ -169,6 +196,8 @@ func distBench(o distOptions) {
 			throughput: localSteps * float64(m.ItemsPerStep) / elapsed,
 			finalLoss:  ps.TailMean(res.Losses),
 			stale:      res.Stale,
+			push:       psLatency(cluster, "push"),
+			pull:       psLatency(cluster, "pull"),
 		})
 		if w == 1 {
 			// Profile for the analytical model: actual per-step gradient
@@ -213,10 +242,16 @@ func distBench(o distOptions) {
 	for _, p := range pts {
 		rep.Scaling = append(rep.Scaling, distPoint{
 			Workers: p.workers, ItemsPerS: p.throughput, FinalLoss: p.finalLoss,
+			Push: p.push, Pull: p.pull,
 		})
 	}
 	last := pts[len(pts)-1]
-	rep.Barriered = &distPoint{Workers: last.workers, ItemsPerS: last.throughput, FinalLoss: last.finalLoss}
+	rep.Barriered = &distPoint{Workers: last.workers, ItemsPerS: last.throughput,
+		FinalLoss: last.finalLoss, Push: last.push, Pull: last.pull}
+	if last.push != nil {
+		fmt.Printf("\nPS handling latency at %d workers: push p50 %.3fms p99 %.3fms, pull p50 %.3fms p99 %.3fms\n",
+			last.workers, last.push.P50, last.push.P99, last.pull.P50, last.pull.P99)
+	}
 	writeReport(o.jsonPath, rep)
 }
 
@@ -312,7 +347,8 @@ func asyncDistBench(o distOptions, m *models.Model, ecfg core.Config, build func
 
 	rep := distReport{
 		Mode: "dist", Model: m.Name, Workers: workers, Optimizer: optName(o.optimizer),
-		Barriered: &distPoint{Workers: workers, ItemsPerS: syncItems, FinalLoss: syncLoss},
+		Barriered: &distPoint{Workers: workers, ItemsPerS: syncItems, FinalLoss: syncLoss,
+			Push: psLatency(sync, "push"), Pull: psLatency(sync, "pull")},
 	}
 	for _, bound := range bounds {
 		cluster := mk(bound)
@@ -328,6 +364,7 @@ func asyncDistBench(o distOptions, m *models.Model, ecfg core.Config, build func
 		rep.Async = append(rep.Async, asyncDistPoint{
 			Staleness: bound, ItemsPerS: items, FinalLoss: loss,
 			StaleDrops: res.Stale, Backoffs: res.Backoffs,
+			Push: psLatency(cluster, "push"), Pull: psLatency(cluster, "pull"),
 		})
 	}
 	best := 0.0

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/minipy"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -51,6 +53,11 @@ type planAB struct {
 	// SpeedupVsNaive is the full fast path vs the pre-optimization baseline.
 	Speedup        float64 `json:"speedup"`
 	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+	// Per-call (forward) / per-step (train) latency percentiles of the
+	// plan-on fast path, in milliseconds.
+	PlanOnP50Ms float64 `json:"plan_on_p50_ms"`
+	PlanOnP95Ms float64 `json:"plan_on_p95_ms"`
+	PlanOnP99Ms float64 `json:"plan_on_p99_ms"`
 }
 
 type trainAB struct {
@@ -88,6 +95,8 @@ func kernelsBench(warmup, steps int, jsonPath string) {
 	fmt.Printf("naive %8.0f   plan-off %8.0f   plan-on %8.0f calls/s   plan %.2fx, total %.2fx\n",
 		rep.LeNetForward.NaivePerSec, rep.LeNetForward.PlanOffPerSec, rep.LeNetForward.PlanOnPerSec,
 		rep.LeNetForward.Speedup, rep.LeNetForward.SpeedupVsNaive)
+	fmt.Printf("plan-on call latency: p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+		rep.LeNetForward.PlanOnP50Ms, rep.LeNetForward.PlanOnP95Ms, rep.LeNetForward.PlanOnP99Ms)
 
 	fmt.Printf("\n--- LeNet train-step replay (zero device time: naive / plan-off / plan-on) ---\n")
 	rep.TrainStep = trainStepBench(warmup, steps)
@@ -95,6 +104,8 @@ func kernelsBench(warmup, steps int, jsonPath string) {
 		rep.TrainStep.NaivePerSec, rep.TrainStep.PlanOffPerSec, rep.TrainStep.FinalLossOff,
 		rep.TrainStep.PlanOnPerSec, rep.TrainStep.FinalLossOn,
 		rep.TrainStep.Speedup, rep.TrainStep.SpeedupVsNaive)
+	fmt.Printf("plan-on step latency: p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+		rep.TrainStep.PlanOnP50Ms, rep.TrainStep.PlanOnP95Ms, rep.TrainStep.PlanOnP99Ms)
 
 	fmt.Printf("\n--- elementwise chain replay: allocations ---\n")
 	rep.Elementwise = elementwiseBench()
@@ -103,6 +114,17 @@ func kernelsBench(warmup, steps int, jsonPath string) {
 		rep.Elementwise.ReplayAllocsOn, rep.Elementwise.NsPerReplayOff, rep.Elementwise.NsPerReplayOn)
 
 	writeReport(jsonPath, rep)
+}
+
+// pctile returns the p-quantile (0..1) of samples by nearest-rank on a
+// sorted copy; 0 when there are no samples.
+func pctile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return s[int(p*float64(len(s)-1))]
 }
 
 // timeIt runs f repeatedly for at least minDur and returns ns per call.
@@ -156,7 +178,7 @@ def lenet_fwd(x):
 // lenetForwardBench times steady-state inference replay; the measurement is
 // duration-bounded (timeIt), not step-count-bounded.
 func lenetForwardBench() planAB {
-	run := func(noPlan, naive bool) float64 {
+	run := func(noPlan, naive bool) (float64, []float64) {
 		prev := tensor.SetNaiveKernels(naive)
 		defer tensor.SetNaiveKernels(prev)
 		cfg := core.DefaultJanusConfig()
@@ -166,7 +188,7 @@ func lenetForwardBench() planAB {
 		e := core.NewEngine(cfg)
 		if err := e.Run(lenetFwdSrc); err != nil {
 			fmt.Printf("lenet forward setup failed: %v\n", err)
-			return 0
+			return 0, nil
 		}
 		rng := tensor.NewRNG(11)
 		x := minipy.NewTensor(rng.Randn(8, 1, 8, 8))
@@ -174,7 +196,7 @@ func lenetForwardBench() planAB {
 		for i := 0; i < 3; i++ {
 			if _, err := e.Call("lenet_fwd", args); err != nil {
 				fmt.Printf("lenet forward failed: %v\n", err)
-				return 0
+				return 0, nil
 			}
 		}
 		ns := timeIt(200*time.Millisecond, func() {
@@ -182,13 +204,25 @@ func lenetForwardBench() planAB {
 				panic(err)
 			}
 		})
-		return 1e9 / ns
+		// Per-call latency distribution for the report's percentiles.
+		samples := make([]float64, 0, 200)
+		for i := 0; i < 200; i++ {
+			t0 := time.Now()
+			if _, err := e.Call("lenet_fwd", args); err != nil {
+				panic(err)
+			}
+			samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+		return 1e9 / ns, samples
 	}
-	out := planAB{
-		NaivePerSec:   run(true, true),
-		PlanOffPerSec: run(true, false),
-		PlanOnPerSec:  run(false, false),
-	}
+	var out planAB
+	var samples []float64
+	out.NaivePerSec, _ = run(true, true)
+	out.PlanOffPerSec, _ = run(true, false)
+	out.PlanOnPerSec, samples = run(false, false)
+	out.PlanOnP50Ms = pctile(samples, 0.50)
+	out.PlanOnP95Ms = pctile(samples, 0.95)
+	out.PlanOnP99Ms = pctile(samples, 0.99)
 	if out.PlanOffPerSec > 0 {
 		out.Speedup = out.PlanOnPerSec / out.PlanOffPerSec
 	}
@@ -204,7 +238,7 @@ func trainStepBench(warmup, steps int) trainAB {
 		fmt.Println(err)
 		return trainAB{}
 	}
-	measure := func(noPlan, naive bool) (float64, float64) {
+	measure := func(noPlan, naive bool) (float64, float64, []float64) {
 		prev := tensor.SetNaiveKernels(naive)
 		defer tensor.SetNaiveKernels(prev)
 		cfg := core.DefaultJanusConfig()
@@ -216,7 +250,7 @@ func trainStepBench(warmup, steps int) trainAB {
 		pts, _, err := models.Curve(m, cfg, 42, warmup+steps)
 		if err != nil || len(pts) <= warmup {
 			fmt.Printf("train-step measurement failed: %v\n", err)
-			return 0, 0
+			return 0, 0, nil
 		}
 		window := pts[len(pts)-1].Seconds
 		if warmup > 0 {
@@ -226,12 +260,25 @@ func trainStepBench(warmup, steps int) trainAB {
 			window = 1e-9
 		}
 		th := float64((len(pts)-warmup)*m.ItemsPerStep) / window
-		return th, pts[len(pts)-1].Loss
+		// Post-warmup per-step durations (ms) from the cumulative curve.
+		var stepMs []float64
+		for i := warmup; i < len(pts); i++ {
+			prev := 0.0
+			if i > 0 {
+				prev = pts[i-1].Seconds
+			}
+			stepMs = append(stepMs, (pts[i].Seconds-prev)*1e3)
+		}
+		return th, pts[len(pts)-1].Loss, stepMs
 	}
 	var out trainAB
-	out.NaivePerSec, _ = measure(true, true)
-	out.PlanOffPerSec, out.FinalLossOff = measure(true, false)
-	out.PlanOnPerSec, out.FinalLossOn = measure(false, false)
+	out.NaivePerSec, _, _ = measure(true, true)
+	out.PlanOffPerSec, out.FinalLossOff, _ = measure(true, false)
+	var stepMs []float64
+	out.PlanOnPerSec, out.FinalLossOn, stepMs = measure(false, false)
+	out.PlanOnP50Ms = pctile(stepMs, 0.50)
+	out.PlanOnP95Ms = pctile(stepMs, 0.95)
+	out.PlanOnP99Ms = pctile(stepMs, 0.99)
 	if out.PlanOffPerSec > 0 {
 		out.Speedup = out.PlanOnPerSec / out.PlanOffPerSec
 	}
@@ -271,7 +318,9 @@ func elementwiseBench() elementwiseResult {
 	res := elementwiseResult{Ops: ops}
 	for _, planOn := range []bool{false, true} {
 		g := elementwiseChain(ops)
-		opts := exec.Options{}
+		// Metrics attached as in production: the allocs/op gate covers the
+		// instrumented replay path (sampled kernel timers included).
+		opts := exec.Options{Metrics: exec.NewMetrics(obs.NewRegistry())}
 		if planOn {
 			opts.Pool = tensor.NewPool()
 			opts.Arena = exec.NewArena()

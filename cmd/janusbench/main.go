@@ -41,6 +41,9 @@ func main() {
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "batcher latency limit in -serve mode")
 	kernelsMode := flag.Bool("kernels", false,
 		"kernel/memory-plan microbenchmarks: blocked matmul, plan-on/off LeNet replay, allocs/op")
+	traceMode := flag.Bool("trace", false,
+		"trace mode: run real fn.Call requests through an in-process janusd and print the /v1/trace per-phase breakdown")
+	traceCalls := flag.Int("trace-calls", 4, "requests to trace in -trace mode")
 	distMode := flag.Bool("dist", false, "distributed mode: real data-parallel scaling on the internal/ps runtime")
 	workers := flag.Int("workers", 4, "max worker replicas in -dist mode (measured at 1, 2, 4, ... up to this)")
 	shards := flag.Int("shards", 4, "parameter-server shards in -dist mode")
@@ -56,6 +59,11 @@ func main() {
 		"write machine-readable results to this file (-dist, -serve and -kernels modes; the CI regression gate reads it)")
 	flag.Parse()
 
+	if *traceMode {
+		fmt.Printf("========== Request-phase trace (/v1/trace on an in-process janusd) ==========\n")
+		traceBench(*traceCalls)
+		return
+	}
 	if *kernelsMode {
 		fmt.Printf("========== Kernel + memory-plan microbenchmarks ==========\n")
 		kernelsBench(*warmup, *steps, *jsonOut)

@@ -33,6 +33,7 @@ type serveReport struct {
 	Requests     int64   `json:"requests"`
 	Failed       int64   `json:"failed"`
 	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
 	P99Ms        float64 `json:"p99_ms"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	AvgBatch     float64 `json:"avg_batch"`
@@ -158,6 +159,7 @@ func serveBench(clients int, dur time.Duration, workers, maxBatch int, maxLatenc
 		Requests:     done.Load(),
 		Failed:       failed.Load(),
 		P50Ms:        float64(pct(0.50)) / 1e6,
+		P95Ms:        float64(pct(0.95)) / 1e6,
 		P99Ms:        float64(pct(0.99)) / 1e6,
 		CacheHitRate: hitRate,
 		AvgBatch:     avgBatch,

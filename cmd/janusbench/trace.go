@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+
+	janus "repro"
+	"repro/internal/obs"
+)
+
+// traceBench exercises the request-phase tracing path end to end: it boots
+// an in-process janusd, performs real fn.Call requests over HTTP (the
+// direct args path, so the engine's convert/compile/execute spans land in
+// the request trace), then dumps GET /v1/trace as a per-phase breakdown.
+func traceBench(calls int) {
+	if calls < 1 {
+		calls = 1
+	}
+	srv := janus.NewServer(janus.ServerOptions{
+		PoolSize: 2,
+		Options:  janus.Options{Seed: 42, ProfileIterations: 1},
+	})
+	if _, err := srv.Compile(serveModel); err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: compile: %v\n", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	row := make([]float64, 16)
+	for i := range row {
+		row[i] = float64(i) * 0.1
+	}
+	body, _ := json.Marshal(map[string]any{
+		"fn": "predict", "args": []any{[][]float64{row}},
+	})
+	// First call profiles + converts; later calls replay the cached graph —
+	// the trace log holds both shapes of the phase breakdown.
+	for i := 0; i < calls; i++ {
+		resp, err := http.Post(ts.URL+"/v1/call", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace bench: call: %v\n", err)
+			os.Exit(1)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "trace bench: call -> %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/trace?n=%d", ts.URL, calls))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: /v1/trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Traces []obs.TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Fprintf(os.Stderr, "trace bench: decode: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d traced fn.Call requests (newest first, spans in request order):\n", len(out.Traces))
+	for _, tr := range out.Traces {
+		fmt.Printf("\n%s  total %.1fus", tr.ID, tr.TotalUS)
+		if len(tr.Annotations) > 0 {
+			keys := make([]string, 0, len(tr.Annotations))
+			for k := range tr.Annotations {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %s=%s", k, tr.Annotations[k])
+			}
+		}
+		fmt.Println()
+		for _, sp := range tr.Spans {
+			fmt.Printf("  %-14s +%9.1fus  %9.1fus  (%4.1f%%)\n",
+				sp.Name, sp.StartUS, sp.DurUS, 100*sp.DurUS/tr.TotalUS)
+		}
+	}
+}

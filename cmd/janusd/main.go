@@ -32,11 +32,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	janus "repro"
@@ -57,6 +62,8 @@ func main() {
 	lr := flag.Float64("lr", 0.1, "learning rate for optimize()")
 	profileIters := flag.Int("profile-iters", 3, "profiling iterations before conversion")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = unseeded)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	poolSize := *pool
@@ -106,9 +113,45 @@ func main() {
 		log.Printf("janusd: loaded %s", *program)
 	}
 
-	log.Printf("janusd: serving on %s (pool %d, batch %d / %v)",
-		*addr, poolSize, *maxBatch, *batchLatency)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		log.Fatal(err)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("janusd: pprof enabled at /debug/pprof/")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("janusd: serving on %s (pool %d, batch %d / %v)",
+			*addr, poolSize, *maxBatch, *batchLatency)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
+	// requests up to -drain-timeout, then flush a final metrics snapshot to
+	// stderr so a terminated run still leaves its counters behind.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("janusd: %v: draining (up to %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("janusd: shutdown: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "# janusd: final metrics snapshot")
+	if err := srv.WriteMetrics(os.Stderr); err != nil {
+		log.Printf("janusd: metrics flush: %v", err)
 	}
 }

@@ -14,6 +14,7 @@
 //	POST /ps/v1/push  {"shard", "step", "grads"}               gradient push (409 = stale)
 //	POST /ps/v1/init  {"params"}                               set-if-absent registration
 //	GET  /ps/v1/stats                                          server counters
+//	GET  /metrics                                              Prometheus text exposition
 //	GET  /healthz                                              liveness
 //
 // Workers connect through the public handle API — janus.NewCluster with
@@ -23,9 +24,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/ps"
 )
@@ -37,6 +46,8 @@ func main() {
 	optimizer := flag.String("optimizer", "sgd", "server-side optimizer: sgd, momentum, or adam")
 	workers := flag.Int("workers", 1, "data-parallel replicas (gradients are averaged across them)")
 	staleness := flag.Int("staleness", 2, "max worker-step lag before a push is rejected (-1 = unbounded)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	server, err := ps.NewServer(ps.Config{
@@ -46,9 +57,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("janusps: serving on %s (%d shards, lr %g, %s, %d workers, staleness %d)",
-		*addr, *shards, *lr, *optimizer, *workers, *staleness)
-	if err := http.ListenAndServe(*addr, ps.NewHandler(server)); err != nil {
-		log.Fatal(err)
+	mux := http.NewServeMux()
+	mux.Handle("/", ps.NewHandler(server))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("janusps: pprof enabled at /debug/pprof/")
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: mux}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("janusps: serving on %s (%d shards, lr %g, %s, %d workers, staleness %d)",
+			*addr, *shards, *lr, *optimizer, *workers, *staleness)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, drain in-flight
+	// pushes/pulls up to -drain-timeout, then flush a final metrics
+	// snapshot to stderr.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("janusps: %v: draining (up to %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("janusps: shutdown: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "# janusps: final metrics snapshot")
+	if err := server.Registry().WriteText(os.Stderr); err != nil {
+		log.Printf("janusps: metrics flush: %v", err)
 	}
 }

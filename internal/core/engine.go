@@ -22,6 +22,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/minipy"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/tensor"
 	"repro/internal/vars"
@@ -88,6 +89,11 @@ type Config struct {
 	// replay allocates ~nothing. The flag exists for A/B benchmarking
 	// (janusbench -kernels) and as an escape hatch.
 	NoMemoryPlan bool
+	// Obs, when non-nil, is the metrics registry the engine resolves its
+	// instruments in — a serving pool hands every worker the same registry
+	// so series (and Stats views) aggregate pool-wide. Nil gives the
+	// engine a private registry and strictly per-engine counters.
+	Obs *obs.Registry
 }
 
 // memoryPlanOn reports whether plan-driven buffer reuse is enabled.
@@ -141,57 +147,6 @@ func (s *Stats) Add(o Stats) {
 		}
 		s.OptimizeReport[k] += v
 	}
-}
-
-// counters is the live, race-safe counter set behind Stats snapshots. Steps
-// may run concurrently when an engine belongs to a serving pool, so every
-// counter is atomic and the optimizer report map is mutex-guarded.
-type counters struct {
-	imperativeSteps atomic.Int64
-	graphSteps      atomic.Int64
-	conversions     atomic.Int64
-	conversionFails atomic.Int64
-	cacheHits       atomic.Int64
-	cacheMisses     atomic.Int64
-	assertFailures  atomic.Int64
-	fallbacks       atomic.Int64
-	sigHashHits     atomic.Int64
-	mu              sync.Mutex
-	optimizeReport  map[string]int
-}
-
-func (c *counters) addReport(rep map[string]int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.optimizeReport == nil {
-		c.optimizeReport = map[string]int{}
-	}
-	for k, v := range rep {
-		c.optimizeReport[k] += v
-	}
-}
-
-func (c *counters) snapshot() Stats {
-	s := Stats{
-		ImperativeSteps: int(c.imperativeSteps.Load()),
-		GraphSteps:      int(c.graphSteps.Load()),
-		Conversions:     int(c.conversions.Load()),
-		ConversionFails: int(c.conversionFails.Load()),
-		CacheHits:       int(c.cacheHits.Load()),
-		CacheMisses:     int(c.cacheMisses.Load()),
-		AssertFailures:  int(c.assertFailures.Load()),
-		Fallbacks:       int(c.fallbacks.Load()),
-		SigHashHits:     int(c.sigHashHits.Load()),
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.optimizeReport != nil {
-		s.OptimizeReport = make(map[string]int, len(c.optimizeReport))
-		for k, v := range c.optimizeReport {
-			s.OptimizeReport[k] = v
-		}
-	}
-	return s
 }
 
 // compiled is one graph-cache entry.
@@ -251,7 +206,10 @@ type Engine struct {
 	Store *vars.Store
 	Local *minipy.Interp
 	Opt   autodiff.Optimizer
-	stats counters
+	// obs is the metrics registry (shared in a pool, private otherwise);
+	// stats holds the pre-resolved instrument handles the hot paths touch.
+	obs   *obs.Registry
+	stats *counters
 	cache *GraphCache
 	heap  *heapAdapter
 	// pool and arena back plan-driven graph replay (Config.NoMemoryPlan
@@ -292,15 +250,28 @@ func NewEngineShared(cfg Config, store *vars.Store, cache *GraphCache) *Engine {
 	if cfg.LR == 0 {
 		cfg.LR = 0.1
 	}
+	oreg := cfg.Obs
+	if oreg == nil {
+		oreg = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:   cfg,
 		Store: store,
 		Opt:   &autodiff.SGD{LR: cfg.LR},
+		obs:   oreg,
+		stats: newCounters(oreg),
 		cache: cache,
+	}
+	if cfg.Obs == nil {
+		// Private registry → this engine is the cache's only registrar.
+		// With a shared registry the owner (the serving pool) registers
+		// the shared cache exactly once instead.
+		RegisterCacheMetrics(oreg, cache)
 	}
 	if cfg.memoryPlanOn() {
 		e.pool = tensor.NewPool()
 		e.arena = exec.NewArena()
+		registerPoolMetrics(oreg, e.pool)
 	}
 	reg := minipy.DefaultRegistry().Clone()
 	reg.Register(&minipy.Builtin{Name: "optimize", Stateful: true,
@@ -434,6 +405,21 @@ func (e *Engine) Stats() Stats {
 // Cache returns the engine's compiled-graph cache (possibly shared).
 func (e *Engine) Cache() *GraphCache { return e.cache }
 
+// Registry returns the engine's metrics registry (shared when the engine
+// was built with Config.Obs, private otherwise).
+func (e *Engine) Registry() *obs.Registry { return e.obs }
+
+// TensorPoolStats snapshots the engine's (strictly per-engine) tensor
+// pool counters; zero when the memory plan is disabled. The serving pool
+// sums these across workers separately from the registry-backed Stats,
+// which are shared series under a shared registry.
+func (e *Engine) TensorPoolStats() tensor.PoolStats {
+	if e.pool == nil {
+		return tensor.PoolStats{}
+	}
+	return e.pool.Stats()
+}
+
 // optimizeStep implements one training step of the loss function fn: the
 // core of Figure 2. The step boundary doubles as a cancellation point: a
 // canceled context stops a training loop here, before the next step touches
@@ -456,6 +442,15 @@ func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
 // imperativeStep runs fn on the interpreter under a fresh gradient tape and
 // applies the optimizer. prof, when non-nil, observes the execution.
 func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (minipy.Value, error) {
+	sp := obs.TraceFrom(e.runCtx).StartSpan("imperative")
+	t0 := time.Now()
+	v, err := e.runImperativeStep(fn, prof)
+	e.stats.phaseImperative.Since(t0)
+	sp.End()
+	return v, err
+}
+
+func (e *Engine) runImperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (minipy.Value, error) {
 	e.stats.imperativeSteps.Add(1)
 	prevTape, prevProf := e.Local.Tape, e.Local.Prof
 	e.Local.Tape = autodiff.NewTape()
@@ -537,6 +532,7 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			entry = e.lookup(fs, sig)
 			if entry == nil {
 				e.stats.cacheMisses.Add(1)
+				obs.TraceFrom(e.runCtx).Annotate("cache", "miss")
 				var gerr error
 				entry, gerr = e.generate(fs, fn, sig, len(lv))
 				if gerr != nil {
@@ -552,6 +548,7 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 				}
 			} else {
 				e.stats.cacheHits.Add(1)
+				obs.TraceFrom(e.runCtx).Annotate("cache", "hit")
 			}
 			memoizeSig(fs, hash, entry)
 		}
@@ -564,6 +561,7 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 	loss, err = e.execute(entry, leaves)
 	if err == nil {
 		e.stats.graphSteps.Add(1)
+		obs.TraceFrom(e.runCtx).Annotate("path", "graph")
 		return loss, nil
 	}
 	var ae *exec.AssertError
@@ -575,6 +573,7 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 		// re-run.
 		e.stats.assertFailures.Add(1)
 		e.stats.fallbacks.Add(1)
+		obs.TraceFrom(e.runCtx).Annotate("path", "fallback")
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		e.noteFailure(fs, entry, ae)
@@ -610,6 +609,7 @@ func (e *Engine) hashLookup(fs *funcState, hash uint64, wantLeaves int) *compile
 	e.cache.touch(c)
 	e.stats.cacheHits.Add(1)
 	e.stats.sigHashHits.Add(1)
+	obs.TraceFrom(e.runCtx).Annotate("cache", "sighash_hit")
 	return c
 }
 
@@ -640,14 +640,20 @@ func dropFromSigIndex(fs *funcState, c *compiled) {
 // generate runs the Speculative Graph Generator (Figure 2, B) and caches the
 // result.
 func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLeaves int) (*compiled, error) {
+	csp := obs.TraceFrom(e.runCtx).StartSpan("convert")
+	t0 := time.Now()
 	res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
 		Specialize: e.cfg.Specialize,
 		Distrust:   fs.distrust,
 	})
+	e.stats.phaseConvert.Since(t0)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	ksp := obs.TraceFrom(e.runCtx).StartSpan("compile")
+	t1 := time.Now()
 	if e.gradSink != nil {
 		// Gradient streaming needs the trace tape: skip the static
 		// gradient/update ops so backprop runs on the tape and per-tensor
@@ -659,6 +665,8 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 		res.Dynamic = true
 	}
 	rep := res.OptimizePasses(e.cfg.Specialize)
+	e.stats.phaseCompile.Since(t1)
+	ksp.End()
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
 	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: !res.Dynamic}
@@ -667,8 +675,19 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 	return c, nil
 }
 
-// execute runs a compiled graph with the given feed leaves (Figure 2, D).
+// execute runs a compiled graph with the given feed leaves (Figure 2, D),
+// timing the execute phase. The wrapper adds two clock reads and one
+// histogram observation per graph run — nothing on the per-op replay path.
 func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
+	sp := obs.TraceFrom(e.runCtx).StartSpan("execute")
+	t0 := time.Now()
+	v, err := e.executeGraph(c, leaves)
+	e.stats.phaseExecute.Since(t0)
+	sp.End()
+	return v, err
+}
+
+func (e *Engine) executeGraph(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
 	feeds := make(map[string]graph.Val, len(leaves))
 	for i, v := range leaves {
 		feeds[feedName(i)] = minipyToGraph(v)
@@ -678,6 +697,7 @@ func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, erro
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		Metrics:        e.stats.exec,
 		// Plan-driven buffer reuse (nil when disabled; the executor itself
 		// ignores the pool for tape-mode dynamic graphs).
 		Pool:  e.pool,

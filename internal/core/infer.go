@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/autodiff"
 	"repro/internal/convert"
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/minipy"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -108,6 +110,15 @@ func (e *Engine) CallFuncCtx(ctx context.Context, fn *minipy.FuncVal, args []min
 // observes the execution for the speculative converter; callers must hold
 // the funcState lock in that case.
 func (e *Engine) imperativeCall(fn *minipy.FuncVal, args []minipy.Value, prof *profile.Profile) (minipy.Value, error) {
+	sp := obs.TraceFrom(e.runCtx).StartSpan("imperative")
+	t0 := time.Now()
+	v, err := e.runImperativeCall(fn, args, prof)
+	e.stats.phaseImperative.Since(t0)
+	sp.End()
+	return v, err
+}
+
+func (e *Engine) runImperativeCall(fn *minipy.FuncVal, args []minipy.Value, prof *profile.Profile) (minipy.Value, error) {
 	e.stats.imperativeSteps.Add(1)
 	prevTape, prevProf := e.Local.Tape, e.Local.Prof
 	e.Local.Tape = autodiff.NewTape()
@@ -164,6 +175,7 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 			entry = e.lookup(fs, sig)
 			if entry == nil {
 				e.stats.cacheMisses.Add(1)
+				obs.TraceFrom(e.runCtx).Annotate("cache", "miss")
 				var gerr error
 				entry, gerr = e.generateInfer(fs, fn, args, sig, len(lv))
 				if gerr != nil {
@@ -178,6 +190,7 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 				}
 			} else {
 				e.stats.cacheHits.Add(1)
+				obs.TraceFrom(e.runCtx).Annotate("cache", "hit")
 			}
 			memoizeSig(fs, hash, entry)
 		}
@@ -190,12 +203,14 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 	out, err = e.executeInfer(entry, leaves)
 	if err == nil {
 		e.stats.graphSteps.Add(1)
+		obs.TraceFrom(e.runCtx).Annotate("path", "graph")
 		return out, nil
 	}
 	var ae *exec.AssertError
 	if errors.As(err, &ae) {
 		e.stats.assertFailures.Add(1)
 		e.stats.fallbacks.Add(1)
+		obs.TraceFrom(e.runCtx).Annotate("path", "fallback")
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
 		e.noteFailure(fs, entry, ae)
@@ -210,15 +225,23 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 
 // generateInfer converts fn(args...) to a forward-only graph and caches it.
 func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.Value, sig []string, numLeaves int) (*compiled, error) {
+	csp := obs.TraceFrom(e.runCtx).StartSpan("convert")
+	t0 := time.Now()
 	res, err := convert.ConvertCall(fn, args, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
 		Specialize: e.cfg.Specialize,
 		Distrust:   fs.distrust,
 	})
+	e.stats.phaseConvert.Since(t0)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	ksp := obs.TraceFrom(e.runCtx).StartSpan("compile")
+	t1 := time.Now()
 	rep := res.OptimizePasses(e.cfg.Specialize)
+	e.stats.phaseCompile.Since(t1)
+	ksp.End()
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
 	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: true}
@@ -230,6 +253,15 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 // executeInfer runs a forward graph and converts its outputs back to minipy
 // values (a single output unwraps; multiple become a tuple).
 func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
+	sp := obs.TraceFrom(e.runCtx).StartSpan("execute")
+	t0 := time.Now()
+	v, err := e.runInferGraph(c, leaves)
+	e.stats.phaseExecute.Since(t0)
+	sp.End()
+	return v, err
+}
+
+func (e *Engine) runInferGraph(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
 	feeds := make(map[string]graph.Val, len(leaves))
 	for i, v := range leaves {
 		feeds[feedName(i)] = minipyToGraph(v)
@@ -239,6 +271,7 @@ func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value,
 		Store:          e.Store,
 		Heap:           e.heap,
 		DisableAsserts: e.cfg.DisableAsserts,
+		Metrics:        e.stats.exec,
 		Pool:           e.pool,
 		Arena:          e.arena,
 		Ctx:            e.runCtx,

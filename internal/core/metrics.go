@@ -1,0 +1,137 @@
+package core
+
+import (
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// Metric help strings, shared between registration sites.
+const (
+	helpSteps       = "Steps completed, by execution path (graph replay vs imperative interpretation)."
+	helpConversions = "Speculative graph conversions, by result."
+	helpCacheLookup = "Compiled-graph cache lookups, by result."
+	helpSigHash     = "Cache lookups served by the per-function signature-hash index."
+	helpAsserts     = "Runtime assumption-validation failures."
+	helpFallbacks   = "Graph executions abandoned to the imperative fallback path."
+	helpPhase       = "Engine time per request phase (convert, compile, execute, imperative)."
+	helpOptimize    = "Graph-optimizer rewrites applied, by pass."
+	helpPoolGets    = "Tensor-pool buffer rentals."
+	helpPoolHits    = "Tensor-pool rentals served by reuse rather than allocation."
+	helpPoolPuts    = "Tensor buffers returned to the pool."
+	helpPoolInUse   = "Total elements of currently rented pool buffers."
+	helpCacheFuncs  = "Functions with compiled-graph cache state."
+	helpCacheGraphs = "Compiled graphs currently cached."
+	helpCacheEvict  = "Compiled graphs evicted by cache capacity enforcement."
+)
+
+// counters is the live, race-safe instrument set behind Stats snapshots,
+// refitted as handles into an obs.Registry: every count recorded here is
+// simultaneously a Prometheus series, and Stats() is a view over the
+// registry rather than a second bookkeeping path. When pool workers share
+// a registry (serve sets Config.Obs), the same series aggregate
+// pool-wide; a standalone engine gets a private registry and per-engine
+// semantics, exactly as before.
+type counters struct {
+	reg *obs.Registry
+
+	imperativeSteps *obs.Counter
+	graphSteps      *obs.Counter
+	conversions     *obs.Counter
+	conversionFails *obs.Counter
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	assertFailures  *obs.Counter
+	fallbacks       *obs.Counter
+	sigHashHits     *obs.Counter
+
+	phaseConvert    *obs.Histogram
+	phaseCompile    *obs.Histogram
+	phaseExecute    *obs.Histogram
+	phaseImperative *obs.Histogram
+
+	// exec carries the executor's sampled kernel timers and pool/in-place
+	// counters into graph runs (exec.Options.Metrics).
+	exec *exec.Metrics
+}
+
+// newCounters resolves every engine instrument in reg once, so the hot
+// path only ever touches pre-resolved pointers.
+func newCounters(reg *obs.Registry) *counters {
+	return &counters{
+		reg:             reg,
+		imperativeSteps: reg.Counter("janus_engine_steps_total", helpSteps, "path", "imperative"),
+		graphSteps:      reg.Counter("janus_engine_steps_total", helpSteps, "path", "graph"),
+		conversions:     reg.Counter("janus_engine_conversions_total", helpConversions, "result", "ok"),
+		conversionFails: reg.Counter("janus_engine_conversions_total", helpConversions, "result", "fail"),
+		cacheHits:       reg.Counter("janus_engine_cache_lookups_total", helpCacheLookup, "result", "hit"),
+		cacheMisses:     reg.Counter("janus_engine_cache_lookups_total", helpCacheLookup, "result", "miss"),
+		sigHashHits:     reg.Counter("janus_engine_sighash_hits_total", helpSigHash),
+		assertFailures:  reg.Counter("janus_engine_assert_failures_total", helpAsserts),
+		fallbacks:       reg.Counter("janus_engine_fallbacks_total", helpFallbacks),
+		phaseConvert:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "convert"),
+		phaseCompile:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "compile"),
+		phaseExecute:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "execute"),
+		phaseImperative: reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "imperative"),
+		exec:            exec.NewMetrics(reg),
+	}
+}
+
+// addReport folds an optimizer-pass report into the per-pass win
+// counters (slow path: runs once per conversion).
+func (c *counters) addReport(rep map[string]int) {
+	for pass, n := range rep {
+		c.reg.Counter("janus_optimize_wins_total", helpOptimize, "pass", pass).Add(int64(n))
+	}
+}
+
+// snapshot renders the registry-backed counters as the public Stats view.
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		ImperativeSteps: int(c.imperativeSteps.Value()),
+		GraphSteps:      int(c.graphSteps.Value()),
+		Conversions:     int(c.conversions.Value()),
+		ConversionFails: int(c.conversionFails.Value()),
+		CacheHits:       int(c.cacheHits.Value()),
+		CacheMisses:     int(c.cacheMisses.Value()),
+		AssertFailures:  int(c.assertFailures.Value()),
+		Fallbacks:       int(c.fallbacks.Value()),
+		SigHashHits:     int(c.sigHashHits.Value()),
+	}
+	for _, sv := range c.reg.Series("janus_optimize_wins_total") {
+		if s.OptimizeReport == nil {
+			s.OptimizeReport = map[string]int{}
+		}
+		s.OptimizeReport[obs.LabelValue(sv.Labels, "pass")] += int(sv.Value)
+	}
+	return s
+}
+
+// registerPoolMetrics exposes a tensor pool's rental counters. The
+// callbacks read the pool's own atomics at scrape time, so the rental
+// hot path is untouched; several engines registering their per-engine
+// pools merge additively into pool-wide series.
+func registerPoolMetrics(reg *obs.Registry, p *tensor.Pool) {
+	reg.CounterFunc("janus_pool_gets_total", helpPoolGets,
+		func() float64 { return float64(p.Stats().Gets) })
+	reg.CounterFunc("janus_pool_hits_total", helpPoolHits,
+		func() float64 { return float64(p.Stats().Hits) })
+	reg.CounterFunc("janus_pool_puts_total", helpPoolPuts,
+		func() float64 { return float64(p.Stats().Puts) })
+	reg.GaugeFunc("janus_pool_in_use_elements", helpPoolInUse,
+		func() float64 { return float64(p.Stats().InUseElems) })
+}
+
+// RegisterCacheMetrics exposes a compiled-graph cache in reg. Because
+// func-backed series merge additively, the pairing must be 1:1 — a
+// standalone engine registers its private cache on its private registry,
+// and a serving pool registers the one shared cache on the one shared
+// registry (never both).
+func RegisterCacheMetrics(reg *obs.Registry, cache *GraphCache) {
+	reg.GaugeFunc("janus_cache_functions", helpCacheFuncs,
+		func() float64 { return float64(cache.Funcs()) })
+	reg.GaugeFunc("janus_cache_entries", helpCacheGraphs,
+		func() float64 { return float64(cache.Entries()) })
+	reg.CounterFunc("janus_cache_evictions_total", helpCacheEvict,
+		func() float64 { return float64(cache.Evictions()) })
+}

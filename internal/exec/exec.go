@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/autodiff"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -85,6 +87,11 @@ type Options struct {
 	DisableAsserts bool
 	// Stats, when non-nil, accumulates executed-op counts.
 	Stats *Stats
+	// Metrics, when non-nil, records plan-build timings, sampled per-op
+	// kernel timings and in-place rebind counts into an obs registry. All
+	// hot-path recording is sampled or a single atomic, so replay stays
+	// allocation-free.
+	Metrics *Metrics
 	// Ctx, when non-nil, is checked between scheduled nodes — including
 	// inside While/Invoke subgraph iterations — so cancellation lands in the
 	// middle of a long graph execution, not just between steps. A canceled
@@ -277,7 +284,7 @@ type plan struct {
 }
 
 // buildPlan analyzes a graph once; subsequent executions reuse the result.
-func buildPlan(g *graph.Graph) (*plan, error) {
+func buildPlan(g *graph.Graph, m *Metrics) (*plan, error) {
 	n := len(g.Nodes)
 	index := make(map[*graph.Node]int32, n)
 	for i, nd := range g.Nodes {
@@ -364,22 +371,37 @@ func buildPlan(g *graph.Graph) (*plan, error) {
 		}
 		p.outPort[i] = p.portBase[j] + int32(o.Out)
 	}
+	t0 := time.Now()
 	p.mem = graph.BuildMemoryPlan(g)
+	m.observeMemPlan(time.Since(t0))
 	return p, nil
 }
 
 var planMu sync.Mutex
 
-func planFor(g *graph.Graph) (*plan, error) {
+// planFor returns the graph's cached execution plan, building (and
+// timing) it on first use. The schedule and memory-plan stages report
+// separately, and a request trace riding c picks up matching spans — the
+// "compile → memory-plan" phases of a cold Call.
+func planFor(g *graph.Graph, c *ctx) (*plan, error) {
 	planMu.Lock()
 	defer planMu.Unlock()
 	if p, ok := g.Plan.(*plan); ok {
 		return p, nil
 	}
-	p, err := buildPlan(g)
+	var m *Metrics
+	var tctx context.Context
+	if c != nil {
+		m, tctx = c.opts.Metrics, c.opts.Ctx
+	}
+	sp := obs.TraceFrom(tctx).StartSpan("plan_build")
+	t0 := time.Now()
+	p, err := buildPlan(g, m)
 	if err != nil {
 		return nil, err
 	}
+	m.observePlanBuild(time.Since(t0))
+	sp.End()
 	g.Plan = p
 	return p, nil
 }
@@ -459,11 +481,12 @@ func (a *Arena) release(ga *graphArena) {
 // refcount per alias class, the pooled buffer owned by each class, and
 // transfer flags for in-place rebinding.
 type memState struct {
-	mem   *graph.MemoryPlan
-	pool  *tensor.Pool
-	refs  []int32
-	moved []bool
-	bufs  []*tensor.Tensor
+	mem     *graph.MemoryPlan
+	pool    *tensor.Pool
+	metrics *Metrics
+	refs    []int32
+	moved   []bool
+	bufs    []*tensor.Tensor
 }
 
 // initMemState prepares (or recycles) per-run plan state; returns nil when
@@ -473,7 +496,7 @@ func initMemState(p *plan, c *ctx, ga *graphArena) *memState {
 		return nil
 	}
 	nc := p.mem.NumClasses
-	ms := &memState{mem: p.mem, pool: c.opts.Pool}
+	ms := &memState{mem: p.mem, pool: c.opts.Pool, metrics: c.opts.Metrics}
 	if ga != nil {
 		if cap(ga.refs) < nc {
 			ga.refs = make([]int32, nc)
@@ -554,6 +577,7 @@ func (a *nodeAlloc) Get(shape ...int) *tensor.Tensor {
 			t := a.inPlace
 			a.ms.moved[a.inPlaceCls] = true
 			a.inPlace = nil
+			a.ms.metrics.incInPlace()
 			return t
 		}
 		if !a.record {
@@ -602,7 +626,7 @@ func runGraph(g *graph.Graph, feeds map[string]graph.Val, c *ctx) ([]graph.Val, 
 	if len(g.Nodes) == 0 {
 		return nil, nil
 	}
-	p, err := planFor(g)
+	p, err := planFor(g, c)
 	if err != nil {
 		return nil, err
 	}
@@ -718,7 +742,9 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *
 				c.opts.Stats.OpsSkipped.Add(1)
 			}
 		case ms != nil && p.kind[i] != kindGeneric:
+			kt := c.opts.Metrics.sampleKernel()
 			v, err := execFast(p, g, i, nd, in, feeds, c, ms, &na)
+			kt.observe(c.opts.Metrics, nd.Op)
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
@@ -731,7 +757,9 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *
 			}
 			ms.adopt(i, v)
 		default:
+			kt := c.opts.Metrics.sampleKernel()
 			out, err := safeExecNode(g, nd, in, feeds, c)
+			kt.observe(c.opts.Metrics, nd.Op)
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
@@ -853,7 +881,9 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, 1)
 						}
+						kt := c.opts.Metrics.sampleKernel()
 						out0, err = execFast(p, g, i, nd, in, feeds, c, ms, &na)
+						kt.observe(c.opts.Metrics, nd.Op)
 						single = true
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, -1)
@@ -863,7 +893,9 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, 1)
 						}
+						kt := c.opts.Metrics.sampleKernel()
 						out, err = safeExecNode(g, nd, in, feeds, c)
+						kt.observe(c.opts.Metrics, nd.Op)
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, -1)
 							c.opts.Stats.OpsExecuted.Add(1)

@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// KernelBuckets spans 100ns..~1.6s: wide enough for a fused elementwise
+// kernel and a cold convolution in one schema.
+var KernelBuckets = obs.ExpBuckets(1e-7, 2, 24)
+
+// kernelSampleMask samples 1 in 64 node executions for kernel timing. At
+// that rate the two clock reads and the histogram observe amortize to
+// well under a nanosecond per op, so the replay path's throughput (and
+// its zero-allocation property — everything here is atomics on
+// pre-resolved instruments) is preserved.
+const kernelSampleMask = 63
+
+// Metrics carries the executor's registry instruments through Options.
+// All methods are nil-safe: an execution without metrics pays a nil
+// check and nothing else.
+type Metrics struct {
+	planBuild *obs.Histogram
+	memPlan   *obs.Histogram
+	inPlace   *obs.Counter
+
+	reg  *obs.Registry
+	tick atomic.Uint64
+	mu   sync.RWMutex
+	ops  map[string]*obs.Histogram
+}
+
+// NewMetrics resolves the executor's instruments in reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		planBuild: reg.Histogram("janus_exec_plan_build_seconds",
+			"Time to schedule a graph into an execution plan (first run only).",
+			obs.DefBuckets, "stage", "schedule"),
+		memPlan: reg.Histogram("janus_exec_plan_build_seconds",
+			"Time to schedule a graph into an execution plan (first run only).",
+			obs.DefBuckets, "stage", "memory_plan"),
+		inPlace: reg.Counter("janus_exec_inplace_total",
+			"Kernel outputs served by in-place rebinding of a dying input buffer."),
+		reg: reg,
+		ops: make(map[string]*obs.Histogram),
+	}
+}
+
+// incInPlace counts one in-place rebind (replay hot path: one atomic add).
+func (m *Metrics) incInPlace() {
+	if m != nil {
+		m.inPlace.Inc()
+	}
+}
+
+// kernelTimer times one sampled kernel execution; the zero value (not
+// sampled) is inert.
+type kernelTimer struct {
+	t0 time.Time
+}
+
+// sampleKernel decides whether to time this node execution: one atomic
+// tick, and a clock read only for the 1-in-64 sampled ops.
+func (m *Metrics) sampleKernel() kernelTimer {
+	if m == nil || m.tick.Add(1)&kernelSampleMask != 0 {
+		return kernelTimer{}
+	}
+	return kernelTimer{t0: time.Now()}
+}
+
+// observe records the sampled duration under the node's op type.
+func (kt kernelTimer) observe(m *Metrics, op string) {
+	if kt.t0.IsZero() {
+		return
+	}
+	m.opHist(op).Since(kt.t0)
+}
+
+// opHist resolves the per-op-type histogram, caching the handle locally
+// so steady state is one RLock-guarded map read (no allocation).
+func (m *Metrics) opHist(op string) *obs.Histogram {
+	m.mu.RLock()
+	h := m.ops[op]
+	m.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = m.reg.Histogram("janus_exec_op_seconds",
+		"Sampled kernel execution time by op type (1 in 64 node executions).",
+		KernelBuckets, "op", op)
+	m.mu.Lock()
+	m.ops[op] = h
+	m.mu.Unlock()
+	return h
+}
+
+// observePlanBuild records scheduling time for a first-run graph.
+func (m *Metrics) observePlanBuild(d time.Duration) {
+	if m != nil {
+		m.planBuild.ObserveDuration(d)
+	}
+}
+
+// observeMemPlan records liveness/memory-plan analysis time.
+func (m *Metrics) observeMemPlan(d time.Duration) {
+	if m != nil {
+		m.memPlan.ObserveDuration(d)
+	}
+}

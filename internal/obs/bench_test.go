@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkObsOverhead prices each hot-path primitive per operation, the
+// companion to core's BenchmarkDispatchOverhead: the numbers recorded in
+// DESIGN.md §7 come from this benchmark. Every sub-benchmark must report
+// 0 allocs/op — that is the contract that lets the executor's replay path
+// carry instrumentation.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("counter_inc", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("bench_total", "b")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram_observe", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.Histogram("bench_seconds", "b", DefBuckets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+	b.Run("histogram_observe_duration", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.Histogram("bench_dur_seconds", "b", DefBuckets)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ObserveDuration(time.Duration(i % 4096))
+		}
+	})
+	b.Run("span_start_end", func(b *testing.B) {
+		tr := NewTrace("bench")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.StartSpan("phase")
+			sp.End()
+			if i%1024 == 0 { // keep the span slice from growing unboundedly
+				tr.mu.Lock()
+				tr.spans = tr.spans[:0]
+				tr.mu.Unlock()
+			}
+		}
+	})
+	b.Run("span_absent", func(b *testing.B) {
+		// The replay-path case: no trace on the context.
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := TraceFrom(ctx).StartSpan("phase")
+			sp.End()
+		}
+	})
+}

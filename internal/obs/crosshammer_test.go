@@ -1,0 +1,131 @@
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/minipy"
+	"repro/internal/obs"
+	"repro/internal/ps"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// TestRegistryCrossSubsystemHammer drives one shared registry from every
+// subsystem that writes to it in production — a standalone engine, a
+// serving pool, and a parameter server — while a scraper renders the text
+// exposition concurrently. Run under -race (CI does), it pins the claim
+// that counters, histograms, and func-backed series tolerate concurrent
+// writers from engine + serve + ps goroutines with readers in flight.
+func TestRegistryCrossSubsystemHammer(t *testing.T) {
+	const src = `
+def predict(x):
+    w = variable("hammer/w", [4, 4])
+    return relu(matmul(x, w))
+`
+	reg := obs.NewRegistry()
+
+	// One engine per writer goroutine: engines are single-threaded by
+	// design (the serve pool exists to serialize them); what's shared —
+	// and hammered — is the registry.
+	ecfg := core.DefaultJanusConfig()
+	ecfg.ProfileIters = 1
+	ecfg.PyOverheadNs = -1
+	ecfg.Seed = 7
+	ecfg.Obs = reg
+	engines := make([]*core.Engine, 2)
+	for i := range engines {
+		engines[i] = core.NewEngine(ecfg)
+		if err := engines[i].Run(src); err != nil {
+			t.Fatalf("engine setup: %v", err)
+		}
+	}
+
+	pcfg := serve.Config{Workers: 2, Engine: ecfg}
+	pool := serve.NewPool(pcfg)
+	if _, err := pool.Load(src); err != nil {
+		t.Fatalf("pool load: %v", err)
+	}
+
+	psrv, err := ps.NewServer(ps.Config{Shards: 2, Workers: 2, Staleness: -1, Obs: reg})
+	if err != nil {
+		t.Fatalf("ps setup: %v", err)
+	}
+	w := tensor.Zeros(4, 4)
+	if err := psrv.InitVars(map[string]*tensor.Tensor{"hammer/w": w}); err != nil {
+		t.Fatalf("ps init: %v", err)
+	}
+
+	const iters = 60
+	rng := tensor.NewRNG(3)
+	x := rng.Randn(2, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(4)
+		go func(eng *core.Engine) {
+			defer wg.Done()
+			args := []minipy.Value{minipy.NewTensor(x)}
+			for i := 0; i < iters; i++ {
+				if _, err := eng.Call("predict", args); err != nil {
+					t.Errorf("engine call: %v", err)
+					return
+				}
+			}
+		}(engines[g])
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := pool.CallNamed(context.Background(), "predict",
+					map[string]*tensor.Tensor{"x": x}); err != nil {
+					t.Errorf("pool call: %v", err)
+					return
+				}
+			}
+		}()
+		go func(g int) {
+			defer wg.Done()
+			grad := tensor.Zeros(4, 4)
+			for i := 0; i < iters; i++ {
+				shard := vars.ShardOf("hammer/w", 2)
+				if _, _, _, err := psrv.Pull(shard, -1); err != nil {
+					t.Errorf("ps pull: %v", err)
+					return
+				}
+				if _, err := psrv.PushGrad(shard, int64(g*iters+i),
+					map[string]*tensor.Tensor{"hammer/w": grad}); err != nil {
+					t.Errorf("ps push: %v", err)
+					return
+				}
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := reg.WriteText(io.Discard); err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The shared registry saw traffic from all three subsystems.
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	for _, fam := range []string{
+		"janus_engine_phase_seconds", "janus_serve_requests_total", "janus_ps_pushes_total",
+	} {
+		if !strings.Contains(buf.String(), fam) {
+			t.Errorf("family %s missing from exposition after hammer", fam)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package obs is the runtime's observability substrate: a dependency-free
+// metrics registry with allocation-free hot-path primitives (atomic
+// counters, gauges, fixed-bucket histograms) plus request-scoped trace
+// spans threaded through context.Context.
+//
+// Design constraints, in priority order:
+//
+//  1. Recording must be allocation-free and lock-free. Counter.Add and
+//     Histogram.Observe are single atomic operations (plus a bounded
+//     bucket search); neither takes a lock nor touches the heap, so they
+//     are safe on the executor's zero-allocation replay path.
+//  2. Registration is get-or-create and idempotent: the same
+//     (name, labels) pair always returns the same instrument, so pool
+//     workers sharing a Registry share series, and hot paths hold
+//     resolved pointers instead of looking anything up.
+//  3. Exposition is Prometheus text format (see prom.go), written on
+//     demand from the live atomics — there is no background aggregation
+//     goroutine and nothing to flush.
+//
+// Func-backed series (CounterFunc / GaugeFunc) adapt pre-existing atomic
+// counters (tensor.Pool, exec.Stats) without rewriting their hot paths:
+// the callback is read only at exposition time, and registering the same
+// name from several components sums their callbacks into one series.
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind discriminates family exposition types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labelled instance inside a family.
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fns    []func() float64 // CounterFunc/GaugeFunc callbacks, summed
+}
+
+// family groups every series sharing one metric name (one HELP/TYPE block).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	bounds  []float64 // histogram families only
+	mu      sync.Mutex
+	series  map[string]*series
+	ordered []*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use; instrument lookups take the
+// registry lock, so resolve instruments once at construction time and
+// keep the returned pointers for the hot path.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	ordered  []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry backs Default.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry (used when a component is not
+// handed an explicit one).
+func Default() *Registry { return defaultRegistry }
+
+// renderLabels formats alternating key/value pairs as `{k="v",k2="v2"}`.
+// Pairs are kept in caller order (callers pass stable orders, and the
+// rendered string is the series identity).
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// familyFor returns (creating if needed) the family for name, checking the
+// kind matches any prior registration.
+func (r *Registry) familyFor(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds,
+			series: make(map[string]*series)}
+		r.families[name] = f
+		r.ordered = append(r.ordered, f)
+		return f
+	}
+	if f.kind != kind {
+		panic("obs: metric " + name + " re-registered with a different type")
+	}
+	return f
+}
+
+// seriesFor returns (creating if needed) the series for the rendered labels.
+func (f *family) seriesFor(labels string, mk func() *series) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.series[labels]
+	if s == nil {
+		s = mk()
+		s.labels = labels
+		f.series[labels] = s
+		f.ordered = append(f.ordered, s)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// labels are alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	f := r.familyFor(name, help, kindCounter, nil)
+	s := f.seriesFor(renderLabels(labels), func() *series { return &series{c: &Counter{}} })
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	f := r.familyFor(name, help, kindGauge, nil)
+	s := f.seriesFor(renderLabels(labels), func() *series { return &series{g: &Gauge{}} })
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels), creating it on first
+// use. The bucket bounds of the first registration win for the whole
+// family (one le= schema per metric name).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	f := r.familyFor(name, help, kindHistogram, bounds)
+	s := f.seriesFor(renderLabels(labels), func() *series {
+		return &series{h: newHistogram(f.bounds)}
+	})
+	return s.h
+}
+
+// CounterFunc registers a callback-backed counter series. Registering the
+// same (name, labels) again ADDS the callback: the exposed value is the
+// sum of every registered callback, so per-engine components (tensor
+// pools, executor stats) merge into one pool-wide series.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.familyFor(name, help, kindCounterFunc, nil)
+	s := f.seriesFor(renderLabels(labels), func() *series { return &series{} })
+	f.mu.Lock()
+	s.fns = append(s.fns, fn)
+	f.mu.Unlock()
+}
+
+// GaugeFunc registers a callback-backed gauge series with the same
+// additive-merge semantics as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	f := r.familyFor(name, help, kindGaugeFunc, nil)
+	s := f.seriesFor(renderLabels(labels), func() *series { return &series{} })
+	f.mu.Lock()
+	s.fns = append(s.fns, fn)
+	f.mu.Unlock()
+}
+
+// SeriesValue is one (labels, value) pair read back from the registry.
+type SeriesValue struct {
+	// Labels is the rendered label string, e.g. `{pass="cse"}` ("" when
+	// the series is unlabelled).
+	Labels string
+	// Value is the current value (callback-backed series are summed).
+	Value float64
+}
+
+// Series snapshots every series of the named family (nil if the family
+// does not exist, or is a histogram — use the Histogram handle for those).
+func (r *Registry) Series(name string) []SeriesValue {
+	r.mu.Lock()
+	f := r.families[name]
+	r.mu.Unlock()
+	if f == nil || f.kind == kindHistogram {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]SeriesValue, 0, len(f.ordered))
+	for _, s := range f.ordered {
+		out = append(out, SeriesValue{Labels: s.labels, Value: seriesValue(f.kind, s)})
+	}
+	return out
+}
+
+// LabelValue extracts the value of one label key from a rendered label
+// string (as returned in SeriesValue.Labels); "" if absent.
+func LabelValue(labels, key string) string {
+	i := strings.Index(labels, key+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(key)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
+}
+
+func seriesValue(kind metricKind, s *series) float64 {
+	switch kind {
+	case kindCounter:
+		return float64(s.c.Value())
+	case kindGauge:
+		return float64(s.g.Value())
+	default:
+		var sum float64
+		for _, fn := range s.fns {
+			sum += fn()
+		}
+		return sum
+	}
+}
+
+// snapshotFamilies returns families sorted by name with series sorted by
+// labels — the deterministic exposition order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, len(r.ordered))
+	copy(fams, r.ordered)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns the family's series sorted by rendered labels.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	ss := make([]*series, len(f.ordered))
+	copy(ss, f.ordered)
+	f.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+	return ss
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series by
+// labels, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.promType())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			if f.kind == kindHistogram {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			bw.WriteString(f.name)
+			bw.WriteString(s.labels)
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(seriesValue(f.kind, s)))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits one histogram series: cumulative buckets with an
+// le label appended to the series labels, then _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	cum, count, sum := s.h.snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(s.h.bounds) {
+			le = formatValue(s.h.bounds[i])
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		bw.WriteString(withLabel(s.labels, "le", le))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(c, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	bw.WriteString(s.labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	bw.WriteString(s.labels)
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(count, 10))
+	bw.WriteByte('\n')
+}
+
+// withLabel appends one key="value" pair to a rendered label string.
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + value + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, NaN/Inf spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry as Prometheus text
+// (mount it at GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase inside a Trace. Start is the offset from the
+// trace's begin time, so spans order and nest without wall-clock math.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_us"`
+	Dur   time.Duration `json:"dur_us"`
+}
+
+// Trace collects the per-phase breakdown of one request: where a Call
+// spent its time across convert → compile → memory-plan → execute. A
+// Trace is created by the request entry point (HTTP handler, benchmark
+// driver), threaded through context.Context, and appended to by whatever
+// layers it reaches. All methods are nil-safe: instrumented code calls
+// TraceFrom(ctx).StartSpan(...) unconditionally, and when no trace rides
+// the context the whole exchange is a nil check — no clock read, no
+// allocation.
+type Trace struct {
+	// ID identifies the request (e.g. "req-42").
+	ID string
+	// Begin is when the trace started.
+	Begin time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	spans []Span
+	notes [][2]string
+}
+
+// NewTrace starts a trace now.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Begin: time.Now()}
+}
+
+// traceKey is the context key for the active trace.
+type traceKey struct{}
+
+// ContextWithTrace attaches t to the context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace riding ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanTimer is an in-flight span; call End (or EndTo) exactly once. The
+// zero value (from a nil trace) is inert.
+type SpanTimer struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named phase timer. On a nil trace it returns an inert
+// timer without reading the clock.
+func (t *Trace) StartSpan(name string) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span and records it on the trace.
+func (s SpanTimer) End() {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, Span{
+		Name:  s.name,
+		Start: s.start.Sub(s.t.Begin),
+		Dur:   now.Sub(s.start),
+	})
+	s.t.mu.Unlock()
+}
+
+// AddSpan records an externally timed phase.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Begin), Dur: dur})
+	t.mu.Unlock()
+}
+
+// Annotate records a key/value note (path taken, cache hit/miss, batch
+// size) on the trace.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notes = append(t.notes, [2]string{key, value})
+	t.mu.Unlock()
+}
+
+// Finish stamps the trace's end time (idempotent: first call wins).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// TraceSnapshot is the JSON-friendly view of a finished trace.
+type TraceSnapshot struct {
+	ID          string            `json:"id"`
+	Begin       time.Time         `json:"begin"`
+	TotalUS     float64           `json:"total_us"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	Spans       []SpanSnapshot    `json:"spans"`
+}
+
+// SpanSnapshot is one phase in a TraceSnapshot, in microseconds.
+type SpanSnapshot struct {
+	Name    string  `json:"name"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+// Snapshot renders the trace for serialization.
+func (t *Trace) Snapshot() TraceSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	snap := TraceSnapshot{
+		ID:      t.ID,
+		Begin:   t.Begin,
+		TotalUS: float64(end.Sub(t.Begin)) / float64(time.Microsecond),
+		Spans:   make([]SpanSnapshot, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		snap.Spans[i] = SpanSnapshot{
+			Name:    sp.Name,
+			StartUS: float64(sp.Start) / float64(time.Microsecond),
+			DurUS:   float64(sp.Dur) / float64(time.Microsecond),
+		}
+	}
+	if len(t.notes) > 0 {
+		snap.Annotations = make(map[string]string, len(t.notes))
+		for _, kv := range t.notes {
+			snap.Annotations[kv[0]] = kv[1]
+		}
+	}
+	return snap
+}
+
+// TraceLog is a bounded ring of recently finished traces, newest first in
+// Snapshot. The serving layer records every traced request here so
+// GET /v1/trace can dump a per-phase breakdown without any sampling
+// pipeline.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	full bool
+}
+
+// NewTraceLog returns a ring holding the last n traces (n >= 1).
+func NewTraceLog(n int) *TraceLog {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceLog{buf: make([]*Trace, n)}
+}
+
+// Add records a finished trace.
+func (l *TraceLog) Add(t *Trace) {
+	if l == nil || t == nil {
+		return
+	}
+	l.mu.Lock()
+	l.buf[l.next] = t
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns up to max traces, newest first (max <= 0 means all).
+func (l *TraceLog) Snapshot(max int) []TraceSnapshot {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	traces := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		if l.buf[idx] != nil {
+			traces = append(traces, l.buf[idx])
+		}
+	}
+	l.mu.Unlock()
+	if max > 0 && len(traces) > max {
+		traces = traces[:max]
+	}
+	out := make([]TraceSnapshot, len(traces))
+	for i, t := range traces {
+		out[i] = t.Snapshot()
+	}
+	return out
+}

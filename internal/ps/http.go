@@ -16,6 +16,7 @@ import (
 //	POST /ps/v1/push  {"shard": 0, "step": 12, "grads": {...}} → {"version": 8}  |  409 on staleness
 //	POST /ps/v1/init  {"params": {...}}                       → {"ok": true}
 //	GET  /ps/v1/stats                                         → Stats JSON
+//	GET  /metrics                                             → Prometheus text exposition
 //	GET  /healthz                                             → {"ok": true}
 //
 // Tensors travel as {"shape": [...], "data": [...]} with row-major flat
@@ -135,6 +136,7 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("GET /ps/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	mux.Handle("GET /metrics", s.Registry().Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})

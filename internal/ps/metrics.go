@@ -1,0 +1,46 @@
+package ps
+
+import (
+	"repro/internal/obs"
+)
+
+// Parameter-server metric help strings.
+const (
+	helpPulls     = "Parameter pulls, by result (fresh snapshot vs version-matched cache hit)."
+	helpPushes    = "Gradient pushes applied."
+	helpStale     = "Gradient pushes rejected by the staleness bound."
+	helpPullLat   = "Server-side time to serve one parameter pull."
+	helpPushLat   = "Server-side time to apply one gradient push."
+	helpBytes     = "Parameter/gradient payload bytes moved, by direction."
+	helpStaleness = "Observed worker-step lag behind the freshest shard clock, per push."
+)
+
+// metrics is the server's instrument set, resolved once in its registry.
+// The former ad-hoc atomics (pulls, pushes, stale drops) live only here;
+// Stats reads the counters back.
+type metrics struct {
+	pullsFresh  *obs.Counter
+	pullsCached *obs.Counter
+	pushes      *obs.Counter
+	staleDrops  *obs.Counter
+
+	pullLat   *obs.Histogram
+	pushLat   *obs.Histogram
+	bytesPull *obs.Counter
+	bytesPush *obs.Counter
+	staleness *obs.Histogram
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		pullsFresh:  reg.Counter("janus_ps_pulls_total", helpPulls, "result", "fresh"),
+		pullsCached: reg.Counter("janus_ps_pulls_total", helpPulls, "result", "cached"),
+		pushes:      reg.Counter("janus_ps_pushes_total", helpPushes),
+		staleDrops:  reg.Counter("janus_ps_stale_drops_total", helpStale),
+		pullLat:     reg.Histogram("janus_ps_pull_seconds", helpPullLat, obs.DefBuckets),
+		pushLat:     reg.Histogram("janus_ps_push_seconds", helpPushLat, obs.DefBuckets),
+		bytesPull:   reg.Counter("janus_ps_bytes_moved_total", helpBytes, "dir", "pull"),
+		bytesPush:   reg.Counter("janus_ps_bytes_moved_total", helpBytes, "dir", "push"),
+		staleness:   reg.Histogram("janus_ps_staleness_steps", helpStaleness, obs.StepBuckets),
+	}
+}

@@ -24,9 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/autodiff"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -64,6 +65,10 @@ type Config struct {
 	// stay stateless and a streamed single-tensor push advances exactly that
 	// tensor's state.
 	Optimizer string
+	// Obs, when non-nil, is the registry the server resolves its metrics
+	// in (cmd/janusps shares one with its HTTP exposition). Nil gives the
+	// server a private registry.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -139,10 +144,8 @@ type Server struct {
 	cfg    Config
 	shards []*shard
 
-	pulls      atomic.Int64
-	pullsFresh atomic.Int64
-	pushes     atomic.Int64
-	staleDrops atomic.Int64
+	obs     *obs.Registry
+	metrics *metrics
 }
 
 // NewServer builds an empty parameter server. Each shard gets its own
@@ -150,7 +153,11 @@ type Server struct {
 // shards, so per-name optimizer state never collides.
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{cfg: cfg}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{cfg: cfg, obs: reg, metrics: newMetrics(reg)}
 	for i := 0; i < cfg.Shards; i++ {
 		opt, err := autodiff.NewOptimizer(cfg.Optimizer, cfg.LR)
 		if err != nil {
@@ -166,6 +173,23 @@ func NewServer(cfg Config) (*Server, error) {
 
 // Config returns the server's effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.obs }
+
+// LatencyQuantile reports the estimated q-quantile (0..1) of server-side
+// handling latency in seconds, from the registry histograms; op is "push"
+// or "pull" (anything else yields 0). Bench harnesses use it to put
+// percentiles in their reports without scraping the text exposition.
+func (s *Server) LatencyQuantile(op string, q float64) float64 {
+	switch op {
+	case "push":
+		return s.metrics.pushLat.Quantile(q)
+	case "pull":
+		return s.metrics.pullLat.Quantile(q)
+	}
+	return 0
+}
 
 // NumShards implements Transport.
 func (s *Server) NumShards() (int, error) { return s.cfg.Shards, nil }
@@ -183,16 +207,29 @@ func (s *Server) Pull(shardIdx int, have int64) (map[string]*tensor.Tensor, int6
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	s.pulls.Add(1)
+	t0 := time.Now()
+	defer s.metrics.pullLat.Since(t0)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if have >= 0 && sh.version == have {
+		s.metrics.pullsCached.Inc()
 		return nil, sh.version, sh.maxStep, nil
 	}
-	s.pullsFresh.Add(1)
+	s.metrics.pullsFresh.Inc()
 	// ShardSnapshot with k=1 returns every variable in this shard's store;
 	// tensors are copy-on-write so the map is safe to release unlocked.
-	return sh.store.ShardSnapshot(0, 1), sh.version, sh.maxStep, nil
+	snap := sh.store.ShardSnapshot(0, 1)
+	s.metrics.bytesPull.Add(tensorBytes(snap))
+	return snap, sh.version, sh.maxStep, nil
+}
+
+// tensorBytes sizes a named-tensor payload (8 bytes per float64 element).
+func tensorBytes(m map[string]*tensor.Tensor) int64 {
+	var n int64
+	for _, t := range m {
+		n += int64(len(t.Data())) * 8
+	}
+	return n
 }
 
 // PushGrad implements Transport. Unknown variables are an error: gradients
@@ -202,10 +239,17 @@ func (s *Server) PushGrad(shardIdx int, step int64, grads map[string]*tensor.Ten
 	if err != nil {
 		return 0, err
 	}
+	t0 := time.Now()
+	defer s.metrics.pushLat.Since(t0)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if lag := sh.maxStep - step; lag > 0 {
+		s.metrics.staleness.Observe(float64(lag))
+	} else {
+		s.metrics.staleness.Observe(0)
+	}
 	if s.cfg.Staleness >= 0 && sh.maxStep-step > int64(s.cfg.Staleness) {
-		s.staleDrops.Add(1)
+		s.metrics.staleDrops.Inc()
 		return sh.version, fmt.Errorf("%w (step %d, freshest %d, bound %d)",
 			ErrStale, step, sh.maxStep, s.cfg.Staleness)
 	}
@@ -226,7 +270,8 @@ func (s *Server) PushGrad(shardIdx int, step int64, grads map[string]*tensor.Ten
 	if step > sh.maxStep {
 		sh.maxStep = step
 	}
-	s.pushes.Add(1)
+	s.metrics.pushes.Inc()
+	s.metrics.bytesPush.Add(tensorBytes(grads))
 	return sh.version, nil
 }
 
@@ -252,10 +297,10 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Shards:     len(s.shards),
 		Optimizer:  s.shards[0].opt.Name(),
-		Pulls:      s.pulls.Load(),
-		PullsFresh: s.pullsFresh.Load(),
-		Pushes:     s.pushes.Load(),
-		StaleDrops: s.staleDrops.Load(),
+		Pulls:      s.metrics.pullsFresh.Value() + s.metrics.pullsCached.Value(),
+		PullsFresh: s.metrics.pullsFresh.Value(),
+		Pushes:     s.metrics.pushes.Value(),
+		StaleDrops: s.metrics.staleDrops.Value(),
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -30,9 +29,6 @@ type batcher struct {
 
 	mu     sync.Mutex
 	groups map[string]*batchGroup
-
-	batches atomic.Int64
-	batched atomic.Int64
 }
 
 // positionalFeed is the reserved feed name for the legacy Infer path, which
@@ -58,6 +54,9 @@ type inferReq struct {
 	feeds []feed
 	rows  int
 	out   chan inferResult
+	// enq stamps submission time so the flush can record how long the
+	// request sat in its batch group (janus_serve_batch_wait_seconds).
+	enq time.Time
 }
 
 type batchGroup struct {
@@ -142,7 +141,7 @@ func (b *batcher) submit(ctx context.Context, fn string, feeds []feed) ([]*tenso
 		return nil, err
 	}
 	defer release()
-	req := &inferReq{ctx: ctx, feeds: feeds, rows: rows, out: make(chan inferResult, 1)}
+	req := &inferReq{ctx: ctx, feeds: feeds, rows: rows, out: make(chan inferResult, 1), enq: time.Now()}
 	key := groupKey(fn, feeds)
 	b.mu.Lock()
 	g := b.groups[key]
@@ -158,6 +157,7 @@ func (b *batcher) submit(ctx context.Context, fn string, feeds []feed) ([]*tenso
 		delete(b.groups, key)
 		g.timer.Stop()
 		b.mu.Unlock()
+		b.pool.metrics.flushFull.Inc()
 		b.flush(g)
 	} else {
 		b.mu.Unlock()
@@ -179,12 +179,18 @@ func (b *batcher) flushKey(key string, g *batchGroup) {
 	}
 	delete(b.groups, key)
 	b.mu.Unlock()
+	b.pool.metrics.flushTimer.Inc()
 	b.flush(g)
 }
 
 // flush stacks the group's feeds along the batch axis, executes once, and
 // scatters per-request rows of every output back.
 func (b *batcher) flush(g *batchGroup) {
+	m := b.pool.metrics
+	m.batchSize.Observe(float64(len(g.reqs)))
+	for _, r := range g.reqs {
+		m.batchWait.Since(r.enq)
+	}
 	fail := func(err error) {
 		for _, r := range g.reqs {
 			r.out <- inferResult{err: err}
@@ -239,8 +245,7 @@ func (b *batcher) flush(g *batchGroup) {
 		return e.CallNamed(callCtx, g.fn, feeds)
 	})
 	b.pool.release(e)
-	b.batches.Add(1)
-	b.batched.Add(int64(len(g.reqs)))
+	m.batched.Add(int64(len(g.reqs)))
 	if err != nil {
 		fail(fmt.Errorf("%w (calling %s with batched feeds %s)", err, g.fn, describeFeeds(batched)))
 		return

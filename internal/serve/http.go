@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/minipy"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -23,6 +27,8 @@ import (
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}  → {"y": [[...]]}
 //	GET  /v1/stats                                      → Stats JSON
 //	GET  /v1/cache                                      → graph-cache inspection
+//	GET  /v1/trace    ?n=16                             → recent request traces (per-phase breakdown)
+//	GET  /metrics                                       → Prometheus text exposition
 //	GET  /healthz                                       → {"ok": true}
 //
 // Tensors are nested JSON arrays; scalars, strings and booleans map to the
@@ -45,7 +51,16 @@ type Server struct {
 	sessMu   sync.Mutex
 	sessions map[string]*Session
 	anon     *Session
+
+	// traces rings the most recent finished request traces for GET
+	// /v1/trace; traceSeq hands out request-scoped trace IDs.
+	traces   *obs.TraceLog
+	traceSeq atomic.Int64
 }
+
+// traceRing is how many finished request traces GET /v1/trace can look
+// back over.
+const traceRing = 64
 
 // NewServer builds a Pool from cfg and wires the HTTP handlers.
 func NewServer(cfg Config) *Server {
@@ -54,7 +69,7 @@ func NewServer(cfg Config) *Server {
 
 // NewServerWith wraps an existing pool.
 func NewServerWith(p *Pool) *Server {
-	s := &Server{pool: p, sessions: make(map[string]*Session)}
+	s := &Server{pool: p, sessions: make(map[string]*Session), traces: obs.NewTraceLog(traceRing)}
 	s.anon = p.NewSession()
 	s.sessions[s.anon.ID] = s.anon
 	s.mux = http.NewServeMux()
@@ -66,6 +81,8 @@ func NewServerWith(p *Pool) *Server {
 	s.mux.HandleFunc("POST /v1/infer", s.handleInfer)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.Handle("GET /metrics", p.Registry().Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
@@ -241,6 +258,8 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx, finish := s.startTrace(r, req.Fn)
+	defer finish()
 	if req.Feeds != nil {
 		// Named-feed form: tensors addressed by parameter name, executed
 		// through the request batcher (same-signature calls coalesce). The
@@ -260,7 +279,7 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 			}
 			feeds[name] = t
 		}
-		outs, err := s.pool.CallNamed(r.Context(), req.Fn, feeds)
+		outs, err := s.pool.CallNamed(ctx, req.Fn, feeds)
 		if err != nil {
 			writeErr(w, failStatus(err), err)
 			return
@@ -290,9 +309,9 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 	var out minipy.Value
 	if sess == nil {
 		// Sessionless: stateless call on any worker, no serialization.
-		out, err = s.pool.CallCtx(r.Context(), req.Fn, args)
+		out, err = s.pool.CallCtx(ctx, req.Fn, args)
 	} else {
-		out, err = sess.CallCtx(r.Context(), req.Fn, args)
+		out, err = sess.CallCtx(ctx, req.Fn, args)
 	}
 	if err != nil {
 		writeErr(w, failStatus(err), err)
@@ -321,7 +340,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	y, err := sess.InferCtx(r.Context(), req.Fn, x)
+	ctx, finish := s.startTrace(r, req.Fn)
+	defer finish()
+	y, err := sess.InferCtx(ctx, req.Fn, x)
 	if err != nil {
 		writeErr(w, failStatus(err), err)
 		return
@@ -331,6 +352,37 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.Stats())
+}
+
+// startTrace opens a request-scoped trace: the engine's phase spans
+// (convert, compile, execute, imperative, plan_build) land in it as the
+// request flows through whatever worker serves it. The returned finish
+// closes the trace and records it in the /v1/trace ring.
+func (s *Server) startTrace(r *http.Request, fn string) (ctx context.Context, finish func()) {
+	t := obs.NewTrace(fmt.Sprintf("r%d", s.traceSeq.Add(1)))
+	t.Annotate("endpoint", r.URL.Path)
+	if fn != "" {
+		t.Annotate("fn", fn)
+	}
+	return obs.ContextWithTrace(r.Context(), t), func() {
+		t.Finish()
+		s.traces.Add(t)
+	}
+}
+
+// handleTrace dumps the most recent request traces, newest first. ?n=
+// bounds the count (default 16, capped by the ring size).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 16
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad n %q", q))
+			return
+		}
+		n = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Snapshot(n)})
 }
 
 // handleCache serves the graph-cache inspection endpoint: capacity, entry

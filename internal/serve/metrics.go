@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"repro/internal/obs"
+)
+
+// Serving-side metric help strings.
+const (
+	helpRequests  = "Requests accepted by the pool (calls, inference, exec scripts)."
+	helpRejected  = "Requests refused because the wait queue was full (HTTP 429)."
+	helpTimeouts  = "Requests that gave up waiting for a worker (HTTP 503)."
+	helpQueued    = "Requests currently waiting for a worker or a session lock."
+	helpSessions  = "Client sessions registered over the pool's lifetime."
+	helpAcqWait   = "Time a request waited to claim a worker or session token."
+	helpBatchSize = "Requests coalesced into one batched execution."
+	helpBatchWait = "Time a request spent parked in a batch group before its flush."
+	helpFlushes   = "Batch-group flushes, by trigger (full window vs timer expiry)."
+	helpBatched   = "Requests served through the batcher."
+)
+
+// metrics is the pool's serving-side instrument set, resolved once in the
+// pool's shared registry (the same registry every worker engine writes
+// its own counters into, so one exposition covers the whole process).
+// These counters replace the pool's former ad-hoc atomics: every count is
+// recorded exactly once, and Stats() is a view over the registry.
+type metrics struct {
+	reg *obs.Registry
+
+	requests *obs.Counter
+	rejected *obs.Counter
+	timedOut *obs.Counter
+
+	acquireWait *obs.Histogram
+
+	batchSize  *obs.Histogram
+	batchWait  *obs.Histogram
+	flushFull  *obs.Counter
+	flushTimer *obs.Counter
+	batched    *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		reg:      reg,
+		requests: reg.Counter("janus_serve_requests_total", helpRequests),
+		rejected: reg.Counter("janus_serve_rejected_total", helpRejected),
+		timedOut: reg.Counter("janus_serve_timeouts_total", helpTimeouts),
+		acquireWait: reg.Histogram("janus_serve_acquire_wait_seconds", helpAcqWait,
+			obs.DefBuckets),
+		batchSize: reg.Histogram("janus_serve_batch_size", helpBatchSize,
+			obs.SizeBuckets),
+		batchWait: reg.Histogram("janus_serve_batch_wait_seconds", helpBatchWait,
+			obs.DefBuckets),
+		flushFull:  reg.Counter("janus_serve_batch_flushes_total", helpFlushes, "reason", "full"),
+		flushTimer: reg.Counter("janus_serve_batch_flushes_total", helpFlushes, "reason", "timer"),
+		batched:    reg.Counter("janus_serve_batched_requests_total", helpBatched),
+	}
+}
+
+// flushes sums both flush-reason series (the Stats Batches field).
+func (m *metrics) flushes() int64 {
+	return m.flushFull.Value() + m.flushTimer.Value()
+}

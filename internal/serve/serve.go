@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/minipy"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -125,14 +126,20 @@ type Pool struct {
 	idle    chan *core.Engine
 	batcher *batcher
 
-	sessions atomic.Int64
-	requests atomic.Int64
+	// obs is the pool-wide metrics registry: every worker engine resolves
+	// its instruments here (Config.Engine.Obs), so one /metrics exposition
+	// covers engines, executor, batcher and admission control. metrics
+	// holds the serving-side instruments; request/rejection/timeout counts
+	// live only in the registry (Stats reads them back).
+	obs     *obs.Registry
+	metrics *metrics
 
-	// Backpressure accounting: queued is the live number of requests
-	// waiting for a worker; rejected/timedOut count admission failures.
+	// sessions generates session IDs (and doubles as the created-sessions
+	// count); queued is the live number of waiters, kept as an atomic
+	// because admission control compares-and-backs-off on the incremented
+	// value. Both are exposed through func-backed registry series.
+	sessions atomic.Int64
 	queued   atomic.Int64
-	rejected atomic.Int64
-	timedOut atomic.Int64
 
 	loadMu sync.Mutex
 	// sigs caches the loaded module functions' parameter lists (snapshotted
@@ -145,14 +152,29 @@ type Pool struct {
 // NewPool builds the worker engines. Load a program before serving.
 func NewPool(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
-	p := &Pool{
-		cfg:   cfg,
-		store: vars.NewStore(),
-		cache: core.NewGraphCacheCap(cfg.CacheCapacity),
-		idle:  make(chan *core.Engine, cfg.Workers),
+	reg := cfg.Engine.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	p := &Pool{
+		cfg:     cfg,
+		store:   vars.NewStore(),
+		cache:   core.NewGraphCacheCap(cfg.CacheCapacity),
+		idle:    make(chan *core.Engine, cfg.Workers),
+		obs:     reg,
+		metrics: newMetrics(reg),
+	}
+	// The pool registers the one shared cache on the one shared registry;
+	// workers see Config.Obs non-nil and skip their (per-engine) cache
+	// registration, keeping the pairing 1:1 (see core.RegisterCacheMetrics).
+	core.RegisterCacheMetrics(reg, p.cache)
+	reg.CounterFunc("janus_serve_sessions_total", helpSessions,
+		func() float64 { return float64(p.sessions.Load()) })
+	reg.GaugeFunc("janus_serve_queued", helpQueued,
+		func() float64 { return float64(p.queued.Load()) })
 	for i := 0; i < cfg.Workers; i++ {
 		ecfg := cfg.Engine
+		ecfg.Obs = reg
 		if ecfg.Seed != 0 {
 			// Distinct per-worker RNG streams; the parameter store is shared,
 			// so whichever worker initializes a variable fixes it for all.
@@ -175,6 +197,11 @@ func (p *Pool) Store() *vars.Store { return p.store }
 // Cache exposes the shared compiled-graph cache.
 func (p *Pool) Cache() *core.GraphCache { return p.cache }
 
+// Registry exposes the pool-wide metrics registry (the one every worker
+// engine and the serving layer write into); the HTTP layer serves it at
+// GET /metrics.
+func (p *Pool) Registry() *obs.Registry { return p.obs }
+
 // admitQueued reserves one wait-queue slot, failing fast with ErrOverloaded
 // when MaxQueue slots are taken. The caller holds the slot until it calls
 // release. Every waiting request — a worker-acquire, a session-lock wait, a
@@ -183,7 +210,7 @@ func (p *Pool) Cache() *core.GraphCache { return p.cache }
 func (p *Pool) admitQueued() (release func(), err error) {
 	if p.queued.Add(1) > int64(p.cfg.MaxQueue) {
 		p.queued.Add(-1)
-		p.rejected.Add(1)
+		p.metrics.rejected.Inc()
 		return nil, ErrOverloaded
 	}
 	return func() { p.queued.Add(-1) }, nil
@@ -199,6 +226,9 @@ func (p *Pool) admitQueued() (release func(), err error) {
 func admitWait[T any](p *Pool, ctx context.Context, ch <-chan T) (T, error) {
 	select {
 	case v := <-ch:
+		// Immediate claim: recorded as a zero wait so the histogram's
+		// count covers every acquisition, not just the contended ones.
+		p.metrics.acquireWait.Observe(0)
 		return v, nil
 	default:
 	}
@@ -211,13 +241,15 @@ func admitWait[T any](p *Pool, ctx context.Context, ch <-chan T) (T, error) {
 		return zero, err
 	}
 	defer release()
+	t0 := time.Now()
 	timer := time.NewTimer(p.cfg.AcquireTimeout)
 	defer timer.Stop()
 	select {
 	case v := <-ch:
+		p.metrics.acquireWait.Since(t0)
 		return v, nil
 	case <-timer.C:
-		p.timedOut.Add(1)
+		p.metrics.timedOut.Inc()
 		return zero, ErrAcquireTimeout
 	case <-ctx.Done():
 		return zero, core.CanceledErr(ctx)
@@ -241,16 +273,19 @@ func (p *Pool) acquire(ctx context.Context) (*core.Engine, error) {
 func (p *Pool) acquireWait() (*core.Engine, error) {
 	select {
 	case e := <-p.idle:
+		p.metrics.acquireWait.Observe(0)
 		return e, nil
 	default:
 	}
+	t0 := time.Now()
 	timer := time.NewTimer(p.cfg.AcquireTimeout)
 	defer timer.Stop()
 	select {
 	case e := <-p.idle:
+		p.metrics.acquireWait.Since(t0)
 		return e, nil
 	case <-timer.C:
-		p.timedOut.Add(1)
+		p.metrics.timedOut.Inc()
 		return nil, ErrAcquireTimeout
 	}
 }
@@ -333,7 +368,7 @@ func (p *Pool) Call(fn string, args []minipy.Value) (minipy.Value, error) {
 // CallCtx is Call under a context: cancellation interrupts both the wait for
 // a worker and the execution itself (checked between steps and statements).
 func (p *Pool) CallCtx(ctx context.Context, fn string, args []minipy.Value) (minipy.Value, error) {
-	p.requests.Add(1)
+	p.metrics.requests.Inc()
 	e, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
@@ -370,7 +405,7 @@ func (p *Pool) CallNamed(ctx context.Context, fn string, feeds map[string]*tenso
 	if _, ok := feeds[positionalFeed]; ok {
 		return nil, fmt.Errorf("serve: %s: feed name %q is reserved", fn, positionalFeed)
 	}
-	p.requests.Add(1)
+	p.metrics.requests.Inc()
 	return p.batcher.submit(ctx, fn, sortedFeeds(feeds))
 }
 
@@ -402,7 +437,7 @@ func (p *Pool) Infer(fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // InferCtx is Infer under a context.
 func (p *Pool) InferCtx(ctx context.Context, fn string, x *tensor.Tensor) (*tensor.Tensor, error) {
-	p.requests.Add(1)
+	p.metrics.requests.Inc()
 	outs, err := p.batcher.submit(ctx, fn, []feed{{name: positionalFeed, t: x}})
 	if err != nil {
 		return nil, err
@@ -442,7 +477,7 @@ func (p *Pool) Exec(src string) (string, error) {
 
 // ExecCtx is Exec under a context.
 func (p *Pool) ExecCtx(ctx context.Context, src string) (string, error) {
-	p.requests.Add(1)
+	p.metrics.requests.Inc()
 	e, err := p.acquire(ctx)
 	if err != nil {
 		return "", err
@@ -457,7 +492,7 @@ func (p *Pool) ExecCtx(ctx context.Context, src string) (string, error) {
 // run on any worker in parallel, leak nothing onto the worker, and clients
 // that want state across requests open a session.
 func (p *Pool) ExecEphemeral(ctx context.Context, src string) (string, error) {
-	p.requests.Add(1)
+	p.metrics.requests.Inc()
 	e, err := p.acquire(ctx)
 	if err != nil {
 		return "", err
@@ -468,22 +503,30 @@ func (p *Pool) ExecEphemeral(ctx context.Context, src string) (string, error) {
 	return execOn(ctx, e, src, env)
 }
 
-// Stats aggregates engine and serving counters.
+// Stats aggregates engine and serving counters. Every worker resolves its
+// instruments in the pool's shared registry, so worker 0's snapshot already
+// carries the pool-wide engine counters (the same series every worker
+// increments); only the strictly per-engine tensor pools are summed.
 func (p *Pool) Stats() Stats {
 	var s Stats
+	s.Stats = p.engines[0].Stats()
+	s.PoolGets, s.PoolHits, s.PoolPuts = 0, 0, 0
 	for _, e := range p.engines {
-		s.Stats.Add(e.Stats())
+		ps := e.TensorPoolStats()
+		s.PoolGets += ps.Gets
+		s.PoolHits += ps.Hits
+		s.PoolPuts += ps.Puts
 	}
 	s.Workers = len(p.engines)
 	s.Sessions = int(p.sessions.Load())
-	s.Requests = p.requests.Load()
-	s.Batches = p.batcher.batches.Load()
-	s.BatchedRequests = p.batcher.batched.Load()
+	s.Requests = p.metrics.requests.Value()
+	s.Batches = p.metrics.flushes()
+	s.BatchedRequests = p.metrics.batched.Value()
 	s.CachedFuncs = p.cache.Funcs()
 	s.CachedGraphs = p.cache.Entries()
 	s.CacheEvictions = p.cache.Evictions()
-	s.Rejected = p.rejected.Load()
-	s.TimedOut = p.timedOut.Load()
+	s.Rejected = p.metrics.rejected.Value()
+	s.TimedOut = p.metrics.timedOut.Value()
 	s.Queued = p.queued.Load()
 	return s
 }
@@ -542,7 +585,7 @@ func (s *Session) Call(fn string, args []minipy.Value) (minipy.Value, error) {
 // CallCtx is Call under a context.
 func (s *Session) CallCtx(ctx context.Context, fn string, args []minipy.Value) (minipy.Value, error) {
 	s.requests.Add(1)
-	s.pool.requests.Add(1)
+	s.pool.metrics.requests.Inc()
 	if err := s.lock(ctx); err != nil {
 		return nil, err
 	}
@@ -587,7 +630,7 @@ func (s *Session) Exec(src string) (string, error) {
 // ExecCtx is Exec under a context.
 func (s *Session) ExecCtx(ctx context.Context, src string) (string, error) {
 	s.requests.Add(1)
-	s.pool.requests.Add(1)
+	s.pool.metrics.requests.Inc()
 	if err := s.lock(ctx); err != nil {
 		return "", err
 	}

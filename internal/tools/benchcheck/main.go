@@ -10,13 +10,20 @@
 // hit rate / failure fraction (serve). Throughput and latency are recorded
 // in the uploaded artifacts but never gated — shared CI runners make them
 // too noisy to fail a build on.
+//
+// With -metrics FILE the gate additionally parses FILE as a Prometheus
+// text exposition (a CI scrape of a live janusd /metrics) and fails unless
+// every series family named in thresholds metrics.require is present —
+// catching instrumentation that silently stopped registering.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // thresholds mirrors bench-thresholds.json.
@@ -32,6 +39,12 @@ type thresholds struct {
 		// MaxFailedFrac bounds failed/total requests from above.
 		MaxFailedFrac float64 `json:"max_failed_frac"`
 	} `json:"serve"`
+	Metrics struct {
+		// Require lists metric family names that must appear in the
+		// -metrics exposition scrape (histogram families match their
+		// _bucket/_sum/_count series).
+		Require []string `json:"require"`
+	} `json:"metrics"`
 	Kernels struct {
 		// MaxAllocsPerOp bounds steady-state allocations per graph op in the
 		// plan-driven elementwise replay (~0 when buffer reuse works; a
@@ -72,8 +85,9 @@ type report struct {
 
 func main() {
 	thresholdsPath := flag.String("thresholds", "bench-thresholds.json", "committed thresholds file")
+	metricsPath := flag.String("metrics", "", "Prometheus text scrape to check for required series families")
 	flag.Parse()
-	if flag.NArg() == 0 {
+	if flag.NArg() == 0 && *metricsPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark reports given")
 		os.Exit(2)
 	}
@@ -83,6 +97,9 @@ func main() {
 		os.Exit(2)
 	}
 	failures := 0
+	if *metricsPath != "" {
+		failures += checkMetrics(*metricsPath, th)
+	}
 	for _, path := range flag.Args() {
 		var r report
 		if err := readJSON(path, &r); err != nil {
@@ -188,6 +205,55 @@ func checkKernels(path string, r report, th thresholds) int {
 			bad++
 		} else {
 			fmt.Printf("benchcheck: %s: plan-on final loss %.4f <= %.4f ok\n", path, got, maxL)
+		}
+	}
+	return bad
+}
+
+// checkMetrics parses a Prometheus text exposition and verifies every
+// required metric family has at least one sample line. Histogram families
+// are matched through their _bucket/_sum/_count series.
+func checkMetrics(path string, th thresholds) int {
+	if len(th.Metrics.Require) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: -metrics given but thresholds list no metrics.require\n", path)
+		return 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	families := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample line is `name{labels} value` or `name value`.
+		end := strings.IndexAny(line, "{ ")
+		if end < 0 {
+			continue
+		}
+		name := line[:end]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		families[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		return 1
+	}
+	bad := 0
+	for _, want := range th.Metrics.Require {
+		if families[want] {
+			fmt.Printf("benchcheck: %s: series family %s present ok\n", path, want)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: required series family %s missing from exposition\n", path, want)
+			bad++
 		}
 	}
 	return bad

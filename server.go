@@ -2,6 +2,7 @@ package janus
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"time"
 
@@ -107,6 +108,15 @@ func (s *Server) NewSession() *Session { return &Session{sess: s.srv.Pool().NewS
 // Handler returns the HTTP+JSON front end (the transport cmd/janusd
 // listens on).
 func (s *Server) Handler() http.Handler { return s.srv.Handler() }
+
+// MetricsHandler returns just the Prometheus text exposition of the pool's
+// registry (also mounted at GET /metrics on Handler), for embedders that
+// serve metrics on a separate mux or port.
+func (s *Server) MetricsHandler() http.Handler { return s.srv.Pool().Registry().Handler() }
+
+// WriteMetrics renders the pool registry's current state in the Prometheus
+// text format (cmd/janusd uses it for the final flush on shutdown).
+func (s *Server) WriteMetrics(w io.Writer) error { return s.srv.Pool().Registry().WriteText(w) }
 
 // Stats aggregates engine counters across workers plus serving counters.
 func (s *Server) Stats() ServerStats {
