@@ -181,7 +181,7 @@ func (c *Cluster) Func(name string) (*Function, error) { return c.Program().Func
 func (c *Cluster) Parameters() (map[string]*tensor.Tensor, error) {
 	out := make(map[string]*tensor.Tensor)
 	for s := 0; s < c.shards; s++ {
-		params, _, _, err := c.trans.Pull(s, -1)
+		params, _, _, err := c.trans.Pull(context.Background(), s, -1)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +194,7 @@ func (c *Cluster) Parameters() (map[string]*tensor.Tensor, error) {
 
 // Parameter returns one named server-side trained parameter.
 func (c *Cluster) Parameter(name string) (*tensor.Tensor, error) {
-	params, _, _, err := c.trans.Pull(vars.ShardOf(name, c.shards), -1)
+	params, _, _, err := c.trans.Pull(context.Background(), vars.ShardOf(name, c.shards), -1)
 	if err != nil {
 		return nil, err
 	}
@@ -326,7 +326,7 @@ func (b clusterBackend) call(ctx context.Context, name string, feeds Feeds) (Out
 				results[i] = result{loss: last, err: err}
 				return
 			}
-			loss, _, err := w.Do(body)
+			loss, _, err := w.DoCtx(ctx, body)
 			results[i] = result{loss: loss, err: err}
 		}(i, w)
 	}

@@ -42,8 +42,12 @@ func main() {
 	kernelsMode := flag.Bool("kernels", false,
 		"kernel/memory-plan microbenchmarks: blocked matmul, plan-on/off LeNet replay, allocs/op")
 	traceMode := flag.Bool("trace", false,
-		"trace mode: run real fn.Call requests through an in-process janusd and print the /v1/trace per-phase breakdown")
+		"trace mode: run real fn.Call requests through an in-process janusd and print the /v1/trace span trees")
 	traceCalls := flag.Int("trace-calls", 4, "requests to trace in -trace mode")
+	profileMode := flag.Bool("profile", false,
+		"profile mode: drive an in-process janusd and print the /v1/profile per-op cost view of the compiled graph")
+	profileCalls := flag.Int("profile-calls", 8, "requests to drive in -profile mode")
+	profileTop := flag.Int("profile-top", 12, "top-K nodes by estimated time in -profile mode")
 	distMode := flag.Bool("dist", false, "distributed mode: real data-parallel scaling on the internal/ps runtime")
 	workers := flag.Int("workers", 4, "max worker replicas in -dist mode (measured at 1, 2, 4, ... up to this)")
 	shards := flag.Int("shards", 4, "parameter-server shards in -dist mode")
@@ -62,6 +66,11 @@ func main() {
 	if *traceMode {
 		fmt.Printf("========== Request-phase trace (/v1/trace on an in-process janusd) ==========\n")
 		traceBench(*traceCalls)
+		return
+	}
+	if *profileMode {
+		fmt.Printf("========== Always-on op profiler (/v1/profile on an in-process janusd) ==========\n")
+		profileBench(*profileCalls, *profileTop)
 		return
 	}
 	if *kernelsMode {

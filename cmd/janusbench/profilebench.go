@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+
+	janus "repro"
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// profileBench exercises the always-on executor profiler end to end: it
+// boots an in-process janusd, drives enough fn.Call requests through the
+// speculative path to compile and replay a graph, then renders GET
+// /v1/profile?fn= as a top-K per-op cost view (EstNS, exact call counts,
+// pool rents, in-place hits) plus the memory-plan class residency.
+func profileBench(calls, topK int) {
+	if calls < 2 {
+		calls = 2 // one profiling pass + at least one graph replay
+	}
+	srv := janus.NewServer(janus.ServerOptions{
+		PoolSize: 2,
+		Options:  janus.Options{Seed: 42, ProfileIterations: 1},
+	})
+	if _, err := srv.Compile(serveModel); err != nil {
+		fmt.Fprintf(os.Stderr, "profile bench: compile: %v\n", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	row := make([]float64, 16)
+	for i := range row {
+		row[i] = float64(i) * 0.1
+	}
+	body, _ := json.Marshal(map[string]any{
+		"fn": "predict", "args": []any{[][]float64{row}},
+	})
+	for i := 0; i < calls; i++ {
+		resp, err := http.Post(ts.URL+"/v1/call", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile bench: call: %v\n", err)
+			os.Exit(1)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "profile bench: call -> %d\n", resp.StatusCode)
+			os.Exit(1)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/profile?fn=predict")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "profile bench: /v1/profile: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	var prof core.FuncProfile
+	if err := json.NewDecoder(resp.Body).Decode(&prof); err != nil {
+		fmt.Fprintf(os.Stderr, "profile bench: decode: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("function %q: %d compiled graph(s) after %d calls\n", prof.Function, len(prof.Graphs), calls)
+	for _, g := range prof.Graphs {
+		fmt.Printf("\n--- %s graph (static=%v, %d runs, %d nodes) ---\n",
+			g.Path, g.Static, g.Profile.Runs, len(g.Profile.Nodes))
+		nodes := append([]exec.NodeProfile(nil), g.Profile.Nodes...)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].EstNS > nodes[j].EstNS })
+		var totalNS int64
+		for _, n := range nodes {
+			totalNS += n.EstNS
+		}
+		if len(nodes) > topK {
+			nodes = nodes[:topK]
+		}
+		fmt.Printf("%4s %-14s %10s %12s %7s %7s %8s  %s\n",
+			"node", "op", "calls", "est total", "samples", "rents", "in-place", "share")
+		for _, n := range nodes {
+			share := 0.0
+			if totalNS > 0 {
+				share = float64(n.EstNS) / float64(totalNS)
+			}
+			fmt.Printf("%4d %-14s %10d %10.1fus %7d %7d %8d  %s %.1f%%\n",
+				n.Node, n.Op, n.Calls, float64(n.EstNS)/1e3,
+				n.Samples, n.Rents, n.InPlace, bar(share, 24), 100*share)
+		}
+		if len(g.Profile.Classes) > 0 {
+			var resident, pinned int64
+			for _, c := range g.Profile.Classes {
+				if c.Releasable {
+					resident += c.Elems
+				} else {
+					pinned += c.Elems
+				}
+			}
+			fmt.Printf("memory plan: %d alias classes, %d pooled elems resident, %d pinned\n",
+				len(g.Profile.Classes), resident, pinned)
+		}
+	}
+}
+
+// bar renders share (0..1) as a fixed-width text bar — the flame-style
+// at-a-glance view for terminals.
+func bar(share float64, width int) string {
+	n := int(share*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	out := make([]byte, width)
+	for i := range out {
+		if i < n {
+			out[i] = '#'
+		} else {
+			out[i] = '.'
+		}
+	}
+	return string(out)
+}

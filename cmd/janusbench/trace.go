@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 
 	janus "repro"
 	"repro/internal/obs"
@@ -68,7 +69,7 @@ func traceBench(calls int) {
 		os.Exit(1)
 	}
 
-	fmt.Printf("%d traced fn.Call requests (newest first, spans in request order):\n", len(out.Traces))
+	fmt.Printf("%d traced fn.Call requests (newest first, spans as a tree):\n", len(out.Traces))
 	for _, tr := range out.Traces {
 		fmt.Printf("\n%s  total %.1fus", tr.ID, tr.TotalUS)
 		if len(tr.Annotations) > 0 {
@@ -82,9 +83,41 @@ func traceBench(calls int) {
 			}
 		}
 		fmt.Println()
-		for _, sp := range tr.Spans {
-			fmt.Printf("  %-14s +%9.1fus  %9.1fus  (%4.1f%%)\n",
-				sp.Name, sp.StartUS, sp.DurUS, 100*sp.DurUS/tr.TotalUS)
+		printSpanTree(tr.Spans, tr.TotalUS)
+	}
+}
+
+// printSpanTree renders a trace's spans as an indented tree: children
+// under their parents, siblings in start order. Orphans (a parent span
+// that never closed, or a grafted subtree whose anchor is missing) are
+// promoted to roots rather than dropped.
+func printSpanTree(spans []obs.SpanSnapshot, totalUS float64) {
+	present := make(map[obs.SpanID]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.ID] = true
+	}
+	children := make(map[obs.SpanID][]obs.SpanSnapshot)
+	for _, sp := range spans {
+		parent := sp.Parent
+		if parent != 0 && !present[parent] {
+			parent = 0
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	var walk func(parent obs.SpanID, depth int)
+	walk = func(parent obs.SpanID, depth int) {
+		kids := children[parent]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].StartUS < kids[j].StartUS })
+		for _, sp := range kids {
+			name := strings.Repeat("  ", depth) + sp.Name
+			pct := 0.0
+			if totalUS > 0 {
+				pct = 100 * sp.DurUS / totalUS
+			}
+			fmt.Printf("  %-24s +%9.1fus  %9.1fus  (%4.1f%%)\n",
+				name, sp.StartUS, sp.DurUS, pct)
+			walk(sp.ID, depth+1)
 		}
 	}
+	walk(0, 0)
 }

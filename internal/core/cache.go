@@ -79,6 +79,14 @@ func (c *GraphCache) state(k cacheKey) *funcState {
 	return fs
 }
 
+// peek returns the per-function bookkeeping without creating it (nil
+// when the function has never been stepped or called).
+func (c *GraphCache) peek(k cacheKey) *funcState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.funcs[k]
+}
+
 // states snapshots the per-function list so callers can visit funcState
 // locks without holding the cache lock.
 func (c *GraphCache) states() []*funcState {

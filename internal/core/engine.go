@@ -186,6 +186,10 @@ type funcState struct {
 	sigIndex map[uint64]*compiled
 	// distrust records AST nodes whose speculative assumptions failed.
 	distrust map[int]bool
+	// deopts aggregates assumption failures into structured events for
+	// Engine.Explain, keyed by kind+AST+description (stable across
+	// regeneration, unlike node IDs).
+	deopts map[string]*DeoptEvent
 	// imperativeOnly marks functions with no graph representation (Fig. 2,
 	// path C).
 	imperativeOnly bool
@@ -442,7 +446,7 @@ func (e *Engine) optimizeStep(fn *minipy.FuncVal) (minipy.Value, error) {
 // imperativeStep runs fn on the interpreter under a fresh gradient tape and
 // applies the optimizer. prof, when non-nil, observes the execution.
 func (e *Engine) imperativeStep(fn *minipy.FuncVal, prof *profile.Profile) (minipy.Value, error) {
-	sp := obs.TraceFrom(e.runCtx).StartSpan("imperative")
+	sp := obs.StartSpan(e.runCtx, "imperative")
 	t0 := time.Now()
 	v, err := e.runImperativeStep(fn, prof)
 	e.stats.phaseImperative.Since(t0)
@@ -558,6 +562,7 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 	if handled {
 		return loss, err
 	}
+	t0 := time.Now()
 	loss, err = e.execute(entry, leaves)
 	if err == nil {
 		e.stats.graphSteps.Add(1)
@@ -571,12 +576,15 @@ func (e *Engine) janusStep(fn *minipy.FuncVal) (minipy.Value, error) {
 		// The fallback boundary is also a cancellation point: a canceled
 		// caller gets ErrCanceled here instead of paying for the imperative
 		// re-run.
+		wasted := time.Since(t0)
 		e.stats.assertFailures.Add(1)
 		e.stats.fallbacks.Add(1)
-		obs.TraceFrom(e.runCtx).Annotate("path", "fallback")
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
-		e.noteFailure(fs, entry, ae)
+		ev := e.noteFailure(fs, entry, ae, wasted)
+		tr := obs.TraceFrom(e.runCtx)
+		tr.Annotate("path", "fallback")
+		tr.Annotate("deopt", ev.Label())
 		if cerr := e.interrupted(); cerr != nil {
 			return nil, cerr
 		}
@@ -640,7 +648,7 @@ func dropFromSigIndex(fs *funcState, c *compiled) {
 // generate runs the Speculative Graph Generator (Figure 2, B) and caches the
 // result.
 func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLeaves int) (*compiled, error) {
-	csp := obs.TraceFrom(e.runCtx).StartSpan("convert")
+	csp := obs.StartSpan(e.runCtx, "convert")
 	t0 := time.Now()
 	res, err := convert.ConvertCall(fn, nil, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
@@ -652,7 +660,7 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 	if err != nil {
 		return nil, err
 	}
-	ksp := obs.TraceFrom(e.runCtx).StartSpan("compile")
+	ksp := obs.StartSpan(e.runCtx, "compile")
 	t1 := time.Now()
 	if e.gradSink != nil {
 		// Gradient streaming needs the trace tape: skip the static
@@ -678,10 +686,18 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 // execute runs a compiled graph with the given feed leaves (Figure 2, D),
 // timing the execute phase. The wrapper adds two clock reads and one
 // histogram observation per graph run — nothing on the per-op replay path.
+// Under an active trace the execute span's ID is pushed onto the run
+// context so downstream spans (plan builds, parameter-server pushes) nest
+// under it; without a trace the whole exchange is a nil check.
 func (e *Engine) execute(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
-	sp := obs.TraceFrom(e.runCtx).StartSpan("execute")
+	sp := obs.StartSpan(e.runCtx, "execute")
 	t0 := time.Now()
+	restore := func() {}
+	if sp.ID() != 0 {
+		restore = e.withCtx(obs.ContextWithSpan(e.runCtx, sp.ID()))
+	}
 	v, err := e.executeGraph(c, leaves)
+	restore()
 	e.stats.phaseExecute.Since(t0)
 	sp.End()
 	return v, err
@@ -743,9 +759,11 @@ func (e *Engine) executeGraph(c *compiled, leaves []minipy.Value) (minipy.Value,
 }
 
 // noteFailure reacts to a failed runtime assertion: the offending graph is
-// evicted, the assumption's AST node is distrusted, and the profiler gets a
-// fresh observation window before regeneration.
-func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
+// evicted, the assumption's AST node is distrusted, the failure is folded
+// into the function's deopt ledger (with the abandoned execution time it
+// cost), and the profiler gets a fresh observation window before
+// regeneration. Returns the aggregated deopt event for trace annotation.
+func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError, wasted time.Duration) *DeoptEvent {
 	for i, entry := range fs.entries {
 		if entry == c {
 			fs.entries = append(fs.entries[:i], fs.entries[i+1:]...)
@@ -762,6 +780,7 @@ func (e *Engine) noteFailure(fs *funcState, c *compiled, ae *exec.AssertError) {
 		}
 	}
 	fs.reprofileUntil = fs.prof.Iterations() + e.cfg.ProfileIters
+	return e.recordDeopt(fs, c, ae, wasted)
 }
 
 // traceStep implements the defun baseline: one imperative run records a

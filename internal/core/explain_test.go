@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/minipy"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// TestExplainNamesFailedAssumption drives the branch-speculation fallback
+// through Engine.Call and checks the explainability surface end to end:
+// the deopt ledger names the exact assumption that failed (kind + AST
+// anchor + expected vs observed), the request trace is annotated with the
+// same identity instead of a bare "fallback", and the distrust set picks
+// up the AST node.
+func TestExplainNamesFailedAssumption(t *testing.T) {
+	src := `
+class Net:
+    def __init__(self):
+        self.training = True
+
+net = Net()
+
+def loss(x):
+    w = variable("w", [2, 1])
+    h = matmul(x, w)
+    if net.training:
+        h = h * 2.0
+    else:
+        h = h * 0.5
+    return reduce_mean(h ** 2.0)
+`
+	cfg := DefaultJanusConfig()
+	cfg.ProfileIters = 2
+	cfg.Seed = 11
+	e := NewEngine(cfg)
+	if err := e.Run(src); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	x := tensor.New([]int{1, 2}, []float64{1, 2})
+	call := func(ctx context.Context) error {
+		_, err := e.CallCtx(ctx, "loss", []minipy.Value{minipy.NewTensor(x)})
+		return err
+	}
+	// Profile, compile, replay: the branch is stable, so the converter
+	// speculates on its direction.
+	for i := 0; i < 5; i++ {
+		if err := call(context.Background()); err != nil {
+			t.Fatalf("warm call %d: %v", i, err)
+		}
+	}
+	if e.Stats().GraphSteps == 0 {
+		t.Fatalf("function never reached graph replay: %+v", e.Stats())
+	}
+	before, err := e.Explain("loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range before.States {
+		if len(st.Deopts) != 0 {
+			t.Fatalf("deopts before any failure: %+v", st)
+		}
+	}
+
+	// Engine.Profile exposes the compiled graph's always-on profile while
+	// the entry is live (a later deopt drops the entry for regeneration).
+	prof, err := e.Profile("loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	for _, g := range prof.Graphs {
+		if g.Path == "infer" && g.Profile.Runs > 0 && len(g.Profile.Nodes) > 0 {
+			ran = true
+		}
+	}
+	if !ran {
+		t.Fatalf("no infer graph with recorded runs: %+v", prof.Graphs)
+	}
+
+	// Flip the branch: the next call must abort the speculative graph,
+	// fall back imperatively, and still succeed.
+	if err := e.Run("net.training = False"); err != nil {
+		t.Fatalf("flip: %v", err)
+	}
+	tr := obs.NewTrace("req-deopt")
+	if err := call(obs.ContextWithTrace(context.Background(), tr)); err != nil {
+		t.Fatalf("post-flip call: %v", err)
+	}
+	tr.Finish()
+
+	rep, err := e.Explain("loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infer *ExplainState
+	for i := range rep.States {
+		if rep.States[i].Path == "infer" {
+			infer = &rep.States[i]
+		}
+	}
+	if infer == nil {
+		t.Fatalf("no infer state in %+v", rep)
+	}
+	if infer.ImperativeOnly {
+		t.Fatalf("function pinned imperative: %q", infer.ImperativeReason)
+	}
+	if len(infer.Deopts) != 1 {
+		t.Fatalf("deopts = %+v, want exactly one", infer.Deopts)
+	}
+	d := infer.Deopts[0]
+	// The converter speculated on the branch's controlling attribute value
+	// ("attr training assumed constant"), an "eq" value-specialization.
+	if d.Kind != "eq" {
+		t.Errorf("deopt kind = %q, want \"eq\" (the speculated attribute value)", d.Kind)
+	}
+	if d.AST < 0 {
+		t.Errorf("deopt lost its AST anchor: %+v", d)
+	}
+	if d.Desc == "" || d.Expected != "true" {
+		t.Errorf("deopt identity incomplete: %+v", d)
+	}
+	if d.LastActual != "false" {
+		t.Errorf("deopt LastActual = %q, want \"false\"", d.LastActual)
+	}
+	if d.Count != 1 || d.WastedNS <= 0 {
+		t.Errorf("deopt cost accounting: count=%d wasted=%dns", d.Count, d.WastedNS)
+	}
+	// The failed assumption's AST node is now distrusted.
+	distrusted := false
+	for _, ast := range infer.DistrustedAST {
+		if ast == d.AST {
+			distrusted = true
+		}
+	}
+	if !distrusted {
+		t.Errorf("AST %d not in distrust set %v", d.AST, infer.DistrustedAST)
+	}
+
+	// Satellite: the request trace names the failing assumption, not just
+	// "fallback".
+	snap := tr.Snapshot()
+	if snap.Annotations["path"] != "fallback" {
+		t.Errorf("trace path = %q", snap.Annotations["path"])
+	}
+	if got := snap.Annotations["deopt"]; got != d.Label() || !strings.Contains(got, "@ast") {
+		t.Errorf("trace deopt annotation = %q, want %q", got, d.Label())
+	}
+
+	// Unknown functions surface the sentinel, not a panic or empty report.
+	if _, err := e.Explain("nope"); err == nil {
+		t.Fatal("Explain(unknown) succeeded")
+	}
+	if _, err := e.Profile("nope"); err == nil {
+		t.Fatal("Profile(unknown) succeeded")
+	}
+}

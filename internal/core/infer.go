@@ -110,7 +110,7 @@ func (e *Engine) CallFuncCtx(ctx context.Context, fn *minipy.FuncVal, args []min
 // observes the execution for the speculative converter; callers must hold
 // the funcState lock in that case.
 func (e *Engine) imperativeCall(fn *minipy.FuncVal, args []minipy.Value, prof *profile.Profile) (minipy.Value, error) {
-	sp := obs.TraceFrom(e.runCtx).StartSpan("imperative")
+	sp := obs.StartSpan(e.runCtx, "imperative")
 	t0 := time.Now()
 	v, err := e.runImperativeCall(fn, args, prof)
 	e.stats.phaseImperative.Since(t0)
@@ -200,6 +200,7 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 	if handled {
 		return out, err
 	}
+	t0 := time.Now()
 	out, err = e.executeInfer(entry, leaves)
 	if err == nil {
 		e.stats.graphSteps.Add(1)
@@ -208,12 +209,15 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 	}
 	var ae *exec.AssertError
 	if errors.As(err, &ae) {
+		wasted := time.Since(t0)
 		e.stats.assertFailures.Add(1)
 		e.stats.fallbacks.Add(1)
-		obs.TraceFrom(e.runCtx).Annotate("path", "fallback")
 		fs.mu.Lock()
 		defer fs.mu.Unlock()
-		e.noteFailure(fs, entry, ae)
+		ev := e.noteFailure(fs, entry, ae, wasted)
+		tr := obs.TraceFrom(e.runCtx)
+		tr.Annotate("path", "fallback")
+		tr.Annotate("deopt", ev.Label())
 		// Fallback boundary = cancellation point (see janusStep).
 		if cerr := e.interrupted(); cerr != nil {
 			return nil, cerr
@@ -225,7 +229,7 @@ func (e *Engine) inferStep(fn *minipy.FuncVal, args []minipy.Value) (minipy.Valu
 
 // generateInfer converts fn(args...) to a forward-only graph and caches it.
 func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.Value, sig []string, numLeaves int) (*compiled, error) {
-	csp := obs.TraceFrom(e.runCtx).StartSpan("convert")
+	csp := obs.StartSpan(e.runCtx, "convert")
 	t0 := time.Now()
 	res, err := convert.ConvertCall(fn, args, fs.prof, e.Local.Builtins, convert.Options{
 		Unroll:     e.cfg.Unroll,
@@ -237,7 +241,7 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 	if err != nil {
 		return nil, err
 	}
-	ksp := obs.TraceFrom(e.runCtx).StartSpan("compile")
+	ksp := obs.StartSpan(e.runCtx, "compile")
 	t1 := time.Now()
 	rep := res.OptimizePasses(e.cfg.Specialize)
 	e.stats.phaseCompile.Since(t1)
@@ -253,9 +257,14 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 // executeInfer runs a forward graph and converts its outputs back to minipy
 // values (a single output unwraps; multiple become a tuple).
 func (e *Engine) executeInfer(c *compiled, leaves []minipy.Value) (minipy.Value, error) {
-	sp := obs.TraceFrom(e.runCtx).StartSpan("execute")
+	sp := obs.StartSpan(e.runCtx, "execute")
 	t0 := time.Now()
+	restore := func() {}
+	if sp.ID() != 0 {
+		restore = e.withCtx(obs.ContextWithSpan(e.runCtx, sp.ID()))
+	}
 	v, err := e.runInferGraph(c, leaves)
+	restore()
 	e.stats.phaseExecute.Since(t0)
 	sp.End()
 	return v, err

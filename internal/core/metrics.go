@@ -23,7 +23,14 @@ const (
 	helpCacheFuncs  = "Functions with compiled-graph cache state."
 	helpCacheGraphs = "Compiled graphs currently cached."
 	helpCacheEvict  = "Compiled graphs evicted by cache capacity enforcement."
+	helpDeopt       = "Graph executions aborted by a failed speculative assumption, by assumption kind."
+	helpDeoptWasted = "Abandoned execution time per assumption-failure fallback (the aborted graph run is re-run imperatively)."
 )
+
+// deoptKinds are the converter's assumption classes, registered eagerly
+// so the janus_deopt_total family is present in an exposition even
+// before any assumption fails.
+var deoptKinds = []string{"true", "false", "eq", "eq-int", "shape"}
 
 // counters is the live, race-safe instrument set behind Stats snapshots,
 // refitted as handles into an obs.Registry: every count recorded here is
@@ -49,6 +56,7 @@ type counters struct {
 	phaseCompile    *obs.Histogram
 	phaseExecute    *obs.Histogram
 	phaseImperative *obs.Histogram
+	deoptWasted     *obs.Histogram
 
 	// exec carries the executor's sampled kernel timers and pool/in-place
 	// counters into graph runs (exec.Options.Metrics).
@@ -58,6 +66,9 @@ type counters struct {
 // newCounters resolves every engine instrument in reg once, so the hot
 // path only ever touches pre-resolved pointers.
 func newCounters(reg *obs.Registry) *counters {
+	for _, kind := range deoptKinds {
+		reg.Counter("janus_deopt_total", helpDeopt, "kind", kind)
+	}
 	return &counters{
 		reg:             reg,
 		imperativeSteps: reg.Counter("janus_engine_steps_total", helpSteps, "path", "imperative"),
@@ -73,6 +84,7 @@ func newCounters(reg *obs.Registry) *counters {
 		phaseCompile:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "compile"),
 		phaseExecute:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "execute"),
 		phaseImperative: reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "imperative"),
+		deoptWasted:     reg.Histogram("janus_deopt_wasted_seconds", helpDeoptWasted, obs.DefBuckets),
 		exec:            exec.NewMetrics(reg),
 	}
 }

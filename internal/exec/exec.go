@@ -281,6 +281,9 @@ type plan struct {
 	phName    []string
 	varName   []string
 	mem       *graph.MemoryPlan
+	// prof is the graph's always-on op profile; its flat arrays parallel
+	// the plan's, so the schedulers accumulate without map lookups.
+	prof *GraphProfile
 }
 
 // buildPlan analyzes a graph once; subsequent executions reuse the result.
@@ -374,6 +377,7 @@ func buildPlan(g *graph.Graph, m *Metrics) (*plan, error) {
 	t0 := time.Now()
 	p.mem = graph.BuildMemoryPlan(g)
 	m.observeMemPlan(time.Since(t0))
+	p.prof = newGraphProfile(g, p.mem)
 	return p, nil
 }
 
@@ -394,7 +398,7 @@ func planFor(g *graph.Graph, c *ctx) (*plan, error) {
 	if c != nil {
 		m, tctx = c.opts.Metrics, c.opts.Ctx
 	}
-	sp := obs.TraceFrom(tctx).StartSpan("plan_build")
+	sp := obs.StartSpan(tctx, "plan_build")
 	t0 := time.Now()
 	p, err := buildPlan(g, m)
 	if err != nil {
@@ -484,6 +488,7 @@ type memState struct {
 	mem     *graph.MemoryPlan
 	pool    *tensor.Pool
 	metrics *Metrics
+	prof    *GraphProfile
 	refs    []int32
 	moved   []bool
 	bufs    []*tensor.Tensor
@@ -496,7 +501,7 @@ func initMemState(p *plan, c *ctx, ga *graphArena) *memState {
 		return nil
 	}
 	nc := p.mem.NumClasses
-	ms := &memState{mem: p.mem, pool: c.opts.Pool, metrics: c.opts.Metrics}
+	ms := &memState{mem: p.mem, pool: c.opts.Pool, metrics: c.opts.Metrics, prof: p.prof}
 	if ga != nil {
 		if cap(ga.refs) < nc {
 			ga.refs = make([]int32, nc)
@@ -530,6 +535,7 @@ func (ms *memState) adopt(i int32, out0 graph.Val) {
 	}
 	if t, ok := out0.(*tensor.Tensor); ok {
 		ms.bufs[cls] = t
+		ms.prof.noteAdopt(cls, t)
 	}
 }
 
@@ -568,6 +574,7 @@ type nodeAlloc struct {
 	record     bool // pool-allocate & track the output
 	inPlace    *tensor.Tensor
 	inPlaceCls int32
+	node       int32 // profiled node index (per-node rent/in-place counts)
 }
 
 func (a *nodeAlloc) Get(shape ...int) *tensor.Tensor {
@@ -578,6 +585,7 @@ func (a *nodeAlloc) Get(shape ...int) *tensor.Tensor {
 			a.ms.moved[a.inPlaceCls] = true
 			a.inPlace = nil
 			a.ms.metrics.incInPlace()
+			a.ms.prof.noteInPlace(a.node)
 			return t
 		}
 		if !a.record {
@@ -586,6 +594,7 @@ func (a *nodeAlloc) Get(shape ...int) *tensor.Tensor {
 			return tensor.Zeros(shape...)
 		}
 	}
+	a.ms.prof.noteRent(a.node)
 	return a.pool.Get(shape...)
 }
 
@@ -607,6 +616,7 @@ func (a *nodeAlloc) prep(ms *memState, i int32, in []graph.Val) {
 	a.pool = ms.pool
 	a.first = true
 	a.inPlace = nil
+	a.node = i
 	mem := ms.mem
 	outCls := mem.OutClass[i][0]
 	a.record = mem.PoolRecord[i][0] && mem.Releasable[outCls]
@@ -713,6 +723,8 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *
 	}
 	ms := initMemState(p, c, ga)
 	var na nodeAlloc
+	prof := p.prof
+	tick := prof.beginRun()
 	for _, i := range p.topo {
 		if err := c.canceled(); err != nil {
 			return nil, err
@@ -738,13 +750,20 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *
 			for o := 0; o < ports; o++ {
 				vals[base+int32(o)] = dead
 			}
+			prof.skip(i)
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsSkipped.Add(1)
 			}
 		case ms != nil && p.kind[i] != kindGeneric:
-			kt := c.opts.Metrics.sampleKernel()
+			timed := i&profileStrideMask == tick
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			v, err := execFast(p, g, i, nd, in, feeds, c, ms, &na)
-			kt.observe(c.opts.Metrics, nd.Op)
+			if timed {
+				prof.record(i, time.Since(t0), c.opts.Metrics, nd.Op)
+			}
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
@@ -757,9 +776,15 @@ func runSerial(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga *
 			}
 			ms.adopt(i, v)
 		default:
-			kt := c.opts.Metrics.sampleKernel()
+			timed := i&profileStrideMask == tick
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
 			out, err := safeExecNode(g, nd, in, feeds, c)
-			kt.observe(c.opts.Metrics, nd.Op)
+			if timed {
+				prof.record(i, time.Since(t0), c.opts.Metrics, nd.Op)
+			}
 			if c.opts.Stats != nil {
 				c.opts.Stats.OpsExecuted.Add(1)
 			}
@@ -809,6 +834,8 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 		vals = make([]graph.Val, numPorts)
 	}
 	ms := initMemState(p, c, ga)
+	prof := p.prof
+	tick := prof.beginRun()
 	var valsMu sync.Mutex
 
 	ready := make(chan int32, n)
@@ -874,6 +901,7 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 						// Dead-token propagation: skip execution entirely.
 						single = true
 						out0 = dead
+						prof.skip(i)
 						if c.opts.Stats != nil {
 							c.opts.Stats.OpsSkipped.Add(1)
 						}
@@ -881,9 +909,15 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, 1)
 						}
-						kt := c.opts.Metrics.sampleKernel()
+						timed := i&profileStrideMask == tick
+						var t0 time.Time
+						if timed {
+							t0 = time.Now()
+						}
 						out0, err = execFast(p, g, i, nd, in, feeds, c, ms, &na)
-						kt.observe(c.opts.Metrics, nd.Op)
+						if timed {
+							prof.record(i, time.Since(t0), c.opts.Metrics, nd.Op)
+						}
 						single = true
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, -1)
@@ -893,9 +927,15 @@ func runParallel(g *graph.Graph, p *plan, feeds map[string]graph.Val, c *ctx, ga
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, 1)
 						}
-						kt := c.opts.Metrics.sampleKernel()
+						timed := i&profileStrideMask == tick
+						var t0 time.Time
+						if timed {
+							t0 = time.Now()
+						}
 						out, err = safeExecNode(g, nd, in, feeds, c)
-						kt.observe(c.opts.Metrics, nd.Op)
+						if timed {
+							prof.record(i, time.Since(t0), c.opts.Metrics, nd.Op)
+						}
 						if c.opts.Stats != nil {
 							trackParallel(c.opts.Stats, -1)
 							c.opts.Stats.OpsExecuted.Add(1)

@@ -8,17 +8,6 @@ import (
 	"repro/internal/obs"
 )
 
-// KernelBuckets spans 100ns..~1.6s: wide enough for a fused elementwise
-// kernel and a cold convolution in one schema.
-var KernelBuckets = obs.ExpBuckets(1e-7, 2, 24)
-
-// kernelSampleMask samples 1 in 64 node executions for kernel timing. At
-// that rate the two clock reads and the histogram observe amortize to
-// well under a nanosecond per op, so the replay path's throughput (and
-// its zero-allocation property — everything here is atomics on
-// pre-resolved instruments) is preserved.
-const kernelSampleMask = 63
-
 // Metrics carries the executor's registry instruments through Options.
 // All methods are nil-safe: an execution without metrics pays a nil
 // check and nothing else.
@@ -27,10 +16,18 @@ type Metrics struct {
 	memPlan   *obs.Histogram
 	inPlace   *obs.Counter
 
-	reg  *obs.Registry
-	tick atomic.Uint64
-	mu   sync.RWMutex
-	ops  map[string]*obs.Histogram
+	reg *obs.Registry
+	mu  sync.RWMutex
+	ops map[string]*opCounters
+}
+
+// opCounters backs the janus_profile_op_* registry families for one op
+// type: sampled nanoseconds and calls, pre-scaled by the profiler's
+// sampling stride so the exposed values estimate the true cumulative
+// totals.
+type opCounters struct {
+	ns    atomic.Int64
+	calls atomic.Int64
 }
 
 // NewMetrics resolves the executor's instruments in reg.
@@ -45,7 +42,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		inPlace: reg.Counter("janus_exec_inplace_total",
 			"Kernel outputs served by in-place rebinding of a dying input buffer."),
 		reg: reg,
-		ops: make(map[string]*obs.Histogram),
+		ops: make(map[string]*opCounters),
 	}
 }
 
@@ -56,45 +53,46 @@ func (m *Metrics) incInPlace() {
 	}
 }
 
-// kernelTimer times one sampled kernel execution; the zero value (not
-// sampled) is inert.
-type kernelTimer struct {
-	t0 time.Time
-}
+// helpProfileSeconds and helpProfileCalls document the sampling basis of
+// the profile families.
+const (
+	helpProfileSeconds = "Estimated cumulative kernel execution time by op type (stride-sampled by the always-on graph profiler, scaled to totals)."
+	helpProfileCalls   = "Estimated kernel invocations by op type (stride-sampled by the always-on graph profiler, scaled to totals)."
+)
 
-// sampleKernel decides whether to time this node execution: one atomic
-// tick, and a clock read only for the 1-in-64 sampled ops.
-func (m *Metrics) sampleKernel() kernelTimer {
-	if m == nil || m.tick.Add(1)&kernelSampleMask != 0 {
-		return kernelTimer{}
-	}
-	return kernelTimer{t0: time.Now()}
-}
-
-// observe records the sampled duration under the node's op type.
-func (kt kernelTimer) observe(m *Metrics, op string) {
-	if kt.t0.IsZero() {
+// observeSampledOp feeds one sampled node execution into the per-op
+// registry families, scaled by the sampling stride. Called only on the
+// profiler's 1-in-profileStride timed path, so the RLock map read is off
+// the common hot path.
+func (m *Metrics) observeSampledOp(op string, d time.Duration) {
+	if m == nil {
 		return
 	}
-	m.opHist(op).Since(kt.t0)
+	oc := m.opc(op)
+	oc.ns.Add(int64(d) * profileStride)
+	oc.calls.Add(profileStride)
 }
 
-// opHist resolves the per-op-type histogram, caching the handle locally
-// so steady state is one RLock-guarded map read (no allocation).
-func (m *Metrics) opHist(op string) *obs.Histogram {
+// opc resolves the per-op counters, registering the registry series on
+// first sight of an op type.
+func (m *Metrics) opc(op string) *opCounters {
 	m.mu.RLock()
-	h := m.ops[op]
+	oc := m.ops[op]
 	m.mu.RUnlock()
-	if h != nil {
-		return h
+	if oc != nil {
+		return oc
 	}
-	h = m.reg.Histogram("janus_exec_op_seconds",
-		"Sampled kernel execution time by op type (1 in 64 node executions).",
-		KernelBuckets, "op", op)
 	m.mu.Lock()
-	m.ops[op] = h
+	if oc = m.ops[op]; oc == nil {
+		oc = &opCounters{}
+		m.ops[op] = oc
+		m.reg.CounterFunc("janus_profile_op_seconds_total", helpProfileSeconds,
+			func() float64 { return float64(oc.ns.Load()) / 1e9 }, "op", op)
+		m.reg.CounterFunc("janus_profile_op_calls_total", helpProfileCalls,
+			func() float64 { return float64(oc.calls.Load()) }, "op", op)
+	}
 	m.mu.Unlock()
-	return h
+	return oc
 }
 
 // observePlanBuild records scheduling time for a first-run graph.

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// profileStride is the per-node timing sampling stride: each scheduler
+// pass times the nodes whose index ≡ tick (mod profileStride), with the
+// tick rotating every run, so all nodes are covered every profileStride
+// runs. time.Now costs ~20–100ns depending on the host clock path, so
+// unconditionally timing every node would dwarf small kernels; sampling
+// 1-in-32 keeps the whole profiler within the ≤2% replay budget
+// (DESIGN.md §7) while invocation/rent/in-place counts stay exact.
+const profileStride = 32
+
+// profileStrideMask selects the timing tick (profileStride is a power
+// of two).
+const profileStrideMask = profileStride - 1
+
+// GraphProfile is the always-on per-compiled-graph op profile: flat
+// per-node arrays indexed exactly like the executor's port arrays, so
+// the hot path touches them without a map lookup or an allocation.
+//
+// Invocations are derived, not counted: every node runs once per
+// scheduler pass, so calls(i) = runs − skips(i), and only the rare
+// dead-token skip pays an atomic. Pool rents and in-place rebinds add
+// one atomic each on the planned Into path. Per-node cumulative time is
+// sampled (see profileStride) and scaled to an estimate at snapshot
+// time; SampledNS/Samples are also reported raw so consumers can judge
+// coverage.
+type GraphProfile struct {
+	ops  []string
+	runs atomic.Int64
+
+	skips   []atomic.Int64 // dead-token skips per node
+	ns      []atomic.Int64 // sampled cumulative exec time per node
+	samples []atomic.Int64 // timing samples per node
+	rents   []atomic.Int64 // pool rents (output + scratch) per node
+	inPlace []atomic.Int64 // in-place rebinds per node
+
+	// classElems records the last-seen element count of each memory-plan
+	// alias class's pooled buffer — the per-class buffer residency
+	// baseline for the optimizer-pass work.
+	classElems []atomic.Int64
+	releasable []bool
+}
+
+// newGraphProfile sizes a profile for g and its memory plan (mem may be
+// nil for planless graphs).
+func newGraphProfile(g *graph.Graph, mem *graph.MemoryPlan) *GraphProfile {
+	n := len(g.Nodes)
+	p := &GraphProfile{
+		ops:     make([]string, n),
+		skips:   make([]atomic.Int64, n),
+		ns:      make([]atomic.Int64, n),
+		samples: make([]atomic.Int64, n),
+		rents:   make([]atomic.Int64, n),
+		inPlace: make([]atomic.Int64, n),
+	}
+	for i, nd := range g.Nodes {
+		p.ops[i] = nd.Op
+	}
+	if mem != nil {
+		p.classElems = make([]atomic.Int64, mem.NumClasses)
+		p.releasable = mem.Releasable
+	}
+	return p
+}
+
+// beginRun counts one scheduler pass and returns this run's timing tick.
+func (p *GraphProfile) beginRun() int32 {
+	return int32(p.runs.Add(1)-1) & profileStrideMask
+}
+
+// skip counts a dead-token skip (the node did not execute this pass).
+func (p *GraphProfile) skip(i int32) { p.skips[i].Add(1) }
+
+// record attributes one sampled execution time to node i and feeds the
+// registry's per-op estimate (scaled by the sampling stride).
+func (p *GraphProfile) record(i int32, d time.Duration, m *Metrics, op string) {
+	p.ns[i].Add(int64(d))
+	p.samples[i].Add(1)
+	m.observeSampledOp(op, d)
+}
+
+// noteRent counts one pool rental by node i.
+func (p *GraphProfile) noteRent(i int32) { p.rents[i].Add(1) }
+
+// noteInPlace counts one in-place rebind by node i.
+func (p *GraphProfile) noteInPlace(i int32) { p.inPlace[i].Add(1) }
+
+// noteAdopt records the element count of the buffer adopted by class
+// cls. Steady state is a single atomic load (shapes are plan-static, so
+// the stored value almost never changes).
+func (p *GraphProfile) noteAdopt(cls int32, t *tensor.Tensor) {
+	if int(cls) >= len(p.classElems) {
+		return
+	}
+	if n := int64(t.Size()); p.classElems[cls].Load() != n {
+		p.classElems[cls].Store(n)
+	}
+}
+
+// NodeProfile is one node's accumulated profile.
+type NodeProfile struct {
+	Node int    `json:"node"`
+	Op   string `json:"op"`
+	// Calls is the exact invocation count (runs minus dead-token skips).
+	Calls int64 `json:"calls"`
+	// EstNS estimates the node's cumulative execution time: sampled
+	// nanoseconds scaled by calls/samples.
+	EstNS int64 `json:"est_ns"`
+	// SampledNS/Samples are the raw timing observations behind EstNS.
+	SampledNS int64 `json:"sampled_ns"`
+	Samples   int64 `json:"samples"`
+	// Rents counts pool rentals (output and scratch buffers); InPlace
+	// counts outputs served by rebinding a dying input in place.
+	Rents   int64 `json:"pool_rents"`
+	InPlace int64 `json:"inplace_hits"`
+}
+
+// ClassResidency is one memory-plan alias class's buffer residency.
+type ClassResidency struct {
+	Class int `json:"class"`
+	// Elems is the element count of the class's pooled buffer as last
+	// adopted (0 if the class never owned a pooled buffer).
+	Elems int64 `json:"elems"`
+	// Releasable marks classes whose buffer cycles through the pool;
+	// pinned classes escape the execution instead.
+	Releasable bool `json:"releasable"`
+}
+
+// ProfileSnapshot is the JSON-friendly view of a GraphProfile.
+type ProfileSnapshot struct {
+	// Runs counts scheduler passes over the graph.
+	Runs    int64            `json:"runs"`
+	Nodes   []NodeProfile    `json:"nodes"`
+	Classes []ClassResidency `json:"classes,omitempty"`
+}
+
+// Snapshot renders the profile (nil-safe: a nil profile yields a zero
+// snapshot).
+func (p *GraphProfile) Snapshot() ProfileSnapshot {
+	if p == nil {
+		return ProfileSnapshot{}
+	}
+	runs := p.runs.Load()
+	snap := ProfileSnapshot{Runs: runs, Nodes: make([]NodeProfile, len(p.ops))}
+	for i := range p.ops {
+		calls := runs - p.skips[i].Load()
+		sampled := p.ns[i].Load()
+		samples := p.samples[i].Load()
+		est := int64(0)
+		if samples > 0 {
+			est = int64(float64(sampled) * float64(calls) / float64(samples))
+		}
+		snap.Nodes[i] = NodeProfile{
+			Node:      i,
+			Op:        p.ops[i],
+			Calls:     calls,
+			EstNS:     est,
+			SampledNS: sampled,
+			Samples:   samples,
+			Rents:     p.rents[i].Load(),
+			InPlace:   p.inPlace[i].Load(),
+		}
+	}
+	if len(p.classElems) > 0 {
+		snap.Classes = make([]ClassResidency, len(p.classElems))
+		for c := range p.classElems {
+			snap.Classes[c] = ClassResidency{
+				Class:      c,
+				Elems:      p.classElems[c].Load(),
+				Releasable: c < len(p.releasable) && p.releasable[c],
+			}
+		}
+	}
+	return snap
+}
+
+// ProfileOf returns the always-on profile of g's cached execution plan,
+// or nil when the graph has never been planned.
+func ProfileOf(g *graph.Graph) *GraphProfile {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := g.Plan.(*plan); ok {
+		return p.prof
+	}
+	return nil
+}

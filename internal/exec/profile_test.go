@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// TestGraphProfileAccumulates replays one planned graph enough times for
+// the rotating sampling tick to cover every node, then checks the
+// always-on profile: exact invocation counts, timing samples on every
+// node, and rent/in-place attribution on the pooled path.
+func TestGraphProfileAccumulates(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	c := g.Const(tensor.NewRNG(1).Randn(8, 8))
+	mm := g.Add("MatMul", nil, x.P(), c.P())
+	rl := g.Add("ReLU", nil, mm.P())
+	out := g.Add("MatMul", nil, rl.P(), c.P())
+	g.Outputs = []graph.Port{out.P()}
+
+	pool := tensor.NewPool()
+	feed := map[string]graph.Val{"x": tensor.NewRNG(2).Randn(8, 8)}
+	// profileStride+1 runs: the tick visits every residue once, so each
+	// node index gets at least one timing sample.
+	const runs = profileStride + 1
+	for i := 0; i < runs; i++ {
+		if _, err := Run(g, feed, Options{Pool: pool}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := ProfileOf(g)
+	if p == nil {
+		t.Fatal("planned graph has no profile")
+	}
+	snap := p.Snapshot()
+	if snap.Runs != runs {
+		t.Fatalf("runs = %d, want %d", snap.Runs, runs)
+	}
+	if len(snap.Nodes) != len(g.Nodes) {
+		t.Fatalf("%d node profiles for %d nodes", len(snap.Nodes), len(g.Nodes))
+	}
+	var mmProf, rlProf NodeProfile
+	for _, n := range snap.Nodes {
+		if n.Calls != runs {
+			t.Errorf("node %d (%s): calls = %d, want %d", n.Node, n.Op, n.Calls, runs)
+		}
+		if n.Samples < 1 {
+			t.Errorf("node %d (%s): no timing samples after %d runs", n.Node, n.Op, runs)
+		}
+		switch n.Node {
+		case mm.ID:
+			mmProf = n
+		case rl.ID:
+			rlProf = n
+		}
+	}
+	// MatMul's output is an intermediate: rented from the pool every run.
+	if mmProf.Rents != runs {
+		t.Errorf("MatMul rents = %d, want %d", mmProf.Rents, runs)
+	}
+	// Relu consumes a dying pooled input of the same shape: every run is
+	// an in-place rebind, never a fresh rent.
+	if rlProf.InPlace != runs || rlProf.Rents != 0 {
+		t.Errorf("Relu in-place = %d rents = %d, want %d / 0",
+			rlProf.InPlace, rlProf.Rents, runs)
+	}
+	// EstNS scales sampled time by calls/samples: sampled work implies a
+	// nonzero estimate, and the estimate is never below what was sampled.
+	if mmProf.SampledNS > 0 && mmProf.EstNS < mmProf.SampledNS {
+		t.Errorf("MatMul est %dns < sampled %dns", mmProf.EstNS, mmProf.SampledNS)
+	}
+	// The memory plan's class residency: at least one releasable class
+	// adopted the 8x8 intermediate buffer.
+	found := false
+	for _, cl := range snap.Classes {
+		if cl.Releasable && cl.Elems == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no releasable class with the intermediate's 64 elems: %+v", snap.Classes)
+	}
+
+	// Nil-safety: unplanned graphs and nil profiles degrade to zeroes.
+	if ProfileOf(graph.New()) != nil {
+		t.Fatal("unplanned graph returned a profile")
+	}
+	var nilProf *GraphProfile
+	if s := nilProf.Snapshot(); s.Runs != 0 || s.Nodes != nil {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestGraphProfileCountsDeadTokenSkips pins the derived-invocation rule
+// (calls = runs − skips): nodes on an untaken Switch branch must not be
+// counted as executed.
+func TestGraphProfileCountsDeadTokenSkips(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	pred := g.Placeholder("p")
+	sw := g.Add("Switch", nil, x.P(), pred.P())
+	two := g.Const(tensor.Scalar(2))
+	hundred := g.Const(tensor.Scalar(100))
+	tside := g.Add("Mul", nil, sw.Out(0), two.P())
+	fside := g.Add("Add", nil, sw.Out(1), hundred.P())
+	m := g.Add("Merge", nil, tside.P(), fside.P())
+	g.Outputs = []graph.Port{m.P()}
+
+	const trueRuns, falseRuns = 5, 3
+	for i := 0; i < trueRuns; i++ {
+		if _, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(5), "p": true}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < falseRuns; i++ {
+		if _, err := Run(g, map[string]graph.Val{"x": tensor.Scalar(5), "p": false}, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := ProfileOf(g).Snapshot()
+	byNode := make(map[int]NodeProfile, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		byNode[n.Node] = n
+	}
+	if got := byNode[tside.ID].Calls; got != trueRuns {
+		t.Errorf("true-side calls = %d, want %d", got, trueRuns)
+	}
+	if got := byNode[fside.ID].Calls; got != falseRuns {
+		t.Errorf("false-side calls = %d, want %d", got, falseRuns)
+	}
+	if got := byNode[m.ID].Calls; got != trueRuns+falseRuns {
+		t.Errorf("merge calls = %d, want %d", got, trueRuns+falseRuns)
+	}
+}
+
+// TestProfileHotPathAllocationFree pins the 0-alloc contract on every
+// profiler primitive the replay loop touches per node.
+func TestProfileHotPathAllocationFree(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	g.Outputs = []graph.Port{g.Add("ReLU", nil, x.P()).P()}
+	p := newGraphProfile(g, nil)
+	var nilMetrics *Metrics
+	if n := testing.AllocsPerRun(1000, func() {
+		tick := p.beginRun()
+		_ = tick
+		p.record(0, time.Microsecond, nilMetrics, "ReLU")
+		p.noteRent(1)
+		p.noteInPlace(1)
+		p.skip(1)
+	}); n != 0 {
+		t.Fatalf("profiler hot path allocates %v/op", n)
+	}
+}
+
+// BenchmarkProfileAccumulation prices the per-node profiler work the
+// replay loop pays: the untimed common case (beginRun amortized plus the
+// stride check) and the 1-in-profileStride timed path with per-op
+// registry accumulation. Companion to obs.BenchmarkObsOverhead; both
+// must stay allocation-free.
+func BenchmarkProfileAccumulation(b *testing.B) {
+	g := graph.New()
+	x := g.Placeholder("x")
+	g.Outputs = []graph.Port{g.Add("ReLU", nil, x.P()).P()}
+	b.Run("begin_run", func(b *testing.B) {
+		p := newGraphProfile(g, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = p.beginRun()
+		}
+	})
+	b.Run("record_sampled", func(b *testing.B) {
+		p := newGraphProfile(g, nil)
+		var m *Metrics // nil-safe: prices the profile-only path
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.record(0, time.Microsecond, m, "ReLU")
+		}
+	})
+	b.Run("record_sampled_metrics", func(b *testing.B) {
+		p := newGraphProfile(g, nil)
+		m := NewMetrics(obs.NewRegistry())
+		m.observeSampledOp("ReLU", time.Microsecond) // pre-register the op
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.record(0, time.Microsecond, m, "ReLU")
+		}
+	})
+	b.Run("note_rent_inplace", func(b *testing.B) {
+		p := newGraphProfile(g, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.noteRent(0)
+			p.noteInPlace(0)
+		}
+	})
+}

@@ -53,6 +53,34 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+	b.Run("span_child_start_end", func(b *testing.B) {
+		// Hierarchical span creation: one child under a live parent, the
+		// shape every engine phase and RPC span takes in a traced request.
+		tr := NewTrace("bench")
+		root := tr.StartSpan("request")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := tr.StartSpanChild("phase", root.ID())
+			sp.End()
+			if i%1024 == 0 {
+				tr.mu.Lock()
+				tr.spans = tr.spans[:0]
+				tr.mu.Unlock()
+			}
+		}
+	})
+	b.Run("span_ctx_absent", func(b *testing.B) {
+		// The replay-path case: obs.StartSpan on a context with no trace.
+		// The contract is one context lookup, no clock read, 0 allocs.
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := StartSpan(ctx, "phase")
+			sp.End()
+		}
+	})
 	b.Run("span_absent", func(b *testing.B) {
 		// The replay-path case: no trace on the context.
 		ctx := context.Background()
@@ -63,4 +91,23 @@ func BenchmarkObsOverhead(b *testing.B) {
 			sp.End()
 		}
 	})
+}
+
+// TestHotPathsAllocationFree pins the 0-alloc contract for the paths the
+// executor's replay loop touches on every node: absent-trace span calls
+// and context span lookups must never allocate.
+func TestHotPathsAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan(ctx, "phase")
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("absent-trace StartSpan allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = SpanFrom(ctx)
+		_ = TraceFrom(ctx)
+	}); n != 0 {
+		t.Fatalf("context lookups allocate %v/op", n)
+	}
 }

@@ -1,0 +1,17 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkClockRead prices one time.Now() on this host; the per-node
+// profiler budget in DESIGN.md §7 is derived from it.
+func BenchmarkClockRead(b *testing.B) {
+	b.ReportAllocs()
+	var sink time.Time
+	for i := 0; i < b.N; i++ {
+		sink = time.Now()
+	}
+	_ = sink
+}

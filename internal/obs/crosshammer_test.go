@@ -93,11 +93,11 @@ def predict(x):
 			grad := tensor.Zeros(4, 4)
 			for i := 0; i < iters; i++ {
 				shard := vars.ShardOf("hammer/w", 2)
-				if _, _, _, err := psrv.Pull(shard, -1); err != nil {
+				if _, _, _, err := psrv.Pull(context.Background(), shard, -1); err != nil {
 					t.Errorf("ps pull: %v", err)
 					return
 				}
-				if _, err := psrv.PushGrad(shard, int64(g*iters+i),
+				if _, err := psrv.PushGrad(context.Background(), shard, int64(g*iters+i),
 					map[string]*tensor.Tensor{"hammer/w": grad}); err != nil {
 					t.Errorf("ps push: %v", err)
 					return

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 )
 
 // WriteText renders every registered family in the Prometheus text
@@ -17,7 +18,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 		bw.WriteString("# HELP ")
 		bw.WriteString(f.name)
 		bw.WriteByte(' ')
-		bw.WriteString(f.help)
+		bw.WriteString(escapeHelp(f.help))
 		bw.WriteString("\n# TYPE ")
 		bw.WriteString(f.name)
 		bw.WriteByte(' ')
@@ -28,10 +29,15 @@ func (r *Registry) WriteText(w io.Writer) error {
 				writeHistogram(bw, f.name, s)
 				continue
 			}
+			// f.mu orders the read of s.fns against concurrent callback
+			// registration (lazily-created per-op series scrape mid-run).
+			f.mu.Lock()
+			v := seriesValue(f.kind, s)
+			f.mu.Unlock()
 			bw.WriteString(f.name)
 			bw.WriteString(s.labels)
 			bw.WriteByte(' ')
-			bw.WriteString(formatValue(seriesValue(f.kind, s)))
+			bw.WriteString(formatValue(v))
 			bw.WriteByte('\n')
 		}
 	}
@@ -66,6 +72,27 @@ func writeHistogram(bw *bufio.Writer, name string, s *series) {
 	bw.WriteByte(' ')
 	bw.WriteString(strconv.FormatInt(count, 10))
 	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes a HELP string per the text-format spec: backslash
+// and newline only (double quotes are legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 // withLabel appends one key="value" pair to a rendered label string.

@@ -2,31 +2,49 @@ package obs
 
 import (
 	"context"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// SpanID identifies one span within its trace. IDs are allocated
+// per-trace from 1; 0 means "no span" (a root span's Parent, or an
+// absent span in a context).
+type SpanID int32
+
 // Span is one timed phase inside a Trace. Start is the offset from the
 // trace's begin time, so spans order and nest without wall-clock math.
+// Parent links the span into the trace's tree; 0 marks a root.
 type Span struct {
-	Name  string        `json:"name"`
-	Start time.Duration `json:"start_us"`
-	Dur   time.Duration `json:"dur_us"`
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent"`
+	Name   string        `json:"name"`
+	Start  time.Duration `json:"start_us"`
+	Dur    time.Duration `json:"dur_us"`
 }
 
 // Trace collects the per-phase breakdown of one request: where a Call
-// spent its time across convert → compile → memory-plan → execute. A
-// Trace is created by the request entry point (HTTP handler, benchmark
-// driver), threaded through context.Context, and appended to by whatever
-// layers it reaches. All methods are nil-safe: instrumented code calls
-// TraceFrom(ctx).StartSpan(...) unconditionally, and when no trace rides
-// the context the whole exchange is a nil check — no clock read, no
+// spent its time across convert → compile → memory-plan → execute, and —
+// via Export/Graft — what remote processes did on its behalf. A Trace is
+// created by the request entry point (HTTP handler, benchmark driver),
+// threaded through context.Context, and appended to by whatever layers
+// it reaches. All methods are nil-safe: instrumented code calls
+// obs.StartSpan(ctx, ...) unconditionally, and when no trace rides the
+// context the whole exchange is a nil check — no clock read, no
 // allocation.
 type Trace struct {
-	// ID identifies the request (e.g. "req-42").
+	// ID identifies the request (e.g. "req-42"). Propagated across
+	// process boundaries in the Janus-Trace header so remote spans can
+	// be matched back to the originating request.
 	ID string
 	// Begin is when the trace started.
 	Begin time.Time
+
+	// nextSpan allocates span IDs; grafted remote spans are renumbered
+	// from the same counter so IDs stay unique within the trace.
+	nextSpan atomic.Int32
 
 	mu    sync.Mutex
 	end   time.Time
@@ -42,6 +60,10 @@ func NewTrace(id string) *Trace {
 // traceKey is the context key for the active trace.
 type traceKey struct{}
 
+// spanKey is the context key for the active span ID (parent for spans
+// started below this context).
+type spanKey struct{}
+
 // ContextWithTrace attaches t to the context.
 func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
 	return context.WithValue(ctx, traceKey{}, t)
@@ -56,21 +78,70 @@ func TraceFrom(ctx context.Context) *Trace {
 	return t
 }
 
-// SpanTimer is an in-flight span; call End (or EndTo) exactly once. The
-// zero value (from a nil trace) is inert.
-type SpanTimer struct {
-	t     *Trace
-	name  string
-	start time.Time
+// ContextWithSpan marks id as the current span: spans started via
+// StartSpan(ctx, ...) below this context become its children.
+func ContextWithSpan(ctx context.Context, id SpanID) context.Context {
+	return context.WithValue(ctx, spanKey{}, id)
 }
 
-// StartSpan opens a named phase timer. On a nil trace it returns an inert
-// timer without reading the clock.
-func (t *Trace) StartSpan(name string) SpanTimer {
+// SpanFrom returns the current span ID riding ctx, or 0.
+func SpanFrom(ctx context.Context) SpanID {
+	if ctx == nil {
+		return 0
+	}
+	id, _ := ctx.Value(spanKey{}).(SpanID)
+	return id
+}
+
+// StartSpan opens a span as a child of the current span on ctx (a root
+// span if there is none). When no trace rides the context it returns an
+// inert timer after a single context lookup — no clock read, no
+// allocation — so instrumented code calls it unconditionally.
+func StartSpan(ctx context.Context, name string) SpanTimer {
+	t := TraceFrom(ctx)
 	if t == nil {
 		return SpanTimer{}
 	}
-	return SpanTimer{t: t, name: name, start: time.Now()}
+	return t.StartSpanChild(name, SpanFrom(ctx))
+}
+
+// SpanTimer is an in-flight span; call End exactly once. The zero value
+// (from a nil trace) is inert.
+type SpanTimer struct {
+	t      *Trace
+	name   string
+	start  time.Time
+	id     SpanID
+	parent SpanID
+}
+
+// ID returns the span's ID (0 for an inert timer). The ID is allocated
+// at start, so children and remote grafts can reference a span before
+// it ends.
+func (s SpanTimer) ID() SpanID { return s.id }
+
+// Trace returns the trace the timer records into, or nil.
+func (s SpanTimer) Trace() *Trace { return s.t }
+
+// StartSpan opens a named root span. On a nil trace it returns an inert
+// timer without reading the clock.
+func (t *Trace) StartSpan(name string) SpanTimer {
+	return t.StartSpanChild(name, 0)
+}
+
+// StartSpanChild opens a named span under parent (0 for a root). On a
+// nil trace it returns an inert timer without reading the clock.
+func (t *Trace) StartSpanChild(name string, parent SpanID) SpanTimer {
+	if t == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{
+		t:      t,
+		name:   name,
+		start:  time.Now(),
+		id:     SpanID(t.nextSpan.Add(1)),
+		parent: parent,
+	}
 }
 
 // End closes the span and records it on the trace.
@@ -81,21 +152,37 @@ func (s SpanTimer) End() {
 	now := time.Now()
 	s.t.mu.Lock()
 	s.t.spans = append(s.t.spans, Span{
-		Name:  s.name,
-		Start: s.start.Sub(s.t.Begin),
-		Dur:   now.Sub(s.start),
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start.Sub(s.t.Begin),
+		Dur:    now.Sub(s.start),
 	})
 	s.t.mu.Unlock()
 }
 
-// AddSpan records an externally timed phase.
-func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) {
+// AddSpan records an externally timed root phase and returns its ID.
+func (t *Trace) AddSpan(name string, start time.Time, dur time.Duration) SpanID {
+	return t.AddSpanChild(name, 0, start, dur)
+}
+
+// AddSpanChild records an externally timed phase under parent and
+// returns its ID (0 on a nil trace).
+func (t *Trace) AddSpanChild(name string, parent SpanID, start time.Time, dur time.Duration) SpanID {
 	if t == nil {
-		return
+		return 0
 	}
+	id := SpanID(t.nextSpan.Add(1))
 	t.mu.Lock()
-	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Begin), Dur: dur})
+	t.spans = append(t.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		Start:  start.Sub(t.Begin),
+		Dur:    dur,
+	})
 	t.mu.Unlock()
+	return id
 }
 
 // Annotate records a key/value note (path taken, cache hit/miss, batch
@@ -121,6 +208,110 @@ func (t *Trace) Finish() {
 	t.mu.Unlock()
 }
 
+// WireSpan is the cross-process form of a span: offsets relative to the
+// remote trace's own begin time. A server handling a Janus-Trace'd
+// request records its spans into a local Trace and ships Export() back
+// in the response payload; the client Grafts them under its RPC span.
+type WireSpan struct {
+	ID      SpanID  `json:"id"`
+	Parent  SpanID  `json:"parent,omitempty"`
+	Name    string  `json:"name"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+// Export renders the trace's spans for shipping across a process
+// boundary (nil-safe; returns nil when there is nothing to ship).
+func (t *Trace) Export() []WireSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	out := make([]WireSpan, len(t.spans))
+	for i, sp := range t.spans {
+		out[i] = WireSpan{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
+			Name:    sp.Name,
+			StartUS: float64(sp.Start) / float64(time.Microsecond),
+			DurUS:   float64(sp.Dur) / float64(time.Microsecond),
+		}
+	}
+	return out
+}
+
+// Graft merges a remote span tree into t under parent. Remote IDs are
+// renumbered from t's counter so they stay unique; remote roots — and
+// orphans whose parent never arrived — attach under parent. Remote
+// start offsets are re-anchored at the local instant `at` (when the RPC
+// began), which tolerates clock skew between processes: the remote
+// subtree keeps its internal shape but is positioned on the local
+// timeline. Nil-safe in both receiver and input.
+func (t *Trace) Graft(parent SpanID, at time.Time, spans []WireSpan) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	remap := make(map[SpanID]SpanID, len(spans))
+	for _, sp := range spans {
+		if _, dup := remap[sp.ID]; !dup {
+			remap[sp.ID] = SpanID(t.nextSpan.Add(1))
+		}
+	}
+	base := at.Sub(t.Begin)
+	t.mu.Lock()
+	for _, sp := range spans {
+		p, ok := remap[sp.Parent]
+		if sp.Parent == 0 || !ok {
+			p = parent
+		}
+		t.spans = append(t.spans, Span{
+			ID:     remap[sp.ID],
+			Parent: p,
+			Name:   sp.Name,
+			Start:  base + time.Duration(sp.StartUS*float64(time.Microsecond)),
+			Dur:    time.Duration(sp.DurUS * float64(time.Microsecond)),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// TraceHeader is the HTTP header carrying trace propagation across
+// process boundaries, in the form "<traceID>;<parentSpanID>".
+const TraceHeader = "Janus-Trace"
+
+// FormatTraceHeader renders the Janus-Trace header value for an
+// outbound request whose remote work should hang under parent. Returns
+// "" when no trace is active (callers skip setting the header).
+func FormatTraceHeader(t *Trace, parent SpanID) string {
+	if t == nil {
+		return ""
+	}
+	return t.ID + ";" + strconv.Itoa(int(parent))
+}
+
+// ParseTraceHeader parses a Janus-Trace header value. ok is false on an
+// absent or malformed value; a missing parent defaults to 0.
+func ParseTraceHeader(h string) (id string, parent SpanID, ok bool) {
+	if h == "" {
+		return "", 0, false
+	}
+	id = h
+	if i := strings.LastIndexByte(h, ';'); i >= 0 {
+		id = h[:i]
+		if n, err := strconv.Atoi(h[i+1:]); err == nil {
+			parent = SpanID(n)
+		}
+	}
+	if id == "" {
+		return "", 0, false
+	}
+	return id, parent, true
+}
+
 // TraceSnapshot is the JSON-friendly view of a finished trace.
 type TraceSnapshot struct {
 	ID          string            `json:"id"`
@@ -130,8 +321,11 @@ type TraceSnapshot struct {
 	Spans       []SpanSnapshot    `json:"spans"`
 }
 
-// SpanSnapshot is one phase in a TraceSnapshot, in microseconds.
+// SpanSnapshot is one phase in a TraceSnapshot, in microseconds. Parent
+// is 0 for roots; consumers rebuild the tree by grouping on it.
 type SpanSnapshot struct {
+	ID      SpanID  `json:"id"`
+	Parent  SpanID  `json:"parent,omitempty"`
 	Name    string  `json:"name"`
 	StartUS float64 `json:"start_us"`
 	DurUS   float64 `json:"dur_us"`
@@ -153,6 +347,8 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	}
 	for i, sp := range t.spans {
 		snap.Spans[i] = SpanSnapshot{
+			ID:      sp.ID,
+			Parent:  sp.Parent,
 			Name:    sp.Name,
 			StartUS: float64(sp.Start) / float64(time.Microsecond),
 			DurUS:   float64(sp.Dur) / float64(time.Microsecond),

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spanByName finds one span in a snapshot (fails the test on absence or
+// duplicates, so parent assertions are unambiguous).
+func spanByName(t *testing.T, spans []SpanSnapshot, name string) SpanSnapshot {
+	t.Helper()
+	var found SpanSnapshot
+	n := 0
+	for _, sp := range spans {
+		if sp.Name == name {
+			found = sp
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("span %q appears %d times in %+v", name, n, spans)
+	}
+	return found
+}
+
+// TestSpanContextParenting pins the hierarchy contract: a span started
+// through a context carrying a span ID becomes that span's child, and
+// explicit StartSpanChild nests arbitrarily deep.
+func TestSpanContextParenting(t *testing.T) {
+	tr := NewTrace("req-tree")
+	root := tr.StartSpan("request")
+	ctx := ContextWithSpan(ContextWithTrace(context.Background(), tr), root.ID())
+
+	mid := StartSpan(ctx, "execute")
+	leaf := tr.StartSpanChild("plan_build", mid.ID())
+	leaf.End()
+	mid.End()
+	root.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 3 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	r := spanByName(t, snap.Spans, "request")
+	m := spanByName(t, snap.Spans, "execute")
+	l := spanByName(t, snap.Spans, "plan_build")
+	if r.Parent != 0 {
+		t.Fatalf("root parent = %d", r.Parent)
+	}
+	if m.Parent != r.ID || l.Parent != m.ID {
+		t.Fatalf("tree broken: request=%d execute(parent %d) plan_build(parent %d)",
+			r.ID, m.Parent, l.Parent)
+	}
+	// IDs are unique within the trace.
+	seen := map[SpanID]bool{}
+	for _, sp := range snap.Spans {
+		if sp.ID == 0 || seen[sp.ID] {
+			t.Fatalf("bad/duplicate span ID in %+v", snap.Spans)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+// TestStartSpanAbsentTrace pins the degradation contract: with no trace
+// (or no span) on the context, every call is an inert no-op.
+func TestStartSpanAbsentTrace(t *testing.T) {
+	sp := StartSpan(context.Background(), "phase")
+	if sp.ID() != 0 || sp.Trace() != nil {
+		t.Fatalf("absent-trace span not inert: %+v", sp)
+	}
+	sp.End() // must not panic
+	if got := SpanFrom(context.Background()); got != 0 {
+		t.Fatalf("SpanFrom(empty ctx) = %d", got)
+	}
+	var nilCtx context.Context
+	if TraceFrom(nilCtx) != nil || SpanFrom(nilCtx) != 0 {
+		t.Fatal("nil ctx lookups not nil-safe")
+	}
+}
+
+// TestTraceHeaderRoundTrip covers Format/Parse for the Janus-Trace
+// propagation header, including the malformed inputs a hostile or stale
+// client can send: parsing must degrade (ok=false or parent 0), never
+// misbehave.
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	tr := NewTrace("req-77")
+	h := FormatTraceHeader(tr, 12)
+	if h != "req-77;12" {
+		t.Fatalf("header = %q", h)
+	}
+	id, parent, ok := ParseTraceHeader(h)
+	if !ok || id != "req-77" || parent != 12 {
+		t.Fatalf("round trip = (%q, %d, %v)", id, parent, ok)
+	}
+	if got := FormatTraceHeader(nil, 5); got != "" {
+		t.Fatalf("nil-trace header = %q", got)
+	}
+
+	cases := []struct {
+		in         string
+		wantID     string
+		wantParent SpanID
+		wantOK     bool
+	}{
+		{"", "", 0, false},
+		{";7", "", 0, false},          // empty trace ID
+		{"abc", "abc", 0, true},       // no parent: defaults to 0
+		{"abc;", "abc", 0, true},      // empty parent
+		{"abc;bogus", "abc", 0, true}, // unparseable parent
+		{"a;b;3", "a;b", 3, true},     // last separator wins
+	}
+	for _, c := range cases {
+		id, parent, ok := ParseTraceHeader(c.in)
+		if id != c.wantID || parent != c.wantParent || ok != c.wantOK {
+			t.Errorf("ParseTraceHeader(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.in, id, parent, ok, c.wantID, c.wantParent, c.wantOK)
+		}
+	}
+}
+
+// TestGraftRemapAnchorsAndOrphans drives the cross-process merge: a
+// remote trace's exported spans graft under a local RPC span with IDs
+// renumbered, roots and orphans re-parented under the graft point, and
+// start offsets re-anchored at the local send instant.
+func TestGraftRemapAnchorsAndOrphans(t *testing.T) {
+	remote := NewTrace("req-1") // same propagated ID, different process
+	rr := remote.StartSpan("ps.push")
+	time.Sleep(time.Millisecond)
+	child := remote.StartSpanChild("opt_apply", rr.ID())
+	child.End()
+	rr.End()
+	wire := remote.Export()
+	if len(wire) != 2 {
+		t.Fatalf("export = %+v", wire)
+	}
+	// An orphan: its parent span never arrived (e.g. it never ended).
+	wire = append(wire, WireSpan{ID: 99, Parent: 42, Name: "stray", StartUS: 1, DurUS: 1})
+
+	local := NewTrace("req-1")
+	rpc := local.StartSpan("rpc.push")
+	sent := time.Now()
+	local.Graft(rpc.ID(), sent, wire)
+	rpc.End()
+	local.Finish()
+
+	snap := local.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("spans = %+v", snap.Spans)
+	}
+	rpcS := spanByName(t, snap.Spans, "rpc.push")
+	push := spanByName(t, snap.Spans, "ps.push")
+	apply := spanByName(t, snap.Spans, "opt_apply")
+	stray := spanByName(t, snap.Spans, "stray")
+	if push.Parent != rpcS.ID {
+		t.Fatalf("remote root not under RPC span: %+v", push)
+	}
+	if apply.Parent != push.ID {
+		t.Fatalf("remote child lost its parent across the graft: %+v", apply)
+	}
+	if stray.Parent != rpcS.ID {
+		t.Fatalf("orphan not promoted under the graft point: %+v", stray)
+	}
+	// Remote IDs were renumbered from the local counter: no collisions.
+	seen := map[SpanID]bool{}
+	for _, sp := range snap.Spans {
+		if seen[sp.ID] {
+			t.Fatalf("ID collision after graft: %+v", snap.Spans)
+		}
+		seen[sp.ID] = true
+	}
+	// Re-anchoring: the grafted subtree starts at (or after) the local
+	// send offset, not at the remote trace's own begin time.
+	base := float64(sent.Sub(local.Begin)) / float64(time.Microsecond)
+	if push.StartUS < base {
+		t.Fatalf("grafted span anchored before the send instant: %v < %v", push.StartUS, base)
+	}
+	// The remote child keeps its internal offset relative to its root.
+	if apply.StartUS < push.StartUS {
+		t.Fatalf("grafted subtree lost its internal shape: child %v before root %v",
+			apply.StartUS, push.StartUS)
+	}
+
+	// Nil/empty safety.
+	var nilTrace *Trace
+	nilTrace.Graft(1, time.Now(), wire) // must not panic
+	if nilTrace.Export() != nil {
+		t.Fatal("nil Export != nil")
+	}
+	local.Graft(rpcS.ID, time.Now(), nil) // no-op
+	if got := len(local.Snapshot().Spans); got != 4 {
+		t.Fatalf("empty graft changed the trace: %d spans", got)
+	}
+}
+
+// TestExpositionEscaping pins the text-format escaping rules: label
+// values escape backslash, double-quote and newline; HELP text escapes
+// backslash and newline.
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "path is C:\\tmp\nsecond line", "p", `a\b"c`+"\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# HELP esc_total path is C:\\tmp\nsecond line`) {
+		t.Fatalf("help not escaped:\n%s", text)
+	}
+	if !strings.Contains(text, `esc_total{p="a\\b\"c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", text)
+	}
+	// The exposition must stay line-structured: no raw newline leaked
+	// into the middle of a series line.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line leaked into exposition:\n%s", text)
+		}
+	}
+}

@@ -172,7 +172,7 @@ func TestAsyncOverHTTPStaleRoundTrip(t *testing.T) {
 	if err := w.Bootstrap(0); err != nil {
 		t.Fatalf("bootstrap: %v", err)
 	}
-	params, _, _, err := client.Pull(0, -1)
+	params, _, _, err := client.Pull(context.Background(), 0, -1)
 	if err != nil || len(params) == 0 {
 		t.Fatalf("pull: params=%v err=%v", params, err)
 	}
@@ -191,7 +191,7 @@ func TestAsyncOverHTTPStaleRoundTrip(t *testing.T) {
 	injected := false
 	losses, stale, err := w.RunFree(context.Background(), 1, func(int) (float64, error) {
 		injected = true
-		if _, err := client.PushGrad(0, 100, zero); err != nil {
+		if _, err := client.PushGrad(context.Background(), 0, 100, zero); err != nil {
 			return 0, err
 		}
 		return step(1)

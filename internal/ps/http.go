@@ -2,10 +2,14 @@ package ps
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -22,6 +26,12 @@ import (
 // Tensors travel as {"shape": [...], "data": [...]} with row-major flat
 // data. An unchanged pull (matching "have") returns the version with no
 // "params" key.
+//
+// Requests carrying a Janus-Trace header ("<traceID>;<parentSpanID>") get
+// their server-side span tree back in the response's "trace" key: the
+// handler opens a process-local trace under the propagated ID, the Server
+// records its handling spans into it, and the client grafts the exported
+// spans under its RPC span — one merged cross-process tree per request.
 
 // wireTensor is the JSON form of one tensor.
 type wireTensor struct {
@@ -77,7 +87,8 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		params, version, step, err := s.Pull(req.Shard, req.Have)
+		ctx, rt := remoteTrace(r)
+		params, version, step, err := s.Pull(ctx, req.Shard, req.Have)
 		if err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
@@ -85,6 +96,9 @@ func NewHandler(s *Server) http.Handler {
 		resp := map[string]any{"version": version, "step": step}
 		if params != nil {
 			resp["params"] = toWire(params)
+		}
+		if spans := rt.Export(); spans != nil {
+			resp["trace"] = spans
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
@@ -103,7 +117,8 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		version, err := s.PushGrad(req.Shard, req.Step, grads)
+		ctx, rt := remoteTrace(r)
+		version, err := s.PushGrad(ctx, req.Shard, req.Step, grads)
 		if err != nil {
 			if isStale(err) {
 				writeErr(w, http.StatusConflict, err)
@@ -112,7 +127,11 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"version": version})
+		resp := map[string]any{"version": version}
+		if spans := rt.Export(); spans != nil {
+			resp["trace"] = spans
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /ps/v1/init", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -143,6 +162,22 @@ func NewHandler(s *Server) http.Handler {
 	return mux
 }
 
+// remoteTrace inspects an inbound request's Janus-Trace header. When
+// present, it opens a process-local trace under the propagated trace ID
+// and returns the request context with that trace attached, so the
+// Server's handling spans record into it; the handler ships rt.Export()
+// back in the response. Without the header (or with a malformed one) the
+// context is untouched and rt is nil — every downstream trace call
+// degrades to its nil-safe no-op, never failing the request.
+func remoteTrace(r *http.Request) (context.Context, *obs.Trace) {
+	id, _, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	if !ok {
+		return r.Context(), nil
+	}
+	rt := obs.NewTrace(id)
+	return obs.ContextWithTrace(r.Context(), rt), rt
+}
+
 // Client is the HTTP Transport: a Worker in one process, a janusps server in
 // another.
 type Client struct {
@@ -160,27 +195,58 @@ func NewClient(base string, hc *http.Client) *Client {
 
 // post sends a JSON request and decodes a JSON response; non-2xx responses
 // become errors carrying the server's message (409 maps to ErrStale).
-func (c *Client) post(path string, req, resp any) error {
+// When ctx carries a trace, the RPC gets a span named spanName, the
+// outbound request carries the Janus-Trace header, and the server's span
+// tree from the response's "trace" key is grafted under the RPC span —
+// anchored at the local send instant, so cross-process clock skew never
+// misplaces the remote subtree. An untraced ctx skips all of it.
+func (c *Client) post(ctx context.Context, spanName, path string, req, resp any) error {
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	httpResp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	sp := obs.StartSpan(ctx, spanName)
+	defer sp.End()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if h := obs.FormatTraceHeader(sp.Trace(), sp.ID()); h != "" {
+		httpReq.Header.Set(obs.TraceHeader, h)
+	}
+	sent := time.Now()
+	httpResp, err := c.hc.Do(httpReq)
 	if err != nil {
 		return err
 	}
 	defer httpResp.Body.Close()
+	body, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return err
+	}
 	if httpResp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
-		_ = json.NewDecoder(httpResp.Body).Decode(&e)
+		_ = json.Unmarshal(body, &e)
 		if httpResp.StatusCode == http.StatusConflict {
 			return StaleErr(e.Error)
 		}
 		return fmt.Errorf("ps: %s -> %d: %s", path, httpResp.StatusCode, e.Error)
 	}
-	return json.NewDecoder(httpResp.Body).Decode(resp)
+	if err := json.Unmarshal(body, resp); err != nil {
+		return err
+	}
+	if sp.ID() != 0 {
+		var env struct {
+			Trace []obs.WireSpan `json:"trace"`
+		}
+		if json.Unmarshal(body, &env) == nil {
+			sp.Trace().Graft(sp.ID(), sent, env.Trace)
+		}
+	}
+	return nil
 }
 
 // NumShards implements Transport.
@@ -204,13 +270,13 @@ func (c *Client) NumShards() (int, error) {
 }
 
 // Pull implements Transport.
-func (c *Client) Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
+func (c *Client) Pull(ctx context.Context, shard int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
 	var resp struct {
 		Version int64                 `json:"version"`
 		Step    int64                 `json:"step"`
 		Params  map[string]wireTensor `json:"params"`
 	}
-	err := c.post("/ps/v1/pull", map[string]any{"shard": shard, "have": have}, &resp)
+	err := c.post(ctx, "rpc.pull", "/ps/v1/pull", map[string]any{"shard": shard, "have": have}, &resp)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -222,11 +288,11 @@ func (c *Client) Pull(shard int, have int64) (map[string]*tensor.Tensor, int64, 
 }
 
 // PushGrad implements Transport.
-func (c *Client) PushGrad(shard int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+func (c *Client) PushGrad(ctx context.Context, shard int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
 	var resp struct {
 		Version int64 `json:"version"`
 	}
-	err := c.post("/ps/v1/push",
+	err := c.post(ctx, "rpc.push", "/ps/v1/push",
 		map[string]any{"shard": shard, "step": step, "grads": toWire(grads)}, &resp)
 	return resp.Version, err
 }
@@ -236,5 +302,5 @@ func (c *Client) InitVars(vals map[string]*tensor.Tensor) error {
 	var resp struct {
 		OK bool `json:"ok"`
 	}
-	return c.post("/ps/v1/init", map[string]any{"params": toWire(vals)}, &resp)
+	return c.post(context.Background(), "rpc.init", "/ps/v1/init", map[string]any{"params": toWire(vals)}, &resp)
 }

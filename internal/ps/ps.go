@@ -21,6 +21,7 @@
 package ps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -98,12 +99,16 @@ type Transport interface {
 	// a full fetch. step is the freshest worker step clock the shard has
 	// observed — free-running workers fast-forward their own clock to it on
 	// every pull, so a laggard that re-pulls after ErrStale re-enters the
-	// staleness window instead of being locked out forever.
-	Pull(shard int, have int64) (params map[string]*tensor.Tensor, version, step int64, err error)
+	// staleness window instead of being locked out forever. ctx carries
+	// cancellation and the active obs.Trace: the in-process transport
+	// records its spans directly into the caller's trace, the HTTP
+	// transport propagates it in the Janus-Trace header and grafts the
+	// server's span tree back under the RPC span.
+	Pull(ctx context.Context, shard int, have int64) (params map[string]*tensor.Tensor, version, step int64, err error)
 	// PushGrad applies one or more named gradients to shard. step is the
 	// worker's step clock for the staleness check. Returns the shard version
-	// after the update, or ErrStale.
-	PushGrad(shard int, step int64, grads map[string]*tensor.Tensor) (int64, error)
+	// after the update, or ErrStale. ctx as for Pull.
+	PushGrad(ctx context.Context, shard int, step int64, grads map[string]*tensor.Tensor) (int64, error)
 	// InitVars registers initial parameter values, set-if-absent. Every
 	// worker calls it after building its replica; with a shared seed all
 	// replicas propose identical values, so whichever lands first wins
@@ -202,11 +207,13 @@ func (s *Server) shardAt(i int) (*shard, error) {
 }
 
 // Pull implements Transport.
-func (s *Server) Pull(shardIdx int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
+func (s *Server) Pull(ctx context.Context, shardIdx int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
 	sh, err := s.shardAt(shardIdx)
 	if err != nil {
 		return nil, 0, 0, err
 	}
+	sp := obs.StartSpan(ctx, "ps.pull")
+	defer sp.End()
 	t0 := time.Now()
 	defer s.metrics.pullLat.Since(t0)
 	sh.mu.Lock()
@@ -234,11 +241,13 @@ func tensorBytes(m map[string]*tensor.Tensor) int64 {
 
 // PushGrad implements Transport. Unknown variables are an error: gradients
 // can only follow a successful InitVars.
-func (s *Server) PushGrad(shardIdx int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+func (s *Server) PushGrad(ctx context.Context, shardIdx int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
 	sh, err := s.shardAt(shardIdx)
 	if err != nil {
 		return 0, err
 	}
+	sp := obs.StartSpan(ctx, "ps.push")
+	defer sp.End()
 	t0 := time.Now()
 	defer s.metrics.pushLat.Since(t0)
 	sh.mu.Lock()
@@ -265,7 +274,9 @@ func (s *Server) PushGrad(shardIdx int, step int64, grads map[string]*tensor.Ten
 		}
 		scaled[name] = tensor.MulScalar(g, 1/float64(s.cfg.Workers))
 	}
+	osp := sp.Trace().StartSpanChild("opt_apply", sp.ID())
 	sh.opt.Apply(sh.store, scaled)
+	osp.End()
 	sh.version++
 	if step > sh.maxStep {
 		sh.maxStep = step

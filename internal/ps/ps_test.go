@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -220,7 +221,7 @@ func TestShardPlacementPartitionsVariables(t *testing.T) {
 	}
 	total := 0
 	for i := 0; i < 4; i++ {
-		params, _, _, err := s.Pull(i, -1)
+		params, _, _, err := s.Pull(context.Background(), i, -1)
 		if err != nil {
 			t.Fatalf("pull shard %d: %v", i, err)
 		}
@@ -242,12 +243,12 @@ func TestVersionedPullSkipsUnchanged(t *testing.T) {
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": w}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
-	params, v1, _, err := s.Pull(0, -1)
+	params, v1, _, err := s.Pull(context.Background(), 0, -1)
 	if err != nil || params == nil {
 		t.Fatalf("first pull: params=%v err=%v", params, err)
 	}
 	// Unchanged: the server returns no payload.
-	params, v2, _, err := s.Pull(0, v1)
+	params, v2, _, err := s.Pull(context.Background(), 0, v1)
 	if err != nil {
 		t.Fatalf("second pull: %v", err)
 	}
@@ -255,10 +256,10 @@ func TestVersionedPullSkipsUnchanged(t *testing.T) {
 		t.Fatalf("unchanged pull returned params=%v version %d (want nil, %d)", params, v2, v1)
 	}
 	// After a push the same pull returns fresh params.
-	if _, err := s.PushGrad(0, 1, map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, 1, map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
-	params, v3, _, err := s.Pull(0, v1)
+	params, v3, _, err := s.Pull(context.Background(), 0, v1)
 	if err != nil || params == nil || v3 == v1 {
 		t.Fatalf("post-push pull: params=%v version=%d err=%v", params, v3, err)
 	}
@@ -270,15 +271,15 @@ func TestStalenessBoundRejectsLaggards(t *testing.T) {
 		t.Fatalf("init: %v", err)
 	}
 	g := map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}
-	if _, err := s.PushGrad(0, 10, g); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, 10, g); err != nil {
 		t.Fatalf("fresh push: %v", err)
 	}
 	// Within the bound: accepted.
-	if _, err := s.PushGrad(0, 8, g); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, 8, g); err != nil {
 		t.Fatalf("push within bound: %v", err)
 	}
 	// Beyond the bound: ErrStale.
-	if _, err := s.PushGrad(0, 7, g); !errors.Is(err, ErrStale) {
+	if _, err := s.PushGrad(context.Background(), 0, 7, g); !errors.Is(err, ErrStale) {
 		t.Fatalf("laggard push: got %v, want ErrStale", err)
 	}
 	if st := s.Stats(); st.StaleDrops != 1 {
@@ -288,7 +289,7 @@ func TestStalenessBoundRejectsLaggards(t *testing.T) {
 
 func TestPushUnknownVariableFails(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.1})
-	_, err := s.PushGrad(0, 0, map[string]*tensor.Tensor{"ghost": tensor.Zeros(1)})
+	_, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"ghost": tensor.Zeros(1)})
 	if err == nil {
 		t.Fatal("push of unregistered variable succeeded")
 	}
@@ -300,7 +301,7 @@ func TestPushShapeMismatchFails(t *testing.T) {
 		t.Fatalf("init: %v", err)
 	}
 	// A malformed wire gradient must produce an error, not a server panic.
-	_, err := s.PushGrad(0, 0, map[string]*tensor.Tensor{"w": tensor.Zeros(3, 2)})
+	_, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"w": tensor.Zeros(3, 2)})
 	if err == nil {
 		t.Fatal("mismatched gradient shape accepted")
 	}
@@ -313,10 +314,10 @@ func TestGradientAveraging(t *testing.T) {
 	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
-	if _, err := s.PushGrad(0, 0, map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{8})}); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{8})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
-	params, _, _, err := s.Pull(0, -1)
+	params, _, _, err := s.Pull(context.Background(), 0, -1)
 	if err != nil {
 		t.Fatalf("pull: %v", err)
 	}
@@ -354,10 +355,10 @@ func TestStaleRoundTripHTTP(t *testing.T) {
 	defer ts.Close()
 	c := NewClient(ts.URL, ts.Client())
 	g := map[string]*tensor.Tensor{"w": tensor.Scalar(0.1)}
-	if _, err := c.PushGrad(0, 5, g); err != nil {
+	if _, err := c.PushGrad(context.Background(), 0, 5, g); err != nil {
 		t.Fatalf("fresh push: %v", err)
 	}
-	_, err := c.PushGrad(0, 2, g)
+	_, err := c.PushGrad(context.Background(), 0, 2, g)
 	if !errors.Is(err, ErrStale) {
 		t.Fatalf("stale push over HTTP: got %v, want ErrStale", err)
 	}

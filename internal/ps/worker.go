@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/vars"
 )
@@ -73,6 +74,13 @@ type Worker struct {
 	// per worker so the applied update equals the gradient of the global
 	// batch mean (see the public Cluster).
 	pushScale float64
+
+	// runCtx is the context of the step in flight: DoCtx sets it before
+	// the body runs, the gradient sink reads it when launching push
+	// goroutines, so pushes join the step's trace and honor its
+	// cancellation. Single-threaded with respect to steps (Do waits for
+	// every push before returning), so no lock is needed.
+	runCtx context.Context
 
 	// Per-step push tracking: the sink adds to wg and pushes on background
 	// goroutines; Step waits for all of them before returning.
@@ -139,7 +147,7 @@ func (w *Worker) BootstrapWith(body func() error) error {
 	if err := w.t.InitVars(w.engine.Store.ShardSnapshot(0, 1)); err != nil {
 		return fmt.Errorf("ps: worker %d init: %w", w.ID, err)
 	}
-	return w.pullAll()
+	return w.pullAll(context.Background())
 }
 
 // pullAll refreshes every shard of the local parameter copy, in parallel.
@@ -147,7 +155,7 @@ func (w *Worker) BootstrapWith(body func() error) error {
 // clock to the freshest step the server has observed on any shard, so
 // subsequent pushes carry the age of this parameter copy rather than the
 // worker's lifetime step count.
-func (w *Worker) pullAll() error {
+func (w *Worker) pullAll(ctx context.Context) error {
 	var wg sync.WaitGroup
 	errs := make([]error, w.shards)
 	steps := make([]int64, w.shards)
@@ -155,7 +163,7 @@ func (w *Worker) pullAll() error {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			params, version, step, err := w.t.Pull(s, w.versions[s])
+			params, version, step, err := w.t.Pull(ctx, s, w.versions[s])
 			if err != nil {
 				errs[s] = err
 				return
@@ -197,10 +205,14 @@ func (w *Worker) push(name string, g *tensor.Tensor) {
 	}
 	shard := vars.ShardOf(name, w.shards)
 	step := w.clock
+	ctx := w.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		_, err := w.t.PushGrad(shard, step, map[string]*tensor.Tensor{name: g})
+		_, err := w.t.PushGrad(ctx, shard, step, map[string]*tensor.Tensor{name: g})
 		if err != nil {
 			if isStale(err) {
 				// Staleness is expected under async operation: drop the
@@ -238,7 +250,21 @@ func (w *Worker) Step(i int) (loss float64, stale int64, err error) {
 // exactly the worker's own engine — typically a function-handle Call that
 // reaches optimize() — and must not be invoked concurrently.
 func (w *Worker) Do(body func() (float64, error)) (loss float64, stale int64, err error) {
-	if err := w.pullAll(); err != nil {
+	return w.DoCtx(context.Background(), body)
+}
+
+// DoCtx is Do under a context. A trace riding ctx gets one "worker_step"
+// span covering the whole iteration, with the per-shard pulls and the
+// streamed per-tensor pushes — including their server-side handling,
+// when the transport crosses a process boundary — parented beneath it.
+func (w *Worker) DoCtx(ctx context.Context, body func() (float64, error)) (loss float64, stale int64, err error) {
+	sp := obs.StartSpan(ctx, "worker_step")
+	defer sp.End()
+	if sp.ID() != 0 {
+		ctx = obs.ContextWithSpan(ctx, sp.ID())
+	}
+	w.runCtx = ctx
+	if err := w.pullAll(ctx); err != nil {
 		return 0, 0, fmt.Errorf("ps: worker %d pull: %w", w.ID, err)
 	}
 	w.clock++
@@ -287,7 +313,7 @@ func (w *Worker) RunFree(ctx context.Context, n int, body func(i int) (float64, 
 			return losses, staleTotal, core.CanceledErr(ctx)
 		}
 		i := i
-		loss, stale, err := w.Do(func() (float64, error) { return body(i) })
+		loss, stale, err := w.DoCtx(ctx, func() (float64, error) { return body(i) })
 		if err != nil {
 			return losses, staleTotal, err
 		}

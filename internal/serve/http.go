@@ -27,7 +27,9 @@ import (
 //	POST /v1/infer    {"session"?, "fn", "x": [[...]]}  → {"y": [[...]]}
 //	GET  /v1/stats                                      → Stats JSON
 //	GET  /v1/cache                                      → graph-cache inspection
-//	GET  /v1/trace    ?n=16                             → recent request traces (per-phase breakdown)
+//	GET  /v1/trace    ?n=16                             → recent request traces (merged span trees)
+//	GET  /v1/profile  ?fn=name                          → per-graph op profiles (always-on executor profiler)
+//	GET  /v1/explain  ?fn=name                          → deopt explainability (which assumptions failed, at what cost)
 //	GET  /metrics                                       → Prometheus text exposition
 //	GET  /healthz                                       → {"ok": true}
 //
@@ -82,6 +84,8 @@ func NewServerWith(p *Pool) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/profile", s.handleProfile)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.Handle("GET /metrics", p.Registry().Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -354,17 +358,28 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.pool.Stats())
 }
 
-// startTrace opens a request-scoped trace: the engine's phase spans
-// (convert, compile, execute, imperative, plan_build) land in it as the
-// request flows through whatever worker serves it. The returned finish
-// closes the trace and records it in the /v1/trace ring.
+// startTrace opens a request-scoped trace with one root "request" span:
+// the engine's phase spans (convert, compile, execute, imperative,
+// plan_build) and any parameter-server RPCs the execution issues parent
+// under it, so GET /v1/trace renders one tree per request. An inbound
+// Janus-Trace header adopts the caller's trace ID, so a request issued
+// by another traced process correlates by ID across both trace logs.
+// The returned finish closes the span and trace and records the trace
+// in the /v1/trace ring.
 func (s *Server) startTrace(r *http.Request, fn string) (ctx context.Context, finish func()) {
-	t := obs.NewTrace(fmt.Sprintf("r%d", s.traceSeq.Add(1)))
+	id := fmt.Sprintf("r%d", s.traceSeq.Add(1))
+	if rid, _, ok := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader)); ok {
+		id = rid
+	}
+	t := obs.NewTrace(id)
 	t.Annotate("endpoint", r.URL.Path)
 	if fn != "" {
 		t.Annotate("fn", fn)
 	}
-	return obs.ContextWithTrace(r.Context(), t), func() {
+	sp := t.StartSpan("request")
+	ctx = obs.ContextWithSpan(obs.ContextWithTrace(r.Context(), t), sp.ID())
+	return ctx, func() {
+		sp.End()
 		t.Finish()
 		s.traces.Add(t)
 	}
@@ -383,6 +398,39 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.Snapshot(n)})
+}
+
+// handleProfile serves the always-on executor profiler's per-graph,
+// per-node view for one loaded function (?fn=).
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	if fn == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: /v1/profile needs ?fn="))
+		return
+	}
+	prof, err := s.pool.Profile(r.Context(), fn)
+	if err != nil {
+		writeErr(w, failStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, prof)
+}
+
+// handleExplain serves the deopt explainability report for one loaded
+// function (?fn=): which speculative assumptions failed, how often, and
+// what the abandoned graph executions cost.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	fn := r.URL.Query().Get("fn")
+	if fn == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: /v1/explain needs ?fn="))
+		return
+	}
+	rep, err := s.pool.Explain(r.Context(), fn)
+	if err != nil {
+		writeErr(w, failStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleCache serves the graph-cache inspection endpoint: capacity, entry

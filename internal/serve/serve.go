@@ -427,6 +427,32 @@ func (p *Pool) FuncParams(_ context.Context, fn string) ([]string, error) {
 	return out, nil
 }
 
+// Explain reports why fn runs the way it does (see core.Engine.Explain):
+// per cache slot, whether it is pinned imperative, its profiling window,
+// distrusted assumptions, and every aggregated deopt event. The compiled-
+// graph cache is pool-wide, so any worker's view is the pool's view; the
+// call still acquires a worker to hold the engine exclusively.
+func (p *Pool) Explain(ctx context.Context, fn string) (*core.ExplainReport, error) {
+	e, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(e)
+	return guard(func() (*core.ExplainReport, error) { return e.Explain(fn) })
+}
+
+// Profile returns the executor's always-on per-node profiles for every
+// compiled graph cached for fn (see core.Engine.Profile). Like Explain,
+// the cache is pool-wide, so one worker's snapshot covers the pool.
+func (p *Pool) Profile(ctx context.Context, fn string) (*core.FuncProfile, error) {
+	e, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(e)
+	return guard(func() (*core.FuncProfile, error) { return e.Profile(fn) })
+}
+
 // Infer runs fn on one input tensor through the request batcher: concurrent
 // calls with the same function and item signature are stacked along the
 // leading (batch) axis, executed once, and split back. x must have a leading
