@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/graph/passes"
 	"repro/internal/minipy"
 	"repro/internal/models"
 	"repro/internal/obs"
@@ -31,6 +32,9 @@ type kernelsReport struct {
 	// Elementwise is the steady-state allocation profile of a 64-op
 	// elementwise chain replay.
 	Elementwise elementwiseResult `json:"elementwise_chain"`
+	// Passes is the graph pass-pipeline A/B: LeNet train-step replay with
+	// the pipeline all-off, each pass alone, and all-on.
+	Passes passesResult `json:"passes"`
 }
 
 type matmulResult struct {
@@ -64,6 +68,47 @@ type trainAB struct {
 	planAB
 	FinalLossOn  float64 `json:"final_loss_on"`
 	FinalLossOff float64 `json:"final_loss_off"`
+}
+
+// passVariant is one pipeline configuration's measurement: the LeNet
+// train-step replay throughput/loss plus the cached train graph's node
+// count and total rewrites under that configuration.
+type passVariant struct {
+	// Config is "off" (pipeline disabled), a single pass name (that pass
+	// alone), or "all" (full pipeline).
+	Config      string  `json:"config"`
+	Nodes       int     `json:"nodes"`
+	Rewrites    int     `json:"rewrites"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	FinalLoss   float64 `json:"final_loss"`
+}
+
+type passesResult struct {
+	Variants []passVariant `json:"variants"`
+	// NodeDelta is nodes(all)/nodes(off) - 1 on the LeNet train graph.
+	// Recorded, not gated: the pipeline may legitimately grow the node
+	// count (im2col extraction adds shared Im2Col nodes) while shrinking
+	// the work per replay.
+	NodeDelta float64 `json:"node_delta"`
+	// LossBitIdentical requires the all-on final loss to equal the all-off
+	// final loss exactly — the pipeline must be semantics-preserving to the
+	// last bit, not merely approximately correct. Gated by benchcheck.
+	LossBitIdentical bool `json:"loss_bit_identical"`
+	// SpeedupVsOff is all-on vs all-off items/s on the LeNet train step.
+	SpeedupVsOff float64 `json:"speedup_vs_off"`
+	// Fusion A/B on the dispatch-bound elementwise-chain replay (the §5
+	// microbench fusion targets; LeNet's train graph has no single-consumer
+	// elementwise chains — backprop keeps every intermediate alive — so the
+	// fusion win is gated where fusion applies). NodeReduction is
+	// 1 - nodes(fused)/nodes(unfused), gated >= 15% by benchcheck together
+	// with bit-identical replay outputs.
+	FusionNodesOff      int     `json:"fusion_nodes_off"`
+	FusionNodesOn       int     `json:"fusion_nodes_on"`
+	FusionNodeReduction float64 `json:"fusion_node_reduction"`
+	FusionBitIdentical  bool    `json:"fusion_bit_identical"`
+	// Pooled replay time of the same chain unfused vs fused.
+	FusionNsOff float64 `json:"fusion_ns_per_replay_off"`
+	FusionNsOn  float64 `json:"fusion_ns_per_replay_on"`
 }
 
 type elementwiseResult struct {
@@ -112,6 +157,19 @@ func kernelsBench(warmup, steps int, jsonPath string) {
 	fmt.Printf("%d ops: plan-off %.2f allocs/op, plan-on %.3f allocs/op (%.0f allocs/replay); %0.fns -> %.0fns per replay\n",
 		rep.Elementwise.Ops, rep.Elementwise.AllocsPerGraphopOff, rep.Elementwise.AllocsPerGraphopOn,
 		rep.Elementwise.ReplayAllocsOn, rep.Elementwise.NsPerReplayOff, rep.Elementwise.NsPerReplayOn)
+
+	fmt.Printf("\n--- pass pipeline A/B (LeNet train step: off / each-alone / all) ---\n")
+	rep.Passes = passesBench(warmup, steps)
+	fmt.Printf("%8s %7s %9s %10s %10s\n", "config", "nodes", "rewrites", "items/s", "loss")
+	for _, v := range rep.Passes.Variants {
+		fmt.Printf("%8s %7d %9d %10.1f %10.6f\n", v.Config, v.Nodes, v.Rewrites, v.ItemsPerSec, v.FinalLoss)
+	}
+	fmt.Printf("LeNet node delta %+.1f%%, all-on vs all-off %.2fx, loss bit-identical: %v\n",
+		100*rep.Passes.NodeDelta, rep.Passes.SpeedupVsOff, rep.Passes.LossBitIdentical)
+	fmt.Printf("fusion on elementwise replay: %d -> %d nodes (%.1f%% reduction), %.0fns -> %.0fns per replay, outputs bit-identical: %v\n",
+		rep.Passes.FusionNodesOff, rep.Passes.FusionNodesOn,
+		100*rep.Passes.FusionNodeReduction,
+		rep.Passes.FusionNsOff, rep.Passes.FusionNsOn, rep.Passes.FusionBitIdentical)
 
 	writeReport(jsonPath, rep)
 }
@@ -232,6 +290,36 @@ func lenetForwardBench() planAB {
 	return out
 }
 
+// trainRun trains LeNet for warmup+steps under cfg and returns steady-state
+// throughput (items/s over the post-warmup curve window), final loss,
+// post-warmup per-step milliseconds, and the engine (whose graph cache holds
+// the compiled train graph for node-count inspection).
+func trainRun(m *models.Model, cfg core.Config, warmup, steps int) (float64, float64, []float64, *core.Engine) {
+	pts, e, err := models.Curve(m, cfg, 42, warmup+steps)
+	if err != nil || len(pts) <= warmup {
+		fmt.Printf("train-step measurement failed: %v\n", err)
+		return 0, 0, nil, e
+	}
+	window := pts[len(pts)-1].Seconds
+	if warmup > 0 {
+		window -= pts[warmup-1].Seconds
+	}
+	if window <= 0 {
+		window = 1e-9
+	}
+	th := float64((len(pts)-warmup)*m.ItemsPerStep) / window
+	// Post-warmup per-step durations (ms) from the cumulative curve.
+	var stepMs []float64
+	for i := warmup; i < len(pts); i++ {
+		prev := 0.0
+		if i > 0 {
+			prev = pts[i-1].Seconds
+		}
+		stepMs = append(stepMs, (pts[i].Seconds-prev)*1e3)
+	}
+	return th, pts[len(pts)-1].Loss, stepMs, e
+}
+
 func trainStepBench(warmup, steps int) trainAB {
 	m, err := models.Get("LeNet")
 	if err != nil {
@@ -247,29 +335,8 @@ func trainStepBench(warmup, steps int) trainAB {
 		cfg.NoMemoryPlan = noPlan
 		// One training run yields both numbers: steady-state throughput from
 		// the post-warmup curve window, final loss from the last point.
-		pts, _, err := models.Curve(m, cfg, 42, warmup+steps)
-		if err != nil || len(pts) <= warmup {
-			fmt.Printf("train-step measurement failed: %v\n", err)
-			return 0, 0, nil
-		}
-		window := pts[len(pts)-1].Seconds
-		if warmup > 0 {
-			window -= pts[warmup-1].Seconds
-		}
-		if window <= 0 {
-			window = 1e-9
-		}
-		th := float64((len(pts)-warmup)*m.ItemsPerStep) / window
-		// Post-warmup per-step durations (ms) from the cumulative curve.
-		var stepMs []float64
-		for i := warmup; i < len(pts); i++ {
-			prev := 0.0
-			if i > 0 {
-				prev = pts[i-1].Seconds
-			}
-			stepMs = append(stepMs, (pts[i].Seconds-prev)*1e3)
-		}
-		return th, pts[len(pts)-1].Loss, stepMs
+		th, loss, stepMs, _ := trainRun(m, cfg, warmup, steps)
+		return th, loss, stepMs
 	}
 	var out trainAB
 	out.NaivePerSec, _, _ = measure(true, true)
@@ -286,6 +353,97 @@ func trainStepBench(warmup, steps int) trainAB {
 		out.SpeedupVsNaive = out.PlanOnPerSec / out.NaivePerSec
 	}
 	return out
+}
+
+// passesBench A/Bs the graph pass pipeline on LeNet train-step replay:
+// all passes off, each pass alone, all passes on. Every variant trains the
+// same curve (same seed, same steps) so final losses are directly
+// bit-comparable; node counts come from the engine's compiled-graph cache
+// after training.
+func passesBench(warmup, steps int) passesResult {
+	m, err := models.Get("LeNet")
+	if err != nil {
+		fmt.Println(err)
+		return passesResult{}
+	}
+	names := passes.Names()
+	measure := func(config string, disable []string) passVariant {
+		cfg := core.DefaultJanusConfig()
+		cfg.LR = 0.05
+		cfg.PyOverheadNs = -1
+		cfg.DisablePasses = disable
+		th, loss, _, e := trainRun(m, cfg, warmup, steps)
+		v := passVariant{Config: config, ItemsPerSec: th, FinalLoss: loss}
+		if e != nil {
+			sum := e.PassSummary()
+			v.Nodes = sum.Nodes
+			for _, n := range sum.Rewrites {
+				v.Rewrites += n
+			}
+		}
+		return v
+	}
+
+	var res passesResult
+	res.Variants = append(res.Variants, measure("off", []string{"all"}))
+	for _, p := range names {
+		// Disable every pass except p.
+		var disable []string
+		for _, q := range names {
+			if q != p {
+				disable = append(disable, q)
+			}
+		}
+		res.Variants = append(res.Variants, measure(p, disable))
+	}
+	res.Variants = append(res.Variants, measure("all", nil))
+
+	off, on := res.Variants[0], res.Variants[len(res.Variants)-1]
+	if off.Nodes > 0 {
+		res.NodeDelta = float64(on.Nodes)/float64(off.Nodes) - 1
+	}
+	res.LossBitIdentical = on.FinalLoss == off.FinalLoss && on.FinalLoss > 0
+	if off.ItemsPerSec > 0 {
+		res.SpeedupVsOff = on.ItemsPerSec / off.ItemsPerSec
+	}
+
+	// Fusion A/B on the elementwise-chain replay: same graph builder the
+	// allocation microbench uses, full pipeline applied to one copy.
+	gOff := elementwiseChain(64)
+	gOn := elementwiseChain(64)
+	passes.Optimize(gOn)
+	res.FusionNodesOff = gOff.NumNodes()
+	res.FusionNodesOn = gOn.NumNodes()
+	if res.FusionNodesOff > 0 {
+		res.FusionNodeReduction = 1 - float64(res.FusionNodesOn)/float64(res.FusionNodesOff)
+	}
+	rng := tensor.NewRNG(3)
+	feeds := map[string]graph.Val{"x": rng.Randn(8, 32), "y": rng.Randn(8, 32)}
+	optsOff := exec.Options{Pool: tensor.NewPool()}
+	optsOn := exec.Options{Pool: tensor.NewPool()}
+	rOff, err1 := exec.Run(gOff, feeds, optsOff)
+	rOn, err2 := exec.Run(gOn, feeds, optsOn)
+	if err1 == nil && err2 == nil && len(rOff.Outputs) == len(rOn.Outputs) {
+		res.FusionBitIdentical = true
+		for i := range rOff.Outputs {
+			a, okA := rOff.Outputs[i].(*tensor.Tensor)
+			b, okB := rOn.Outputs[i].(*tensor.Tensor)
+			if !okA || !okB || !tensor.Equal(a, b) {
+				res.FusionBitIdentical = false
+			}
+		}
+		res.FusionNsOff = timeIt(100*time.Millisecond, func() {
+			if _, err := exec.Run(gOff, feeds, optsOff); err != nil {
+				panic(err)
+			}
+		})
+		res.FusionNsOn = timeIt(100*time.Millisecond, func() {
+			if _, err := exec.Run(gOn, feeds, optsOn); err != nil {
+				panic(err)
+			}
+		})
+	}
+	return res
 }
 
 // elementwiseChain mirrors the exec benchmark graph: alternating unary and

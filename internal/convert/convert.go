@@ -232,14 +232,6 @@ func FinalizeTraining(r *Result, lr float64) error {
 	return nil
 }
 
-// OptimizePasses runs the post-processor passes when specialization is on.
-func (r *Result) OptimizePasses(enabled bool) map[string]int {
-	if !enabled {
-		return nil
-	}
-	return graph.Optimize(r.Graph, graph.AllOptimizations())
-}
-
 // --- signature / feed flattening ---------------------------------------------
 
 // CaptureNames returns the free variables of fn whose current values should

@@ -21,6 +21,7 @@ import (
 	"repro/internal/convert"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/graph/passes"
 	"repro/internal/minipy"
 	"repro/internal/obs"
 	"repro/internal/profile"
@@ -89,6 +90,14 @@ type Config struct {
 	// replay allocates ~nothing. The flag exists for A/B benchmarking
 	// (janusbench -kernels) and as an escape hatch.
 	NoMemoryPlan bool
+	// DisablePasses skips post-processor passes by name ("arith", "fold",
+	// "cse", "dce", "im2col", "fuse"; "all" disables the pipeline) for A/B
+	// benchmarking (janusbench -kernels), mirroring NoMemoryPlan.
+	DisablePasses []string
+	// VerifyPasses runs the graph-invariant verifier (acyclicity, port
+	// arity, consumer consistency) between passes; tests and debug builds
+	// turn it on.
+	VerifyPasses bool
 	// Obs, when non-nil, is the metrics registry the engine resolves its
 	// instruments in — a serving pool hands every worker the same registry
 	// so series (and Stats views) aggregate pool-wide. Nil gives the
@@ -161,6 +170,9 @@ type compiled struct {
 	// static graphs carry their own gradient/update ops; dynamic graphs are
 	// differentiated through the executor's trace tape.
 	static bool
+	// passes is the post-processor pipeline report for this graph (nil when
+	// the pipeline was disabled), surfaced through Explain.
+	passes *passes.Report
 	// hits and lastUse feed the cache's LRU-by-hit eviction policy and the
 	// /v1/cache inspection endpoint; lastUse holds the cache's logical clock
 	// at the most recent lookup hit (or at insertion).
@@ -672,12 +684,15 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 		// run the graph dynamically via the trace tape instead.
 		res.Dynamic = true
 	}
-	rep := res.OptimizePasses(e.cfg.Specialize)
+	rep, perr := e.runPasses(res, e.cfg.Specialize)
 	e.stats.phaseCompile.Since(t1)
 	ksp.End()
+	if perr != nil {
+		return nil, perr
+	}
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
-	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: !res.Dynamic}
+	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: !res.Dynamic, passes: rep}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)
 	return c, nil
@@ -814,9 +829,13 @@ func (e *Engine) traceStep(fn *minipy.FuncVal) (minipy.Value, error) {
 			if err := convert.FinalizeTraining(res, e.cfg.LR); err != nil {
 				res.Dynamic = true
 			}
-			res.OptimizePasses(true)
+			rep, perr := e.runPasses(res, true)
+			if perr != nil {
+				return nil, true, perr
+			}
+			e.stats.addReport(rep)
 			e.stats.conversions.Add(1)
-			entry = &compiled{pattern: sig, leafCount: len(lv), res: res, static: !res.Dynamic}
+			entry = &compiled{pattern: sig, leafCount: len(lv), res: res, static: !res.Dynamic, passes: rep}
 			fs.entries = append(fs.entries, entry)
 			e.cache.noteInsert(entry)
 		}

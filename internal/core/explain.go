@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/graph/passes"
 )
 
 // DeoptEvent aggregates every fallback caused by one speculative
@@ -126,6 +127,23 @@ type ExplainState struct {
 	DistrustedAST []int `json:"distrusted_ast,omitempty"`
 	// Deopts lists assumption failures, most frequent first.
 	Deopts []DeoptEvent `json:"deopts,omitempty"`
+	// Graphs describes each cached compiled graph: its specialization
+	// signature, node count, and which post-processor passes fired on it
+	// (in pipeline order) — so an operator can see per graph whether e.g.
+	// fusion or im2col sharing actually landed.
+	Graphs []ExplainGraph `json:"graphs,omitempty"`
+}
+
+// ExplainGraph is one cached compiled graph's post-processor outcome.
+type ExplainGraph struct {
+	Signature []string `json:"signature"`
+	Static    bool     `json:"static"`
+	// Nodes is the graph's node count after the pipeline ran.
+	Nodes int `json:"nodes"`
+	// Passes is the ordered pass report (nil when the pipeline was off);
+	// CapHit marks a fixed-point loop that hit its round cap.
+	Passes []passes.PassReport `json:"passes,omitempty"`
+	CapHit bool                `json:"cap_hit,omitempty"`
 }
 
 // ExplainReport is the per-function explainability view.
@@ -178,6 +196,18 @@ func explainState(fs *funcState) ExplainState {
 		st.DistrustedAST = append(st.DistrustedAST, ast)
 	}
 	sort.Ints(st.DistrustedAST)
+	for _, c := range fs.entries {
+		eg := ExplainGraph{
+			Signature: append([]string(nil), c.pattern...),
+			Static:    c.static,
+			Nodes:     len(c.res.Graph.Nodes),
+		}
+		if c.passes != nil {
+			eg.Passes = append([]passes.PassReport(nil), c.passes.Passes...)
+			eg.CapHit = c.passes.CapHit
+		}
+		st.Graphs = append(st.Graphs, eg)
+	}
 	for _, ev := range fs.deopts {
 		st.Deopts = append(st.Deopts, *ev)
 	}

@@ -243,12 +243,15 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 	}
 	ksp := obs.StartSpan(e.runCtx, "compile")
 	t1 := time.Now()
-	rep := res.OptimizePasses(e.cfg.Specialize)
+	rep, perr := e.runPasses(res, e.cfg.Specialize)
 	e.stats.phaseCompile.Since(t1)
 	ksp.End()
+	if perr != nil {
+		return nil, perr
+	}
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
-	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: true}
+	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: true, passes: rep}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)
 	return c, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/exec"
+	"repro/internal/graph/passes"
 	"repro/internal/obs"
 	"repro/internal/tensor"
 )
@@ -15,7 +16,8 @@ const (
 	helpAsserts     = "Runtime assumption-validation failures."
 	helpFallbacks   = "Graph executions abandoned to the imperative fallback path."
 	helpPhase       = "Engine time per request phase (convert, compile, execute, imperative)."
-	helpOptimize    = "Graph-optimizer rewrites applied, by pass."
+	helpPassRewrite = "Graph post-processor rewrites applied, by pass."
+	helpPassCap     = "Pass-pipeline fixed-point loops that hit the round cap while still finding rewrites."
 	helpPoolGets    = "Tensor-pool buffer rentals."
 	helpPoolHits    = "Tensor-pool rentals served by reuse rather than allocation."
 	helpPoolPuts    = "Tensor buffers returned to the pool."
@@ -89,11 +91,19 @@ func newCounters(reg *obs.Registry) *counters {
 	}
 }
 
-// addReport folds an optimizer-pass report into the per-pass win
-// counters (slow path: runs once per conversion).
-func (c *counters) addReport(rep map[string]int) {
-	for pass, n := range rep {
-		c.reg.Counter("janus_optimize_wins_total", helpOptimize, "pass", pass).Add(int64(n))
+// addReport folds a pass-pipeline report into the per-pass rewrite
+// counters (slow path: runs once per conversion). Every pass that ran gets
+// a series — zero-rewrite passes included, so an exposition shows which
+// passes are enabled, not just which fired.
+func (c *counters) addReport(rep *passes.Report) {
+	if rep == nil {
+		return
+	}
+	for _, p := range rep.Passes {
+		c.reg.Counter("janus_pass_rewrites_total", helpPassRewrite, "pass", p.Pass).Add(int64(p.Rewrites))
+	}
+	if rep.CapHit {
+		c.reg.Counter("janus_pass_cap_hits_total", helpPassCap).Inc()
 	}
 }
 
@@ -110,7 +120,7 @@ func (c *counters) snapshot() Stats {
 		Fallbacks:       int(c.fallbacks.Value()),
 		SigHashHits:     int(c.sigHashHits.Value()),
 	}
-	for _, sv := range c.reg.Series("janus_optimize_wins_total") {
+	for _, sv := range c.reg.Series("janus_pass_rewrites_total") {
 		if s.OptimizeReport == nil {
 			s.OptimizeReport = map[string]int{}
 		}

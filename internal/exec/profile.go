@@ -63,6 +63,12 @@ func newGraphProfile(g *graph.Graph, mem *graph.MemoryPlan) *GraphProfile {
 	}
 	for i, nd := range g.Nodes {
 		p.ops[i] = nd.Op
+		// Fused nodes carry the chain they replaced (e.g.
+		// "Fused[ReLUGrad+Mul]"); show that in per-node profiles while the
+		// registry's per-op estimates keep aggregating under "Fused".
+		if label := nd.StrAttr("label"); label != "" {
+			p.ops[i] = label
+		}
 	}
 	if mem != nil {
 		p.classElems = make([]atomic.Int64, mem.NumClasses)

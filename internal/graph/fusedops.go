@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Kernels for the ops introduced by the structural optimizer passes
+// (internal/graph/passes): Fused elementwise chains and the extracted
+// Im2Col / FromCol convolution family. Both registries are populated so the
+// ops ride the executor's destination-passing fast path, stay foldable /
+// CSE-able, and keep working on the allocating fallback paths.
+
+// FusedProg extracts a Fused node's op-code program.
+func FusedProg(n *Node) ([]tensor.FusedStep, error) {
+	prog, ok := n.Attr("prog").([]tensor.FusedStep)
+	if !ok || len(prog) == 0 {
+		return nil, fmt.Errorf("Fused: node %d has no program", n.ID)
+	}
+	return prog, nil
+}
+
+// fusedArgs coerces a Fused node's inputs: in[0] is the chain input, the
+// rest are the extra operands referenced by binary program steps.
+func fusedArgs(in []Val) (*tensor.Tensor, []*tensor.Tensor, error) {
+	if len(in) < 1 {
+		return nil, nil, fmt.Errorf("Fused: want at least 1 input")
+	}
+	x, err := AsTensor(in[0])
+	if err != nil {
+		return nil, nil, fmt.Errorf("Fused: %v", err)
+	}
+	extras := make([]*tensor.Tensor, len(in)-1)
+	for i, v := range in[1:] {
+		if extras[i], err = AsTensor(v); err != nil {
+			return nil, nil, fmt.Errorf("Fused: extra %d: %v", i, err)
+		}
+	}
+	return x, extras, nil
+}
+
+func init() {
+	Kernels["Fused"] = func(n *Node, in []Val) ([]Val, error) {
+		prog, err := FusedProg(n)
+		if err != nil {
+			return nil, err
+		}
+		x, extras, err := fusedArgs(in)
+		if err != nil {
+			return nil, err
+		}
+		return one(tensor.FusedElementwise(x, extras, prog)), nil
+	}
+	IntoKernels["Fused"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		prog, err := FusedProg(n)
+		if err != nil {
+			return nil, err
+		}
+		x, extras, err := fusedArgs(in)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := tensor.FusedShape(x, extras, prog)
+		if err != nil {
+			return nil, fmt.Errorf("Fused: %v", err)
+		}
+		return tensor.FusedElementwiseInto(alloc.Get(sh...), x, extras, prog, alloc), nil
+	}
+
+	Kernels["Im2Col"] = func(n *Node, in []Val) ([]Val, error) {
+		x, w, err := t2(in)
+		if err != nil {
+			return nil, fmt.Errorf("Im2Col: %v", err)
+		}
+		stride, pad := n.IntAttr("stride", 1), n.IntAttr("pad", 0)
+		rows, cols := tensor.Im2ColShape(x.Shape(), w.Shape(), stride, pad)
+		return one(tensor.Im2ColInto(tensor.Zeros(rows, cols), x, w, stride, pad, nil)), nil
+	}
+	IntoKernels["Im2Col"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		x, w, err := t2(in)
+		if err != nil {
+			return nil, fmt.Errorf("Im2Col: %v", err)
+		}
+		stride, pad := n.IntAttr("stride", 1), n.IntAttr("pad", 0)
+		rows, cols := tensor.Im2ColShape(x.Shape(), w.Shape(), stride, pad)
+		return tensor.Im2ColInto(alloc.Get(rows, cols), x, w, stride, pad, alloc), nil
+	}
+
+	// Conv2DFromCol(col, w, x): x is read for its shape only (the output
+	// spatial dims are not recoverable from the flattened col matrix).
+	Kernels["Conv2DFromCol"] = func(n *Node, in []Val) ([]Val, error) {
+		col, w, x, err := t3(in)
+		if err != nil {
+			return nil, fmt.Errorf("Conv2DFromCol: %v", err)
+		}
+		stride, pad := n.IntAttr("stride", 1), n.IntAttr("pad", 0)
+		nb, oc, oh, ow := tensor.Conv2DShape(x.Shape(), w.Shape(), stride, pad)
+		return one(tensor.Conv2DFromColInto(tensor.Zeros(nb, oc, oh, ow), col, w, nb, oh, ow, nil)), nil
+	}
+	IntoKernels["Conv2DFromCol"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		col, w, x, err := t3(in)
+		if err != nil {
+			return nil, fmt.Errorf("Conv2DFromCol: %v", err)
+		}
+		stride, pad := n.IntAttr("stride", 1), n.IntAttr("pad", 0)
+		nb, oc, oh, ow := tensor.Conv2DShape(x.Shape(), w.Shape(), stride, pad)
+		return tensor.Conv2DFromColInto(alloc.Get(nb, oc, oh, ow), col, w, nb, oh, ow, alloc), nil
+	}
+
+	// Conv2DGradFilterFromCol(col, gout, w): w is read for its shape only.
+	Kernels["Conv2DGradFilterFromCol"] = func(n *Node, in []Val) ([]Val, error) {
+		col, g, w, err := t3(in)
+		if err != nil {
+			return nil, fmt.Errorf("Conv2DGradFilterFromCol: %v", err)
+		}
+		return one(tensor.Conv2DGradFilterFromColInto(tensor.Zeros(w.Shape()...), col, g, nil)), nil
+	}
+	IntoKernels["Conv2DGradFilterFromCol"] = func(n *Node, in []Val, alloc tensor.Allocator) (Val, error) {
+		col, g, w, err := t3(in)
+		if err != nil {
+			return nil, fmt.Errorf("Conv2DGradFilterFromCol: %v", err)
+		}
+		return tensor.Conv2DGradFilterFromColInto(alloc.Get(w.Shape()...), col, g, alloc), nil
+	}
+}

@@ -227,148 +227,8 @@ func TestGradientZeroForUnusedVariable(t *testing.T) {
 	}
 }
 
-// --- optimizer tests --------------------------------------------------------
-
-func TestConstantFolding(t *testing.T) {
-	g := New()
-	a := g.Const(tensor.Scalar(2))
-	b := g.Const(tensor.Scalar(3))
-	sum := g.Add("Add", nil, a.P(), b.P())
-	x := g.Placeholder("x")
-	out := g.Add("Mul", nil, sum.P(), x.P())
-	g.Outputs = []Port{out.P()}
-
-	report := Optimize(g, OptimizeOptions{ConstantFold: true, DCE: true})
-	if report["fold"] == 0 {
-		t.Fatalf("nothing folded: %v", report)
-	}
-	// The Add node must have become a Const of value 5.
-	folded := false
-	for _, n := range g.Nodes {
-		if n.Op == "Const" {
-			if tv, err := AsTensor(n.Attr("value")); err == nil && tv.Size() == 1 && tv.Item() == 5 {
-				folded = true
-			}
-		}
-		if n.Op == "Add" {
-			t.Fatal("Add survived folding")
-		}
-	}
-	if !folded {
-		t.Fatal("no folded const with value 5")
-	}
-	res := evalStatic(t, g, map[string]Val{"x": tensor.Scalar(4)})
-	if res[0].(*tensor.Tensor).Item() != 20 {
-		t.Fatalf("folded graph wrong: %v", res[0])
-	}
-}
-
-func TestCSEMergesDuplicates(t *testing.T) {
-	g := New()
-	x := g.Placeholder("x")
-	a := g.Add("Tanh", nil, x.P())
-	b := g.Add("Tanh", nil, x.P()) // identical
-	out := g.Add("Add", nil, a.P(), b.P())
-	g.Outputs = []Port{out.P()}
-	before := len(g.Nodes)
-	report := Optimize(g, OptimizeOptions{CSE: true, DCE: true})
-	if report["cse"] != 1 {
-		t.Fatalf("cse=%d", report["cse"])
-	}
-	if len(g.Nodes) != before-1 {
-		t.Fatalf("node count %d -> %d", before, len(g.Nodes))
-	}
-	res := evalStatic(t, g, map[string]Val{"x": tensor.Scalar(1)})
-	want := 2 * math.Tanh(1)
-	if math.Abs(res[0].(*tensor.Tensor).Item()-want) > 1e-12 {
-		t.Fatalf("got %v want %v", res[0], want)
-	}
-}
-
-func TestDCERemovesUnreachable(t *testing.T) {
-	g := New()
-	x := g.Placeholder("x")
-	used := g.Add("Tanh", nil, x.P())
-	g.Add("Sigmoid", nil, x.P()) // dead
-	g.Outputs = []Port{used.P()}
-	report := Optimize(g, OptimizeOptions{DCE: true})
-	if report["dce"] != 1 {
-		t.Fatalf("dce=%d", report["dce"])
-	}
-	for _, n := range g.Nodes {
-		if n.Op == "Sigmoid" {
-			t.Fatal("dead node survived")
-		}
-	}
-}
-
-func TestDCEKeepsSideEffects(t *testing.T) {
-	g := New()
-	x := g.Placeholder("x")
-	g.Add("AssignSub", map[string]Val{"name": "w"}, x.P()) // side effect, no consumer
-	out := g.Add("Tanh", nil, x.P())
-	g.Outputs = []Port{out.P()}
-	Optimize(g, AllOptimizations())
-	found := false
-	for _, n := range g.Nodes {
-		if n.Op == "AssignSub" {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatal("side-effecting node removed by DCE")
-	}
-}
-
-func TestArithmeticIdentities(t *testing.T) {
-	g := New()
-	x := g.Placeholder("x")
-	zero := g.Const(tensor.Scalar(0))
-	onec := g.Const(tensor.Scalar(1))
-	a := g.Add("Add", nil, x.P(), zero.P()) // x+0 -> x
-	b := g.Add("Mul", nil, a.P(), onec.P()) // x*1 -> x
-	out := g.Add("Tanh", nil, b.P())
-	g.Outputs = []Port{out.P()}
-	report := Optimize(g, AllOptimizations())
-	if report["arith"] < 2 {
-		t.Fatalf("arith=%d", report["arith"])
-	}
-	if out.Inputs[0].Node != x {
-		t.Fatalf("identities not collapsed; input is %s", out.Inputs[0].Node.Op)
-	}
-}
-
-func TestOptimizePreservesSemantics(t *testing.T) {
-	// Random-ish expression graph: optimize must not change the result.
-	rng := tensor.NewRNG(9)
-	xv := rng.Randn(3, 3)
-	build := func() *Graph {
-		g := New()
-		x := g.Placeholder("x")
-		c1 := g.Const(tensor.Scalar(2))
-		c2 := g.Const(tensor.Scalar(3))
-		sum := g.Add("Add", nil, c1.P(), c2.P())
-		m := g.Add("Mul", nil, x.P(), sum.P())
-		t1 := g.Add("Tanh", nil, m.P())
-		t2 := g.Add("Tanh", nil, m.P())
-		one := g.Const(tensor.Scalar(1))
-		t3 := g.Add("Mul", nil, t1.P(), one.P())
-		out := g.Add("Add", nil, t3.P(), t2.P())
-		g.Outputs = []Port{out.P()}
-		return g
-	}
-	g1 := build()
-	g2 := build()
-	Optimize(g2, AllOptimizations())
-	r1 := evalStatic(t, g1, map[string]Val{"x": xv})[0].(*tensor.Tensor)
-	r2 := evalStatic(t, g2, map[string]Val{"x": xv})[0].(*tensor.Tensor)
-	if !tensor.AllClose(r1, r2, 1e-12) {
-		t.Fatal("optimization changed semantics")
-	}
-	if len(g2.Nodes) >= len(g1.Nodes) {
-		t.Fatalf("no reduction: %d -> %d", len(g1.Nodes), len(g2.Nodes))
-	}
-}
+// The optimizer tests moved to internal/graph/passes with the passes
+// themselves.
 
 func TestCountOpsAndString(t *testing.T) {
 	g := New()

@@ -121,6 +121,10 @@ var safeConsumers = map[string]bool{
 	"ScaleByScalar": true, "FillLike": true, "Unbroadcast": true,
 	"AssignSub": true, "Print": true, "NoOp": true, "IndexAny": true,
 	"IndexList": true, "Unpack": true,
+	// Pass-pipeline ops (internal/graph/passes): fused elementwise chains
+	// and the extracted im2col convolution family.
+	"Fused": true, "Im2Col": true, "Conv2DFromCol": true,
+	"Conv2DGradFilterFromCol": true,
 	// Alias ops are safe in the retain sense; union handles the aliasing.
 	"Identity": true, "Assert": true, "Switch": true, "Merge": true,
 }
@@ -153,6 +157,10 @@ var inPlaceOps = map[string]bool{
 	"Softmax": true, "LogSoftmax": true, "Scale": true, "ScaleByScalar": true,
 	"ReLUGrad": true, "SigmoidGradFromOut": true, "TanhGradFromOut": true,
 	"CrossEntropyGrad": true,
+	// Fused chains are pointwise over input 0 on their fast path; the
+	// broadcast slow path allocates a differently-shaped output first, which
+	// fails the executor's runtime shape check and degrades to a plain rent.
+	"Fused": true,
 }
 
 // BuildMemoryPlan analyzes g and returns its buffer-reuse plan. The plan

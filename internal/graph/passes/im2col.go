@@ -1,0 +1,71 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Im2Col extraction + CSE: Conv2D's forward pass and Conv2DGradFilter both
+// begin by unrolling the same padded input into the same [n*oh*ow, c*kh*kw]
+// matrix. This pass makes that unroll an explicit Im2Col node and rewrites
+// the convolution nodes to consume it (Conv2DFromCol /
+// Conv2DGradFilterFromCol), so a training step pays for the unroll once
+// instead of once per consumer. Extraction only fires when at least two
+// convolution nodes share the unroll — splitting a lone Conv2D would add a
+// node and a dispatch for nothing.
+func extractIm2Col(g *graph.Graph) int {
+	type colKey struct {
+		x, w        graph.Port
+		stride, pad int
+	}
+	groups := make(map[colKey][]*graph.Node)
+	order := make([]colKey, 0, 4) // first-occurrence order, for determinism
+	for _, n := range g.Nodes {
+		var x, w graph.Port
+		switch n.Op {
+		case "Conv2D": // (x, w)
+			if len(n.Inputs) != 2 {
+				continue
+			}
+			x, w = n.Inputs[0], n.Inputs[1]
+		case "Conv2DGradFilter": // (x, w, gout)
+			if len(n.Inputs) != 3 {
+				continue
+			}
+			x, w = n.Inputs[0], n.Inputs[1]
+		default:
+			continue
+		}
+		k := colKey{x, w, n.IntAttr("stride", 1), n.IntAttr("pad", 0)}
+		if len(groups[k]) == 0 {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], n)
+	}
+
+	changed := 0
+	for _, k := range order {
+		nodes := groups[k]
+		if len(nodes) < 2 {
+			continue
+		}
+		col := g.Add("Im2Col", map[string]graph.Val{"stride": k.stride, "pad": k.pad}, k.x, k.w)
+		col.Name = fmt.Sprintf("im2col_%d", col.ID)
+		for _, n := range nodes {
+			switch n.Op {
+			case "Conv2D":
+				// Conv2DFromCol(col, w, x): x stays as a shape reference.
+				n.Op = "Conv2DFromCol"
+				n.Inputs = []graph.Port{col.P(), k.w, k.x}
+			case "Conv2DGradFilter":
+				// Conv2DGradFilterFromCol(col, gout, w): w is a shape reference.
+				gout := n.Inputs[2]
+				n.Op = "Conv2DGradFilterFromCol"
+				n.Inputs = []graph.Port{col.P(), gout, k.w}
+			}
+			changed++
+		}
+	}
+	return changed
+}

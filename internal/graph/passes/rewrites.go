@@ -1,94 +1,32 @@
-package graph
+package passes
 
 import (
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/graph"
 	"repro/internal/tensor"
 )
 
-// OptimizeOptions selects which post-processing passes run on a generated
-// graph. These correspond to the "further optimized by the post-processor"
-// step in the paper's §3.1 and to the +SPCN ablation knob in Figure 7: when
+// The four scalar cleanup passes, ported from the original graph.Optimize.
+// They correspond to the "further optimized by the post-processor" step in
+// the paper's §3.1 and to the +SPCN ablation knob in Figure 7: when
 // speculation replaced dynamic values with constants, folding and CSE find
 // much more to do.
-type OptimizeOptions struct {
-	ConstantFold bool
-	CSE          bool
-	DCE          bool
-	Arithmetic   bool
-}
-
-// AllOptimizations enables every pass.
-func AllOptimizations() OptimizeOptions {
-	return OptimizeOptions{ConstantFold: true, CSE: true, DCE: true, Arithmetic: true}
-}
-
-// Optimize runs the selected passes to a fixed point (bounded) and returns a
-// report of what each pass removed.
-func Optimize(g *Graph, opts OptimizeOptions) map[string]int {
-	report := map[string]int{}
-	for round := 0; round < 4; round++ {
-		changed := 0
-		if opts.Arithmetic {
-			changed += simplifyArithmetic(g, report)
-		}
-		if opts.ConstantFold {
-			changed += constantFold(g, report)
-		}
-		if opts.CSE {
-			changed += commonSubexpr(g, report)
-		}
-		if opts.DCE {
-			changed += deadCodeElim(g, report)
-		}
-		if changed == 0 {
-			break
-		}
-	}
-	return report
-}
-
-// replaceUses rewires every consumer of `from` port to `to`.
-func replaceUses(g *Graph, from, to Port) {
-	for _, n := range g.Nodes {
-		for i, in := range n.Inputs {
-			if in == from {
-				n.Inputs[i] = to
-			}
-		}
-	}
-	for i, o := range g.Outputs {
-		if o == from {
-			g.Outputs[i] = to
-		}
-	}
-}
-
-// hasSideEffects reports whether the op must be preserved regardless of
-// liveness.
-func hasSideEffects(op string) bool {
-	switch op {
-	case "AssignSub", "AssignAdd", "Assign", "PySetAttr", "PySetSubscr",
-		"Assert", "Print", "Commit", "NoOp", "BatchNorm":
-		return true
-	}
-	return false
-}
 
 // constantFold evaluates pure nodes whose inputs are all Consts.
-func constantFold(g *Graph, report map[string]int) int {
+func constantFold(g *graph.Graph) int {
 	changed := 0
 	for _, n := range g.Nodes {
-		if n.Op == "Const" || !Foldable(n.Op) || hasSideEffects(n.Op) || len(n.ControlDeps) > 0 {
+		if n.Op == "Const" || !graph.Foldable(n.Op) || graph.HasSideEffects(n.Op) || len(n.ControlDeps) > 0 {
 			continue
 		}
-		if len(n.Inputs) == 0 && n.Op != "Const" {
+		if len(n.Inputs) == 0 {
 			continue
 		}
 		allConst := true
-		in := make([]Val, len(n.Inputs))
+		in := make([]graph.Val, len(n.Inputs))
 		for i, p := range n.Inputs {
 			if p.Node.Op != "Const" || p.Out != 0 {
 				allConst = false
@@ -96,25 +34,24 @@ func constantFold(g *Graph, report map[string]int) int {
 			}
 			in[i] = p.Node.Attr("value")
 		}
-		if !allConst || len(n.Inputs) == 0 {
+		if !allConst {
 			continue
 		}
-		out, err := Kernels[n.Op](n, in)
+		out, err := graph.Kernels[n.Op](n, in)
 		if err != nil || len(out) != 1 {
 			continue
 		}
 		// Rewrite the node in place into a Const (keeps IDs stable).
 		n.Op = "Const"
 		n.Inputs = nil
-		n.Attrs = map[string]Val{"value": out[0]}
-		report["fold"]++
+		n.Attrs = map[string]graph.Val{"value": out[0]}
 		changed++
 	}
 	return changed
 }
 
 // signature produces a structural hash key for CSE.
-func signature(n *Node) string {
+func signature(n *graph.Node) string {
 	var b strings.Builder
 	b.WriteString(n.Op)
 	for _, in := range n.Inputs {
@@ -146,17 +83,16 @@ func signature(n *Node) string {
 }
 
 // commonSubexpr merges structurally identical pure nodes.
-func commonSubexpr(g *Graph, report map[string]int) int {
+func commonSubexpr(g *graph.Graph) int {
 	changed := 0
-	seen := make(map[string]*Node)
+	seen := make(map[string]*graph.Node)
 	for _, n := range g.Nodes {
-		if hasSideEffects(n.Op) || !Foldable(n.Op) || len(n.ControlDeps) > 0 || n.NumOutputs != 1 {
+		if graph.HasSideEffects(n.Op) || !graph.Foldable(n.Op) || len(n.ControlDeps) > 0 || n.NumOutputs != 1 {
 			continue
 		}
 		sig := signature(n)
 		if prev, ok := seen[sig]; ok && prev != n {
-			replaceUses(g, n.P(), prev.P())
-			report["cse"]++
+			graph.ReplaceUses(g, n.P(), prev.P())
 			changed++
 			continue
 		}
@@ -167,10 +103,10 @@ func commonSubexpr(g *Graph, report map[string]int) int {
 
 // deadCodeElim removes nodes not reachable from outputs, updates, or
 // side-effecting nodes.
-func deadCodeElim(g *Graph, report map[string]int) int {
-	live := make(map[*Node]bool)
-	var mark func(n *Node)
-	mark = func(n *Node) {
+func deadCodeElim(g *graph.Graph) int {
+	live := make(map[*graph.Node]bool)
+	var mark func(n *graph.Node)
+	mark = func(n *graph.Node) {
 		if live[n] {
 			return
 		}
@@ -189,7 +125,7 @@ func deadCodeElim(g *Graph, report map[string]int) int {
 		mark(u)
 	}
 	for _, n := range g.Nodes {
-		if hasSideEffects(n.Op) {
+		if graph.HasSideEffects(n.Op) {
 			mark(n)
 		}
 	}
@@ -203,20 +139,18 @@ func deadCodeElim(g *Graph, report map[string]int) int {
 		}
 	}
 	g.Nodes = kept
-	if removed > 0 {
-		report["dce"] += removed
-	}
 	return removed
 }
 
-// simplifyArithmetic applies algebraic identities: x+0, x*1, x*0, x-0, x/1.
-func simplifyArithmetic(g *Graph, report map[string]int) int {
+// simplifyArithmetic applies algebraic identities: x+0, 0+x, x-0, x*1, 1*x,
+// x/1, x**1.
+func simplifyArithmetic(g *graph.Graph) int {
 	changed := 0
-	isConstScalar := func(p Port, want float64) bool {
+	isConstScalar := func(p graph.Port, want float64) bool {
 		if p.Node.Op != "Const" {
 			return false
 		}
-		t, err := AsTensor(p.Node.Attr("value"))
+		t, err := graph.AsTensor(p.Node.Attr("value"))
 		if err != nil || t.Size() != 1 {
 			return false
 		}
@@ -227,7 +161,7 @@ func simplifyArithmetic(g *Graph, report map[string]int) int {
 			continue
 		}
 		a, b := n.Inputs[0], n.Inputs[1]
-		var repl *Port
+		var repl *graph.Port
 		switch n.Op {
 		case "Add":
 			if isConstScalar(a, 0) {
@@ -258,8 +192,7 @@ func simplifyArithmetic(g *Graph, report map[string]int) int {
 			// The identity may change shape via broadcasting only when the
 			// scalar side broadcasts; replacing with the non-scalar side is
 			// shape-preserving.
-			replaceUses(g, n.P(), *repl)
-			report["arith"]++
+			graph.ReplaceUses(g, n.P(), *repl)
 			changed++
 		}
 	}

@@ -1,0 +1,115 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Verify checks the structural invariants every pass must preserve:
+//
+//   - every node referenced by an input port, control dependency, graph
+//     output or update is present in g.Nodes (consumer consistency);
+//   - every port's output index is within the producer's arity;
+//   - the graph is acyclic over data inputs and control dependencies.
+//
+// The pipeline runs it between passes when Options.Verify is set; a failure
+// is always a pass bug, never a property of the input program.
+func Verify(g *graph.Graph) error {
+	index := make(map[*graph.Node]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n == nil {
+			return fmt.Errorf("nil node at position %d", i)
+		}
+		if prev, dup := index[n]; dup {
+			return fmt.Errorf("node %d (%s) appears twice in Nodes (positions %d and %d)", n.ID, n.Op, prev, i)
+		}
+		index[n] = i
+	}
+	checkPort := func(owner string, p graph.Port) error {
+		if p.Node == nil {
+			return fmt.Errorf("%s references a nil node", owner)
+		}
+		if _, ok := index[p.Node]; !ok {
+			return fmt.Errorf("%s references node %d (%s) not present in Nodes", owner, p.Node.ID, p.Node.Op)
+		}
+		arity := p.Node.NumOutputs
+		if arity < 1 {
+			arity = 1
+		}
+		if p.Out < 0 || p.Out >= arity {
+			return fmt.Errorf("%s references port %d of node %d (%s) with %d outputs", owner, p.Out, p.Node.ID, p.Node.Op, arity)
+		}
+		return nil
+	}
+	for _, n := range g.Nodes {
+		owner := fmt.Sprintf("node %d (%s)", n.ID, n.Op)
+		for _, in := range n.Inputs {
+			if err := checkPort(owner, in); err != nil {
+				return err
+			}
+		}
+		for _, d := range n.ControlDeps {
+			if d == nil {
+				return fmt.Errorf("%s has a nil control dep", owner)
+			}
+			if _, ok := index[d]; !ok {
+				return fmt.Errorf("%s control-depends on node %d (%s) not present in Nodes", owner, d.ID, d.Op)
+			}
+		}
+	}
+	for i, o := range g.Outputs {
+		if err := checkPort(fmt.Sprintf("graph output %d", i), o); err != nil {
+			return err
+		}
+	}
+	for i, u := range g.Updates {
+		if u == nil {
+			return fmt.Errorf("graph update %d is nil", i)
+		}
+		if _, ok := index[u]; !ok {
+			return fmt.Errorf("graph update %d references node %d (%s) not present in Nodes", i, u.ID, u.Op)
+		}
+	}
+	// Acyclicity: Kahn's algorithm over inputs + control deps.
+	indeg := make([]int, len(g.Nodes))
+	succ := make([][]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			j := index[in.Node]
+			succ[j] = append(succ[j], i)
+			indeg[i]++
+		}
+		for _, d := range n.ControlDeps {
+			j := index[d]
+			succ[j] = append(succ[j], i)
+			indeg[i]++
+		}
+	}
+	queue := make([]int, 0, len(g.Nodes))
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		done++
+		for _, j := range succ[i] {
+			if indeg[j]--; indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if done != len(g.Nodes) {
+		for i, d := range indeg {
+			if d > 0 {
+				n := g.Nodes[i]
+				return fmt.Errorf("cycle through node %d (%s)", n.ID, n.Op)
+			}
+		}
+	}
+	return nil
+}

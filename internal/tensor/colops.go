@@ -1,0 +1,74 @@
+package tensor
+
+// This file exposes the padded-input im2col unroll as a standalone kernel,
+// so the graph optimizer's Im2Col-extraction pass can hoist it out of Conv2D
+// and Conv2DGradFilter and share one unroll between the forward convolution
+// and the filter gradient (they consume identical [n*oh*ow, c*kh*kw]
+// matrices of the same input). The FromCol kernels below are exactly the
+// tails of Conv2DInto / Conv2DGradFilterInto after the unroll, so extracted
+// graphs compute bit-identical results.
+
+// Im2ColShape returns the [rows, cols] shape of the im2col unroll of an
+// input/filter pair.
+func Im2ColShape(xShape, wShape []int, stride, pad int) (rows, cols int) {
+	n, _, oh, ow := Conv2DShape(xShape, wShape, stride, pad)
+	return n * oh * ow, xShape[1] * wShape[2] * wShape[3]
+}
+
+// Im2ColInto unrolls x (zero-padded by pad) into dst [n*oh*ow, c*kh*kw],
+// renting padding scratch from alloc. w is read for its kernel dims only.
+func Im2ColInto(dst, x, w *Tensor, stride, pad int, alloc Allocator) *Tensor {
+	alloc = orHeap(alloc)
+	n, _, oh, ow := Conv2DShape(x.shape, w.shape, stride, pad)
+	c, kh, kw := x.shape[1], w.shape[2], w.shape[3]
+	checkDst(dst, []int{n * oh * ow, c * kh * kw}, "Im2ColInto")
+	xp := x
+	if pad > 0 {
+		xp = alloc.Get(n, c, x.shape[2]+2*pad, x.shape[3]+2*pad)
+		Pad2DInto(xp, x, pad)
+	}
+	im2colInto(dst, xp, kh, kw, stride, oh, ow)
+	if pad > 0 {
+		alloc.Put(xp)
+	}
+	return dst
+}
+
+// Conv2DFromColInto finishes a convolution from a precomputed im2col matrix
+// col into dst [n,oc,oh,ow] — the exact tail of Conv2DInto after its own
+// unroll, so Im2Col + Conv2DFromCol is bit-identical to Conv2D.
+func Conv2DFromColInto(dst, col, w *Tensor, n, oh, ow int, alloc Allocator) *Tensor {
+	alloc = orHeap(alloc)
+	oc, ckk := w.shape[0], col.shape[1]
+	checkDst(dst, []int{n, oc, oh, ow}, "Conv2DFromColInto")
+	rows := n * oh * ow
+	mm := alloc.Get(rows, oc)
+	convMatMulNT(mm.data, col.data, w.data, rows, ckk, oc)
+	// Rearrange [n,oh,ow,oc] -> [n,oc,oh,ow] (same as Conv2DInto).
+	for i := 0; i < n; i++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				row := ((i*oh+y)*ow + xx) * oc
+				for o := 0; o < oc; o++ {
+					dst.data[((i*oc+o)*oh+y)*ow+xx] = mm.data[row+o]
+				}
+			}
+		}
+	}
+	alloc.Put(mm)
+	return dst
+}
+
+// Conv2DGradFilterFromColInto computes the filter gradient from a
+// precomputed im2col matrix col and the output gradient gout into dst
+// (shaped like the filter) — the exact tail of Conv2DGradFilterInto.
+func Conv2DGradFilterFromColInto(dst, col, gout *Tensor, alloc Allocator) *Tensor {
+	alloc = orHeap(alloc)
+	n, oc, oh, ow := gout.shape[0], gout.shape[1], gout.shape[2], gout.shape[3]
+	rows, ckk := n*oh*ow, col.shape[1]
+	gflat := alloc.Get(rows, oc)
+	goutFlatInto(gflat, gout)
+	convMatMulTN(dst.data, gflat.data, col.data, rows, oc, ckk)
+	alloc.Put(gflat)
+	return dst
+}

@@ -53,6 +53,14 @@ type thresholds struct {
 		// MaxFinalLoss bounds the LeNet train-step replay's final loss with
 		// the memory plan ON — pooled execution must still train correctly.
 		MaxFinalLoss float64 `json:"max_final_loss"`
+		// MinNodeReduction bounds from below the fraction of graph ops
+		// elementwise fusion removes from the dispatch-bound elementwise
+		// replay (1 - nodes_fused/nodes_unfused), with bit-identical replay
+		// outputs; the LeNet train-step final loss must additionally be
+		// bit-identical between pipeline-on and pipeline-off. Gating these
+		// catches fusion silently ceasing to fire or a pass changing
+		// numerics.
+		MinNodeReduction float64 `json:"min_node_reduction"`
 	} `json:"kernels"`
 }
 
@@ -81,6 +89,11 @@ type report struct {
 	Elementwise *struct {
 		AllocsPerGraphopOn float64 `json:"allocs_per_graphop_on"`
 	} `json:"elementwise_chain"`
+	Passes *struct {
+		LossBitIdentical    bool    `json:"loss_bit_identical"`
+		FusionNodeReduction float64 `json:"fusion_node_reduction"`
+		FusionBitIdentical  bool    `json:"fusion_bit_identical"`
+	} `json:"passes"`
 }
 
 func main() {
@@ -205,6 +218,26 @@ func checkKernels(path string, r report, th thresholds) int {
 			bad++
 		} else {
 			fmt.Printf("benchcheck: %s: plan-on final loss %.4f <= %.4f ok\n", path, got, maxL)
+		}
+	}
+	if minR := th.Kernels.MinNodeReduction; minR > 0 {
+		switch {
+		case r.Passes == nil:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: kernels report lacks passes A/B\n", path)
+			bad++
+		case r.Passes.FusionNodeReduction < minR:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: fusion node reduction %.3f below threshold %.3f\n",
+				path, r.Passes.FusionNodeReduction, minR)
+			bad++
+		case !r.Passes.FusionBitIdentical:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: fused elementwise replay outputs not bit-identical\n", path)
+			bad++
+		case !r.Passes.LossBitIdentical:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: pipeline-on LeNet final loss not bit-identical to pipeline-off\n", path)
+			bad++
+		default:
+			fmt.Printf("benchcheck: %s: fusion node reduction %.3f >= %.3f, replay and loss bit-identical ok\n",
+				path, r.Passes.FusionNodeReduction, minR)
 		}
 	}
 	return bad
