@@ -57,6 +57,10 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "max requests waiting for a worker before 429 (0 = 16x workers)")
 	acquireTimeout := flag.Duration("acquire-timeout", 10*time.Second, "max wait for a worker before 503")
 	cacheCapacity := flag.Int("cache-capacity", 0, "max cached compiled graphs, LRU-evicted (0 = unlimited)")
+	bucketBatch := flag.Bool("bucket-batches", false, "pad batched executions to power-of-two row buckets so variable batch sizes share compiled graphs")
+	maxBucket := flag.Int("max-bucket", 64, "largest padded row bucket (rounded up to a power of two)")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for the compiled-graph snapshot artifact: loaded at boot (after -program), flushed periodically and on shutdown")
+	snapshotInterval := flag.Duration("snapshot-interval", time.Minute, "how often to flush the snapshot artifact (with -snapshot-dir)")
 	program := flag.String("program", "", "minipy program to load at startup")
 	engine := flag.String("engine", "janus", "engine: janus|imperative|trace")
 	lr := flag.Float64("lr", 0.1, "learning rate for optimize()")
@@ -80,6 +84,8 @@ func main() {
 		MaxQueue:       *maxQueue,
 		AcquireTimeout: *acquireTimeout,
 		CacheCapacity:  *cacheCapacity,
+		BucketBatch:    *bucketBatch,
+		MaxBucket:      *maxBucket,
 	}
 	opts.Options.Workers = *engineWorkers
 	opts.LearningRate = *lr
@@ -111,6 +117,36 @@ func main() {
 			fmt.Print(out)
 		}
 		log.Printf("janusd: loaded %s", *program)
+	}
+
+	// Warm boot: restore the compiled-graph snapshot after the program is
+	// loaded (artifact function identity is resolved against the loaded
+	// sources). A missing or rejected artifact just means a cold boot.
+	var snapPath string
+	stopFlush := make(chan struct{})
+	if *snapshotDir != "" {
+		snapPath = janus.SnapshotPath(*snapshotDir)
+		if n, err := srv.LoadSnapshot(snapPath); err != nil {
+			log.Printf("janusd: snapshot: %v (serving cold)", err)
+		} else {
+			log.Printf("janusd: warm boot: restored %d compiled graphs from %s", n, snapPath)
+		}
+		go func() {
+			tick := time.NewTicker(*snapshotInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if n, err := srv.SaveSnapshot(snapPath); err != nil {
+						log.Printf("janusd: snapshot flush: %v", err)
+					} else {
+						log.Printf("janusd: snapshot flushed (%d compiled graphs)", n)
+					}
+				case <-stopFlush:
+					return
+				}
+			}
+		}()
 	}
 
 	mux := http.NewServeMux()
@@ -148,6 +184,16 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Printf("janusd: shutdown: %v", err)
+		}
+	}
+	close(stopFlush)
+	if snapPath != "" {
+		// Final snapshot flush: whatever the pool compiled this run boots
+		// the next replica warm.
+		if n, err := srv.SaveSnapshot(snapPath); err != nil {
+			log.Printf("janusd: final snapshot flush: %v", err)
+		} else {
+			log.Printf("janusd: final snapshot flushed (%d compiled graphs) to %s", n, snapPath)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "# janusd: final metrics snapshot")

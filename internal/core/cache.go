@@ -3,11 +3,23 @@ package core
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/profile"
 )
+
+// sigBucketed reports whether a signature pattern is shape-generalized:
+// any wildcard dim ("?") means several concrete shapes match the entry.
+func sigBucketed(pattern []string) bool {
+	for _, tok := range pattern {
+		if strings.Contains(tok, "?") {
+			return true
+		}
+	}
+	return false
+}
 
 // cacheKey identifies one optimized function in the graph cache: the AST id
 // of its definition plus whether the cached graphs are training graphs
@@ -206,6 +218,13 @@ type CacheEntry struct {
 	Static    bool     `json:"static"`
 	Hits      int64    `json:"hits"`
 	LastUse   int64    `json:"last_use"`
+	// Provenance reports where the entry came from: "compiled" (converted
+	// in this process) or "snapshot" (restored from a persisted artifact).
+	Provenance string `json:"provenance"`
+	// Bucketed marks shape-generalized entries: the signature carries
+	// wildcard dims, so several concrete feed shapes (the serve batcher's
+	// shape buckets) share this one graph.
+	Bucketed bool `json:"bucketed"`
 }
 
 // CacheInfo is a point-in-time inspection snapshot of the cache.
@@ -230,13 +249,19 @@ func (c *GraphCache) Inspect() CacheInfo {
 			info.ImperativeOnly++
 		}
 		for _, e := range fs.entries {
+			prov := "compiled"
+			if e.fromSnapshot {
+				prov = "snapshot"
+			}
 			info.EntryList = append(info.EntryList, CacheEntry{
-				Func:      fs.key.fn,
-				Infer:     fs.key.infer,
-				Signature: append([]string(nil), e.pattern...),
-				Static:    e.static,
-				Hits:      e.hits.Load(),
-				LastUse:   e.lastUse.Load(),
+				Func:       fs.key.fn,
+				Infer:      fs.key.infer,
+				Signature:  append([]string(nil), e.pattern...),
+				Static:     e.static,
+				Hits:       e.hits.Load(),
+				LastUse:    e.lastUse.Load(),
+				Provenance: prov,
+				Bucketed:   sigBucketed(e.pattern),
 			})
 		}
 		fs.mu.Unlock()

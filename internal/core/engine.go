@@ -10,6 +10,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -103,6 +104,16 @@ type Config struct {
 	// so series (and Stats views) aggregate pool-wide. Nil gives the
 	// engine a private registry and strictly per-engine counters.
 	Obs *obs.Registry
+	// RelaxBatchDim merges compiled entries across feed shapes: when a new
+	// conversion produces a graph byte-identical to an already cached entry
+	// whose signature differs only in tensor dims, the cached entry's
+	// pattern is widened with wildcard dims instead of inserting a second
+	// copy — so shape buckets (the serve batcher's padded batch sizes)
+	// share one compiled graph. Outputs are bit-identical to exact-shape
+	// compilation by construction: the merge only fires when the graphs'
+	// canonical encodings are equal. The serving pool enables this when
+	// batch bucketing is on.
+	RelaxBatchDim bool
 }
 
 // memoryPlanOn reports whether plan-driven buffer reuse is enabled.
@@ -173,6 +184,9 @@ type compiled struct {
 	// passes is the post-processor pipeline report for this graph (nil when
 	// the pipeline was disabled), surfaced through Explain.
 	passes *passes.Report
+	// fromSnapshot marks entries restored from a persisted artifact rather
+	// than compiled in this process (provenance on /v1/cache).
+	fromSnapshot bool
 	// hits and lastUse feed the cache's LRU-by-hit eviction policy and the
 	// /v1/cache inspection endpoint; lastUse holds the cache's logical clock
 	// at the most recent lookup hit (or at insertion).
@@ -245,6 +259,41 @@ type Engine struct {
 	// steps, at fallback boundaries, and (throttled) between interpreted
 	// statements via the interpreter's Interrupt hook.
 	runCtx context.Context
+	// progSpans records the AST-ID span of every program this engine has
+	// run, in load order. Artifact persistence keys cached functions by
+	// (program index, ID offset) — stable across processes, unlike the raw
+	// process-global AST IDs (see internal/core/artifact.go).
+	spanMu    sync.Mutex
+	progSpans []progSpan
+}
+
+// progSpan is the AST-ID range [first, last] of one loaded program.
+type progSpan struct {
+	First int `json:"first"`
+	Last  int `json:"last"`
+}
+
+// recordSpan notes a program's AST-ID span once (re-running the same
+// program, as pool workers do at load, records nothing new).
+func (e *Engine) recordSpan(prog *minipy.Program) {
+	if prog.FirstID <= 0 || prog.NumNodes < prog.FirstID {
+		return
+	}
+	e.spanMu.Lock()
+	defer e.spanMu.Unlock()
+	for _, s := range e.progSpans {
+		if s.First == prog.FirstID && s.Last == prog.NumNodes {
+			return
+		}
+	}
+	e.progSpans = append(e.progSpans, progSpan{First: prog.FirstID, Last: prog.NumNodes})
+}
+
+// spans snapshots the recorded program spans.
+func (e *Engine) spans() []progSpan {
+	e.spanMu.Lock()
+	defer e.spanMu.Unlock()
+	return append([]progSpan(nil), e.progSpans...)
 }
 
 // NewEngine builds an engine with a fresh parameter store and graph cache.
@@ -329,6 +378,7 @@ func (e *Engine) RunCtx(ctx context.Context, src string) error {
 	if err != nil {
 		return err
 	}
+	e.recordSpan(prog)
 	restore := e.withCtx(ctx)
 	defer restore()
 	if err := e.interrupted(); err != nil {
@@ -375,7 +425,10 @@ func (e *Engine) asCanceled(err error) error {
 }
 
 // RunProgram executes a pre-parsed program.
-func (e *Engine) RunProgram(prog *minipy.Program) error { return e.Local.Run(prog) }
+func (e *Engine) RunProgram(prog *minipy.Program) error {
+	e.recordSpan(prog)
+	return e.Local.Run(prog)
+}
 
 // Output returns accumulated print() output.
 func (e *Engine) Output() string { return e.Local.Out.String() }
@@ -692,10 +745,58 @@ func (e *Engine) generate(fs *funcState, fn *minipy.FuncVal, sig []string, numLe
 	}
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
+	if o := e.tryRelaxMerge(fs, res, sig, numLeaves); o != nil {
+		return o, nil
+	}
 	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: !res.Dynamic, passes: rep}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)
 	return c, nil
+}
+
+// tryRelaxMerge implements the symbolic batch-dim variant of the cache
+// (Config.RelaxBatchDim): instead of inserting a freshly compiled graph as
+// a new entry, find an existing entry whose signature differs from the new
+// one only in tensor dims AND whose compiled graph is byte-identical to the
+// new one — meaning the differing dims never influenced compilation (the
+// Into kernels size outputs from runtime shapes, so such graphs are
+// batch-size agnostic). The existing entry's pattern is widened with
+// wildcard dims and reused; the new graph is discarded. Because the merge
+// requires canonical-encoding equality, a bucketed execution runs exactly
+// the graph exact-shape compilation would have produced: bit-identical
+// outputs by construction, with false negatives (no merge) as the only
+// failure mode. Caller holds fs.mu.
+func (e *Engine) tryRelaxMerge(fs *funcState, res *convert.Result, sig []string, numLeaves int) *compiled {
+	if !e.cfg.RelaxBatchDim {
+		return nil
+	}
+	var newBytes []byte
+	for _, o := range fs.entries {
+		if o.static == res.Dynamic || o.leafCount != numLeaves {
+			continue
+		}
+		relaxed := convert.RelaxSignature(o.pattern, sig)
+		if relaxed == nil {
+			continue
+		}
+		if newBytes == nil {
+			b, err := graph.CanonicalBytes(res.Graph)
+			if err != nil {
+				return nil // unserializable graph: never mergeable
+			}
+			newBytes = b
+		}
+		ob, err := graph.CanonicalBytes(o.res.Graph)
+		if err != nil || !bytes.Equal(newBytes, ob) {
+			continue
+		}
+		o.pattern = relaxed
+		e.cache.touch(o)
+		e.stats.bucketRelaxed.Inc()
+		obs.TraceFrom(e.runCtx).Annotate("cache", "relax_merge")
+		return o
+	}
+	return nil
 }
 
 // execute runs a compiled graph with the given feed leaves (Figure 2, D),

@@ -251,6 +251,9 @@ func (e *Engine) generateInfer(fs *funcState, fn *minipy.FuncVal, args []minipy.
 	}
 	e.stats.addReport(rep)
 	e.stats.conversions.Add(1)
+	if o := e.tryRelaxMerge(fs, res, sig, numLeaves); o != nil {
+		return o, nil
+	}
 	c := &compiled{pattern: sig, leafCount: numLeaves, res: res, static: true, passes: rep}
 	fs.entries = append(fs.entries, c)
 	e.cache.noteInsert(c)

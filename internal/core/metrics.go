@@ -27,6 +27,7 @@ const (
 	helpCacheEvict  = "Compiled graphs evicted by cache capacity enforcement."
 	helpDeopt       = "Graph executions aborted by a failed speculative assumption, by assumption kind."
 	helpDeoptWasted = "Abandoned execution time per assumption-failure fallback (the aborted graph run is re-run imperatively)."
+	helpBucketRelax = "Compiled-graph entries merged into a shape-generalized (wildcard-dim) entry instead of being cached separately."
 )
 
 // deoptKinds are the converter's assumption classes, registered eagerly
@@ -53,6 +54,7 @@ type counters struct {
 	assertFailures  *obs.Counter
 	fallbacks       *obs.Counter
 	sigHashHits     *obs.Counter
+	bucketRelaxed   *obs.Counter
 
 	phaseConvert    *obs.Histogram
 	phaseCompile    *obs.Histogram
@@ -80,6 +82,7 @@ func newCounters(reg *obs.Registry) *counters {
 		cacheHits:       reg.Counter("janus_engine_cache_lookups_total", helpCacheLookup, "result", "hit"),
 		cacheMisses:     reg.Counter("janus_engine_cache_lookups_total", helpCacheLookup, "result", "miss"),
 		sigHashHits:     reg.Counter("janus_engine_sighash_hits_total", helpSigHash),
+		bucketRelaxed:   reg.Counter("janus_bucket_relaxed_total", helpBucketRelax),
 		assertFailures:  reg.Counter("janus_engine_assert_failures_total", helpAsserts),
 		fallbacks:       reg.Counter("janus_engine_fallbacks_total", helpFallbacks),
 		phaseConvert:    reg.Histogram("janus_engine_phase_seconds", helpPhase, obs.DefBuckets, "phase", "convert"),

@@ -410,6 +410,78 @@ func planFor(g *graph.Graph, c *ctx) (*plan, error) {
 	return p, nil
 }
 
+// PrimePlan eagerly builds and installs g's execution plan, substituting a
+// previously computed memory plan when it still fits the graph. The artifact
+// loader (internal/core) calls this at boot for every restored graph so the
+// first served request skips both plan analysis and the liveness pass; a
+// restored memory plan that no longer matches the graph's node count or
+// port layout is silently discarded in favour of the fresh analysis —
+// falling back costs a recompute, never correctness.
+func PrimePlan(g *graph.Graph, mem *graph.MemoryPlan) error {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if _, ok := g.Plan.(*plan); ok {
+		return nil
+	}
+	p, err := buildPlan(g, nil)
+	if err != nil {
+		return err
+	}
+	if mem != nil && memPlanFits(g, mem) {
+		p.mem = mem
+		p.prof = newGraphProfile(g, p.mem)
+	}
+	g.Plan = p
+	return nil
+}
+
+// PlanMemory returns the memory plan of g's installed execution plan (nil
+// when no plan has been built). The artifact saver persists it alongside
+// the graph so a restored replica skips the liveness analysis.
+func PlanMemory(g *graph.Graph) *graph.MemoryPlan {
+	planMu.Lock()
+	defer planMu.Unlock()
+	if p, ok := g.Plan.(*plan); ok {
+		return p.mem
+	}
+	return nil
+}
+
+// memPlanFits validates a deserialized memory plan against the graph it
+// claims to describe: every per-node slice must cover the node list and
+// every class index must be in range.
+func memPlanFits(g *graph.Graph, mem *graph.MemoryPlan) bool {
+	n := len(g.Nodes)
+	if len(mem.OutClass) != n || len(mem.InClass) != n ||
+		len(mem.PoolRecord) != n || len(mem.InPlace) != n ||
+		len(mem.Refs) != mem.NumClasses || len(mem.Releasable) != mem.NumClasses {
+		return false
+	}
+	counts := graph.PortCounts(g)
+	for i, nd := range g.Nodes {
+		if len(mem.OutClass[i]) != int(counts[i]) || len(mem.PoolRecord[i]) != int(counts[i]) {
+			return false
+		}
+		if len(mem.InClass[i]) != len(nd.Inputs) {
+			return false
+		}
+		if mem.InPlace[i] < -1 || int(mem.InPlace[i]) >= len(nd.Inputs) {
+			return false
+		}
+		for _, c := range mem.OutClass[i] {
+			if c < 0 || int(c) >= mem.NumClasses {
+				return false
+			}
+		}
+		for _, c := range mem.InClass[i] {
+			if c < 0 || int(c) >= mem.NumClasses {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Arena recycles per-run scheduler state (value arrays, refcounts, buffer
 // tables) across executions. One Arena is typically owned by one Engine;
 // concurrent or reentrant executions of the same graph simply fall back to

@@ -308,4 +308,10 @@ type Program struct {
 	// NumNodes is one greater than the largest node ID; profilers size their
 	// tables from it.
 	NumNodes int
+	// FirstID is the lowest node ID this parse could have assigned (IDs are
+	// process-globally unique, so a program's IDs occupy the half-open span
+	// [FirstID, NumNodes+1)). Artifact persistence keys cached functions by
+	// their span-relative offset, which — unlike the raw ID — is stable
+	// across processes and re-parses of identical source.
+	FirstID int
 }

@@ -26,6 +26,7 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	p := &Parser{toks: toks}
+	first := int(globalNodeID.Load()) + 1
 	var body []Stmt
 	for !p.at(EOF) {
 		if p.at(NEWLINE) {
@@ -38,7 +39,7 @@ func Parse(src string) (*Program, error) {
 		}
 		body = append(body, s)
 	}
-	return &Program{Body: body, NumNodes: int(globalNodeID.Load())}, nil
+	return &Program{Body: body, NumNodes: int(globalNodeID.Load()), FirstID: first}, nil
 }
 
 // MustParse parses src, panicking on error. For embedded model sources.

@@ -218,6 +218,20 @@ func (p *Profile) Iterations() int {
 	return p.iterations
 }
 
+// ForceIterations raises the completed-iteration count to at least n. The
+// artifact loader (internal/core) uses it when restoring a snapshotted
+// graph cache: the original process already paid the profiling iterations,
+// so the restored engine must not gate cached-graph lookups behind a fresh
+// observation window. Counts only ever move up — a live profile with more
+// observed iterations is left alone.
+func (p *Profile) ForceIterations(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.iterations < n {
+		p.iterations = n
+	}
+}
+
 // BranchStable reports whether the conditional at nodeID always took one
 // direction, and which.
 func (p *Profile) BranchStable(nodeID int) (taken, stable bool) {

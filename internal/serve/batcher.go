@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -38,10 +39,16 @@ type batcher struct {
 // styles.
 const positionalFeed = "#0"
 
-// feed is one named input tensor.
+// feed is one named input tensor. Shared feeds are weight-like inputs
+// (lookup tables, projection matrices passed as arguments) that every
+// request in a batch reads whole: they are never stacked along the batch
+// axis, never padded, and never force a batch-dim split — requests batch
+// together as long as their shared feeds hold identical bytes (enforced by
+// a content fingerprint in the group key).
 type feed struct {
-	name string
-	t    *tensor.Tensor
+	name   string
+	t      *tensor.Tensor
+	shared bool
 }
 
 type inferResult struct {
@@ -80,12 +87,42 @@ func groupKey(fn string, feeds []feed) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d:%s", len(fn), fn)
 	for _, f := range feeds {
-		fmt.Fprintf(&sb, "|%d:%s=", len(f.name), f.name)
+		if f.shared {
+			// Shared feeds batch across requests only when identical: the
+			// key carries the full shape plus a content fingerprint, so two
+			// requests passing different weights land in different groups
+			// (and each group's flush can pass the tensor through whole).
+			fmt.Fprintf(&sb, "|s%d:%s=", len(f.name), f.name)
+			for _, d := range f.t.Shape() {
+				fmt.Fprintf(&sb, "%d,", d)
+			}
+			fmt.Fprintf(&sb, "#%016x", fingerprint(f.t))
+			continue
+		}
+		fmt.Fprintf(&sb, "|b%d:%s=", len(f.name), f.name)
 		for _, d := range f.t.Shape()[1:] {
 			fmt.Fprintf(&sb, "%d,", d)
 		}
 	}
 	return sb.String()
+}
+
+// fingerprint hashes a tensor's exact bit content (FNV-1a over the
+// little-endian IEEE-754 bit patterns).
+func fingerprint(t *tensor.Tensor) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, f := range t.Data() {
+		bits := math.Float64bits(f)
+		for i := 0; i < 64; i += 8 {
+			h ^= (bits >> i) & 0xff
+			h *= prime64
+		}
+	}
+	return h
 }
 
 // validateFeeds checks the batching contract up front, so shape mistakes
@@ -96,20 +133,28 @@ func validateFeeds(fn string, feeds []feed) (rows int, err error) {
 	if len(feeds) == 0 {
 		return 0, fmt.Errorf("serve: %s: at least one feed is required", fn)
 	}
+	rows = -1
+	var first string
 	for _, f := range feeds {
 		if f.t == nil {
 			return 0, fmt.Errorf("serve: %s: feed %q is nil", fn, feedName(f.name))
 		}
+		if f.shared {
+			// Shared (broadcast) feeds carry no batch dimension contract.
+			continue
+		}
 		if f.t.Rank() < 1 {
-			return 0, fmt.Errorf("serve: %s: feed %q is a scalar — every feed needs a leading batch dimension (shape [1, ...] for a single example)", fn, feedName(f.name))
+			return 0, fmt.Errorf("serve: %s: feed %q is a scalar — every batched feed needs a leading batch dimension (shape [1, ...] for a single example; mark weight-like inputs shared)", fn, feedName(f.name))
+		}
+		if rows < 0 {
+			rows, first = f.t.Dim(0), f.name
+		} else if f.t.Dim(0) != rows {
+			return 0, fmt.Errorf("serve: %s: feeds disagree on the batch dimension (%q has %d rows, %q has %d)",
+				fn, feedName(first), rows, feedName(f.name), f.t.Dim(0))
 		}
 	}
-	rows = feeds[0].t.Dim(0)
-	for _, f := range feeds[1:] {
-		if f.t.Dim(0) != rows {
-			return 0, fmt.Errorf("serve: %s: feeds disagree on the batch dimension (%q has %d rows, %q has %d)",
-				fn, feedName(feeds[0].name), rows, feedName(f.name), f.t.Dim(0))
-		}
+	if rows < 0 {
+		return 0, fmt.Errorf("serve: %s: every feed is marked shared — at least one batched feed is required (use Call for unbatched invocation)", fn)
 	}
 	return rows, nil
 }
@@ -207,9 +252,15 @@ func (b *batcher) flush(g *batchGroup) {
 			return
 		}
 	}
-	// Concat each feed across requests.
+	// Concat each batched feed across requests; shared feeds pass through
+	// whole (the group key guarantees every request brought identical bytes).
 	batched := make([]feed, len(g.reqs[0].feeds))
 	for j := range batched {
+		proto := g.reqs[0].feeds[j]
+		if proto.shared {
+			batched[j] = proto
+			continue
+		}
 		parts := make([]*tensor.Tensor, len(g.reqs))
 		for i, r := range g.reqs {
 			parts[i] = r.feeds[j].t
@@ -218,7 +269,26 @@ func (b *batcher) flush(g *batchGroup) {
 		if len(parts) > 1 {
 			t = tensor.Concat(0, parts...)
 		}
-		batched[j] = feed{name: g.reqs[0].feeds[j].name, t: t}
+		batched[j] = feed{name: proto.name, t: t}
+	}
+	// Shape bucketing: round the execution up to the next power-of-two row
+	// count by repeating the last real row, so near-miss batch sizes share
+	// one compiled graph instead of converting their own. Synthetic rows
+	// are computed and discarded — only real rows scatter back.
+	pad := 0
+	if b.pool.cfg.BucketBatch {
+		if bucket := nextPow2(rows); bucket > rows && bucket <= b.pool.cfg.MaxBucket {
+			pad = bucket - rows
+			for j := range batched {
+				if !batched[j].shared {
+					batched[j].t = padRows(batched[j].t, pad)
+				}
+			}
+			m.bucketPadded.Inc()
+			m.bucketRows.Add(int64(pad))
+		} else {
+			m.bucketExact.Inc()
+		}
 	}
 	// A single-request batch can honor its caller's context end to end;
 	// a shared batch must not be killed by one member's cancellation.
@@ -255,6 +325,20 @@ func (b *batcher) flush(g *batchGroup) {
 		fail(fmt.Errorf("serve: %s: %v", g.fn, err))
 		return
 	}
+	if pad > 0 {
+		// Drop the synthetic rows. Every output must preserve the (padded)
+		// batch dimension: a shared scalar (e.g. a mean loss) would have
+		// aggregated over rows that no client sent, so returning it would be
+		// silently wrong — reject instead, pointing at the knob.
+		for i, t := range outs {
+			if t.Rank() < 1 || t.Dim(0) != rows+pad {
+				fail(fmt.Errorf("serve: %s output %d has shape %v, which does not preserve the batch dimension — shape bucketing pads the batch with synthetic rows, so %s needs batch-preserving outputs (disable BucketBatch to serve it)",
+					g.fn, i, t.Shape(), g.fn))
+				return
+			}
+			outs[i] = tensor.SliceAxis(t, 0, 0, rows)
+		}
+	}
 	if len(g.reqs) == 1 {
 		g.reqs[0].out <- inferResult{outs: outs}
 		return
@@ -285,6 +369,20 @@ func (b *batcher) flush(g *batchGroup) {
 	}
 }
 
+// padRows appends pad copies of t's last row along axis 0. Repeating a real
+// row (rather than zero-filling) keeps the synthetic rows inside the data
+// distribution, so padded execution can never trip a value-dependent
+// assertion (a speculation deopt) that the real rows would not have.
+func padRows(t *tensor.Tensor, pad int) *tensor.Tensor {
+	last := tensor.SliceAxis(t, 0, t.Dim(0)-1, t.Dim(0))
+	parts := make([]*tensor.Tensor, 1, pad+1)
+	parts[0] = t
+	for i := 0; i < pad; i++ {
+		parts = append(parts, last)
+	}
+	return tensor.Concat(0, parts...)
+}
+
 // describeFeeds renders a feed list as name:shape pairs for error messages.
 func describeFeeds(feeds []feed) string {
 	parts := make([]string, len(feeds))
@@ -295,11 +393,11 @@ func describeFeeds(feeds []feed) string {
 }
 
 // sortedFeeds converts a name->tensor map into the batcher's canonical
-// (name-sorted) feed list.
-func sortedFeeds(m map[string]*tensor.Tensor) []feed {
+// (name-sorted) feed list, marking the names in shared as broadcast feeds.
+func sortedFeeds(m map[string]*tensor.Tensor, shared map[string]bool) []feed {
 	feeds := make([]feed, 0, len(m))
 	for name, t := range m {
-		feeds = append(feeds, feed{name: name, t: t})
+		feeds = append(feeds, feed{name: name, t: t, shared: shared[name]})
 	}
 	sort.Slice(feeds, func(i, j int) bool { return feeds[i].name < feeds[j].name })
 	return feeds

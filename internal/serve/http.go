@@ -257,6 +257,9 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 		Fn      string         `json:"fn"`
 		Args    []any          `json:"args"`
 		Feeds   map[string]any `json:"feeds"`
+		// Shared names feeds the function reads whole (weight-like inputs):
+		// they are broadcast to the batch rather than stacked per-row.
+		Shared []string `json:"shared"`
 	}
 	if err := decode(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -283,7 +286,7 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 			}
 			feeds[name] = t
 		}
-		outs, err := s.pool.CallNamed(ctx, req.Fn, feeds)
+		outs, err := s.pool.CallNamedShared(ctx, req.Fn, feeds, req.Shared)
 		if err != nil {
 			writeErr(w, failStatus(err), err)
 			return
@@ -293,6 +296,11 @@ func (s *Server) handleCall(w http.ResponseWriter, r *http.Request) {
 			results[i] = tensorToJSON(t)
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"outputs": results})
+		return
+	}
+	if len(req.Shared) > 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf(`serve: "shared" only applies to the named-feed form ("feeds")`))
 		return
 	}
 	var sess *Session
@@ -439,15 +447,30 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
 	info := s.pool.Cache().Inspect()
 	st := s.pool.Stats()
+	// Each entry in entry_list carries its own provenance ("compiled" vs
+	// "snapshot") and bucket membership; the top level summarizes both so
+	// operators can see at a glance whether a replica booted warm and how
+	// much of its cache is shape-generalized.
+	bucketed, fromSnapshot := 0, 0
+	for _, e := range info.EntryList {
+		if e.Bucketed {
+			bucketed++
+		}
+		if e.Provenance == "snapshot" {
+			fromSnapshot++
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"capacity":        info.Capacity,
-		"funcs":           info.Funcs,
-		"entries":         info.Entries,
-		"evictions":       info.Evictions,
-		"imperative_only": info.ImperativeOnly,
-		"hits":            st.CacheHits,
-		"misses":          st.CacheMisses,
-		"entry_list":      info.EntryList,
+		"capacity":         info.Capacity,
+		"funcs":            info.Funcs,
+		"entries":          info.Entries,
+		"bucketed_entries": bucketed,
+		"snapshot_entries": fromSnapshot,
+		"evictions":        info.Evictions,
+		"imperative_only":  info.ImperativeOnly,
+		"hits":             st.CacheHits,
+		"misses":           st.CacheMisses,
+		"entry_list":       info.EntryList,
 	})
 }
 

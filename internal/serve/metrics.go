@@ -16,6 +16,10 @@ const (
 	helpBatchWait = "Time a request spent parked in a batch group before its flush."
 	helpFlushes   = "Batch-group flushes, by trigger (full window vs timer expiry)."
 	helpBatched   = "Requests served through the batcher."
+
+	helpBucketPadded = "Batched executions padded up to a power-of-two row bucket."
+	helpBucketExact  = "Batched executions whose row count already sat on a bucket boundary."
+	helpBucketRows   = "Synthetic padding rows appended by the shape-bucketing policy."
 )
 
 // metrics is the pool's serving-side instrument set, resolved once in the
@@ -37,6 +41,13 @@ type metrics struct {
 	flushFull  *obs.Counter
 	flushTimer *obs.Counter
 	batched    *obs.Counter
+
+	// Shape-bucketing instruments (janus_bucket_*), registered eagerly so
+	// the family is present in a fresh boot's exposition — the CI cold-start
+	// gate checks family presence before any traffic arrives.
+	bucketPadded *obs.Counter
+	bucketExact  *obs.Counter
+	bucketRows   *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -54,6 +65,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		flushFull:  reg.Counter("janus_serve_batch_flushes_total", helpFlushes, "reason", "full"),
 		flushTimer: reg.Counter("janus_serve_batch_flushes_total", helpFlushes, "reason", "timer"),
 		batched:    reg.Counter("janus_serve_batched_requests_total", helpBatched),
+
+		bucketPadded: reg.Counter("janus_bucket_padded_batches_total", helpBucketPadded),
+		bucketExact:  reg.Counter("janus_bucket_exact_batches_total", helpBucketExact),
+		bucketRows:   reg.Counter("janus_bucket_pad_rows_total", helpBucketRows),
 	}
 }
 

@@ -18,6 +18,7 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -63,6 +64,21 @@ type Config struct {
 	// CacheCapacity bounds compiled graphs in the shared cache; the
 	// least-recently-hit entry is evicted when exceeded (0 = unlimited).
 	CacheCapacity int
+	// BucketBatch turns on shape bucketing: the batcher pads each coalesced
+	// execution up to the next power-of-two row count (capped at MaxBucket)
+	// by repeating the last real row, so a fleet facing variable batch
+	// sizes compiles a handful of graphs instead of one per distinct size.
+	// Only real rows are scattered back. Workers additionally compile with
+	// core.Config.RelaxBatchDim, so the bucket sizes themselves merge into
+	// a single wildcard-batch graph when their structure is identical.
+	// Served functions must be batch-dim parallel with batch-preserving
+	// outputs; a shared scalar output (e.g. a mean loss) would aggregate
+	// over synthetic rows, so padded executions reject it rather than
+	// silently return a perturbed value.
+	BucketBatch bool
+	// MaxBucket caps the padded row count (rounded up to a power of two;
+	// default 64). Executions already larger than MaxBucket run unpadded.
+	MaxBucket int
 	// Engine configures every worker (mode, learning rate, profiling, ...).
 	Engine core.Config
 }
@@ -93,7 +109,26 @@ func (c Config) withDefaults() Config {
 	if c.AcquireTimeout <= 0 {
 		c.AcquireTimeout = 10 * time.Second
 	}
+	if c.MaxBucket < 1 {
+		c.MaxBucket = 64
+	}
+	c.MaxBucket = nextPow2(c.MaxBucket)
+	if c.BucketBatch {
+		// Bucketed serving wants one graph across bucket sizes, not one per
+		// bucket: let structurally identical conversions relax-merge into a
+		// wildcard batch dim.
+		c.Engine.RelaxBatchDim = true
+	}
 	return c
+}
+
+// nextPow2 rounds n up to the nearest power of two (n >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // Stats aggregates engine counters across the pool plus serving-side
@@ -142,6 +177,10 @@ type Pool struct {
 	queued   atomic.Int64
 
 	loadMu sync.Mutex
+	// srcs accumulates every source loaded through Load, in order; the
+	// concatenation fingerprints the served program for snapshot artifacts
+	// (see ProgramHash).
+	srcs []string
 	// sigs caches the loaded module functions' parameter lists (snapshotted
 	// under loadMu after every Load), so handle resolution reads a map
 	// instead of competing with requests for an exclusive worker.
@@ -168,6 +207,10 @@ func NewPool(cfg Config) *Pool {
 	// workers see Config.Obs non-nil and skip their (per-engine) cache
 	// registration, keeping the pairing 1:1 (see core.RegisterCacheMetrics).
 	core.RegisterCacheMetrics(reg, p.cache)
+	// Artifact (snapshot) families appear in the exposition from boot, so
+	// the CI cold-start gate can assert their presence on a replica that
+	// has not yet saved or loaded anything.
+	core.RegisterArtifactMetrics(reg)
 	reg.CounterFunc("janus_serve_sessions_total", helpSessions,
 		func() float64 { return float64(p.sessions.Load()) })
 	reg.GaugeFunc("janus_serve_queued", helpQueued,
@@ -355,7 +398,44 @@ func (p *Pool) Load(src string) (string, error) {
 	p.sigMu.Lock()
 	p.sigs = sigs
 	p.sigMu.Unlock()
+	p.srcs = append(p.srcs, src)
 	return out, nil
+}
+
+// ProgramHash fingerprints every source loaded so far (length-prefixed
+// SHA-256 over the concatenation, in load order). Snapshot artifacts embed
+// it, and a boot-time load validates it: cached functions are addressed by
+// (program index, AST offset), which only mean the same thing when the same
+// sources were loaded in the same order.
+func (p *Pool) ProgramHash() string {
+	p.loadMu.Lock()
+	defer p.loadMu.Unlock()
+	h := sha256.New()
+	for _, src := range p.srcs {
+		fmt.Fprintf(h, "%d\n", len(src))
+		h.Write([]byte(src))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// SaveSnapshot persists the pool's warm state — compiled graphs, memory
+// plans, pass reports, the signature-hash index, profiling progress and
+// model parameters — into the artifact file at path (atomic write). Returns
+// the number of compiled entries saved. Safe to call while serving: the
+// cache and store are read under their own locks.
+func (p *Pool) SaveSnapshot(path string) (int, error) {
+	return p.engines[0].SaveArtifact(path, p.ProgramHash())
+}
+
+// LoadSnapshot restores a snapshot artifact saved by a replica that had
+// loaded the same program sources (validated via ProgramHash). Call after
+// Load. On success every worker sees the restored graphs immediately —
+// cache and parameter store are pool-shared — and the first request is
+// served warm, with zero conversions and zero imperative profiling steps.
+// Any mismatch or corruption rejects the whole artifact (counted in
+// janus_artifact_rejected_total) and the pool simply serves cold.
+func (p *Pool) LoadSnapshot(path string) (int, error) {
+	return p.engines[0].LoadArtifact(path, p.ProgramHash())
 }
 
 // Call invokes a loaded module-level function on one worker. Training-step
@@ -387,6 +467,16 @@ func (p *Pool) CallCtx(ctx context.Context, fn string, args []minipy.Value) (min
 // must keep a leading batch dimension; unknown or missing parameter names
 // fail up front with a clear error.
 func (p *Pool) CallNamed(ctx context.Context, fn string, feeds map[string]*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return p.CallNamedShared(ctx, fn, feeds, nil)
+}
+
+// CallNamedShared is CallNamed with some feeds marked shared (broadcast):
+// weight-like inputs — lookup tables, projection matrices — that the
+// function reads whole rather than per-row. Shared feeds are exempt from
+// the batch-dimension contract, are never stacked or padded, and don't
+// split batches: concurrent requests coalesce as long as their shared
+// feeds are bit-identical. Names in shared must appear in feeds.
+func (p *Pool) CallNamedShared(ctx context.Context, fn string, feeds map[string]*tensor.Tensor, shared []string) ([]*tensor.Tensor, error) {
 	if len(feeds) == 0 {
 		// Nothing to batch: a zero-feed call executes directly, so no-arg
 		// handles behave identically on every backend.
@@ -405,8 +495,15 @@ func (p *Pool) CallNamed(ctx context.Context, fn string, feeds map[string]*tenso
 	if _, ok := feeds[positionalFeed]; ok {
 		return nil, fmt.Errorf("serve: %s: feed name %q is reserved", fn, positionalFeed)
 	}
+	sharedSet := make(map[string]bool, len(shared))
+	for _, name := range shared {
+		if _, ok := feeds[name]; !ok {
+			return nil, fmt.Errorf("serve: %s: shared feed %q is not among the feeds", fn, name)
+		}
+		sharedSet[name] = true
+	}
 	p.metrics.requests.Inc()
-	return p.batcher.submit(ctx, fn, sortedFeeds(feeds))
+	return p.batcher.submit(ctx, fn, sortedFeeds(feeds, sharedSet))
 }
 
 // FuncParams resolves a loaded module-level function and returns its

@@ -15,6 +15,14 @@
 // text exposition (a CI scrape of a live janusd /metrics) and fails unless
 // every series family named in thresholds metrics.require is present —
 // catching instrumentation that silently stopped registering.
+//
+// With -warm-metrics FILE the gate parses FILE as a scrape of a janusd that
+// was rebooted against a snapshot artifact (-snapshot-dir) and bounds summed
+// family values: every family in thresholds metrics.warm_min must sum to at
+// least its bound (the artifact really loaded), every family in
+// metrics.warm_max must sum to at most its bound (a warm boot that converts
+// graphs — janus_engine_conversions_total > 0 — is a cold boot wearing a
+// snapshot, and fails the build).
 package main
 
 import (
@@ -23,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -38,12 +48,27 @@ type thresholds struct {
 		MinCacheHitRate float64 `json:"min_cache_hit_rate"`
 		// MaxFailedFrac bounds failed/total requests from above.
 		MaxFailedFrac float64 `json:"max_failed_frac"`
+		// MinCacheHitRateBucketed bounds the hit rate of the shape-bucketed
+		// pool driven with variable batch sizes — the rate that collapses
+		// when bucketing stops mapping near-miss sizes onto shared graphs.
+		MinCacheHitRateBucketed float64 `json:"min_cache_hit_rate_bucketed"`
+		// RequireSnapshotRoundTrip gates the artifact round trip: the report
+		// must show snapshot_saved > 0, snapshot_loaded == snapshot_saved,
+		// and warm_conversions == 0 (a restored pool served its whole warm
+		// measurement without converting a single graph).
+		RequireSnapshotRoundTrip bool `json:"require_snapshot_round_trip"`
 	} `json:"serve"`
 	Metrics struct {
 		// Require lists metric family names that must appear in the
 		// -metrics exposition scrape (histogram families match their
 		// _bucket/_sum/_count series).
 		Require []string `json:"require"`
+		// WarmMin / WarmMax bound summed family sample values in the
+		// -warm-metrics scrape of a snapshot-rebooted janusd: warm_min
+		// proves the artifact loaded, warm_max proves the warm boot did no
+		// cold work.
+		WarmMin map[string]float64 `json:"warm_min"`
+		WarmMax map[string]float64 `json:"warm_max"`
 	} `json:"metrics"`
 	Kernels struct {
 		// MaxAllocsPerOp bounds steady-state allocations per graph op in the
@@ -80,10 +105,14 @@ type report struct {
 		Workers   int     `json:"workers"`
 		FinalLoss float64 `json:"final_loss"`
 	} `json:"scaling"`
-	Requests     int64   `json:"requests"`
-	Failed       int64   `json:"failed"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	TrainStep    *struct {
+	Requests             int64   `json:"requests"`
+	Failed               int64   `json:"failed"`
+	CacheHitRate         float64 `json:"cache_hit_rate"`
+	CacheHitRateBucketed float64 `json:"cache_hit_rate_bucketed"`
+	SnapshotSaved        int     `json:"snapshot_saved"`
+	SnapshotLoaded       int     `json:"snapshot_loaded"`
+	WarmConversions      *int64  `json:"warm_conversions"`
+	TrainStep            *struct {
 		FinalLossOn float64 `json:"final_loss_on"`
 	} `json:"train_step"`
 	Elementwise *struct {
@@ -99,8 +128,9 @@ type report struct {
 func main() {
 	thresholdsPath := flag.String("thresholds", "bench-thresholds.json", "committed thresholds file")
 	metricsPath := flag.String("metrics", "", "Prometheus text scrape to check for required series families")
+	warmMetricsPath := flag.String("warm-metrics", "", "Prometheus text scrape of a snapshot-rebooted janusd to bound against metrics.warm_min/warm_max")
 	flag.Parse()
-	if flag.NArg() == 0 && *metricsPath == "" {
+	if flag.NArg() == 0 && *metricsPath == "" && *warmMetricsPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark reports given")
 		os.Exit(2)
 	}
@@ -112,6 +142,9 @@ func main() {
 	failures := 0
 	if *metricsPath != "" {
 		failures += checkMetrics(*metricsPath, th)
+	}
+	if *warmMetricsPath != "" {
+		failures += checkWarmMetrics(*warmMetricsPath, th)
 	}
 	for _, path := range flag.Args() {
 		var r report
@@ -191,6 +224,37 @@ func checkServe(path string, r report, th thresholds) int {
 			fmt.Printf("benchcheck: %s: failed fraction %.3f <= %.3f ok\n", path, frac, maxf)
 		}
 	}
+	if min := th.Serve.MinCacheHitRateBucketed; min > 0 {
+		if r.CacheHitRateBucketed < min {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: bucketed cache hit rate %.3f below threshold %.3f\n",
+				path, r.CacheHitRateBucketed, min)
+			bad++
+		} else {
+			fmt.Printf("benchcheck: %s: bucketed cache hit rate %.3f >= %.3f ok\n",
+				path, r.CacheHitRateBucketed, min)
+		}
+	}
+	if th.Serve.RequireSnapshotRoundTrip {
+		switch {
+		case r.SnapshotSaved <= 0:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: snapshot round trip saved no entries\n", path)
+			bad++
+		case r.SnapshotLoaded != r.SnapshotSaved:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: snapshot restored %d of %d saved entries\n",
+				path, r.SnapshotLoaded, r.SnapshotSaved)
+			bad++
+		case r.WarmConversions == nil:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: report lacks warm_conversions (stale janusbench?)\n", path)
+			bad++
+		case *r.WarmConversions != 0:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: snapshot-restored pool converted %d graphs, want 0\n",
+				path, *r.WarmConversions)
+			bad++
+		default:
+			fmt.Printf("benchcheck: %s: snapshot round trip %d entries, 0 warm conversions ok\n",
+				path, r.SnapshotSaved)
+		}
+	}
 	return bad
 }
 
@@ -243,21 +307,16 @@ func checkKernels(path string, r report, th thresholds) int {
 	return bad
 }
 
-// checkMetrics parses a Prometheus text exposition and verifies every
-// required metric family has at least one sample line. Histogram families
-// are matched through their _bucket/_sum/_count series.
-func checkMetrics(path string, th thresholds) int {
-	if len(th.Metrics.Require) == 0 {
-		fmt.Fprintf(os.Stderr, "benchcheck: %s: -metrics given but thresholds list no metrics.require\n", path)
-		return 1
-	}
+// parseExposition reads a Prometheus text exposition and returns per-family
+// summed sample values. Histogram series fold into their family through the
+// _bucket/_sum/_count suffixes; labeled counter series sum across labels.
+func parseExposition(path string) (map[string]float64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-		return 1
+		return nil, err
 	}
 	defer f.Close()
-	families := make(map[string]bool)
+	sums := make(map[string]float64)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -274,19 +333,92 @@ func checkMetrics(path string, th thresholds) int {
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			name = strings.TrimSuffix(name, suffix)
 		}
-		families[name] = true
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		sums[name] += v
 	}
-	if err := sc.Err(); err != nil {
+	return sums, sc.Err()
+}
+
+// checkMetrics verifies every required metric family has at least one sample
+// line in the exposition. Histogram families are matched through their
+// _bucket/_sum/_count series.
+func checkMetrics(path string, th thresholds) int {
+	if len(th.Metrics.Require) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: -metrics given but thresholds list no metrics.require\n", path)
+		return 1
+	}
+	families, err := parseExposition(path)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
 		return 1
 	}
 	bad := 0
 	for _, want := range th.Metrics.Require {
-		if families[want] {
+		if _, ok := families[want]; ok {
 			fmt.Printf("benchcheck: %s: series family %s present ok\n", path, want)
 		} else {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s: required series family %s missing from exposition\n", path, want)
 			bad++
+		}
+	}
+	return bad
+}
+
+// checkWarmMetrics bounds summed family values in the warm-reboot scrape:
+// warm_min families must reach their bound (the snapshot artifact really
+// loaded), warm_max families must stay at or under theirs (the warm boot
+// paid no cold work — zero graph conversions above all).
+func checkWarmMetrics(path string, th thresholds) int {
+	if len(th.Metrics.WarmMin) == 0 && len(th.Metrics.WarmMax) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: -warm-metrics given but thresholds list no metrics.warm_min/warm_max\n", path)
+		return 1
+	}
+	sums, err := parseExposition(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", path, err)
+		return 1
+	}
+	bad := 0
+	sortedKeys := func(m map[string]float64) []string {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	for _, name := range sortedKeys(th.Metrics.WarmMin) {
+		min := th.Metrics.WarmMin[name]
+		got, ok := sums[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: warm_min family %s missing from exposition\n", path, name)
+			bad++
+		case got < min:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: warm boot %s = %g below %g — the snapshot artifact did not load\n",
+				path, name, got, min)
+			bad++
+		default:
+			fmt.Printf("benchcheck: %s: warm boot %s = %g >= %g ok\n", path, name, got, min)
+		}
+	}
+	for _, name := range sortedKeys(th.Metrics.WarmMax) {
+		max := th.Metrics.WarmMax[name]
+		got, ok := sums[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: warm_max family %s missing from exposition\n", path, name)
+			bad++
+		case got > max:
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: warm boot %s = %g exceeds %g — a warm boot did cold work\n",
+				path, name, got, max)
+			bad++
+		default:
+			fmt.Printf("benchcheck: %s: warm boot %s = %g <= %g ok\n", path, name, got, max)
 		}
 	}
 	return bad

@@ -1,0 +1,150 @@
+// Command snapfix manages the seeded snapshot fixture CI caches across
+// runs: it builds a warm compiled-graph artifact by driving real traffic
+// through an in-process serving pool, validates a cached fixture against the
+// current build, and prints the artifact format version the cache key is
+// derived from.
+//
+//	snapfix -version                           print core.ArtifactVersion
+//	snapfix -out DIR -program model.py         seed a fresh fixture into DIR
+//	snapfix -check DIR -program model.py       validate a cached fixture
+//
+// -check boots a fresh pool from the fixture and requires it to serve every
+// traffic shape with zero graph conversions. A fixture written by an older
+// artifact or graph wire version fails with an explicit "regenerate the
+// fixture" message — in CI that means the actions/cache key (which embeds
+// -version) went stale without the fixture being rebuilt.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	janus "repro"
+	"repro/internal/core"
+)
+
+// trafficSizes are the batch sizes the fixture is seeded (and checked) with:
+// with MaxBucket 16 they land on the power-of-two buckets {1, 2, 4, 8, 16}.
+var trafficSizes = []int{1, 2, 3, 5, 7, 8, 11, 13}
+
+func main() {
+	version := flag.Bool("version", false, "print the snapshot artifact format version and exit")
+	out := flag.String("out", "", "seed a fresh fixture into this directory")
+	check := flag.String("check", "", "validate the fixture in this directory against the current build")
+	program := flag.String("program", "", "minipy source file the fixture serves (required with -out/-check)")
+	fn := flag.String("fn", "predict", "served function the traffic calls")
+	dim := flag.Int("dim", 16, "feature dimension of each traffic row")
+	flag.Parse()
+
+	switch {
+	case *version:
+		fmt.Println(core.ArtifactVersion)
+	case *out != "":
+		seed(*out, *program, *fn, *dim)
+	case *check != "":
+		validate(*check, *program, *fn, *dim)
+	default:
+		fmt.Fprintln(os.Stderr, "snapfix: one of -version, -out or -check required")
+		os.Exit(2)
+	}
+}
+
+// newServer mirrors the CI cold-start janusd configuration: a bucketed pool
+// with a small deterministic seed so fixture parameters are reproducible.
+func newServer() *janus.Server {
+	return janus.NewServer(janus.ServerOptions{
+		PoolSize:    2,
+		MaxBatch:    1,
+		BucketBatch: true,
+		MaxBucket:   16,
+		Options:     janus.Options{Seed: 42, ProfileIterations: 1},
+	})
+}
+
+// drive serves one request per traffic size (twice per size when warm is
+// false, so every bucket gets past profiling and converts) and returns the
+// pool's conversion count afterwards.
+func drive(srv *janus.Server, fnName string, dim int, warm bool) int {
+	f, err := srv.Func(fnName)
+	if err != nil {
+		fatal("resolve %s: %v", fnName, err)
+	}
+	rounds := 2
+	if warm {
+		rounds = 1
+	}
+	for r := 0; r < rounds; r++ {
+		for _, rows := range trafficSizes {
+			feeds := janus.Feeds{}
+			for _, p := range f.Params() {
+				data := make([][]float64, rows)
+				for i := range data {
+					row := make([]float64, dim)
+					for j := range row {
+						row[j] = float64((i+j)%11)*0.25 - 1
+					}
+					data[i] = row
+				}
+				feeds[p] = janus.FromRows(data)
+			}
+			if _, err := f.Call(context.Background(), feeds); err != nil {
+				fatal("%s rows=%d: %v", fnName, rows, err)
+			}
+		}
+	}
+	return srv.Stats().Conversions
+}
+
+func load(program string) (*janus.Server, string) {
+	if program == "" {
+		fatal("-program required")
+	}
+	src, err := os.ReadFile(program)
+	if err != nil {
+		fatal("%v", err)
+	}
+	srv := newServer()
+	if _, err := srv.Load(string(src)); err != nil {
+		fatal("load %s: %v", program, err)
+	}
+	return srv, string(src)
+}
+
+func seed(dir, program, fn string, dim int) {
+	srv, _ := load(program)
+	drive(srv, fn, dim, false)
+	path := janus.SnapshotPath(dir)
+	n, err := srv.SaveSnapshot(path)
+	if err != nil {
+		fatal("save fixture: %v", err)
+	}
+	fmt.Printf("snapfix: seeded %s: %d compiled graphs (artifact v%d)\n", path, n, core.ArtifactVersion)
+}
+
+func validate(dir, program, fn string, dim int) {
+	srv, _ := load(program)
+	path := janus.SnapshotPath(dir)
+	n, err := srv.LoadSnapshot(path)
+	if err != nil {
+		switch core.RejectReason(err) {
+		case "version", "wire":
+			fatal("%s was written by a different artifact format (%v).\n"+
+				"The artifact format version bumped without the fixture being regenerated —\n"+
+				"rebuild it: go run ./internal/tools/snapfix -out %s -program %s", path, err, dir, program)
+		default:
+			fatal("load fixture %s: %v", path, err)
+		}
+	}
+	if conv := drive(srv, fn, dim, true); conv != 0 {
+		fatal("fixture %s restored %d entries but the warm pool still converted %d graphs — "+
+			"the fixture no longer covers the traffic shapes; regenerate it", path, n, conv)
+	}
+	fmt.Printf("snapfix: %s ok: %d compiled graphs, all traffic served warm with 0 conversions\n", path, n)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "snapfix: "+format+"\n", args...)
+	os.Exit(1)
+}

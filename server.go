@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/minipy"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -47,6 +48,15 @@ type ServerOptions struct {
 	// CacheCapacity bounds compiled graphs in the shared cache, evicting
 	// the least-recently-hit entry when exceeded (0 = unlimited).
 	CacheCapacity int
+	// BucketBatch turns on shape bucketing: batched executions are padded
+	// up to power-of-two row counts (by repeating the last real row; only
+	// real rows are returned), so variable batch sizes share a handful of
+	// compiled graphs instead of converting one per distinct size. Served
+	// functions must be batch-dim parallel with batch-preserving outputs.
+	BucketBatch bool
+	// MaxBucket caps the padded row count when BucketBatch is on (rounded
+	// up to a power of two; default 64). Larger executions run unpadded.
+	MaxBucket int
 }
 
 // poolSize resolves the PoolSize/deprecated-Workers pair.
@@ -75,8 +85,33 @@ func NewServer(opts ServerOptions) *Server {
 		MaxQueue:       opts.MaxQueue,
 		AcquireTimeout: opts.AcquireTimeout,
 		CacheCapacity:  opts.CacheCapacity,
+		BucketBatch:    opts.BucketBatch,
+		MaxBucket:      opts.MaxBucket,
 		Engine:         opts.Options.coreConfig(),
 	})}
+}
+
+// SnapshotPath returns the conventional snapshot artifact file path inside
+// dir (what janusd -snapshot-dir reads and writes).
+func SnapshotPath(dir string) string { return core.ArtifactPath(dir) }
+
+// SaveSnapshot persists the server's warm state — compiled graphs, memory
+// plans, pass reports, the signature-hash index, profiling progress and
+// model parameters — into a versioned artifact file (atomic write). A
+// replica that loads it at boot serves its first request from a warm cache.
+// Returns the number of compiled entries saved.
+func (s *Server) SaveSnapshot(path string) (int, error) {
+	return s.srv.Pool().SaveSnapshot(path)
+}
+
+// LoadSnapshot restores a snapshot saved by a server that had compiled the
+// same program sources, in the same order (validated by an embedded program
+// hash). Call after Compile/Load. Version skew, source mismatch or file
+// corruption rejects the artifact as a unit — the server simply serves cold
+// — with the reason counted in janus_artifact_rejected_total. Returns the
+// number of compiled entries restored.
+func (s *Server) LoadSnapshot(path string) (int, error) {
+	return s.srv.Pool().LoadSnapshot(path)
 }
 
 // Compile parses src once and defines it on every worker, returning a
