@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ps"
 	"repro/internal/tensor"
 	"repro/internal/vars"
@@ -63,6 +65,19 @@ type TrainOptions struct {
 	// ServerAddr set, Options.LearningRate only affects the replicas' local
 	// optimize() bookkeeping, not the applied updates.
 	ServerAddr string
+	// Retries, when positive, wraps the cluster's transport in a retrying
+	// layer: transient failures (ErrUnavailable — an unreachable or failing-
+	// over server) are retried up to Retries times per RPC with capped
+	// full-jitter exponential backoff before the sentinel surfaces to the
+	// caller. Retried gradient pushes are safe: the server deduplicates on
+	// (replica, step), so a push whose response was lost is applied exactly
+	// once. 0 disables retrying (every transient failure surfaces
+	// immediately).
+	Retries int
+	// RetryTimeout caps one attempt's wall-clock time when Retries is set
+	// (default 2s): a hung server fails the attempt — retryably — instead
+	// of wedging the replica.
+	RetryTimeout time.Duration
 }
 
 // Cluster is a data-parallel training cluster behind the function-handle
@@ -149,6 +164,16 @@ func NewCluster(src string, opts TrainOptions) (*Cluster, error) {
 		}
 		c.server = server
 		c.trans = c.server
+	}
+	if opts.Retries > 0 {
+		var reg *obs.Registry
+		if c.server != nil {
+			reg = c.server.Registry()
+		}
+		c.trans = ps.NewRetryTransport(c.trans, ps.RetryPolicy{
+			Budget:  opts.Retries,
+			Attempt: opts.RetryTimeout,
+		}, reg)
 	}
 	shards, err := c.trans.NumShards()
 	if err != nil {

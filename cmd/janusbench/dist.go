@@ -29,7 +29,8 @@ type distOptions struct {
 	deviceTime         time.Duration
 	optimizer          string
 	async              bool
-	staleness          int // in async mode: -1 sweeps {0, 2, 8}
+	staleness          int  // in async mode: -1 sweeps {0, 2, 8}
+	churn              bool // async mode: add a fault-injected churn run
 	jsonPath           string
 }
 
@@ -43,6 +44,7 @@ type distReport struct {
 	Barriered *distPoint       `json:"barriered,omitempty"`
 	Async     []asyncDistPoint `json:"async,omitempty"`
 	Scaling   []distPoint      `json:"scaling,omitempty"`
+	Churn     *churnDistPoint  `json:"churn,omitempty"`
 }
 
 type distPoint struct {
@@ -61,6 +63,24 @@ type asyncDistPoint struct {
 	Backoffs   int64      `json:"backoffs"`
 	Push       *latencyMs `json:"push_latency,omitempty"`
 	Pull       *latencyMs `json:"pull_latency,omitempty"`
+}
+
+// churnDistPoint is the fault-injected churn run the CI gate compares
+// against the fault-free async anchor at the same staleness bound.
+type churnDistPoint struct {
+	Staleness       int              `json:"staleness"`
+	ItemsPerS       float64          `json:"items_per_s"`
+	FinalLoss       float64          `json:"final_loss"`
+	AnchorFinalLoss float64          `json:"anchor_final_loss"`
+	WorkerKills     int              `json:"worker_kills"`
+	WorkerRejoins   int              `json:"worker_rejoins"`
+	ShardKills      int              `json:"shard_kills"`
+	Failovers       int              `json:"shard_failovers"`
+	LostUpdates     int64            `json:"lost_updates"`
+	Retries         int64            `json:"retries"`
+	LeaseExpiries   int64            `json:"lease_expiries"`
+	StaleDrops      int64            `json:"stale_drops"`
+	Injected        map[string]int64 `json:"injected,omitempty"`
 }
 
 // latencyMs carries server-side handling-latency percentiles (ms), read
@@ -380,5 +400,82 @@ func asyncDistBench(o distOptions, m *models.Model, ecfg core.Config, build func
 	fmt.Println("(dist.BarrierFactor: a barriered round waits for the slowest replica,")
 	fmt.Println("~1 + cv*sqrt(2 ln N) of the mean step; free-running is bounded by the")
 	fmt.Println("mean, with the staleness bound capping how far replicas may drift.)")
+	if o.churn {
+		rep.Churn = churnDistBench(o, m, ecfg, build, bounds[len(bounds)-1], rep.Async)
+	}
 	writeReport(o.jsonPath, rep)
+}
+
+// churnDistBench reruns the free-running measurement under the failure model:
+// seeded wire faults (lost replies, duplicates, delays), one worker killed
+// mid-run (silent death → lease expiry → elastic coverage redistribution →
+// rejoin), and one shard killed and restored from its failover snapshot. The
+// fault-free async point at the same staleness bound anchors the comparison;
+// benchcheck gates the churn final loss within dist.max_churn_loss_ratio of
+// that anchor.
+func churnDistBench(o distOptions, m *models.Model, ecfg core.Config,
+	build func(int, *core.Engine) (ps.StepFunc, error), bound int, async []asyncDistPoint) *churnDistPoint {
+	workers, steps := o.maxWorkers, o.steps
+	anchor := 0.0
+	for _, a := range async {
+		if a.Staleness == bound {
+			anchor = a.FinalLoss
+		}
+	}
+	cluster, err := ps.NewCluster(ps.ClusterConfig{
+		Workers: workers, Shards: o.shards,
+		LR:        serverLR(ecfg.LR, workers, o.optimizer),
+		Staleness: bound, Optimizer: o.optimizer,
+		Engine: ecfg, Build: build,
+		LeaseTTL:      40 * time.Millisecond,
+		SnapshotEvery: 4,
+		// Budget×Max backoff capacity must comfortably exceed the shard
+		// outage below, or workers exhaust their budgets mid-failover.
+		Retry:  &ps.RetryPolicy{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond, Budget: 20},
+		Faults: &ps.FaultPlan{Seed: 11, LostReply: 0.02, Dup: 0.02, Delay: 0.03, MaxDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: churn cluster: %v\n", err)
+		os.Exit(1)
+	}
+	if _, err := cluster.Run(o.warmup); err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: churn warmup: %v\n", err)
+		os.Exit(1)
+	}
+	killWorker, killShard := 0, 0
+	if workers > 1 {
+		killWorker = 1
+	}
+	if o.shards > 1 {
+		killShard = 1
+	}
+	plan := ps.ChurnPlan{
+		Workers: []ps.WorkerChurn{{Worker: killWorker, AtFrac: 0.3, Down: 150 * time.Millisecond}},
+		Shards:  []ps.ShardChurn{{Shard: killShard, After: 100 * time.Millisecond, Down: 50 * time.Millisecond}},
+	}
+	res, err := cluster.RunAsyncChurn(context.Background(), steps, plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dist bench: churn run: %v\n", err)
+		os.Exit(1)
+	}
+	items := float64(workers*steps) * float64(m.ItemsPerStep) / res.Elapsed.Seconds()
+	loss := res.FinalLoss()
+	fmt.Printf("\nCHURN (staleness %d, seeded faults + kill schedule): %.1f items/s, final loss %.4f",
+		bound, items, loss)
+	if anchor > 0 {
+		fmt.Printf(" (%.2fx of fault-free anchor %.4f)", loss/anchor, anchor)
+	}
+	fmt.Println()
+	fmt.Printf("  worker kills/rejoins %d/%d, shard kills/failovers %d/%d, lost updates %d (bounded by snapshot cadence)\n",
+		res.WorkerKills, res.WorkerRejoins, res.ShardKills, res.Failovers, res.LostUpdates)
+	fmt.Printf("  retries %d, lease expiries %d, stale drops %d, injected faults %v\n",
+		res.Retries, res.LeaseExpiries, res.Stale, res.Injected)
+	return &churnDistPoint{
+		Staleness: bound, ItemsPerS: items, FinalLoss: loss, AnchorFinalLoss: anchor,
+		WorkerKills: res.WorkerKills, WorkerRejoins: res.WorkerRejoins,
+		ShardKills: res.ShardKills, Failovers: res.Failovers,
+		LostUpdates: res.LostUpdates, Retries: res.Retries,
+		LeaseExpiries: res.LeaseExpiries, StaleDrops: res.Stale,
+		Injected: res.Injected,
+	}
 }

@@ -59,6 +59,8 @@ func main() {
 	staleness := flag.Int("staleness", -1,
 		"staleness bound in -dist -async mode (-1 = sweep bounds 0, 2, 8)")
 	optimizer := flag.String("optimizer", "sgd", "server-side optimizer in -dist mode: sgd, momentum, or adam")
+	churnMode := flag.Bool("churn", false,
+		"in -dist mode (implies -async): add a fault-injected churn run — seeded wire faults, a worker kill+rejoin, a shard kill+snapshot failover — anchored against the fault-free async run")
 	jsonOut := flag.String("json", "",
 		"write machine-readable results to this file (-dist, -serve and -kernels modes; the CI regression gate reads it)")
 	flag.Parse()
@@ -83,6 +85,9 @@ func main() {
 		return
 	}
 	if *distMode {
+		if *churnMode {
+			*asyncMode = true // churn needs the free-running harness and its anchor
+		}
 		if *asyncMode {
 			fmt.Printf("========== Distributed free-running training (async, staleness-bounded) ==========\n")
 		} else {
@@ -92,7 +97,7 @@ func main() {
 			model: *distModel, maxWorkers: *workers, shards: *shards,
 			warmup: *warmup, steps: *steps, deviceTime: *deviceTime,
 			optimizer: *optimizer, async: *asyncMode, staleness: *staleness,
-			jsonPath: *jsonOut,
+			churn: *churnMode, jsonPath: *jsonOut,
 		})
 		return
 	}

@@ -46,13 +46,15 @@ func main() {
 	optimizer := flag.String("optimizer", "sgd", "server-side optimizer: sgd, momentum, or adam")
 	workers := flag.Int("workers", 1, "data-parallel replicas (gradients are averaged across them)")
 	staleness := flag.Int("staleness", 2, "max worker-step lag before a push is rejected (-1 = unbounded)")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "worker lease TTL: a worker silent this long is expired and its data coverage redistributed")
+	snapshotEvery := flag.Int("snapshot-every", 8, "take a shard failover snapshot every N applied pushes (negative disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	flag.Parse()
 
 	server, err := ps.NewServer(ps.Config{
 		Shards: *shards, LR: *lr, Workers: *workers, Staleness: *staleness,
-		Optimizer: *optimizer,
+		Optimizer: *optimizer, LeaseTTL: *leaseTTL, SnapshotEvery: *snapshotEvery,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -32,17 +32,38 @@ var (
 	// interpreted statements so parameters stay in an all-or-nothing state.
 	// Errors carrying it also wrap the originating context error.
 	ErrCanceled = core.ErrCanceled
+	// ErrUnavailable reports a TRANSIENT parameter-server failure: a dead
+	// shard awaiting failover, an unreachable server, or an injected fault
+	// (janusps HTTP 503). It is the retry class — the cluster's retrying
+	// transport retries exactly these, and surfaces the sentinel unchanged
+	// when the retry budget runs out.
+	ErrUnavailable = ps.ErrUnavailable
+	// ErrLeaseExpired reports a worker heartbeat for a lease the parameter
+	// server no longer honors (HTTP 410): the worker went silent past the
+	// lease TTL (its data coverage was redistributed) or was superseded by a
+	// newer registration. Re-register to rejoin.
+	ErrLeaseExpired = ps.ErrLeaseExpired
 )
 
 // ErrorFromStatus reconstructs the sentinel error an HTTP status from a
 // janusd or janusps server encodes, wrapping the server-reported message:
 // 429 is ErrOverloaded, 503 ErrAcquireTimeout, 404 ErrUnknownFunction, 499
-// ErrCanceled, 409 ErrStale. Other statuses produce a plain error carrying
-// the code and message. The mapping inverts the servers' status selection,
-// so errors.Is(err, janus.ErrX) holds on both sides of the wire.
+// ErrCanceled, 409 ErrStale, 410 ErrLeaseExpired. Other statuses produce a
+// plain error carrying the code and message. The mapping inverts the
+// servers' status selection, so errors.Is(err, janus.ErrX) holds on both
+// sides of the wire.
+//
+// One status is context-dependent: 503 from a serving pool (janusd) means
+// ErrAcquireTimeout, while 503 from a parameter server (janusps) means
+// ErrUnavailable. This function keeps the serving interpretation; the ps
+// client performs its own inverse mapping, so errors that traveled the
+// parameter-server wire already carry ErrUnavailable when they reach you.
 func ErrorFromStatus(status int, msg string) error {
-	if status == http.StatusConflict {
+	switch status {
+	case http.StatusConflict:
 		return ps.StaleErr(msg)
+	case http.StatusGone:
+		return ps.LeaseExpiredErr(msg)
 	}
 	return serve.ErrorForStatus(status, msg)
 }

@@ -132,6 +132,70 @@ func (a *Adam) Apply(store *vars.Store, grads map[string]*tensor.Tensor) {
 	}
 }
 
+// OptimizerState is a serializable snapshot of an optimizer's per-variable
+// state: slot tensors keyed "slot/varname" (velocity, Adam moments) and
+// per-variable step counts (Adam bias correction). The parameter server
+// snapshots it per shard so a failed-over shard resumes mid-trajectory
+// instead of resetting momentum and bias correction to zero.
+type OptimizerState struct {
+	Tensors map[string]*tensor.Tensor
+	Steps   map[string]int
+}
+
+// ExportState snapshots the optimizer's mutable state. The returned maps
+// share the state tensors — safe, because every Apply path replaces slot
+// tensors rather than mutating them in place.
+func ExportState(o Optimizer) OptimizerState {
+	st := OptimizerState{Tensors: map[string]*tensor.Tensor{}, Steps: map[string]int{}}
+	switch v := o.(type) {
+	case *Momentum:
+		for name, t := range v.velocity {
+			st.Tensors["vel/"+name] = t
+		}
+	case *Adam:
+		for name, t := range v.m {
+			st.Tensors["m/"+name] = t
+		}
+		for name, t := range v.v {
+			st.Tensors["v/"+name] = t
+		}
+		for name, n := range v.steps {
+			st.Steps[name] = n
+		}
+	}
+	return st
+}
+
+// ImportState restores a snapshot taken by ExportState into o, replacing any
+// existing state. Slot keys that don't match o's layout are ignored, so
+// restoring an SGD snapshot into SGD (no state) is a no-op and a corrupt key
+// can't poison the maps with misnamed slots.
+func ImportState(o Optimizer, st OptimizerState) {
+	switch v := o.(type) {
+	case *Momentum:
+		v.velocity = make(map[string]*tensor.Tensor)
+		for key, t := range st.Tensors {
+			if name, ok := strings.CutPrefix(key, "vel/"); ok {
+				v.velocity[name] = t
+			}
+		}
+	case *Adam:
+		v.m = make(map[string]*tensor.Tensor)
+		v.v = make(map[string]*tensor.Tensor)
+		v.steps = make(map[string]int)
+		for key, t := range st.Tensors {
+			if name, ok := strings.CutPrefix(key, "m/"); ok {
+				v.m[name] = t
+			} else if name, ok := strings.CutPrefix(key, "v/"); ok {
+				v.v[name] = t
+			}
+		}
+		for name, n := range st.Steps {
+			v.steps[name] = n
+		}
+	}
+}
+
 // GlobalNorm returns the L2 norm over all gradients.
 func GlobalNorm(grads map[string]*tensor.Tensor) float64 {
 	s := 0.0

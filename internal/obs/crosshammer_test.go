@@ -58,7 +58,7 @@ def predict(x):
 		t.Fatalf("ps setup: %v", err)
 	}
 	w := tensor.Zeros(4, 4)
-	if err := psrv.InitVars(map[string]*tensor.Tensor{"hammer/w": w}); err != nil {
+	if err := psrv.InitVars(context.Background(), map[string]*tensor.Tensor{"hammer/w": w}); err != nil {
 		t.Fatalf("ps init: %v", err)
 	}
 
@@ -97,7 +97,7 @@ def predict(x):
 					t.Errorf("ps pull: %v", err)
 					return
 				}
-				if _, err := psrv.PushGrad(context.Background(), shard, int64(g*iters+i),
+				if _, err := psrv.PushGrad(context.Background(), shard, -1, int64(g*iters+i),
 					map[string]*tensor.Tensor{"hammer/w": grad}); err != nil {
 					t.Errorf("ps push: %v", err)
 					return

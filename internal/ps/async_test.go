@@ -191,7 +191,7 @@ func TestAsyncOverHTTPStaleRoundTrip(t *testing.T) {
 	injected := false
 	losses, stale, err := w.RunFree(context.Background(), 1, func(int) (float64, error) {
 		injected = true
-		if _, err := client.PushGrad(context.Background(), 0, 100, zero); err != nil {
+		if _, err := client.PushGrad(context.Background(), 0, -1, 100, zero); err != nil {
 			return 0, err
 		}
 		return step(1)

@@ -1,0 +1,206 @@
+package ps
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// faultKinds names every injectable fault; the list doubles as the eager
+// label set for janus_ps_faults_injected_total.
+var faultKinds = []string{"drop", "error", "lostreply", "dup", "delay"}
+
+// FaultPlan configures a FaultInjector. Each field is a per-RPC probability
+// in [0,1]; at most one fault fires per call (the probabilities are
+// evaluated as disjoint slices of a single uniform roll, so their sum must
+// stay <= 1). The zero plan injects nothing.
+type FaultPlan struct {
+	// Seed fixes the fault stream. 0 means seed 1: every run of the same
+	// plan over the same call sequence injects the same faults.
+	Seed int64
+	// Drop loses the request before the server sees it (call not made).
+	Drop float64
+	// Err fails the request with a transient server error (call not made).
+	// Indistinguishable from Drop at the client; kept separate so counters
+	// attribute the two sides of the wire.
+	Err float64
+	// LostReply applies the RPC on the server, then loses the reply — the
+	// client sees a transient error for work that HAPPENED. The retry it
+	// provokes is exactly what the PushGrad dedup ledger must absorb.
+	LostReply float64
+	// Dup sends the RPC twice back-to-back (reply of the second wins).
+	Dup float64
+	// Delay stalls the RPC U[0, MaxDelay) before sending.
+	Delay float64
+	// MaxDelay bounds injected delays. <=0 means 5ms.
+	MaxDelay time.Duration
+}
+
+// FaultInjector is a Transport middleware that deterministically injects
+// drops, transient errors, lost replies, duplicates, and delays, seeded by
+// FaultPlan.Seed. Layer it UNDER a RetryTransport (retry wraps injector
+// wraps the real transport) so injected transient faults exercise the retry
+// and dedup machinery rather than failing the run.
+type FaultInjector struct {
+	inner Transport
+	plan  FaultPlan
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	counts map[string]*obs.Counter
+}
+
+// NewFaultInjector wraps inner under plan. reg receives
+// janus_ps_faults_injected_total{kind}; nil uses a private registry.
+func NewFaultInjector(inner Transport, plan FaultPlan, reg *obs.Registry) *FaultInjector {
+	if plan.Seed == 0 {
+		plan.Seed = 1
+	}
+	if plan.MaxDelay <= 0 {
+		plan.MaxDelay = 5 * time.Millisecond
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	fi := &FaultInjector{
+		inner:  inner,
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(plan.Seed)),
+		counts: make(map[string]*obs.Counter, len(faultKinds)),
+	}
+	for _, kind := range faultKinds {
+		fi.counts[kind] = reg.Counter("janus_ps_faults_injected_total", helpFaults, "kind", kind)
+	}
+	return fi
+}
+
+// Injected returns how many faults of each kind have fired so far.
+func (fi *FaultInjector) Injected() map[string]int64 {
+	out := make(map[string]int64, len(fi.counts))
+	for kind, c := range fi.counts {
+		out[kind] = int64(c.Value())
+	}
+	return out
+}
+
+// roll picks at most one fault for the next RPC and a delay amount if the
+// fault is a delay.
+func (fi *FaultInjector) roll() (kind string, delay time.Duration) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	r := fi.rng.Float64()
+	for _, slice := range []struct {
+		kind string
+		p    float64
+	}{
+		{"drop", fi.plan.Drop},
+		{"error", fi.plan.Err},
+		{"lostreply", fi.plan.LostReply},
+		{"dup", fi.plan.Dup},
+		{"delay", fi.plan.Delay},
+	} {
+		if r < slice.p {
+			if slice.kind == "delay" {
+				delay = time.Duration(fi.rng.Int63n(int64(fi.plan.MaxDelay)))
+			}
+			return slice.kind, delay
+		}
+		r -= slice.p
+	}
+	return "", 0
+}
+
+// inject runs fn under one rolled fault. fn is the real RPC; it may run
+// zero times (drop, error), once (none, delay, lostreply), or twice (dup).
+func (fi *FaultInjector) inject(ctx context.Context, fn func(context.Context) error) error {
+	kind, delay := fi.roll()
+	if kind != "" {
+		fi.counts[kind].Inc()
+	}
+	switch kind {
+	case "drop":
+		return UnavailableErr("injected drop")
+	case "error":
+		return UnavailableErr("injected transient error")
+	case "lostreply":
+		if err := fn(ctx); err != nil {
+			return err
+		}
+		return UnavailableErr("injected lost reply")
+	case "dup":
+		if err := fn(ctx); err != nil {
+			return err
+		}
+		return fn(ctx)
+	case "delay":
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		return fn(ctx)
+	default:
+		return fn(ctx)
+	}
+}
+
+// NumShards implements Transport (exempt from fault injection: it is
+// configuration discovery, not a training-path RPC).
+func (fi *FaultInjector) NumShards() (int, error) { return fi.inner.NumShards() }
+
+// Pull implements Transport.
+func (fi *FaultInjector) Pull(ctx context.Context, shard int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
+	var params map[string]*tensor.Tensor
+	var version, step int64
+	err := fi.inject(ctx, func(c context.Context) error {
+		var e error
+		params, version, step, e = fi.inner.Pull(c, shard, have)
+		return e
+	})
+	return params, version, step, err
+}
+
+// PushGrad implements Transport.
+func (fi *FaultInjector) PushGrad(ctx context.Context, shard, worker int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+	var version int64
+	err := fi.inject(ctx, func(c context.Context) error {
+		var e error
+		version, e = fi.inner.PushGrad(c, shard, worker, step, grads)
+		return e
+	})
+	return version, err
+}
+
+// InitVars implements Transport.
+func (fi *FaultInjector) InitVars(ctx context.Context, vals map[string]*tensor.Tensor) error {
+	return fi.inject(ctx, func(c context.Context) error {
+		return fi.inner.InitVars(c, vals)
+	})
+}
+
+// Register implements Transport.
+func (fi *FaultInjector) Register(ctx context.Context, worker int) (Lease, error) {
+	var lease Lease
+	err := fi.inject(ctx, func(c context.Context) error {
+		var e error
+		lease, e = fi.inner.Register(c, worker)
+		return e
+	})
+	return lease, err
+}
+
+// Heartbeat implements Transport.
+func (fi *FaultInjector) Heartbeat(ctx context.Context, worker int, lease int64) (Assignment, error) {
+	var a Assignment
+	err := fi.inject(ctx, func(c context.Context) error {
+		var e error
+		a, e = fi.inner.Heartbeat(c, worker, lease)
+		return e
+	})
+	return a, err
+}

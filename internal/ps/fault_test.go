@@ -1,0 +1,440 @@
+package ps
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// newTestServer builds a server with churn-friendly timing for fault tests.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
+func TestLeaseExpiryRedistributesCoverage(t *testing.T) {
+	s := newTestServer(t, Config{LeaseTTL: time.Hour})
+	// Inject a fake clock so the test controls expiry, not the scheduler.
+	now := time.Unix(0, 0)
+	s.members.now = func() time.Time { return now }
+
+	ctx := context.Background()
+	l0, err := s.Register(ctx, 0)
+	if err != nil {
+		t.Fatalf("register 0: %v", err)
+	}
+	l1, err := s.Register(ctx, 1)
+	if err != nil {
+		t.Fatalf("register 1: %v", err)
+	}
+	if l1.Live != 2 {
+		t.Fatalf("live after two registrations = %d, want 2", l1.Live)
+	}
+	a0, err := s.Heartbeat(ctx, 0, l0.ID)
+	if err != nil {
+		t.Fatalf("heartbeat 0: %v", err)
+	}
+	if a0.Slot != 0 || a0.Live != 2 {
+		t.Fatalf("worker 0 assignment = %+v, want slot 0 of 2", a0)
+	}
+
+	// Worker 1 goes silent past the TTL; worker 0 keeps heartbeating.
+	now = now.Add(30 * time.Minute)
+	if _, err := s.Heartbeat(ctx, 0, l0.ID); err != nil {
+		t.Fatalf("heartbeat 0 mid-ttl: %v", err)
+	}
+	now = now.Add(45 * time.Minute) // worker 1's lease is now 75min old
+	a0, err = s.Heartbeat(ctx, 0, l0.ID)
+	if err != nil {
+		t.Fatalf("heartbeat 0 after expiry: %v", err)
+	}
+	if a0.Slot != 0 || a0.Live != 1 {
+		t.Fatalf("post-expiry assignment = %+v, want slot 0 of 1 (coverage closed over dead worker)", a0)
+	}
+	if _, err := s.Heartbeat(ctx, 1, l1.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("expired worker heartbeat error = %v, want ErrLeaseExpired", err)
+	}
+	st := s.Stats()
+	if st.LeaseExpiries != 1 || st.LiveWorkers != 1 || st.Rebalances < 3 {
+		t.Fatalf("stats = %+v, want 1 expiry, 1 live, >=3 rebalances", st)
+	}
+
+	// The dead worker rejoins: fresh lease, coverage reopens to 2 slots.
+	l1b, err := s.Register(ctx, 1)
+	if err != nil {
+		t.Fatalf("re-register 1: %v", err)
+	}
+	if l1b.ID == l1.ID || l1b.Live != 2 || l1b.Slot != 1 {
+		t.Fatalf("rejoin lease = %+v, want fresh ID, slot 1 of 2", l1b)
+	}
+}
+
+func TestRegisterSupersedesLease(t *testing.T) {
+	s := newTestServer(t, Config{LeaseTTL: time.Hour})
+	ctx := context.Background()
+	l1, _ := s.Register(ctx, 7)
+	l2, err := s.Register(ctx, 7)
+	if err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if _, err := s.Heartbeat(ctx, 7, l1.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("superseded lease heartbeat error = %v, want ErrLeaseExpired", err)
+	}
+	if a, err := s.Heartbeat(ctx, 7, l2.ID); err != nil || a.Live != 1 {
+		t.Fatalf("new lease heartbeat = %+v, %v; want live=1, nil", a, err)
+	}
+}
+
+func TestDuplicatePushAppliedOnce(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := s.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(2)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	g := map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}
+	v1, err := s.PushGrad(ctx, 0, 3, 1, g)
+	if err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	w1, _, _, _ := s.Pull(ctx, 0, -1)
+	// The retry of the same logical push (worker 3, step 1) must be
+	// acknowledged without a second application.
+	v2, err := s.PushGrad(ctx, 0, 3, 1, g)
+	if err != nil {
+		t.Fatalf("duplicate push: %v", err)
+	}
+	if v2 != v1 {
+		t.Fatalf("duplicate push advanced version %d -> %d", v1, v2)
+	}
+	w2, _, _, _ := s.Pull(ctx, 0, -1)
+	if w1["w"].Data()[0] != w2["w"].Data()[0] {
+		t.Fatalf("duplicate push changed parameter %g -> %g", w1["w"].Data()[0], w2["w"].Data()[0])
+	}
+	if st := s.Stats(); st.DupDrops != 1 {
+		t.Fatalf("DupDrops = %d, want 1", st.DupDrops)
+	}
+	// A NEW step from the same worker must still apply.
+	if v3, err := s.PushGrad(ctx, 0, 3, 2, g); err != nil || v3 != v1+1 {
+		t.Fatalf("next step push = (%d, %v), want version %d", v3, err, v1+1)
+	}
+	// An anonymous push (worker -1) opts out of dedup entirely.
+	if v4, err := s.PushGrad(ctx, 0, -1, 2, g); err != nil || v4 != v1+2 {
+		t.Fatalf("anonymous push = (%d, %v), want version %d", v4, err, v1+2)
+	}
+}
+
+func TestShardKillFailoverRestoresSnapshot(t *testing.T) {
+	s := newTestServer(t, Config{SnapshotEvery: 2, Optimizer: "momentum", LR: 0.5})
+	ctx := context.Background()
+	if err := s.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(2)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	g := map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}
+	for step := int64(1); step <= 5; step++ {
+		if _, err := s.PushGrad(ctx, 0, 0, step, g); err != nil {
+			t.Fatalf("push %d: %v", step, err)
+		}
+	}
+	// SnapshotEvery=2 → latest snapshot at version 4 (plus the InitVars one);
+	// push 5 happened after it and will be rolled back.
+	snapParams, _, _, _ := s.Pull(ctx, 0, -1)
+	_ = snapParams
+	if err := s.KillShard(0); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, _, _, err := s.Pull(ctx, 0, -1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("pull on dead shard = %v, want ErrUnavailable", err)
+	}
+	if _, err := s.PushGrad(ctx, 0, 0, 6, g); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("push on dead shard = %v, want ErrUnavailable", err)
+	}
+	lost, err := s.FailoverShard(0)
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if lost != 1 {
+		t.Fatalf("lost updates = %d, want 1 (the push after the last snapshot)", lost)
+	}
+	params, version, _, err := s.Pull(ctx, 0, -1)
+	if err != nil {
+		t.Fatalf("pull after failover: %v", err)
+	}
+	if version != 5 { // init (1) + 4 applied pushes retained
+		t.Fatalf("restored version = %d, want 5", version)
+	}
+	// Momentum restored: the next push must continue the velocity trajectory,
+	// not restart from zero. With µ=0.9, after 4 unit pushes velocity is
+	// 1+.9+.81+.729; the 5th update must subtract lr*(0.9*v4+1).
+	before := params["w"].Data()[0]
+	if _, err := s.PushGrad(ctx, 0, 0, 6, g); err != nil {
+		t.Fatalf("push after failover: %v", err)
+	}
+	after, _, _, _ := s.Pull(ctx, 0, -1)
+	v4 := 1 + 0.9 + 0.81 + 0.729
+	wantDelta := -0.5 * (0.9*v4 + 1)
+	if got := after["w"].Data()[0] - before; !closeTo(got, wantDelta, 1e-9) {
+		t.Fatalf("post-failover update delta = %g, want %g (momentum state restored)", got, wantDelta)
+	}
+	// The dedup ledger survived the failover: retrying an already-applied
+	// pre-snapshot step is still dropped.
+	vNow, _ := s.PushGrad(ctx, 0, 0, 3, g)
+	if vAfter, _ := s.PushGrad(ctx, 0, 0, 3, g); vAfter != vNow {
+		t.Fatalf("pre-snapshot dup applied after failover")
+	}
+	if st := s.Stats(); st.Failovers != 1 || st.DownShards != 0 {
+		t.Fatalf("stats = %+v, want 1 failover, 0 down", st)
+	}
+}
+
+func closeTo(a, b, eps float64) bool {
+	d := a - b
+	return d < eps && d > -eps
+}
+
+// unavailableTransport always fails retryably; it counts calls.
+type unavailableTransport struct {
+	calls atomic.Int64
+}
+
+func (u *unavailableTransport) NumShards() (int, error) { return 1, nil }
+func (u *unavailableTransport) Pull(context.Context, int, int64) (map[string]*tensor.Tensor, int64, int64, error) {
+	u.calls.Add(1)
+	return nil, 0, 0, UnavailableErr("always down")
+}
+func (u *unavailableTransport) PushGrad(context.Context, int, int, int64, map[string]*tensor.Tensor) (int64, error) {
+	u.calls.Add(1)
+	return 0, UnavailableErr("always down")
+}
+func (u *unavailableTransport) InitVars(context.Context, map[string]*tensor.Tensor) error {
+	u.calls.Add(1)
+	return UnavailableErr("always down")
+}
+func (u *unavailableTransport) Register(context.Context, int) (Lease, error) {
+	u.calls.Add(1)
+	return Lease{}, UnavailableErr("always down")
+}
+func (u *unavailableTransport) Heartbeat(context.Context, int, int64) (Assignment, error) {
+	u.calls.Add(1)
+	return Assignment{}, UnavailableErr("always down")
+}
+
+func TestRetryBudgetExhaustionReturnsSentinel(t *testing.T) {
+	inner := &unavailableTransport{}
+	rt := NewRetryTransport(inner, RetryPolicy{
+		Budget: 3, Base: 50 * time.Microsecond, Max: 200 * time.Microsecond,
+	}, nil)
+	_, _, _, err := rt.Pull(context.Background(), 0, -1)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("budget exhaustion error = %v, want it to wrap ErrUnavailable", err)
+	}
+	if got := inner.calls.Load(); got != 4 { // 1 attempt + 3 retries
+		t.Fatalf("attempts = %d, want 4", got)
+	}
+	if rt.Total() != 3 {
+		t.Fatalf("retries counted = %d, want 3", rt.Total())
+	}
+}
+
+func TestRetryDoesNotRetryPermanentErrors(t *testing.T) {
+	s := newTestServer(t, Config{Staleness: 0})
+	ctx := context.Background()
+	if err := s.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	rt := NewRetryTransport(s, RetryPolicy{Budget: 5}, nil)
+	g := map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{1})}
+	if _, err := rt.PushGrad(ctx, 0, 0, 10, g); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	// A staleness rejection is permanent for this attempt — no retries.
+	if _, err := rt.PushGrad(ctx, 0, 0, 2, g); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale push error = %v, want ErrStale", err)
+	}
+	if rt.Total() != 0 {
+		t.Fatalf("retries = %d, want 0 (ErrStale must not be retried)", rt.Total())
+	}
+}
+
+func TestRetryRidesOutShardFailover(t *testing.T) {
+	s := newTestServer(t, Config{SnapshotEvery: 1})
+	ctx := context.Background()
+	if err := s.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	if err := s.KillShard(0); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := s.FailoverShard(0); err != nil {
+			t.Errorf("failover: %v", err)
+		}
+	}()
+	rt := NewRetryTransport(s, RetryPolicy{Budget: 30, Base: 2 * time.Millisecond, Max: 10 * time.Millisecond}, nil)
+	if _, _, _, err := rt.Pull(ctx, 0, -1); err != nil {
+		t.Fatalf("pull through failover = %v, want success via retries", err)
+	}
+	if rt.Total() == 0 {
+		t.Fatalf("expected at least one retry while the shard was down")
+	}
+}
+
+func TestFaultInjectorDeterminism(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Drop: 0.2, Err: 0.1, LostReply: 0.1, Dup: 0.1, Delay: 0.1, MaxDelay: time.Microsecond}
+	sequence := func() []string {
+		s := newTestServer(t, Config{})
+		_ = s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.Zeros(1)})
+		fi := NewFaultInjector(s, plan, nil)
+		var kinds []string
+		for i := 0; i < 200; i++ {
+			before := fi.Injected()
+			fi.Pull(context.Background(), 0, -1)
+			after := fi.Injected()
+			kind := "none"
+			for k, v := range after {
+				if v > before[k] {
+					kind = k
+				}
+			}
+			kinds = append(kinds, kind)
+		}
+		return kinds
+	}
+	a, b := sequence(), sequence()
+	injected := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at call %d: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] != "none" {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatalf("plan injected no faults in 200 calls")
+	}
+}
+
+func TestLostReplyDedupOverFaultInjector(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	if err := s.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	// Every RPC loses its reply after applying: each push is applied, errors,
+	// is retried, and the retry must be deduplicated — the parameter must
+	// move exactly once per logical push.
+	fi := NewFaultInjector(s, FaultPlan{LostReply: 1}, nil)
+	rt := NewRetryTransport(fi, RetryPolicy{Budget: 1, Base: 10 * time.Microsecond, Max: 20 * time.Microsecond}, nil)
+	g := map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{1})}
+	// Budget 1: attempt (applied, reply lost) + retry (deduplicated, reply
+	// lost again) → budget exhausted, error surfaces. The push still landed
+	// exactly once.
+	_, err := rt.PushGrad(ctx, 0, 0, 1, g)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("push = %v, want budget-exhausted ErrUnavailable", err)
+	}
+	st := s.Stats()
+	if st.Pushes != 1 || st.DupDrops != 1 {
+		t.Fatalf("pushes=%d dupDrops=%d, want exactly one application and one dedup", st.Pushes, st.DupDrops)
+	}
+	params, _, _, _ := s.Pull(ctx, 0, -1)
+	if got := params["w"].Item(); got != -0.1 { // one SGD step, lr 0.1, grad 1
+		t.Fatalf("param = %g, want -0.1 (exactly one application)", got)
+	}
+}
+
+func TestLeaseLifecycleOverHTTP(t *testing.T) {
+	s := newTestServer(t, Config{LeaseTTL: 50 * time.Millisecond})
+	hs := httptest.NewServer(NewHandler(s))
+	defer hs.Close()
+	c := NewClient(hs.URL, nil)
+	ctx := context.Background()
+
+	l0, err := c.Register(ctx, 0)
+	if err != nil {
+		t.Fatalf("register 0: %v", err)
+	}
+	if l0.TTL != 50*time.Millisecond {
+		t.Fatalf("TTL over the wire = %v, want 50ms", l0.TTL)
+	}
+	l1, err := c.Register(ctx, 1)
+	if err != nil {
+		t.Fatalf("register 1: %v", err)
+	}
+	if l1.Slot != 1 || l1.Live != 2 {
+		t.Fatalf("lease 1 = %+v, want slot 1 of 2", l1)
+	}
+
+	// Worker 1 goes silent; worker 0 heartbeats until coverage closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a, err := c.Heartbeat(ctx, 0, l0.ID)
+		if err != nil {
+			t.Fatalf("heartbeat 0: %v", err)
+		}
+		if a.Live == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker 1 never expired (live still %d)", a.Live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := c.Heartbeat(ctx, 1, l1.ID); !errors.Is(err, ErrLeaseExpired) {
+		t.Fatalf("expired heartbeat over HTTP = %v, want ErrLeaseExpired", err)
+	}
+	// Rejoin over the wire.
+	l1b, err := c.Register(ctx, 1)
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	if l1b.Live != 2 {
+		t.Fatalf("rejoin live = %d, want 2", l1b.Live)
+	}
+}
+
+func TestShardFailoverOverHTTP(t *testing.T) {
+	s := newTestServer(t, Config{SnapshotEvery: 1})
+	hs := httptest.NewServer(NewHandler(s))
+	defer hs.Close()
+	c := NewClient(hs.URL, nil)
+	ctx := context.Background()
+
+	if err := c.InitVars(ctx, map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
+		t.Fatalf("init: %v", err)
+	}
+	g := map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{1})}
+	if _, err := c.PushGrad(ctx, 0, 0, 1, g); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	if err := c.KillShard(ctx, 0); err != nil {
+		t.Fatalf("kill over HTTP: %v", err)
+	}
+	if _, _, _, err := c.Pull(ctx, 0, -1); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("pull on dead shard over HTTP = %v, want ErrUnavailable (503 mapping)", err)
+	}
+	lost, err := c.FailoverShard(ctx, 0)
+	if err != nil {
+		t.Fatalf("failover over HTTP: %v", err)
+	}
+	if lost != 0 { // SnapshotEvery=1: every push snapshotted, nothing lost
+		t.Fatalf("lost = %d, want 0", lost)
+	}
+	params, _, _, err := c.Pull(ctx, 0, -1)
+	if err != nil {
+		t.Fatalf("pull after failover: %v", err)
+	}
+	if got := params["w"].Item(); got != -0.1 {
+		t.Fatalf("restored param = %g, want -0.1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,15 +18,25 @@ import (
 //
 //	GET  /ps/v1/shards                                        → {"shards": K}
 //	POST /ps/v1/pull  {"shard": 0, "have": -1}                → {"version": 7, "step": 12, "params": {"w": {"shape": [2,3], "data": [...]}}}
-//	POST /ps/v1/push  {"shard": 0, "step": 12, "grads": {...}} → {"version": 8}  |  409 on staleness
+//	POST /ps/v1/push  {"shard": 0, "worker": 1, "step": 12, "grads": {...}} → {"version": 8}  |  409 on staleness
 //	POST /ps/v1/init  {"params": {...}}                       → {"ok": true}
+//	POST /ps/v1/register  {"worker": 1}                       → {"lease": 3, "ttl_ms": 2000, "slot": 1, "live": 2, "epoch": 5}
+//	POST /ps/v1/heartbeat {"worker": 1, "lease": 3}           → {"slot": 1, "live": 2, "epoch": 5}  |  410 on expiry
+//	POST /ps/v1/admin/kill-shard     {"shard": 0}             → {"ok": true}
+//	POST /ps/v1/admin/failover-shard {"shard": 0}             → {"lost": 3}
+//	POST /ps/v1/admin/snapshot-shard {"shard": 0}             → {"bytes": 1234}
 //	GET  /ps/v1/stats                                         → Stats JSON
 //	GET  /metrics                                             → Prometheus text exposition
 //	GET  /healthz                                             → {"ok": true}
 //
 // Tensors travel as {"shape": [...], "data": [...]} with row-major flat
 // data. An unchanged pull (matching "have") returns the version with no
-// "params" key.
+// "params" key. "worker" on a push opts into idempotency (omit or -1 to opt
+// out). Error statuses round-trip the typed sentinels: 409 ↔ ErrStale,
+// 503 ↔ ErrUnavailable (dead shard awaiting failover — retryable),
+// 410 ↔ ErrLeaseExpired (re-register). The admin endpoints are the churn
+// levers: kill a shard, fail it over from its latest snapshot, or force a
+// snapshot.
 //
 // Requests carrying a Janus-Trace header ("<traceID>;<parentSpanID>") get
 // their server-side span tree back in the response's "trace" key: the
@@ -72,6 +83,20 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]any{"error": err.Error()})
 }
 
+// errStatus maps a server error to its wire status, so every handler agrees
+// with the client's inverse mapping.
+func errStatus(err error) int {
+	switch {
+	case isStale(err):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrLeaseExpired):
+		return http.StatusGone
+	}
+	return http.StatusUnprocessableEntity
+}
+
 // NewHandler exposes a Server over the HTTP+JSON protocol.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
@@ -90,7 +115,7 @@ func NewHandler(s *Server) http.Handler {
 		ctx, rt := remoteTrace(r)
 		params, version, step, err := s.Pull(ctx, req.Shard, req.Have)
 		if err != nil {
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			writeErr(w, errStatus(err), err)
 			return
 		}
 		resp := map[string]any{"version": version, "step": step}
@@ -103,11 +128,12 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /ps/v1/push", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Shard int                   `json:"shard"`
-			Step  int64                 `json:"step"`
-			Grads map[string]wireTensor `json:"grads"`
-		}
+		req := struct {
+			Shard  int                   `json:"shard"`
+			Worker int                   `json:"worker"`
+			Step   int64                 `json:"step"`
+			Grads  map[string]wireTensor `json:"grads"`
+		}{Worker: -1} // an absent "worker" opts out of dedup, not worker 0
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
@@ -118,13 +144,9 @@ func NewHandler(s *Server) http.Handler {
 			return
 		}
 		ctx, rt := remoteTrace(r)
-		version, err := s.PushGrad(ctx, req.Shard, req.Step, grads)
+		version, err := s.PushGrad(ctx, req.Shard, req.Worker, req.Step, grads)
 		if err != nil {
-			if isStale(err) {
-				writeErr(w, http.StatusConflict, err)
-				return
-			}
-			writeErr(w, http.StatusUnprocessableEntity, err)
+			writeErr(w, errStatus(err), err)
 			return
 		}
 		resp := map[string]any{"version": version}
@@ -146,11 +168,90 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		if err := s.InitVars(vals); err != nil {
+		if err := s.InitVars(r.Context(), vals); err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /ps/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker int `json:"worker"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		lease, err := s.Register(r.Context(), req.Worker)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"lease": lease.ID, "ttl_ms": lease.TTL.Milliseconds(),
+			"slot": lease.Slot, "live": lease.Live, "epoch": lease.Epoch,
+		})
+	})
+	mux.HandleFunc("POST /ps/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Worker int   `json:"worker"`
+			Lease  int64 `json:"lease"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		a, err := s.Heartbeat(r.Context(), req.Worker, req.Lease)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, a)
+	})
+	shardReq := func(w http.ResponseWriter, r *http.Request) (int, bool) {
+		var req struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return 0, false
+		}
+		return req.Shard, true
+	}
+	mux.HandleFunc("POST /ps/v1/admin/kill-shard", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardReq(w, r)
+		if !ok {
+			return
+		}
+		if err := s.KillShard(shard); err != nil {
 			writeErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /ps/v1/admin/failover-shard", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardReq(w, r)
+		if !ok {
+			return
+		}
+		lost, err := s.FailoverShard(shard)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"lost": lost})
+	})
+	mux.HandleFunc("POST /ps/v1/admin/snapshot-shard", func(w http.ResponseWriter, r *http.Request) {
+		shard, ok := shardReq(w, r)
+		if !ok {
+			return
+		}
+		snap, err := s.SnapshotShard(shard)
+		if err != nil {
+			writeErr(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"bytes": len(snap)})
 	})
 	mux.HandleFunc("GET /ps/v1/stats", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
@@ -186,9 +287,13 @@ type Client struct {
 }
 
 // NewClient targets a janusps server at base (e.g. "http://localhost:8081").
+// A nil hc gets a client with a 30s request timeout — a hung server then
+// fails the RPC (retryably) instead of wedging the worker forever; callers
+// wanting per-attempt deadlines layer a RetryTransport (whose attempt
+// timeout is tighter) or pass their own hc.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = &http.Client{Timeout: 30 * time.Second}
 	}
 	return &Client{base: base, hc: hc}
 }
@@ -218,20 +323,34 @@ func (c *Client) post(ctx context.Context, spanName, path string, req, resp any)
 	sent := time.Now()
 	httpResp, err := c.hc.Do(httpReq)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// A network-level failure (connection refused, reset, client
+		// timeout) is transient by construction: the server may be
+		// restarting or failing over. Classify it retryable.
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	defer httpResp.Body.Close()
 	body, err := io.ReadAll(httpResp.Body)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
 		_ = json.Unmarshal(body, &e)
-		if httpResp.StatusCode == http.StatusConflict {
+		switch httpResp.StatusCode {
+		case http.StatusConflict:
 			return StaleErr(e.Error)
+		case http.StatusServiceUnavailable:
+			return UnavailableErr(e.Error)
+		case http.StatusGone:
+			return LeaseExpiredErr(e.Error)
 		}
 		return fmt.Errorf("ps: %s -> %d: %s", path, httpResp.StatusCode, e.Error)
 	}
@@ -288,19 +407,66 @@ func (c *Client) Pull(ctx context.Context, shard int, have int64) (map[string]*t
 }
 
 // PushGrad implements Transport.
-func (c *Client) PushGrad(ctx context.Context, shard int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+func (c *Client) PushGrad(ctx context.Context, shard, worker int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
 	var resp struct {
 		Version int64 `json:"version"`
 	}
 	err := c.post(ctx, "rpc.push", "/ps/v1/push",
-		map[string]any{"shard": shard, "step": step, "grads": toWire(grads)}, &resp)
+		map[string]any{"shard": shard, "worker": worker, "step": step, "grads": toWire(grads)}, &resp)
 	return resp.Version, err
 }
 
 // InitVars implements Transport.
-func (c *Client) InitVars(vals map[string]*tensor.Tensor) error {
+func (c *Client) InitVars(ctx context.Context, vals map[string]*tensor.Tensor) error {
 	var resp struct {
 		OK bool `json:"ok"`
 	}
-	return c.post(context.Background(), "rpc.init", "/ps/v1/init", map[string]any{"params": toWire(vals)}, &resp)
+	return c.post(ctx, "rpc.init", "/ps/v1/init", map[string]any{"params": toWire(vals)}, &resp)
+}
+
+// Register implements Transport.
+func (c *Client) Register(ctx context.Context, worker int) (Lease, error) {
+	var resp struct {
+		Lease int64 `json:"lease"`
+		TTLms int64 `json:"ttl_ms"`
+		Slot  int   `json:"slot"`
+		Live  int   `json:"live"`
+		Epoch int64 `json:"epoch"`
+	}
+	err := c.post(ctx, "rpc.register", "/ps/v1/register", map[string]any{"worker": worker}, &resp)
+	if err != nil {
+		return Lease{}, err
+	}
+	return Lease{
+		ID:         resp.Lease,
+		TTL:        time.Duration(resp.TTLms) * time.Millisecond,
+		Assignment: Assignment{Slot: resp.Slot, Live: resp.Live, Epoch: resp.Epoch},
+	}, nil
+}
+
+// Heartbeat implements Transport.
+func (c *Client) Heartbeat(ctx context.Context, worker int, lease int64) (Assignment, error) {
+	var a Assignment
+	err := c.post(ctx, "rpc.heartbeat", "/ps/v1/heartbeat",
+		map[string]any{"worker": worker, "lease": lease}, &a)
+	return a, err
+}
+
+// KillShard marks shard dead on the server (admin lever for churn tests and
+// drills).
+func (c *Client) KillShard(ctx context.Context, shard int) error {
+	var resp struct {
+		OK bool `json:"ok"`
+	}
+	return c.post(ctx, "rpc.admin", "/ps/v1/admin/kill-shard", map[string]any{"shard": shard}, &resp)
+}
+
+// FailoverShard restores shard from its latest snapshot; returns the number
+// of applied updates the restore rolled back.
+func (c *Client) FailoverShard(ctx context.Context, shard int) (int64, error) {
+	var resp struct {
+		Lost int64 `json:"lost"`
+	}
+	err := c.post(ctx, "rpc.admin", "/ps/v1/admin/failover-shard", map[string]any{"shard": shard}, &resp)
+	return resp.Lost, err
 }

@@ -1,0 +1,116 @@
+package ps
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// membership is the server's worker-lease table: the machinery behind
+// elastic data coverage. Each live worker holds a lease it must renew
+// (Heartbeat) within the TTL; a silent worker's lease expires and the
+// remaining workers' assignments close over its slice of the data.
+//
+// Expiry is checked lazily at the head of every membership operation rather
+// than by a background reaper: a server with no live traffic expires no one
+// (nothing is waiting on the freed coverage anyway), and the first operation
+// after a silence window observes a fully settled membership. Assignments
+// are deterministic — live workers ordered by ID, slot = rank — so every
+// caller computes the same coverage from the same epoch without extra
+// coordination.
+type membership struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	now     func() time.Time // injectable clock for tests
+	leases  map[int]*memberLease
+	epoch   int64
+	nextID  int64
+	metrics *metrics
+}
+
+type memberLease struct {
+	worker  int
+	id      int64
+	expires time.Time
+	// assignment caches the worker's slot under the current epoch.
+	assignment Assignment
+}
+
+func newMembership(ttl time.Duration, m *metrics) *membership {
+	return &membership{ttl: ttl, now: time.Now, leases: make(map[int]*memberLease), metrics: m}
+}
+
+// expireLocked drops every lapsed lease and rebalances once if any lapsed.
+func (ms *membership) expireLocked() {
+	now := ms.now()
+	expired := false
+	for worker, l := range ms.leases {
+		if now.After(l.expires) {
+			delete(ms.leases, worker)
+			ms.metrics.leaseExpiries.Inc()
+			expired = true
+		}
+	}
+	if expired {
+		ms.rebalanceLocked()
+	}
+}
+
+// rebalanceLocked recomputes every live worker's slot (rank by worker ID)
+// and bumps the epoch. Callers hold ms.mu.
+func (ms *membership) rebalanceLocked() {
+	ms.epoch++
+	ms.metrics.rebalances.Inc()
+	ids := make([]int, 0, len(ms.leases))
+	for worker := range ms.leases {
+		ids = append(ids, worker)
+	}
+	sort.Ints(ids)
+	for slot, worker := range ids {
+		ms.leases[worker].assignment = Assignment{Slot: slot, Live: len(ids), Epoch: ms.epoch}
+	}
+}
+
+// register creates (or supersedes) worker's lease and returns it.
+func (ms *membership) register(worker int) Lease {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.expireLocked()
+	ms.nextID++
+	old, wasLive := ms.leases[worker]
+	l := &memberLease{worker: worker, id: ms.nextID, expires: ms.now().Add(ms.ttl)}
+	if wasLive {
+		// Same membership set, same slot: carry the assignment over.
+		l.assignment = old.assignment
+	}
+	ms.leases[worker] = l
+	// A rejoin of an already-live worker keeps the membership set unchanged
+	// — no rebalance, only a fresh token. A genuinely new worker shifts
+	// every slot.
+	if !wasLive {
+		ms.rebalanceLocked()
+	}
+	return Lease{ID: l.id, TTL: ms.ttl, Assignment: l.assignment}
+}
+
+// heartbeat renews worker's lease and reports the current assignment.
+func (ms *membership) heartbeat(worker int, lease int64) (Assignment, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.expireLocked()
+	l, ok := ms.leases[worker]
+	if !ok || l.id != lease {
+		return Assignment{}, LeaseExpiredErr(fmt.Sprintf("worker %d lease %d", worker, lease))
+	}
+	l.expires = ms.now().Add(ms.ttl)
+	return l.assignment, nil
+}
+
+// live reports how many workers currently hold unexpired leases.
+func (ms *membership) live() int {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.expireLocked()
+	return len(ms.leases)
+}

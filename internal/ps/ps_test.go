@@ -216,7 +216,7 @@ func TestShardPlacementPartitionsVariables(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		vals[fmt.Sprintf("layer%d/w", i)] = tensor.Zeros(2, 2)
 	}
-	if err := s.InitVars(vals); err != nil {
+	if err := s.InitVars(context.Background(), vals); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 	total := 0
@@ -240,7 +240,7 @@ func TestShardPlacementPartitionsVariables(t *testing.T) {
 func TestVersionedPullSkipsUnchanged(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.1})
 	w := tensor.New([]int{2}, []float64{1, 2})
-	if err := s.InitVars(map[string]*tensor.Tensor{"w": w}); err != nil {
+	if err := s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": w}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 	params, v1, _, err := s.Pull(context.Background(), 0, -1)
@@ -256,7 +256,7 @@ func TestVersionedPullSkipsUnchanged(t *testing.T) {
 		t.Fatalf("unchanged pull returned params=%v version %d (want nil, %d)", params, v2, v1)
 	}
 	// After a push the same pull returns fresh params.
-	if _, err := s.PushGrad(context.Background(), 0, 1, map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, -1, 1, map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
 	params, v3, _, err := s.Pull(context.Background(), 0, v1)
@@ -267,19 +267,19 @@ func TestVersionedPullSkipsUnchanged(t *testing.T) {
 
 func TestStalenessBoundRejectsLaggards(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.1, Staleness: 2})
-	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(2)}); err != nil {
+	if err := s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.Zeros(2)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 	g := map[string]*tensor.Tensor{"w": tensor.New([]int{2}, []float64{1, 1})}
-	if _, err := s.PushGrad(context.Background(), 0, 10, g); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, -1, 10, g); err != nil {
 		t.Fatalf("fresh push: %v", err)
 	}
 	// Within the bound: accepted.
-	if _, err := s.PushGrad(context.Background(), 0, 8, g); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, -1, 8, g); err != nil {
 		t.Fatalf("push within bound: %v", err)
 	}
 	// Beyond the bound: ErrStale.
-	if _, err := s.PushGrad(context.Background(), 0, 7, g); !errors.Is(err, ErrStale) {
+	if _, err := s.PushGrad(context.Background(), 0, -1, 7, g); !errors.Is(err, ErrStale) {
 		t.Fatalf("laggard push: got %v, want ErrStale", err)
 	}
 	if st := s.Stats(); st.StaleDrops != 1 {
@@ -289,7 +289,7 @@ func TestStalenessBoundRejectsLaggards(t *testing.T) {
 
 func TestPushUnknownVariableFails(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.1})
-	_, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"ghost": tensor.Zeros(1)})
+	_, err := s.PushGrad(context.Background(), 0, -1, 0, map[string]*tensor.Tensor{"ghost": tensor.Zeros(1)})
 	if err == nil {
 		t.Fatal("push of unregistered variable succeeded")
 	}
@@ -297,11 +297,11 @@ func TestPushUnknownVariableFails(t *testing.T) {
 
 func TestPushShapeMismatchFails(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.1})
-	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(2, 3)}); err != nil {
+	if err := s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.Zeros(2, 3)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 	// A malformed wire gradient must produce an error, not a server panic.
-	_, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"w": tensor.Zeros(3, 2)})
+	_, err := s.PushGrad(context.Background(), 0, -1, 0, map[string]*tensor.Tensor{"w": tensor.Zeros(3, 2)})
 	if err == nil {
 		t.Fatal("mismatched gradient shape accepted")
 	}
@@ -311,10 +311,10 @@ func TestPushShapeMismatchFails(t *testing.T) {
 // configured, one push moves a parameter by lr*g/K.
 func TestGradientAveraging(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, LR: 0.5, Workers: 4})
-	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
+	if err := s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.Zeros(1)}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
-	if _, err := s.PushGrad(context.Background(), 0, 0, map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{8})}); err != nil {
+	if _, err := s.PushGrad(context.Background(), 0, -1, 0, map[string]*tensor.Tensor{"w": tensor.New([]int{1}, []float64{8})}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
 	params, _, _, err := s.Pull(context.Background(), 0, -1)
@@ -348,17 +348,17 @@ func mean(xs []float64) float64 {
 // through a real HTTP server and back through the client.
 func TestStaleRoundTripHTTP(t *testing.T) {
 	s := mustServer(t, Config{Shards: 1, Staleness: 0, Workers: 1})
-	if err := s.InitVars(map[string]*tensor.Tensor{"w": tensor.Scalar(1)}); err != nil {
+	if err := s.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.Scalar(1)}); err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 	c := NewClient(ts.URL, ts.Client())
 	g := map[string]*tensor.Tensor{"w": tensor.Scalar(0.1)}
-	if _, err := c.PushGrad(context.Background(), 0, 5, g); err != nil {
+	if _, err := c.PushGrad(context.Background(), 0, -1, 5, g); err != nil {
 		t.Fatalf("fresh push: %v", err)
 	}
-	_, err := c.PushGrad(context.Background(), 0, 2, g)
+	_, err := c.PushGrad(context.Background(), 0, -1, 2, g)
 	if !errors.Is(err, ErrStale) {
 		t.Fatalf("stale push over HTTP: got %v, want ErrStale", err)
 	}

@@ -1,0 +1,204 @@
+package ps
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// retryRPCs names every Transport RPC a RetryTransport can retry; the list
+// doubles as the eager label set for janus_ps_retries_total so the family is
+// visible on a scrape before the first retry fires.
+var retryRPCs = []string{"pull", "push", "init", "register", "heartbeat"}
+
+// RetryPolicy bounds a RetryTransport: how long one attempt may run, how
+// many retries a single logical call may spend, and the backoff envelope
+// between attempts.
+type RetryPolicy struct {
+	// Attempt caps one attempt's wall-clock time (per-RPC deadline layered
+	// under the caller's context). <=0 means 2s.
+	Attempt time.Duration
+	// Budget is the maximum number of RETRIES (attempts-1) per logical call.
+	// <=0 means 12; retries are what PushGrad dedup makes safe to spend.
+	Budget int
+	// Base and Max bound the full-jitter exponential backoff between
+	// attempts: sleep ~ U[0, min(Max, Base<<n)). Defaults 2ms and 100ms.
+	// Budget*Max must comfortably exceed any expected outage window (shard
+	// failover delay, lease TTL) or callers give up mid-recovery.
+	Base, Max time.Duration
+	// Seed fixes the jitter stream; 0 seeds from the policy defaults
+	// deterministically (seed 1), keeping runs reproducible by default.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempt <= 0 {
+		p.Attempt = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 12
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 100 * time.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// RetryTransport wraps any Transport with per-attempt deadlines, a retry
+// budget, and capped full-jitter exponential backoff. Only transient
+// failures — ErrUnavailable and attempt-deadline timeouts — are retried;
+// everything else (staleness rejections, lease expiry, caller cancellation)
+// passes straight through as the typed sentinel. Retrying PushGrad is safe
+// because the server dedups on (worker, step): a retry of a push whose
+// reply was lost is applied exactly once.
+type RetryTransport struct {
+	inner Transport
+	p     RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries map[string]*obs.Counter
+}
+
+// NewRetryTransport wraps inner under policy p. reg receives
+// janus_ps_retries_total{rpc}; nil uses a private registry (counters still
+// count, nothing is exported).
+func NewRetryTransport(inner Transport, p RetryPolicy, reg *obs.Registry) *RetryTransport {
+	p = p.withDefaults()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rt := &RetryTransport{
+		inner:   inner,
+		p:       p,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		retries: make(map[string]*obs.Counter, len(retryRPCs)),
+	}
+	for _, rpc := range retryRPCs {
+		rt.retries[rpc] = reg.Counter("janus_ps_retries_total", helpRetries, "rpc", rpc)
+	}
+	return rt
+}
+
+// Total reports how many retries have fired across all RPCs.
+func (rt *RetryTransport) Total() int64 {
+	var n int64
+	for _, c := range rt.retries {
+		n += c.Value()
+	}
+	return n
+}
+
+// retryable reports whether err is worth another attempt: the server (or an
+// injected fault) said "unavailable", or the attempt deadline fired while
+// the caller's own context is still live.
+func retryable(err error, ctx context.Context) bool {
+	if errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
+}
+
+// backoff returns the full-jitter sleep before retry n (0-based):
+// U[0, min(Max, Base<<n)). Full jitter decorrelates colliding clients —
+// deterministic doubling marches every victim of one outage in lockstep.
+func (rt *RetryTransport) backoff(n int) time.Duration {
+	ceil := rt.p.Max
+	if shifted := rt.p.Base << uint(n); shifted > 0 && shifted < ceil {
+		ceil = shifted
+	}
+	rt.mu.Lock()
+	d := time.Duration(rt.rng.Int63n(int64(ceil)))
+	rt.mu.Unlock()
+	return d
+}
+
+func (rt *RetryTransport) do(ctx context.Context, rpc string, fn func(context.Context) error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, rt.p.Attempt)
+		err = fn(actx)
+		cancel()
+		if err == nil || !retryable(err, ctx) {
+			return err
+		}
+		if attempt >= rt.p.Budget {
+			return fmt.Errorf("ps: %s retry budget (%d) exhausted: %w", rpc, rt.p.Budget, err)
+		}
+		rt.retries[rpc].Inc()
+		select {
+		case <-time.After(rt.backoff(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// NumShards implements Transport (not retried: it runs once at worker
+// construction, before any churn a retry policy is meant to ride out).
+func (rt *RetryTransport) NumShards() (int, error) { return rt.inner.NumShards() }
+
+// Pull implements Transport.
+func (rt *RetryTransport) Pull(ctx context.Context, shard int, have int64) (map[string]*tensor.Tensor, int64, int64, error) {
+	var params map[string]*tensor.Tensor
+	var version, step int64
+	err := rt.do(ctx, "pull", func(actx context.Context) error {
+		var e error
+		params, version, step, e = rt.inner.Pull(actx, shard, have)
+		return e
+	})
+	return params, version, step, err
+}
+
+// PushGrad implements Transport.
+func (rt *RetryTransport) PushGrad(ctx context.Context, shard, worker int, step int64, grads map[string]*tensor.Tensor) (int64, error) {
+	var version int64
+	err := rt.do(ctx, "push", func(actx context.Context) error {
+		var e error
+		version, e = rt.inner.PushGrad(actx, shard, worker, step, grads)
+		return e
+	})
+	return version, err
+}
+
+// InitVars implements Transport.
+func (rt *RetryTransport) InitVars(ctx context.Context, vals map[string]*tensor.Tensor) error {
+	return rt.do(ctx, "init", func(actx context.Context) error {
+		return rt.inner.InitVars(actx, vals)
+	})
+}
+
+// Register implements Transport.
+func (rt *RetryTransport) Register(ctx context.Context, worker int) (Lease, error) {
+	var lease Lease
+	err := rt.do(ctx, "register", func(actx context.Context) error {
+		var e error
+		lease, e = rt.inner.Register(actx, worker)
+		return e
+	})
+	return lease, err
+}
+
+// Heartbeat implements Transport.
+func (rt *RetryTransport) Heartbeat(ctx context.Context, worker int, lease int64) (Assignment, error) {
+	var a Assignment
+	err := rt.do(ctx, "heartbeat", func(actx context.Context) error {
+		var e error
+		a, e = rt.inner.Heartbeat(actx, worker, lease)
+		return e
+	})
+	return a, err
+}

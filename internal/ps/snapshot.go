@@ -1,0 +1,191 @@
+package ps
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/vars"
+)
+
+// Shard snapshots and failover.
+//
+// Every shard periodically serializes its full recovery state — parameters,
+// optimizer slots (velocity, Adam moments, per-tensor step counts), version
+// and step clocks, and the push-dedup ledger — after InitVars and every
+// Config.SnapshotEvery applied pushes. When a shard dies (KillShard, or an
+// operator action on janusps), a successor restores from the latest snapshot
+// (FailoverShard) and serving resumes on the same shard index, so client
+// routing (vars.ShardOf) is unchanged and workers simply re-pull.
+//
+// The loss semantics are BOUNDED, not zero: updates applied after the last
+// snapshot are rolled back — at most SnapshotEvery pushes per shard, plus
+// whatever was in flight. Worker pulls version-check against the restored
+// (older) version, so every worker's next pull is a fresh fetch of the
+// restored state; worker step clocks are ahead of the restored maxStep,
+// which is safe — the staleness bound only rejects clocks that LAG.
+//
+// Tensors travel in the graph package's versioned wire format (the PR-9
+// artifact serialization), so NaN/Inf/-0 round-trip bit-exactly.
+
+// shardSnapWire is the serialized form of one shard's recovery state.
+type shardSnapWire struct {
+	Shard      int               `json:"shard"`
+	Version    int64             `json:"version"`
+	MaxStep    int64             `json:"max_step"`
+	Optimizer  string            `json:"optimizer"`
+	Params     map[string][]byte `json:"params"`
+	OptTensors map[string][]byte `json:"opt_tensors,omitempty"`
+	OptSteps   map[string]int    `json:"opt_steps,omitempty"`
+	Applied    []appliedWire     `json:"applied,omitempty"`
+}
+
+type appliedWire struct {
+	Worker int    `json:"worker"`
+	Name   string `json:"name"`
+	Step   int64  `json:"step"`
+}
+
+// snapshotLocked serializes sh's current state into sh.lastSnap. Callers
+// hold sh.mu. Failure to snapshot never fails the triggering push — the
+// previous snapshot stays in place and the error is surfaced as a metric.
+func (s *Server) snapshotLocked(idx int, sh *shard) {
+	wire := shardSnapWire{
+		Shard:     idx,
+		Version:   sh.version,
+		MaxStep:   sh.maxStep,
+		Optimizer: sh.opt.Name(),
+		Params:    make(map[string][]byte),
+	}
+	ok := true
+	for name, t := range sh.store.ShardSnapshot(0, 1) {
+		buf, err := graph.MarshalTensor(t)
+		if err != nil {
+			ok = false
+			break
+		}
+		wire.Params[name] = buf
+	}
+	st := autodiff.ExportState(sh.opt)
+	if len(st.Tensors) > 0 {
+		wire.OptTensors = make(map[string][]byte, len(st.Tensors))
+		for key, t := range st.Tensors {
+			buf, err := graph.MarshalTensor(t)
+			if err != nil {
+				ok = false
+				break
+			}
+			wire.OptTensors[key] = buf
+		}
+	}
+	wire.OptSteps = st.Steps
+	for key, step := range sh.applied {
+		wire.Applied = append(wire.Applied, appliedWire{Worker: key.worker, Name: key.name, Step: step})
+	}
+	buf, err := json.Marshal(wire)
+	if !ok || err != nil {
+		s.metrics.snapErrors.Inc()
+		return
+	}
+	sh.lastSnap = buf
+	sh.snapVersion = wire.Version
+	sh.sincePush = 0
+	s.metrics.snapshots.Inc()
+}
+
+// SnapshotShard forces an immediate snapshot of shard idx and returns the
+// serialized bytes (also retained as the shard's failover point).
+func (s *Server) SnapshotShard(idx int) ([]byte, error) {
+	sh, err := s.shardAt(idx)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down {
+		return nil, UnavailableErr(fmt.Sprintf("shard %d is down", idx))
+	}
+	s.snapshotLocked(idx, sh)
+	return sh.lastSnap, nil
+}
+
+// KillShard marks shard idx dead: every Pull/PushGrad/InitVars touching it
+// returns ErrUnavailable until FailoverShard restores a successor. The
+// in-memory live state is deliberately NOT reachable afterwards — failover
+// restores from the latest snapshot only, exactly what a process death
+// allows.
+func (s *Server) KillShard(idx int) error {
+	sh, err := s.shardAt(idx)
+	if err != nil {
+		return err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down {
+		return fmt.Errorf("ps: shard %d already down", idx)
+	}
+	sh.down = true
+	sh.killedVersion = sh.version
+	return nil
+}
+
+// FailoverShard replaces dead shard idx with a successor restored from the
+// latest snapshot: fresh store, fresh optimizer with imported state, version
+// and step clocks from the snapshot. Returns how many applied updates the
+// failover rolled back (the measured bounded loss). Failing over a live
+// shard is an error — kill it first.
+func (s *Server) FailoverShard(idx int) (lost int64, err error) {
+	sh, err := s.shardAt(idx)
+	if err != nil {
+		return 0, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.down {
+		return 0, fmt.Errorf("ps: shard %d is not down — kill it before failing over", idx)
+	}
+	opt, err := autodiff.NewOptimizer(s.cfg.Optimizer, s.cfg.LR)
+	if err != nil {
+		return 0, fmt.Errorf("ps: failover shard %d: %w", idx, err)
+	}
+	store := vars.NewStore()
+	applied := make(map[dedupKey]int64)
+	var version, maxStep int64
+	if sh.lastSnap != nil {
+		var wire shardSnapWire
+		if err := json.Unmarshal(sh.lastSnap, &wire); err != nil {
+			return 0, fmt.Errorf("ps: failover shard %d: decode snapshot: %w", idx, err)
+		}
+		params := make(map[string]*tensor.Tensor, len(wire.Params))
+		for name, buf := range wire.Params {
+			t, err := graph.UnmarshalTensor(buf)
+			if err != nil {
+				return 0, fmt.Errorf("ps: failover shard %d: param %q: %w", idx, name, err)
+			}
+			params[name] = t
+		}
+		store.SetAll(params)
+		st := autodiff.OptimizerState{Tensors: map[string]*tensor.Tensor{}, Steps: wire.OptSteps}
+		for key, buf := range wire.OptTensors {
+			t, err := graph.UnmarshalTensor(buf)
+			if err != nil {
+				return 0, fmt.Errorf("ps: failover shard %d: optimizer slot %q: %w", idx, key, err)
+			}
+			st.Tensors[key] = t
+		}
+		autodiff.ImportState(opt, st)
+		for _, a := range wire.Applied {
+			applied[dedupKey{a.Worker, a.Name}] = a.Step
+		}
+		version, maxStep = wire.Version, wire.MaxStep
+	}
+	lost = sh.killedVersion - version
+	sh.store, sh.opt, sh.applied = store, opt, applied
+	sh.version, sh.maxStep = version, maxStep
+	sh.sincePush = 0
+	sh.down = false
+	s.metrics.failovers.Inc()
+	return lost, nil
+}

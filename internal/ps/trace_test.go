@@ -36,7 +36,7 @@ func TestClientTraceRoundTrip(t *testing.T) {
 	c := NewClient(ts.URL, ts.Client())
 
 	w0 := tensor.FromSlice([]float64{1, 2, 3})
-	if err := c.InitVars(map[string]*tensor.Tensor{"w": w0}); err != nil {
+	if err := c.InitVars(context.Background(), map[string]*tensor.Tensor{"w": w0}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 
@@ -48,7 +48,7 @@ func TestClientTraceRoundTrip(t *testing.T) {
 		t.Fatalf("pull: %v", err)
 	}
 	g := tensor.FromSlice([]float64{0.1, 0.1, 0.1})
-	if _, err := c.PushGrad(ctx, 0, 1, map[string]*tensor.Tensor{"w": g}); err != nil {
+	if _, err := c.PushGrad(ctx, 0, -1, 1, map[string]*tensor.Tensor{"w": g}); err != nil {
 		t.Fatalf("push: %v", err)
 	}
 	root.End()
@@ -95,7 +95,7 @@ func TestTraceDegradationNeverFailsRequests(t *testing.T) {
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 	c := NewClient(ts.URL, ts.Client())
-	if err := c.InitVars(map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{1})}); err != nil {
+	if err := c.InitVars(context.Background(), map[string]*tensor.Tensor{"w": tensor.FromSlice([]float64{1})}); err != nil {
 		t.Fatalf("init: %v", err)
 	}
 

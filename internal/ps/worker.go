@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,18 @@ type Worker struct {
 	// every push before returning), so no lock is needed.
 	runCtx context.Context
 
+	// rng drives the full-jitter stale-push backoff, seeded per worker so
+	// colliding workers draw decorrelated sleeps (deterministic doubling
+	// would march them in lockstep retry convoys) while runs stay
+	// reproducible. Only RunFree's single goroutine touches it.
+	rng *rand.Rand
+
+	// Lease state (Join): the current assignment, refreshed by the
+	// background heartbeat loop.
+	assignMu sync.Mutex
+	assign   Assignment
+	joined   bool
+
 	// Per-step push tracking: the sink adds to wg and pushes on background
 	// goroutines; Step waits for all of them before returning.
 	wg      sync.WaitGroup
@@ -106,7 +119,8 @@ func NewWorker(id int, e *core.Engine, step StepFunc, t Transport) (*Worker, err
 		return nil, fmt.Errorf("ps: worker %d: %w", id, err)
 	}
 	w := &Worker{ID: id, engine: e, step: step, t: t, shards: shards,
-		versions: make([]int64, shards)}
+		versions: make([]int64, shards),
+		rng:      rand.New(rand.NewSource(int64(id)*2654435761 + 1))}
 	for i := range w.versions {
 		w.versions[i] = -1
 	}
@@ -144,7 +158,7 @@ func (w *Worker) BootstrapWith(body func() error) error {
 	if err != nil {
 		return fmt.Errorf("ps: worker %d bootstrap step: %w", w.ID, err)
 	}
-	if err := w.t.InitVars(w.engine.Store.ShardSnapshot(0, 1)); err != nil {
+	if err := w.t.InitVars(context.Background(), w.engine.Store.ShardSnapshot(0, 1)); err != nil {
 		return fmt.Errorf("ps: worker %d init: %w", w.ID, err)
 	}
 	return w.pullAll(context.Background())
@@ -212,7 +226,7 @@ func (w *Worker) push(name string, g *tensor.Tensor) {
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		_, err := w.t.PushGrad(ctx, shard, step, map[string]*tensor.Tensor{name: g})
+		_, err := w.t.PushGrad(ctx, shard, w.ID, step, map[string]*tensor.Tensor{name: g})
 		if err != nil {
 			if isStale(err) {
 				// Staleness is expected under async operation: drop the
@@ -287,13 +301,25 @@ func (w *Worker) DoCtx(ctx context.Context, body func() (float64, error)) (loss 
 }
 
 // Free-running backoff bounds: after a step whose pushes went stale, the
-// worker sleeps before re-pulling — doubling per consecutive stale step from
-// baseBackoff up to maxBackoff, reset by the first clean step. The sleep
-// yields the host to the fresher workers the laggard is contending with.
+// worker sleeps U[0, min(maxBackoff, baseBackoff<<consecutiveStale)) before
+// re-pulling, reset by the first clean step. The sleep yields the host to
+// the fresher workers the laggard is contending with; the full jitter (per-
+// worker seeded rng) keeps simultaneously-stale workers from synchronizing
+// into retry convoys that go stale together again.
 const (
 	baseBackoff = 500 * time.Microsecond
 	maxBackoff  = 8 * time.Millisecond
 )
+
+// staleBackoff draws the sleep after the n-th consecutive stale step
+// (1-based).
+func (w *Worker) staleBackoff(n int) time.Duration {
+	ceil := maxBackoff
+	if shifted := baseBackoff << uint(n-1); shifted > 0 && shifted < ceil {
+		ceil = shifted
+	}
+	return time.Duration(w.rng.Int63n(int64(ceil)))
+}
 
 // RunFree runs n free-running local steps: pull → body → streamed pushes,
 // with no coordination with other workers. The staleness bound is enforced
@@ -307,7 +333,7 @@ func (w *Worker) RunFree(ctx context.Context, n int, body func(i int) (float64, 
 	defer func() { w.freeRunning = false }()
 	losses := make([]float64, 0, n)
 	var staleTotal int64
-	backoff := time.Duration(0)
+	consecutiveStale := 0
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
 			return losses, staleTotal, core.CanceledErr(ctx)
@@ -320,22 +346,82 @@ func (w *Worker) RunFree(ctx context.Context, n int, body func(i int) (float64, 
 		losses = append(losses, loss)
 		staleTotal += stale
 		if stale == 0 {
-			backoff = 0
+			consecutiveStale = 0
 			continue
 		}
-		if backoff = backoff * 2; backoff < baseBackoff {
-			backoff = baseBackoff
-		} else if backoff > maxBackoff {
-			backoff = maxBackoff
-		}
+		consecutiveStale++
 		w.stats.backoffs.Add(1)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(w.staleBackoff(consecutiveStale)):
 		case <-ctx.Done():
 			return losses, staleTotal, core.CanceledErr(ctx)
 		}
 	}
 	return losses, staleTotal, nil
+}
+
+// Join registers the worker as a live cluster member and starts a background
+// heartbeat loop renewing the lease at ~TTL/3 until ctx ends. The returned
+// assignment is the worker's initial slice of the data coverage; Assignment
+// tracks it as membership changes. An expired or superseded lease triggers
+// automatic re-registration — the worker rejoins with whatever slot the new
+// membership assigns it.
+func (w *Worker) Join(ctx context.Context) (Assignment, error) {
+	lease, err := w.t.Register(ctx, w.ID)
+	if err != nil {
+		return Assignment{}, fmt.Errorf("ps: worker %d register: %w", w.ID, err)
+	}
+	w.setAssignment(lease.Assignment)
+	ttl := lease.TTL
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	go w.heartbeatLoop(ctx, lease.ID, ttl)
+	return lease.Assignment, nil
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, leaseID int64, ttl time.Duration) {
+	tick := time.NewTicker(ttl / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		a, err := w.t.Heartbeat(ctx, w.ID, leaseID)
+		switch {
+		case err == nil:
+			w.setAssignment(a)
+		case errors.Is(err, ErrLeaseExpired):
+			// The server gave our coverage away; rejoin under a fresh lease.
+			lease, rerr := w.t.Register(ctx, w.ID)
+			if rerr != nil {
+				continue // transient; try again next tick
+			}
+			leaseID = lease.ID
+			w.setAssignment(lease.Assignment)
+		default:
+			// Transient failure (server restarting, injected fault): keep the
+			// lease token and retry on the next tick.
+		}
+	}
+}
+
+func (w *Worker) setAssignment(a Assignment) {
+	w.assignMu.Lock()
+	w.assign = a
+	w.joined = true
+	w.assignMu.Unlock()
+}
+
+// Assignment returns the worker's latest data-coverage assignment and
+// whether the worker has joined the membership at all. Free-running elastic
+// drivers re-read it every step to derive the global batch index.
+func (w *Worker) Assignment() (Assignment, bool) {
+	w.assignMu.Lock()
+	defer w.assignMu.Unlock()
+	return w.assign, w.joined
 }
 
 // Stats snapshots the worker's traffic counters.

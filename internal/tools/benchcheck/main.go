@@ -42,6 +42,13 @@ type thresholds struct {
 		// MaxFinalLoss bounds the final training loss of the barriered
 		// anchor and of every async staleness bound.
 		MaxFinalLoss float64 `json:"max_final_loss"`
+		// MaxChurnLossRatio bounds the fault-injected churn run's final loss
+		// relative to the fault-free async anchor at the same staleness
+		// bound (1.15 = within 15%). When committed, the dist report MUST
+		// carry a churn section proving at least one worker kill+rejoin and
+		// one shard failover actually happened — a churn run that silently
+		// stopped churning must fail the gate, not pass it vacuously.
+		MaxChurnLossRatio float64 `json:"max_churn_loss_ratio"`
 	} `json:"dist"`
 	Serve struct {
 		// MinCacheHitRate bounds the shared graph-cache hit rate from below.
@@ -105,6 +112,14 @@ type report struct {
 		Workers   int     `json:"workers"`
 		FinalLoss float64 `json:"final_loss"`
 	} `json:"scaling"`
+	Churn *struct {
+		FinalLoss       float64 `json:"final_loss"`
+		AnchorFinalLoss float64 `json:"anchor_final_loss"`
+		WorkerKills     int     `json:"worker_kills"`
+		WorkerRejoins   int     `json:"worker_rejoins"`
+		Failovers       int     `json:"shard_failovers"`
+		LeaseExpiries   int64   `json:"lease_expiries"`
+	} `json:"churn"`
 	Requests             int64   `json:"requests"`
 	Failed               int64   `json:"failed"`
 	CacheHitRate         float64 `json:"cache_hit_rate"`
@@ -196,11 +211,51 @@ func checkDist(path string, r report, th thresholds) int {
 	for _, p := range r.Scaling {
 		check(fmt.Sprintf("%d-worker", p.Workers), p.FinalLoss)
 	}
+	if r.Churn != nil {
+		check("churn", r.Churn.FinalLoss)
+	}
 	if r.Barriered == nil && len(r.Async) == 0 && len(r.Scaling) == 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: %s: dist report holds no losses to gate\n", path)
 		return 1
 	}
+	bad += checkChurn(path, r, th)
 	return bad
+}
+
+// checkChurn gates convergence under injected churn: the run must have
+// actually churned (>=1 worker kill+rejoin, >=1 shard failover) and its
+// final loss must land within max_churn_loss_ratio of the fault-free async
+// anchor. (The absolute max_final_loss bound is applied to the churn loss
+// in checkDist alongside the other points.)
+func checkChurn(path string, r report, th thresholds) int {
+	ratio := th.Dist.MaxChurnLossRatio
+	if ratio <= 0 {
+		return 0
+	}
+	c := r.Churn
+	switch {
+	case c == nil:
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: thresholds commit dist.max_churn_loss_ratio but report has no churn section (run janusbench -dist -churn)\n", path)
+		return 1
+	case c.WorkerKills < 1 || c.WorkerRejoins < 1:
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: churn run killed/rejoined %d/%d workers, want >=1/1 — the run did not churn\n",
+			path, c.WorkerKills, c.WorkerRejoins)
+		return 1
+	case c.Failovers < 1:
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: churn run completed %d shard failovers, want >=1 — the run did not churn\n",
+			path, c.Failovers)
+		return 1
+	case c.AnchorFinalLoss <= 0:
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: churn section lacks a fault-free anchor loss\n", path)
+		return 1
+	case c.FinalLoss > ratio*c.AnchorFinalLoss:
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: churn final loss %.4f exceeds %.2fx of fault-free anchor %.4f\n",
+			path, c.FinalLoss, ratio, c.AnchorFinalLoss)
+		return 1
+	}
+	fmt.Printf("benchcheck: %s: churn final loss %.4f within %.2fx of anchor %.4f (kills %d, failovers %d, lease expiries %d) ok\n",
+		path, c.FinalLoss, ratio, c.AnchorFinalLoss, c.WorkerKills, c.Failovers, c.LeaseExpiries)
+	return 0
 }
 
 func checkServe(path string, r report, th thresholds) int {
